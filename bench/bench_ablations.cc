@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablations of the microarchitectural mechanisms §4 says predication
+ * depends on, plus the §7 "future work" features dfp implements:
+ *
+ *  - early mispredication termination (§4.3) on/off;
+ *  - blocks in flight (the window-size discussion in §7);
+ *  - mov4 predicate multicast in fanout trees (§7);
+ *  - spatial scheduling vs naive round-robin placement;
+ *  - operand-network contention modeling;
+ *  - perfect next-block prediction (oracle) vs the real predictor;
+ *  - aggressive load speculation vs conservative loads.
+ *
+ * Each ablation reports geomean cycles over a representative subset of
+ * the suite (full Figure 7 sweeps live in bench_fig7_speedup).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.h"
+
+using namespace dfp;
+using bench::geomean;
+
+namespace
+{
+
+const char *kSubset[] = {"tblook01", "rotate01", "autcor00", "pktflow",
+                         "iirflt01", "viterb00", "text01", "matrix01"};
+
+double
+geoCycles(const std::function<void(compiler::CompileOptions &,
+                                   sim::SimConfig &)> &tweak)
+{
+    std::vector<double> cycles;
+    for (const char *name : kSubset) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        compiler::CompileOptions opts = compiler::configNamed("both");
+        opts.unroll.factor = w->unrollFactor;
+        sim::SimConfig simCfg;
+        tweak(opts, simCfg);
+        bench::RunNumbers run =
+            bench::runWorkload(*w, "both", simCfg, &opts);
+        cycles.push_back(double(run.cycles));
+    }
+    return geomean(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablations ('both' configuration, geomean cycles over "
+                "%zu kernels; lower is better)\n\n",
+                std::size(kSubset));
+
+    double base = geoCycles([](auto &, auto &) {});
+    auto row = [&](const char *name, double cycles) {
+        std::printf("  %-34s %12.0f  (%+5.1f%%)\n", name, cycles,
+                    100.0 * (cycles / base - 1.0));
+        std::fflush(stdout);
+    };
+    std::printf("baseline (default machine)           %12.0f\n", base);
+
+    row("early termination OFF (§4.3)",
+        geoCycles([](auto &, sim::SimConfig &s) {
+            s.earlyTermination = false;
+        }));
+    row("perfect next-block prediction",
+        geoCycles([](auto &, sim::SimConfig &s) {
+            s.perfectPrediction = true;
+        }));
+    row("no operand-network contention",
+        geoCycles([](auto &, sim::SimConfig &s) {
+            s.modelContention = false;
+        }));
+    row("conservative loads (no speculation)",
+        geoCycles([](auto &, sim::SimConfig &s) {
+            s.aggressiveLoads = false;
+        }));
+    row("naive placement (no scheduler)",
+        geoCycles([](compiler::CompileOptions &o, auto &) {
+            o.schedule = false;
+        }));
+    row("mov4 predicate multicast (§7)",
+        geoCycles([](compiler::CompileOptions &o, auto &) {
+            o.multicast = true;
+        }));
+
+    std::printf("\nblocks in flight (window size, §7):\n");
+    for (int inflight : {1, 2, 4, 8, 16}) {
+        double c = geoCycles([&](auto &, sim::SimConfig &s) {
+            s.maxBlocksInFlight = inflight;
+        });
+        std::printf("  %2d blocks in flight %12.0f  (%+5.1f%%)\n",
+                    inflight, c, 100.0 * (c / base - 1.0));
+        std::fflush(stdout);
+    }
+    return 0;
+}

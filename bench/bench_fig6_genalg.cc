@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6 reproduction: instruction merging on the genalg loop.
+ *
+ * The paper hand-unrolled the genalg roulette-selection loop to fill a
+ * 128-instruction block and hand-merged the duplicated exit branches
+ * and live-out guard moves, reporting >2.25x over the best compiled
+ * code. dfp automates the same transformations: this bench sweeps the
+ * unroll factor with and without disjoint instruction merging and
+ * reports static size and cycle counts.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dfp;
+using bench::RunNumbers;
+
+int
+main()
+{
+    const workloads::Workload &w = workloads::genalg();
+
+    std::printf("Figure 6: genalg loop — unrolling x merging\n");
+    std::printf("%-8s %-7s %10s %10s %10s %10s\n", "unroll", "merge",
+                "cycles", "speedup", "statInsts", "blocks");
+
+    double baseline = 0;
+    for (int unroll : {1, 2, 4, 6, 8}) {
+        for (bool merge : {false, true}) {
+            compiler::CompileOptions opts =
+                compiler::configNamed(merge ? "merge" : "both");
+            opts.unroll.factor = unroll;
+            opts.unroll.maxBodyInstrs = 32;
+            RunNumbers run =
+                bench::runWorkload(w, merge ? "merge" : "both",
+                                   sim::SimConfig(), &opts);
+            if (baseline == 0)
+                baseline = double(run.cycles);
+            std::printf("%-8d %-7s %10llu %9.2fx %10llu %10llu\n",
+                        unroll, merge ? "yes" : "no",
+                        (unsigned long long)run.cycles,
+                        baseline / double(run.cycles),
+                        (unsigned long long)run.staticInsts,
+                        (unsigned long long)run.staticBlocks);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\npaper: hand-unrolling + hand-merging gave >2.25x over "
+                "the best compiled code\n");
+    return 0;
+}

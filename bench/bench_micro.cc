@@ -1,0 +1,136 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the dfp components themselves:
+ * encoder/decoder throughput, functional-executor and cycle-simulator
+ * rates, full pipeline compile time, and the golden interpreter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/hb_eval.h"
+#include "isa/encode.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+using namespace dfp;
+
+namespace
+{
+
+const workloads::Workload &
+kernel()
+{
+    return *workloads::findWorkload("tblook01");
+}
+
+compiler::CompileResult &
+compiled()
+{
+    static compiler::CompileResult res = [] {
+        compiler::CompileOptions opts = compiler::configNamed("both");
+        opts.unroll.factor = kernel().unrollFactor;
+        return compiler::compileSource(kernel().source, opts);
+    }();
+    return res;
+}
+
+void
+BM_EncodeBlock(benchmark::State &state)
+{
+    const isa::TBlock &block = compiled().program.blocks.front();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isa::encodeBlock(block));
+    state.SetItemsProcessed(state.iterations() * block.insts.size());
+}
+BENCHMARK(BM_EncodeBlock);
+
+void
+BM_DecodeBlock(benchmark::State &state)
+{
+    auto words = isa::encodeBlock(compiled().program.blocks.front());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(isa::decodeBlock(words));
+    state.SetItemsProcessed(state.iterations() * words.size());
+}
+BENCHMARK(BM_DecodeBlock);
+
+void
+BM_GoldenInterp(benchmark::State &state)
+{
+    ir::Function fn = ir::parseFunction(kernel().source);
+    for (auto _ : state) {
+        isa::Memory mem = workloads::initialMemory(kernel());
+        auto r = ir::interpret(fn, mem);
+        benchmark::DoNotOptimize(r.retValue);
+    }
+}
+BENCHMARK(BM_GoldenInterp);
+
+void
+BM_FunctionalExec(benchmark::State &state)
+{
+    for (auto _ : state) {
+        isa::ArchState arch;
+        arch.mem = workloads::initialMemory(kernel());
+        auto out = isa::runProgram(compiled().program, arch);
+        benchmark::DoNotOptimize(out.blocksExecuted);
+    }
+}
+BENCHMARK(BM_FunctionalExec);
+
+void
+BM_HyperblockEval(benchmark::State &state)
+{
+    for (auto _ : state) {
+        isa::Memory mem = workloads::initialMemory(kernel());
+        auto r = core::runHyperFunction(compiled().hyperIr, mem);
+        benchmark::DoNotOptimize(r.fired);
+    }
+}
+BENCHMARK(BM_HyperblockEval);
+
+void
+BM_CycleSim(benchmark::State &state)
+{
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        isa::ArchState arch;
+        arch.mem = workloads::initialMemory(kernel());
+        auto out = sim::simulate(compiled().program, arch);
+        cycles += out.cycles;
+        benchmark::DoNotOptimize(out.cycles);
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleSim);
+
+void
+BM_CompilePipeline(benchmark::State &state)
+{
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = kernel().unrollFactor;
+    for (auto _ : state) {
+        auto res = compiler::compileSource(kernel().source, opts);
+        benchmark::DoNotOptimize(res.program.blocks.size());
+    }
+}
+BENCHMARK(BM_CompilePipeline);
+
+void
+BM_Scheduler(benchmark::State &state)
+{
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.schedule = false;
+    auto res = compiler::compileSource(kernel().source, opts);
+    compiler::GridShape grid;
+    for (auto _ : state) {
+        isa::TProgram copy = res.program;
+        compiler::scheduleProgram(copy, grid);
+        benchmark::DoNotOptimize(copy.blocks.front().placement.size());
+    }
+}
+BENCHMARK(BM_Scheduler);
+
+} // namespace

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the dfp benchmark harnesses: compile a workload
+ * under a named configuration, run it on the cycle simulator, verify
+ * the result against the golden model, and format result tables.
+ */
+
+#ifndef DFP_BENCH_BENCH_UTIL_H
+#define DFP_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp::bench
+{
+
+/** One simulated run's interesting numbers. */
+struct RunNumbers
+{
+    uint64_t cycles = 0;
+    uint64_t blocks = 0;
+    uint64_t insts = 0;
+    uint64_t movs = 0;
+    uint64_t mispredicts = 0;
+    uint64_t flushed = 0;
+    uint64_t staticInsts = 0;
+    uint64_t staticBlocks = 0;
+};
+
+/** Compile @p w under @p config (with its unroll hint) and simulate. */
+inline RunNumbers
+runWorkload(const workloads::Workload &w, const std::string &config,
+            const sim::SimConfig &simCfg = sim::SimConfig(),
+            compiler::CompileOptions *tweak = nullptr)
+{
+    compiler::CompileOptions opts =
+        tweak ? *tweak : compiler::configNamed(config);
+    if (!tweak)
+        opts.unroll.factor = w.unrollFactor;
+    compiler::CompileResult res = compiler::compileSource(w.source, opts);
+
+    workloads::Golden golden = workloads::runGolden(w);
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(w);
+    sim::SimResult out = sim::simulate(res.program, state, simCfg);
+    if (!out.halted) {
+        dfp_fatal("bench run failed: ", w.name, "/", config, ": ",
+                  out.error);
+    }
+    if (state.regs[compiler::kRetArchReg] != golden.retValue ||
+        state.mem.checksum() != golden.memChecksum) {
+        dfp_fatal("bench run diverged from golden model: ", w.name, "/",
+                  config);
+    }
+    RunNumbers n;
+    n.cycles = out.cycles;
+    n.blocks = out.blocksCommitted;
+    n.insts = out.instsCommitted;
+    n.movs = out.movsCommitted;
+    n.mispredicts = out.mispredicts;
+    n.flushed = out.blocksFlushed;
+    n.staticInsts = res.stats.get("codegen.insts");
+    n.staticBlocks = res.stats.get("codegen.blocks");
+    return n;
+}
+
+/** Geometric mean helper. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    double acc = 0;
+    for (double x : xs)
+        acc += std::log(x);
+    return xs.empty() ? 1.0 : std::exp(acc / xs.size());
+}
+
+} // namespace dfp::bench
+
+#endif // DFP_BENCH_BENCH_UTIL_H

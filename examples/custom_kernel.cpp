@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Template for bringing your own kernel to dfp: parse it, validate it,
+ * cross-check the golden interpreter against every compiler
+ * configuration on the cycle simulator, and print a one-line summary
+ * per configuration — the same harness the test suite uses, in ~100
+ * lines you can copy.
+ */
+
+#include <cstdio>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "isa/validate.h"
+#include "sim/machine.h"
+
+using namespace dfp;
+
+namespace
+{
+
+/** Replace this with your kernel: a histogram with saturating bins. */
+const char *kKernel = R"(func histo {
+block entry:
+    i = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 8192, off
+    v = ld pa
+    bin = and v, 15
+    boff = shl bin, 3
+    pb = add 16384, boff
+    count = ld pb
+    cfull = tge count, 255
+    br cfull, saturated, bump
+block bump:
+    ncount = add count, 1
+    st pb, ncount
+    jmp next
+block saturated:
+    jmp next
+block next:
+    i = add i, 1
+    c = tlt i, 512
+    br c, loop, done
+block done:
+    total = movi 0
+    b = movi 0
+    jmp sum
+block sum:
+    so = shl b, 3
+    ps = add 16384, so
+    cv = ld ps
+    total = add total, cv
+    b = add b, 1
+    cb = tlt b, 16
+    br cb, sum, fin
+block fin:
+    ret total
+})";
+
+void
+initMemory(isa::Memory &mem)
+{
+    for (int i = 0; i < 512; ++i)
+        mem.store(8192 + 8 * i, (i * 2654435761u) >> 7);
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Parse and sanity-check the kernel.
+    ir::Function fn = ir::parseFunction(kKernel);
+    std::printf("parsed '%s': %zu blocks\n", fn.name.c_str(),
+                fn.blocks.size());
+
+    // 2. Golden reference.
+    isa::Memory goldenMem;
+    initMemory(goldenMem);
+    ir::InterpResult golden = ir::interpret(fn, goldenMem);
+    if (!golden.ok) {
+        std::printf("golden run failed: %s\n", golden.error.c_str());
+        return 1;
+    }
+    std::printf("golden result: %llu (%llu dynamic instructions)\n\n",
+                (unsigned long long)golden.retValue,
+                (unsigned long long)golden.dynInstrs);
+
+    // 3. Every configuration, verified against the golden model.
+    std::printf("%-7s %8s %8s %10s %8s %9s\n", "config", "blocks",
+                "insts", "cycles", "IPC", "verified");
+    for (const char *cfg :
+         {"bb", "hyper", "intra", "inter", "both", "merge"}) {
+        compiler::CompileResult res =
+            compiler::compileSource(kKernel, compiler::configNamed(cfg));
+        auto validation = isa::validateProgram(res.program);
+        if (!validation.ok()) {
+            std::printf("%-7s INVALID: %s\n", cfg,
+                        validation.joined().c_str());
+            return 1;
+        }
+        isa::ArchState state;
+        initMemory(state.mem);
+        sim::SimResult out = sim::simulate(res.program, state);
+        bool verified =
+            out.halted &&
+            state.regs[compiler::kRetArchReg] == golden.retValue &&
+            state.mem.checksum() == goldenMem.checksum();
+        std::printf("%-7s %8llu %8llu %10llu %8.2f %9s\n", cfg,
+                    (unsigned long long)res.stats.get("codegen.blocks"),
+                    (unsigned long long)res.stats.get("codegen.insts"),
+                    (unsigned long long)out.cycles,
+                    double(out.instsCommitted) /
+                        double(std::max<uint64_t>(1, out.cycles)),
+                    verified ? "yes" : "NO");
+        if (!verified) {
+            std::printf("   error: %s\n", out.error.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The paper's Figure 6 story, end to end: the genalg roulette-wheel
+ * selection loop with the short-circuit condition
+ * `rx > 0.0 && x < pop-1`, compiled at increasing unroll factors with
+ * and without disjoint instruction merging, with the loop's exit
+ * predicates shown in paper notation.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "compiler/pipeline.h"
+#include "ir/printer.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+using namespace dfp;
+
+int
+main()
+{
+    const workloads::Workload &w = workloads::genalg();
+    workloads::Golden golden = workloads::runGolden(w);
+    std::printf("genalg: %llu dynamic IR instructions, golden result "
+                "%llu\n\n",
+                (unsigned long long)golden.dynInstrs,
+                (unsigned long long)golden.retValue);
+
+    // Show the unrolled, merged hyperblock once (unroll 4) — the
+    // structure of Figure 6(b)/(d): a predicate-AND chain of tests and
+    // merged exit branches.
+    {
+        compiler::CompileOptions opts = compiler::configNamed("merge");
+        opts.unroll.factor = 4;
+        compiler::CompileResult res =
+            compiler::compileSource(w.source, opts);
+        std::printf("--- unrolled x4 + merged, hyperblock IR ---\n");
+        for (const ir::BBlock &hb : res.hyperIr.blocks) {
+            if (hb.name.find("loop") == std::string::npos)
+                continue;
+            std::printf("block %s:\n", hb.name.c_str());
+            for (const ir::Instr &inst : hb.instrs)
+                std::printf("    %s\n", ir::toString(inst).c_str());
+            break;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-8s %-7s %10s %10s\n", "unroll", "merge", "cycles",
+                "speedup");
+    double first = 0;
+    for (int unroll : {1, 4, 8}) {
+        for (bool merge : {false, true}) {
+            compiler::CompileOptions opts =
+                compiler::configNamed(merge ? "merge" : "both");
+            opts.unroll.factor = unroll;
+            opts.unroll.maxBodyInstrs = 32;
+            compiler::CompileResult res =
+                compiler::compileSource(w.source, opts);
+            isa::ArchState state;
+            state.mem = workloads::initialMemory(w);
+            sim::SimResult out = sim::simulate(res.program, state);
+            if (!out.halted) {
+                std::printf("FAILED: %s\n", out.error.c_str());
+                return 1;
+            }
+            if (first == 0)
+                first = double(out.cycles);
+            std::printf("%-8d %-7s %10llu %9.2fx\n", unroll,
+                        merge ? "yes" : "no",
+                        (unsigned long long)out.cycles,
+                        first / double(out.cycles));
+        }
+    }
+    std::printf("\npaper: hand-unrolling + merging the exit branches "
+                "and live-out guards beat the best compiled code by "
+                ">2.25x (§5.3, Figure 6)\n");
+    return 0;
+}

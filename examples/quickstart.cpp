@@ -1,0 +1,102 @@
+/**
+ * @file
+ * dfp quickstart: write a kernel in the textual IR, compile it with
+ * dataflow predication, inspect the generated block, and run it on
+ * both the functional executor and the cycle-level TRIPS-like machine.
+ *
+ * Build & run:   ./examples/quickstart
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "ir/printer.h"
+#include "isa/exec.h"
+#include "sim/machine.h"
+
+int
+main()
+{
+    using namespace dfp;
+
+    // 1. A kernel in the dfp IR: sum of clamped values. The if/else in
+    //    the loop body is exactly the kind of short branch dataflow
+    //    predication absorbs into a hyperblock.
+    const char *source = R"(func clampsum {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    p = add 4096, off
+    v = ld p
+    c = tgt v, 100
+    br c, clamp, keep
+block clamp:
+    x = movi 100
+    jmp next
+block keep:
+    x = mov v
+    jmp next
+block next:
+    acc = add acc, x
+    i = add i, 1
+    lc = tlt i, 64
+    br lc, loop, done
+block done:
+    ret acc
+})";
+
+    // 2. Compile with the paper's "both" configuration: hyperblocks +
+    //    predicate fanout reduction (§5.1) + path-sensitive predicate
+    //    removal (§5.2).
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = 2; // pack two iterations per block
+    compiler::CompileResult res = compiler::compileSource(source, opts);
+
+    std::printf("compiled into %zu TRIPS-style blocks\n",
+                res.program.blocks.size());
+    std::printf("\n--- hyperblock-form IR (paper notation) ---\n");
+    ir::print(std::cout, res.hyperIr);
+
+    // 3. Run on the functional golden executor.
+    isa::ArchState state;
+    for (int i = 0; i < 64; ++i)
+        state.mem.store(4096 + 8 * i, (i * 37) % 230);
+    isa::RunOutcome fout = isa::runProgram(res.program, state);
+    std::printf("\nfunctional executor: halted=%d result(g%d)=%llu "
+                "blocks=%llu\n",
+                fout.halted, compiler::kRetArchReg,
+                (unsigned long long)state.regs[compiler::kRetArchReg],
+                (unsigned long long)fout.blocksExecuted);
+
+    // 4. Run on the cycle-level machine and show the headline stats.
+    isa::ArchState simState;
+    for (int i = 0; i < 64; ++i)
+        simState.mem.store(4096 + 8 * i, (i * 37) % 230);
+    sim::SimResult sres = sim::simulate(res.program, simState);
+    std::printf("cycle simulator:     halted=%d result=%llu cycles=%llu "
+                "IPC=%.2f mispredicts=%llu\n",
+                sres.halted,
+                (unsigned long long)simState.regs[compiler::kRetArchReg],
+                (unsigned long long)sres.cycles,
+                double(sres.instsCommitted) / double(sres.cycles),
+                (unsigned long long)sres.mispredicts);
+
+    // 5. Compare against the basic-block configuration — the win is the
+    //    point of the paper.
+    compiler::CompileResult bb =
+        compiler::compileSource(source, compiler::configNamed("bb"));
+    isa::ArchState bbState;
+    for (int i = 0; i < 64; ++i)
+        bbState.mem.store(4096 + 8 * i, (i * 37) % 230);
+    sim::SimResult bres = sim::simulate(bb.program, bbState);
+    std::printf("\nbasic blocks take %llu cycles -> hyperblocks + "
+                "dataflow predication are %.2fx faster here\n",
+                (unsigned long long)bres.cycles,
+                double(bres.cycles) / double(sres.cycles));
+    return 0;
+}

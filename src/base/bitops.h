@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder/decoder and the
+ * cache/predictor index functions.
+ */
+
+#ifndef DFP_BASE_BITOPS_H
+#define DFP_BASE_BITOPS_H
+
+#include <cstdint>
+
+#include "base/logging.h"
+
+namespace dfp
+{
+
+/** Extract bits [lo, lo+width) of a word. */
+constexpr uint32_t
+bits(uint32_t word, unsigned lo, unsigned width)
+{
+    return (word >> lo) & ((width >= 32) ? ~0u : ((1u << width) - 1));
+}
+
+/** Insert the low @p width bits of @p value at position @p lo of @p word. */
+constexpr uint32_t
+insertBits(uint32_t word, unsigned lo, unsigned width, uint32_t value)
+{
+    uint32_t mask = ((width >= 32) ? ~0u : ((1u << width) - 1)) << lo;
+    return (word & ~mask) | ((value << lo) & mask);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+sext(uint64_t value, unsigned width)
+{
+    uint64_t m = 1ull << (width - 1);
+    uint64_t v = value & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+/** True if @p value fits in a signed field of @p width bits. */
+constexpr bool
+fitsSigned(int64_t value, unsigned width)
+{
+    int64_t lo = -(1ll << (width - 1));
+    int64_t hi = (1ll << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Integer log2 for power-of-two sizes (panics otherwise). */
+inline unsigned
+floorLog2(uint64_t value)
+{
+    dfp_assert(value > 0, "floorLog2 of 0");
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** True if @p value is a power of two. */
+constexpr bool
+isPow2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace dfp
+
+#endif // DFP_BASE_BITOPS_H

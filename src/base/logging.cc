@@ -1,0 +1,31 @@
+#include "base/logging.h"
+
+#include <cstdio>
+
+namespace dfp
+{
+
+bool quietWarnings = false;
+
+namespace detail
+{
+
+std::string
+formatMessage(const char *level, const char *file, int line,
+              const std::string &msg)
+{
+    std::ostringstream os;
+    os << level << ": " << file << ":" << line << ": " << msg;
+    return os.str();
+}
+
+void
+emitLog(const char *level, const std::string &msg)
+{
+    if (quietWarnings)
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+} // namespace dfp

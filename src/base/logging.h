@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error reporting and logging for dfp, following the gem5 convention:
+ * panic() for internal invariant violations (a dfp bug), fatal() for
+ * conditions caused by user input (bad IR, malformed configuration),
+ * warn()/inform() for status messages.
+ *
+ * Unlike gem5, panic() and fatal() throw typed exceptions instead of
+ * aborting the process, so the test suite can assert on them; the
+ * top-level drivers catch them and exit with an error code.
+ */
+
+#ifndef DFP_BASE_LOGGING_H
+#define DFP_BASE_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfp
+{
+
+/** Thrown by panic(): an internal dfp invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the user's input or configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Builds a "file:line: message" string for panic/fatal reports. */
+std::string formatMessage(const char *level, const char *file, int line,
+                          const std::string &msg);
+
+/** Emits a warning/info line to stderr (rate limiting not needed here). */
+void emitLog(const char *level, const std::string &msg);
+
+/** Variadic stream-style formatting: concatenates all args via ostream. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    static_cast<void>((os << ... << std::forward<Args>(args)));
+    return os.str();
+}
+
+} // namespace detail
+
+/** True while a unit test wants warnings suppressed. */
+extern bool quietWarnings;
+
+} // namespace dfp
+
+/** Report an internal bug and unwind with PanicError. */
+#define dfp_panic(...)                                                       \
+    throw ::dfp::PanicError(::dfp::detail::formatMessage(                    \
+        "panic", __FILE__, __LINE__, ::dfp::detail::cat(__VA_ARGS__)))
+
+/** Report a user-caused error and unwind with FatalError. */
+#define dfp_fatal(...)                                                       \
+    throw ::dfp::FatalError(::dfp::detail::formatMessage(                    \
+        "fatal", __FILE__, __LINE__, ::dfp::detail::cat(__VA_ARGS__)))
+
+/** Panic unless a condition holds. */
+#define dfp_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            dfp_panic("assertion '" #cond "' failed. ",                      \
+                      ::dfp::detail::cat(__VA_ARGS__));                      \
+        }                                                                    \
+    } while (0)
+
+/** Non-fatal diagnostic for suspicious-but-survivable conditions. */
+#define dfp_warn(...)                                                        \
+    ::dfp::detail::emitLog("warn", ::dfp::detail::cat(__VA_ARGS__))
+
+/** Status message with no connotation of incorrect behaviour. */
+#define dfp_inform(...)                                                      \
+    ::dfp::detail::emitLog("info", ::dfp::detail::cat(__VA_ARGS__))
+
+#endif // DFP_BASE_LOGGING_H

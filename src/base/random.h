@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic xorshift64* RNG used by workload generators so that every
+ * run of the suite sees identical data (and therefore identical dynamic
+ * instruction streams), independent of the platform's std::mt19937.
+ */
+
+#ifndef DFP_BASE_RANDOM_H
+#define DFP_BASE_RANDOM_H
+
+#include <cstdint>
+
+namespace dfp
+{
+
+/** xorshift64* pseudo-random generator with a fixed default seed. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t nextBelow(uint64_t bound) { return next() % bound; }
+
+    /** Uniform signed value in [lo, hi]. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace dfp
+
+#endif // DFP_BASE_RANDOM_H

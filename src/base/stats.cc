@@ -1,0 +1,13 @@
+#include "base/stats.h"
+
+namespace dfp
+{
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : counters_)
+        os << prefix << name << " " << value << "\n";
+}
+
+} // namespace dfp

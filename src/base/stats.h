@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A tiny named-statistics registry, in the spirit of the gem5 stats
+ * package: simulator and compiler components register scalar counters
+ * under dotted names; harnesses dump or query them after a run.
+ */
+
+#ifndef DFP_BASE_STATS_H
+#define DFP_BASE_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace dfp
+{
+
+/**
+ * An ordered collection of named scalar statistics.
+ *
+ * Values are 64-bit counters; ratio-style derived values are computed by
+ * the consumer. Lookup of a missing name returns 0 so harness code can be
+ * written without existence checks.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter @p name (creating it at zero). */
+    void
+    inc(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Overwrite the counter @p name. */
+    void
+    set(const std::string &name, uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Maximum-update for high-water-mark style stats. */
+    void
+    maxOf(const std::string &name, uint64_t value)
+    {
+        uint64_t &slot = counters_[name];
+        if (value > slot)
+            slot = value;
+    }
+
+    /** Read a counter; missing names read as 0. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Remove all counters. */
+    void clear() { counters_.clear(); }
+
+    /** Merge another set into this one by addition. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** Dump "name value" lines, sorted by name. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Access all counters (sorted by name). */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace dfp
+
+#endif // DFP_BASE_STATS_H

@@ -1,0 +1,480 @@
+#include "compiler/codegen.h"
+
+#include <map>
+#include <vector>
+
+#include "base/bitops.h"
+#include "ir/analysis.h"
+
+namespace dfp::compiler
+{
+
+namespace
+{
+
+using isa::Op;
+using isa::Slot;
+using isa::Target;
+
+/** Generates one TBlock from one hyperblock. */
+class BlockGen
+{
+  public:
+    BlockGen(const ir::BBlock &hb, const CodegenOptions &opts,
+             StatSet *stats)
+        : hb_(hb), opts_(opts), stats_(stats)
+    {}
+
+    isa::TBlock run(std::vector<std::string> &broLabels);
+
+  private:
+    void bump(const char *name, uint64_t d = 1)
+    {
+        if (stats_)
+            stats_->inc(name, d);
+    }
+
+    void legalize();
+    ir::Opnd materialize(int64_t value);
+    void assignSlots();
+    void wire();
+    void fanout();
+
+    /** Append a legalized instruction, keeping memoized constants. */
+    void emit(ir::Instr inst) { legal_.push_back(std::move(inst)); }
+
+    const ir::BBlock &hb_;
+    const CodegenOptions &opts_;
+    StatSet *stats_;
+
+    std::vector<ir::Instr> legal_;      //!< legalized IR instructions
+    std::map<int64_t, int> constMemo_;  //!< value -> temp
+    int nextTemp_ = 0;                  //!< fresh temps for synthesis
+
+    isa::TBlock block_;
+    std::vector<int> tIdx_;             //!< legal_ index -> TInst index
+    std::map<int, std::vector<int>> defsOf_; //!< temp -> legal_ indices
+    std::map<int, int> writeSlotOf_;    //!< arch reg -> write slot
+    std::map<int, int> storeIdxOfToken_; //!< store token -> TInst index
+    std::vector<std::vector<Target>> targets_; //!< per TInst
+    std::vector<std::string> broLabelOf_;      //!< per TInst ("" if not)
+};
+
+ir::Opnd
+BlockGen::materialize(int64_t value)
+{
+    auto it = constMemo_.find(value);
+    if (it != constMemo_.end())
+        return ir::Opnd::temp(it->second);
+
+    if (fitsSigned(value, 14)) {
+        int t = nextTemp_++;
+        ir::Instr movi;
+        movi.op = Op::Movi;
+        movi.dst = ir::Opnd::temp(t);
+        movi.srcs.push_back(ir::Opnd::imm(value));
+        emit(std::move(movi));
+        constMemo_[value] = t;
+        bump("codegen.const_synth");
+        return ir::Opnd::temp(t);
+    }
+    // Wide constant: synthesize the high part recursively, then shift
+    // in one low byte: (hi << 8) | (value & 0xff). Since the shifted
+    // accumulator has zero low bits, the ori reassembles exactly; a
+    // 64-bit constant costs at most 1 + 2*7 instructions, and typical
+    // address constants (e.g. 0x10000) cost 2-3.
+    int64_t hi = value >> 8; // arithmetic shift keeps the sign
+    int64_t lowByte = value & 0xff;
+    ir::Opnd acc = materialize(hi);
+    int shifted = nextTemp_++;
+    ir::Instr shl;
+    shl.op = Op::Shli;
+    shl.dst = ir::Opnd::temp(shifted);
+    shl.srcs = {acc, ir::Opnd::imm(8)};
+    emit(std::move(shl));
+    bump("codegen.const_synth");
+    int result = shifted;
+    if (lowByte != 0) {
+        result = nextTemp_++;
+        ir::Instr ori;
+        ori.op = Op::Ori;
+        ori.dst = ir::Opnd::temp(result);
+        ori.srcs = {ir::Opnd::temp(shifted), ir::Opnd::imm(lowByte)};
+        emit(std::move(ori));
+        bump("codegen.const_synth");
+    }
+    constMemo_[value] = result;
+    return ir::Opnd::temp(result);
+}
+
+void
+BlockGen::legalize()
+{
+    // Fresh temps must not collide with existing ones.
+    for (const ir::Instr &inst : hb_.instrs) {
+        if (inst.dst.isTemp())
+            nextTemp_ = std::max(nextTemp_, inst.dst.id + 1);
+        for (const ir::Opnd &src : inst.srcs) {
+            if (src.isTemp())
+                nextTemp_ = std::max(nextTemp_, src.id + 1);
+        }
+        for (const ir::Guard &g : inst.guards)
+            nextTemp_ = std::max(nextTemp_, g.pred + 1);
+    }
+
+    for (const ir::Instr &orig : hb_.instrs) {
+        ir::Instr inst = orig;
+        switch (inst.op) {
+          case Op::Read:
+          case Op::Bro:
+          case Op::Null:
+            emit(std::move(inst));
+            continue;
+          case Op::Write:
+            if (inst.srcs[0].isImm())
+                inst.srcs[0] = materialize(inst.srcs[0].value);
+            emit(std::move(inst));
+            continue;
+          case Op::Mov:
+            if (inst.srcs[0].isImm()) {
+                inst.op = Op::Movi;
+            }
+            [[fallthrough]];
+          case Op::Movi:
+            if (inst.op == Op::Movi &&
+                !fitsSigned(inst.srcs[0].value, 14)) {
+                ir::Opnd c = materialize(inst.srcs[0].value);
+                inst.op = Op::Mov;
+                inst.srcs[0] = c;
+            }
+            emit(std::move(inst));
+            continue;
+          case Op::Ld:
+            if (inst.srcs[0].isImm())
+                inst.srcs[0] = materialize(inst.srcs[0].value);
+            if (!fitsSigned(inst.srcs[1].value, isa::kImmBits)) {
+                ir::Opnd off = materialize(inst.srcs[1].value);
+                int t = nextTemp_++;
+                ir::Instr add;
+                add.op = Op::Add;
+                add.dst = ir::Opnd::temp(t);
+                add.srcs = {inst.srcs[0], off};
+                add.guards = inst.guards;
+                emit(std::move(add));
+                inst.srcs[0] = ir::Opnd::temp(t);
+                inst.srcs[1] = ir::Opnd::imm(0);
+            }
+            emit(std::move(inst));
+            continue;
+          case Op::St:
+            if (inst.srcs[0].isImm())
+                inst.srcs[0] = materialize(inst.srcs[0].value);
+            if (inst.srcs[1].isImm())
+                inst.srcs[1] = materialize(inst.srcs[1].value);
+            if (!fitsSigned(inst.srcs[2].value, isa::kImmBits)) {
+                ir::Opnd off = materialize(inst.srcs[2].value);
+                int t = nextTemp_++;
+                ir::Instr add;
+                add.op = Op::Add;
+                add.dst = ir::Opnd::temp(t);
+                add.srcs = {inst.srcs[0], off};
+                add.guards = inst.guards;
+                emit(std::move(add));
+                inst.srcs[0] = ir::Opnd::temp(t);
+                inst.srcs[2] = ir::Opnd::imm(0);
+            }
+            emit(std::move(inst));
+            continue;
+          default:
+            break;
+        }
+
+        // Generic ALU/test: fold one immediate into the encoding when
+        // possible, otherwise materialize.
+        const auto &info = isa::opInfo(inst.op);
+        if (info.numSrcs == 2) {
+            if (inst.srcs[0].isImm() && !inst.srcs[1].isImm() &&
+                isa::isCommutative(inst.op)) {
+                std::swap(inst.srcs[0], inst.srcs[1]);
+            }
+            if (inst.srcs[1].isImm()) {
+                Op immOp = isa::immediateForm(inst.op);
+                if (immOp != Op::NumOps &&
+                    fitsSigned(inst.srcs[1].value, isa::kImmBits)) {
+                    inst.op = immOp;
+                    int64_t imm = inst.srcs[1].value;
+                    inst.srcs.pop_back();
+                    inst.srcs.push_back(ir::Opnd::imm(imm));
+                    // Immediate kept as srcs[1] for uniform handling.
+                } else {
+                    inst.srcs[1] = materialize(inst.srcs[1].value);
+                }
+            }
+            if (inst.srcs[0].isImm())
+                inst.srcs[0] = materialize(inst.srcs[0].value);
+        }
+        emit(std::move(inst));
+    }
+}
+
+void
+BlockGen::assignSlots()
+{
+    int lsid = 0;
+    for (size_t i = 0; i < legal_.size(); ++i) {
+        ir::Instr &inst = legal_[i];
+        switch (inst.op) {
+          case Op::Read: {
+            if (block_.reads.size() >= isa::kMaxReads)
+                dfp_fatal("block too large: '", hb_.name,
+                          "' exceeds read queue");
+            isa::ReadSlot slot;
+            slot.reg = static_cast<uint8_t>(inst.reg);
+            int rslot = static_cast<int>(block_.reads.size());
+            block_.reads.push_back(slot);
+            tIdx_.push_back(-1 - rslot);
+            break;
+          }
+          case Op::Write: {
+            if (!writeSlotOf_.count(inst.reg)) {
+                if (block_.writes.size() >= isa::kMaxWrites)
+                    dfp_fatal("block too large: '", hb_.name,
+                              "' exceeds write queue");
+                writeSlotOf_[inst.reg] =
+                    static_cast<int>(block_.writes.size());
+                block_.writes.push_back(
+                    {static_cast<uint8_t>(inst.reg)});
+            }
+            tIdx_.push_back(-1000000); // no TInst
+            break;
+          }
+          default: {
+            isa::TInst tinst;
+            tinst.op = inst.op;
+            if (!inst.guards.empty()) {
+                bool onTrue = inst.guards.front().onTrue;
+                for (const ir::Guard &g : inst.guards) {
+                    dfp_assert(g.onTrue == onTrue,
+                               "mixed guard polarity reaches codegen");
+                }
+                tinst.pr = onTrue ? isa::PredMode::OnTrue
+                                  : isa::PredMode::OnFalse;
+            }
+            if (inst.op == Op::Ld || inst.op == Op::St) {
+                if (lsid >= isa::kMaxLsids)
+                    dfp_fatal("block too large: '", hb_.name,
+                              "' exceeds LSID space");
+                if (inst.op == Op::St) {
+                    if (inst.lsid >= 0) {
+                        storeIdxOfToken_[inst.lsid] =
+                            static_cast<int>(block_.insts.size());
+                    }
+                    block_.storeMask |= 1u << lsid;
+                    tinst.imm = static_cast<int32_t>(
+                        inst.srcs[2].value);
+                } else {
+                    tinst.imm = static_cast<int32_t>(
+                        inst.srcs[1].value);
+                }
+                tinst.lsid = static_cast<uint8_t>(lsid++);
+            } else if (inst.op == Op::Movi) {
+                tinst.imm = static_cast<int32_t>(inst.srcs[0].value);
+            } else if (isa::opInfo(inst.op).hasImm &&
+                       inst.op != Op::Bro) {
+                tinst.imm = static_cast<int32_t>(inst.srcs[1].value);
+            }
+            tIdx_.push_back(static_cast<int>(block_.insts.size()));
+            broLabelOf_.push_back(
+                inst.op == Op::Bro ? inst.broLabel : "");
+            block_.insts.push_back(std::move(tinst));
+            break;
+          }
+        }
+        if (inst.dst.isTemp())
+            defsOf_[inst.dst.id].push_back(static_cast<int>(i));
+    }
+    targets_.assign(block_.insts.size(), {});
+}
+
+void
+BlockGen::wire()
+{
+    // Read-slot targets accumulate separately, then fan out like any
+    // other producer via synthetic movs when needed.
+    std::vector<std::vector<Target>> readTargets(block_.reads.size());
+
+    auto addProducerTarget = [&](int temp, Target target) {
+        auto it = defsOf_.find(temp);
+        dfp_assert(it != defsOf_.end(), "block '", hb_.name,
+                   "': no producer for t", temp);
+        for (int defIdx : it->second) {
+            int t = tIdx_[defIdx];
+            if (t <= -1 && t > -1000000) {
+                readTargets[-t - 1].push_back(target);
+            } else {
+                dfp_assert(t >= 0, "write cannot produce a temp");
+                targets_[t].push_back(target);
+            }
+        }
+    };
+
+    for (size_t i = 0; i < legal_.size(); ++i) {
+        const ir::Instr &inst = legal_[i];
+        if (inst.op == Op::Read)
+            continue;
+        if (inst.op == Op::Write) {
+            int slot = writeSlotOf_.at(inst.reg);
+            Target wt{Slot::WriteQ, static_cast<uint8_t>(slot)};
+            if (inst.guards.empty()) {
+                addProducerTarget(inst.srcs[0].id, wt);
+            } else {
+                // Guarded write: a predicated mov gates the token.
+                isa::TInst mov;
+                mov.op = Op::Mov;
+                mov.pr = inst.guards.front().onTrue
+                             ? isa::PredMode::OnTrue
+                             : isa::PredMode::OnFalse;
+                int movIdx = static_cast<int>(block_.insts.size());
+                block_.insts.push_back(mov);
+                broLabelOf_.push_back("");
+                targets_.push_back({wt});
+                bump("codegen.write_movs");
+                addProducerTarget(
+                    inst.srcs[0].id,
+                    {Slot::Left, static_cast<uint8_t>(movIdx)});
+                for (const ir::Guard &g : inst.guards) {
+                    addProducerTarget(
+                        g.pred,
+                        {Slot::Pred, static_cast<uint8_t>(movIdx)});
+                }
+            }
+            continue;
+        }
+
+        int t = tIdx_[i];
+        dfp_assert(t >= 0, "unexpected slot kind");
+        uint8_t idx = static_cast<uint8_t>(t);
+
+        // Store-nullification: a Null tagged with a store token targets
+        // the matching store's left operand.
+        if (inst.op == Op::Null && inst.lsid >= 0 &&
+            !inst.dst.isTemp()) {
+            auto sit = storeIdxOfToken_.find(inst.lsid);
+            dfp_assert(sit != storeIdxOfToken_.end(),
+                       "store token ", inst.lsid, " without store in '",
+                       hb_.name, "'");
+            targets_[t].push_back(
+                {Slot::Left, static_cast<uint8_t>(sit->second)});
+        }
+
+        // Data operands.
+        const auto &info = isa::opInfo(inst.op);
+        int dataSrcs = info.numSrcs;
+        for (int k = 0; k < dataSrcs; ++k) {
+            const ir::Opnd &src = inst.srcs[k];
+            if (src.isImm()) {
+                // Encoded immediate (srcs[1] of an imm-form op).
+                dfp_assert(k == 1 && info.hasImm,
+                           "unmaterialized immediate operand");
+                continue;
+            }
+            addProducerTarget(src.id,
+                              {k == 0 ? Slot::Left : Slot::Right, idx});
+        }
+        // Predicate operands.
+        for (const ir::Guard &g : inst.guards)
+            addProducerTarget(g.pred, {Slot::Pred, idx});
+    }
+
+    // Install targets with fanout expansion.
+    int movCap = opts_.multicast ? 4 : 2;
+    auto expand = [&](std::vector<Target> &list, int cap) {
+        while (static_cast<int>(list.size()) > cap) {
+            isa::TInst mov;
+            mov.op = opts_.multicast ? Op::Mov4 : Op::Mov;
+            int movIdx = static_cast<int>(block_.insts.size());
+            int take = std::min<int>(movCap, list.size());
+            mov.targets.assign(list.end() - take, list.end());
+            list.resize(list.size() - take);
+            list.push_back({Slot::Left, static_cast<uint8_t>(movIdx)});
+            block_.insts.push_back(std::move(mov));
+            broLabelOf_.push_back("");
+            targets_.push_back({}); // its targets are already installed
+            bump("codegen.fanout_movs");
+        }
+    };
+
+    for (size_t r = 0; r < readTargets.size(); ++r) {
+        // Work on a copy: expand() appends fanout movs to block_.insts
+        // and targets_, which would invalidate references into them.
+        std::vector<Target> list = std::move(readTargets[r]);
+        expand(list, 2);
+        block_.reads[r].targets = std::move(list);
+    }
+    for (size_t t = 0; t < block_.insts.size(); ++t) {
+        if (!targets_[t].empty()) {
+            std::vector<Target> list = std::move(targets_[t]);
+            expand(list, block_.insts[t].maxTargets());
+            block_.insts[t].targets.insert(block_.insts[t].targets.end(),
+                                           list.begin(), list.end());
+        }
+    }
+}
+
+isa::TBlock
+BlockGen::run(std::vector<std::string> &broLabels)
+{
+    block_.label = hb_.name;
+    legalize();
+    assignSlots();
+    wire();
+    if (block_.insts.size() > isa::kMaxInsts) {
+        dfp_fatal("block too large: '", hb_.name, "' has ",
+                  block_.insts.size(), " instructions after codegen");
+    }
+    bump("codegen.blocks");
+    bump("codegen.insts", block_.insts.size());
+    bump("codegen.reads", block_.reads.size());
+    bump("codegen.writes", block_.writes.size());
+    broLabels = std::move(broLabelOf_);
+    return block_;
+}
+
+} // namespace
+
+isa::TProgram
+generateProgram(const ir::Function &fn, const CodegenOptions &opts,
+                StatSet *stats)
+{
+    isa::TProgram program;
+    std::vector<std::vector<std::string>> broLabels(fn.blocks.size());
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        const ir::BBlock &hb = fn.blocks[b];
+        dfp_assert(hb.term == ir::Term::Hyper,
+                   "codegen requires hyperblock form");
+        program.blocks.push_back(
+            BlockGen(hb, opts, stats).run(broLabels[b]));
+        program.labelIndex[hb.name] = static_cast<int>(b);
+    }
+    // Link branch targets.
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        auto &insts = program.blocks[b].insts;
+        for (size_t i = 0; i < insts.size(); ++i) {
+            if (insts[i].op != Op::Bro)
+                continue;
+            const std::string &label =
+                i < broLabels[b].size() ? broLabels[b][i] : "";
+            dfp_assert(!label.empty(), "bro without label");
+            if (label == "@halt") {
+                insts[i].imm = isa::kHaltTarget;
+            } else {
+                int t = program.indexOf(label);
+                dfp_assert(t >= 0, "bro to unknown label '", label, "'");
+                insts[i].imm = t;
+            }
+        }
+    }
+    return program;
+}
+
+} // namespace dfp::compiler

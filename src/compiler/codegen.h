@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Code generation: hyperblock-form IR to linked isa::TProgram.
+ *
+ * Responsibilities:
+ *  - operand legalization: select immediate opcode forms for 9-bit
+ *    immediates, synthesize wide constants from movi/shli/ori chains;
+ *  - LSID assignment in program order for loads and stores;
+ *  - dataflow wiring: every producing instruction's targets are filled
+ *    with (consumer, operand slot) pairs, guards become predicate-slot
+ *    targets, Write IR instructions become write-queue slots fed either
+ *    directly by their producer or by a predicated mov when guarded;
+ *  - store nullification: boundary-inserted Null instructions tagged
+ *    with a store token are wired at the matching store so every store
+ *    LSID resolves on every path (paper §4.2);
+ *  - software fanout trees (paper §3.6): producers whose consumer count
+ *    exceeds their target capacity feed mov (or, with the multicast
+ *    option, mov4) trees;
+ *  - block size/read/write limit checks, with FatalError("block too
+ *    large...") so the pipeline can retry with a smaller region budget.
+ */
+
+#ifndef DFP_COMPILER_CODEGEN_H
+#define DFP_COMPILER_CODEGEN_H
+
+#include "base/stats.h"
+#include "ir/ir.h"
+#include "isa/tblock.h"
+
+namespace dfp::compiler
+{
+
+/** Code generation knobs. */
+struct CodegenOptions
+{
+    bool multicast = false; //!< use mov4 in fanout trees (§7 future work)
+};
+
+/**
+ * Generate a linked program from a hyperblock-form, register-allocated
+ * function. @p stats (optional) receives static counters:
+ * codegen.insts, codegen.fanout_movs, codegen.blocks, ...
+ */
+isa::TProgram generateProgram(const ir::Function &fn,
+                              const CodegenOptions &opts,
+                              StatSet *stats = nullptr);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_CODEGEN_H

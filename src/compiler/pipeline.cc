@@ -1,0 +1,164 @@
+#include "compiler/pipeline.h"
+
+#include "compiler/regalloc.h"
+#include "compiler/scalar_opts.h"
+#include "core/merging.h"
+#include "core/null_insertion.h"
+#include "core/path_sensitive.h"
+#include "core/pfg.h"
+#include "core/pred_fanout.h"
+#include "core/ssa.h"
+#include "ir/parser.h"
+#include "isa/validate.h"
+
+namespace dfp::compiler
+{
+
+CompileOptions
+configNamed(const std::string &name)
+{
+    CompileOptions opts;
+    if (name == "bb") {
+        opts.hyperblocks = false;
+    } else if (name == "hyper") {
+        // defaults
+    } else if (name == "intra") {
+        opts.predFanoutReduction = true;
+    } else if (name == "inter") {
+        opts.pathSensitive = true;
+    } else if (name == "both") {
+        opts.predFanoutReduction = true;
+        opts.pathSensitive = true;
+    } else if (name == "merge") {
+        opts.predFanoutReduction = true;
+        opts.pathSensitive = true;
+        opts.merging = true;
+    } else {
+        dfp_fatal("unknown configuration '", name,
+                  "' (want bb|hyper|intra|inter|both|merge)");
+    }
+    return opts;
+}
+
+namespace
+{
+
+CompileResult
+compileOnce(const ir::Function &source, const CompileOptions &opts,
+            const core::RegionConfig &region)
+{
+    CompileResult res;
+    ir::Function fn = source;
+
+    // 1. Frontend cleanups that are safe pre-SSA.
+    foldConstants(fn);
+
+    // 2. Loop unrolling (pre-SSA: temps copy verbatim).
+    if (opts.unroll.factor > 1) {
+        int unrolled = unrollLoops(fn, opts.unroll);
+        res.stats.set("pipe.unrolled_loops", unrolled);
+    }
+
+    // 3. SSA and scalar optimizations.
+    core::buildSsa(fn);
+    if (opts.scalarOpts)
+        res.stats.set("pipe.scalar_changes", runScalarOpts(fn));
+
+    // 4. Region selection. Naive predication spends block space on
+    // predicate fanout trees, so the hyperblock former must leave more
+    // headroom in the 128-instruction format; fanout reduction wins
+    // that space back, letting regions grow (one source of the paper's
+    // 5% dynamic-block reduction, §6).
+    core::RegionConfig rc = region;
+    if (!opts.hyperblocks)
+        rc.maxBlocksPerRegion = 1;
+    core::RegionPlan plan = core::selectRegions(fn, rc);
+    res.stats.set("pipe.regions", plan.regions.size());
+
+    // 5. Boundary lowering: registers, null writes, store tokens.
+    core::BoundaryStats bs = core::lowerBoundaries(fn, plan);
+    res.stats.set("pipe.virt_regs", bs.virtRegs);
+    res.stats.set("pipe.null_writes", bs.nullWrites);
+    res.stats.set("pipe.split_blocks", bs.splitBlocks);
+
+    // 6. If-conversion into hyperblocks (naive predication baseline).
+    core::ifConvert(fn, plan);
+    for (const ir::BBlock &hb : fn.blocks)
+        core::checkHyperblock(hb);
+
+    // 7. Dataflow predicate optimizations (§5).
+    if (opts.predFanoutReduction) {
+        res.stats.set("pipe.fanout_removed",
+                      core::reducePredFanout(fn));
+    }
+    if (opts.pathSensitive) {
+        res.stats.set("pipe.path_sensitive",
+                      core::removePathSensitivePreds(fn));
+    }
+    if (opts.merging) {
+        res.stats.set("pipe.merged",
+                      core::mergeDisjointInstructions(fn));
+    }
+    // Cleanup after the predicate passes.
+    eliminateDeadCode(fn);
+    for (const ir::BBlock &hb : fn.blocks)
+        core::checkHyperblock(hb);
+
+    // 8. Register allocation.
+    RegAllocResult ra = allocateRegisters(fn);
+    res.stats.set("pipe.arch_regs", ra.regsUsed);
+
+    // 9. Code generation and linking.
+    CodegenOptions cg;
+    cg.multicast = opts.multicast;
+    res.program = generateProgram(fn, cg, &res.stats);
+
+    // 10. Spatial scheduling.
+    if (opts.schedule)
+        scheduleProgram(res.program, opts.grid);
+
+    // Final validation.
+    isa::ValidationResult vr = isa::validateProgram(res.program);
+    if (!vr.ok()) {
+        dfp_panic("generated program failed validation: ",
+                  vr.joined());
+    }
+    res.hyperIr = std::move(fn);
+    return res;
+}
+
+} // namespace
+
+CompileResult
+compile(const ir::Function &source, const CompileOptions &opts)
+{
+    // Region budgets are estimates; fanout trees and constant synthesis
+    // can push a block past the 128-instruction format limit, in which
+    // case codegen raises "block too large" and we retry smaller.
+    core::RegionConfig region = opts.region;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        try {
+            return compileOnce(source, opts, region);
+        } catch (const FatalError &err) {
+            std::string what = err.what();
+            if (what.find("block too large") == std::string::npos ||
+                attempt == 4) {
+                throw;
+            }
+            region.instrBudget = std::max(8, region.instrBudget * 2 / 3);
+            region.memOpBudget = std::max(4, region.memOpBudget * 2 / 3);
+            region.maxBlocksPerRegion =
+                std::max(1, region.maxBlocksPerRegion / 2);
+        }
+    }
+    dfp_fatal("unreachable: retry loop exhausted for '", source.name,
+              "'");
+}
+
+CompileResult
+compileSource(const std::string &source, const CompileOptions &opts)
+{
+    return compile(ir::parseFunction(source), opts);
+}
+
+} // namespace dfp::compiler

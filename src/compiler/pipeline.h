@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The dfp compilation pipeline, mirroring the paper's Scale flow (§5):
+ * scalar optimizations, loop unrolling, SSA construction, region
+ * selection, boundary lowering (reads/writes/nulls), if-conversion into
+ * hyperblocks, the three dataflow predicate optimizations, register
+ * allocation, code generation with fanout trees, and spatial
+ * scheduling.
+ *
+ * The evaluated configurations of §6 map onto CompileOptions:
+ *
+ *   BB    = {hyperblocks: false}
+ *   Hyper = {hyperblocks: true}                       (naive baseline)
+ *   Intra = Hyper + {predFanoutReduction: true}
+ *   Inter = Hyper + {pathSensitive: true}
+ *   Both  = Hyper + both
+ *   Merge = Both  + {merging: true}                   (§5.3, automated)
+ */
+
+#ifndef DFP_COMPILER_PIPELINE_H
+#define DFP_COMPILER_PIPELINE_H
+
+#include <string>
+
+#include "base/stats.h"
+#include "compiler/codegen.h"
+#include "compiler/scheduler.h"
+#include "compiler/unroll.h"
+#include "core/ifconvert.h"
+#include "ir/ir.h"
+#include "isa/tblock.h"
+
+namespace dfp::compiler
+{
+
+/** Full pipeline configuration. */
+struct CompileOptions
+{
+    bool hyperblocks = true;        //!< false = BB configuration
+    bool predFanoutReduction = false; //!< §5.1, "intra"
+    bool pathSensitive = false;       //!< §5.2, "inter"
+    bool merging = false;             //!< §5.3
+    bool scalarOpts = true;
+    bool schedule = true;             //!< spatial placement
+    bool multicast = false;           //!< mov4 fanout (§7 future work)
+    UnrollOptions unroll;
+    core::RegionConfig region;
+    GridShape grid;
+};
+
+/** The canonical §6 configurations by name. */
+CompileOptions configNamed(const std::string &name);
+
+/** Output of a compilation. */
+struct CompileResult
+{
+    isa::TProgram program;
+    ir::Function hyperIr;   //!< final hyperblock-form IR (diagnostics)
+    StatSet stats;          //!< static counters from every stage
+};
+
+/** Compile a frontend-stage function; throws FatalError on bad input. */
+CompileResult compile(const ir::Function &source,
+                      const CompileOptions &opts);
+
+/** Parse and compile IR source text. */
+CompileResult compileSource(const std::string &source,
+                            const CompileOptions &opts);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_PIPELINE_H

@@ -1,0 +1,131 @@
+#include "compiler/regalloc.h"
+
+#include <set>
+#include <vector>
+
+#include "core/null_insertion.h"
+#include "isa/tblock.h"
+
+namespace dfp::compiler
+{
+
+namespace
+{
+
+/** Hyperblock-level liveness of virtual registers. Writes do not kill
+ *  (a null write preserves the previous value). */
+std::vector<std::set<int>>
+liveInPerBlock(const ir::Function &fn)
+{
+    size_t n = fn.blocks.size();
+    std::vector<std::set<int>> liveIn(n), use(n);
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Read)
+                use[block.id].insert(inst.reg);
+            if (inst.op == isa::Op::Bro && inst.broLabel == "@halt")
+                use[block.id].insert(core::kRetVirtReg);
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t b = n; b-- > 0;) {
+            std::set<int> in = use[b];
+            for (int s : fn.blocks[b].succs) {
+                for (int r : liveIn[s])
+                    in.insert(r);
+            }
+            if (in != liveIn[b]) {
+                liveIn[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return liveIn;
+}
+
+} // namespace
+
+RegAllocResult
+allocateRegisters(ir::Function &fn)
+{
+    auto liveIn = liveInPerBlock(fn);
+
+    // Interference: two virtual registers conflict when both are live
+    // into the same block, or one is written in a block where the other
+    // is live out of it (block granularity, conservative).
+    std::set<int> vregs;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Read || inst.op == isa::Op::Write)
+                vregs.insert(inst.reg);
+        }
+    }
+    std::map<int, std::set<int>> conflicts;
+    auto addClique = [&](const std::set<int> &group) {
+        for (int a : group) {
+            for (int b : group) {
+                if (a != b)
+                    conflicts[a].insert(b);
+            }
+        }
+    };
+    for (const ir::BBlock &block : fn.blocks) {
+        std::set<int> active = liveIn[block.id];
+        std::set<int> liveOut;
+        for (int s : block.succs) {
+            for (int r : liveIn[s])
+                liveOut.insert(r);
+        }
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Write) {
+                active.insert(inst.reg);
+                liveOut.insert(inst.reg);
+            }
+            if (inst.op == isa::Op::Bro && inst.broLabel == "@halt")
+                liveOut.insert(core::kRetVirtReg);
+        }
+        for (int r : liveOut)
+            active.insert(r);
+        addClique(active);
+    }
+
+    RegAllocResult res;
+    res.color[core::kRetVirtReg] = kRetArchReg;
+    std::set<int> usedColors{kRetArchReg};
+    for (int v : vregs) {
+        if (res.color.count(v))
+            continue;
+        std::set<int> taken;
+        for (int other : conflicts[v]) {
+            auto it = res.color.find(other);
+            if (it != res.color.end())
+                taken.insert(it->second);
+        }
+        int chosen = -1;
+        for (int c = 1; c < isa::kNumRegs; ++c) {
+            if (!taken.count(c)) {
+                chosen = c;
+                break;
+            }
+        }
+        if (chosen < 0) {
+            dfp_fatal("register allocator ran out of registers in '",
+                      fn.name, "' (", vregs.size(), " virtual registers)");
+        }
+        res.color[v] = chosen;
+        usedColors.insert(chosen);
+    }
+    res.regsUsed = static_cast<int>(usedColors.size());
+
+    for (ir::BBlock &block : fn.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Read || inst.op == isa::Op::Write)
+                inst.reg = res.color.at(inst.reg);
+        }
+    }
+    return res;
+}
+
+} // namespace dfp::compiler

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Architectural register assignment. Boundary lowering
+ * (core/null_insertion.h) moved all cross-hyperblock values into
+ * *virtual* registers; this pass colors them onto the 64 architectural
+ * registers (g0..g63) using hyperblock-granularity liveness and a
+ * greedy interference coloring. Virtual register 0 (the return value)
+ * is pinned to g1.
+ */
+
+#ifndef DFP_COMPILER_REGALLOC_H
+#define DFP_COMPILER_REGALLOC_H
+
+#include <map>
+
+#include "ir/ir.h"
+
+namespace dfp::compiler
+{
+
+/** Architectural register of the kernel return value. */
+constexpr int kRetArchReg = 1;
+
+/** Result of coloring. */
+struct RegAllocResult
+{
+    std::map<int, int> color; //!< virtual -> architectural register
+    int regsUsed = 0;
+};
+
+/**
+ * Color virtual registers in a hyperblock-form function, rewriting the
+ * `reg` field of every Read/Write in place. Throws FatalError when the
+ * function needs more than 63 simultaneously-live registers (dfp does
+ * not spill; kernels never approach the limit).
+ */
+RegAllocResult allocateRegisters(ir::Function &fn);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_REGALLOC_H

@@ -1,0 +1,277 @@
+#include "compiler/scalar_opts.h"
+
+#include <map>
+#include <set>
+
+#include "ir/analysis.h"
+#include "isa/alu.h"
+
+namespace dfp::compiler
+{
+
+int
+foldConstants(ir::Function &fn)
+{
+    int changes = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            const auto &info = isa::opInfo(inst.op);
+            if (isa::isPseudoOp(inst.op) || inst.op == isa::Op::Ld ||
+                inst.op == isa::Op::St || inst.op == isa::Op::Movi ||
+                inst.op == isa::Op::Null || inst.op == isa::Op::Read ||
+                inst.op == isa::Op::Write || inst.op == isa::Op::Bro ||
+                inst.op == isa::Op::Nop || !inst.dst.isTemp()) {
+                continue;
+            }
+            bool allImm = true;
+            for (const ir::Opnd &src : inst.srcs)
+                allImm &= src.isImm();
+            if (!allImm || info.numSrcs == 0)
+                continue;
+            isa::Token a, b;
+            a.value = static_cast<uint64_t>(inst.srcs[0].value);
+            if (info.numSrcs >= 2)
+                b.value = static_cast<uint64_t>(inst.srcs[1].value);
+            isa::Token r = isa::evalOp(inst.op, a, b);
+            if (r.excep)
+                continue; // leave the faulting op for runtime semantics
+            inst.op = isa::Op::Movi;
+            inst.srcs = {ir::Opnd::imm(static_cast<int64_t>(r.value))};
+            ++changes;
+        }
+        // Branch folding.
+        if (block.term == ir::Term::Br) {
+            if (block.cond.isImm()) {
+                std::string taken =
+                    block.succLabels[block.cond.value != 0 ? 0 : 1];
+                std::string other =
+                    block.succLabels[block.cond.value != 0 ? 1 : 0];
+                // Phi inputs from this block along the dead edge vanish.
+                int dead = fn.blockId(other);
+                if (dead >= 0 && other != taken) {
+                    for (ir::Instr &phi : fn.blocks[dead].instrs) {
+                        if (phi.op != isa::Op::Phi)
+                            break;
+                        for (size_t k = phi.phiBlocks.size(); k-- > 0;) {
+                            if (phi.phiBlocks[k] == block.id) {
+                                phi.phiBlocks.erase(
+                                    phi.phiBlocks.begin() + k);
+                                phi.srcs.erase(phi.srcs.begin() + k);
+                            }
+                        }
+                    }
+                }
+                block.term = ir::Term::Jmp;
+                block.succLabels = {taken};
+                block.cond = ir::Opnd::none();
+                ++changes;
+            } else if (block.succLabels[0] == block.succLabels[1]) {
+                block.term = ir::Term::Jmp;
+                block.succLabels = {block.succLabels[0]};
+                block.cond = ir::Opnd::none();
+                ++changes;
+            }
+        }
+    }
+    if (changes) {
+        fn.computeCfg();
+        fn.pruneUnreachable();
+    }
+    return changes;
+}
+
+int
+propagateCopies(ir::Function &fn)
+{
+    // In SSA a mov's destination can be replaced by its source
+    // everywhere; a movi's destination by the immediate.
+    std::map<int, ir::Opnd> replace;
+    for (ir::BBlock &block : fn.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            if (!inst.dst.isTemp())
+                continue;
+            if (inst.op == isa::Op::Mov && inst.srcs[0].isTemp())
+                replace[inst.dst.id] = inst.srcs[0];
+            else if (inst.op == isa::Op::Movi && inst.srcs[0].isImm())
+                replace[inst.dst.id] = inst.srcs[0];
+            else if (inst.op == isa::Op::Phi && inst.srcs.size() == 1)
+                replace[inst.dst.id] = inst.srcs[0]; // degenerate phi
+        }
+    }
+    if (replace.empty())
+        return 0;
+    // Resolve chains (a -> b -> c).
+    auto resolve = [&](ir::Opnd o) {
+        int fuel = 64;
+        while (o.isTemp() && replace.count(o.id) && fuel-- > 0)
+            o = replace[o.id];
+        return o;
+    };
+    int changes = 0;
+    auto rewrite = [&](ir::Opnd &o) {
+        if (!o.isTemp() || !replace.count(o.id))
+            return;
+        o = resolve(o);
+        ++changes;
+    };
+    for (ir::BBlock &block : fn.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            for (ir::Opnd &src : inst.srcs)
+                rewrite(src);
+            // A degenerate phi is now an ordinary copy of its input.
+            if (inst.op == isa::Op::Phi && inst.srcs.size() == 1) {
+                inst.op = inst.srcs[0].isImm() ? isa::Op::Movi
+                                               : isa::Op::Mov;
+                inst.phiBlocks.clear();
+                ++changes;
+            }
+        }
+        rewrite(block.cond);
+        rewrite(block.retVal);
+    }
+    return changes;
+}
+
+int
+eliminateCommonSubexprs(ir::Function &fn)
+{
+    int changes = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        std::map<std::string, int> available; // key -> temp
+        std::map<int, int> replace;
+        uint64_t memClock = 0;
+        for (ir::Instr &inst : block.instrs) {
+            // Rewrite operands with already-discovered equivalences.
+            for (ir::Opnd &src : inst.srcs) {
+                if (src.isTemp() && replace.count(src.id)) {
+                    src = ir::Opnd::temp(replace[src.id]);
+                    ++changes;
+                }
+            }
+            if (inst.op == isa::Op::St) {
+                ++memClock; // conservatively invalidate loads
+                continue;
+            }
+            bool pure;
+            switch (inst.op) {
+              case isa::Op::Read: case isa::Op::Write:
+              case isa::Op::Bro:  case isa::Op::Phi:
+              case isa::Op::Null: case isa::Op::Nop:
+              case isa::Op::Movi: case isa::Op::Mov:
+                pure = false;
+                break;
+              case isa::Op::Ld:
+                pure = true; // versioned by memClock
+                break;
+              default:
+                pure = inst.dst.isTemp() && !isa::isPseudoOp(inst.op);
+                break;
+            }
+            if (!pure)
+                continue;
+            std::string key = isa::opName(inst.op);
+            std::vector<ir::Opnd> srcs = inst.srcs;
+            if (isa::isCommutative(inst.op) && srcs.size() == 2) {
+                auto rank = [](const ir::Opnd &o) -> int64_t {
+                    return o.isTemp() ? o.id : (1ll << 28) + o.value;
+                };
+                if (rank(srcs[0]) > rank(srcs[1]))
+                    std::swap(srcs[0], srcs[1]);
+            }
+            for (const ir::Opnd &src : srcs) {
+                key += src.isTemp() ? detail::cat("|t", src.id)
+                                    : detail::cat("|#", src.value);
+            }
+            if (inst.op == isa::Op::Ld)
+                key += detail::cat("|m", memClock);
+            auto it = available.find(key);
+            if (it != available.end()) {
+                replace[inst.dst.id] = it->second;
+                // The duplicate becomes a dead mov; DCE removes it.
+                inst.op = isa::Op::Mov;
+                inst.srcs = {ir::Opnd::temp(it->second)};
+                ++changes;
+            } else {
+                available[key] = inst.dst.id;
+            }
+        }
+        // Propagate replacements into the terminator and phi inputs.
+        auto rewriteOpnd = [&](ir::Opnd &o) {
+            if (o.isTemp() && replace.count(o.id))
+                o = ir::Opnd::temp(replace[o.id]);
+        };
+        rewriteOpnd(block.cond);
+        rewriteOpnd(block.retVal);
+        for (int succ : block.succs) {
+            for (ir::Instr &phi : fn.blocks[succ].instrs) {
+                if (phi.op != isa::Op::Phi)
+                    break;
+                for (size_t k = 0; k < phi.phiBlocks.size(); ++k) {
+                    if (phi.phiBlocks[k] == block.id)
+                        rewriteOpnd(phi.srcs[k]);
+                }
+            }
+        }
+    }
+    return changes;
+}
+
+int
+eliminateDeadCode(ir::Function &fn)
+{
+    int total = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::set<int> used;
+        auto note = [&](const ir::Opnd &o) {
+            if (o.isTemp())
+                used.insert(o.id);
+        };
+        for (const ir::BBlock &block : fn.blocks) {
+            for (const ir::Instr &inst : block.instrs) {
+                for (const ir::Opnd &src : inst.srcs)
+                    note(src);
+                for (const ir::Guard &g : inst.guards)
+                    used.insert(g.pred);
+            }
+            note(block.cond);
+            note(block.retVal);
+        }
+        for (ir::BBlock &block : fn.blocks) {
+            for (size_t i = block.instrs.size(); i-- > 0;) {
+                const ir::Instr &inst = block.instrs[i];
+                if (inst.hasSideEffect() || inst.op == isa::Op::Read ||
+                    inst.op == isa::Op::Null) {
+                    continue;
+                }
+                if (inst.dst.isTemp() && !used.count(inst.dst.id)) {
+                    block.instrs.erase(block.instrs.begin() + i);
+                    ++total;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+int
+runScalarOpts(ir::Function &fn)
+{
+    int total = 0;
+    for (int round = 0; round < 8; ++round) {
+        int changes = 0;
+        changes += foldConstants(fn);
+        changes += propagateCopies(fn);
+        changes += eliminateCommonSubexprs(fn);
+        changes += eliminateDeadCode(fn);
+        total += changes;
+        if (!changes)
+            break;
+    }
+    fn.verify();
+    return total;
+}
+
+} // namespace dfp::compiler

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Classic scalar optimizations run before hyperblock formation (the
+ * paper's Scale compiler "performs all traditional loop and scalar
+ * optimizations before it forms hyperblocks", §5): constant folding,
+ * branch folding, copy propagation, local common-subexpression
+ * elimination (with a conservative memory clock for load CSE), and
+ * dead-code elimination. Copy propagation, CSE and DCE require SSA
+ * form; constant/branch folding work on any CFG-stage function.
+ */
+
+#ifndef DFP_COMPILER_SCALAR_OPTS_H
+#define DFP_COMPILER_SCALAR_OPTS_H
+
+#include "ir/ir.h"
+
+namespace dfp::compiler
+{
+
+/** Fold constant expressions and constant/degenerate branches. */
+int foldConstants(ir::Function &fn);
+
+/** Propagate copies (mov/movi) into uses. SSA only. */
+int propagateCopies(ir::Function &fn);
+
+/** Local CSE within each block. SSA only. */
+int eliminateCommonSubexprs(ir::Function &fn);
+
+/** Remove side-effect-free instructions with unused results. SSA only. */
+int eliminateDeadCode(ir::Function &fn);
+
+/** Run the full scalar pipeline to a fixpoint (bounded). SSA only. */
+int runScalarOpts(ir::Function &fn);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_SCALAR_OPTS_H

@@ -1,0 +1,178 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace dfp::compiler
+{
+
+namespace
+{
+
+/** Manhattan distance between two tiles. */
+int
+tileDist(const GridShape &grid, int a, int b)
+{
+    int ar = a / grid.cols, ac = a % grid.cols;
+    int br = b / grid.cols, bc = b % grid.cols;
+    return std::abs(ar - br) + std::abs(ac - bc);
+}
+
+/** Distance from a register tile (top edge, one per column group) to an
+ *  execution tile. */
+int
+regDist(const GridShape &grid, int reg, int tile)
+{
+    int regCol = reg % grid.cols;
+    int tr = tile / grid.cols, tc = tile % grid.cols;
+    return (tr + 1) + std::abs(tc - regCol);
+}
+
+int
+tileOf(const isa::TBlock &block, const GridShape &grid, int idx)
+{
+    if (!block.placement.empty())
+        return block.placement[idx];
+    return idx % grid.tiles();
+}
+
+} // namespace
+
+void
+scheduleBlock(isa::TBlock &block, const GridShape &grid)
+{
+    const int n = static_cast<int>(block.insts.size());
+    block.placement.assign(n, 0);
+
+    // Producer lists per instruction: (kind, who) where kind 0 = inst,
+    // kind 1 = read slot (register tile).
+    struct Producer
+    {
+        bool fromRead;
+        int id; // inst index or register number
+    };
+    std::vector<std::vector<Producer>> producers(n);
+    std::vector<int> indeg(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (const isa::Target &t : block.insts[i].targets) {
+            if (t.slot == isa::Slot::WriteQ)
+                continue;
+            producers[t.index].push_back({false, i});
+            ++indeg[t.index];
+        }
+    }
+    for (const isa::ReadSlot &read : block.reads) {
+        for (const isa::Target &t : read.targets) {
+            if (t.slot != isa::Slot::WriteQ)
+                producers[t.index].push_back({true, read.reg});
+        }
+    }
+
+    // Consumers that are register writes pull instructions toward the
+    // destination register's column.
+    std::vector<std::vector<int>> writeRegsOf(n);
+    for (int i = 0; i < n; ++i) {
+        for (const isa::Target &t : block.insts[i].targets) {
+            if (t.slot == isa::Slot::WriteQ)
+                writeRegsOf[i].push_back(block.writes[t.index].reg);
+        }
+    }
+
+    // Greedy topological placement.
+    std::vector<int> load(grid.tiles(), 0);
+    std::vector<int> order;
+    order.reserve(n);
+    {
+        std::vector<int> deg = indeg;
+        std::vector<int> stack;
+        for (int i = 0; i < n; ++i) {
+            if (deg[i] == 0)
+                stack.push_back(i);
+        }
+        while (!stack.empty()) {
+            int u = stack.back();
+            stack.pop_back();
+            order.push_back(u);
+            for (const isa::Target &t : block.insts[u].targets) {
+                if (t.slot == isa::Slot::WriteQ)
+                    continue;
+                if (--deg[t.index] == 0)
+                    stack.push_back(t.index);
+            }
+        }
+        // Cycles are rejected by the validator; tolerate here by
+        // appending any leftovers in index order.
+        if (static_cast<int>(order.size()) != n) {
+            std::vector<char> seen(n, 0);
+            for (int u : order)
+                seen[u] = 1;
+            for (int i = 0; i < n; ++i) {
+                if (!seen[i])
+                    order.push_back(i);
+            }
+        }
+    }
+
+    const int cap = grid.slotsPerTile();
+    for (int u : order) {
+        int bestTile = -1;
+        int bestCost = INT32_MAX;
+        for (int t = 0; t < grid.tiles(); ++t) {
+            if (load[t] >= cap)
+                continue;
+            int cost = 2 * load[t];
+            for (const Producer &p : producers[u]) {
+                cost += 4 * (p.fromRead
+                                 ? regDist(grid, p.id, t)
+                                 : tileDist(grid, block.placement[p.id],
+                                            t));
+            }
+            for (int reg : writeRegsOf[u])
+                cost += 4 * regDist(grid, reg, t);
+            if (cost < bestCost) {
+                bestCost = cost;
+                bestTile = t;
+            }
+        }
+        dfp_assert(bestTile >= 0, "no tile has capacity");
+        block.placement[u] = static_cast<uint8_t>(bestTile);
+        ++load[bestTile];
+    }
+}
+
+void
+scheduleProgram(isa::TProgram &program, const GridShape &grid)
+{
+    for (isa::TBlock &block : program.blocks)
+        scheduleBlock(block, grid);
+}
+
+int
+estimateHops(const isa::TBlock &block, const GridShape &grid)
+{
+    int hops = 0;
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        int from = tileOf(block, grid, static_cast<int>(i));
+        for (const isa::Target &t : block.insts[i].targets) {
+            if (t.slot == isa::Slot::WriteQ) {
+                hops += regDist(grid, block.writes[t.index].reg, from);
+            } else {
+                hops += tileDist(grid, from,
+                                 tileOf(block, grid, t.index));
+            }
+        }
+    }
+    for (const isa::ReadSlot &read : block.reads) {
+        for (const isa::Target &t : read.targets) {
+            if (t.slot != isa::Slot::WriteQ) {
+                hops += regDist(grid, read.reg,
+                                tileOf(block, grid, t.index));
+            }
+        }
+    }
+    return hops;
+}
+
+} // namespace dfp::compiler

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Spatial instruction scheduler — a greedy variant of the spatial path
+ * scheduling the TRIPS toolchain uses (Coons et al. [10] in the paper's
+ * bibliography). Each block instruction is assigned an execution tile
+ * on the processor grid so that producer/consumer pairs sit close
+ * together on the operand network, with register tiles modeled along
+ * the top edge (reads/writes prefer their register's column).
+ *
+ * The result is written into TBlock::placement; an empty placement
+ * means the naive round-robin default (the ablation baseline).
+ */
+
+#ifndef DFP_COMPILER_SCHEDULER_H
+#define DFP_COMPILER_SCHEDULER_H
+
+#include "isa/tblock.h"
+
+namespace dfp::compiler
+{
+
+/** Grid dimensions the scheduler optimizes for. */
+struct GridShape
+{
+    int rows = 4;
+    int cols = 4;
+
+    int tiles() const { return rows * cols; }
+
+    /** Instructions a tile's reservation stations hold per block. */
+    int
+    slotsPerTile() const
+    {
+        return (isa::kMaxInsts + tiles() - 1) / tiles();
+    }
+};
+
+/** Compute a placement for one block (fills block.placement). */
+void scheduleBlock(isa::TBlock &block, const GridShape &grid);
+
+/** Schedule every block of a program. */
+void scheduleProgram(isa::TProgram &program, const GridShape &grid);
+
+/** Estimated total operand-network hop count for a placement (for
+ *  tests and the scheduler ablation bench). Uses the default
+ *  round-robin placement when block.placement is empty. */
+int estimateHops(const isa::TBlock &block, const GridShape &grid);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_SCHEDULER_H

@@ -1,0 +1,126 @@
+#include "compiler/unroll.h"
+
+#include <map>
+#include <set>
+
+#include "ir/analysis.h"
+
+namespace dfp::compiler
+{
+
+namespace
+{
+
+bool
+isInnermost(const ir::Loop &loop, const std::vector<ir::Loop> &all)
+{
+    for (const ir::Loop &other : all) {
+        if (other.header == loop.header)
+            continue;
+        if (loop.body.count(other.header))
+            return false;
+    }
+    return true;
+}
+
+bool
+eligible(const ir::Function &fn, const ir::Loop &loop,
+         const UnrollOptions &opts)
+{
+    if (static_cast<int>(loop.body.size()) > opts.maxBodyBlocks)
+        return false;
+    // Never re-unroll a loop that already contains unrolled copies.
+    for (int b : loop.body) {
+        if (fn.blocks[b].name.find(".u") != std::string::npos)
+            return false;
+    }
+    int instrs = 0;
+    for (int b : loop.body) {
+        instrs += static_cast<int>(fn.blocks[b].instrs.size());
+        for (const ir::Instr &inst : fn.blocks[b].instrs) {
+            if (inst.op == isa::Op::Phi)
+                return false; // pre-SSA only
+        }
+    }
+    return instrs <= opts.maxBodyInstrs;
+}
+
+/** Duplicate one loop @p copies times; pre-SSA, so temps copy as-is. */
+void
+unrollOne(ir::Function &fn, const ir::Loop &loop, int copies)
+{
+    const std::string headerName = fn.blocks[loop.header].name;
+
+    // Copy i's blocks get suffix ".u<i>". Map original block id ->
+    // label per copy.
+    auto copyLabel = [&](int block, int copy) {
+        return detail::cat(fn.blocks[block].name, ".u", copy);
+    };
+
+    for (int c = 1; c <= copies; ++c) {
+        for (int b : loop.body) {
+            ir::BBlock clone = fn.blocks[b]; // instrs copied verbatim
+            clone.name = copyLabel(b, c);
+            clone.preds.clear();
+            clone.succs.clear();
+            // Retarget internal edges into this copy; back edges to the
+            // header go to the next copy (or the original header after
+            // the last copy).
+            for (std::string &succ : clone.succLabels) {
+                int target = fn.blockId(succ);
+                if (target < 0 || !loop.body.count(target))
+                    continue; // exit edge: unchanged
+                if (target == loop.header) {
+                    succ = (c == copies) ? headerName
+                                         : copyLabel(loop.header, c + 1);
+                } else {
+                    succ = copyLabel(target, c);
+                }
+            }
+            ir::BBlock &added = fn.addBlock(clone.name);
+            int id = added.id;
+            fn.blocks[id] = std::move(clone);
+            fn.blocks[id].id = id;
+        }
+    }
+    // Original body's back edges now enter copy 1's header.
+    for (int b : loop.body) {
+        for (std::string &succ : fn.blocks[b].succLabels) {
+            if (succ == headerName)
+                succ = copyLabel(loop.header, 1);
+        }
+    }
+    fn.computeCfg();
+}
+
+} // namespace
+
+int
+unrollLoops(ir::Function &fn, const UnrollOptions &opts)
+{
+    if (opts.factor <= 1)
+        return 0;
+    std::vector<ir::Loop> loops = ir::findLoops(fn);
+    int unrolled = 0;
+    for (const ir::Loop &loop : loops) {
+        if (!isInnermost(loop, loops))
+            continue;
+        if (!eligible(fn, loop, opts))
+            continue;
+        unrollOne(fn, loop, opts.factor - 1);
+        ++unrolled;
+        // Block ids and the loop forest are stale after one transform;
+        // one unrolled loop per call keeps this pass simple. Re-run for
+        // more (the pipeline calls it once; nested re-application would
+        // unroll the copies again).
+        break;
+    }
+    if (unrolled) {
+        fn.verify();
+        // Try the remaining loops against the refreshed CFG.
+        unrolled += unrollLoops(fn, opts);
+    }
+    return unrolled;
+}
+
+} // namespace dfp::compiler

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Loop unrolling on pre-SSA CFG IR. The paper's key predication
+ * showcases (the while loop of Figure 3a and the genalg loop of
+ * Figure 6) rely on statically unrolling short loops so hyperblock
+ * formation can pack several iterations — and their predicate-AND
+ * chained tests — into one 128-instruction block.
+ *
+ * Unrolling duplicates the loop body k-1 times and chains the copies:
+ * the back edge of copy i is retargeted at copy i+1's header, the last
+ * copy's back edge returns to the original header, and every exit edge
+ * keeps its original target. Because pre-SSA temps are freely
+ * redefined, no renaming is needed.
+ */
+
+#ifndef DFP_COMPILER_UNROLL_H
+#define DFP_COMPILER_UNROLL_H
+
+#include "ir/ir.h"
+
+namespace dfp::compiler
+{
+
+/** Unrolling knobs. */
+struct UnrollOptions
+{
+    int factor = 1;          //!< 1 = disabled
+    int maxBodyInstrs = 48;  //!< only unroll loops that can still pack
+    int maxBodyBlocks = 12;  //!< into the 128-instruction block format
+};
+
+/** Unroll eligible innermost loops; returns loops unrolled. */
+int unrollLoops(ir::Function &fn, const UnrollOptions &opts);
+
+} // namespace dfp::compiler
+
+#endif // DFP_COMPILER_UNROLL_H

@@ -1,0 +1,235 @@
+#include "core/hb_eval.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "isa/alu.h"
+
+namespace dfp::core
+{
+
+namespace
+{
+
+struct Value
+{
+    uint64_t bits = 0;
+    bool null = false;
+};
+
+} // namespace
+
+HbOutcome
+evalHyperblock(const ir::BBlock &hb, std::map<int, uint64_t> &regs,
+               isa::Memory &mem, StatSet *stats)
+{
+    HbOutcome out;
+    dfp_assert(hb.term == ir::Term::Hyper, "not a hyperblock");
+
+    std::map<int, Value> env;
+    std::optional<std::string> branch;
+    // Pending register writes commit only after the whole block runs.
+    std::vector<std::pair<int, Value>> writes;
+
+    auto defined = [&](int t) { return env.count(t) > 0; };
+
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        dfp_assert(inst.op != isa::Op::Phi,
+                   "hb_eval cannot evaluate entry phis; lower boundaries "
+                   "first");
+
+        // Guard check: fire only if some guard predicate matches.
+        if (!inst.guards.empty()) {
+            bool matched = false;
+            for (const ir::Guard &g : inst.guards) {
+                if (defined(g.pred) && !env[g.pred].null &&
+                    ((env[g.pred].bits & 1) != 0) == g.onTrue) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+                continue;
+        }
+        // Implicit predication: skip when any source temp is undefined.
+        bool srcsReady = true;
+        for (const ir::Opnd &src : inst.srcs)
+            srcsReady &= !src.isTemp() || defined(src.id);
+        if (!srcsReady)
+            continue;
+
+        auto val = [&](const ir::Opnd &o) -> Value {
+            if (o.isImm())
+                return {static_cast<uint64_t>(o.value), false};
+            return env[o.id];
+        };
+        auto setDst = [&](Value v) {
+            dfp_assert(inst.dst.isTemp(), "dst expected");
+            env[inst.dst.id] = v;
+        };
+
+        ++out.fired;
+        if (stats)
+            stats->inc("hb.fired");
+
+        switch (inst.op) {
+          case isa::Op::Read:
+            setDst({regs.count(inst.reg) ? regs[inst.reg] : 0, false});
+            break;
+          case isa::Op::Write:
+            writes.push_back({inst.reg, val(inst.srcs[0])});
+            break;
+          case isa::Op::Null:
+            // A null with a destination feeds a write slot; a null
+            // tagged with a store token (no destination) only matters
+            // for target-level output counting.
+            if (inst.dst.isTemp())
+                setDst({0, true});
+            break;
+          case isa::Op::Mov:
+          case isa::Op::Movi:
+            setDst(val(inst.srcs[0]));
+            if (stats)
+                stats->inc("hb.moves");
+            break;
+          case isa::Op::Ld: {
+            Value a = val(inst.srcs[0]);
+            Value off = val(inst.srcs[1]);
+            if (a.null) {
+                setDst({0, true});
+                break;
+            }
+            uint64_t addr = a.bits + off.bits;
+            if (addr & 7) {
+                out.error = detail::cat("hb '", hb.name,
+                                        "': misaligned load");
+                return out;
+            }
+            setDst({mem.load(addr), false});
+            break;
+          }
+          case isa::Op::St: {
+            Value a = val(inst.srcs[0]);
+            Value v = val(inst.srcs[1]);
+            Value off = val(inst.srcs[2]);
+            if (a.null || v.null)
+                break; // nullified store
+            uint64_t addr = a.bits + off.bits;
+            if (addr & 7) {
+                out.error = detail::cat("hb '", hb.name,
+                                        "': misaligned store");
+                return out;
+            }
+            mem.store(addr, v.bits);
+            break;
+          }
+          case isa::Op::Bro:
+            if (branch.has_value()) {
+                out.error = detail::cat("hb '", hb.name,
+                                        "': two branches fired");
+                return out;
+            }
+            branch = inst.broLabel;
+            break;
+          default: {
+            dfp_assert(!isa::isPseudoOp(inst.op),
+                       "pseudo-op in hyperblock body");
+            isa::Token a, b;
+            const auto &info = isa::opInfo(inst.op);
+            Value va, vb;
+            if (info.numSrcs >= 1) {
+                va = val(inst.srcs[0]);
+                a.value = va.bits;
+                a.null = va.null;
+            }
+            // Immediate-form ops (addi, tgti, ...) carry the immediate
+            // as srcs[1] at the IR level.
+            if ((info.numSrcs >= 2 || info.hasImm) &&
+                inst.srcs.size() > 1) {
+                vb = val(inst.srcs[1]);
+                b.value = vb.bits;
+                b.null = vb.null;
+            }
+            isa::Token r = isa::evalOp(inst.op, a, b);
+            if (r.excep) {
+                out.error = detail::cat("hb '", hb.name,
+                                        "': arithmetic exception at ",
+                                        isa::opName(inst.op));
+                return out;
+            }
+            setDst({r.value, r.null});
+            break;
+          }
+        }
+    }
+
+    if (!branch.has_value()) {
+        out.error = detail::cat("hb '", hb.name, "': no branch fired");
+        return out;
+    }
+    // Block output consistency (§3): every register this block writes
+    // must receive exactly one token (value or null) on every execution.
+    std::map<int, int> firedWrites;
+    for (const auto &[reg, v] : writes) {
+        (void)v;
+        ++firedWrites[reg];
+    }
+    std::set<int> wantRegs;
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Write)
+            wantRegs.insert(inst.reg);
+    }
+    for (int reg : wantRegs) {
+        int n = firedWrites.count(reg) ? firedWrites[reg] : 0;
+        if (n != 1) {
+            out.error = detail::cat("hb '", hb.name, "': register v", reg,
+                                    " received ", n,
+                                    " write tokens (want exactly 1)");
+            return out;
+        }
+    }
+    for (const auto &[reg, v] : writes) {
+        if (!v.null)
+            regs[reg] = v.bits;
+    }
+    out.ok = true;
+    out.next = *branch;
+    return out;
+}
+
+HbRunResult
+runHyperFunction(const ir::Function &fn, isa::Memory &mem,
+                 uint64_t maxBlocks, StatSet *stats)
+{
+    HbRunResult res;
+    std::map<int, uint64_t> regs;
+    int current = fn.entry;
+    while (res.dynBlocks < maxBlocks) {
+        HbOutcome out = evalHyperblock(fn.blocks[current], regs, mem,
+                                       stats);
+        ++res.dynBlocks;
+        res.fired += out.fired;
+        if (!out.ok) {
+            res.error = out.error;
+            return res;
+        }
+        if (out.next == "@halt") {
+            res.ok = true;
+            res.retValue = regs.count(0) ? regs[0] : 0;
+            return res;
+        }
+        int next = fn.blockId(out.next);
+        if (next < 0) {
+            res.error = detail::cat("branch to unknown label '", out.next,
+                                    "'");
+            return res;
+        }
+        current = next;
+    }
+    res.error = "dynamic block limit exceeded";
+    return res;
+}
+
+} // namespace dfp::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Golden evaluator for hyperblock-form IR (after if-conversion, before
+ * or after the predicate optimizations and register allocation).
+ *
+ * Because every dfp pass maintains the topological-order invariant
+ * (definitions precede uses), one in-order sweep implements the
+ * dataflow firing rule exactly: an instruction fires iff its guard
+ * matches (some guard predicate is defined with the right truth) and
+ * all of its source temps are defined; undefined sources model implicit
+ * predication (§3.6) — the ancestors never fired, so neither does the
+ * consumer.
+ *
+ * Register traffic uses *virtual* register ids (the Read/Write `reg`
+ * field), so the evaluator works both before and after coloring.
+ * Virtual register 0 holds the kernel return value by convention.
+ */
+
+#ifndef DFP_CORE_HB_EVAL_H
+#define DFP_CORE_HB_EVAL_H
+
+#include <map>
+#include <string>
+
+#include "base/stats.h"
+#include "isa/memory.h"
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/** Result of evaluating one hyperblock. */
+struct HbOutcome
+{
+    bool ok = false;
+    std::string next;  //!< successor label; "@halt" terminates
+    std::string error; //!< non-empty on malformed execution
+    int fired = 0;     //!< instructions that fired
+};
+
+/**
+ * Evaluate one hyperblock. Stores commit immediately (the evaluator is
+ * a golden model; errors abort the run anyway).
+ */
+HbOutcome evalHyperblock(const ir::BBlock &hb,
+                         std::map<int, uint64_t> &regs, isa::Memory &mem,
+                         StatSet *stats = nullptr);
+
+/** Result of running a whole hyperblock-form function. */
+struct HbRunResult
+{
+    bool ok = false;
+    uint64_t retValue = 0; //!< virtual register 0 at halt
+    uint64_t dynBlocks = 0;
+    uint64_t fired = 0;
+    std::string error;
+};
+
+/** Run a hyperblock-form function from its entry until @halt. */
+HbRunResult runHyperFunction(const ir::Function &fn, isa::Memory &mem,
+                             uint64_t maxBlocks = 1u << 22,
+                             StatSet *stats = nullptr);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_HB_EVAL_H

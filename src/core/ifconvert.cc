@@ -1,0 +1,528 @@
+#include "core/ifconvert.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/pfg.h"
+#include "ir/analysis.h"
+
+namespace dfp::core
+{
+
+namespace
+{
+
+/** Estimated instruction cost of absorbing a block into a region. */
+int
+estimateCost(const ir::BBlock &block)
+{
+    // +2 covers the branch-condition test and per-edge overheads (phi
+    // moves, join movis); fanout moves are budgeted by the caller via a
+    // conservative instrBudget.
+    int cost = static_cast<int>(block.instrs.size()) + 2;
+    for (const ir::Instr &inst : block.instrs) {
+        if (inst.op == isa::Op::Phi)
+            cost += static_cast<int>(inst.srcs.size());
+    }
+    return cost;
+}
+
+int
+countMemOps(const ir::BBlock &block)
+{
+    int n = 0;
+    for (const ir::Instr &inst : block.instrs)
+        n += inst.op == isa::Op::Ld || inst.op == isa::Op::St;
+    return n;
+}
+
+/** Is the region subgraph acyclic if edges into @p head are ignored? */
+bool
+regionAcyclic(const ir::Function &fn, const std::set<int> &blocks,
+              int head)
+{
+    std::map<int, int> color;
+    std::function<bool(int)> dfs = [&](int u) -> bool {
+        color[u] = 1;
+        for (int s : fn.blocks[u].succs) {
+            if (s == head || !blocks.count(s))
+                continue;
+            if (color[s] == 1)
+                return false;
+            if (color[s] == 0 && !dfs(s))
+                return false;
+        }
+        color[u] = 2;
+        return true;
+    };
+    for (int b : blocks) {
+        if (color[b] == 0 && !dfs(b))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+RegionPlan
+selectRegions(const ir::Function &fn, const RegionConfig &cfg)
+{
+    RegionPlan plan;
+    plan.regionOf.assign(fn.blocks.size(), -1);
+    std::vector<int> rpo = ir::reversePostorder(fn);
+    std::vector<int> rpoIndex(fn.blocks.size(), -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = static_cast<int>(i);
+
+    for (int h : rpo) {
+        if (plan.regionOf[h] != -1)
+            continue;
+        int regionIdx = static_cast<int>(plan.regions.size());
+        plan.regions.push_back({});
+        Region &region = plan.regions.back();
+        region.head = h;
+        region.blocks.push_back(h);
+        plan.regionOf[h] = regionIdx;
+
+        std::set<int> members{h};
+        int cost = estimateCost(fn.blocks[h]);
+        int memOps = countMemOps(fn.blocks[h]);
+
+        bool grew = true;
+        while (grew && static_cast<int>(members.size()) <
+                           cfg.maxBlocksPerRegion) {
+            grew = false;
+            for (int b : rpo) {
+                if (static_cast<int>(members.size()) >=
+                    cfg.maxBlocksPerRegion) {
+                    break;
+                }
+                if (plan.regionOf[b] != -1 || b == h)
+                    continue;
+                const ir::BBlock &cand = fn.blocks[b];
+                if (cand.preds.empty())
+                    continue;
+                bool predsIn = std::all_of(
+                    cand.preds.begin(), cand.preds.end(),
+                    [&](int p) { return members.count(p) > 0; });
+                if (!predsIn)
+                    continue;
+                // Back edges are only allowed into the head.
+                bool backEdgeOk = true;
+                for (int s : cand.succs) {
+                    if (s == h && !cfg.allowLoops)
+                        backEdgeOk = false;
+                }
+                if (!backEdgeOk)
+                    continue;
+                int newCost = cost + estimateCost(cand);
+                int newMem = memOps + countMemOps(cand);
+                if (newCost > cfg.instrBudget || newMem > cfg.memOpBudget)
+                    continue;
+                members.insert(b);
+                if (!regionAcyclic(fn, members, h)) {
+                    members.erase(b);
+                    continue;
+                }
+                plan.regionOf[b] = regionIdx;
+                region.blocks.push_back(b);
+                cost = newCost;
+                memOps = newMem;
+                grew = true;
+            }
+        }
+        // Keep region blocks in RPO (head stays first).
+        std::sort(region.blocks.begin() + 1, region.blocks.end(),
+                  [&](int a, int b) { return rpoIndex[a] < rpoIndex[b]; });
+    }
+    return plan;
+}
+
+namespace
+{
+
+using OptGuard = std::optional<ir::Guard>;
+
+/** Builds one hyperblock out of one region. */
+class RegionConverter
+{
+  public:
+    RegionConverter(ir::Function &fn, const Region &region,
+                    const RegionPlan &plan)
+        : fn_(fn), region_(region), plan_(plan),
+          members_(region.blocks.begin(), region.blocks.end())
+    {}
+
+    ir::BBlock convert();
+
+  private:
+    void computeNodePreds();
+    bool postDominatesHead(int b) const;
+    ir::Guard edgeGuard(int from, int to);
+    int branchPred(int p);
+
+    ir::Function &fn_;
+    const Region &region_;
+    const RegionPlan &plan_;
+    std::set<int> members_;
+
+    std::map<int, OptGuard> nodePred_;
+    std::map<int, int> branchPredTemp_;   //!< block -> tp temp
+    std::map<int, bool> branchNeedsTest_; //!< tp requires a tnei
+    std::map<int, std::vector<ir::Instr>> endInstrs_; //!< per-block tail
+    std::map<int, int> joinPredTemp_;     //!< join block -> tj
+};
+
+bool
+RegionConverter::postDominatesHead(int b) const
+{
+    // Does every maximal path from the head (following region-internal
+    // forward edges) pass through b? Equivalent: in the region DAG with
+    // edges into the head removed, can the head reach an exit without
+    // touching b? Exits are edges leaving the region, edges to the head,
+    // and Ret terminators.
+    if (b == region_.head)
+        return true;
+    std::set<int> visited;
+    std::vector<int> stack{region_.head};
+    visited.insert(region_.head);
+    while (!stack.empty()) {
+        int u = stack.back();
+        stack.pop_back();
+        if (u == b)
+            continue; // paths through b are fine; do not expand
+        const ir::BBlock &block = fn_.blocks[u];
+        if (block.term == ir::Term::Ret)
+            return false;
+        for (int s : block.succs) {
+            if (s == region_.head || !members_.count(s))
+                return false; // exit reachable while avoiding b
+            if (visited.insert(s).second)
+                stack.push_back(s);
+        }
+        if (block.succs.empty())
+            return false;
+    }
+    return true;
+}
+
+int
+RegionConverter::branchPred(int p)
+{
+    auto it = branchPredTemp_.find(p);
+    if (it != branchPredTemp_.end())
+        return it->second;
+
+    const ir::BBlock &block = fn_.blocks[p];
+    dfp_assert(block.term == ir::Term::Br, "branchPred on non-Br block");
+    dfp_assert(block.cond.isTemp(),
+               "unfolded constant branch in '", block.name, "'");
+
+    // Reuse the condition when it is a test defined in this block.
+    for (const ir::Instr &inst : block.instrs) {
+        if (inst.dst == block.cond && isa::isTestOp(inst.op)) {
+            branchPredTemp_[p] = block.cond.id;
+            branchNeedsTest_[p] = false;
+            return block.cond.id;
+        }
+    }
+    int tp = fn_.newTemp();
+    branchPredTemp_[p] = tp;
+    branchNeedsTest_[p] = true;
+    return tp;
+}
+
+ir::Guard
+RegionConverter::edgeGuard(int from, int to)
+{
+    const ir::BBlock &block = fn_.blocks[from];
+    if (block.term == ir::Term::Br) {
+        int tp = branchPred(from);
+        int trueSucc = fn_.blockId(block.succLabels[0]);
+        int falseSucc = fn_.blockId(block.succLabels[1]);
+        if (to == trueSucc && to == falseSucc)
+            dfp_panic("degenerate br with identical successors in '",
+                      block.name, "' should have been folded to jmp");
+        return {tp, to == trueSucc};
+    }
+    dfp_assert(block.term == ir::Term::Jmp, "edgeGuard on bad terminator");
+    OptGuard g = nodePred_.at(from);
+    dfp_assert(g.has_value(),
+               "unconditional edge guard requested where none exists");
+    return *g;
+}
+
+void
+RegionConverter::computeNodePreds()
+{
+    // Process in the region's RPO order; predecessors come first.
+    for (int b : region_.blocks) {
+        if (b == region_.head || postDominatesHead(b)) {
+            nodePred_[b] = std::nullopt;
+            continue;
+        }
+        std::vector<int> regionPreds;
+        for (int p : fn_.blocks[b].preds) {
+            dfp_assert(members_.count(p),
+                       "region member '", fn_.blocks[b].name,
+                       "' has external predecessor");
+            regionPreds.push_back(p);
+        }
+        dfp_assert(!regionPreds.empty(), "non-head block without preds");
+        if (regionPreds.size() == 1) {
+            int p = regionPreds.front();
+            if (fn_.blocks[p].term == ir::Term::Jmp) {
+                nodePred_[b] = nodePred_.at(p);
+                // A jmp-successor of an unpredicated block that does not
+                // post-dominate the head cannot exist (see DESIGN.md),
+                // but guard against it: fall through to join predicate.
+                if (!nodePred_[b].has_value()) {
+                    // p unpredicated + unconditional edge => b executes
+                    // whenever p does; b inherits "always".
+                    nodePred_[b] = std::nullopt;
+                }
+                continue;
+            }
+            nodePred_[b] = edgeGuard(p, b);
+            continue;
+        }
+        // Join that does not post-dominate the head: join predicate.
+        int tj = fn_.newTemp();
+        joinPredTemp_[b] = tj;
+        for (int p : regionPreds) {
+            ir::Guard g = edgeGuard(p, b);
+            ir::Instr movi;
+            movi.op = isa::Op::Movi;
+            movi.dst = ir::Opnd::temp(tj);
+            movi.srcs.push_back(ir::Opnd::imm(1));
+            movi.guards.push_back(g);
+            endInstrs_[p].push_back(std::move(movi));
+        }
+        nodePred_[b] = ir::Guard{tj, true};
+    }
+}
+
+ir::BBlock
+RegionConverter::convert()
+{
+    computeNodePreds();
+
+    // Pre-plan phi lowering: movs appended to each predecessor section.
+    // Scan the whole block, not just a leading run: boundary lowering
+    // keeps phis at the top, but be robust if that ever changes.
+    for (int b : region_.blocks) {
+        ir::BBlock &block = fn_.blocks[b];
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op != isa::Op::Phi)
+                continue;
+            dfp_assert(b != region_.head,
+                       "phi at region head '", block.name,
+                       "' must be lowered by boundary insertion first");
+            for (size_t k = 0; k < inst.srcs.size(); ++k) {
+                int p = inst.phiBlocks[k];
+                dfp_assert(members_.count(p), "phi from outside region");
+                ir::Instr mov;
+                mov.op = inst.srcs[k].isImm() ? isa::Op::Movi
+                                              : isa::Op::Mov;
+                mov.dst = inst.dst;
+                mov.srcs.push_back(inst.srcs[k]);
+                // A degenerate (single-input) phi flows through an
+                // unconditional edge: its move needs no guard. Real
+                // joins always have guarded incoming edges.
+                if (inst.srcs.size() == 1 &&
+                    fn_.blocks[p].term == ir::Term::Jmp &&
+                    !nodePred_.at(p).has_value()) {
+                    endInstrs_[p].push_back(std::move(mov));
+                    continue;
+                }
+                ir::Guard g = edgeGuard(p, b);
+                mov.guards.push_back(g);
+                endInstrs_[p].push_back(std::move(mov));
+            }
+        }
+    }
+
+    ir::BBlock hb;
+    hb.name = fn_.blocks[region_.head].name;
+    hb.term = ir::Term::Hyper;
+
+    auto guardOf = [&](int b) {
+        std::vector<ir::Guard> gs;
+        if (nodePred_.at(b).has_value())
+            gs.push_back(*nodePred_.at(b));
+        return gs;
+    };
+
+    for (int b : region_.blocks) {
+        ir::BBlock &block = fn_.blocks[b];
+        std::vector<ir::Guard> guard = guardOf(b);
+
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Phi)
+                continue; // lowered above
+            ir::Instr copy = inst;
+            if (copy.op == isa::Op::Read) {
+                // Register reads are unconditional queue entries.
+                dfp_assert(guard.empty(),
+                           "read under a predicate in '", block.name, "'");
+            } else {
+                for (const ir::Guard &g : guard)
+                    copy.guards.push_back(g);
+            }
+            hb.instrs.push_back(std::move(copy));
+        }
+
+        // Branch-condition test (if the condition was not already a
+        // test instruction inside this block).
+        if (block.term == ir::Term::Br) {
+            int tp = branchPred(b);
+            if (branchNeedsTest_[b]) {
+                ir::Instr test;
+                test.op = isa::Op::Tnei;
+                test.dst = ir::Opnd::temp(tp);
+                test.srcs.push_back(block.cond);
+                test.srcs.push_back(ir::Opnd::imm(0));
+                test.guards = guard;
+                hb.instrs.push_back(std::move(test));
+            }
+        }
+
+        // Edge bookkeeping: phi moves and join-predicate movis.
+        auto pending = endInstrs_.find(b);
+        if (pending != endInstrs_.end()) {
+            for (ir::Instr &inst : pending->second)
+                hb.instrs.push_back(std::move(inst));
+        }
+
+        // Exits.
+        auto emitBro = [&](const std::string &label,
+                           const std::vector<ir::Guard> &gs) {
+            ir::Instr bro;
+            bro.op = isa::Op::Bro;
+            bro.broLabel = label;
+            bro.guards = gs;
+            hb.instrs.push_back(std::move(bro));
+        };
+        switch (block.term) {
+          case ir::Term::Ret: {
+            dfp_assert(block.retVal.isNone(),
+                       "ret with value must be lowered by boundary "
+                       "insertion before if-conversion");
+            emitBro("@halt", guard);
+            break;
+          }
+          case ir::Term::Jmp: {
+            int s = fn_.blockId(block.succLabels[0]);
+            if (s == region_.head) {
+                emitBro(hb.name, guard);
+            } else if (!members_.count(s)) {
+                emitBro(fn_.blocks[s].name, guard);
+            }
+            break;
+          }
+          case ir::Term::Br: {
+            for (int which = 0; which < 2; ++which) {
+                int s = fn_.blockId(block.succLabels[which]);
+                ir::Guard g{branchPred(b), which == 0};
+                if (s == region_.head) {
+                    emitBro(hb.name, {g});
+                } else if (!members_.count(s)) {
+                    emitBro(fn_.blocks[s].name, {g});
+                }
+            }
+            break;
+          }
+          default:
+            dfp_panic("bad terminator during if-conversion");
+        }
+    }
+    return hb;
+}
+
+} // namespace
+
+int
+coalescePhiMovs(ir::BBlock &hb)
+{
+    int eliminated = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        PredInfo info(hb);
+        for (size_t i = 0; i < hb.instrs.size(); ++i) {
+            const ir::Instr &mov = hb.instrs[i];
+            if (mov.op != isa::Op::Mov || !mov.srcs[0].isTemp() ||
+                !mov.dst.isTemp()) {
+                continue;
+            }
+            int s = mov.srcs[0].id;
+            const std::vector<int> &defs = info.defsOf(s);
+            if (defs.size() != 1)
+                continue;
+            const std::vector<int> &uses = info.usesOf(s);
+            if (uses.size() != 1 || uses[0] != static_cast<int>(i))
+                continue;
+            int dIdx = defs[0];
+            const ir::Instr &producer = hb.instrs[dIdx];
+            switch (producer.op) {
+              case isa::Op::Ld:   // moving a load reorders LSIDs
+              case isa::Op::St:
+              case isa::Op::Read: // read slots are unconditional
+              case isa::Op::Null:
+              case isa::Op::Bro:
+              case isa::Op::Write:
+              case isa::Op::Phi:
+                continue;
+              default:
+                break;
+            }
+            if (producer.canExcept())
+                continue; // narrowing a faulting op's guard is fine, but
+                          // keep it simple and conservative
+            // Replace the mov with the producer (renamed + re-guarded)
+            // at the mov's position; drop the original producer.
+            ir::Instr folded = producer;
+            folded.dst = mov.dst;
+            folded.guards = mov.guards;
+            hb.instrs[i] = std::move(folded);
+            hb.instrs.erase(hb.instrs.begin() + dIdx);
+            ++eliminated;
+            changed = true;
+            break; // indices shifted; rebuild analyses
+        }
+    }
+    return eliminated;
+}
+
+void
+ifConvert(ir::Function &fn, const RegionPlan &plan)
+{
+    std::vector<ir::BBlock> hyperblocks;
+    hyperblocks.reserve(plan.regions.size());
+    for (const Region &region : plan.regions)
+        hyperblocks.push_back(RegionConverter(fn, region, plan).convert());
+
+    // Entry block's region must come first.
+    int entryRegion = plan.regionOf[fn.entry];
+    std::swap(hyperblocks[0], hyperblocks[entryRegion]);
+
+    ir::Function result;
+    result.name = fn.name;
+    for (int t = 0; t < fn.tempCount(); ++t)
+        result.noteTemp(t);
+    for (ir::BBlock &hb : hyperblocks) {
+        ir::BBlock &added = result.addBlock(hb.name);
+        added.instrs = std::move(hb.instrs);
+        added.term = ir::Term::Hyper;
+        coalescePhiMovs(added);
+    }
+    result.entry = 0;
+    result.computeCfg();
+    result.verify();
+    fn = std::move(result);
+}
+
+} // namespace dfp::core

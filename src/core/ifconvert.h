@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Hyperblock formation: region selection over the CFG followed by
+ * if-conversion (Allen et al. [1]; hyperblocks per Mahlke et al. [20]),
+ * producing the dataflow-predicated form of paper §3:
+ *
+ *  - each region becomes one hyperblock whose instructions carry guards
+ *    (pred temp + polarity), the naive "every instruction predicated on
+ *    its node's predicate" baseline that §5's optimizations then thin;
+ *  - branch conditions become predicate-defining tests that are
+ *    themselves guarded by the enclosing predicate, building the
+ *    implicit predicate-AND chains of §3.4 with no AND instructions;
+ *  - region joins that do not post-dominate the head receive a join
+ *    predicate defined by predicated "movi 1" instructions on each
+ *    incoming edge — the predicate-OR construction of §3.5;
+ *  - SSA phi nodes at internal joins lower to predicated moves on
+ *    disjoint predicates (the dataflow join of Figure 1);
+ *  - exits become predicated bro instructions; a back edge to the
+ *    region head becomes a bro to the hyperblock's own label.
+ *
+ * Region selection with maxBlocksPerRegion == 1 yields the paper's
+ * "BB" (basic blocks only) configuration.
+ */
+
+#ifndef DFP_CORE_IFCONVERT_H
+#define DFP_CORE_IFCONVERT_H
+
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/** Limits steering region growth. */
+struct RegionConfig
+{
+    int maxBlocksPerRegion = 64;  //!< 1 = basic blocks only
+    int instrBudget = 96;         //!< estimated instructions per region
+    int memOpBudget = 24;         //!< Ld/St per region (LSID space is 32)
+    bool allowLoops = true;       //!< permit back edges to the head
+};
+
+/** One region: head first, then the absorbed blocks in RPO. */
+struct Region
+{
+    int head = -1;
+    std::vector<int> blocks;
+};
+
+/** A partition of all reachable blocks into regions. */
+struct RegionPlan
+{
+    std::vector<Region> regions;
+    std::vector<int> regionOf; //!< block id -> region index
+};
+
+/** Greedy region selection (single-entry, acyclic except head loops). */
+RegionPlan selectRegions(const ir::Function &fn, const RegionConfig &cfg);
+
+/**
+ * If-convert @p fn in place according to @p plan. Requires SSA form
+ * with cross-region phis already lowered to Read/Write boundary code
+ * (compiler::lowerBoundaries). All blocks become hyperblocks.
+ */
+void ifConvert(ir::Function &fn, const RegionPlan &plan);
+
+/**
+ * Fold the predicated moves produced by phi lowering into their single
+ * producers, reproducing the paper's Figure 4 shape where, e.g.,
+ * "addi_t<t3> t5, t4, 1" defines the join temp directly instead of
+ * feeding "mov_t<t3> t5, tX". Legal when the moved value has exactly
+ * one (pure, non-memory) definition and no other uses; the producer
+ * adopts the mov's guards and position. Run by ifConvert() on every
+ * hyperblock — it is part of the naive-predication baseline, matching
+ * the Scale compiler's output. Returns moves eliminated.
+ */
+int coalescePhiMovs(ir::BBlock &hb);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_IFCONVERT_H

@@ -1,0 +1,230 @@
+#include "core/merging.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/pfg.h"
+#include "ir/analysis.h"
+
+namespace dfp::core
+{
+
+namespace
+{
+
+/** Lexical-equivalence key: everything but the guards. */
+std::string
+lexKey(const ir::Instr &inst)
+{
+    std::string key = isa::opName(inst.op);
+    auto addOpnd = [&](const ir::Opnd &o) {
+        switch (o.kind) {
+          case ir::Kind::None: key += "|_"; break;
+          case ir::Kind::Temp: key += detail::cat("|t", o.id); break;
+          case ir::Kind::Imm:  key += detail::cat("|#", o.value); break;
+        }
+    };
+    addOpnd(inst.dst);
+    for (const ir::Opnd &src : inst.srcs)
+        addOpnd(src);
+    key += detail::cat("|r", inst.reg, "|", inst.broLabel);
+    return key;
+}
+
+bool
+mergeableOp(const ir::Instr &inst)
+{
+    switch (inst.op) {
+      case isa::Op::Read:
+      case isa::Op::Phi:
+        return false;
+      default:
+        return !isa::isPseudoOp(inst.op);
+    }
+}
+
+/** One merging round; returns instructions eliminated. */
+int
+mergeRound(ir::BBlock &hb)
+{
+    PredInfo info(hb);
+    const int n = static_cast<int>(hb.instrs.size());
+
+    // First definition index and first use index per temp, to bound the
+    // legal placement window for a merged instruction.
+    std::map<int, int> firstUse;
+    for (int i = 0; i < n; ++i) {
+        std::vector<int> uses;
+        ir::collectUses(hb.instrs[i], uses);
+        for (int t : uses) {
+            if (!firstUse.count(t))
+                firstUse[t] = i;
+        }
+    }
+
+    // Value (non-guard) uses of each temp, to know when a predicate's
+    // defining test may be flipped for category-3 merging.
+    std::set<int> hasValueUse;
+    for (const ir::Instr &inst : hb.instrs) {
+        for (const ir::Opnd &src : inst.srcs) {
+            if (src.isTemp())
+                hasValueUse.insert(src.id);
+        }
+    }
+
+    std::map<std::string, std::vector<int>> groups;
+    for (int i = 0; i < n; ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        if (!mergeableOp(inst) || inst.guards.size() != 1)
+            continue;
+        groups[lexKey(inst)].push_back(i);
+    }
+
+    for (auto &[key, members] : groups) {
+        (void)key;
+        if (members.size() < 2)
+            continue;
+        for (size_t x = 0; x < members.size(); ++x) {
+            for (size_t y = x + 1; y < members.size(); ++y) {
+                int a = members[x], b = members[y];
+                const ir::Instr &ia = hb.instrs[a];
+                const ir::Instr &ib = hb.instrs[b];
+                ir::Guard ga = ia.guards.front();
+                ir::Guard gb = ib.guards.front();
+
+                std::vector<ir::Guard> newGuards;
+                bool flipB = false;
+
+                if (ga.pred == gb.pred && ga.onTrue != gb.onTrue) {
+                    // Category 1: promote to the dominating predicate
+                    // block = the guards of the predicate's definition.
+                    const auto &defs = info.defsOf(ga.pred);
+                    if (defs.size() != 1)
+                        continue;
+                    newGuards = hb.instrs[defs.front()].guards;
+                } else if (ga.pred != gb.pred) {
+                    ir::Guard gbEff = gb;
+                    if (ga.onTrue != gb.onTrue) {
+                        // Category 3: flip gb's defining test first.
+                        const auto &defs = info.defsOf(gb.pred);
+                        if (defs.size() != 1)
+                            continue;
+                        const ir::Instr &test = hb.instrs[defs.front()];
+                        if (!isa::isTestOp(test.op) ||
+                            isa::invertedTest(test.op) == isa::Op::NumOps)
+                            continue;
+                        if (hasValueUse.count(gb.pred))
+                            continue;
+                        // Flipping rewrites every guard on this
+                        // predicate; a consumer holding it inside a
+                        // predicate-OR set would end up mixed-polarity.
+                        bool orUse = false;
+                        for (const ir::Instr &other : hb.instrs) {
+                            if (other.guards.size() < 2)
+                                continue;
+                            for (const ir::Guard &g : other.guards)
+                                orUse |= g.pred == gb.pred;
+                        }
+                        if (orUse)
+                            continue;
+                        gbEff.onTrue = !gbEff.onTrue;
+                        flipB = true;
+                    }
+                    // Category 2: both guards, provably disjoint.
+                    if (!PredInfo::disjoint(info.contextOf(a),
+                                            info.contextOf(b))) {
+                        continue;
+                    }
+                    newGuards = {ga, gbEff};
+                } else {
+                    continue; // identical guards: plain duplicate; CSE's
+                              // job, not predicate merging's
+                }
+
+                // Placement: after every guard/source definition, before
+                // the first use of the destination.
+                int earliest = 0;
+                auto needAfter = [&](int temp) {
+                    for (int d : info.defsOf(temp))
+                        earliest = std::max(earliest, d + 1);
+                };
+                for (const ir::Guard &g : newGuards)
+                    needAfter(g.pred);
+                for (const ir::Opnd &src : ia.srcs) {
+                    if (src.isTemp())
+                        needAfter(src.id);
+                }
+                int latest = n;
+                if (ia.dst.isTemp() && firstUse.count(ia.dst.id))
+                    latest = firstUse[ia.dst.id];
+                // The merged instruction replaces the earlier original
+                // in place when legal, else moves into the window.
+                int pos = std::min(a, b);
+                if (pos < earliest)
+                    pos = earliest;
+                if (pos > latest)
+                    continue;
+
+                // Apply the merge: rewrite instruction 'a', drop 'b'.
+                if (flipB) {
+                    int defIdx = info.defsOf(gb.pred).front();
+                    ir::Instr &test = hb.instrs[defIdx];
+                    test.op = isa::invertedTest(test.op);
+                    for (ir::Instr &other : hb.instrs) {
+                        for (ir::Guard &g : other.guards) {
+                            if (g.pred == gb.pred)
+                                g.onTrue = !g.onTrue;
+                        }
+                    }
+                    // newGuards already carries the flipped polarity
+                    // (gbEff); consumers of the old polarity were
+                    // rewritten above.
+                }
+                ir::Instr merged = hb.instrs[a];
+                merged.guards = newGuards;
+
+                std::vector<ir::Instr> next;
+                next.reserve(n - 1);
+                for (int i = 0; i < n; ++i) {
+                    if (i == a || i == b)
+                        continue;
+                    if (static_cast<int>(next.size()) == pos)
+                        next.push_back(merged);
+                    next.push_back(std::move(hb.instrs[i]));
+                }
+                if (static_cast<int>(next.size()) < pos + 1)
+                    next.push_back(merged);
+                hb.instrs = std::move(next);
+                return 1; // restart with fresh analyses
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+mergeDisjointInstructions(ir::BBlock &hb)
+{
+    dfp_assert(hb.term == ir::Term::Hyper, "merging needs a hyperblock");
+    int eliminated = 0;
+    while (mergeRound(hb) > 0)
+        ++eliminated;
+    checkHyperblock(hb);
+    return eliminated;
+}
+
+int
+mergeDisjointInstructions(ir::Function &fn)
+{
+    int eliminated = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        if (block.term == ir::Term::Hyper)
+            eliminated += mergeDisjointInstructions(block);
+    }
+    return eliminated;
+}
+
+} // namespace dfp::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Disjoint instruction merging (paper §5.3).
+ *
+ * Combines lexically equivalent instructions (same opcode, operands,
+ * destination, immediate, register, branch label) that live on distinct
+ * predicate paths:
+ *
+ *  - category 1: same predicate, opposite polarities — the pair fires
+ *    on every execution of the dominating predicate block, so the merge
+ *    is promoted there (it inherits the guards of the predicate's own
+ *    defining instruction);
+ *  - category 2: different predicates, same polarity — merged into a
+ *    single instruction carrying both guards, exploiting predicate-OR
+ *    (§3.5): multiple producers may target one predicate operand and at
+ *    most one can match (the pass proves the contexts disjoint);
+ *  - category 3: different predicates, opposite polarities — the pass
+ *    flips one predicate's defining test (when it is an invertible test
+ *    with no value uses), rewrites that predicate's other consumers,
+ *    and then applies category 2.
+ *
+ * The merged instruction is placed at the latest position any of the
+ * originals occupied, preserving the topological-order invariant; a
+ * merge is skipped if its result would then be defined after a use.
+ */
+
+#ifndef DFP_CORE_MERGING_H
+#define DFP_CORE_MERGING_H
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/** Merge disjoint duplicate instructions in one hyperblock. */
+int mergeDisjointInstructions(ir::BBlock &hb);
+
+/** Apply to every hyperblock; returns instructions eliminated. */
+int mergeDisjointInstructions(ir::Function &fn);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_MERGING_H

@@ -1,0 +1,593 @@
+#include "core/null_insertion.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/analysis.h"
+
+namespace dfp::core
+{
+
+int
+splitEdge(ir::Function &fn, int from, int to)
+{
+    std::string label =
+        detail::cat(fn.blocks[from].name, ".e", fn.blocks.size());
+    ir::BBlock &split = fn.addBlock(label);
+    int splitId = split.id;
+    split.term = ir::Term::Jmp;
+    split.succLabels.push_back(fn.blocks[to].name);
+
+    // Retarget the edge in the predecessor's terminator. When the same
+    // label appears on both arms of a br, only the arm matching this
+    // logical edge... both arms denote the same CFG edge, so retarget
+    // every occurrence (callers fold such degenerate branches earlier).
+    ir::BBlock &pred = fn.blocks[from];
+    for (std::string &succ : pred.succLabels) {
+        if (succ == fn.blocks[to].name)
+            succ = label;
+    }
+    // Phi incoming blocks in the successor now come from the split.
+    for (ir::Instr &inst : fn.blocks[to].instrs) {
+        if (inst.op != isa::Op::Phi)
+            break;
+        for (int &pb : inst.phiBlocks) {
+            if (pb == from)
+                pb = splitId;
+        }
+    }
+    fn.computeCfg();
+    return splitId;
+}
+
+namespace
+{
+
+/** Implementation helper for lowerBoundaries. */
+class BoundaryLowerer
+{
+  public:
+    BoundaryLowerer(ir::Function &fn, RegionPlan &plan)
+        : fn_(fn), plan_(plan)
+    {}
+
+    BoundaryStats run();
+
+  private:
+    int regionOf(int block) const { return plan_.regionOf[block]; }
+    int newVirtReg() { return nextVirtReg_++; }
+
+    /** Split edge if needed so a write can sit on it; returns block id
+     *  to append the write into (belonging to @p from's region). */
+    int writeSiteOnEdge(int from, int to);
+
+    void lowerRets();
+    void assignCrossRegValues();
+    bool sameRegionPath(int region, int a, int b) const;
+    void lowerHeadPhis();
+    void insertReads();
+    void assignStoreTokens();
+    void insertCompensation();
+
+    ir::Function &fn_;
+    RegionPlan &plan_;
+    BoundaryStats stats_;
+    int nextVirtReg_ = kRetVirtReg + 1;
+    // Memoized edge splits: a logical edge is split at most once and
+    // all writes bound for it share the split block.
+    std::map<std::pair<int, int>, int> edgeSite_;
+
+    std::map<int, int> vregOf_;          //!< SSA temp -> virtual register
+    std::map<int, int> defRegion_;       //!< SSA temp -> defining region
+    // (region, vreg) -> read temp
+    std::map<std::pair<int, int>, int> readTemp_;
+};
+
+int
+BoundaryLowerer::writeSiteOnEdge(int from, int to)
+{
+    if (fn_.blocks[from].succs.size() <= 1)
+        return from;
+    auto key = std::make_pair(from, to);
+    auto it = edgeSite_.find(key);
+    if (it != edgeSite_.end())
+        return it->second;
+    int split = splitEdge(fn_, from, to);
+    plan_.regionOf.push_back(regionOf(from));
+    // Keep the region's block list topologically ordered: the split
+    // precedes its successor when that successor is a non-head region
+    // member (internal merge edges), otherwise it goes last.
+    Region &region = plan_.regions[regionOf(from)];
+    auto pos = region.blocks.end();
+    if (regionOf(to) == regionOf(from) && to != region.head) {
+        pos = std::find(region.blocks.begin(), region.blocks.end(), to);
+    }
+    region.blocks.insert(pos, split);
+    ++stats_.splitBlocks;
+    edgeSite_[key] = split;
+    return split;
+}
+
+void
+BoundaryLowerer::lowerRets()
+{
+    for (ir::BBlock &block : fn_.blocks) {
+        if (block.term != ir::Term::Ret || block.retVal.isNone())
+            continue;
+        ir::Instr write;
+        write.op = isa::Op::Write;
+        write.reg = kRetVirtReg;
+        write.srcs.push_back(block.retVal);
+        block.instrs.push_back(std::move(write));
+        block.retVal = ir::Opnd::none();
+        ++stats_.valueWrites;
+    }
+}
+
+void
+BoundaryLowerer::assignCrossRegValues()
+{
+    // Defining region of every SSA temp.
+    for (const ir::BBlock &block : fn_.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp())
+                defRegion_[inst.dst.id] = regionOf(block.id);
+        }
+    }
+
+    // A temp is cross-region when used in a region other than its
+    // defining one. Phi operands count as uses in the incoming block's
+    // region (that is where the write will go).
+    std::set<int> cross;
+    auto noteUse = [&](int temp, int useRegion) {
+        auto it = defRegion_.find(temp);
+        if (it != defRegion_.end() && it->second != useRegion)
+            cross.insert(temp);
+    };
+    for (const ir::BBlock &block : fn_.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Phi) {
+                for (size_t k = 0; k < inst.srcs.size(); ++k) {
+                    if (inst.srcs[k].isTemp()) {
+                        noteUse(inst.srcs[k].id,
+                                regionOf(inst.phiBlocks[k]));
+                    }
+                }
+            } else {
+                std::vector<int> uses;
+                ir::collectUses(inst, uses);
+                for (int t : uses)
+                    noteUse(t, regionOf(block.id));
+            }
+        }
+        if (block.cond.isTemp())
+            noteUse(block.cond.id, regionOf(block.id));
+        if (block.retVal.isTemp())
+            noteUse(block.retVal.id, regionOf(block.id));
+    }
+
+    // Write each cross value right after its definition.
+    for (int temp : cross) {
+        int vreg = newVirtReg();
+        vregOf_[temp] = vreg;
+        bool placed = false;
+        for (ir::BBlock &block : fn_.blocks) {
+            for (size_t i = 0; i < block.instrs.size(); ++i) {
+                if (block.instrs[i].dst == ir::Opnd::temp(temp)) {
+                    // Keep phis contiguous at the block top: a write
+                    // after a phi goes after the whole phi group.
+                    size_t at = i + 1;
+                    if (block.instrs[i].op == isa::Op::Phi) {
+                        while (at < block.instrs.size() &&
+                               block.instrs[at].op == isa::Op::Phi) {
+                            ++at;
+                        }
+                    }
+                    ir::Instr write;
+                    write.op = isa::Op::Write;
+                    write.reg = vreg;
+                    write.srcs.push_back(ir::Opnd::temp(temp));
+                    block.instrs.insert(block.instrs.begin() + at,
+                                        write);
+                    ++stats_.valueWrites;
+                    placed = true;
+                    break;
+                }
+            }
+            if (placed)
+                break;
+        }
+        dfp_assert(placed, "cross-region temp t", temp, " has no def");
+    }
+}
+
+/** Can executions of one region reach both blocks (following forward
+ *  region-internal edges, ignoring re-entries through the head)? */
+bool
+BoundaryLowerer::sameRegionPath(int region, int a, int b) const
+{
+    if (a == b)
+        return true;
+    int head = plan_.regions[region].head;
+    auto reaches = [&](int from, int to) {
+        std::set<int> visited{from};
+        std::vector<int> stack{from};
+        while (!stack.empty()) {
+            int u = stack.back();
+            stack.pop_back();
+            for (int s : fn_.blocks[u].succs) {
+                if (s == head || plan_.regionOf[s] != region)
+                    continue;
+                if (s == to)
+                    return true;
+                if (visited.insert(s).second)
+                    stack.push_back(s);
+            }
+        }
+        return false;
+    };
+    return reaches(a, b) || reaches(b, a);
+}
+
+void
+BoundaryLowerer::lowerHeadPhis()
+{
+    // Collect (block, phi) work first: edge splitting mutates the CFG.
+    struct PhiJob
+    {
+        int block;
+        ir::Instr phi;
+        int vreg;
+    };
+    std::vector<PhiJob> jobs;
+    for (ir::BBlock &block : fn_.blocks) {
+        bool isHead =
+            plan_.regions[regionOf(block.id)].head == block.id;
+        if (!isHead)
+            continue;
+        for (size_t i = 0; i < block.instrs.size();) {
+            ir::Instr &inst = block.instrs[i];
+            if (inst.op != isa::Op::Phi) {
+                ++i;
+                continue;
+            }
+            jobs.push_back({block.id, inst, newVirtReg()});
+            block.instrs.erase(block.instrs.begin() + i);
+        }
+    }
+
+    // Defining block of every temp (for per-def write placement).
+    std::map<int, int> defBlock;
+    for (const ir::BBlock &block : fn_.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp())
+                defBlock[inst.dst.id] = block.id;
+        }
+    }
+
+    for (PhiJob &job : jobs) {
+        // The phi dest becomes a Read at the head's top.
+        ir::Instr read;
+        read.op = isa::Op::Read;
+        read.reg = job.vreg;
+        read.dst = job.phi.dst;
+        ir::BBlock &head = fn_.blocks[job.block];
+        head.instrs.insert(head.instrs.begin(), read);
+        ++stats_.reads;
+
+        // Prefer writing the register right after each input's
+        // definition — the shape the paper's Figure 4 shows, where the
+        // producing instruction (not a per-edge copy) feeds the write.
+        // Legal when the input is defined in the same region the edge
+        // leaves from (SSA guarantees the def fires whenever the edge
+        // is taken) and the per-def writes of this phi within one
+        // region are pairwise unreachable (at most one fires per block
+        // execution). Fall back to a (guarded) edge write otherwise;
+        // the null-compensation pass fixes paths with no write either
+        // way.
+        struct Placement
+        {
+            size_t input;
+            int block;   //!< def block, or -1 for an edge write
+        };
+        std::vector<Placement> placements;
+        for (size_t k = 0; k < job.phi.srcs.size(); ++k) {
+            int pred = job.phi.phiBlocks[k];
+            const ir::Opnd &src = job.phi.srcs[k];
+            int db = src.isTemp() && defBlock.count(src.id)
+                         ? defBlock[src.id]
+                         : -1;
+            placements.push_back(
+                {k, db >= 0 && regionOf(db) == regionOf(pred) ? db : -1});
+        }
+        // Demote per-def placements that could double-fire: a per-def
+        // write conflicts with any other anchor (another input's def
+        // block, or the pred block of an edge write) it can share one
+        // region execution with. Edge writes never conflict with each
+        // other (exactly one incoming edge fires per execution), and
+        // two inputs carrying the same value share one de-duplicated
+        // per-def write.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (Placement &p : placements) {
+                if (p.block < 0)
+                    continue;
+                int region = regionOf(p.block);
+                for (const Placement &q : placements) {
+                    if (&p == &q)
+                        continue;
+                    int anchor = q.block >= 0
+                                     ? q.block
+                                     : job.phi.phiBlocks[q.input];
+                    if (regionOf(anchor) != region)
+                        continue;
+                    if (q.block >= 0 && q.block == p.block)
+                        continue; // same def: one de-duplicated write
+                    if (sameRegionPath(region, p.block, anchor)) {
+                        p.block = -1;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        std::set<int> writtenAfterDef; // def block de-dup (same value
+                                       // feeding several edges)
+        for (const Placement &p : placements) {
+            const ir::Opnd &src = job.phi.srcs[p.input];
+            ir::Instr write;
+            write.op = isa::Op::Write;
+            write.reg = job.vreg;
+            write.srcs.push_back(src);
+            if (p.block >= 0) {
+                if (!writtenAfterDef.insert(p.block).second)
+                    continue;
+                // After the def (and past any phi group).
+                ir::BBlock &db = fn_.blocks[p.block];
+                size_t at = db.instrs.size();
+                for (size_t i = 0; i < db.instrs.size(); ++i) {
+                    if (db.instrs[i].dst == src) {
+                        at = i + 1;
+                        while (at < db.instrs.size() &&
+                               db.instrs[at].op == isa::Op::Phi) {
+                            ++at;
+                        }
+                        break;
+                    }
+                }
+                db.instrs.insert(db.instrs.begin() + at,
+                                 std::move(write));
+            } else {
+                int pred = job.phi.phiBlocks[p.input];
+                int site = writeSiteOnEdge(pred, job.block);
+                fn_.blocks[site].instrs.push_back(std::move(write));
+            }
+            ++stats_.valueWrites;
+        }
+    }
+}
+
+void
+BoundaryLowerer::insertReads()
+{
+    // Rewrite cross-region uses to freshly read temps, one read per
+    // (region, vreg). Temps are allocated during the rewrite walk; the
+    // read instructions are inserted afterwards so the walk never
+    // mutates a vector it is iterating.
+    auto readTempFor = [&](int region, int temp) -> int {
+        int vreg = vregOf_.at(temp);
+        auto key = std::make_pair(region, vreg);
+        auto it = readTemp_.find(key);
+        if (it != readTemp_.end())
+            return it->second;
+        int rt = fn_.newTemp();
+        readTemp_[key] = rt;
+        return rt;
+    };
+    auto rewrite = [&](ir::Opnd &opnd, int useRegion) {
+        if (!opnd.isTemp())
+            return;
+        auto it = defRegion_.find(opnd.id);
+        if (it == defRegion_.end() || it->second == useRegion)
+            return;
+        opnd = ir::Opnd::temp(readTempFor(useRegion, opnd.id));
+    };
+
+    for (ir::BBlock &block : fn_.blocks) {
+        int region = regionOf(block.id);
+        for (ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Phi) {
+                for (size_t k = 0; k < inst.srcs.size(); ++k)
+                    rewrite(inst.srcs[k], regionOf(inst.phiBlocks[k]));
+            } else {
+                for (ir::Opnd &src : inst.srcs)
+                    rewrite(src, region);
+            }
+        }
+        rewrite(block.cond, region);
+        rewrite(block.retVal, region);
+    }
+    // Materialize the read queue entries at each region head.
+    for (const auto &[key, temp] : readTemp_) {
+        ir::Instr read;
+        read.op = isa::Op::Read;
+        read.reg = key.second;
+        read.dst = ir::Opnd::temp(temp);
+        ir::BBlock &head = fn_.blocks[plan_.regions[key.first].head];
+        head.instrs.insert(head.instrs.begin(), std::move(read));
+        ++stats_.reads;
+    }
+}
+
+void
+BoundaryLowerer::assignStoreTokens()
+{
+    // Every store gets a function-unique token in its lsid field; the
+    // code generator wires store-nullification Null instructions (also
+    // tagged with the token) at the matching store, and maps tokens to
+    // real LSIDs. This is how predicated stores satisfy the block's
+    // store-output count on paths where they do not fire (§4.2).
+    int token = 0;
+    for (ir::BBlock &block : fn_.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::St)
+                inst.lsid = token++;
+        }
+    }
+}
+
+void
+BoundaryLowerer::insertCompensation()
+{
+    // Outputs needing per-path compensation: virtual registers written
+    // in the region (null write on uncovered exits) and store tokens
+    // (store-null on uncovered exits). Both use the same must-produced
+    // forward dataflow. Encode stores as key (1 << 24) + token.
+    constexpr int kStoreKey = 1 << 24;
+    for (size_t r = 0; r < plan_.regions.size(); ++r) {
+        const Region &region = plan_.regions[r];
+
+        std::set<int> written;
+        for (int b : region.blocks) {
+            for (const ir::Instr &inst : fn_.blocks[b].instrs) {
+                if (inst.op == isa::Op::Write) {
+                    written.insert(inst.reg);
+                } else if (inst.op == isa::Op::St) {
+                    written.insert(kStoreKey + inst.lsid);
+                }
+            }
+        }
+        if (written.empty())
+            continue;
+
+        for (int vreg : written) {
+            // Membership and gen sets are refreshed per pass: earlier
+            // passes split edges and append blocks to this region.
+            std::set<int> members(region.blocks.begin(),
+                                  region.blocks.end());
+            std::map<int, std::set<int>> gen;
+            for (int b : region.blocks) {
+                for (const ir::Instr &inst : fn_.blocks[b].instrs) {
+                    if (inst.op == isa::Op::Write)
+                        gen[b].insert(inst.reg);
+                    else if (inst.op == isa::Op::St)
+                        gen[b].insert(kStoreKey + inst.lsid);
+                }
+            }
+            // "Produced-on-this-path" analysis. After patching, every
+            // path through the region produces the output exactly once,
+            // so the per-block coverage flag is path-invariant:
+            //   in[b]  = OR over region preds of out[p]   (the false
+            //            incoming edges at a mixed merge get a null)
+            //   out[b] = in[b] || gen[b]
+            // Exits (region-leaving edges, back edges to the head, and
+            // Ret blocks) with out == false also get a null.
+            std::map<int, bool> outSet;
+            for (int b : region.blocks)
+                outSet[b] = false;
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                for (int b : region.blocks) {
+                    bool in = false;
+                    if (b != region.head) {
+                        for (int p : fn_.blocks[b].preds)
+                            in = in || outSet[p];
+                    }
+                    bool out = in || gen[b].count(vreg) > 0;
+                    if (out != outSet[b]) {
+                        outSet[b] = out;
+                        changed = true;
+                    }
+                }
+            }
+
+            struct Fix
+            {
+                int from;
+                int to; // -1 for a Ret exit
+            };
+            std::vector<Fix> fixes;
+            for (int b : region.blocks) {
+                const ir::BBlock &block = fn_.blocks[b];
+                // Mixed merge: patch the uncovered incoming edges.
+                if (b != region.head) {
+                    bool anyTrue = false, anyFalse = false;
+                    for (int p : fn_.blocks[b].preds) {
+                        (outSet[p] ? anyTrue : anyFalse) = true;
+                    }
+                    if (anyTrue && anyFalse) {
+                        for (int p : fn_.blocks[b].preds) {
+                            if (!outSet[p])
+                                fixes.push_back({p, b});
+                        }
+                    }
+                }
+                if (outSet[b])
+                    continue;
+                // Uncovered exits.
+                if (block.term == ir::Term::Ret) {
+                    fixes.push_back({b, -1});
+                    continue;
+                }
+                for (int s : block.succs) {
+                    if (!members.count(s) || s == region.head)
+                        fixes.push_back({b, s});
+                }
+            }
+            for (const Fix &fix : fixes) {
+                int site = fix.to == -1 ? fix.from
+                                        : writeSiteOnEdge(fix.from,
+                                                          fix.to);
+                auto &instrs = fn_.blocks[site].instrs;
+                if (vreg >= kStoreKey) {
+                    ir::Instr null;
+                    null.op = isa::Op::Null;
+                    null.lsid = vreg - kStoreKey;
+                    instrs.push_back(std::move(null));
+                } else {
+                    int tn = fn_.newTemp();
+                    ir::Instr null;
+                    null.op = isa::Op::Null;
+                    null.dst = ir::Opnd::temp(tn);
+                    ir::Instr write;
+                    write.op = isa::Op::Write;
+                    write.reg = vreg;
+                    write.srcs.push_back(ir::Opnd::temp(tn));
+                    instrs.push_back(std::move(null));
+                    instrs.push_back(std::move(write));
+                }
+                ++stats_.nullWrites;
+            }
+        }
+    }
+}
+
+BoundaryStats
+BoundaryLowerer::run()
+{
+    fn_.computeCfg();
+    lowerRets();
+    assignCrossRegValues();
+    insertReads();
+    lowerHeadPhis();
+    assignStoreTokens();
+    insertCompensation();
+    stats_.virtRegs = nextVirtReg_;
+    fn_.computeCfg();
+    fn_.verify();
+    return stats_;
+}
+
+} // namespace
+
+BoundaryStats
+lowerBoundaries(ir::Function &fn, RegionPlan &plan)
+{
+    return BoundaryLowerer(fn, plan).run();
+}
+
+} // namespace dfp::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Boundary lowering: the bridge between whole-function SSA and
+ * block-atomic execution. Values that cross region boundaries move
+ * through (virtual) architectural registers via Read/Write queue
+ * entries, and every region is made output-consistent: on every path it
+ * writes the same set of registers, inserting null-token writes (paper
+ * §4.2) on paths that must preserve the old value.
+ *
+ * Concretely, for a function in SSA form with a region plan:
+ *  1. `ret v` lowers to a Write of virtual register 0 (the return
+ *     register, later pinned to g1);
+ *  2. each SSA value used outside its defining region gets a virtual
+ *     register, a Write inserted immediately after its definition, and
+ *     one Read at the top of every region that uses it;
+ *  3. each phi at a region head gets its own virtual register: the phi
+ *     becomes a Read, and every incoming CFG edge gets a Write of the
+ *     edge's value (edges are split when the predecessor has multiple
+ *     successors, including loop back edges);
+ *  4. a must-written dataflow analysis per region finds exit paths that
+ *     miss a write of some register the region writes elsewhere, and
+ *     inserts `t = null; write r, t` compensation there (§4.2's
+ *     alternative to copying the old value through the block).
+ *
+ * The region plan is updated in place as edges are split.
+ */
+
+#ifndef DFP_CORE_NULL_INSERTION_H
+#define DFP_CORE_NULL_INSERTION_H
+
+#include "core/ifconvert.h"
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/** Virtual register carrying the kernel return value (pinned to g1). */
+constexpr int kRetVirtReg = 0;
+
+/** Statistics a caller may want after lowering. */
+struct BoundaryStats
+{
+    int virtRegs = 0;       //!< virtual registers allocated (incl. ret)
+    int valueWrites = 0;    //!< writes of computed values
+    int nullWrites = 0;     //!< compensation null writes (§4.2)
+    int reads = 0;          //!< read queue entries inserted
+    int splitBlocks = 0;    //!< blocks created by edge splitting
+};
+
+/** Run boundary lowering; see file comment. */
+BoundaryStats lowerBoundaries(ir::Function &fn, RegionPlan &plan);
+
+/**
+ * Split the CFG edge @p from -> @p to with a fresh empty block that
+ * jumps to @p to; updates terminator labels and phi incoming blocks.
+ * Returns the new block's id. Exposed for tests.
+ */
+int splitEdge(ir::Function &fn, int from, int to);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_NULL_INSERTION_H

@@ -1,0 +1,252 @@
+#include "core/path_sensitive.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/null_insertion.h"
+#include "core/pfg.h"
+
+namespace dfp::core
+{
+
+namespace
+{
+
+/** Cross-hyperblock liveness of virtual registers. */
+class RegLiveness
+{
+  public:
+    explicit RegLiveness(const ir::Function &fn) : fn_(fn)
+    {
+        size_t n = fn.blocks.size();
+        liveIn_.assign(n, {});
+        std::vector<std::set<int>> use(n), kill(n);
+        for (const ir::BBlock &block : fn.blocks) {
+            // A register is killed when the block value-writes it
+            // unconditionally (a guarded or null write may preserve the
+            // incoming value on some path).
+            std::set<int> nullFed;
+            for (const ir::Instr &inst : block.instrs) {
+                if (inst.op == isa::Op::Null && inst.dst.isTemp())
+                    nullFed.insert(inst.dst.id);
+            }
+            for (const ir::Instr &inst : block.instrs) {
+                if (inst.op == isa::Op::Read) {
+                    use[block.id].insert(inst.reg);
+                } else if (inst.op == isa::Op::Write &&
+                           inst.guards.empty() &&
+                           !(inst.srcs[0].isTemp() &&
+                             nullFed.count(inst.srcs[0].id))) {
+                    kill[block.id].insert(inst.reg);
+                }
+            }
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (size_t b = n; b-- > 0;) {
+                std::set<int> out;
+                for (int s : fn.blocks[b].succs) {
+                    for (int r : liveIn_[s])
+                        out.insert(r);
+                }
+                if (hasHaltExit(fn.blocks[b]))
+                    out.insert(kRetVirtReg);
+                std::set<int> in = use[b];
+                for (int r : out) {
+                    if (!kill[b].count(r))
+                        in.insert(r);
+                }
+                if (in != liveIn_[b]) {
+                    liveIn_[b] = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /** Is @p reg live when leaving via the bro labelled @p label? */
+    bool
+    liveAtExit(const std::string &label, int reg) const
+    {
+        if (label == "@halt")
+            return reg == kRetVirtReg;
+        int b = fn_.blockId(label);
+        dfp_assert(b >= 0, "unknown exit label '", label, "'");
+        return liveIn_[b].count(reg) > 0;
+    }
+
+  private:
+    static bool
+    hasHaltExit(const ir::BBlock &block)
+    {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Bro && inst.broLabel == "@halt")
+                return true;
+        }
+        return false;
+    }
+
+    const ir::Function &fn_;
+    std::vector<std::set<int>> liveIn_;
+};
+
+/** Try to collect the unconditional-promotion chain rooted at @p idx.
+ *  Returns false (and leaves @p chain unspecified) if any member fails
+ *  the §5.2 conditions. */
+bool
+collectChain(const ir::BBlock &hb, const PredInfo &info,
+             const std::set<int> &definesPred, int idx,
+             std::set<int> &chain)
+{
+    if (chain.count(idx))
+        return true;
+    const ir::Instr &inst = hb.instrs[idx];
+    switch (inst.op) {
+      case isa::Op::Read:
+        chain.insert(idx);
+        return true; // reads always fire
+      case isa::Op::Bro:
+      case isa::Op::St:
+      case isa::Op::Null:
+        return false;
+      default:
+        break;
+    }
+    if (inst.op != isa::Op::Write) {
+        if (!inst.dst.isTemp())
+            return false;
+        if (info.defsOf(inst.dst.id).size() != 1)
+            return false; // an arm of a dataflow join
+        if (definesPred.count(inst.dst.id))
+            return false; // predicate definitions anchor AND chains
+    }
+    if (inst.canExcept() && inst.op != isa::Op::Ld)
+        return false;
+    chain.insert(idx);
+    for (const ir::Opnd &src : inst.srcs) {
+        if (!src.isTemp())
+            continue;
+        const std::vector<int> &defs = info.defsOf(src.id);
+        if (defs.size() != 1)
+            return false;
+        if (!collectChain(hb, info, definesPred, defs.front(), chain))
+            return false;
+    }
+    return true;
+}
+
+int
+processHyperblock(ir::BBlock &hb, const RegLiveness &live)
+{
+    PredInfo info(hb);
+    std::set<int> definesPred;
+    for (const ir::Instr &inst : hb.instrs) {
+        for (const ir::Guard &g : inst.guards)
+            definesPred.insert(g.pred);
+    }
+
+    // Gather writes per register, split into value writes and null
+    // compensations (src defined by a Null instruction).
+    std::map<int, std::vector<int>> valueWrites, nullWrites;
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        if (inst.op != isa::Op::Write)
+            continue;
+        bool isNull = false;
+        if (inst.srcs[0].isTemp()) {
+            const auto &defs = info.defsOf(inst.srcs[0].id);
+            isNull = defs.size() == 1 &&
+                     hb.instrs[defs.front()].op == isa::Op::Null;
+        }
+        (isNull ? nullWrites : valueWrites)[inst.reg].push_back(
+            static_cast<int>(i));
+    }
+
+    std::set<int> deleted;
+    std::set<int> unguarded;
+    int changes = 0;
+
+    for (auto &[reg, writes] : valueWrites) {
+        if (writes.size() != 1)
+            continue;
+        auto nw = nullWrites.find(reg);
+        if (nw == nullWrites.end() || nw->second.empty())
+            continue; // no compensation to save
+        int wv = writes.front();
+        if (hb.instrs[wv].guards.empty())
+            continue;
+        auto cv = info.contextOf(wv);
+        if (cv.empty())
+            continue;
+
+        // (2) the write must dominate every exit on which reg is live.
+        bool ok = true;
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op != isa::Op::Bro)
+                continue;
+            if (!live.liveAtExit(inst.broLabel, reg))
+                continue;
+            auto ce = info.contextOfGuards(inst.guards);
+            if (!PredInfo::implies(ce, cv)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        // (3)/(4): the whole upward chain must promote.
+        std::set<int> chain;
+        if (!collectChain(hb, info, definesPred, wv, chain))
+            continue;
+
+        // Apply: unguard the chain, delete the compensations.
+        for (int idx : chain) {
+            if (!hb.instrs[idx].guards.empty()) {
+                hb.instrs[idx].guards.clear();
+                unguarded.insert(idx);
+                ++changes;
+            }
+        }
+        for (int idx : nw->second) {
+            deleted.insert(idx);
+            ++changes;
+            // Delete the feeding Null too when this was its only use.
+            const ir::Instr &w = hb.instrs[idx];
+            if (w.srcs[0].isTemp() &&
+                info.usesOf(w.srcs[0].id).size() == 1) {
+                deleted.insert(info.defsOf(w.srcs[0].id).front());
+            }
+        }
+        nw->second.clear();
+    }
+
+    if (!deleted.empty()) {
+        std::vector<ir::Instr> kept;
+        kept.reserve(hb.instrs.size() - deleted.size());
+        for (size_t i = 0; i < hb.instrs.size(); ++i) {
+            if (!deleted.count(static_cast<int>(i)))
+                kept.push_back(std::move(hb.instrs[i]));
+        }
+        hb.instrs = std::move(kept);
+    }
+    return changes;
+}
+
+} // namespace
+
+int
+removePathSensitivePreds(ir::Function &fn)
+{
+    RegLiveness live(fn);
+    int changes = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        if (block.term == ir::Term::Hyper)
+            changes += processHyperblock(block, live);
+    }
+    return changes;
+}
+
+} // namespace dfp::core

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Path-sensitive predicate removal (paper §5.2, the "inter"
+ * configuration).
+ *
+ * A register the block writes on one path but not another carries
+ * null-token compensation writes on the paths without a definition
+ * (§4.2, inserted by boundary lowering). When the register is *dead* on
+ * every exit the value-write does not dominate, the defining chain can
+ * be promoted to execute unconditionally and the compensation writes
+ * deleted — the paper's "promote instructions that define live
+ * registers to execute unconditionally", which shortens dependence
+ * chains and resolves the register write (and the branch predictor's
+ * view of the block) earlier.
+ *
+ * Candidate conditions, after §5.2: (1) the register is written by
+ * exactly one value-producing write (plus null compensations);
+ * (2) the write's guard context is implied by every exit on which the
+ * register is live (it "dominates the exits on which it is live");
+ * (3) no instruction in the promoted chain can raise an exception
+ * (speculative loads allowed, consistent with §5.1 hoisting); and
+ * (4) promotion only unguards the upward dependence chain — any
+ * instruction in the chain that is an arm of a dataflow join or defines
+ * a predicate aborts the candidate.
+ */
+
+#ifndef DFP_CORE_PATH_SENSITIVE_H
+#define DFP_CORE_PATH_SENSITIVE_H
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/**
+ * Apply path-sensitive predicate removal to every hyperblock of @p fn.
+ * Requires hyperblock form with virtual-register Read/Write boundary
+ * code (liveness of virtual registers is computed across hyperblocks).
+ * Returns the number of instructions removed or unguarded.
+ */
+int removePathSensitivePreds(ir::Function &fn);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_PATH_SENSITIVE_H

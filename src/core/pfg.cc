@@ -1,0 +1,209 @@
+#include "core/pfg.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/analysis.h"
+
+namespace dfp::core
+{
+
+PredInfo::PredInfo(const ir::BBlock &hb) : hb_(&hb)
+{
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        if (inst.dst.isTemp())
+            defs_[inst.dst.id].push_back(static_cast<int>(i));
+        std::vector<int> used;
+        ir::collectUses(inst, used);
+        for (int t : used)
+            uses_[t].push_back(static_cast<int>(i));
+    }
+}
+
+const std::vector<int> &
+PredInfo::defsOf(int temp) const
+{
+    auto it = defs_.find(temp);
+    return it == defs_.end() ? empty_ : it->second;
+}
+
+const std::vector<int> &
+PredInfo::usesOf(int temp) const
+{
+    auto it = uses_.find(temp);
+    return it == uses_.end() ? empty_ : it->second;
+}
+
+namespace
+{
+
+void
+contextWalk(const PredInfo &info, const ir::BBlock &hb,
+            const std::vector<ir::Guard> &guards,
+            std::vector<ir::Guard> &chain, int &fuel)
+{
+    if (fuel-- <= 0)
+        return;
+    // A multi-guard (predicate-OR) set is a disjunction, not a
+    // conjunction, so it cannot be folded into the chain.
+    if (guards.size() != 1)
+        return;
+    ir::Guard g = guards.front();
+    if (std::find(chain.begin(), chain.end(), g) != chain.end())
+        return; // defensive against cycles
+    chain.push_back(g);
+    const std::vector<int> &defs = info.defsOf(g.pred);
+    if (defs.empty()) {
+        return; // read-fed or external: atomic
+    }
+    if (defs.size() == 1) {
+        contextWalk(info, hb, hb.instrs[defs.front()].guards, chain,
+                    fuel);
+        return;
+    }
+    // Join predicate: guards common to the contexts of ALL of its
+    // definitions hold whenever any definition fired, so the
+    // intersection extends the chain (e.g. the implicit AND through a
+    // §3.5 join under an enclosing test).
+    std::vector<ir::Guard> common;
+    bool first = true;
+    for (int d : defs) {
+        std::vector<ir::Guard> sub;
+        contextWalk(info, hb, hb.instrs[d].guards, sub, fuel);
+        if (first) {
+            common = sub;
+            first = false;
+        } else {
+            std::vector<ir::Guard> kept;
+            for (const ir::Guard &c : common) {
+                if (std::find(sub.begin(), sub.end(), c) != sub.end())
+                    kept.push_back(c);
+            }
+            common = std::move(kept);
+        }
+        if (common.empty())
+            return;
+    }
+    for (const ir::Guard &c : common) {
+        if (std::find(chain.begin(), chain.end(), c) == chain.end())
+            chain.push_back(c);
+    }
+}
+
+} // namespace
+
+std::vector<ir::Guard>
+PredInfo::contextOfGuards(const std::vector<ir::Guard> &guards) const
+{
+    std::vector<ir::Guard> chain;
+    int fuel = 4096;
+    contextWalk(*this, *hb_, guards, chain, fuel);
+    return chain;
+}
+
+std::vector<ir::Guard>
+PredInfo::contextOf(int idx) const
+{
+    return contextOfGuards(hb_->instrs[idx].guards);
+}
+
+bool
+PredInfo::disjoint(const std::vector<ir::Guard> &a,
+                   const std::vector<ir::Guard> &b)
+{
+    for (const ir::Guard &ga : a) {
+        for (const ir::Guard &gb : b) {
+            if (ga.pred == gb.pred && ga.onTrue != gb.onTrue)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+PredInfo::implies(const std::vector<ir::Guard> &outer,
+                  const std::vector<ir::Guard> &inner)
+{
+    for (const ir::Guard &g : inner) {
+        if (std::find(outer.begin(), outer.end(), g) == outer.end())
+            return false;
+    }
+    return true;
+}
+
+void
+checkHyperblock(const ir::BBlock &hb)
+{
+    dfp_assert(hb.term == ir::Term::Hyper, "not a hyperblock: ", hb.name);
+    PredInfo info(hb);
+
+    std::vector<char> defined(1, 0);
+    auto seenDef = [&](int t) {
+        return t < static_cast<int>(defined.size()) && defined[t];
+    };
+    auto markDef = [&](int t) {
+        if (t >= static_cast<int>(defined.size()))
+            defined.resize(t + 1, 0);
+        defined[t] = 1;
+    };
+
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        if (inst.op == isa::Op::Phi)
+            continue; // entry phis resolved by register allocation
+        std::vector<int> used;
+        ir::collectUses(inst, used);
+        for (int t : used) {
+            dfp_assert(seenDef(t) || inst.op == isa::Op::Read,
+                       "hyperblock '", hb.name, "': t", t,
+                       " used at index ", i, " before any definition");
+        }
+        if (inst.dst.isTemp())
+            markDef(inst.dst.id);
+        if (inst.guards.size() > 1) {
+            for (const ir::Guard &g : inst.guards) {
+                dfp_assert(g.onTrue == inst.guards.front().onTrue,
+                           "hyperblock '", hb.name,
+                           "': mixed-polarity predicate-OR at index ", i);
+            }
+        }
+    }
+
+    // Multiple defs of one temp must be pairwise disjoint. A
+    // predicate-OR def (multiple guards) is a disjunction: every one of
+    // its disjunct contexts must be disjoint with every disjunct of the
+    // other def.
+    auto disjunctContexts = [&](int idx) {
+        std::vector<std::vector<ir::Guard>> contexts;
+        const ir::Instr &inst = hb.instrs[idx];
+        if (inst.guards.size() <= 1) {
+            contexts.push_back(info.contextOf(idx));
+        } else {
+            for (const ir::Guard &g : inst.guards)
+                contexts.push_back(info.contextOfGuards({g}));
+        }
+        return contexts;
+    };
+    std::set<int> checked;
+    for (const ir::Instr &a : hb.instrs) {
+        if (!a.dst.isTemp() || !checked.insert(a.dst.id).second)
+            continue;
+        const std::vector<int> &defs = info.defsOf(a.dst.id);
+        for (size_t x = 0; x < defs.size(); ++x) {
+            for (size_t y = x + 1; y < defs.size(); ++y) {
+                for (const auto &cx : disjunctContexts(defs[x])) {
+                    for (const auto &cy : disjunctContexts(defs[y])) {
+                        dfp_assert(
+                            PredInfo::disjoint(cx, cy),
+                            "hyperblock '", hb.name, "': defs of t",
+                            a.dst.id, " at ", defs[x], " and ", defs[y],
+                            " are not provably disjoint");
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace dfp::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Predicate flow graph (PFG) utilities over hyperblocks (paper §5,
+ * Figure 4). After if-conversion the PFG is *implicit* in the guard
+ * structure: each instruction carries at most one guard (pred temp +
+ * polarity), and the guard's defining test is itself guarded by the
+ * enclosing predicate, forming the predicate-AND chains of §3.4. This
+ * module recovers contexts from that structure: the full guard chain of
+ * an instruction, disjointness of two contexts (can both ever fire?),
+ * and implication (does firing A guarantee firing B's guard?).
+ */
+
+#ifndef DFP_CORE_PFG_H
+#define DFP_CORE_PFG_H
+
+#include <map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/**
+ * Predicate analysis over one hyperblock.
+ *
+ * Assumes the hyperblock invariant maintained by every dfp pass: the
+ * instruction list is topologically sorted (definitions precede uses),
+ * and any temp with multiple definitions has pairwise-disjoint guard
+ * contexts (a dataflow join).
+ */
+class PredInfo
+{
+  public:
+    explicit PredInfo(const ir::BBlock &hb);
+
+    /** Indices of the instructions defining temp @p t (usually one). */
+    const std::vector<int> &defsOf(int temp) const;
+
+    /** Indices of instructions using temp @p t (incl. guard uses). */
+    const std::vector<int> &usesOf(int temp) const;
+
+    /**
+     * The full guard-chain context of instruction @p idx: its own guards
+     * plus, transitively, the guards of each single-definition guard
+     * predicate. Join predicates (multiple defs) and multi-guard
+     * (predicate-OR) instructions terminate the chain — they stand for a
+     * disjunction and are kept as atomic guards.
+     */
+    std::vector<ir::Guard> contextOf(int idx) const;
+
+    /** Context implied by a guard list (without an owning instruction). */
+    std::vector<ir::Guard> contextOfGuards(
+        const std::vector<ir::Guard> &guards) const;
+
+    /**
+     * Are two contexts provably disjoint (no execution fires both)?
+     * True when some predicate appears with opposite polarities.
+     */
+    static bool disjoint(const std::vector<ir::Guard> &a,
+                         const std::vector<ir::Guard> &b);
+
+    /**
+     * Does context @p outer imply context @p inner (every execution
+     * satisfying @p outer also satisfies @p inner)? True when every
+     * guard of @p inner appears in @p outer.
+     */
+    static bool implies(const std::vector<ir::Guard> &outer,
+                        const std::vector<ir::Guard> &inner);
+
+    const ir::BBlock &block() const { return *hb_; }
+
+  private:
+    const ir::BBlock *hb_;
+    std::map<int, std::vector<int>> defs_;
+    std::map<int, std::vector<int>> uses_;
+    std::vector<int> empty_;
+};
+
+/**
+ * Check the hyperblock invariants (topological order; single or
+ * pairwise-disjoint defs; guard polarity consistency for multi-guard
+ * instructions). Throws PanicError on violation — these indicate
+ * compiler bugs, not user errors.
+ */
+void checkHyperblock(const ir::BBlock &hb);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_PFG_H

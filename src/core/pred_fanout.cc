@@ -1,0 +1,63 @@
+#include "core/pred_fanout.h"
+
+#include <set>
+
+#include "core/pfg.h"
+
+namespace dfp::core
+{
+
+int
+reducePredFanout(ir::BBlock &hb)
+{
+    dfp_assert(hb.term == ir::Term::Hyper, "fanout reduction needs a "
+                                           "hyperblock");
+    PredInfo info(hb);
+
+    // Temps whose value is consumed as a predicate somewhere.
+    std::set<int> definesPred;
+    for (const ir::Instr &inst : hb.instrs) {
+        for (const ir::Guard &g : inst.guards)
+            definesPred.insert(g.pred);
+    }
+
+    int removed = 0;
+    for (ir::Instr &inst : hb.instrs) {
+        if (inst.guards.empty())
+            continue;
+        // (1) branches, stores, writes, and null generators feed counted
+        // block outputs and must stay guarded.
+        if (inst.op == isa::Op::Bro || inst.op == isa::Op::St ||
+            inst.op == isa::Op::Write || inst.op == isa::Op::Null) {
+            continue;
+        }
+        if (!inst.dst.isTemp())
+            continue;
+        // (2) predicate-defining instructions keep their guards: they
+        // anchor the implicit AND chains (§3.4) and the join predicates.
+        if (definesPred.count(inst.dst.id))
+            continue;
+        // (4) one arm of a dataflow join cannot be promoted.
+        if (info.defsOf(inst.dst.id).size() != 1)
+            continue;
+        // Safety: no speculative faults except loads (§4.4).
+        if (inst.canExcept() && inst.op != isa::Op::Ld)
+            continue;
+        removed += static_cast<int>(inst.guards.size());
+        inst.guards.clear();
+    }
+    return removed;
+}
+
+int
+reducePredFanout(ir::Function &fn)
+{
+    int removed = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        if (block.term == ir::Term::Hyper)
+            removed += reducePredFanout(block);
+    }
+    return removed;
+}
+
+} // namespace dfp::core

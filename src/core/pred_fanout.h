@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Predicate fanout reduction (paper §5.1, the "intra" configuration).
+ *
+ * Removes the guard from instructions where implicit predication (§3.6)
+ * or speculative hoisting preserves semantics, shrinking the software
+ * fanout trees that would otherwise distribute each predicate to every
+ * consumer. Following the paper, a predicate is removed when ALL of:
+ *   (1) the instruction is not a branch or store (nor a register write
+ *       or null token generator — those feed counted block outputs);
+ *   (2) it does not define a predicate (its result guards nothing);
+ *   (3) it does not define a block output (in dfp terms: Write
+ *       instructions keep their guards; everything else defines temps);
+ *   (4) its destination is not one arm of a dataflow join (the analog
+ *       of "not used by an SSA phi": the temp has a single definition,
+ *       so un-guarding cannot make two producers fire).
+ * plus one safety condition the paper folds into §4.4: instructions
+ * that can raise an exception other than loads are not promoted
+ * (speculative loads are allowed, as in the paper's hoisting).
+ */
+
+#ifndef DFP_CORE_PRED_FANOUT_H
+#define DFP_CORE_PRED_FANOUT_H
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/** Apply fanout reduction to one hyperblock; returns guards removed. */
+int reducePredFanout(ir::BBlock &hb);
+
+/** Apply to every hyperblock of a function; returns guards removed. */
+int reducePredFanout(ir::Function &fn);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_PRED_FANOUT_H

@@ -1,0 +1,203 @@
+#include "core/ssa.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/analysis.h"
+
+namespace dfp::core
+{
+
+namespace
+{
+
+/** Classic Cytron SSA builder. */
+class SsaBuilder
+{
+  public:
+    explicit SsaBuilder(ir::Function &fn) : fn_(fn) {}
+
+    void run();
+
+  private:
+    void insertPhis();
+    void rename(int block);
+
+    ir::Function &fn_;
+    ir::DomTree dom_;
+    std::vector<std::vector<int>> domChildren_;
+    std::map<int, std::vector<int>> stacks_; //!< original temp -> versions
+    std::vector<int> pendingZeros_; //!< implicit-zero versions to insert
+};
+
+void
+SsaBuilder::insertPhis()
+{
+    dom_ = ir::computeDominators(fn_);
+    auto df = ir::dominanceFrontiers(fn_, dom_);
+
+    domChildren_.assign(fn_.blocks.size(), {});
+    for (size_t b = 0; b < fn_.blocks.size(); ++b) {
+        if (dom_.idom[b] != -1)
+            domChildren_[dom_.idom[b]].push_back(static_cast<int>(b));
+    }
+
+    // Defsites per temp.
+    std::map<int, std::set<int>> defsites;
+    std::map<int, std::set<int>> defsIn; // block -> temps defined
+    for (const ir::BBlock &block : fn_.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp()) {
+                defsites[inst.dst.id].insert(block.id);
+                defsIn[block.id].insert(inst.dst.id);
+            }
+        }
+    }
+    // Liveness limits phi insertion (pruned SSA keeps blocks small).
+    ir::Liveness live = ir::computeLiveness(fn_);
+
+    for (auto &[temp, sites] : defsites) {
+        if (sites.size() < 2 && !sites.count(fn_.entry)) {
+            // Still may need phis if defined once inside a loop and used
+            // around the back edge; the general worklist below covers it,
+            // so no shortcut here.
+        }
+        std::set<int> hasPhi;
+        std::vector<int> work(sites.begin(), sites.end());
+        while (!work.empty()) {
+            int b = work.back();
+            work.pop_back();
+            for (int y : df[b]) {
+                if (hasPhi.count(y) || !live.liveIn[y].count(temp))
+                    continue;
+                hasPhi.insert(y);
+                ir::Instr phi;
+                phi.op = isa::Op::Phi;
+                phi.dst = ir::Opnd::temp(temp);
+                for (int p : fn_.blocks[y].preds) {
+                    phi.srcs.push_back(ir::Opnd::temp(temp));
+                    phi.phiBlocks.push_back(p);
+                }
+                fn_.blocks[y].instrs.insert(fn_.blocks[y].instrs.begin(),
+                                            phi);
+                if (!defsIn[y].count(temp)) {
+                    defsIn[y].insert(temp);
+                    work.push_back(y);
+                }
+            }
+        }
+    }
+}
+
+void
+SsaBuilder::rename(int block)
+{
+    ir::BBlock &bb = fn_.blocks[block];
+    std::map<int, int> pushed; // original temp -> count pushed here
+
+    auto top = [&](int orig) -> int {
+        auto it = stacks_.find(orig);
+        if (it == stacks_.end() || it->second.empty()) {
+            // Use before def: implicitly zero. Allocate a version now and
+            // materialize a single "movi 0" at function entry after the
+            // renaming walk finishes (vector mutation during iteration is
+            // not safe here).
+            int v = fn_.newTemp();
+            pendingZeros_.push_back(v);
+            stacks_[orig].push_back(v);
+            // Deliberately never popped: acts as the entry definition.
+            return v;
+        }
+        return it->second.back();
+    };
+    auto defineNew = [&](int orig) {
+        int v = fn_.newTemp();
+        stacks_[orig].push_back(v);
+        ++pushed[orig];
+        return v;
+    };
+
+    for (ir::Instr &inst : bb.instrs) {
+        if (inst.op != isa::Op::Phi) {
+            for (ir::Opnd &src : inst.srcs) {
+                if (src.isTemp())
+                    src = ir::Opnd::temp(top(src.id));
+            }
+        }
+        if (inst.dst.isTemp())
+            inst.dst = ir::Opnd::temp(defineNew(inst.dst.id));
+    }
+    if (bb.cond.isTemp())
+        bb.cond = ir::Opnd::temp(top(bb.cond.id));
+    if (bb.retVal.isTemp())
+        bb.retVal = ir::Opnd::temp(top(bb.retVal.id));
+
+    for (int succ : bb.succs) {
+        for (ir::Instr &inst : fn_.blocks[succ].instrs) {
+            if (inst.op != isa::Op::Phi)
+                break;
+            for (size_t k = 0; k < inst.phiBlocks.size(); ++k) {
+                if (inst.phiBlocks[k] == block && inst.srcs[k].isTemp())
+                    inst.srcs[k] = ir::Opnd::temp(top(inst.srcs[k].id));
+            }
+        }
+    }
+    for (int child : domChildren_[block])
+        rename(child);
+
+    for (auto &[orig, count] : pushed) {
+        for (int i = 0; i < count; ++i)
+            stacks_[orig].pop_back();
+    }
+}
+
+void
+SsaBuilder::run()
+{
+    fn_.pruneUnreachable();
+    // The renaming below assigns fresh temps to dsts; uses renamed via
+    // stacks. Phis must appear before other instructions in each block.
+    insertPhis();
+    rename(fn_.entry);
+    // Materialize implicit-zero definitions at entry, after any phis.
+    if (!pendingZeros_.empty()) {
+        auto &entry = fn_.blocks[fn_.entry].instrs;
+        size_t pos = 0;
+        while (pos < entry.size() && entry[pos].op == isa::Op::Phi)
+            ++pos;
+        for (int v : pendingZeros_) {
+            ir::Instr zero;
+            zero.op = isa::Op::Movi;
+            zero.dst = ir::Opnd::temp(v);
+            zero.srcs.push_back(ir::Opnd::imm(0));
+            entry.insert(entry.begin() + pos, zero);
+        }
+    }
+    fn_.computeCfg();
+    fn_.verify();
+}
+
+} // namespace
+
+void
+buildSsa(ir::Function &fn)
+{
+    SsaBuilder(fn).run();
+}
+
+bool
+isSsa(const ir::Function &fn)
+{
+    std::set<int> defs;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp() && !defs.insert(inst.dst.id).second)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dfp::core

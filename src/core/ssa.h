@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SSA construction (Cytron et al. [11] in the paper's bibliography) for
+ * the dfp CFG IR. Hyperblock formation runs over SSA form so that
+ * region joins become phi nodes, which if-conversion then lowers to the
+ * predicated moves that realize the dataflow join of Figure 1.
+ */
+
+#ifndef DFP_CORE_SSA_H
+#define DFP_CORE_SSA_H
+
+#include "ir/ir.h"
+
+namespace dfp::core
+{
+
+/**
+ * Rewrite @p fn into SSA form: insert phi nodes at iterated dominance
+ * frontiers and rename every temp so each has a unique definition.
+ * Temps used before any definition are treated as implicitly defined to
+ * zero at entry (the golden interpreter rejects such programs earlier,
+ * so this only matters for compiler robustness).
+ */
+void buildSsa(ir::Function &fn);
+
+/** True if every temp in @p fn has at most one defining instruction. */
+bool isSsa(const ir::Function &fn);
+
+} // namespace dfp::core
+
+#endif // DFP_CORE_SSA_H

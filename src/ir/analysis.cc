@@ -1,0 +1,296 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dfp::ir
+{
+
+std::vector<int>
+reversePostorder(const Function &fn)
+{
+    std::vector<int> order;
+    std::vector<char> visited(fn.blocks.size(), 0);
+    std::function<void(int)> dfs = [&](int b) {
+        visited[b] = 1;
+        for (int s : fn.blocks[b].succs) {
+            if (!visited[s])
+                dfs(s);
+        }
+        order.push_back(b);
+    };
+    dfs(fn.entry);
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+namespace
+{
+
+/** CHK iterative dominator computation over an arbitrary edge view. */
+DomTree
+domsOver(size_t numBlocks, const std::vector<int> &rpo,
+         const std::vector<std::vector<int>> &preds, int root)
+{
+    std::vector<int> rpoIndex(numBlocks, -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = static_cast<int>(i);
+
+    DomTree tree;
+    tree.idom.assign(numBlocks, -1);
+    tree.idom[root] = root;
+
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = tree.idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = tree.idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b : rpo) {
+            if (b == root)
+                continue;
+            int newIdom = -1;
+            for (int p : preds[b]) {
+                if (rpoIndex[p] < 0 || tree.idom[p] == -1)
+                    continue;
+                newIdom = newIdom == -1 ? p : intersect(p, newIdom);
+            }
+            if (newIdom != -1 && tree.idom[b] != newIdom) {
+                tree.idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    tree.idom[root] = -1;
+    return tree;
+}
+
+} // namespace
+
+DomTree
+computeDominators(const Function &fn)
+{
+    std::vector<std::vector<int>> preds(fn.blocks.size());
+    for (const BBlock &block : fn.blocks)
+        preds[block.id] = block.preds;
+    return domsOver(fn.blocks.size(), reversePostorder(fn), preds,
+                    fn.entry);
+}
+
+DomTree
+computePostDominators(const Function &fn)
+{
+    // Virtual exit node joins all Ret blocks and halt-only hyperblocks.
+    size_t n = fn.blocks.size();
+    int virtualExit = static_cast<int>(n);
+    std::vector<std::vector<int>> preds(n + 1); // preds in *reverse* CFG
+
+    auto isExit = [&](const BBlock &block) {
+        if (block.term == Term::Ret)
+            return true;
+        if (block.term == Term::Hyper) {
+            for (const Instr &inst : block.instrs) {
+                if (inst.op == isa::Op::Bro && !inst.broLabel.empty() &&
+                    inst.broLabel[0] == '@') {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    // reverse CFG: edge s->b becomes pred edge of s... i.e. preds of a
+    // node in the reverse graph are its CFG successors.
+    for (const BBlock &block : fn.blocks) {
+        for (int s : block.succs)
+            preds[block.id].push_back(s);
+        if (isExit(block))
+            preds[block.id].push_back(virtualExit);
+    }
+    // preds above are "reverse-graph predecessors" = forward successors.
+
+    // RPO over the reverse graph: DFS from virtualExit following
+    // reverse-graph successors = CFG predecessors.
+    std::vector<int> order;
+    std::vector<char> visited(n + 1, 0);
+    std::function<void(int)> dfs = [&](int b) {
+        visited[b] = 1;
+        if (b == virtualExit) {
+            for (const BBlock &block : fn.blocks) {
+                if (isExit(block) && !visited[block.id])
+                    dfs(block.id);
+            }
+        } else {
+            for (int p : fn.blocks[b].preds) {
+                if (!visited[p])
+                    dfs(p);
+            }
+        }
+        order.push_back(b);
+    };
+    dfs(virtualExit);
+    std::reverse(order.begin(), order.end());
+
+    DomTree full = domsOver(n + 1, order, preds, virtualExit);
+    DomTree tree;
+    tree.idom.assign(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        int d = full.idom[i];
+        tree.idom[i] = (d == virtualExit) ? -1 : d;
+    }
+    return tree;
+}
+
+std::vector<std::set<int>>
+dominanceFrontiers(const Function &fn, const DomTree &dom)
+{
+    std::vector<std::set<int>> df(fn.blocks.size());
+    for (const BBlock &block : fn.blocks) {
+        if (block.preds.size() < 2)
+            continue;
+        for (int p : block.preds) {
+            int runner = p;
+            while (runner != -1 && runner != dom.idom[block.id]) {
+                df[runner].insert(block.id);
+                runner = dom.idom[runner];
+            }
+        }
+    }
+    return df;
+}
+
+void
+collectUses(const Instr &inst, std::vector<int> &uses)
+{
+    for (const Opnd &src : inst.srcs) {
+        if (src.isTemp())
+            uses.push_back(src.id);
+    }
+    for (const Guard &g : inst.guards)
+        uses.push_back(g.pred);
+}
+
+void
+collectTermUses(const BBlock &block, std::vector<int> &uses)
+{
+    if (block.term == Term::Br && block.cond.isTemp())
+        uses.push_back(block.cond.id);
+    if (block.term == Term::Ret && block.retVal.isTemp())
+        uses.push_back(block.retVal.id);
+}
+
+Liveness
+computeLiveness(const Function &fn)
+{
+    size_t n = fn.blocks.size();
+    Liveness lv;
+    lv.liveIn.assign(n, {});
+    lv.liveOut.assign(n, {});
+
+    // use[b]: used before any def in b; def[b]: defined in b.
+    // Phi handling: a phi's source is live-out of the matching
+    // predecessor, not live-in of the phi's own block.
+    std::vector<std::set<int>> use(n), def(n);
+    std::vector<std::vector<std::pair<int, int>>> phiOut(n); // (pred, temp)
+
+    for (const BBlock &block : fn.blocks) {
+        for (const Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Phi) {
+                for (size_t k = 0; k < inst.srcs.size(); ++k) {
+                    if (inst.srcs[k].isTemp()) {
+                        phiOut[inst.phiBlocks[k]].push_back(
+                            {block.id, inst.srcs[k].id});
+                    }
+                }
+            } else {
+                std::vector<int> uses;
+                collectUses(inst, uses);
+                for (int t : uses) {
+                    if (!def[block.id].count(t))
+                        use[block.id].insert(t);
+                }
+            }
+            if (inst.dst.isTemp())
+                def[block.id].insert(inst.dst.id);
+        }
+        std::vector<int> uses;
+        collectTermUses(block, uses);
+        for (int t : uses) {
+            if (!def[block.id].count(t))
+                use[block.id].insert(t);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = n; bi-- > 0;) {
+            const BBlock &block = fn.blocks[bi];
+            std::set<int> out;
+            for (int s : block.succs) {
+                for (int t : lv.liveIn[s])
+                    out.insert(t);
+            }
+            for (const auto &[succ, temp] : phiOut[bi]) {
+                (void)succ;
+                out.insert(temp);
+            }
+            std::set<int> in = use[bi];
+            for (int t : out) {
+                if (!def[bi].count(t))
+                    in.insert(t);
+            }
+            if (out != lv.liveOut[bi] || in != lv.liveIn[bi]) {
+                lv.liveOut[bi] = std::move(out);
+                lv.liveIn[bi] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return lv;
+}
+
+std::vector<Loop>
+findLoops(const Function &fn)
+{
+    DomTree dom = computeDominators(fn);
+    std::vector<Loop> loops;
+    std::vector<int> headerIndex(fn.blocks.size(), -1);
+
+    for (const BBlock &block : fn.blocks) {
+        for (int s : block.succs) {
+            if (!dom.dominates(s, block.id))
+                continue; // not a back edge
+            int &li = headerIndex[s];
+            if (li == -1) {
+                li = static_cast<int>(loops.size());
+                loops.push_back({});
+                loops.back().header = s;
+                loops.back().body.insert(s);
+            }
+            Loop &loop = loops[li];
+            loop.latches.push_back(block.id);
+            // Walk backwards from the latch collecting the body.
+            std::vector<int> stack{block.id};
+            while (!stack.empty()) {
+                int b = stack.back();
+                stack.pop_back();
+                if (loop.body.count(b))
+                    continue;
+                loop.body.insert(b);
+                for (int p : fn.blocks[b].preds)
+                    stack.push_back(p);
+            }
+        }
+    }
+    return loops;
+}
+
+} // namespace dfp::ir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CFG analyses over ir::Function: reverse postorder, dominators and
+ * post-dominators (Cooper-Harvey-Kennedy iterative algorithm),
+ * dominance frontiers (for SSA construction), liveness, and natural
+ * loop discovery (for unrolling and hyperblock region selection).
+ */
+
+#ifndef DFP_IR_ANALYSIS_H
+#define DFP_IR_ANALYSIS_H
+
+#include <set>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace dfp::ir
+{
+
+/** Reverse postorder over reachable blocks starting at the entry. */
+std::vector<int> reversePostorder(const Function &fn);
+
+/** Dominator tree: for each block, its immediate dominator (-1 = entry
+ *  or unreachable). */
+struct DomTree
+{
+    std::vector<int> idom;
+
+    bool
+    dominates(int a, int b) const
+    {
+        while (b != -1 && b != a)
+            b = idom[b];
+        return b == a;
+    }
+};
+
+/** Compute dominators. */
+DomTree computeDominators(const Function &fn);
+
+/**
+ * Compute post-dominators. Blocks that cannot reach any exit get
+ * idom -1 and postDominates() treats them conservatively.
+ */
+DomTree computePostDominators(const Function &fn);
+
+/** Dominance frontier of each block (Cytron et al.). */
+std::vector<std::set<int>> dominanceFrontiers(const Function &fn,
+                                              const DomTree &dom);
+
+/** Per-block liveness over temps. */
+struct Liveness
+{
+    std::vector<std::set<int>> liveIn;
+    std::vector<std::set<int>> liveOut;
+};
+
+/** Compute liveness of temps across the CFG. */
+Liveness computeLiveness(const Function &fn);
+
+/** Collect temps used (read) by an instruction, including guards. */
+void collectUses(const Instr &inst, std::vector<int> &uses);
+
+/** Temps used by a block's terminator. */
+void collectTermUses(const BBlock &block, std::vector<int> &uses);
+
+/** A natural loop: header plus body block set. */
+struct Loop
+{
+    int header = -1;
+    std::set<int> body; //!< includes the header
+    std::vector<int> latches; //!< blocks with back edges to the header
+};
+
+/** Find natural loops (requires reducible back edges; others ignored). */
+std::vector<Loop> findLoops(const Function &fn);
+
+} // namespace dfp::ir
+
+#endif // DFP_IR_ANALYSIS_H

@@ -1,0 +1,174 @@
+#include "ir/interp.h"
+
+#include <vector>
+
+#include "isa/alu.h"
+
+namespace dfp::ir
+{
+
+namespace
+{
+
+struct Env
+{
+    std::vector<uint64_t> values;
+    std::vector<char> defined;
+
+    explicit Env(int numTemps)
+        : values(numTemps, 0), defined(numTemps, 0)
+    {}
+};
+
+} // namespace
+
+InterpResult
+interpret(const Function &fn, isa::Memory &mem, uint64_t maxSteps)
+{
+    InterpResult res;
+    Env env(fn.tempCount());
+
+    auto eval = [&](const Opnd &opnd) -> uint64_t {
+        if (opnd.isImm())
+            return static_cast<uint64_t>(opnd.value);
+        dfp_assert(opnd.isTemp(), "evaluating empty operand");
+        if (!env.defined[opnd.id]) {
+            dfp_fatal("use of undefined temp t", opnd.id, " in '", fn.name,
+                      "'");
+        }
+        return env.values[opnd.id];
+    };
+    auto assign = [&](const Opnd &dst, uint64_t value) {
+        dfp_assert(dst.isTemp(), "assignment to non-temp");
+        env.values[dst.id] = value;
+        env.defined[dst.id] = 1;
+    };
+
+    int current = fn.entry;
+    int previous = -1;
+
+    while (true) {
+        const BBlock &block = fn.blocks[current];
+        ++res.dynBlocks;
+        if (block.term == Term::Hyper) {
+            res.error = "interpret() does not handle hyperblocks; use "
+                        "core::evalHyperblock";
+            return res;
+        }
+
+        // Phis evaluate simultaneously on entry.
+        std::vector<std::pair<Opnd, uint64_t>> phiAssigns;
+        size_t i = 0;
+        for (; i < block.instrs.size() &&
+               block.instrs[i].op == isa::Op::Phi;
+             ++i) {
+            const Instr &inst = block.instrs[i];
+            bool found = false;
+            for (size_t k = 0; k < inst.phiBlocks.size(); ++k) {
+                if (inst.phiBlocks[k] == previous) {
+                    phiAssigns.push_back({inst.dst, eval(inst.srcs[k])});
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                res.error = detail::cat("phi in '", block.name,
+                                        "' missing edge from block ",
+                                        previous);
+                return res;
+            }
+            ++res.dynInstrs;
+        }
+        for (const auto &[dst, value] : phiAssigns)
+            assign(dst, value);
+
+        for (; i < block.instrs.size(); ++i) {
+            const Instr &inst = block.instrs[i];
+            if (++res.dynInstrs > maxSteps) {
+                res.error = "dynamic step limit exceeded";
+                return res;
+            }
+            if (inst.op == isa::Op::Phi) {
+                res.error = detail::cat("phi after non-phi in '",
+                                        block.name, "'");
+                return res;
+            }
+            switch (inst.op) {
+              case isa::Op::Ld: {
+                uint64_t addr = eval(inst.srcs[0]) +
+                                static_cast<int64_t>(
+                                    eval(inst.srcs[1]));
+                if (addr & 7) {
+                    res.error = detail::cat("misaligned load 0x", std::hex,
+                                            addr, " in '", block.name,
+                                            "'");
+                    return res;
+                }
+                assign(inst.dst, mem.load(addr));
+                break;
+              }
+              case isa::Op::St: {
+                uint64_t addr = eval(inst.srcs[0]) +
+                                static_cast<int64_t>(
+                                    eval(inst.srcs[2]));
+                if (addr & 7) {
+                    res.error = detail::cat("misaligned store 0x",
+                                            std::hex, addr, " in '",
+                                            block.name, "'");
+                    return res;
+                }
+                mem.store(addr, eval(inst.srcs[1]));
+                break;
+              }
+              case isa::Op::Mov:
+                assign(inst.dst, eval(inst.srcs[0]));
+                break;
+              case isa::Op::Movi:
+                assign(inst.dst, eval(inst.srcs[0]));
+                break;
+              default: {
+                dfp_assert(!isa::isPseudoOp(inst.op),
+                           "pseudo-op in block body");
+                isa::Token a, b;
+                const auto &info = isa::opInfo(inst.op);
+                if (info.numSrcs >= 1)
+                    a.value = eval(inst.srcs[0]);
+                if (info.numSrcs >= 2)
+                    b.value = eval(inst.srcs[1]);
+                isa::Token out = isa::evalOp(inst.op, a, b);
+                if (out.excep) {
+                    res.error = detail::cat("arithmetic exception at ",
+                                            isa::opName(inst.op), " in '",
+                                            block.name, "'");
+                    return res;
+                }
+                assign(inst.dst, out.value);
+                break;
+              }
+            }
+        }
+
+        previous = current;
+        switch (block.term) {
+          case Term::Jmp:
+            current = fn.blockId(block.succLabels[0]);
+            break;
+          case Term::Br:
+            current = fn.blockId(
+                block.succLabels[eval(block.cond) != 0 ? 0 : 1]);
+            break;
+          case Term::Ret:
+            res.ok = true;
+            if (!block.retVal.isNone())
+                res.retValue = eval(block.retVal);
+            return res;
+          default:
+            res.error = detail::cat("block '", block.name,
+                                    "' has no terminator");
+            return res;
+        }
+        ++res.dynInstrs;
+    }
+}
+
+} // namespace dfp::ir

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sequential golden interpreter for CFG-stage IR (frontend or SSA form).
+ * Defines the reference semantics every compiler configuration must
+ * preserve; the test suite compares its result and memory image against
+ * the functional block executor and the cycle simulator.
+ */
+
+#ifndef DFP_IR_INTERP_H
+#define DFP_IR_INTERP_H
+
+#include <string>
+
+#include "isa/memory.h"
+#include "ir/ir.h"
+
+namespace dfp::ir
+{
+
+/** Result of interpreting a kernel. */
+struct InterpResult
+{
+    bool ok = false;
+    uint64_t retValue = 0;
+    uint64_t dynInstrs = 0;
+    uint64_t dynBlocks = 0;
+    std::string error;
+};
+
+/**
+ * Interpret @p fn against @p mem (mutated in place).
+ *
+ * @param maxSteps dynamic instruction budget (guards against livelock).
+ */
+InterpResult interpret(const Function &fn, isa::Memory &mem,
+                       uint64_t maxSteps = 1u << 26);
+
+} // namespace dfp::ir
+
+#endif // DFP_IR_INTERP_H

@@ -1,0 +1,190 @@
+#include "ir/ir.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dfp::ir
+{
+
+BBlock &
+Function::addBlock(const std::string &label)
+{
+    dfp_assert(labelIndex_.find(label) == labelIndex_.end(),
+               "duplicate block label '", label, "'");
+    BBlock block;
+    block.id = static_cast<int>(blocks.size());
+    block.name = label;
+    labelIndex_[label] = block.id;
+    blocks.push_back(std::move(block));
+    return blocks.back();
+}
+
+int
+Function::blockId(const std::string &label) const
+{
+    auto it = labelIndex_.find(label);
+    return it == labelIndex_.end() ? -1 : it->second;
+}
+
+std::vector<std::string>
+successorLabels(const BBlock &block)
+{
+    std::vector<std::string> labels;
+    switch (block.term) {
+      case Term::Jmp:
+      case Term::Br:
+        labels = block.succLabels;
+        break;
+      case Term::Ret:
+        break;
+      case Term::Hyper:
+        for (const Instr &inst : block.instrs) {
+            // "@halt" is the reserved exit label and has no CFG edge.
+            if (inst.op == isa::Op::Bro && !inst.broLabel.empty() &&
+                inst.broLabel[0] != '@') {
+                labels.push_back(inst.broLabel);
+            }
+        }
+        break;
+      case Term::None:
+        break;
+    }
+    return labels;
+}
+
+void
+Function::computeCfg()
+{
+    labelIndex_.clear();
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        blocks[i].id = static_cast<int>(i);
+        dfp_assert(labelIndex_.emplace(blocks[i].name, i).second,
+                   "duplicate block label '", blocks[i].name, "'");
+        blocks[i].preds.clear();
+        blocks[i].succs.clear();
+    }
+    for (BBlock &block : blocks) {
+        std::set<int> seen;
+        for (const std::string &label : successorLabels(block)) {
+            int succ = blockId(label);
+            dfp_assert(succ >= 0, "block '", block.name,
+                       "' branches to unknown label '", label, "'");
+            if (seen.insert(succ).second) {
+                block.succs.push_back(succ);
+                blocks[succ].preds.push_back(block.id);
+            }
+        }
+    }
+}
+
+void
+Function::pruneUnreachable()
+{
+    computeCfg();
+    std::vector<bool> reachable(blocks.size(), false);
+    std::vector<int> stack{entry};
+    reachable[entry] = true;
+    while (!stack.empty()) {
+        int b = stack.back();
+        stack.pop_back();
+        for (int s : blocks[b].succs) {
+            if (!reachable[s]) {
+                reachable[s] = true;
+                stack.push_back(s);
+            }
+        }
+    }
+    if (std::all_of(reachable.begin(), reachable.end(),
+                    [](bool r) { return r; })) {
+        return;
+    }
+    // Drop phi operands flowing from removed predecessors, then compact.
+    std::vector<int> newId(blocks.size(), -1);
+    std::vector<BBlock> kept;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (!reachable[i])
+            continue;
+        newId[i] = static_cast<int>(kept.size());
+        kept.push_back(std::move(blocks[i]));
+    }
+    for (BBlock &block : kept) {
+        for (Instr &inst : block.instrs) {
+            if (inst.op != isa::Op::Phi)
+                continue;
+            for (size_t k = inst.phiBlocks.size(); k-- > 0;) {
+                int pred = inst.phiBlocks[k];
+                if (pred < 0 ||
+                    pred >= static_cast<int>(reachable.size()) ||
+                    !reachable[pred]) {
+                    inst.phiBlocks.erase(inst.phiBlocks.begin() + k);
+                    inst.srcs.erase(inst.srcs.begin() + k);
+                } else {
+                    inst.phiBlocks[k] = newId[pred];
+                }
+            }
+        }
+    }
+    entry = newId[entry];
+    dfp_assert(entry >= 0, "entry unreachable?");
+    blocks = std::move(kept);
+    computeCfg();
+    // computeCfg rewrote ids; phi operand block ids must be refreshed by
+    // callers that renumber — here ids were remapped above already.
+}
+
+void
+Function::verify() const
+{
+    dfp_assert(!blocks.empty(), "function has no blocks");
+    for (const BBlock &block : blocks) {
+        if (block.term == Term::None)
+            dfp_fatal("block '", block.name, "' has no terminator");
+        if (block.term == Term::Br && !block.cond.isTemp() &&
+            !block.cond.isImm()) {
+            dfp_fatal("block '", block.name, "' br without condition");
+        }
+        size_t want = block.term == Term::Jmp   ? 1
+                      : block.term == Term::Br  ? 2
+                                                : 0;
+        if (block.term != Term::Hyper && block.succLabels.size() != want)
+            dfp_fatal("block '", block.name, "' wrong successor count");
+        for (const Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Br || inst.op == isa::Op::Jmp ||
+                inst.op == isa::Op::Ret) {
+                dfp_fatal("block '", block.name,
+                          "' contains terminator pseudo-op in body");
+            }
+            if (inst.op == isa::Op::Phi) {
+                if (inst.srcs.size() != inst.phiBlocks.size()) {
+                    dfp_fatal("phi operand/block count mismatch in '",
+                              block.name, "'");
+                }
+                for (int pb : inst.phiBlocks) {
+                    bool isPred =
+                        std::find(block.preds.begin(), block.preds.end(),
+                                  pb) != block.preds.end();
+                    if (!isPred) {
+                        dfp_fatal("phi in '", block.name,
+                                  "' has an input from block ", pb,
+                                  " which is not a predecessor");
+                    }
+                }
+            }
+            if (block.term == Term::Hyper) {
+                for (const Guard &g : inst.guards)
+                    dfp_assert(g.pred >= 0, "negative predicate temp");
+            }
+            if (inst.op == isa::Op::Bro && block.term != Term::Hyper)
+                dfp_fatal("bro outside hyperblock in '", block.name, "'");
+        }
+        if (block.term == Term::Hyper) {
+            bool anyBro = false;
+            for (const Instr &inst : block.instrs)
+                anyBro |= inst.op == isa::Op::Bro;
+            if (!anyBro)
+                dfp_fatal("hyperblock '", block.name, "' has no bro");
+        }
+    }
+}
+
+} // namespace dfp::ir

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The dfp compiler intermediate representation: a control-flow graph of
+ * basic blocks holding three-address instructions over virtual
+ * temporaries, matching the internal form the paper attributes to the
+ * Scale compiler (§5, Figure 4).
+ *
+ * The same structures carry the program through every phase:
+ *  - frontend CFG: blocks with Jmp/Br/Ret terminators, temps freely
+ *    redefined;
+ *  - SSA: unique defs plus Phi instructions;
+ *  - hyperblock form: one block per hyperblock (kind == Hyper), every
+ *    instruction optionally guarded by predicates, terminator replaced
+ *    by predicated Bro instructions inside the body.
+ */
+
+#ifndef DFP_IR_IR_H
+#define DFP_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+#include "isa/opcodes.h"
+
+namespace dfp::ir
+{
+
+/** Operand kinds. */
+enum class Kind : uint8_t
+{
+    None, //!< absent (e.g. no destination)
+    Temp, //!< virtual temporary t<id>
+    Imm,  //!< 64-bit immediate (int bits; doubles stored as bit pattern)
+};
+
+/** An instruction operand. */
+struct Opnd
+{
+    Kind kind = Kind::None;
+    int id = 0;       //!< temp id when kind == Temp
+    int64_t value = 0; //!< immediate value when kind == Imm
+
+    static Opnd none() { return {}; }
+    static Opnd temp(int id) { return {Kind::Temp, id, 0}; }
+    static Opnd imm(int64_t v) { return {Kind::Imm, 0, v}; }
+
+    bool isTemp() const { return kind == Kind::Temp; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+
+    bool operator==(const Opnd &) const = default;
+};
+
+/**
+ * A predicate guard: fire only when temp @p pred carries a value whose
+ * truth matches @p onTrue. An instruction may carry several guards after
+ * disjoint instruction merging (predicate-OR, §3.5/§5.3); the target ISA
+ * requires all guards of one instruction to share a polarity.
+ */
+struct Guard
+{
+    int pred = 0;
+    bool onTrue = true;
+
+    bool operator==(const Guard &) const = default;
+};
+
+/** A three-address instruction. */
+struct Instr
+{
+    isa::Op op = isa::Op::Nop;
+    Opnd dst;                //!< result temp (None for St/Bro/...)
+    std::vector<Opnd> srcs;  //!< data operands; immediates allowed inline
+    std::vector<Guard> guards; //!< empty = unpredicated
+
+    /** Phi only: CFG predecessor block id per source (parallel to srcs). */
+    std::vector<int> phiBlocks;
+
+    int lsid = -1;           //!< Ld/St sequence id within a hyperblock
+    int reg = -1;            //!< Read/Write architectural register
+    std::string broLabel;    //!< Bro: label of the successor block
+
+    bool predicated() const { return !guards.empty(); }
+
+    bool
+    hasSideEffect() const
+    {
+        return op == isa::Op::St || op == isa::Op::Bro ||
+               op == isa::Op::Write || op == isa::Op::Br ||
+               op == isa::Op::Jmp || op == isa::Op::Ret;
+    }
+
+    /** Can this instruction raise an exception (§5.2 condition 3)? */
+    bool
+    canExcept() const
+    {
+        switch (op) {
+          case isa::Op::Div: case isa::Op::Divi: case isa::Op::Fdiv:
+          case isa::Op::Ld: case isa::Op::St:
+            return true;
+          default:
+            return false;
+        }
+    }
+};
+
+/** Block terminator kinds (frontend / SSA stages). */
+enum class Term : uint8_t
+{
+    None, //!< not yet set (illegal in finished functions)
+    Jmp,  //!< unconditional jump to succLabels[0]
+    Br,   //!< conditional: cond != 0 -> succLabels[0], else succLabels[1]
+    Ret,  //!< return retVal (g1 at target level) and halt
+    Hyper //!< hyperblock: Bro instructions in the body choose a successor
+};
+
+/** A basic block (or, after if-conversion, a hyperblock). */
+struct BBlock
+{
+    int id = -1;
+    std::string name;
+    std::vector<Instr> instrs;
+
+    Term term = Term::None;
+    Opnd cond;                        //!< Br condition
+    Opnd retVal;                      //!< Ret value (may be None)
+    std::vector<std::string> succLabels;
+
+    // Derived CFG links (block ids), refreshed by Function::computeCfg().
+    std::vector<int> preds;
+    std::vector<int> succs;
+};
+
+/** A compiled unit: one kernel function. */
+class Function
+{
+  public:
+    std::string name = "kernel";
+    std::vector<BBlock> blocks;
+    int entry = 0;
+
+    /** Allocate a fresh temp id. */
+    int newTemp() { return nextTemp_++; }
+
+    /** Ensure the temp allocator is past @p id. */
+    void
+    noteTemp(int id)
+    {
+        if (id >= nextTemp_)
+            nextTemp_ = id + 1;
+    }
+
+    int tempCount() const { return nextTemp_; }
+
+    /** Add a block with a unique label; returns its id. */
+    BBlock &addBlock(const std::string &label);
+
+    /** Look up a block id by label; -1 if missing. */
+    int blockId(const std::string &label) const;
+
+    /** Recompute preds/succs and the label index from terminators. */
+    void computeCfg();
+
+    /** Remove blocks unreachable from the entry; recomputes the CFG. */
+    void pruneUnreachable();
+
+    /** Structural sanity checks; throws FatalError on malformed IR. */
+    void verify() const;
+
+  private:
+    int nextTemp_ = 0;
+    std::unordered_map<std::string, int> labelIndex_;
+};
+
+/** All successor labels of a block, including Bro labels in hyperblocks. */
+std::vector<std::string> successorLabels(const BBlock &block);
+
+} // namespace dfp::ir
+
+#endif // DFP_IR_IR_H

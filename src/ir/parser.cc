@@ -1,0 +1,355 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "isa/alu.h"
+
+namespace dfp::ir
+{
+
+namespace
+{
+
+/** Line-oriented tokenizer + recursive-descent statement parser. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source) : src_(source) {}
+
+    std::vector<Function> parse();
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        dfp_fatal("IR parse error at line ", line_, ": ", msg);
+    }
+
+    // --- lexer over the current line ---------------------------------
+    bool nextLine();
+    void skipSpace();
+    bool atEol();
+    std::string ident();
+    bool peekIs(char c);
+    void expect(char c);
+    bool tryConsume(char c);
+
+    // --- statement parsing --------------------------------------------
+    void parseStatement(Function &fn, BBlock *&block);
+    Opnd parseOpnd(Function &fn);
+    int tempFor(Function &fn, const std::string &name);
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 0;
+    std::string cur_;
+    size_t col_ = 0;
+    std::unordered_map<std::string, int> temps_;
+};
+
+bool
+Parser::nextLine()
+{
+    while (pos_ < src_.size()) {
+        size_t end = src_.find('\n', pos_);
+        if (end == std::string::npos)
+            end = src_.size();
+        cur_ = src_.substr(pos_, end - pos_);
+        pos_ = end + 1;
+        ++line_;
+        col_ = 0;
+        if (size_t hash = cur_.find('#'); hash != std::string::npos)
+            cur_.resize(hash);
+        skipSpace();
+        if (!atEol())
+            return true;
+    }
+    return false;
+}
+
+void
+Parser::skipSpace()
+{
+    while (col_ < cur_.size() && std::isspace(
+               static_cast<unsigned char>(cur_[col_]))) {
+        ++col_;
+    }
+}
+
+bool
+Parser::atEol()
+{
+    skipSpace();
+    return col_ >= cur_.size();
+}
+
+std::string
+Parser::ident()
+{
+    skipSpace();
+    size_t start = col_;
+    while (col_ < cur_.size()) {
+        char c = cur_[col_];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.' || c == '$' || c == '-' || c == '+' ||
+            (c == 'x' || c == 'X')) {
+            ++col_;
+        } else {
+            break;
+        }
+    }
+    if (col_ == start)
+        error(detail::cat("expected identifier, got '",
+                          cur_.substr(col_), "'"));
+    return cur_.substr(start, col_ - start);
+}
+
+bool
+Parser::peekIs(char c)
+{
+    skipSpace();
+    return col_ < cur_.size() && cur_[col_] == c;
+}
+
+void
+Parser::expect(char c)
+{
+    if (!tryConsume(c))
+        error(detail::cat("expected '", std::string(1, c), "'"));
+}
+
+bool
+Parser::tryConsume(char c)
+{
+    if (!peekIs(c))
+        return false;
+    ++col_;
+    return true;
+}
+
+int
+Parser::tempFor(Function &fn, const std::string &name)
+{
+    auto it = temps_.find(name);
+    if (it != temps_.end())
+        return it->second;
+    int id = fn.newTemp();
+    temps_.emplace(name, id);
+    return id;
+}
+
+Opnd
+Parser::parseOpnd(Function &fn)
+{
+    std::string tok = ident();
+    char first = tok[0];
+    bool numeric = std::isdigit(static_cast<unsigned char>(first)) ||
+                   ((first == '-' || first == '+') && tok.size() > 1 &&
+                    std::isdigit(static_cast<unsigned char>(tok[1])));
+    if (!numeric)
+        return Opnd::temp(tempFor(fn, tok));
+    if (tok.find('.') != std::string::npos ||
+        (tok.find('e') != std::string::npos &&
+         tok.find("0x") == std::string::npos)) {
+        double d = std::strtod(tok.c_str(), nullptr);
+        return Opnd::imm(static_cast<int64_t>(isa::packDouble(d)));
+    }
+    return Opnd::imm(std::strtoll(tok.c_str(), nullptr, 0));
+}
+
+void
+Parser::parseStatement(Function &fn, BBlock *&block)
+{
+    std::string head = ident();
+
+    if (head == "block") {
+        std::string label = ident();
+        expect(':');
+        block = &fn.addBlock(label);
+        return;
+    }
+    if (block == nullptr)
+        error("statement before first 'block'");
+
+    if (head == "br") {
+        block->term = Term::Br;
+        block->cond = parseOpnd(fn);
+        expect(',');
+        block->succLabels.push_back(ident());
+        expect(',');
+        block->succLabels.push_back(ident());
+        return;
+    }
+    if (head == "jmp") {
+        block->term = Term::Jmp;
+        block->succLabels.push_back(ident());
+        return;
+    }
+    if (head == "ret") {
+        block->term = Term::Ret;
+        if (!atEol())
+            block->retVal = parseOpnd(fn);
+        return;
+    }
+    if (head == "st") {
+        Instr inst;
+        inst.op = isa::Op::St;
+        inst.srcs.push_back(parseOpnd(fn));
+        expect(',');
+        inst.srcs.push_back(parseOpnd(fn));
+        if (tryConsume(','))
+            inst.srcs.push_back(parseOpnd(fn));
+        else
+            inst.srcs.push_back(Opnd::imm(0));
+        if (!inst.srcs[2].isImm())
+            error("store offset must be an immediate");
+        block->instrs.push_back(std::move(inst));
+        return;
+    }
+
+    // Assignment form: <dst> = <op> ...
+    if (!tryConsume('='))
+        error(detail::cat("unknown statement '", head, "'"));
+    Instr inst;
+    inst.dst = Opnd::temp(tempFor(fn, head));
+    std::string mnem = ident();
+    inst.op = isa::opFromName(mnem);
+    if (inst.op == isa::Op::NumOps)
+        error(detail::cat("unknown opcode '", mnem, "'"));
+
+    if (inst.op == isa::Op::Phi) {
+        do {
+            expect('[');
+            std::string label = ident();
+            expect(':');
+            inst.srcs.push_back(parseOpnd(fn));
+            expect(']');
+            inst.phiBlocks.push_back(-1); // resolved after all blocks exist
+            block->succLabels.push_back(""); // placeholder, unused
+            block->succLabels.pop_back();
+            inst.broLabel += (inst.broLabel.empty() ? "" : ",") + label;
+        } while (tryConsume(','));
+        block->instrs.push_back(std::move(inst));
+        return;
+    }
+    if (inst.op == isa::Op::Ld) {
+        inst.srcs.push_back(parseOpnd(fn));
+        if (tryConsume(','))
+            inst.srcs.push_back(parseOpnd(fn));
+        else
+            inst.srcs.push_back(Opnd::imm(0));
+        if (!inst.srcs[1].isImm())
+            error("load offset must be an immediate");
+        block->instrs.push_back(std::move(inst));
+        return;
+    }
+
+    if (!atEol()) {
+        inst.srcs.push_back(parseOpnd(fn));
+        while (tryConsume(','))
+            inst.srcs.push_back(parseOpnd(fn));
+    }
+    // Fold frontend "movi x, k" and "mov x, imm" into a canonical form.
+    if (inst.op == isa::Op::Movi && inst.srcs.size() == 1 &&
+        inst.srcs[0].isTemp()) {
+        inst.op = isa::Op::Mov;
+    }
+    unsigned want = isa::opInfo(inst.op).numSrcs +
+                    (inst.op == isa::Op::Movi ? 1 : 0);
+    if (inst.srcs.size() != want) {
+        error(detail::cat("opcode '", mnem, "' expects ", want,
+                          " operands, got ", inst.srcs.size()));
+    }
+    block->instrs.push_back(std::move(inst));
+}
+
+std::vector<Function>
+Parser::parse()
+{
+    std::vector<Function> funcs;
+    Function *fn = nullptr;
+    BBlock *block = nullptr;
+
+    while (nextLine()) {
+        while (!atEol()) {
+            skipSpace();
+            if (tryConsume('}')) {
+                if (!fn)
+                    error("'}' outside function");
+                fn = nullptr;
+                block = nullptr;
+                continue;
+            }
+            size_t save = col_;
+            std::string head = ident();
+            if (head == "func") {
+                std::string name = ident();
+                expect('{');
+                funcs.emplace_back();
+                fn = &funcs.back();
+                fn->name = name;
+                temps_.clear();
+                block = nullptr;
+                continue;
+            }
+            col_ = save;
+            if (!fn)
+                error("statement outside function");
+            parseStatement(*fn, block);
+            break; // one statement per line
+        }
+    }
+
+    for (Function &f : funcs) {
+        // Resolve phi predecessor labels now that all blocks exist.
+        for (BBlock &b : f.blocks) {
+            for (Instr &inst : b.instrs) {
+                if (inst.op != isa::Op::Phi)
+                    continue;
+                std::vector<std::string> labels;
+                std::string rest = inst.broLabel;
+                while (!rest.empty()) {
+                    size_t comma = rest.find(',');
+                    labels.push_back(rest.substr(0, comma));
+                    rest = comma == std::string::npos
+                               ? ""
+                               : rest.substr(comma + 1);
+                }
+                dfp_assert(labels.size() == inst.srcs.size(),
+                           "phi label mismatch");
+                for (size_t k = 0; k < labels.size(); ++k) {
+                    int id = f.blockId(labels[k]);
+                    if (id < 0)
+                        dfp_fatal("phi references unknown block '",
+                                  labels[k], "'");
+                    inst.phiBlocks[k] = id;
+                }
+                inst.broLabel.clear();
+            }
+        }
+        f.computeCfg();
+        f.verify();
+    }
+    return funcs;
+}
+
+} // namespace
+
+std::vector<Function>
+parseModule(const std::string &source)
+{
+    return Parser(source).parse();
+}
+
+Function
+parseFunction(const std::string &source)
+{
+    auto funcs = parseModule(source);
+    if (funcs.size() != 1)
+        dfp_fatal("expected exactly one function, got ", funcs.size());
+    return std::move(funcs.front());
+}
+
+} // namespace dfp::ir

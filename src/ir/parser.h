@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Parser for the dfp textual IR — the frontend language the workload
+ * kernels are written in. Grammar (one statement per line, '#' comments):
+ *
+ *   func <name> {
+ *   block <label>:
+ *       <dst> = <op> <opnd> {, <opnd>}     # e.g. y = add x, 5
+ *       st <base>, <value> [, <offset>]    # store (no destination)
+ *       <dst> = ld <base> [, <offset>]     # load
+ *       <dst> = phi [<label>: <opnd>] {, [<label>: <opnd>]}
+ *       br <cond>, <iftrue>, <iffalse>
+ *       jmp <label>
+ *       ret [<value>]
+ *   }
+ *
+ * Operands are identifiers (virtual temps, named freely) or literals
+ * (decimal, 0x hex, or floating point — floats are stored as IEEE-754
+ * bit patterns, matching the ISA's word-oriented FP ops).
+ */
+
+#ifndef DFP_IR_PARSER_H
+#define DFP_IR_PARSER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace dfp::ir
+{
+
+/** Parse IR source text; throws FatalError with line info on errors. */
+std::vector<Function> parseModule(const std::string &source);
+
+/** Parse source expected to contain exactly one function. */
+Function parseFunction(const std::string &source);
+
+} // namespace dfp::ir
+
+#endif // DFP_IR_PARSER_H

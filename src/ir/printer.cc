@@ -1,0 +1,142 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace dfp::ir
+{
+
+std::string
+toString(const Opnd &opnd)
+{
+    switch (opnd.kind) {
+      case Kind::None:
+        return "<none>";
+      case Kind::Temp:
+        return detail::cat("t", opnd.id);
+      case Kind::Imm:
+        return detail::cat(opnd.value);
+    }
+    return "?";
+}
+
+std::string
+toString(const Instr &inst)
+{
+    std::ostringstream os;
+    os << isa::opName(inst.op);
+    if (!inst.guards.empty()) {
+        os << (inst.guards.front().onTrue ? "_t<" : "_f<");
+        for (size_t i = 0; i < inst.guards.size(); ++i) {
+            os << (i ? ", " : "") << "t" << inst.guards[i].pred;
+            if (inst.guards[i].onTrue != inst.guards.front().onTrue)
+                os << (inst.guards[i].onTrue ? ":t" : ":f");
+        }
+        os << ">";
+    }
+    os << " ";
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        os << (first ? "" : ", ") << s;
+        first = false;
+    };
+    if (!inst.dst.isNone())
+        emit(toString(inst.dst));
+    if (inst.op == isa::Op::Write || inst.op == isa::Op::Read)
+        emit(detail::cat("g", inst.reg));
+    if (inst.op == isa::Op::Phi) {
+        for (size_t i = 0; i < inst.srcs.size(); ++i) {
+            emit(detail::cat("[b", inst.phiBlocks[i], ": ",
+                             toString(inst.srcs[i]), "]"));
+        }
+    } else {
+        for (const Opnd &src : inst.srcs)
+            emit(toString(src));
+    }
+    if (inst.op == isa::Op::Bro)
+        emit(inst.broLabel);
+    if (inst.lsid >= 0)
+        os << "  ; lsid=" << inst.lsid;
+    return os.str();
+}
+
+namespace
+{
+
+/** Render an instruction in the parser's grammar (CFG-stage only). */
+std::string
+parseableForm(const Function &fn, const Instr &inst)
+{
+    std::ostringstream os;
+    // Boundary-lowering ops have no frontend syntax; fall back to the
+    // diagnostic form (such functions are printed for humans, not
+    // re-parsed).
+    if (inst.op == isa::Op::Read || inst.op == isa::Op::Write ||
+        inst.op == isa::Op::Null || inst.op == isa::Op::Bro) {
+        return toString(inst);
+    }
+    if (inst.op == isa::Op::St) {
+        os << "st " << toString(inst.srcs[0]) << ", "
+           << toString(inst.srcs[1]) << ", " << toString(inst.srcs[2]);
+        return os.str();
+    }
+    os << toString(inst.dst) << " = " << isa::opName(inst.op);
+    if (inst.op == isa::Op::Phi) {
+        for (size_t k = 0; k < inst.srcs.size(); ++k) {
+            os << (k ? ", [" : " [") << fn.blocks[inst.phiBlocks[k]].name
+               << ": " << toString(inst.srcs[k]) << "]";
+        }
+        return os.str();
+    }
+    for (size_t k = 0; k < inst.srcs.size(); ++k)
+        os << (k ? ", " : " ") << toString(inst.srcs[k]);
+    return os.str();
+}
+
+} // namespace
+
+void
+print(std::ostream &os, const Function &fn)
+{
+    os << "func " << fn.name << " {\n";
+    for (const BBlock &block : fn.blocks) {
+        os << "block " << block.name << ":";
+        if (block.term == Term::Hyper)
+            os << "    # hyperblock";
+        os << "\n";
+        for (const Instr &inst : block.instrs) {
+            if (block.term == Term::Hyper)
+                os << "    " << toString(inst) << "\n";
+            else
+                os << "    " << parseableForm(fn, inst) << "\n";
+        }
+        switch (block.term) {
+          case Term::Jmp:
+            os << "    jmp " << block.succLabels[0] << "\n";
+            break;
+          case Term::Br:
+            os << "    br " << toString(block.cond) << ", "
+               << block.succLabels[0] << ", " << block.succLabels[1]
+               << "\n";
+            break;
+          case Term::Ret:
+            os << "    ret";
+            if (!block.retVal.isNone())
+                os << " " << toString(block.retVal);
+            os << "\n";
+            break;
+          default:
+            break;
+        }
+    }
+    os << "}\n";
+}
+
+std::string
+toString(const Function &fn)
+{
+    std::ostringstream os;
+    print(os, fn);
+    return os.str();
+}
+
+} // namespace dfp::ir

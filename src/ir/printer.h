@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Textual printers for the IR. CFG-stage functions print in the
+ * parser's grammar (round-trippable); hyperblocks print in the paper's
+ * notation, e.g. "addi_t<t3> t5, t4, 1" (Figure 4).
+ */
+
+#ifndef DFP_IR_PRINTER_H
+#define DFP_IR_PRINTER_H
+
+#include <ostream>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace dfp::ir
+{
+
+/** Render one operand ("t7" or a literal). */
+std::string toString(const Opnd &opnd);
+
+/** Render one instruction (paper-style suffix/guards when present). */
+std::string toString(const Instr &inst);
+
+/** Print a whole function. */
+void print(std::ostream &os, const Function &fn);
+
+/** Convenience: function to string. */
+std::string toString(const Function &fn);
+
+} // namespace dfp::ir
+
+#endif // DFP_IR_PRINTER_H

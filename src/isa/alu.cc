@@ -1,0 +1,117 @@
+#include "isa/alu.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace dfp::isa
+{
+
+uint64_t
+packDouble(double d)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+unpackDouble(uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+Token
+evalOp(Op op, const Token &a, const Token &b)
+{
+    Token r;
+    int srcs = opInfo(op).numSrcs + (opInfo(op).hasImm ? 1 : 0);
+    // Movi consumes only its immediate; Ld consumes address + immediate.
+    bool useA = srcs >= 1 && op != Op::Movi;
+    bool useB = srcs >= 2 || op == Op::Movi;
+
+    r.null = (useA && a.null) || (useB && b.null);
+    r.excep = (useA && a.excep) || (useB && b.excep);
+    if (r.null) {
+        r.excep = false;
+        return r;
+    }
+
+    auto sa = static_cast<int64_t>(a.value);
+    auto sb = static_cast<int64_t>(b.value);
+    double fa = unpackDouble(a.value);
+    double fb = unpackDouble(b.value);
+
+    switch (op) {
+      case Op::Mov: case Op::Mov4: case Op::GateT: case Op::GateF:
+      case Op::Switch:
+        // Gates/switch pass their *data* operand through; the routing
+        // decision itself happens at firing time in the executor.
+        r.value = a.value;
+        break;
+      case Op::Movi:
+        r.value = b.value;
+        break;
+      case Op::Null:
+        r.null = true;
+        r.excep = false;
+        break;
+      case Op::Add: case Op::Addi:
+        r.value = static_cast<uint64_t>(sa + sb);
+        break;
+      case Op::Sub: case Op::Subi:
+        r.value = static_cast<uint64_t>(sa - sb);
+        break;
+      case Op::Mul: case Op::Muli:
+        r.value = static_cast<uint64_t>(sa * sb);
+        break;
+      case Op::Div: case Op::Divi:
+        if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
+            r.excep = true; // divide fault becomes a poison bit (§4.4)
+            r.value = 0;
+        } else {
+            r.value = static_cast<uint64_t>(sa / sb);
+        }
+        break;
+      case Op::And: case Op::Andi: r.value = a.value & b.value; break;
+      case Op::Or:  case Op::Ori:  r.value = a.value | b.value; break;
+      case Op::Xor: case Op::Xori: r.value = a.value ^ b.value; break;
+      case Op::Shl: case Op::Shli: r.value = a.value << (b.value & 63); break;
+      case Op::Shr: case Op::Shri: r.value = a.value >> (b.value & 63); break;
+      case Op::Sra: case Op::Srai:
+        r.value = static_cast<uint64_t>(sa >> (b.value & 63));
+        break;
+      case Op::Teq: case Op::Teqi: r.value = sa == sb; break;
+      case Op::Tne: case Op::Tnei: r.value = sa != sb; break;
+      case Op::Tlt: case Op::Tlti: r.value = sa < sb;  break;
+      case Op::Tle: case Op::Tlei: r.value = sa <= sb; break;
+      case Op::Tgt: case Op::Tgti: r.value = sa > sb;  break;
+      case Op::Tge: case Op::Tgei: r.value = sa >= sb; break;
+      case Op::Fadd: r.value = packDouble(fa + fb); break;
+      case Op::Fsub: r.value = packDouble(fa - fb); break;
+      case Op::Fmul: r.value = packDouble(fa * fb); break;
+      case Op::Fdiv:
+        if (fb == 0.0) {
+            r.excep = true;
+            r.value = 0;
+        } else {
+            r.value = packDouble(fa / fb);
+        }
+        break;
+      case Op::Feq: r.value = fa == fb; break;
+      case Op::Flt: r.value = fa < fb;  break;
+      case Op::Fle: r.value = fa <= fb; break;
+      case Op::Fgt: r.value = fa > fb;  break;
+      case Op::Fge: r.value = fa >= fb; break;
+      case Op::Itof: r.value = packDouble(static_cast<double>(sa)); break;
+      case Op::Ftoi: r.value = static_cast<uint64_t>(
+                          static_cast<int64_t>(fa)); break;
+      default:
+        dfp_panic("evalOp on non-ALU opcode ", opName(op));
+    }
+    return r;
+}
+
+} // namespace dfp::isa

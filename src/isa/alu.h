@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The single source of truth for instruction semantics. The golden IR
+ * interpreter, the functional block executor, and the cycle simulator's
+ * ALUs all call evalOp(), so they cannot disagree about arithmetic.
+ */
+
+#ifndef DFP_ISA_ALU_H
+#define DFP_ISA_ALU_H
+
+#include "isa/tblock.h"
+
+namespace dfp::isa
+{
+
+/**
+ * Evaluate a (non-memory, non-control) operation over token inputs.
+ *
+ * Null and exception bits propagate: if any consumed input is null the
+ * result is null; if any consumed input carries the exception bit (or
+ * the op itself raises, e.g. integer divide by zero), the result is
+ * exception-tagged. Gate/switch routing decisions are NOT handled here;
+ * callers special-case GateT/GateF/Switch firing.
+ *
+ * @param op   opcode
+ * @param a    left operand (ignored when numSrcs == 0)
+ * @param b    right operand, or the immediate as a token for *i forms
+ * @return result token
+ */
+Token evalOp(Op op, const Token &a, const Token &b);
+
+/** Pack a double into a token value (bit pattern). */
+uint64_t packDouble(double d);
+
+/** Unpack a token value as a double. */
+double unpackDouble(uint64_t bits);
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_ALU_H

@@ -1,0 +1,265 @@
+#include "isa/encode.h"
+
+#include "base/bitops.h"
+#include "base/logging.h"
+
+namespace dfp::isa
+{
+
+namespace
+{
+
+constexpr uint32_t kBlockMagic = 0xdf; // low byte of header word 0
+constexpr uint32_t kMov4ContinuationXop = 31;
+
+uint32_t
+packCommon(const TInst &inst)
+{
+    uint32_t w = 0;
+    w = insertBits(w, 25, 7, static_cast<uint32_t>(inst.op));
+    w = insertBits(w, 23, 2, static_cast<uint32_t>(inst.pr));
+    return w;
+}
+
+uint32_t
+targetOrNone(const TInst &inst, size_t i)
+{
+    return i < inst.targets.size() ? encodeTarget(inst.targets[i])
+                                   : kNoTarget;
+}
+
+} // namespace
+
+uint32_t
+encodeTarget(const Target &target)
+{
+    dfp_assert(target.index < kMaxInsts, "target index out of range");
+    if (target.slot == Slot::WriteQ)
+        dfp_assert(target.index < kMaxWrites, "write target out of range");
+    return (static_cast<uint32_t>(target.slot) << 7) | target.index;
+}
+
+bool
+decodeTarget(uint32_t bits9, Target &out)
+{
+    if (bits9 == kNoTarget)
+        return false;
+    out.slot = static_cast<Slot>(bits(bits9, 7, 2));
+    out.index = static_cast<uint8_t>(bits(bits9, 0, 7));
+    return true;
+}
+
+std::vector<uint32_t>
+encodeInst(const TInst &inst)
+{
+    dfp_assert(static_cast<int>(inst.targets.size()) <= inst.maxTargets(),
+               opName(inst.op), " has too many targets");
+    uint32_t w = packCommon(inst);
+    switch (inst.op) {
+      case Op::Bro:
+        dfp_assert(fitsSigned(inst.imm, kWideImmBits), "bro target range");
+        w = insertBits(w, 0, 18, static_cast<uint32_t>(inst.imm) & 0x3ffff);
+        return {w};
+      case Op::Movi:
+        dfp_assert(fitsSigned(inst.imm, 14), "movi immediate range");
+        w = insertBits(w, 9, 14, static_cast<uint32_t>(inst.imm) & 0x3fff);
+        w = insertBits(w, 0, 9, targetOrNone(inst, 0));
+        return {w};
+      case Op::Ld:
+        dfp_assert(fitsSigned(inst.imm, kImmBits), "ld offset range");
+        w = insertBits(w, 18, 5, inst.lsid);
+        w = insertBits(w, 9, 9, static_cast<uint32_t>(inst.imm) & 0x1ff);
+        w = insertBits(w, 0, 9, targetOrNone(inst, 0));
+        return {w};
+      case Op::St:
+        dfp_assert(fitsSigned(inst.imm, kImmBits), "st offset range");
+        w = insertBits(w, 18, 5, inst.lsid);
+        w = insertBits(w, 9, 9, static_cast<uint32_t>(inst.imm) & 0x1ff);
+        w = insertBits(w, 0, 9, kNoTarget);
+        return {w};
+      case Op::Mov4: {
+        w = insertBits(w, 9, 9, targetOrNone(inst, 1));
+        w = insertBits(w, 0, 9, targetOrNone(inst, 0));
+        uint32_t w2 = packCommon(inst);
+        w2 = insertBits(w2, 18, 5, kMov4ContinuationXop);
+        w2 = insertBits(w2, 9, 9, targetOrNone(inst, 3));
+        w2 = insertBits(w2, 0, 9, targetOrNone(inst, 2));
+        return {w, w2};
+      }
+      default:
+        if (opInfo(inst.op).hasImm) {
+            dfp_assert(fitsSigned(inst.imm, kImmBits),
+                       opName(inst.op), " immediate out of range: ",
+                       inst.imm);
+            w = insertBits(w, 9, 9, static_cast<uint32_t>(inst.imm) & 0x1ff);
+            w = insertBits(w, 0, 9, targetOrNone(inst, 0));
+        } else {
+            w = insertBits(w, 9, 9, targetOrNone(inst, 1));
+            w = insertBits(w, 0, 9, targetOrNone(inst, 0));
+        }
+        return {w};
+    }
+}
+
+std::vector<uint32_t>
+encodeBlock(const TBlock &block)
+{
+    dfp_assert(block.insts.size() <= kMaxInsts, "block too large");
+    dfp_assert(block.reads.size() <= kMaxReads, "too many reads");
+    dfp_assert(block.writes.size() <= kMaxWrites, "too many writes");
+
+    std::vector<uint32_t> words;
+    uint32_t header = kBlockMagic;
+    header = insertBits(header, 8, 6, block.reads.size());
+    header = insertBits(header, 14, 6, block.writes.size());
+    header = insertBits(header, 20, 8, block.insts.size());
+    if (!block.placement.empty()) {
+        dfp_assert(block.placement.size() == block.insts.size(),
+                   "placement size mismatch");
+        header = insertBits(header, 28, 1, 1);
+    }
+    words.push_back(header);
+    words.push_back(block.storeMask);
+    words.push_back(0);
+    words.push_back(0);
+
+    for (const ReadSlot &read : block.reads) {
+        dfp_assert(read.targets.size() <= 2, "read has too many targets");
+        uint32_t w = 0;
+        w = insertBits(w, 25, 7, static_cast<uint32_t>(Op::Read));
+        w = insertBits(w, 19, 6, read.reg);
+        w = insertBits(w, 9, 9, read.targets.size() > 1
+                                    ? encodeTarget(read.targets[1])
+                                    : kNoTarget);
+        w = insertBits(w, 0, 9, read.targets.size() > 0
+                                    ? encodeTarget(read.targets[0])
+                                    : kNoTarget);
+        words.push_back(w);
+    }
+    for (const WriteSlot &write : block.writes) {
+        uint32_t w = 0;
+        w = insertBits(w, 25, 7, static_cast<uint32_t>(Op::Write));
+        w = insertBits(w, 19, 6, write.reg);
+        words.push_back(w);
+    }
+    for (const TInst &inst : block.insts) {
+        auto iw = encodeInst(inst);
+        words.insert(words.end(), iw.begin(), iw.end());
+    }
+    // Placement map: 8 bits per instruction, 4 per word.
+    for (size_t i = 0; i < block.placement.size(); i += 4) {
+        uint32_t w = 0;
+        for (size_t k = 0; k < 4 && i + k < block.placement.size(); ++k)
+            w = insertBits(w, 8 * k, 8, block.placement[i + k]);
+        words.push_back(w);
+    }
+    return words;
+}
+
+TBlock
+decodeBlock(const std::vector<uint32_t> &words)
+{
+    dfp_assert(words.size() >= 4, "truncated block");
+    uint32_t header = words[0];
+    dfp_assert(bits(header, 0, 8) == kBlockMagic, "bad block magic");
+    unsigned numReads = bits(header, 8, 6);
+    unsigned numWrites = bits(header, 14, 6);
+    unsigned numInsts = bits(header, 20, 8);
+    bool hasPlacement = bits(header, 28, 1) != 0;
+
+    TBlock block;
+    block.storeMask = words[1];
+    size_t pos = 4;
+
+    auto pull = [&]() -> uint32_t {
+        dfp_assert(pos < words.size(), "truncated block body");
+        return words[pos++];
+    };
+
+    for (unsigned i = 0; i < numReads; ++i) {
+        uint32_t w = pull();
+        dfp_assert(static_cast<Op>(bits(w, 25, 7)) == Op::Read,
+                   "expected read word");
+        ReadSlot read;
+        read.reg = static_cast<uint8_t>(bits(w, 19, 6));
+        Target t;
+        if (decodeTarget(bits(w, 0, 9), t))
+            read.targets.push_back(t);
+        if (decodeTarget(bits(w, 9, 9), t))
+            read.targets.push_back(t);
+        block.reads.push_back(std::move(read));
+    }
+    for (unsigned i = 0; i < numWrites; ++i) {
+        uint32_t w = pull();
+        dfp_assert(static_cast<Op>(bits(w, 25, 7)) == Op::Write,
+                   "expected write word");
+        block.writes.push_back({static_cast<uint8_t>(bits(w, 19, 6))});
+    }
+    for (unsigned i = 0; i < numInsts; ++i) {
+        uint32_t w = pull();
+        TInst inst;
+        inst.op = static_cast<Op>(bits(w, 25, 7));
+        dfp_assert(inst.op < Op::NumOps, "bad opcode in block body");
+        inst.pr = static_cast<PredMode>(bits(w, 23, 2));
+        Target t;
+        switch (inst.op) {
+          case Op::Bro:
+            inst.imm = static_cast<int32_t>(sext(bits(w, 0, 18), 18));
+            break;
+          case Op::Movi:
+            inst.imm = static_cast<int32_t>(sext(bits(w, 9, 14), 14));
+            if (decodeTarget(bits(w, 0, 9), t))
+                inst.targets.push_back(t);
+            break;
+          case Op::Ld:
+            inst.lsid = static_cast<uint8_t>(bits(w, 18, 5));
+            inst.imm = static_cast<int32_t>(sext(bits(w, 9, 9), 9));
+            if (decodeTarget(bits(w, 0, 9), t))
+                inst.targets.push_back(t);
+            break;
+          case Op::St:
+            inst.lsid = static_cast<uint8_t>(bits(w, 18, 5));
+            inst.imm = static_cast<int32_t>(sext(bits(w, 9, 9), 9));
+            break;
+          case Op::Mov4: {
+            if (decodeTarget(bits(w, 0, 9), t))
+                inst.targets.push_back(t);
+            if (decodeTarget(bits(w, 9, 9), t))
+                inst.targets.push_back(t);
+            uint32_t w2 = pull();
+            dfp_assert(static_cast<Op>(bits(w2, 25, 7)) == Op::Mov4 &&
+                           bits(w2, 18, 5) == kMov4ContinuationXop,
+                       "bad mov4 continuation word");
+            if (decodeTarget(bits(w2, 0, 9), t))
+                inst.targets.push_back(t);
+            if (decodeTarget(bits(w2, 9, 9), t))
+                inst.targets.push_back(t);
+            break;
+          }
+          default:
+            if (opInfo(inst.op).hasImm) {
+                inst.imm = static_cast<int32_t>(sext(bits(w, 9, 9), 9));
+                if (decodeTarget(bits(w, 0, 9), t))
+                    inst.targets.push_back(t);
+            } else {
+                if (decodeTarget(bits(w, 0, 9), t))
+                    inst.targets.push_back(t);
+                if (decodeTarget(bits(w, 9, 9), t))
+                    inst.targets.push_back(t);
+            }
+            break;
+        }
+        block.insts.push_back(std::move(inst));
+    }
+    if (hasPlacement) {
+        for (unsigned i = 0; i < numInsts; i += 4) {
+            uint32_t w = pull();
+            for (unsigned k = 0; k < 4 && i + k < numInsts; ++k)
+                block.placement.push_back(
+                    static_cast<uint8_t>(bits(w, 8 * k, 8)));
+        }
+    }
+    return block;
+}
+
+} // namespace dfp::isa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary encoding of dfp blocks into 32-bit words, mirroring the field
+ * layout in the paper's Figure 2: 7-bit opcode, 2-bit PR field, 5-bit
+ * extended field (LSID for memory ops), and two 9-bit target/immediate
+ * fields, where each target is a 2-bit operand slot plus a 7-bit index.
+ *
+ * Deviations from the (proprietary) TRIPS TASL format, all documented in
+ * DESIGN.md:
+ *  - movi carries a 14-bit immediate and one target (larger constants
+ *    are synthesized by the compiler);
+ *  - bro consumes both 9-bit fields as an 18-bit block index
+ *    (-1 encodes halt);
+ *  - mov4 (the paper's "predicate multicast" future-work op) encodes as
+ *    two consecutive words, the second marked with xop = 31.
+ */
+
+#ifndef DFP_ISA_ENCODE_H
+#define DFP_ISA_ENCODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/tblock.h"
+
+namespace dfp::isa
+{
+
+/** The 9-bit target pattern meaning "no target" (slot 3, index 127). */
+constexpr uint32_t kNoTarget = 0x1ff;
+
+/** Encode one target into its 9-bit pattern. */
+uint32_t encodeTarget(const Target &target);
+
+/** Decode a 9-bit target pattern; returns false for kNoTarget. */
+bool decodeTarget(uint32_t bits9, Target &out);
+
+/** Encode one instruction (1 word, or 2 for mov4). */
+std::vector<uint32_t> encodeInst(const TInst &inst);
+
+/**
+ * Encode a whole block: 4 header words, then read words, write words,
+ * and instruction words.
+ */
+std::vector<uint32_t> encodeBlock(const TBlock &block);
+
+/** Decode a block previously produced by encodeBlock(). */
+TBlock decodeBlock(const std::vector<uint32_t> &words);
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_ENCODE_H

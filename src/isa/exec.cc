@@ -1,0 +1,413 @@
+#include "isa/exec.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/logging.h"
+#include "isa/alu.h"
+
+namespace dfp::isa
+{
+
+namespace
+{
+
+/** Per-instruction dynamic state during one block execution. */
+struct InstState
+{
+    std::optional<Token> left;
+    std::optional<Token> right;
+    bool predMatched = false;
+    bool fired = false;
+};
+
+/** Dataflow evaluation engine for one block. */
+class BlockEval
+{
+  public:
+    BlockEval(const TBlock &block, ArchState &state, StatSet *stats)
+        : block_(block), state_(state), stats_(stats),
+          inst_(block.insts.size()),
+          writeTokens_(block.writes.size())
+    {}
+
+    BlockOutcome run();
+
+  private:
+    void bump(const char *name, uint64_t d = 1)
+    {
+        if (stats_)
+            stats_->inc(name, d);
+    }
+
+    void fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = detail::cat("block '", block_.label, "': ", msg);
+    }
+
+    void deliver(const Target &target, const Token &token);
+    void maybeReady(int idx);
+    void fire(int idx);
+    void route(const TInst &inst, const Token &result);
+    void resolveLsid(uint8_t lsid, bool nullified);
+    void retryLoads();
+    bool loadOrderSatisfied(uint8_t lsid) const;
+    void doLoad(int idx);
+    bool complete() const;
+
+    const TBlock &block_;
+    ArchState &state_;
+    StatSet *stats_;
+
+    std::vector<InstState> inst_;
+    std::vector<std::optional<Token>> writeTokens_;
+    std::deque<int> ready_;
+    std::vector<int> pendingLoads_;
+
+    // Store buffer: LSID -> (addr, value) for committed-at-end stores.
+    std::map<uint8_t, std::pair<uint64_t, Token>> storeBuf_;
+    uint32_t resolvedLsids_ = 0;
+
+    std::optional<int32_t> branchTarget_;
+    bool branchExcep_ = false;
+    std::string error_;
+};
+
+void
+BlockEval::deliver(const Target &target, const Token &token)
+{
+    if (target.slot == Slot::WriteQ) {
+        auto &slot = writeTokens_[target.index];
+        if (slot.has_value()) {
+            fail(detail::cat("write slot ", int(target.index),
+                             " received two tokens"));
+            return;
+        }
+        slot = token;
+        return;
+    }
+
+    int idx = target.index;
+    const TInst &def = block_.insts[idx];
+    InstState &st = inst_[idx];
+
+    if (target.slot == Slot::Pred) {
+        if (predMatches(def.pr, token)) {
+            if (st.predMatched) {
+                fail(detail::cat("inst ", idx,
+                                 " received two matching predicates"));
+                return;
+            }
+            st.predMatched = true;
+            maybeReady(idx);
+        } else {
+            bump("exec.ignored_preds");
+        }
+        return;
+    }
+
+    // A null token reaching a store nullifies it immediately: the LSID is
+    // counted as an output with no memory effect (paper §4.2 propagation
+    // collapsed to the output boundary; see DESIGN.md).
+    if (def.op == Op::St && token.null) {
+        resolveLsid(def.lsid, true);
+        bump("exec.nullified");
+        return;
+    }
+
+    auto &slot = (target.slot == Slot::Left) ? st.left : st.right;
+    if (slot.has_value()) {
+        fail(detail::cat("inst ", idx, " ", opName(def.op),
+                         " operand received two tokens"));
+        return;
+    }
+    slot = token;
+    maybeReady(idx);
+}
+
+void
+BlockEval::maybeReady(int idx)
+{
+    const TInst &def = block_.insts[idx];
+    const InstState &st = inst_[idx];
+    if (st.fired)
+        return;
+    if (def.predicated() && !st.predMatched)
+        return;
+    int need = def.numSrcs();
+    if (need >= 1 && !st.left.has_value())
+        return;
+    if (need >= 2 && !st.right.has_value())
+        return;
+    ready_.push_back(idx);
+}
+
+void
+BlockEval::route(const TInst &inst, const Token &result)
+{
+    for (const Target &t : inst.targets)
+        deliver(t, result);
+}
+
+void
+BlockEval::resolveLsid(uint8_t lsid, bool nullified)
+{
+    if (resolvedLsids_ & (1u << lsid)) {
+        fail(detail::cat("store LSID ", int(lsid), " resolved twice"));
+        return;
+    }
+    resolvedLsids_ |= 1u << lsid;
+    (void)nullified;
+    retryLoads();
+}
+
+bool
+BlockEval::loadOrderSatisfied(uint8_t lsid) const
+{
+    uint32_t earlier = block_.storeMask & ((1u << lsid) - 1);
+    return (earlier & ~resolvedLsids_) == 0;
+}
+
+void
+BlockEval::doLoad(int idx)
+{
+    const TInst &inst = block_.insts[idx];
+    const Token &addrTok = *inst_[idx].left;
+    Token result;
+    if (addrTok.null) {
+        result.null = true;
+    } else if (addrTok.excep) {
+        result.excep = true;
+    } else {
+        uint64_t addr = addrTok.value + static_cast<int64_t>(inst.imm);
+        if (addr & 7) {
+            result.excep = true; // misaligned access poisons (§4.4)
+        } else {
+            // Forward from the youngest earlier store to the same address.
+            result.value = state_.mem.load(addr);
+            for (const auto &[lsid, st] : storeBuf_) {
+                if (lsid < inst.lsid && st.first == addr)
+                    result.value = st.second.value;
+            }
+            bump("exec.loads");
+        }
+    }
+    route(inst, result);
+}
+
+void
+BlockEval::retryLoads()
+{
+    std::vector<int> still;
+    for (int idx : pendingLoads_) {
+        if (loadOrderSatisfied(block_.insts[idx].lsid))
+            doLoad(idx);
+        else
+            still.push_back(idx);
+    }
+    pendingLoads_ = std::move(still);
+}
+
+void
+BlockEval::fire(int idx)
+{
+    const TInst &inst = block_.insts[idx];
+    InstState &st = inst_[idx];
+    if (st.fired)
+        return;
+    st.fired = true;
+    bump("exec.fired");
+    if (inst.op == Op::Mov || inst.op == Op::Mov4 || inst.op == Op::Movi)
+        bump("exec.moves");
+
+    Token a = st.left.value_or(Token{});
+    Token b = st.right.value_or(Token{});
+    Token immTok{static_cast<uint64_t>(static_cast<int64_t>(inst.imm)),
+                 false, false};
+
+    switch (inst.op) {
+      case Op::Bro:
+        if (branchTarget_.has_value()) {
+            fail("two branches fired");
+            return;
+        }
+        branchTarget_ = inst.imm;
+        return;
+      case Op::St: {
+        if (a.null || b.null) {
+            resolveLsid(inst.lsid, true);
+            bump("exec.nullified");
+            return;
+        }
+        Token value = b;
+        uint64_t addr = a.value + static_cast<int64_t>(inst.imm);
+        if (a.excep || (addr & 7))
+            value.excep = true;
+        storeBuf_[inst.lsid] = {addr, value};
+        resolveLsid(inst.lsid, false);
+        bump("exec.stores");
+        return;
+      }
+      case Op::Ld:
+        if (loadOrderSatisfied(inst.lsid))
+            doLoad(idx);
+        else
+            pendingLoads_.push_back(idx);
+        return;
+      case Op::GateT:
+      case Op::GateF: {
+        // left = control, right = data; absorb on mismatch (§2.1).
+        if (a.null)
+            return;
+        bool truth = a.excep ? false : (a.value & 1) != 0;
+        if (truth != (inst.op == Op::GateT))
+            return;
+        Token out = b;
+        out.excep = out.excep || a.excep;
+        route(inst, out);
+        return;
+      }
+      case Op::Switch: {
+        if (a.null)
+            return;
+        bool truth = a.excep ? false : (a.value & 1) != 0;
+        Token out = b;
+        out.excep = out.excep || a.excep;
+        dfp_assert(inst.targets.size() == 2, "switch needs 2 targets");
+        deliver(inst.targets[truth ? 0 : 1], out);
+        return;
+      }
+      default: {
+        Token result =
+            evalOp(inst.op, a, opInfo(inst.op).hasImm ? immTok : b);
+        route(inst, result);
+        return;
+      }
+    }
+}
+
+bool
+BlockEval::complete() const
+{
+    if (!branchTarget_.has_value())
+        return false;
+    if ((block_.storeMask & ~resolvedLsids_) != 0)
+        return false;
+    for (const auto &tok : writeTokens_)
+        if (!tok.has_value())
+            return false;
+    return true;
+}
+
+BlockOutcome
+BlockEval::run()
+{
+    // Inject register reads.
+    for (const ReadSlot &read : block_.reads) {
+        Token token{state_.regs[read.reg], false, false};
+        for (const Target &t : read.targets)
+            deliver(t, token);
+    }
+    // Seed zero-source unpredicated instructions (constants, branches).
+    for (size_t i = 0; i < block_.insts.size(); ++i) {
+        const TInst &inst = block_.insts[i];
+        if (inst.numSrcs() == 0 && !inst.predicated())
+            ready_.push_back(static_cast<int>(i));
+    }
+
+    while (!ready_.empty() && error_.empty()) {
+        int idx = ready_.front();
+        ready_.pop_front();
+        fire(idx);
+    }
+
+    BlockOutcome out;
+    if (!error_.empty()) {
+        out.error = error_;
+        return out;
+    }
+    if (!complete()) {
+        out.error = detail::cat("block '", block_.label,
+                                "' drained without completing (missing ",
+                                branchTarget_ ? "writes/stores" : "branch",
+                                ")");
+        return out;
+    }
+
+    // Commit: stores in LSID order, then register writes.
+    bool excep = branchExcep_;
+    for (const auto &[lsid, st] : storeBuf_) {
+        if (st.second.excep) {
+            excep = true;
+            continue;
+        }
+        state_.mem.store(st.first, st.second.value);
+    }
+    for (size_t w = 0; w < writeTokens_.size(); ++w) {
+        const Token &tok = *writeTokens_[w];
+        if (tok.null)
+            continue; // null write: architectural state unmodified (§4.2)
+        if (tok.excep) {
+            excep = true;
+            continue;
+        }
+        state_.regs[block_.writes[w].reg] = tok.value;
+    }
+
+    out.ok = true;
+    out.raisedException = excep;
+    out.nextBlock = *branchTarget_;
+    return out;
+}
+
+} // namespace
+
+BlockOutcome
+executeBlock(const TBlock &block, ArchState &state, StatSet *stats)
+{
+    return BlockEval(block, state, stats).run();
+}
+
+RunOutcome
+runProgram(const TProgram &program, ArchState &state, uint64_t maxBlocks,
+           StatSet *stats)
+{
+    RunOutcome out;
+    dfp_assert(!program.blocks.empty(), "empty program");
+    int32_t current = 0;
+    while (out.blocksExecuted < maxBlocks) {
+        const TBlock &block = program.blocks[current];
+        BlockOutcome bo = executeBlock(block, state, stats);
+        ++out.blocksExecuted;
+        if (stats)
+            stats->inc("exec.blocks");
+        if (!bo.ok) {
+            out.error = bo.error;
+            return out;
+        }
+        if (bo.raisedException) {
+            out.raisedException = true;
+            out.error = detail::cat("exception raised at block '",
+                                    block.label, "'");
+            return out;
+        }
+        if (bo.nextBlock == kHaltTarget) {
+            out.halted = true;
+            return out;
+        }
+        if (bo.nextBlock < 0 ||
+            bo.nextBlock >= static_cast<int32_t>(program.blocks.size())) {
+            out.error = detail::cat("branch to invalid block ",
+                                    bo.nextBlock);
+            return out;
+        }
+        current = bo.nextBlock;
+    }
+    out.error = "dynamic block limit exceeded (possible livelock)";
+    return out;
+}
+
+} // namespace dfp::isa

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional (untimed) executor for TRIPS-style blocks — the golden
+ * model at target level. It implements the dataflow firing rule with
+ * predicate matching, null-token propagation (§4.2), exception bits
+ * (§4.4), LSID-ordered memory semantics, and the block completion
+ * condition (all register writes + all store LSIDs + one branch).
+ *
+ * It also performs *dynamic* well-formedness checks the static validator
+ * cannot: two producers firing into one data operand, two matching
+ * predicates, two branches firing, double-resolved writes/LSIDs, and
+ * deadlock (block drained without producing all outputs).
+ */
+
+#ifndef DFP_ISA_EXEC_H
+#define DFP_ISA_EXEC_H
+
+#include <array>
+#include <string>
+
+#include "base/stats.h"
+#include "isa/memory.h"
+#include "isa/tblock.h"
+
+namespace dfp::isa
+{
+
+/** Architectural state shared between blocks. */
+struct ArchState
+{
+    std::array<uint64_t, kNumRegs> regs{};
+    Memory mem;
+};
+
+/** Outcome of executing one block. */
+struct BlockOutcome
+{
+    bool ok = false;          //!< block completed and committed
+    bool raisedException = false; //!< an output carried the poison bit
+    int32_t nextBlock = kHaltTarget;
+    std::string error;        //!< non-empty on malformed execution
+};
+
+/** Outcome of running a whole program. */
+struct RunOutcome
+{
+    bool halted = false;
+    bool raisedException = false;
+    std::string error;
+    uint64_t blocksExecuted = 0;
+};
+
+/**
+ * Execute one block against @p state, committing outputs on success.
+ *
+ * @param stats optional dynamic counters: exec.fired, exec.moves,
+ *        exec.nullified, exec.ignored_preds, exec.loads, exec.stores.
+ */
+BlockOutcome executeBlock(const TBlock &block, ArchState &state,
+                          StatSet *stats = nullptr);
+
+/**
+ * Run a linked program from block 0 until halt.
+ *
+ * @param maxBlocks safety bound on dynamic block count.
+ */
+RunOutcome runProgram(const TProgram &program, ArchState &state,
+                      uint64_t maxBlocks = 1u << 22,
+                      StatSet *stats = nullptr);
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_EXEC_H

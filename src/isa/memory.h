@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A sparse 64-bit-word memory shared by the golden models and the cycle
+ * simulator's backing store. Addresses are byte addresses; accesses are
+ * 8-byte aligned words (the dfp ISA is word-oriented, like the TRIPS
+ * experiments in the paper, which never depend on sub-word accesses).
+ */
+
+#ifndef DFP_ISA_MEMORY_H
+#define DFP_ISA_MEMORY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace dfp::isa
+{
+
+/** Sparse paged word memory. Unwritten locations read as zero. */
+class Memory
+{
+  public:
+    static constexpr uint64_t kPageWords = 512;
+    static constexpr uint64_t kPageBytes = kPageWords * 8;
+
+    /** Read the aligned word containing @p addr. */
+    uint64_t
+    load(uint64_t addr) const
+    {
+        dfp_assert((addr & 7) == 0, "unaligned load 0x", std::hex, addr);
+        auto it = pages_.find(addr / kPageBytes);
+        if (it == pages_.end())
+            return 0;
+        return it->second[(addr % kPageBytes) / 8];
+    }
+
+    /** Write the aligned word at @p addr. */
+    void
+    store(uint64_t addr, uint64_t value)
+    {
+        dfp_assert((addr & 7) == 0, "unaligned store 0x", std::hex, addr);
+        page(addr / kPageBytes)[(addr % kPageBytes) / 8] = value;
+    }
+
+    /** Number of resident pages (for tests). */
+    size_t numPages() const { return pages_.size(); }
+
+    /** FNV-style checksum over resident words (order-independent). */
+    uint64_t
+    checksum() const
+    {
+        uint64_t sum = 0xcbf29ce484222325ull;
+        for (const auto &[pageNum, words] : pages_) {
+            for (uint64_t i = 0; i < kPageWords; ++i) {
+                if (words[i]) {
+                    uint64_t addr = pageNum * kPageBytes + i * 8;
+                    sum += (addr * 0x100000001b3ull) ^ words[i];
+                }
+            }
+        }
+        return sum;
+    }
+
+    bool
+    operator==(const Memory &other) const
+    {
+        return checksum() == other.checksum();
+    }
+
+  private:
+    std::vector<uint64_t> &
+    page(uint64_t pageNum)
+    {
+        auto &p = pages_[pageNum];
+        if (p.empty())
+            p.assign(kPageWords, 0);
+        return p;
+    }
+
+    std::unordered_map<uint64_t, std::vector<uint64_t>> pages_;
+};
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_MEMORY_H

@@ -1,0 +1,152 @@
+#include "isa/opcodes.h"
+
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace dfp::isa
+{
+
+namespace
+{
+
+const OpInfo opTable[] = {
+#define DFP_OP(name, mnem, srcs, imm, lat) {mnem, srcs, imm != 0, lat},
+    DFP_OPCODE_LIST
+#undef DFP_OP
+};
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    dfp_assert(op < Op::NumOps, "bad opcode ", int(op));
+    return opTable[static_cast<unsigned>(op)];
+}
+
+Op
+opFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Op> map = [] {
+        std::unordered_map<std::string, Op> m;
+        for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); ++i)
+            m.emplace(opTable[i].mnemonic, static_cast<Op>(i));
+        return m;
+    }();
+    auto it = map.find(name);
+    return it == map.end() ? Op::NumOps : it->second;
+}
+
+bool
+isTestOp(Op op)
+{
+    switch (op) {
+      case Op::Teq: case Op::Tne: case Op::Tlt: case Op::Tle:
+      case Op::Tgt: case Op::Tge:
+      case Op::Teqi: case Op::Tnei: case Op::Tlti: case Op::Tlei:
+      case Op::Tgti: case Op::Tgei:
+      case Op::Feq: case Op::Flt: case Op::Fle: case Op::Fgt: case Op::Fge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isFloatOp(Op op)
+{
+    switch (op) {
+      case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+      case Op::Feq: case Op::Flt: case Op::Fle: case Op::Fgt: case Op::Fge:
+      case Op::Itof:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Mul: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Teq: case Op::Tne: case Op::Fadd: case Op::Fmul:
+      case Op::Feq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Op
+swappedTest(Op op)
+{
+    switch (op) {
+      case Op::Teq: return Op::Teq;
+      case Op::Tne: return Op::Tne;
+      case Op::Tlt: return Op::Tgt;
+      case Op::Tle: return Op::Tge;
+      case Op::Tgt: return Op::Tlt;
+      case Op::Tge: return Op::Tle;
+      case Op::Feq: return Op::Feq;
+      case Op::Flt: return Op::Fgt;
+      case Op::Fle: return Op::Fge;
+      case Op::Fgt: return Op::Flt;
+      case Op::Fge: return Op::Fle;
+      default:
+        dfp_panic("swappedTest on non-test op ", opName(op));
+    }
+}
+
+Op
+invertedTest(Op op)
+{
+    switch (op) {
+      case Op::Teq:  return Op::Tne;
+      case Op::Tne:  return Op::Teq;
+      case Op::Tlt:  return Op::Tge;
+      case Op::Tle:  return Op::Tgt;
+      case Op::Tgt:  return Op::Tle;
+      case Op::Tge:  return Op::Tlt;
+      case Op::Teqi: return Op::Tnei;
+      case Op::Tnei: return Op::Teqi;
+      case Op::Tlti: return Op::Tgei;
+      case Op::Tlei: return Op::Tgti;
+      case Op::Tgti: return Op::Tlei;
+      case Op::Tgei: return Op::Tlti;
+      case Op::Feq:  return Op::NumOps; // no fne; caller must handle
+      case Op::Flt:  return Op::Fge;
+      case Op::Fle:  return Op::Fgt;
+      case Op::Fgt:  return Op::Fle;
+      case Op::Fge:  return Op::Flt;
+      default:
+        dfp_panic("invertedTest on non-test op ", opName(op));
+    }
+}
+
+Op
+immediateForm(Op op)
+{
+    switch (op) {
+      case Op::Add: return Op::Addi;
+      case Op::Sub: return Op::Subi;
+      case Op::Mul: return Op::Muli;
+      case Op::Div: return Op::Divi;
+      case Op::And: return Op::Andi;
+      case Op::Or:  return Op::Ori;
+      case Op::Xor: return Op::Xori;
+      case Op::Shl: return Op::Shli;
+      case Op::Shr: return Op::Shri;
+      case Op::Sra: return Op::Srai;
+      case Op::Teq: return Op::Teqi;
+      case Op::Tne: return Op::Tnei;
+      case Op::Tlt: return Op::Tlti;
+      case Op::Tle: return Op::Tlei;
+      case Op::Tgt: return Op::Tgti;
+      case Op::Tge: return Op::Tgei;
+      default:      return Op::NumOps;
+    }
+}
+
+} // namespace dfp::isa

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Opcode definitions for the dfp EDGE ISA — a faithful subset of the
+ * TRIPS prototype ISA as described in "Dataflow Predication" (MICRO-39).
+ *
+ * Every value-producing instruction carries up to two 9-bit targets
+ * (7-bit instruction index + 2-bit operand slot), and every instruction
+ * carries a 2-bit PR field selecting unpredicated / predicated-on-false /
+ * predicated-on-true execution (paper §3.2).
+ */
+
+#ifndef DFP_ISA_OPCODES_H
+#define DFP_ISA_OPCODES_H
+
+#include <cstdint>
+#include <string>
+
+namespace dfp::isa
+{
+
+/**
+ * Opcode list.
+ *
+ * Fields: enum name, mnemonic, number of data sources (0-2), has an
+ * immediate field, result latency in cycles.
+ *
+ * The G_* entries are the legacy partial-predication operators of
+ * historical dataflow machines (T-gate / F-gate / switch, paper §2.1),
+ * implemented so the Figure 1 comparison can be measured rather than
+ * asserted.
+ */
+#define DFP_OPCODE_LIST                                                      \
+    /*       name     mnem      srcs imm  lat */                             \
+    DFP_OP(  Nop,     "nop",    0,   0,   1)                                 \
+    DFP_OP(  Mov,     "mov",    1,   0,   1)                                 \
+    DFP_OP(  Mov4,    "mov4",   1,   0,   1)                                 \
+    DFP_OP(  Movi,    "movi",   0,   1,   1)                                 \
+    DFP_OP(  Null,    "null",   0,   0,   1)                                 \
+    DFP_OP(  Add,     "add",    2,   0,   1)                                 \
+    DFP_OP(  Sub,     "sub",    2,   0,   1)                                 \
+    DFP_OP(  Mul,     "mul",    2,   0,   3)                                 \
+    DFP_OP(  Div,     "div",    2,   0,   24)                                \
+    DFP_OP(  And,     "and",    2,   0,   1)                                 \
+    DFP_OP(  Or,      "or",     2,   0,   1)                                 \
+    DFP_OP(  Xor,     "xor",    2,   0,   1)                                 \
+    DFP_OP(  Shl,     "shl",    2,   0,   1)                                 \
+    DFP_OP(  Shr,     "shr",    2,   0,   1)                                 \
+    DFP_OP(  Sra,     "sra",    2,   0,   1)                                 \
+    DFP_OP(  Addi,    "addi",   1,   1,   1)                                 \
+    DFP_OP(  Subi,    "subi",   1,   1,   1)                                 \
+    DFP_OP(  Muli,    "muli",   1,   1,   3)                                 \
+    DFP_OP(  Divi,    "divi",   1,   1,   24)                                \
+    DFP_OP(  Andi,    "andi",   1,   1,   1)                                 \
+    DFP_OP(  Ori,     "ori",    1,   1,   1)                                 \
+    DFP_OP(  Xori,    "xori",   1,   1,   1)                                 \
+    DFP_OP(  Shli,    "shli",   1,   1,   1)                                 \
+    DFP_OP(  Shri,    "shri",   1,   1,   1)                                 \
+    DFP_OP(  Srai,    "srai",   1,   1,   1)                                 \
+    DFP_OP(  Teq,     "teq",    2,   0,   1)                                 \
+    DFP_OP(  Tne,     "tne",    2,   0,   1)                                 \
+    DFP_OP(  Tlt,     "tlt",    2,   0,   1)                                 \
+    DFP_OP(  Tle,     "tle",    2,   0,   1)                                 \
+    DFP_OP(  Tgt,     "tgt",    2,   0,   1)                                 \
+    DFP_OP(  Tge,     "tge",    2,   0,   1)                                 \
+    DFP_OP(  Teqi,    "teqi",   1,   1,   1)                                 \
+    DFP_OP(  Tnei,    "tnei",   1,   1,   1)                                 \
+    DFP_OP(  Tlti,    "tlti",   1,   1,   1)                                 \
+    DFP_OP(  Tlei,    "tlei",   1,   1,   1)                                 \
+    DFP_OP(  Tgti,    "tgti",   1,   1,   1)                                 \
+    DFP_OP(  Tgei,    "tgei",   1,   1,   1)                                 \
+    DFP_OP(  Fadd,    "fadd",   2,   0,   4)                                 \
+    DFP_OP(  Fsub,    "fsub",   2,   0,   4)                                 \
+    DFP_OP(  Fmul,    "fmul",   2,   0,   4)                                 \
+    DFP_OP(  Fdiv,    "fdiv",   2,   0,   16)                                \
+    DFP_OP(  Feq,     "feq",    2,   0,   1)                                 \
+    DFP_OP(  Flt,     "flt",    2,   0,   1)                                 \
+    DFP_OP(  Fle,     "fle",    2,   0,   1)                                 \
+    DFP_OP(  Fgt,     "fgt",    2,   0,   1)                                 \
+    DFP_OP(  Fge,     "fge",    2,   0,   1)                                 \
+    DFP_OP(  Itof,    "itof",   1,   0,   4)                                 \
+    DFP_OP(  Ftoi,    "ftoi",   1,   0,   4)                                 \
+    DFP_OP(  Ld,      "ld",     1,   1,   1)                                 \
+    DFP_OP(  St,      "st",     2,   1,   1)                                 \
+    DFP_OP(  Bro,     "bro",    0,   1,   1)                                 \
+    DFP_OP(  Read,    "read",   0,   0,   1)                                 \
+    DFP_OP(  Write,   "write",  1,   0,   1)                                 \
+    DFP_OP(  GateT,   "gate_t", 2,   0,   1)                                 \
+    DFP_OP(  GateF,   "gate_f", 2,   0,   1)                                 \
+    DFP_OP(  Switch,  "switch", 2,   0,   1)                                 \
+    /* Compiler-internal pseudo-ops; never valid inside a TBlock. */         \
+    DFP_OP(  Phi,     "phi",    0,   0,   1)                                 \
+    DFP_OP(  Br,      "br",     1,   0,   1)                                 \
+    DFP_OP(  Jmp,     "jmp",    0,   0,   1)                                 \
+    DFP_OP(  Ret,     "ret",    0,   0,   1)
+
+/** Opcode enumeration; values double as 7-bit primary opcodes. */
+enum class Op : uint8_t
+{
+#define DFP_OP(name, mnem, srcs, imm, lat) name,
+    DFP_OPCODE_LIST
+#undef DFP_OP
+    NumOps
+};
+
+/** Static properties of an opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    uint8_t numSrcs;   //!< data operands (left/right), excluding predicate
+    bool hasImm;       //!< carries an immediate (consumes the t2 field)
+    uint8_t latency;   //!< execution latency in cycles
+};
+
+/** Look up static properties. */
+const OpInfo &opInfo(Op op);
+
+/** Mnemonic string for an opcode. */
+inline const char *opName(Op op) { return opInfo(op).mnemonic; }
+
+/** Parse a mnemonic; returns Op::NumOps when unknown. */
+Op opFromName(const std::string &name);
+
+/** True for the test (comparison) opcodes, which produce 0/1. */
+bool isTestOp(Op op);
+
+/** True for compiler-internal pseudo-ops (Phi/Br/Jmp/Ret). */
+inline bool
+isPseudoOp(Op op)
+{
+    return op == Op::Phi || op == Op::Br || op == Op::Jmp || op == Op::Ret;
+}
+
+/** True for ops whose result is interpreted as IEEE double bits. */
+bool isFloatOp(Op op);
+
+/** True for commutative binary ops (used by CSE canonicalization). */
+bool isCommutative(Op op);
+
+/** Swap an ordering test for operand-swapped form (Tlt <-> Tgt, ...). */
+Op swappedTest(Op op);
+
+/** Invert the condition of a test op (Teq <-> Tne, Tlt <-> Tge, ...). */
+Op invertedTest(Op op);
+
+/** Map a reg-reg op to its immediate form (Add -> Addi); NumOps if none. */
+Op immediateForm(Op op);
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_OPCODES_H

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Decoded representation of a TRIPS-style block: up to 128 dataflow
+ * instructions with explicit targets, plus read and write queues that
+ * connect the block to the architectural register file (paper §3).
+ */
+
+#ifndef DFP_ISA_TBLOCK_H
+#define DFP_ISA_TBLOCK_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/opcodes.h"
+
+namespace dfp::isa
+{
+
+/** Architectural limits of the block format. */
+constexpr int kMaxInsts = 128;   //!< compute instructions per block
+constexpr int kMaxReads = 32;    //!< register read queue entries
+constexpr int kMaxWrites = 32;   //!< register write queue entries
+constexpr int kNumRegs = 64;     //!< architectural registers g0..g63
+constexpr int kMaxLsids = 32;    //!< load/store sequence identifiers
+constexpr int kImmBits = 9;      //!< immediate width for ALU/memory ops
+constexpr int kWideImmBits = 18; //!< movi / bro immediate width
+
+/** Branch target value meaning "halt the machine". */
+constexpr int32_t kHaltTarget = -1;
+
+/** The 2-bit PR field (paper §3.2). */
+enum class PredMode : uint8_t
+{
+    Unpred = 0,   //!< PR = 00: not predicated
+    OnFalse = 2,  //!< PR = 10: fires on an arriving false predicate
+    OnTrue = 3,   //!< PR = 11: fires on an arriving true predicate
+};
+
+/** Operand slot selector inside a 9-bit target (paper §3). */
+enum class Slot : uint8_t
+{
+    Left = 0,   //!< left data operand
+    Right = 1,  //!< right data operand
+    Pred = 2,   //!< predicate operand
+    WriteQ = 3, //!< register write queue entry (index = write slot)
+};
+
+/** A dataflow target: which consumer, and which of its operand slots. */
+struct Target
+{
+    Slot slot = Slot::Left;
+    uint8_t index = 0; //!< instruction index, or write-queue index
+
+    bool operator==(const Target &) const = default;
+};
+
+/** A decoded block instruction. */
+struct TInst
+{
+    Op op = Op::Nop;
+    PredMode pr = PredMode::Unpred;
+    int32_t imm = 0;            //!< sign-extended immediate / bro target
+    uint8_t lsid = 0;           //!< load/store sequence id (Ld/St only)
+    std::vector<Target> targets; //!< up to 2 (4 for Mov4)
+
+    bool predicated() const { return pr != PredMode::Unpred; }
+
+    /** Number of data operands this instruction waits for. */
+    int numSrcs() const { return opInfo(op).numSrcs; }
+
+    /** Maximum encodable targets for this opcode. */
+    int
+    maxTargets() const
+    {
+        if (op == Op::Mov4)
+            return 4;
+        if (op == Op::St || op == Op::Bro || op == Op::Write)
+            return 0;
+        return opInfo(op).hasImm ? 1 : 2;
+    }
+};
+
+/** A register read queue entry: injects a register value into the block. */
+struct ReadSlot
+{
+    uint8_t reg = 0;
+    std::vector<Target> targets; //!< up to 2
+};
+
+/** A register write queue entry: receives one (possibly null) token. */
+struct WriteSlot
+{
+    uint8_t reg = 0;
+};
+
+/**
+ * A complete block. The header fields record the output signature the
+ * hardware counts to detect completion: which write slots, which store
+ * LSIDs, and exactly one branch (paper §3).
+ */
+struct TBlock
+{
+    std::string label;
+    std::vector<ReadSlot> reads;
+    std::vector<WriteSlot> writes;
+    std::vector<TInst> insts;
+    uint32_t storeMask = 0; //!< bit i set => LSID i must resolve
+
+    /**
+     * Spatial placement computed by the scheduler: execution tile id per
+     * instruction. Empty means default placement (index mod tile count).
+     */
+    std::vector<uint8_t> placement;
+
+    /** Static footprint in bytes (header + encoded words), for I-cache. */
+    int
+    sizeBytes() const
+    {
+        int words = 4; // header
+        words += static_cast<int>(reads.size() + writes.size());
+        for (const TInst &inst : insts)
+            words += (inst.op == Op::Mov4) ? 2 : 1;
+        if (!placement.empty())
+            words += (static_cast<int>(placement.size()) + 3) / 4;
+        return words * 4;
+    }
+};
+
+/** A linked program: blocks indexed by bro immediates; block 0 is entry. */
+struct TProgram
+{
+    std::vector<TBlock> blocks;
+    std::unordered_map<std::string, int> labelIndex;
+
+    int
+    indexOf(const std::string &label) const
+    {
+        auto it = labelIndex.find(label);
+        return it == labelIndex.end() ? -1 : it->second;
+    }
+};
+
+/** An operand token flowing along a dataflow arc. */
+struct Token
+{
+    uint64_t value = 0;
+    bool null = false;  //!< null token (paper §4.2)
+    bool excep = false; //!< exception/poison bit (paper §4.4)
+
+    bool operator==(const Token &) const = default;
+};
+
+/**
+ * Does @p token match a predicate mode? Per §4.4 a predicate arriving
+ * with the exception bit set is interpreted as a *false* predicate.
+ * Null tokens never match.
+ */
+inline bool
+predMatches(PredMode pr, const Token &token)
+{
+    if (pr == PredMode::Unpred || token.null)
+        return false;
+    bool truth = token.excep ? false : (token.value & 1) != 0;
+    return truth == (pr == PredMode::OnTrue);
+}
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_TBLOCK_H

@@ -1,0 +1,229 @@
+#include "isa/validate.h"
+
+#include <functional>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace dfp::isa
+{
+
+namespace
+{
+
+/** Can this opcode legally receive a token in @p slot? */
+bool
+slotLegal(const TInst &inst, Slot slot)
+{
+    switch (slot) {
+      case Slot::Left:
+        return inst.numSrcs() >= 1;
+      case Slot::Right:
+        return inst.numSrcs() >= 2;
+      case Slot::Pred:
+        return inst.predicated();
+      case Slot::WriteQ:
+        return false; // handled separately; never a TInst slot
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+ValidationResult::joined() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < errors.size(); ++i)
+        os << (i ? "; " : "") << errors[i];
+    return os.str();
+}
+
+ValidationResult
+validateBlock(const TBlock &block)
+{
+    ValidationResult res;
+    auto err = [&](auto &&...parts) {
+        res.errors.push_back(detail::cat("block '", block.label, "': ",
+                                         parts...));
+    };
+
+    const int n = static_cast<int>(block.insts.size());
+    if (n > kMaxInsts)
+        err("too many instructions (", n, ")");
+    if (block.reads.size() > kMaxReads)
+        err("too many reads (", block.reads.size(), ")");
+    if (block.writes.size() > kMaxWrites)
+        err("too many writes (", block.writes.size(), ")");
+
+    // Per-slot producer counts; [slot][index].
+    std::vector<int> leftProd(n, 0), rightProd(n, 0), predProd(n, 0);
+    std::vector<int> writeProd(block.writes.size(), 0);
+
+    auto checkTarget = [&](const std::string &who, const Target &t) {
+        if (t.slot == Slot::WriteQ) {
+            if (t.index >= block.writes.size()) {
+                err(who, " targets write slot ", int(t.index),
+                    " out of range");
+                return;
+            }
+            ++writeProd[t.index];
+            return;
+        }
+        if (t.index >= n) {
+            err(who, " targets instruction ", int(t.index), " out of range");
+            return;
+        }
+        const TInst &c = block.insts[t.index];
+        if (!slotLegal(c, t.slot)) {
+            err(who, " targets illegal slot ", int(t.slot), " of inst ",
+                int(t.index), " (", opName(c.op), ")");
+            return;
+        }
+        switch (t.slot) {
+          case Slot::Left:  ++leftProd[t.index]; break;
+          case Slot::Right: ++rightProd[t.index]; break;
+          case Slot::Pred:  ++predProd[t.index]; break;
+          default: break;
+        }
+    };
+
+    for (size_t r = 0; r < block.reads.size(); ++r) {
+        if (block.reads[r].reg >= kNumRegs)
+            err("read ", r, " register out of range");
+        if (block.reads[r].targets.size() > 2)
+            err("read ", r, " has too many targets");
+        for (const Target &t : block.reads[r].targets)
+            checkTarget(detail::cat("read ", r), t);
+    }
+    for (size_t w = 0; w < block.writes.size(); ++w) {
+        if (block.writes[w].reg >= kNumRegs)
+            err("write ", w, " register out of range");
+    }
+
+    int numBranches = 0;
+    uint32_t seenLsids = 0;
+    for (int i = 0; i < n; ++i) {
+        const TInst &inst = block.insts[i];
+        std::string who = detail::cat("inst ", i, " (", opName(inst.op),
+                                      ")");
+        if (inst.op >= Op::NumOps) {
+            err(who, " bad opcode");
+            continue;
+        }
+        if (isPseudoOp(inst.op)) {
+            err(who, " pseudo-op is not valid in a block");
+            continue;
+        }
+        if (inst.op == Op::Read || inst.op == Op::Write) {
+            err(who, " read/write are queue entries, not instructions");
+            continue;
+        }
+        if (static_cast<int>(inst.targets.size()) > inst.maxTargets())
+            err(who, " has too many targets");
+        if (inst.op == Op::Bro) {
+            ++numBranches;
+        } else if (inst.op == Op::Switch) {
+            if (inst.targets.size() != 2)
+                err(who, " switch requires exactly 2 targets");
+        }
+        if (inst.op == Op::Ld || inst.op == Op::St) {
+            if (inst.lsid >= kMaxLsids)
+                err(who, " LSID out of range");
+            if (inst.op == Op::St) {
+                if (!(block.storeMask & (1u << inst.lsid)))
+                    err(who, " store LSID ", int(inst.lsid),
+                        " not in header mask");
+                seenLsids |= 1u << inst.lsid;
+            }
+        }
+        for (const Target &t : inst.targets)
+            checkTarget(who, t);
+    }
+
+    if (numBranches == 0)
+        err("no branch instruction");
+
+    // Every predicated instruction needs at least one predicate producer,
+    // and every data operand needs at least one producer, otherwise the
+    // instruction can never fire (and the block would hang).
+    for (int i = 0; i < n; ++i) {
+        const TInst &inst = block.insts[i];
+        if (inst.predicated() && predProd[i] == 0)
+            err("inst ", i, " (", opName(inst.op),
+                ") is predicated but nothing targets its predicate");
+        if (!inst.predicated() && predProd[i] > 0)
+            err("inst ", i, " (", opName(inst.op),
+                ") is unpredicated but something targets its predicate");
+        if (inst.numSrcs() >= 1 && leftProd[i] == 0)
+            err("inst ", i, " (", opName(inst.op),
+                ") left operand has no producer");
+        if (inst.numSrcs() >= 2 && rightProd[i] == 0 &&
+            !(inst.op == Op::St)) {
+            // A store's value operand may legitimately be satisfied only
+            // via a null token to its *left* slot (see DESIGN.md), but any
+            // other two-source op with a missing right producer hangs.
+            err("inst ", i, " (", opName(inst.op),
+                ") right operand has no producer");
+        }
+    }
+    for (size_t w = 0; w < block.writes.size(); ++w) {
+        if (writeProd[w] == 0)
+            err("write slot ", w, " (g", int(block.writes[w].reg),
+                ") has no producer");
+    }
+
+    // Header store mask must not demand LSIDs no store can resolve...
+    // unless a null token can resolve them; statically require at least
+    // one store or null-capable producer per mask bit: we only check that
+    // any store LSID is in the mask (above). A mask bit with no store at
+    // all is still resolvable via nulls, so it is not an error here.
+    (void)seenLsids;
+
+    // Dataflow acyclicity (instruction graph must be a DAG).
+    std::vector<int> color(n, 0); // 0 white, 1 grey, 2 black
+    std::function<bool(int)> dfs = [&](int u) -> bool {
+        color[u] = 1;
+        for (const Target &t : block.insts[u].targets) {
+            if (t.slot == Slot::WriteQ || t.index >= n)
+                continue;
+            if (color[t.index] == 1)
+                return false;
+            if (color[t.index] == 0 && !dfs(t.index))
+                return false;
+        }
+        color[u] = 2;
+        return true;
+    };
+    for (int i = 0; i < n; ++i) {
+        if (color[i] == 0 && !dfs(i)) {
+            err("dataflow graph has a cycle through inst ", i);
+            break;
+        }
+    }
+
+    return res;
+}
+
+ValidationResult
+validateProgram(const TProgram &program)
+{
+    ValidationResult all;
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        ValidationResult r = validateBlock(program.blocks[b]);
+        all.errors.insert(all.errors.end(), r.errors.begin(),
+                          r.errors.end());
+        for (const TInst &inst : program.blocks[b].insts) {
+            if (inst.op == Op::Bro && inst.imm != kHaltTarget &&
+                (inst.imm < 0 ||
+                 inst.imm >= static_cast<int32_t>(program.blocks.size()))) {
+                all.errors.push_back(detail::cat(
+                    "block '", program.blocks[b].label,
+                    "': bro target ", inst.imm, " out of range"));
+            }
+        }
+    }
+    return all;
+}
+
+} // namespace dfp::isa

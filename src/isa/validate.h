@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Static well-formedness checks for TRIPS-style blocks, enforcing the
+ * predication rules of paper §3.1 plus basic structural sanity:
+ *
+ *  1. only predicable instructions carry a PR field other than 00
+ *     (reads/writes are queue entries and cannot be predicated);
+ *  2. every predicated instruction has at least one producer targeting
+ *     its predicate operand;
+ *  3. multiple producers may target one predicate operand (at most one
+ *     matching at runtime is checked dynamically by the executor);
+ *  4. predicates reach >2 consumers only through fanout instructions
+ *     (implied by per-instruction target limits, which we check);
+ *  5. exception behaviour is preserved by construction (poison bits).
+ *
+ * Additional structural rules: targets in range, operand slots valid for
+ * the consumer's opcode, dataflow acyclicity, one-or-more branches,
+ * store LSIDs covered by the header mask, every write slot reachable.
+ */
+
+#ifndef DFP_ISA_VALIDATE_H
+#define DFP_ISA_VALIDATE_H
+
+#include <string>
+#include <vector>
+
+#include "isa/tblock.h"
+
+namespace dfp::isa
+{
+
+/** Result of validating a block: empty errors means well-formed. */
+struct ValidationResult
+{
+    std::vector<std::string> errors;
+
+    bool ok() const { return errors.empty(); }
+    std::string joined() const;
+};
+
+/** Validate a single block. */
+ValidationResult validateBlock(const TBlock &block);
+
+/** Validate every block of a program plus inter-block branch targets. */
+ValidationResult validateProgram(const TProgram &program);
+
+} // namespace dfp::isa
+
+#endif // DFP_ISA_VALIDATE_H

@@ -1,0 +1,70 @@
+#include "sim/cache.h"
+
+#include "base/bitops.h"
+
+namespace dfp::sim
+{
+
+Cache::Cache(uint64_t sizeBytes, int assoc, int lineBytes)
+    : assoc_(assoc)
+{
+    dfp_assert(isPow2(lineBytes), "line size must be a power of two");
+    lineShift_ = static_cast<int>(floorLog2(lineBytes));
+    uint64_t numLines = sizeBytes / lineBytes;
+    dfp_assert(numLines % assoc == 0, "capacity/assoc mismatch");
+    numSets_ = static_cast<int>(numLines / assoc);
+    dfp_assert(isPow2(numSets_), "set count must be a power of two");
+    lines_.assign(numSets_ * assoc_, {});
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++tick_;
+    uint64_t lineAddr = addr >> lineShift_;
+    int set = static_cast<int>(lineAddr & (numSets_ - 1));
+    uint64_t tag = lineAddr >> floorLog2(numSets_);
+
+    Line *victim = nullptr;
+    for (int w = 0; w < assoc_; ++w) {
+        Line &line = lines_[set * assoc_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = tick_;
+            ++hits_;
+            return true;
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t lineAddr = addr >> lineShift_;
+    int set = static_cast<int>(lineAddr & (numSets_ - 1));
+    uint64_t tag = lineAddr >> floorLog2(numSets_);
+    for (int w = 0; w < assoc_; ++w) {
+        const Line &line = lines_[set * assoc_ + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = {};
+    hits_ = misses_ = 0;
+}
+
+} // namespace dfp::sim

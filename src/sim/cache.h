@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement, used for the
+ * distributed L1 data banks (32 KB, 2-way, 2-cycle in the paper's
+ * tsim-proc configuration) and the L1 instruction cache (64 KB, 2-way,
+ * 1-cycle). Only hit/miss behaviour is modeled — data lives in the
+ * backing isa::Memory — which is all the relative-performance
+ * experiments need.
+ */
+
+#ifndef DFP_SIM_CACHE_H
+#define DFP_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dfp::sim
+{
+
+/** LRU set-associative tag array. */
+class Cache
+{
+  public:
+    /**
+     * @param sizeBytes total capacity
+     * @param assoc associativity
+     * @param lineBytes line size (power of two)
+     */
+    Cache(uint64_t sizeBytes, int assoc, int lineBytes);
+
+    /** Access @p addr: returns true on hit; allocates on miss. */
+    bool access(uint64_t addr);
+
+    /** Probe without allocating. */
+    bool probe(uint64_t addr) const;
+
+    /** Invalidate everything. */
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    int numSets_;
+    int assoc_;
+    int lineShift_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    std::vector<Line> lines_; //!< numSets_ * assoc_
+};
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_CACHE_H

@@ -1,0 +1,905 @@
+#include "sim/machine.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "isa/alu.h"
+#include "sim/cache.h"
+#include "sim/predictor.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+using isa::Op;
+using isa::Slot;
+using isa::Target;
+using isa::Token;
+
+/** One block in flight. */
+struct Frame
+{
+    uint64_t gen = 0;
+    int blockIdx = -1;
+    const isa::TBlock *block = nullptr;
+    bool fetched = false;
+    bool conservative = false; //!< dependence predictor said "wait"
+
+    struct IState
+    {
+        std::optional<Token> left;
+        std::optional<Token> right;
+        bool predMatched = false;
+        bool fired = false;
+    };
+    std::vector<IState> ists;
+    std::vector<std::optional<Token>> writeTok;
+    std::optional<int32_t> branchTarget;
+
+    std::map<uint8_t, std::pair<uint64_t, Token>> storeBuf;
+    uint32_t resolvedLsids = 0;
+    std::vector<std::pair<uint8_t, uint64_t>> doneLoads; //!< (lsid, addr)
+    std::vector<int> waitingLoads; //!< inst indices deferred on stores
+
+    int pendingOps = 0;      //!< scheduled events not yet handled
+    bool complete = false;
+    uint64_t completeCycle = 0;
+    uint64_t lastOutputCycle = 0;
+
+    // dynamic counters (accumulated into SimResult at commit)
+    uint64_t fired = 0;
+    uint64_t movs = 0;
+
+    int predictedNext = BlockPredictor::kNoPrediction;
+};
+
+class Machine
+{
+  public:
+    Machine(const isa::TProgram &program, isa::ArchState &state,
+            const SimConfig &config)
+        : program_(program), state_(state), cfg_(config),
+          net_(config.grid, config.modelContention),
+          l1d_(config.l1dBytes, config.l1dAssoc, config.lineBytes),
+          l1i_(config.l1iBytes, config.l1iAssoc, config.lineBytes),
+          tileFree_(config.grid.tiles(), 0)
+    {
+        // Static code layout for the I-cache model.
+        uint64_t base = 1ull << 40; // away from data
+        for (const isa::TBlock &block : program.blocks) {
+            codeBase_.push_back(base);
+            base += (block.sizeBytes() + config.lineBytes - 1) /
+                    config.lineBytes * config.lineBytes;
+        }
+        if (cfg_.perfectPrediction)
+            buildOracleTrace();
+    }
+
+    SimResult run();
+
+  private:
+    // ------------------------------------------------------------------
+    // Event machinery.
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    uint64_t seq_ = 0;
+    uint64_t now_ = 0;
+
+    void
+    at(uint64_t cycle, std::function<void()> fn)
+    {
+        dfp_assert(cycle >= now_, "event scheduled in the past");
+        events_.push({cycle, seq_++, std::move(fn)});
+    }
+
+    /** Schedule an event tied to a frame; dropped if the frame is gone. */
+    void
+    frameAt(int slot, uint64_t cycle, std::function<void(Frame &)> fn)
+    {
+        uint64_t gen = frames_[slot]->gen;
+        frames_[slot]->pendingOps++;
+        at(cycle, [this, slot, gen, fn = std::move(fn)] {
+            Frame *f = frames_[slot].get();
+            if (!f || f->gen != gen)
+                return; // flushed
+            f->pendingOps--;
+            fn(*f);
+            checkCompletion(*f, slot);
+        });
+    }
+
+    // ------------------------------------------------------------------
+    int tileOf(const Frame &f, int idx) const
+    {
+        if (!f.block->placement.empty())
+            return f.block->placement[idx];
+        return idx % cfg_.grid.tiles();
+    }
+
+    void buildOracleTrace();
+    void fetchMore();
+    void startFetch(int blockIdx);
+    void onFetchDone(Frame &f, int slot);
+    void tryResolveRead(int slot, int readIdx);
+    void deliverOperand(Frame &f, int slot, Target target, Token token,
+                        uint64_t cycle);
+    void maybeIssue(Frame &f, int slot, int idx);
+    void execute(Frame &f, int slot, int idx, uint64_t issueCycle);
+    void finish(Frame &f, int slot, int idx, Token result,
+                uint64_t cycle);
+    void routeResult(Frame &f, int slot, int idx, const Token &result,
+                     uint64_t cycle);
+    void doLoad(Frame &f, int slot, int idx, uint64_t issueCycle);
+    void resolveStore(Frame &f, int slot, uint8_t lsid, uint64_t addr,
+                      Token value, uint64_t cycle, bool nullified);
+    void wakeRegWaiters(int reg);
+    void checkCompletion(Frame &f, int slot);
+    void tryCommit();
+    void commitOldest();
+    void flushFrom(size_t pos, const char *why, int redirectBlock);
+    int frameOrder(int slot) const;
+
+    uint64_t readRegister(int slot, int reg, bool &ready, Token &out);
+
+    // ------------------------------------------------------------------
+    const isa::TProgram &program_;
+    isa::ArchState &state_;
+    SimConfig cfg_;
+    OperandNetwork net_;
+    Cache l1d_, l1i_;
+    BlockPredictor predictor_;
+    std::vector<uint64_t> codeBase_;
+
+    // Frames, oldest first. frames_[order]; slot index == position in
+    // a fixed pool referenced by events.
+    std::vector<std::unique_ptr<Frame>> frames_; //!< slot -> frame
+    std::vector<int> order_;                     //!< oldest..youngest slots
+    uint64_t nextGen_ = 1;
+
+    std::vector<uint64_t> tileFree_;
+    uint64_t lastFetchStart_ = 0;
+
+    // Read subscriptions: register -> (slot, gen, readIdx) waiting.
+    struct Waiter
+    {
+        int slot;
+        uint64_t gen;
+        int readIdx;
+    };
+    std::multimap<int, Waiter> regWaiters_;
+
+    std::set<int> conservativeBlocks_; //!< dependence predictor state
+    std::vector<int> oracle_;
+    size_t oraclePos_ = 0;
+
+    SimResult res_;
+    bool done_ = false;
+    int redirect_ = 0; //!< next block to fetch when no frames exist
+};
+
+void
+Machine::buildOracleTrace()
+{
+    isa::ArchState copy = state_;
+    isa::TProgram programCopy = program_;
+    int32_t current = 0;
+    uint64_t fuel = 1ull << 24;
+    while (fuel-- > 0) {
+        oracle_.push_back(current);
+        isa::BlockOutcome out =
+            isa::executeBlock(program_.blocks[current], copy);
+        if (!out.ok || out.nextBlock == isa::kHaltTarget)
+            break;
+        current = out.nextBlock;
+    }
+}
+
+int
+Machine::frameOrder(int slot) const
+{
+    for (size_t i = 0; i < order_.size(); ++i) {
+        if (order_[i] == slot)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Machine::fetchMore()
+{
+    if (done_)
+        return;
+    while (static_cast<int>(order_.size()) < cfg_.maxBlocksInFlight) {
+        int next;
+        if (order_.empty()) {
+            next = redirect_;
+        } else {
+            Frame &tail = *frames_[order_.back()];
+            if (cfg_.perfectPrediction) {
+                size_t pos = oraclePos_ + order_.size();
+                if (pos >= oracle_.size())
+                    return; // oracle says nothing beyond here
+                next = oracle_[pos];
+            } else {
+                next = predictor_.predict(tail.blockIdx);
+            }
+            tail.predictedNext = next;
+            if (next < 0 ||
+                next >= static_cast<int>(program_.blocks.size())) {
+                return; // no prediction, or predicted halt: stop here
+            }
+        }
+        startFetch(next);
+    }
+}
+
+void
+Machine::startFetch(int blockIdx)
+{
+    int slot = -1;
+    for (size_t s = 0; s < frames_.size(); ++s) {
+        if (!frames_[s]) {
+            slot = static_cast<int>(s);
+            break;
+        }
+    }
+    if (slot < 0) {
+        slot = static_cast<int>(frames_.size());
+        frames_.emplace_back();
+    }
+    auto frame = std::make_unique<Frame>();
+    frame->gen = nextGen_++;
+    frame->blockIdx = blockIdx;
+    frame->block = &program_.blocks[blockIdx];
+    frame->conservative = conservativeBlocks_.count(blockIdx) > 0;
+    frame->ists.resize(frame->block->insts.size());
+    frame->writeTok.resize(frame->block->writes.size());
+    frames_[slot] = std::move(frame);
+    order_.push_back(slot);
+
+    // Fetch timing: prediction + fetch pipe + I-cache. The fetch pipe
+    // delivers fetchWidth instruction words per cycle, so a full block
+    // occupies it for several cycles before the next block's fetch can
+    // start (TRIPS: 16/cycle, 8 cycles for a 128-instruction block).
+    uint64_t occupancy =
+        std::max<uint64_t>(1, (frames_[slot]->block->sizeBytes() / 4 +
+                               cfg_.fetchWidth - 1) /
+                                  cfg_.fetchWidth);
+    uint64_t start = std::max(now_, lastFetchStart_ + occupancy) +
+                     cfg_.predictLatency;
+    lastFetchStart_ = start;
+    uint64_t extra = 0;
+    uint64_t base = codeBase_[blockIdx];
+    int bytes = frames_[slot]->block->sizeBytes();
+    bool missed = false;
+    for (int off = 0; off < bytes; off += cfg_.lineBytes)
+        missed |= !l1i_.access(base + off);
+    extra = missed ? cfg_.missLatency : cfg_.l1iHitLatency;
+    res_.stats.inc(missed ? "sim.l1i_misses" : "sim.l1i_hits");
+
+    frameAt(slot, start + cfg_.fetchLatency + extra,
+            [this, slot](Frame &f) { onFetchDone(f, slot); });
+    res_.stats.inc("sim.fetches");
+}
+
+uint64_t
+Machine::readRegister(int slot, int reg, bool &ready, Token &out)
+{
+    // Committed value, then forward from older in-flight frames in
+    // order; a null write leaves the previous value visible (§4.2).
+    ready = true;
+    out = Token{state_.regs[reg], false, false};
+    uint64_t when = now_;
+    int myPos = frameOrder(slot);
+    for (int pos = 0; pos < myPos; ++pos) {
+        Frame &g = *frames_[order_[pos]];
+        for (size_t w = 0; w < g.block->writes.size(); ++w) {
+            if (g.block->writes[w].reg != reg)
+                continue;
+            if (!g.fetched || !g.writeTok[w].has_value()) {
+                ready = false;
+                return when;
+            }
+            const Token &tok = *g.writeTok[w];
+            if (!tok.null)
+                out = tok;
+        }
+    }
+    return when;
+}
+
+void
+Machine::tryResolveRead(int slot, int readIdx)
+{
+    Frame &f = *frames_[slot];
+    const isa::ReadSlot &read = f.block->reads[readIdx];
+    bool ready = false;
+    Token token;
+    readRegister(slot, read.reg, ready, token);
+    if (!ready) {
+        regWaiters_.insert({read.reg, {slot, f.gen, readIdx}});
+        return;
+    }
+    for (const Target &t : read.targets) {
+        int toTile = tileOf(f, t.index);
+        uint64_t arrive = net_.deliverFromReg(read.reg, toTile, now_ + 1);
+        frameAt(slot, arrive, [this, slot, t, token](Frame &g) {
+            deliverOperand(g, slot, t, token, now_);
+        });
+    }
+}
+
+void
+Machine::wakeRegWaiters(int reg)
+{
+    auto range = regWaiters_.equal_range(reg);
+    std::vector<Waiter> waiters;
+    for (auto it = range.first; it != range.second; ++it)
+        waiters.push_back(it->second);
+    regWaiters_.erase(range.first, range.second);
+    for (const Waiter &w : waiters) {
+        if (w.slot < static_cast<int>(frames_.size()) &&
+            frames_[w.slot] && frames_[w.slot]->gen == w.gen) {
+            tryResolveRead(w.slot, w.readIdx);
+        }
+    }
+}
+
+void
+Machine::deliverOperand(Frame &f, int slot, Target target, Token token,
+                        uint64_t cycle)
+{
+    if (target.slot == Slot::WriteQ) {
+        auto &wt = f.writeTok[target.index];
+        if (wt.has_value()) {
+            res_.error = detail::cat("block '", f.block->label,
+                                     "': write slot received two tokens");
+            done_ = true;
+            return;
+        }
+        wt = token;
+        f.lastOutputCycle = std::max(f.lastOutputCycle, cycle);
+        wakeRegWaiters(f.block->writes[target.index].reg);
+        return;
+    }
+
+    int idx = target.index;
+    const isa::TInst &def = f.block->insts[idx];
+    Frame::IState &st = f.ists[idx];
+
+    if (target.slot == Slot::Pred) {
+        if (isa::predMatches(def.pr, token)) {
+            if (st.predMatched) {
+                res_.error = detail::cat("block '", f.block->label,
+                                         "': double matching predicate");
+                done_ = true;
+                return;
+            }
+            st.predMatched = true;
+            maybeIssue(f, slot, idx);
+        } else {
+            res_.stats.inc("sim.nonmatching_preds");
+        }
+        return;
+    }
+
+    // A null reaching a store resolves its LSID with no memory effect.
+    if (def.op == Op::St && token.null) {
+        resolveStore(f, slot, def.lsid, 0, token, cycle, true);
+        return;
+    }
+
+    auto &opnd = target.slot == Slot::Left ? st.left : st.right;
+    if (opnd.has_value()) {
+        res_.error = detail::cat("block '", f.block->label, "': inst ",
+                                 idx, " operand received two tokens");
+        done_ = true;
+        return;
+    }
+    opnd = token;
+    maybeIssue(f, slot, idx);
+}
+
+void
+Machine::maybeIssue(Frame &f, int slot, int idx)
+{
+    const isa::TInst &inst = f.block->insts[idx];
+    Frame::IState &st = f.ists[idx];
+    if (st.fired)
+        return;
+    if (inst.predicated() && !st.predMatched)
+        return;
+    int need = inst.numSrcs();
+    if (need >= 1 && !st.left.has_value())
+        return;
+    if (need >= 2 && !st.right.has_value())
+        return;
+    st.fired = true;
+    f.fired++;
+    if (inst.op == Op::Mov || inst.op == Op::Mov4 || inst.op == Op::Movi)
+        f.movs++;
+
+    // One issue slot per tile per cycle.
+    int tile = tileOf(f, idx);
+    uint64_t issue = std::max(now_ + 1, tileFree_[tile]);
+    tileFree_[tile] = issue + 1;
+    frameAt(slot, issue,
+            [this, slot, idx, issue](Frame &g) {
+                execute(g, slot, idx, issue);
+            });
+}
+
+void
+Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
+{
+    const isa::TInst &inst = f.block->insts[idx];
+    Frame::IState &st = f.ists[idx];
+    Token a = st.left.value_or(Token{});
+    Token b = st.right.value_or(Token{});
+    Token immTok{static_cast<uint64_t>(
+                     static_cast<int64_t>(inst.imm)),
+                 false, false};
+    uint64_t doneCycle = issueCycle + isa::opInfo(inst.op).latency;
+
+    switch (inst.op) {
+      case Op::Bro: {
+        if (f.branchTarget.has_value()) {
+            res_.error = detail::cat("block '", f.block->label,
+                                     "': two branches fired");
+            done_ = true;
+            return;
+        }
+        f.branchTarget = inst.imm;
+        f.lastOutputCycle = std::max(f.lastOutputCycle, doneCycle);
+        return;
+      }
+      case Op::St: {
+        if (a.null || b.null) {
+            resolveStore(f, slot, inst.lsid, 0, Token{0, true, false},
+                         doneCycle, true);
+            return;
+        }
+        uint64_t addr = a.value + static_cast<int64_t>(inst.imm);
+        Token value = b;
+        if (a.excep || (addr & 7))
+            value.excep = true;
+        int bank = cfg_.grid.bankRow(addr, cfg_.lineBytes);
+        uint64_t arrive =
+            net_.deliverToBank(tileOf(f, idx), bank, doneCycle);
+        frameAt(slot, arrive,
+                [this, slot, lsid = inst.lsid, addr, value](Frame &g) {
+                    resolveStore(g, slot, lsid, addr, value, now_, false);
+                });
+        return;
+      }
+      case Op::Ld:
+        doLoad(f, slot, idx, issueCycle);
+        return;
+      case Op::GateT:
+      case Op::GateF: {
+        if (a.null)
+            return;
+        bool truth = a.excep ? false : (a.value & 1) != 0;
+        if (truth != (inst.op == Op::GateT))
+            return;
+        Token out = b;
+        out.excep = out.excep || a.excep;
+        finish(f, slot, idx, out, doneCycle);
+        return;
+      }
+      case Op::Switch: {
+        if (a.null)
+            return;
+        bool truth = a.excep ? false : (a.value & 1) != 0;
+        Token out = b;
+        out.excep = out.excep || a.excep;
+        const Target &t = inst.targets[truth ? 0 : 1];
+        uint64_t arrive = net_.deliver(
+            tileOf(f, idx),
+            t.slot == Slot::WriteQ ? tileOf(f, idx) : tileOf(f, t.index),
+            doneCycle);
+        frameAt(slot, arrive, [this, slot, t, out](Frame &g) {
+            deliverOperand(g, slot, t, out, now_);
+        });
+        return;
+      }
+      default: {
+        Token result = isa::evalOp(
+            inst.op, a, isa::opInfo(inst.op).hasImm ? immTok : b);
+        finish(f, slot, idx, result, doneCycle);
+        return;
+      }
+    }
+}
+
+void
+Machine::finish(Frame &f, int slot, int idx, Token result,
+                uint64_t cycle)
+{
+    routeResult(f, slot, idx, result, cycle);
+}
+
+void
+Machine::routeResult(Frame &f, int slot, int idx, const Token &result,
+                     uint64_t cycle)
+{
+    int fromTile = tileOf(f, idx);
+    for (const Target &t : f.block->insts[idx].targets) {
+        uint64_t arrive;
+        if (t.slot == Slot::WriteQ) {
+            arrive = net_.deliverToReg(
+                fromTile, f.block->writes[t.index].reg, cycle);
+        } else {
+            arrive = net_.deliver(fromTile, tileOf(f, t.index), cycle);
+        }
+        frameAt(slot, arrive, [this, slot, t, result](Frame &g) {
+            deliverOperand(g, slot, t, result, now_);
+        });
+    }
+    if (f.block->insts[idx].targets.empty())
+        f.lastOutputCycle = std::max(f.lastOutputCycle, cycle);
+}
+
+void
+Machine::doLoad(Frame &f, int slot, int idx, uint64_t issueCycle)
+{
+    const isa::TInst &inst = f.block->insts[idx];
+    const Token &addrTok = *f.ists[idx].left;
+    uint64_t doneCycle = issueCycle + 1;
+    if (addrTok.null || addrTok.excep) {
+        Token out;
+        out.null = addrTok.null;
+        out.excep = !addrTok.null && addrTok.excep;
+        finish(f, slot, idx, out, doneCycle);
+        return;
+    }
+    uint64_t addr = addrTok.value + static_cast<int64_t>(inst.imm);
+    if (addr & 7) {
+        finish(f, slot, idx, Token{0, false, true}, doneCycle);
+        return;
+    }
+
+    // Conservative frames (and everything when aggressive load
+    // speculation is off) defer loads until every earlier in-block
+    // store LSID resolves.
+    uint32_t earlier = f.block->storeMask & ((1u << inst.lsid) - 1);
+    if ((f.conservative || !cfg_.aggressiveLoads) &&
+        (earlier & ~f.resolvedLsids) != 0) {
+        f.waitingLoads.push_back(idx);
+        return;
+    }
+
+    // Value: committed memory, then older frames' resolved stores in
+    // frame order, then this frame's earlier-LSID stores.
+    Token out;
+    out.value = state_.mem.load(addr);
+    int myPos = frameOrder(slot);
+    for (int pos = 0; pos <= myPos; ++pos) {
+        Frame &g = *frames_[order_[pos]];
+        for (const auto &[lsid, st] : g.storeBuf) {
+            if (pos == myPos && lsid >= inst.lsid)
+                continue;
+            if (st.first == addr && !st.second.null)
+                out.value = st.second.value;
+        }
+    }
+
+    int bank = cfg_.grid.bankRow(addr, cfg_.lineBytes);
+    uint64_t atBank =
+        net_.deliverToBank(tileOf(f, idx), bank, doneCycle);
+    bool hit = l1d_.access(addr);
+    res_.stats.inc(hit ? "sim.l1d_hits" : "sim.l1d_misses");
+    uint64_t dataReady =
+        atBank + (hit ? cfg_.l1dHitLatency : cfg_.missLatency);
+    uint64_t back = net_.deliverFromBank(bank, tileOf(f, idx), dataReady);
+
+    f.doneLoads.push_back({inst.lsid, addr});
+    frameAt(slot, back, [this, slot, idx, out](Frame &g) {
+        routeResult(g, slot, idx, out, now_);
+    });
+}
+
+void
+Machine::resolveStore(Frame &f, int slot, uint8_t lsid, uint64_t addr,
+                      Token value, uint64_t cycle, bool nullified)
+{
+    if (f.resolvedLsids & (1u << lsid)) {
+        res_.error = detail::cat("block '", f.block->label,
+                                 "': store LSID ", int(lsid),
+                                 " resolved twice");
+        done_ = true;
+        return;
+    }
+    f.resolvedLsids |= 1u << lsid;
+    if (!nullified)
+        f.storeBuf[lsid] = {addr, value};
+    f.lastOutputCycle = std::max(f.lastOutputCycle, cycle);
+
+    // Dependence violation check: a later load in this frame, or any
+    // load in a younger frame, already read this address. The flush may
+    // kill this frame too (same-frame violation); deferred-load wakeup
+    // below must still run when the frame survives.
+    if (!nullified) {
+        uint64_t myGen = f.gen;
+        int myPos = frameOrder(slot);
+        bool violated = false;
+        for (size_t pos = myPos;
+             pos < order_.size() && !done_ && !violated; ++pos) {
+            Frame &g = *frames_[order_[pos]];
+            for (const auto &[llsid, laddr] : g.doneLoads) {
+                bool younger = static_cast<int>(pos) > myPos;
+                if (laddr == addr && (younger || llsid > lsid)) {
+                    res_.loadViolations++;
+                    conservativeBlocks_.insert(g.blockIdx);
+                    flushFrom(pos, "load-store violation",
+                              g.blockIdx);
+                    violated = true;
+                    break;
+                }
+            }
+        }
+        if (violated &&
+            (!frames_[slot] || frames_[slot]->gen != myGen)) {
+            return; // this frame itself was flushed
+        }
+    }
+
+    // Wake deferred loads.
+    if (!f.waitingLoads.empty()) {
+        std::vector<int> loads = std::move(f.waitingLoads);
+        f.waitingLoads.clear();
+        for (int idx : loads) {
+            uint32_t earlier =
+                f.block->storeMask & ((1u << f.block->insts[idx].lsid) -
+                                      1);
+            if ((earlier & ~f.resolvedLsids) == 0) {
+                doLoad(f, slot, idx, cycle);
+            } else {
+                f.waitingLoads.push_back(idx);
+            }
+        }
+    }
+}
+
+void
+Machine::checkCompletion(Frame &f, int slot)
+{
+    if (done_ || f.complete || !f.fetched)
+        return;
+    if (!f.branchTarget.has_value())
+        return;
+    if ((f.block->storeMask & ~f.resolvedLsids) != 0)
+        return;
+    for (const auto &tok : f.writeTok) {
+        if (!tok.has_value())
+            return;
+    }
+    if (!cfg_.earlyTermination && f.pendingOps > 0)
+        return; // must drain without early termination (§4.3 ablation)
+    f.complete = true;
+    f.completeCycle = std::max(now_, f.lastOutputCycle);
+    tryCommit();
+    (void)slot;
+}
+
+void
+Machine::tryCommit()
+{
+    if (done_ || order_.empty())
+        return;
+    Frame &oldest = *frames_[order_.front()];
+    if (!oldest.complete)
+        return;
+    uint64_t when = std::max(now_, oldest.completeCycle) + 1;
+    int slot = order_.front();
+    uint64_t gen = oldest.gen;
+    at(when, [this, slot, gen] {
+        if (done_ || order_.empty() || order_.front() != slot)
+            return;
+        Frame *f = frames_[slot].get();
+        if (!f || f->gen != gen || !f->complete)
+            return;
+        commitOldest();
+    });
+}
+
+void
+Machine::commitOldest()
+{
+    int slot = order_.front();
+    Frame &f = *frames_[slot];
+
+    // Commit stores in LSID order and register writes; raise any
+    // exception bit that reached an output (§4.4).
+    bool excep = false;
+    for (const auto &[lsid, st] : f.storeBuf) {
+        (void)lsid;
+        if (st.second.excep) {
+            excep = true;
+            continue;
+        }
+        state_.mem.store(st.first, st.second.value);
+    }
+    for (size_t w = 0; w < f.writeTok.size(); ++w) {
+        const Token &tok = *f.writeTok[w];
+        if (tok.null)
+            continue;
+        if (tok.excep) {
+            excep = true;
+            continue;
+        }
+        state_.regs[f.block->writes[w].reg] = tok.value;
+    }
+
+    res_.blocksCommitted++;
+    res_.instsCommitted += f.fired;
+    res_.movsCommitted += f.movs;
+    res_.cycles = std::max(res_.cycles, now_);
+
+    int actual = *f.branchTarget;
+    predictor_.train(f.blockIdx, actual);
+    if (cfg_.perfectPrediction)
+        ++oraclePos_;
+
+    if (excep) {
+        res_.raisedException = true;
+        res_.error = detail::cat("exception raised at block '",
+                                 f.block->label, "'");
+        done_ = true;
+        return;
+    }
+
+    order_.erase(order_.begin());
+    frames_[slot].reset();
+
+    if (actual == isa::kHaltTarget) {
+        res_.halted = true;
+        done_ = true;
+        return;
+    }
+
+    // Validate the speculative chain against the actual successor.
+    bool predictedRight =
+        !order_.empty() &&
+        frames_[order_.front()]->blockIdx == actual;
+    predictor_.noteOutcome(predictedRight);
+    if (!predictedRight) {
+        res_.mispredicts++;
+        flushFrom(0, "branch mispredict", actual);
+    } else {
+        // The next frame's reads may now resolve against committed
+        // state (it may have been waiting on our writes).
+        for (const isa::WriteSlot &w : f.block->writes)
+            wakeRegWaiters(w.reg);
+        tryCommit();
+    }
+    fetchMore();
+}
+
+void
+Machine::flushFrom(size_t pos, const char *why, int redirectBlock)
+{
+    for (size_t p = pos; p < order_.size(); ++p) {
+        frames_[order_[p]].reset();
+        res_.blocksFlushed++;
+    }
+    order_.resize(pos);
+    if (order_.empty())
+        redirect_ = redirectBlock;
+    res_.stats.inc(detail::cat("sim.flush.", why));
+    // Orphaned regWaiters and in-flight events for dead frames are
+    // filtered by generation checks when they surface.
+    fetchMore();
+}
+
+void
+Machine::onFetchDone(Frame &f, int slot)
+{
+    f.fetched = true;
+    for (size_t r = 0; r < f.block->reads.size(); ++r)
+        tryResolveRead(slot, static_cast<int>(r));
+    for (size_t i = 0; i < f.block->insts.size(); ++i) {
+        const isa::TInst &inst = f.block->insts[i];
+        if (inst.numSrcs() == 0 && !inst.predicated())
+            maybeIssue(f, slot, static_cast<int>(i));
+    }
+    checkCompletion(f, slot);
+}
+
+SimResult
+Machine::run()
+{
+    fetchMore();
+    while (!events_.empty() && !done_) {
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.cycle;
+        if (now_ > cfg_.maxCycles) {
+            res_.error = "cycle limit exceeded";
+            break;
+        }
+        ev.fn();
+    }
+    res_.cycles = std::max(res_.cycles, now_);
+    if (!done_ && res_.error.empty() && !res_.halted) {
+        // Event queue drained with frames outstanding: a block deadlock.
+        std::string detail = "simulation deadlock";
+        if (!order_.empty()) {
+            const Frame &f = *frames_[order_.front()];
+            std::string missing;
+            for (size_t w = 0; w < f.writeTok.size(); ++w) {
+                if (!f.writeTok[w].has_value()) {
+                    missing += detail::cat(" w", w, "(g",
+                                           int(f.block->writes[w].reg),
+                                           ")");
+                }
+            }
+            uint32_t lsids = f.block->storeMask & ~f.resolvedLsids;
+            std::string stuck;
+            for (size_t i = 0; i < f.block->insts.size(); ++i) {
+                const isa::TInst &inst = f.block->insts[i];
+                const Frame::IState &st = f.ists[i];
+                if (st.fired)
+                    continue;
+                bool partial = st.left.has_value() ||
+                               st.right.has_value() || st.predMatched;
+                if (!partial && inst.numSrcs() != 0)
+                    continue;
+                stuck += detail::cat(" ", i, ":", isa::opName(inst.op),
+                                     "(l=", st.left.has_value(), ",r=",
+                                     st.right.has_value(), ",p=",
+                                     st.predMatched, ")");
+            }
+            std::string waiting;
+            for (int idx : f.waitingLoads)
+                waiting += detail::cat(" ", idx);
+            detail = detail::cat(
+                "deadlock in block '", f.block->label, "' (branch=",
+                f.branchTarget.has_value(), ", missing writes:[",
+                missing, " ], missing lsids=0x", std::hex, lsids,
+                std::dec, ", fetched=", f.fetched, ", gen=", f.gen, ", waitingLoads=[",
+                waiting, " ], conservative=", f.conservative,
+                ", stuck:[", stuck, " ])");
+        }
+        res_.error = detail;
+    }
+    res_.stats.set("sim.cycles", res_.cycles);
+    res_.stats.set("sim.blocks", res_.blocksCommitted);
+    res_.stats.set("sim.insts", res_.instsCommitted);
+    res_.stats.set("sim.movs", res_.movsCommitted);
+    res_.stats.set("sim.mispredicts", res_.mispredicts);
+    res_.stats.set("sim.flushed", res_.blocksFlushed);
+    res_.stats.set("sim.violations", res_.loadViolations);
+    res_.stats.set("sim.net_hops", net_.totalHops());
+    res_.stats.set("sim.net_stalls", net_.contentionStalls());
+    return res_;
+}
+
+} // namespace
+
+SimResult
+simulate(const isa::TProgram &program, isa::ArchState &state,
+         const SimConfig &config)
+{
+    dfp_assert(!program.blocks.empty(), "empty program");
+    return Machine(program, state, config).run();
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The dfp cycle-level processor model — the stand-in for the paper's
+ * tsim-proc (§6). It models a TRIPS-like tiled microarchitecture:
+ *
+ *  - a rows x cols grid of execution tiles, each with reservation
+ *    stations and one ALU issue slot per cycle;
+ *  - a 2-D mesh operand network with 1-cycle hops and link contention;
+ *  - register tiles on the top edge, data tiles (L1-D banks with an
+ *    LSQ) on the left edge;
+ *  - 8-cycle block fetch through a 64 KB 2-way L1-I (1 cycle);
+ *  - 32 KB 2-way L1-D banks with 2-cycle hits;
+ *  - a 3-cycle next-block predictor and up to 8 blocks in flight;
+ *  - block completion by output counting (register writes, store LSIDs,
+ *    one branch), null tokens, exception bits;
+ *  - early mispredication termination (§4.3): a completed block commits
+ *    and frees its frame even while falsely-predicated instructions are
+ *    still in flight — switchable off for the ablation, in which case
+ *    the frame must drain first;
+ *  - aggressive load speculation with store-set-style dependence
+ *    flushes, and register-write forwarding between in-flight blocks.
+ */
+
+#ifndef DFP_SIM_MACHINE_H
+#define DFP_SIM_MACHINE_H
+
+#include <string>
+
+#include "base/stats.h"
+#include "isa/exec.h"
+#include "isa/tblock.h"
+#include "sim/network.h"
+
+namespace dfp::sim
+{
+
+/** Machine configuration; defaults mirror the paper's tsim-proc (§6). */
+struct SimConfig
+{
+    Grid grid;
+    int maxBlocksInFlight = 8;
+    int fetchLatency = 8;       //!< block fetch pipeline depth
+    int fetchWidth = 16;        //!< instruction words fetched per cycle
+    int predictLatency = 3;     //!< next-block prediction
+    int l1dHitLatency = 2;
+    int l1iHitLatency = 1;
+    int missLatency = 40;       //!< L1 miss to the next level
+    uint64_t l1dBytes = 32 * 1024;
+    int l1dAssoc = 2;
+    uint64_t l1iBytes = 64 * 1024;
+    int l1iAssoc = 2;
+    int lineBytes = 64;
+    bool earlyTermination = true;  //!< §4.3 mechanism
+    bool perfectPrediction = false; //!< oracle next-block trace
+    bool modelContention = true;   //!< operand network link contention
+    bool aggressiveLoads = true;   //!< speculate past unresolved stores
+    uint64_t maxCycles = 1ull << 40;
+};
+
+/** Result of one simulation. */
+struct SimResult
+{
+    bool halted = false;
+    bool raisedException = false;
+    std::string error;
+
+    uint64_t cycles = 0;
+    uint64_t blocksCommitted = 0;
+    uint64_t blocksFlushed = 0;
+    uint64_t instsCommitted = 0;   //!< fired in committed blocks
+    uint64_t movsCommitted = 0;    //!< fired moves in committed blocks
+    uint64_t mispredicts = 0;
+    uint64_t loadViolations = 0;
+    StatSet stats;
+};
+
+/**
+ * Run @p program on the simulated machine, starting from @p state and
+ * leaving the final architectural state in it.
+ */
+SimResult simulate(const isa::TProgram &program, isa::ArchState &state,
+                   const SimConfig &config = SimConfig());
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_MACHINE_H

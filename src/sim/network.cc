@@ -1,0 +1,107 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace dfp::sim
+{
+
+std::vector<int>
+OperandNetwork::meshPath(int fromTile, int toTile) const
+{
+    // Dimension-order (X then Y) over execution tiles.
+    std::vector<int> path{fromTile};
+    int r = grid_.rowOf(fromTile), c = grid_.colOf(fromTile);
+    int tr = grid_.rowOf(toTile), tc = grid_.colOf(toTile);
+    while (c != tc) {
+        c += (tc > c) ? 1 : -1;
+        path.push_back(r * grid_.cols + c);
+    }
+    while (r != tr) {
+        r += (tr > r) ? 1 : -1;
+        path.push_back(r * grid_.cols + c);
+    }
+    return path;
+}
+
+uint64_t
+OperandNetwork::route(const std::vector<int> &path, uint64_t cycle)
+{
+    // One cycle per hop. Contention is arbitrated at the injection and
+    // ejection links only: the OPN's routers are buffered, so transit
+    // flits rarely block each other, but each tile can inject and
+    // accept one operand per cycle.
+    uint64_t t = cycle;
+    size_t links = path.size() - 1;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+        auto link = std::make_pair(path[i], path[i + 1]);
+        uint64_t depart = t;
+        if (contention_ && (i == 0 || i + 1 == links)) {
+            uint64_t &free = linkFree_[link];
+            if (free > depart) {
+                stalls_ += free - depart;
+                depart = free;
+            }
+            free = depart + 1;
+        }
+        t = depart + 1;
+        ++hops_;
+    }
+    return t;
+}
+
+uint64_t
+OperandNetwork::deliver(int from, int to, uint64_t cycle)
+{
+    if (from == to)
+        return cycle; // local bypass
+    return route(meshPath(from, to), cycle);
+}
+
+uint64_t
+OperandNetwork::deliverToReg(int tile, int reg, uint64_t cycle)
+{
+    // Up the column to row 0, then across the top, then into the RT.
+    int col = grid_.regCol(reg);
+    std::vector<int> path = meshPath(tile, 0 * grid_.cols + col);
+    path.push_back(regNode(col));
+    return route(path, cycle);
+}
+
+uint64_t
+OperandNetwork::deliverFromReg(int reg, int tile, uint64_t cycle)
+{
+    int col = grid_.regCol(reg);
+    std::vector<int> path{regNode(col)};
+    auto rest = meshPath(0 * grid_.cols + col, tile);
+    path.insert(path.end(), rest.begin(), rest.end());
+    return route(path, cycle);
+}
+
+uint64_t
+OperandNetwork::deliverToBank(int tile, int bankRow, uint64_t cycle)
+{
+    std::vector<int> path = meshPath(tile, bankRow * grid_.cols + 0);
+    path.push_back(bankNode(bankRow));
+    return route(path, cycle);
+}
+
+uint64_t
+OperandNetwork::deliverFromBank(int bankRow, int tile, uint64_t cycle)
+{
+    std::vector<int> path{bankNode(bankRow)};
+    auto rest = meshPath(bankRow * grid_.cols + 0, tile);
+    path.insert(path.end(), rest.begin(), rest.end());
+    return route(path, cycle);
+}
+
+void
+OperandNetwork::reset()
+{
+    linkFree_.clear();
+    hops_ = 0;
+    stalls_ = 0;
+}
+
+} // namespace dfp::sim

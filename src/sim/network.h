@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Operand network (OPN) timing model: a 2-D mesh of execution tiles
+ * with register tiles along the top edge and data tiles along the left
+ * edge, one-cycle hops between adjacent tiles (the paper's tsim-proc
+ * configuration), dimension-order routing, and single-operand-per-link
+ * per-cycle contention modeled with per-link next-free-cycle tracking.
+ */
+
+#ifndef DFP_SIM_NETWORK_H
+#define DFP_SIM_NETWORK_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dfp::sim
+{
+
+/** Grid geometry shared by the network and the machine. */
+struct Grid
+{
+    int rows = 4;
+    int cols = 4;
+
+    int tiles() const { return rows * cols; }
+    int rowOf(int tile) const { return tile / cols; }
+    int colOf(int tile) const { return tile % cols; }
+
+    /** Register tile column serving architectural register @p reg. */
+    int regCol(int reg) const { return reg % cols; }
+
+    /** Data tile (cache bank) row serving a line address. */
+    int
+    bankRow(uint64_t addr, int lineBytes) const
+    {
+        return static_cast<int>((addr / lineBytes) % rows);
+    }
+};
+
+/**
+ * Mesh timing model. Nodes are tiles plus virtual register-tile nodes
+ * (one per column above row 0) and data-tile nodes (one per row left of
+ * column 0).
+ */
+class OperandNetwork
+{
+  public:
+    explicit OperandNetwork(const Grid &grid, bool modelContention)
+        : grid_(grid), contention_(modelContention)
+    {}
+
+    /** Cycle at which an operand leaving @p from at @p cycle reaches
+     *  @p to (adjacent tiles: +1; same tile: +0 via local bypass). */
+    uint64_t deliver(int from, int to, uint64_t cycle);
+
+    /** Execution tile -> register tile serving @p reg (for writes), or
+     *  the reverse (for read injection). */
+    uint64_t deliverToReg(int tile, int reg, uint64_t cycle);
+    uint64_t deliverFromReg(int reg, int tile, uint64_t cycle);
+
+    /** Execution tile <-> data tile (cache bank) for a memory access. */
+    uint64_t deliverToBank(int tile, int bankRow, uint64_t cycle);
+    uint64_t deliverFromBank(int bankRow, int tile, uint64_t cycle);
+
+    uint64_t totalHops() const { return hops_; }
+    uint64_t contentionStalls() const { return stalls_; }
+
+    void reset();
+
+  private:
+    /** Route over a hop sequence with per-link occupancy. */
+    uint64_t route(const std::vector<int> &path, uint64_t cycle);
+
+    /** Node ids: 0..tiles-1 = execution tiles; then register-tile nodes
+     *  (one per column); then data-tile nodes (one per row). */
+    int regNode(int col) const { return grid_.tiles() + col; }
+    int bankNode(int row) const { return grid_.tiles() + grid_.cols + row; }
+
+    std::vector<int> meshPath(int fromTile, int toTile) const;
+
+    Grid grid_;
+    bool contention_;
+    uint64_t hops_ = 0;
+    uint64_t stalls_ = 0;
+    std::map<std::pair<int, int>, uint64_t> linkFree_;
+};
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_NETWORK_H

@@ -1,0 +1,51 @@
+#include "sim/predictor.h"
+
+namespace dfp::sim
+{
+
+BlockPredictor::BlockPredictor(int tableBits)
+    : mask_((1u << tableBits) - 1),
+      pattern_(1u << tableBits),
+      lastSeen_(1u << tableBits)
+{
+}
+
+size_t
+BlockPredictor::index(int block) const
+{
+    uint64_t h = static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ull;
+    h ^= history_ * 0xc2b2ae3d27d4eb4full;
+    return static_cast<size_t>((h >> 16) & mask_);
+}
+
+int
+BlockPredictor::predict(int block) const
+{
+    const Entry &pat = pattern_[index(block)];
+    if (pat.confidence >= 2 && pat.target != kNoPrediction)
+        return pat.target;
+    const Entry &last = lastSeen_[static_cast<uint32_t>(block) & mask_];
+    return last.target;
+}
+
+void
+BlockPredictor::train(int block, int next)
+{
+    Entry &pat = pattern_[index(block)];
+    if (pat.target == next) {
+        if (pat.confidence < 3)
+            ++pat.confidence;
+    } else {
+        if (pat.confidence > 0) {
+            --pat.confidence;
+        } else {
+            pat.target = next;
+            pat.confidence = 1;
+        }
+    }
+    Entry &last = lastSeen_[static_cast<uint32_t>(block) & mask_];
+    last.target = next;
+    history_ = (history_ << 4) ^ static_cast<uint64_t>(block + 1);
+}
+
+} // namespace dfp::sim

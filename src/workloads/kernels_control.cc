@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Automotive-control-flavoured kernels: state machines, table lookups
+ * with interpolation, sensor conditioning. These are the branchiest
+ * kernels in the suite — short loop bodies dominated by if-ladders,
+ * which is where hyperblock formation and the predicate optimizations
+ * matter most (the paper's rotate01/tblook01-style winners).
+ */
+
+#include "workloads/suite.h"
+
+#include "base/random.h"
+#include "isa/alu.h"
+
+namespace dfp::workloads
+{
+
+namespace
+{
+
+void
+fillInts(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+         int64_t lo, int64_t hi)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        mem.store(base + 8 * i,
+                  static_cast<uint64_t>(rng.nextRange(lo, hi)));
+}
+
+void
+fillSortedInts(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+               int64_t step)
+{
+    Rng rng(seed);
+    int64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+        v += 1 + static_cast<int64_t>(rng.nextBelow(step));
+        mem.store(base + 8 * i, static_cast<uint64_t>(v));
+    }
+}
+
+void
+fillDoubles(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+            double lo, double hi)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        double v = lo + (hi - lo) * (rng.nextBelow(1 << 20) /
+                                     double(1 << 20));
+        mem.store(base + 8 * i, isa::packDouble(v));
+    }
+}
+
+} // namespace
+
+void
+registerControlKernels(std::vector<Workload> &out)
+{
+    // ------------------------------------------------------------------
+    // a2time01: angle-to-time conversion — per-tooth pulse processing
+    // with window checks.
+    out.push_back({
+        "a2time01", "automotive",
+        R"(func a2time01 {
+block entry:
+    i = movi 0
+    last = movi 0
+    csum = movi 0
+    filt = movi 0
+    drift = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    pulse = ld pa
+    dt = sub pulse, last
+    last = mov pulse
+    cneg = tlt dt, 0
+    br cneg, wrap, chk
+block wrap:
+    dt = add dt, 4096
+    jmp chk
+block chk:
+    cwin = tgt dt, 512
+    br cwin, firing, idle
+block firing:
+    angle = mul dt, 6
+    adj = sra angle, 3
+    f0 = mul filt, 3
+    f1 = add f0, dt
+    filt = sra f1, 2
+    spark = xor filt, angle
+    gain = shr spark, 2
+    csum = add csum, gain
+    csum = add csum, adj
+    jmp step
+block idle:
+    drift = add drift, dt
+    d0 = sra drift, 4
+    csum = add csum, d0
+    csum = add csum, 1
+    jmp step
+block step:
+    po = add 196608, off
+    st po, csum
+    i = add i, 1
+    c = tlt i, 220
+    br c, loop, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 220, 21, 0, 4095);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // canrdr01: CAN message dispatch — id masking plus a 4-way
+    // if-ladder over message classes.
+    out.push_back({
+        "canrdr01", "automotive",
+        R"(func canrdr01 {
+block entry:
+    i = movi 0
+    rtr = movi 0
+    data = movi 0
+    err = movi 0
+    rsig = movi 0
+    esig = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    msg = ld pa
+    id = shr msg, 4
+    kind = and msg, 3
+    c0 = teq kind, 0
+    br c0, isrtr, k1
+block isrtr:
+    r0 = shl id, 1
+    r1 = xor r0, 21845
+    rtr = add rtr, 1
+    rsig = add rsig, r1
+    jmp step
+block k1:
+    c1 = teq kind, 1
+    br c1, isdata, k2
+block isdata:
+    b0 = and msg, 255
+    b1 = shr msg, 8
+    mix0 = mul b0, 31
+    mix1 = add mix0, b1
+    mix2 = xor mix1, id
+    data = add data, mix2
+    jmp step
+block k2:
+    c2 = teq kind, 2
+    br c2, isover, iserr
+block isover:
+    data = add data, 2
+    jmp step
+block iserr:
+    e0 = shl err, 1
+    e1 = xor e0, id
+    esig = and e1, 1023
+    err = add err, 1
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 300
+    br c, loop, done
+block done:
+    st 196608, rtr
+    st 196616, data
+    st 196624, err
+    st 196632, rsig
+    st 196640, esig
+    r0 = add rtr, data
+    r1 = add r0, err
+    r2 = add r1, rsig
+    r = add r2, esig
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 300, 22, 0, 65535);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // puwmod01: pulse-width modulation — duty-cycle tracking with
+    // up/down counter and edge detection.
+    out.push_back({
+        "puwmod01", "automotive",
+        R"(func puwmod01 {
+block entry:
+    i = movi 0
+    level = movi 0
+    edges = movi 0
+    width = movi 0
+    csum = movi 0
+    smooth = movi 0
+    low0 = movi 17
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    s = ld pa
+    duty = and s, 255
+    chigh = tgt duty, 127
+    br chigh, high, low
+block high:
+    width = add width, 1
+    w0 = mul width, 5
+    w1 = sra w0, 2
+    smooth = add smooth, w1
+    cl = teq level, 0
+    br cl, rise, step
+block rise:
+    edges = add edges, 1
+    level = movi 1
+    jmp step
+block low:
+    cf = teq level, 1
+    br cf, fall, step
+block fall:
+    duty8 = shl width, 8
+    period = add width, low0
+    p0 = xor duty8, period
+    p1 = shr p0, 1
+    csum = add csum, p1
+    csum = add csum, width
+    width = movi 0
+    level = movi 0
+    edges = add edges, 1
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 350
+    br c, loop, done
+block done:
+    st 196608, edges
+    st 196616, csum
+    r = add edges, csum
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 350, 23, 0, 255);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // rspeed01: road-speed calculation — delta thresholding with
+    // acceleration classification.
+    out.push_back({
+        "rspeed01", "automotive",
+        R"(func rspeed01 {
+block entry:
+    i = movi 0
+    speed = movi 0
+    accel = movi 0
+    decel = movi 0
+    lastd = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    tick = ld pa
+    news = div 100000, tick
+    d = sub news, speed
+    speed = mov news
+    cup = tgt d, 3
+    br cup, faster, chkdown
+block faster:
+    a0 = mul d, d
+    a1 = shr a0, 3
+    a2 = add a1, d
+    jerk = sub a2, lastd
+    accel = add accel, jerk
+    lastd = mov d
+    jmp step
+block chkdown:
+    cdn = tlt d, -3
+    br cdn, slower, step
+block slower:
+    s0 = sub 0, d
+    s1 = mul s0, 3
+    s2 = sra s1, 1
+    decel = add decel, s2
+    lastd = mov d
+    jmp step
+block step:
+    po = add 196608, off
+    st po, speed
+    i = add i, 1
+    c = tlt i, 260
+    br c, loop, done
+block done:
+    st 262144, accel
+    st 262152, decel
+    r = add accel, decel
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 260, 24, 200, 5000);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // ttsprk01: tooth-to-spark — a small ignition state machine (4
+    // states) advanced by sensor events.
+    out.push_back({
+        "ttsprk01", "automotive",
+        R"(func ttsprk01 {
+block entry:
+    i = movi 0
+    state = movi 0
+    sparks = movi 0
+    dwell = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    ev = ld pa
+    tooth = and ev, 7
+    c0 = teq state, 0
+    br c0, s_idle, n0
+block s_idle:
+    cgo = teq tooth, 1
+    br cgo, tocharge, step
+block tocharge:
+    state = movi 1
+    jmp step
+block n0:
+    c1 = teq state, 1
+    br c1, s_charge, n1
+block s_charge:
+    dwell = add dwell, tooth
+    cfull = tgt dwell, 40
+    br cfull, tofire, step
+block tofire:
+    state = movi 2
+    jmp step
+block n1:
+    c2 = teq state, 2
+    br c2, s_fire, s_cool
+block s_fire:
+    sparks = add sparks, 1
+    dwell = movi 0
+    state = movi 3
+    jmp step
+block s_cool:
+    state = movi 0
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 320
+    br c, loop, done
+block done:
+    st 196608, sparks
+    st 196616, dwell
+    r = add sparks, dwell
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 320, 25, 0, 15);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // basefp01: basic floating point — conditional rounding-mode paths
+    // over a stream of doubles.
+    out.push_back({
+        "basefp01", "automotive",
+        R"(func basefp01 {
+block entry:
+    i = movi 0
+    accbits = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    x = ld pa
+    y = fmul x, 1.5
+    cbig = fgt y, 100.0
+    br cbig, scale, small
+block scale:
+    y = fmul y, 0.25
+    jmp emit
+block small:
+    y = fadd y, 1.0
+    jmp emit
+block emit:
+    z = ftoi y
+    accbits = add accbits, z
+    po = add 196608, off
+    st po, z
+    i = add i, 1
+    c = tlt i, 240
+    br c, loop, done
+block done:
+    ret accbits
+})",
+        [](isa::Memory &mem) {
+            fillDoubles(mem, kArrA, 240, 26, 0.0, 200.0);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // tblook01: table lookup and interpolate — binary search over a
+    // sorted axis then a linear blend; heavily branchy.
+    out.push_back({
+        "tblook01", "automotive",
+        R"(func tblook01 {
+block entry:
+    q = movi 0
+    csum = movi 0
+    jmp query
+block query:
+    qoff = shl q, 3
+    pq = add 131072, qoff
+    key = ld pq
+    lo = movi 0
+    hi = movi 63
+    jmp search
+block search:
+    s = add lo, hi
+    mid = shr s, 1
+    moff = shl mid, 3
+    pm = add 65536, moff
+    mv = ld pm
+    cless = tlt mv, key
+    br cless, goright, goleft
+block goright:
+    lo = add mid, 1
+    jmp chk
+block goleft:
+    hi = mov mid
+    jmp chk
+block chk:
+    cdone = tlt lo, hi
+    br cdone, search, interp
+block interp:
+    loff = shl lo, 3
+    pl = add 65536, loff
+    base = ld pl
+    d = sub key, base
+    cpos = tgt d, 0
+    br cpos, blend, exact
+block blend:
+    nb0 = add pl, 8
+    nxt = ld nb0
+    span = sub nxt, base
+    w0 = mul d, span
+    w1 = sra w0, 5
+    w2 = and w1, 4095
+    v = add base, w2
+    jmp emit
+block exact:
+    v = mov base
+    jmp emit
+block emit:
+    csum = add csum, v
+    q = add q, 1
+    cq = tlt q, 96
+    br cq, query, done
+block done:
+    st 196608, csum
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillSortedInts(mem, kArrA, 64, 27, 50);
+            fillInts(mem, kArrB, 96, 28, 0, 1600);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // matrix01: small matrix multiply with a conditional pivot clamp.
+    out.push_back({
+        "matrix01", "automotive",
+        R"(func matrix01 {
+block entry:
+    i = movi 0
+    csum = movi 0
+    jmp rows
+block rows:
+    j = movi 0
+    jmp cols
+block cols:
+    k = movi 0
+    acc = movi 0
+    jmp dot
+block dot:
+    r16 = shl i, 4
+    ik = add r16, k
+    o1 = shl ik, 3
+    pa = add 65536, o1
+    a = ld pa
+    k16 = shl k, 4
+    kj = add k16, j
+    o2 = shl kj, 3
+    pb = add 131072, o2
+    b = ld pb
+    m = mul a, b
+    acc = add acc, m
+    k = add k, 1
+    ck = tlt k, 16
+    br ck, dot, store
+block store:
+    cneg = tlt acc, 0
+    br cneg, clampit, keep
+block clampit:
+    acc = movi 0
+    jmp put
+block keep:
+    jmp put
+block put:
+    ij = add r16, j
+    o3 = shl ij, 3
+    po = add 196608, o3
+    st po, acc
+    csum = xor csum, acc
+    j = add j, 1
+    cj = tlt j, 16
+    br cj, cols, nextrow
+block nextrow:
+    i = add i, 1
+    ci = tlt i, 16
+    br ci, rows, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 256, 29, -40, 40);
+            fillInts(mem, kArrB, 256, 30, -40, 40);
+        },
+        1,
+    });
+}
+
+} // namespace dfp::workloads

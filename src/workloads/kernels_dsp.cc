@@ -1,0 +1,364 @@
+/**
+ * @file
+ * DSP/telecom-flavoured kernels: FFT butterflies, FIR/IIR filters,
+ * autocorrelation, bit allocation. These mirror the EEMBC telecom and
+ * auto-DSP benchmarks' structure: tight arithmetic loops, some with
+ * saturation/clamping conditionals that if-conversion turns into
+ * predicated code.
+ */
+
+#include "workloads/suite.h"
+
+#include "base/random.h"
+#include "isa/alu.h"
+
+namespace dfp::workloads
+{
+
+namespace
+{
+
+void
+fillInts(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+         int64_t lo, int64_t hi)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        mem.store(base + 8 * i,
+                  static_cast<uint64_t>(rng.nextRange(lo, hi)));
+}
+
+
+} // namespace
+
+void
+registerDspKernels(std::vector<Workload> &out)
+{
+    // ------------------------------------------------------------------
+    // aifftr01: decimation-in-time butterfly sweep (one FFT stage per
+    // outer iteration). Mostly straight-line math in the inner loop.
+    out.push_back({
+        "aifftr01", "autodsp",
+        R"(func aifftr01 {
+block entry:
+    span = movi 128
+    base = movi 65536
+    acc = movi 0
+    jmp stage
+block stage:
+    i = movi 0
+    jmp bfly
+block bfly:
+    off = shl i, 3
+    pa = add base, off
+    sp8 = shl span, 3
+    pb = add pa, sp8
+    a = ld pa
+    b = ld pb
+    tw = and i, 7
+    twf = add tw, 1
+    bt = mul b, twf
+    lo = add a, bt
+    hi = sub a, bt
+    st pa, lo
+    st pb, hi
+    i = add i, 1
+    c = tlt i, span
+    br c, bfly, stagedone
+block stagedone:
+    acc = add acc, span
+    span = shr span, 1
+    c2 = tgt span, 0
+    br c2, stage, done
+block done:
+    s = ld 65536
+    r = add acc, s
+    st 196608, r
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 300, 11, -1000, 1000);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // aifirf01: 16-tap FIR filter over a sample buffer.
+    out.push_back({
+        "aifirf01", "autodsp",
+        R"(func aifirf01 {
+block entry:
+    n = movi 240
+    i = movi 0
+    csum = movi 0
+    jmp outer
+block outer:
+    acc = movi 0
+    t = movi 0
+    jmp taps
+block taps:
+    it = add i, t
+    o1 = shl it, 3
+    pa = add 65536, o1
+    x = ld pa
+    o2 = shl t, 3
+    pc = add 131072, o2
+    h = ld pc
+    m = mul x, h
+    acc = add acc, m
+    t = add t, 1
+    ct = tlt t, 16
+    br ct, taps, emit
+block emit:
+    o3 = shl i, 3
+    po = add 196608, o3
+    st po, acc
+    csum = xor csum, acc
+    i = add i, 1
+    ci = tlt i, n
+    br ci, outer, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 260, 12, -128, 127);
+            fillInts(mem, kArrB, 16, 13, -16, 16);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // aiifft01: inverse-FFT-ish sweep with conjugate (sign flip) on odd
+    // indices — a small conditional in a math loop.
+    out.push_back({
+        "aiifft01", "autodsp",
+        R"(func aiifft01 {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    v = ld pa
+    odd = and i, 1
+    c = teq odd, 1
+    br c, flip, keep
+block flip:
+    w = sub 0, v
+    jmp join
+block keep:
+    w = mov v
+    jmp join
+block join:
+    sc = sra w, 1
+    acc = add acc, sc
+    st pa, sc
+    i = add i, 1
+    cl = tlt i, 256
+    br cl, loop, done
+block done:
+    st 196608, acc
+    ret acc
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 256, 14, -4000, 4000);
+        },
+        3,
+    });
+
+    // ------------------------------------------------------------------
+    // autcor00: autocorrelation — nested accumulate; the paper calls
+    // this one out as benefiting from path-sensitive removal.
+    out.push_back({
+        "autcor00", "telecom",
+        R"(func autcor00 {
+block entry:
+    lag = movi 0
+    csum = movi 0
+    jmp outer
+block outer:
+    acc = movi 0
+    i = movi 0
+    jmp inner
+block inner:
+    o1 = shl i, 3
+    pa = add 65536, o1
+    x = ld pa
+    il = add i, lag
+    o2 = shl il, 3
+    pb = add 65536, o2
+    y = ld pb
+    m = mul x, y
+    big = tgt m, 0
+    br big, pos, neg
+block pos:
+    acc = add acc, m
+    jmp istep
+block neg:
+    h = sra m, 2
+    acc = add acc, h
+    jmp istep
+block istep:
+    i = add i, 1
+    ci = tlt i, 160
+    br ci, inner, emit
+block emit:
+    o3 = shl lag, 3
+    po = add 196608, o3
+    st po, acc
+    csum = add csum, acc
+    lag = add lag, 1
+    cl = tlt lag, 16
+    br cl, outer, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 200, 15, -64, 64);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // fft00: radix-2 butterfly pass with bit-reversal-flavoured index
+    // swizzle.
+    out.push_back({
+        "fft00", "telecom",
+        R"(func fft00 {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    r0 = and i, 85
+    r1 = shl r0, 1
+    r2 = and i, 170
+    r3 = shr r2, 1
+    rev = or r1, r3
+    o1 = shl i, 3
+    o2 = shl rev, 3
+    pa = add 65536, o1
+    pb = add 65536, o2
+    a = ld pa
+    b = ld pb
+    s = add a, b
+    d = sub a, b
+    po = add 196608, o1
+    st po, s
+    po2 = add 204800, o1
+    st po2, d
+    acc = xor acc, s
+    i = add i, 1
+    c = tlt i, 256
+    br c, loop, done
+block done:
+    st 262144, acc
+    ret acc
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 256, 16, -30000, 30000);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // iirflt01: direct-form-II biquad with saturation — the paper
+    // reports 5-9% from path-sensitive removal here.
+    out.push_back({
+        "iirflt01", "autodsp",
+        R"(func iirflt01 {
+block entry:
+    i = movi 0
+    w1 = movi 0
+    w2 = movi 0
+    csum = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    x = ld pa
+    a1w = mul w1, 3
+    a2w = mul w2, -2
+    t0 = add a1w, a2w
+    t1 = sra t0, 2
+    w0 = add x, t1
+    hi = tgt w0, 32767
+    br hi, sathi, chklo
+block sathi:
+    w0 = movi 32767
+    jmp emit
+block chklo:
+    lo = tlt w0, -32768
+    br lo, satlo, emit
+block satlo:
+    w0 = movi -32768
+    jmp emit
+block emit:
+    b1w = mul w1, 2
+    y0 = add w0, b1w
+    y1 = add y0, w2
+    po = add 196608, off
+    st po, y1
+    csum = add csum, y1
+    w2 = mov w1
+    w1 = mov w0
+    i = add i, 1
+    c = tlt i, 300
+    br c, loop, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 300, 17, -20000, 20000);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // fbital00: bit-allocation waterfilling — compare-and-adjust loop
+    // with two conditional updates per step.
+    out.push_back({
+        "fbital00", "telecom",
+        R"(func fbital00 {
+block entry:
+    pool = movi 512
+    i = movi 0
+    csum = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    snr = ld pa
+    bits = sra snr, 4
+    cmax = tgt bits, 7
+    br cmax, clamp, chkpool
+block clamp:
+    bits = movi 7
+    jmp chkpool
+block chkpool:
+    cpool = tlt pool, bits
+    br cpool, drain, take
+block drain:
+    bits = mov pool
+    jmp take
+block take:
+    pool = sub pool, bits
+    po = add 196608, off
+    st po, bits
+    csum = add csum, bits
+    i = add i, 1
+    c = tlt i, 256
+    br c, loop, done
+block done:
+    st 262144, pool
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 256, 18, 0, 160);
+        },
+        2,
+    });
+}
+
+} // namespace dfp::workloads

@@ -1,0 +1,601 @@
+/**
+ * @file
+ * Consumer/office-flavoured kernels (bezier, bitmap rotation, dither,
+ * IDCT, text parsing), the genalg loop of the paper's Figure 6, and
+ * the microkernels used by unit tests and the figure benches.
+ */
+
+#include "workloads/suite.h"
+
+#include "base/random.h"
+#include "isa/alu.h"
+
+namespace dfp::workloads
+{
+
+namespace
+{
+
+void
+fillInts(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+         int64_t lo, int64_t hi)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        mem.store(base + 8 * i,
+                  static_cast<uint64_t>(rng.nextRange(lo, hi)));
+}
+
+} // namespace
+
+void
+registerMiscKernels(std::vector<Workload> &out)
+{
+    // ------------------------------------------------------------------
+    // bezier01: fixed-point quadratic bezier evaluation along a curve.
+    out.push_back({
+        "bezier01", "office",
+        R"(func bezier01 {
+block entry:
+    i = movi 0
+    csum = movi 0
+    p0 = ld 65536
+    p1 = ld 65544
+    p2 = ld 65552
+    jmp loop
+block loop:
+    t = and i, 255
+    u = sub 256, t
+    uu = mul u, u
+    ut = mul u, t
+    tt = mul t, t
+    a = mul p0, uu
+    b0 = mul p1, ut
+    b = shl b0, 1
+    c = mul p2, tt
+    s0 = add a, b
+    s1 = add s0, c
+    y = shr s1, 16
+    cflat = tlt y, 4
+    br cflat, flat, steep
+block flat:
+    csum = add csum, y
+    jmp emit
+block steep:
+    csum = xor csum, y
+    jmp emit
+block emit:
+    off = shl i, 3
+    po = add 196608, off
+    st po, y
+    i = add i, 1
+    cl = tlt i, 256
+    br cl, loop, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 3, 41, 1, 4000);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // bitmnp01: bit manipulation — per-bit inspection loop with
+    // conditional set/clear/toggle actions.
+    out.push_back({
+        "bitmnp01", "automotive",
+        R"(func bitmnp01 {
+block entry:
+    i = movi 0
+    ones = movi 0
+    word = movi 0
+    hash = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    v = ld pa
+    b = movi 0
+    jmp bits
+block bits:
+    sh = shr v, b
+    bit = and sh, 1
+    cset = teq bit, 1
+    br cset, isone, iszero
+block isone:
+    ones = add ones, 1
+    m0 = shl 1, b
+    word = xor word, m0
+    wgt = mul b, 3
+    h0 = add wgt, ones
+    h1 = shl h0, 1
+    h2 = xor h1, v
+    hash = add hash, h2
+    jmp nb
+block iszero:
+    word = shr word, 1
+    jmp nb
+block nb:
+    b = add b, 1
+    cb = tlt b, 12
+    br cb, bits, nw
+block nw:
+    po = add 196608, off
+    st po, word
+    i = add i, 1
+    ci = tlt i, 64
+    br ci, loop, done
+block done:
+    st 262144, ones
+    st 262152, hash
+    r0 = add ones, word
+    r = add r0, hash
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 64, 42, 0, 4095);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // dither01: error-diffusion halftoning — threshold, clamp, carry
+    // the error forward.
+    out.push_back({
+        "dither01", "office",
+        R"(func dither01 {
+block entry:
+    i = movi 0
+    err = movi 0
+    csum = movi 0
+    carry = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    px = ld pa
+    e2 = sra err, 1
+    v = add px, e2
+    cwhite = tgt v, 127
+    br cwhite, white, black
+block white:
+    outp = movi 255
+    e0 = sub v, 255
+    e1 = mul e0, 7
+    e2 = sra e1, 3
+    err = add e2, carry
+    carry = sra e0, 3
+    jmp emit
+block black:
+    outp = movi 0
+    e3 = mul v, 7
+    e4 = sra e3, 3
+    err = add e4, carry
+    carry = sra v, 3
+    jmp emit
+block emit:
+    po = add 196608, off
+    st po, outp
+    csum = add csum, outp
+    i = add i, 1
+    c = tlt i, 400
+    br c, loop, done
+block done:
+    st 262144, err
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 400, 43, 0, 255);
+        },
+        3,
+    });
+
+    // ------------------------------------------------------------------
+    // rotate01: bitmap rotation — per-bit gather from a column into a
+    // row; the paper's biggest winner (59% combined speedup). Dense
+    // short branches inside a doubly-nested loop.
+    out.push_back({
+        "rotate01", "office",
+        R"(func rotate01 {
+block entry:
+    row = movi 0
+    csum = movi 0
+    jmp rows
+block rows:
+    outw = movi 0
+    col = movi 0
+    run = movi 0
+    par = movi 0
+    jmp cols
+block cols:
+    coff = shl col, 3
+    ps = add 65536, coff
+    srcw = ld ps
+    sh = shr srcw, row
+    bit = and sh, 1
+    cset = teq bit, 1
+    br cset, set, skip
+block set:
+    m = shl 1, col
+    outw = or outw, m
+    run = add run, 1
+    r0 = mul run, run
+    r1 = and r0, 255
+    par = xor par, r1
+    jmp nc
+block skip:
+    run = movi 0
+    par = add par, 1
+    jmp nc
+block nc:
+    col = add col, 1
+    cc = tlt col, 32
+    br cc, cols, emit
+block emit:
+    roff = shl row, 3
+    po = add 196608, roff
+    st po, outw
+    csum = xor csum, outw
+    csum = add csum, par
+    row = add row, 1
+    cr = tlt row, 32
+    br cr, rows, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 32, 44, 0, (1ll << 32) - 1);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // text01: character-class parsing — a 5-way if-ladder per byte
+    // (space / digit / upper / lower / other) with per-class actions.
+    out.push_back({
+        "text01", "office",
+        R"(func text01 {
+block entry:
+    i = movi 0
+    words = movi 0
+    digits = movi 0
+    caps = movi 0
+    inword = movi 0
+    num = movi 0
+    fold = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    ch = ld pa
+    cspace = tle ch, 32
+    br cspace, space, graph
+block space:
+    inword = movi 0
+    jmp step
+block graph:
+    cw = teq inword, 0
+    br cw, newword, classify
+block newword:
+    words = add words, 1
+    inword = movi 1
+    jmp classify
+block classify:
+    cd0 = tge ch, 48
+    br cd0, maybedigit, step
+block maybedigit:
+    cd1 = tle ch, 57
+    br cd1, isdigit, maybeupper
+block isdigit:
+    dval = sub ch, 48
+    n0 = mul num, 10
+    num = add n0, dval
+    nm = and num, 65535
+    num = mov nm
+    digits = add digits, 1
+    jmp step
+block maybeupper:
+    cu0 = tge ch, 65
+    br cu0, chkupper, step
+block chkupper:
+    cu1 = tle ch, 90
+    br cu1, isupper, step
+block isupper:
+    lower = add ch, 32
+    fh0 = mul fold, 31
+    fh1 = add fh0, lower
+    fold = and fh1, 1048575
+    caps = add caps, 1
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 400
+    br c, loop, done
+block done:
+    st 196608, words
+    st 196616, digits
+    st 196624, caps
+    st 196632, num
+    st 196640, fold
+    r0 = add words, digits
+    r1 = add r0, caps
+    r2 = add r1, num
+    r = add r2, fold
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 400, 45, 32, 122);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // idctrn01: 8x8 inverse DCT pass (row transform) with final clamp
+    // to pixel range.
+    out.push_back({
+        "idctrn01", "automotive",
+        R"(func idctrn01 {
+block entry:
+    r = movi 0
+    csum = movi 0
+    jmp rows
+block rows:
+    c = movi 0
+    jmp cols
+block cols:
+    acc = movi 0
+    k = movi 0
+    jmp dot
+block dot:
+    r8 = shl r, 3
+    rk = add r8, k
+    o1 = shl rk, 3
+    pa = add 65536, o1
+    f = ld pa
+    k8 = shl k, 3
+    kc = add k8, c
+    o2 = shl kc, 3
+    pb = add 131072, o2
+    w = ld pb
+    m = mul f, w
+    acc = add acc, m
+    k = add k, 1
+    ck = tlt k, 8
+    br ck, dot, clamp
+block clamp:
+    v = sra acc, 10
+    chi = tgt v, 255
+    br chi, sathi, chklo
+block sathi:
+    v = movi 255
+    jmp put
+block chklo:
+    clo = tlt v, 0
+    br clo, satlo, put
+block satlo:
+    v = movi 0
+    jmp put
+block put:
+    rc = add r8, c
+    o3 = shl rc, 3
+    po = add 196608, o3
+    st po, v
+    csum = add csum, v
+    c = add c, 1
+    cc = tlt c, 8
+    br cc, cols, nr
+block nr:
+    r = add r, 1
+    cr = tlt r, 8
+    br cr, rows, done
+block done:
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 64, 46, -512, 511);
+            fillInts(mem, kArrB, 64, 47, -64, 64);
+        },
+        1,
+    });
+}
+
+const Workload &
+genalg()
+{
+    // The exact loop of the paper's Figure 6 (genalg, MIT-LL): a
+    // roulette-wheel selection scan with a short-circuit condition
+    // (rx > 0.0 && x < pop-1) and three live-outs (x, rx, p_fitness).
+    // Run once per spin over a population of 400 fitness values.
+    static const Workload w{
+        "genalg", "apps",
+        R"(func genalg {
+block entry:
+    spin = movi 0
+    total = movi 0
+    jmp spins
+block spins:
+    soff = shl spin, 3
+    psp = add 131072, soff
+    rx = ld psp
+    x = movi 0
+    ptr = movi 65536
+    jmp loop
+block loop:
+    f = ld ptr
+    rx = fsub rx, f
+    x = add x, 1
+    ptr = add ptr, 8
+    c1 = fgt rx, 0.0
+    br c1, chk2, exit
+block chk2:
+    c2 = tlt x, 399
+    br c2, loop, exit
+block exit:
+    total = add total, x
+    spin = add spin, 1
+    cs = tlt spin, 24
+    br cs, spins, done
+block done:
+    st 196608, total
+    ret total
+})",
+        [](isa::Memory &mem) {
+            Rng rng(48);
+            for (int i = 0; i < 400; ++i) {
+                double f = 0.25 + (rng.nextBelow(1000) / 1000.0);
+                mem.store(kArrA + 8 * i, isa::packDouble(f));
+            }
+            for (int s = 0; s < 24; ++s) {
+                double rx = 5.0 + (rng.nextBelow(20000) / 100.0);
+                mem.store(kArrB + 8 * s, isa::packDouble(rx));
+            }
+        },
+        4,
+    };
+    return w;
+}
+
+const std::vector<Workload> &
+microSuite()
+{
+    static const std::vector<Workload> micro = [] {
+        std::vector<Workload> m;
+
+        // The paper's Figure 1/2 if-then-else.
+        m.push_back({
+            "ifthenelse", "micro",
+            R"(func ifthenelse {
+block entry:
+    i = ld 65536
+    j = ld 65544
+    a = ld 65552
+    c = teq i, j
+    br c, then, else
+block then:
+    b = add a, 2
+    jmp join
+block else:
+    b = add a, 3
+    jmp join
+block join:
+    r = shl b, 1
+    st 196608, r
+    ret r
+})",
+            [](isa::Memory &mem) {
+                mem.store(kArrA, 7);
+                mem.store(kArrA + 8, 7);
+                mem.store(kArrA + 16, 21);
+            },
+            1,
+        });
+
+        // Nested diamonds: matches the paper's Figure 4 block shape.
+        m.push_back({
+            "nesteddiamond", "micro",
+            R"(func nesteddiamond {
+block entry:
+    g1 = ld 65536
+    g2 = ld 65544
+    c3 = tgt g2, 1
+    br c3, big, small
+block big:
+    t4 = shl g1, 4
+    t5a = add t4, 1
+    t6a = mov g2
+    jmp join
+block small:
+    t5b = mov g1
+    c7 = teq g2, 0
+    br c7, zero, nonzero
+block zero:
+    t6b = movi 1
+    jmp smalljoin
+block nonzero:
+    t6c = mov g2
+    jmp smalljoin
+block smalljoin:
+    t6d = phi [zero: t6b], [nonzero: t6c]
+    jmp join
+block join:
+    t5 = phi [big: t5a], [smalljoin: t5b]
+    t6 = phi [big: t6a], [smalljoin: t6d]
+    st 196608, t5
+    st 196616, t6
+    r = add t5, t6
+    ret r
+})",
+            [](isa::Memory &mem) {
+                mem.store(kArrA, 13);
+                mem.store(kArrA + 8, 0);
+            },
+            1,
+        });
+
+        // Figure 3a: while loop to unroll into a predicate-AND chain.
+        m.push_back({
+            "whilechain", "micro",
+            R"(func whilechain {
+block entry:
+    ptr = movi 65536
+    x = ld 131072
+    jmp loop
+block loop:
+    x = ld ptr
+    ptr = add ptr, 8
+    c = tgt x, 0
+    br c, loop, done
+block done:
+    st 196608, ptr
+    ret ptr
+})",
+            [](isa::Memory &mem) {
+                for (int i = 0; i < 100; ++i)
+                    mem.store(kArrA + 8 * i, i < 90 ? 5 : 0);
+                mem.store(kArrB, 1);
+            },
+            3,
+        });
+
+        // Stores on one path only: exercises store nullification.
+        m.push_back({
+            "condstore", "micro",
+            R"(func condstore {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    v = ld pa
+    c = tgt v, 50
+    br c, dostore, skip
+block dostore:
+    po = add 196608, off
+    st po, v
+    acc = add acc, v
+    jmp step
+block skip:
+    acc = add acc, 1
+    jmp step
+block step:
+    i = add i, 1
+    cl = tlt i, 100
+    br cl, loop, done
+block done:
+    ret acc
+})",
+            [](isa::Memory &mem) {
+                fillInts(mem, kArrA, 100, 49, 0, 100);
+            },
+            2,
+        });
+
+        return m;
+    }();
+    return micro;
+}
+
+} // namespace dfp::workloads

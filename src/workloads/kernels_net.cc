@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Networking-flavoured kernels: shortest-path relaxation, packet
+ * classification, route lookup, pointer chasing, a convolutional
+ * encoder and a Viterbi add-compare-select — data-dependent branches
+ * and irregular memory access, the hard cases for branch predictors
+ * that predication is meant to absorb.
+ */
+
+#include "workloads/suite.h"
+
+#include "base/random.h"
+
+namespace dfp::workloads
+{
+
+namespace
+{
+
+void
+fillInts(isa::Memory &mem, uint64_t base, int n, uint64_t seed,
+         int64_t lo, int64_t hi)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        mem.store(base + 8 * i,
+                  static_cast<uint64_t>(rng.nextRange(lo, hi)));
+}
+
+} // namespace
+
+void
+registerNetKernels(std::vector<Workload> &out)
+{
+    // ------------------------------------------------------------------
+    // ospf: Bellman-Ford-style edge relaxation over a random graph.
+    // dist[] at kOut; edges as (src, dst, weight) triples at kArrA.
+    out.push_back({
+        "ospf", "networking",
+        R"(func ospf {
+block entry:
+    round = movi 0
+    relax = movi 0
+    jmp pass
+block pass:
+    e = movi 0
+    jmp edge
+block edge:
+    eoff = mul e, 24
+    pe = add 65536, eoff
+    src = ld pe
+    dst = ld pe, 8
+    w = ld pe, 16
+    so = shl src, 3
+    ps = add 196608, so
+    ds = ld ps
+    cand = add ds, w
+    do2 = shl dst, 3
+    pd = add 196608, do2
+    dd = ld pd
+    cbetter = tlt cand, dd
+    br cbetter, update, step
+block update:
+    st pd, cand
+    relax = add relax, 1
+    jmp step
+block step:
+    e = add e, 1
+    ce = tlt e, 64
+    br ce, edge, endpass
+block endpass:
+    round = add round, 1
+    cr = tlt round, 6
+    br cr, pass, done
+block done:
+    st 262144, relax
+    ret relax
+})",
+        [](isa::Memory &mem) {
+            Rng rng(31);
+            for (int e = 0; e < 64; ++e) {
+                mem.store(kArrA + 24 * e, rng.nextBelow(32));
+                mem.store(kArrA + 24 * e + 8, rng.nextBelow(32));
+                mem.store(kArrA + 24 * e + 16,
+                          1 + rng.nextBelow(100));
+            }
+            for (int v = 0; v < 32; ++v)
+                mem.store(kOut + 8 * v, v == 0 ? 0 : 100000);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // pktflow: packet header classification — validity checks, TTL
+    // decrement, and per-class counters; an if-ladder per packet.
+    out.push_back({
+        "pktflow", "networking",
+        R"(func pktflow {
+block entry:
+    i = movi 0
+    fwd = movi 0
+    dropped = movi 0
+    local = movi 0
+    lsig = movi 0
+    cksig = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    hdr = ld pa
+    ttl = and hdr, 255
+    cttl = tle ttl, 1
+    br cttl, drop, alive
+block drop:
+    dropped = add dropped, 1
+    jmp step
+block alive:
+    dst = shr hdr, 8
+    net = and dst, 15
+    cloc = teq net, 7
+    br cloc, deliver, route
+block deliver:
+    h0 = mul dst, 2654435
+    h1 = shr h0, 8
+    h2 = xor h1, ttl
+    port = and h2, 15
+    lsig = add lsig, port
+    local = add local, 1
+    jmp step
+block route:
+    nttl = sub ttl, 1
+    ndst = shl dst, 8
+    nhdr = or ndst, nttl
+    ck0 = shr nhdr, 4
+    ck1 = xor ck0, nhdr
+    ck2 = and ck1, 255
+    cksig = add cksig, ck2
+    st pa, nhdr
+    fwd = add fwd, 1
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 400
+    br c, loop, done
+block done:
+    st 196608, fwd
+    st 196616, dropped
+    st 196624, local
+    st 196632, lsig
+    st 196640, cksig
+    r0 = add fwd, dropped
+    r1 = add r0, local
+    r2 = add r1, lsig
+    r = add r2, cksig
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 400, 32, 0, (1 << 20));
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // routelookup: 4-level radix-trie walk per destination address.
+    // Node table at kArrA: four children per node.
+    out.push_back({
+        "routelookup", "networking",
+        R"(func routelookup {
+block entry:
+    q = movi 0
+    csum = movi 0
+    jmp query
+block query:
+    qoff = shl q, 3
+    pq = add 131072, qoff
+    addr = ld pq
+    node = movi 0
+    level = movi 0
+    jmp walk
+block walk:
+    sh = shl level, 1
+    nib0 = shr addr, sh
+    nib = and nib0, 3
+    slot0 = shl node, 2
+    slot = add slot0, nib
+    soff = shl slot, 3
+    pn = add 65536, soff
+    next = ld pn
+    cleaf = teq next, 0
+    br cleaf, leaf, descend
+block descend:
+    node = mov next
+    level = add level, 1
+    cmax = tlt level, 4
+    br cmax, walk, leaf
+block leaf:
+    csum = add csum, node
+    q = add q, 1
+    cq = tlt q, 200
+    br cq, query, done
+block done:
+    st 196608, csum
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            Rng rng(33);
+            // 64 trie nodes with sparse children (0 = leaf).
+            for (int n = 0; n < 64; ++n) {
+                for (int k = 0; k < 4; ++k) {
+                    uint64_t child =
+                        rng.nextBelow(3) ? rng.nextBelow(64) : 0;
+                    mem.store(kArrA + 8 * (4 * n + k), child);
+                }
+            }
+            fillInts(mem, kArrB, 200, 34, 0, 255);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // pntrch01: pointer chasing through a linked list with a key match
+    // test at every hop.
+    out.push_back({
+        "pntrch01", "networking",
+        R"(func pntrch01 {
+block entry:
+    q = movi 0
+    found = movi 0
+    hops = movi 0
+    jmp query
+block query:
+    qoff = shl q, 3
+    pq = add 131072, qoff
+    key = ld pq
+    cur = ld 262144
+    jmp chase
+block chase:
+    v = ld cur
+    next = ld cur, 8
+    hops = add hops, 1
+    chit = teq v, key
+    br chit, hit, miss
+block hit:
+    found = add found, 1
+    jmp step
+block miss:
+    cnil = teq next, 0
+    br cnil, step, follow
+block follow:
+    cur = mov next
+    jmp chase
+block step:
+    q = add q, 1
+    cq = tlt q, 40
+    br cq, query, done
+block done:
+    st 196608, found
+    st 196616, hops
+    r = add found, hops
+    ret r
+})",
+        [](isa::Memory &mem) {
+            Rng rng(35);
+            // 64-node list at kArrA: node = {value, next-ptr}.
+            constexpr int kNodes = 64;
+            for (int n = 0; n < kNodes; ++n) {
+                uint64_t addr = kArrA + 16 * n;
+                mem.store(addr, rng.nextBelow(50));
+                mem.store(addr + 8,
+                          n + 1 < kNodes ? kArrA + 16 * (n + 1) : 0);
+            }
+            mem.store(kScratch, kArrA); // list head
+            fillInts(mem, kArrB, 40, 36, 0, 60);
+        },
+        1,
+    });
+
+    // ------------------------------------------------------------------
+    // cacheb01: strided sweeps with conditional dirtying — exercises
+    // the L1-D banks and store nullification paths.
+    out.push_back({
+        "cacheb01", "networking",
+        R"(func cacheb01 {
+block entry:
+    pass = movi 0
+    csum = movi 0
+    sig = movi 0
+    jmp sweep
+block sweep:
+    i = movi 0
+    stride = add pass, 1
+    jmp touch
+block touch:
+    idx = mul i, stride
+    wrap = and idx, 511
+    off = shl wrap, 3
+    pa = add 65536, off
+    v = ld pa
+    codd = and v, 1
+    cw = teq codd, 1
+    br cw, dirty, clean
+block dirty:
+    nv0 = mul v, 3
+    nv1 = shr nv0, 2
+    nv = add nv1, pass
+    tag = xor nv, idx
+    sig = add sig, tag
+    st pa, nv
+    csum = add csum, 1
+    jmp next
+block clean:
+    csum = xor csum, v
+    jmp next
+block next:
+    i = add i, 1
+    ci = tlt i, 128
+    br ci, touch, endsweep
+block endsweep:
+    pass = add pass, 1
+    cp = tlt pass, 4
+    br cp, sweep, done
+block done:
+    st 196608, csum
+    st 196616, sig
+    r = add csum, sig
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 512, 37, 0, 100000);
+        },
+        2,
+    });
+
+    // ------------------------------------------------------------------
+    // conven00: convolutional encoder — shift register, XOR parity
+    // taps, two output streams. The paper highlights this kernel for
+    // path-sensitive removal.
+    out.push_back({
+        "conven00", "telecom",
+        R"(func conven00 {
+block entry:
+    i = movi 0
+    sr = movi 0
+    outw = movi 0
+    csum = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    pa = add 65536, off
+    bit = ld pa
+    sr0 = shl sr, 1
+    sr = or sr0, bit
+    sr = and sr, 63
+    g0a = shr sr, 5
+    g0b = shr sr, 2
+    g0c = xor g0a, g0b
+    g0 = and g0c, 1
+    g1a = shr sr, 4
+    g1b = xor g1a, sr
+    g1 = and g1b, 1
+    pair0 = shl g0, 1
+    pair = or pair0, g1
+    cpunct = and i, 3
+    cskip = teq cpunct, 3
+    br cskip, puncture, emit
+block puncture:
+    csum = add csum, 1
+    jmp step
+block emit:
+    ow0 = shl outw, 2
+    outw = or ow0, pair
+    csum = xor csum, outw
+    jmp step
+block step:
+    i = add i, 1
+    c = tlt i, 384
+    br c, loop, done
+block done:
+    st 196608, outw
+    st 196616, csum
+    r = add outw, csum
+    ret r
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 384, 38, 0, 1);
+        },
+        3,
+    });
+
+    // ------------------------------------------------------------------
+    // viterb00: Viterbi add-compare-select over a 8-state trellis —
+    // min-selects per state per step.
+    out.push_back({
+        "viterb00", "telecom",
+        R"(func viterb00 {
+block entry:
+    t = movi 0
+    csum = movi 0
+    jmp step
+block step:
+    s = movi 0
+    jmp acs
+block acs:
+    p0 = shr s, 0
+    p0 = and s, 7
+    e0 = shl p0, 3
+    pm0 = add 196608, e0
+    m0 = ld pm0
+    p1 = xor p0, 4
+    e1 = shl p1, 3
+    pm1 = add 196608, e1
+    m1 = ld pm1
+    toff = shl t, 3
+    pb = add 65536, toff
+    sym = ld pb
+    bm = xor sym, s
+    bm = and bm, 3
+    c0 = add m0, bm
+    c1 = add m1, bm
+    cless = tlt c0, c1
+    br cless, pick0, pick1
+block pick0:
+    best = mov c0
+    jmp write
+block pick1:
+    best = mov c1
+    jmp write
+block write:
+    so = shl s, 3
+    pn = add 204800, so
+    st pn, best
+    csum = add csum, best
+    s = add s, 1
+    cs = tlt s, 8
+    br cs, acs, swap
+block swap:
+    k = movi 0
+    jmp copy
+block copy:
+    ko = shl k, 3
+    pfrom = add 204800, ko
+    v = ld pfrom
+    pto = add 196608, ko
+    st pto, v
+    k = add k, 1
+    ck = tlt k, 8
+    br ck, copy, endstep
+block endstep:
+    t = add t, 1
+    ct = tlt t, 64
+    br ct, step, done
+block done:
+    st 262144, csum
+    ret csum
+})",
+        [](isa::Memory &mem) {
+            fillInts(mem, kArrA, 64, 39, 0, 3);
+            for (int s = 0; s < 8; ++s)
+                mem.store(kOut + 8 * s, s == 0 ? 0 : 10);
+        },
+        1,
+    });
+}
+
+} // namespace dfp::workloads

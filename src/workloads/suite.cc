@@ -1,0 +1,97 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::workloads
+{
+
+namespace
+{
+
+/** Figure 7 presentation order. */
+const char *kFig7Order[] = {
+    "a2time01", "aifftr01", "aifirf01", "aiifft01", "autcor00",
+    "basefp01", "bezier01", "bitmnp01", "cacheb01", "canrdr01",
+    "conven00", "dither01", "fbital00", "fft00",    "idctrn01",
+    "iirflt01", "matrix01", "ospf",     "pktflow",  "pntrch01",
+    "puwmod01", "rotate01", "routelookup", "rspeed01", "tblook01",
+    "text01",   "ttsprk01", "viterb00",
+};
+
+std::vector<Workload>
+buildSuite()
+{
+    std::vector<Workload> all;
+    registerControlKernels(all);
+    registerDspKernels(all);
+    registerNetKernels(all);
+    registerMiscKernels(all);
+
+    std::map<std::string, Workload> byName;
+    for (Workload &w : all)
+        byName[w.name] = std::move(w);
+
+    std::vector<Workload> ordered;
+    for (const char *name : kFig7Order) {
+        auto it = byName.find(name);
+        dfp_assert(it != byName.end(), "missing kernel '", name, "'");
+        ordered.push_back(std::move(it->second));
+    }
+    return ordered;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+eembcSuite()
+{
+    static const std::vector<Workload> suite = buildSuite();
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : eembcSuite()) {
+        if (w.name == name)
+            return &w;
+    }
+    if (genalg().name == name)
+        return &genalg();
+    for (const Workload &w : microSuite()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+isa::Memory
+initialMemory(const Workload &w)
+{
+    isa::Memory mem;
+    if (w.init)
+        w.init(mem);
+    return mem;
+}
+
+Golden
+runGolden(const Workload &w)
+{
+    isa::Memory mem = initialMemory(w);
+    ir::Function fn = ir::parseFunction(w.source);
+    ir::InterpResult r = ir::interpret(fn, mem);
+    if (!r.ok)
+        dfp_fatal("golden run of '", w.name, "' failed: ", r.error);
+    Golden g;
+    g.retValue = r.retValue;
+    g.memChecksum = mem.checksum();
+    g.dynInstrs = r.dynInstrs;
+    return g;
+}
+
+} // namespace dfp::workloads

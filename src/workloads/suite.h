@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The dfp workload suite: 28 kernels named after — and shaped like —
+ * the EEMBC 2.0 benchmarks the paper evaluates (§6, Figure 7), plus
+ * the genalg loop of Figure 6 and a few microkernels. EEMBC is a
+ * licensed suite, so each kernel is a synthetic reconstruction of that
+ * benchmark's control-flow/compute character (see DESIGN.md): the
+ * paper's results are *relative* comparisons of compiler
+ * configurations, which depend on the mix of branchy control
+ * structures, not on the exact licensed source.
+ *
+ * Every kernel is written in the dfp textual IR, carries a
+ * deterministic memory-image initializer, and is validated against the
+ * golden IR interpreter.
+ */
+
+#ifndef DFP_WORKLOADS_SUITE_H
+#define DFP_WORKLOADS_SUITE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/memory.h"
+
+namespace dfp::workloads
+{
+
+/** Conventional data addresses used by the kernels. */
+constexpr uint64_t kArrA = 0x10000;   //!< first input array
+constexpr uint64_t kArrB = 0x20000;   //!< second input array
+constexpr uint64_t kArrC = 0x28000;   //!< third input array
+constexpr uint64_t kOut = 0x30000;    //!< output array
+constexpr uint64_t kScratch = 0x40000;
+
+/** One benchmark kernel. */
+struct Workload
+{
+    std::string name;
+    std::string category;   //!< automotive / telecom / consumer / ...
+    std::string source;     //!< dfp IR text
+    std::function<void(isa::Memory &)> init; //!< builds the memory image
+    int unrollFactor = 1;   //!< suggested loop unrolling for hyperblocks
+};
+
+/** The 28 EEMBC-named kernels, in the paper's Figure 7 order. */
+const std::vector<Workload> &eembcSuite();
+
+/** Look up one kernel by name (nullptr if missing). */
+const Workload *findWorkload(const std::string &name);
+
+/** The genalg loop of Figure 6. */
+const Workload &genalg();
+
+/** Small microkernels used by unit tests and the figure benches. */
+const std::vector<Workload> &microSuite();
+
+/** Golden execution of a workload (IR interpreter). */
+struct Golden
+{
+    uint64_t retValue = 0;
+    uint64_t memChecksum = 0;
+    uint64_t dynInstrs = 0;
+};
+Golden runGolden(const Workload &w);
+
+/** Fresh memory image for a workload. */
+isa::Memory initialMemory(const Workload &w);
+
+// Kernel group registration (internal; one per source file).
+void registerControlKernels(std::vector<Workload> &out);
+void registerDspKernels(std::vector<Workload> &out);
+void registerNetKernels(std::vector<Workload> &out);
+void registerMiscKernels(std::vector<Workload> &out);
+
+} // namespace dfp::workloads
+
+#endif // DFP_WORKLOADS_SUITE_H

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "base/bitops.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(BitOps, BitsExtracts)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xffffffff, 0, 32), 0xffffffffu);
+}
+
+TEST(BitOps, InsertBitsRoundTrips)
+{
+    uint32_t w = 0;
+    w = insertBits(w, 25, 7, 0x55);
+    w = insertBits(w, 9, 9, 0x1ab);
+    EXPECT_EQ(bits(w, 25, 7), 0x55u);
+    EXPECT_EQ(bits(w, 9, 9), 0x1abu);
+    // Overwrite without disturbing neighbours.
+    w = insertBits(w, 9, 9, 0x001);
+    EXPECT_EQ(bits(w, 9, 9), 0x001u);
+    EXPECT_EQ(bits(w, 25, 7), 0x55u);
+}
+
+TEST(BitOps, InsertMasksOverflowingValue)
+{
+    uint32_t w = insertBits(0, 4, 4, 0xfff);
+    EXPECT_EQ(w, 0xf0u);
+}
+
+TEST(BitOps, SextSignExtends)
+{
+    EXPECT_EQ(sext(0x1ff, 9), -1);
+    EXPECT_EQ(sext(0x0ff, 9), 255);
+    EXPECT_EQ(sext(0x100, 9), -256);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0xffffffffffffffffull, 64), -1);
+}
+
+TEST(BitOps, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(255, 9));
+    EXPECT_TRUE(fitsSigned(-256, 9));
+    EXPECT_FALSE(fitsSigned(256, 9));
+    EXPECT_FALSE(fitsSigned(-257, 9));
+    EXPECT_TRUE(fitsSigned(8191, 14));
+    EXPECT_FALSE(fitsSigned(8192, 14));
+}
+
+TEST(BitOps, FloorLog2AndPow2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_THROW(floorLog2(0), PanicError);
+}
+
+/** Property sweep: sext(value & mask, w) round-trips signed values. */
+class SextRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SextRoundTrip, RoundTripsAllInRange)
+{
+    int w = GetParam();
+    int64_t lo = -(1ll << (w - 1));
+    int64_t hi = (1ll << (w - 1)) - 1;
+    for (int64_t v = lo; v <= hi; v += std::max<int64_t>(1, (hi - lo) /
+                                                                257)) {
+        uint64_t raw = static_cast<uint64_t>(v);
+        EXPECT_EQ(sext(raw, w), v) << "width " << w << " value " << v;
+        EXPECT_TRUE(fitsSigned(v, w));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SextRoundTrip,
+                         ::testing::Values(2, 5, 8, 9, 14, 18, 31, 33));
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(dfp_panic("boom ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(dfp_fatal("bad input ", "x"), FatalError);
+}
+
+TEST(Logging, MessagesCarryFileAndText)
+{
+    try {
+        dfp_fatal("value=", 7);
+        FAIL() << "should have thrown";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("value=7"), std::string::npos);
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(dfp_assert(1 + 1 == 2, "fine"));
+    EXPECT_THROW(dfp_assert(false, "nope ", 1), PanicError);
+}
+
+TEST(Logging, CatConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::cat("a", 1, 'b', 2.5), "a1b2.5");
+    EXPECT_EQ(detail::cat(), "");
+}
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "base/random.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Random, RangeRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = r.nextRange(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Random, ZeroSeedDoesNotStick)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), r.next());
+}
+
+} // namespace
+} // namespace dfp

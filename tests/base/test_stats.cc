@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/stats.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(Stats, IncrementAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatSet s;
+    s.inc("a", 10);
+    s.set("a", 3);
+    EXPECT_EQ(s.get("a"), 3u);
+}
+
+TEST(Stats, MaxOf)
+{
+    StatSet s;
+    s.maxOf("hw", 5);
+    s.maxOf("hw", 3);
+    s.maxOf("hw", 9);
+    EXPECT_EQ(s.get("hw"), 9u);
+}
+
+TEST(Stats, MergeAdds)
+{
+    StatSet a, b;
+    a.inc("x", 2);
+    b.inc("x", 3);
+    b.inc("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+TEST(Stats, DumpSortedWithPrefix)
+{
+    StatSet s;
+    s.inc("zeta", 1);
+    s.inc("alpha", 2);
+    std::ostringstream os;
+    s.dump(os, "p.");
+    EXPECT_EQ(os.str(), "p.alpha 2\np.zeta 1\n");
+}
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "isa/encode.h"
+#include "isa/exec.h"
+#include "isa/validate.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+isa::TProgram
+build(const std::string &src, const std::string &config = "both")
+{
+    return compileSource(src, configNamed(config)).program;
+}
+
+TEST(Codegen, ProgramsValidate)
+{
+    isa::TProgram p = build(R"(func f {
+block entry:
+    a = movi 2
+    c = tgt a, 1
+    br c, x, y
+block x:
+    r = add a, 5
+    jmp out
+block y:
+    r = add a, 9
+    jmp out
+block out:
+    ret r
+})");
+    EXPECT_TRUE(isa::validateProgram(p).ok())
+        << isa::validateProgram(p).joined();
+    // And it encodes/decodes losslessly.
+    for (const isa::TBlock &block : p.blocks) {
+        isa::TBlock back = isa::decodeBlock(isa::encodeBlock(block));
+        EXPECT_EQ(back.insts.size(), block.insts.size());
+        EXPECT_EQ(back.storeMask, block.storeMask);
+    }
+}
+
+TEST(Codegen, ImmediateFormsSelected)
+{
+    isa::TProgram p = build(R"(func f {
+block entry:
+    a = ld 64
+    b = add a, 5
+    c = tlt b, 100
+    br c, s, t
+block s:
+    ret b
+block t:
+    ret 0
+})");
+    bool sawAddi = false, sawTlti = false;
+    for (const auto &block : p.blocks) {
+        for (const auto &inst : block.insts) {
+            sawAddi |= inst.op == isa::Op::Addi && inst.imm == 5;
+            sawTlti |= inst.op == isa::Op::Tlti && inst.imm == 100;
+        }
+    }
+    EXPECT_TRUE(sawAddi);
+    EXPECT_TRUE(sawTlti);
+}
+
+TEST(Codegen, WideConstantSynthesized)
+{
+    isa::TProgram p = build(R"(func f {
+block entry:
+    v = ld 65536
+    ret v
+})");
+    // 65536 exceeds movi's 14 bits: expect a shli in the chain.
+    bool sawShli = false;
+    for (const auto &block : p.blocks) {
+        for (const auto &inst : block.insts)
+            sawShli |= inst.op == isa::Op::Shli && inst.imm == 8;
+    }
+    EXPECT_TRUE(sawShli);
+    // And it runs correctly.
+    isa::ArchState state;
+    state.mem.store(65536, 12345);
+    auto out = isa::runProgram(p, state);
+    ASSERT_TRUE(out.halted) << out.error;
+    EXPECT_EQ(state.regs[kRetArchReg], 12345u);
+}
+
+TEST(Codegen, FanoutTreesRespectTargetLimits)
+{
+    // One value consumed by many instructions forces mov trees.
+    std::string src = "func f {\nblock entry:\n    a = ld 64\n";
+    for (int i = 0; i < 12; ++i)
+        src += detail::cat("    v", i, " = add a, ", i + 1, "\n");
+    src += "    s = add v0, v1\n";
+    for (int i = 2; i < 12; ++i)
+        src += detail::cat("    s = add s, v", i, "\n");
+    src += "    ret s\n}\n";
+    CompileOptions opts = configNamed("hyper");
+    opts.scalarOpts = false; // keep all the adds alive
+    CompileResult res = compileSource(src, opts);
+    uint64_t movs = res.stats.get("codegen.fanout_movs");
+    EXPECT_GT(movs, 0u);
+    for (const auto &block : res.program.blocks) {
+        for (const auto &inst : block.insts) {
+            EXPECT_LE(static_cast<int>(inst.targets.size()),
+                      inst.maxTargets());
+        }
+    }
+    isa::ArchState state;
+    state.mem.store(64, 3);
+    auto out = isa::runProgram(res.program, state);
+    ASSERT_TRUE(out.halted) << out.error;
+}
+
+TEST(Codegen, MulticastUsesMov4)
+{
+    std::string src = "func f {\nblock entry:\n    a = ld 64\n";
+    for (int i = 0; i < 12; ++i)
+        src += detail::cat("    v", i, " = add a, ", i + 1, "\n");
+    src += "    s = add v0, v1\n";
+    for (int i = 2; i < 12; ++i)
+        src += detail::cat("    s = add s, v", i, "\n");
+    src += "    ret s\n}\n";
+    CompileOptions opts = configNamed("hyper");
+    opts.scalarOpts = false;
+    opts.multicast = true;
+    CompileResult res = compileSource(src, opts);
+    bool sawMov4 = false;
+    for (const auto &block : res.program.blocks) {
+        for (const auto &inst : block.insts)
+            sawMov4 |= inst.op == isa::Op::Mov4;
+    }
+    EXPECT_TRUE(sawMov4);
+    isa::ArchState state;
+    state.mem.store(64, 3);
+    auto out = isa::runProgram(res.program, state);
+    ASSERT_TRUE(out.halted) << out.error;
+}
+
+TEST(Codegen, LsidsAssignedInOrder)
+{
+    isa::TProgram p = build(R"(func f {
+block entry:
+    st 64, 1
+    st 72, 2
+    a = ld 64
+    st 80, a
+    ret a
+})");
+    for (const auto &block : p.blocks) {
+        int last = -1;
+        for (const auto &inst : block.insts) {
+            if (inst.op == isa::Op::Ld || inst.op == isa::Op::St) {
+                EXPECT_GT(static_cast<int>(inst.lsid), last);
+                last = inst.lsid;
+            }
+        }
+    }
+}
+
+TEST(Codegen, BlockTooLargeRetriesWithSmallerRegions)
+{
+    // A long straight-line chain that cannot fit one block at default
+    // budgets still compiles (the pipeline splits regions / the chain
+    // spans blocks via registers).
+    std::string src = "func f {\nblock entry:\n    a = ld 64\n    jmp b1\n";
+    for (int b = 1; b <= 6; ++b) {
+        src += detail::cat("block b", b, ":\n");
+        for (int i = 0; i < 30; ++i)
+            src += detail::cat("    a = add a, ", i + 1, "\n");
+        src += b < 6 ? detail::cat("    jmp b", b + 1, "\n")
+                     : std::string("    ret a\n");
+    }
+    CompileOptions opts = configNamed("hyper");
+    opts.scalarOpts = false;
+    CompileResult res;
+    ASSERT_NO_THROW(res = compileSource(src, opts));
+    EXPECT_GE(res.program.blocks.size(), 2u);
+    isa::ArchState state;
+    state.mem.store(64, 1);
+    auto out = isa::runProgram(res.program, state);
+    ASSERT_TRUE(out.halted) << out.error;
+}
+
+} // namespace
+} // namespace dfp::compiler

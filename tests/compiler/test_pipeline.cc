@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "isa/exec.h"
+#include "isa/validate.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+TEST(Pipeline, ConfigNamesResolve)
+{
+    EXPECT_FALSE(configNamed("bb").hyperblocks);
+    EXPECT_TRUE(configNamed("hyper").hyperblocks);
+    EXPECT_TRUE(configNamed("intra").predFanoutReduction);
+    EXPECT_TRUE(configNamed("inter").pathSensitive);
+    EXPECT_TRUE(configNamed("both").predFanoutReduction &&
+                configNamed("both").pathSensitive);
+    EXPECT_TRUE(configNamed("merge").merging);
+    EXPECT_THROW(configNamed("wat"), FatalError);
+}
+
+TEST(Pipeline, BbProducesMoreBlocksThanHyper)
+{
+    const char *src = R"(func f {
+block entry:
+    a = ld 64
+    c = tgt a, 0
+    br c, p, q
+block p:
+    r = add a, 1
+    jmp out
+block q:
+    r = sub a, 1
+    jmp out
+block out:
+    ret r
+})";
+    auto bb = compileSource(src, configNamed("bb"));
+    auto hyper = compileSource(src, configNamed("hyper"));
+    EXPECT_GT(bb.program.blocks.size(), hyper.program.blocks.size());
+    EXPECT_EQ(hyper.program.blocks.size(), 1u);
+}
+
+TEST(Pipeline, IntraReducesStaticInstructions)
+{
+    // Long predicated chains: fanout reduction must shrink codegen
+    // output (fewer predicate-fanout movs).
+    std::string src = "func f {\nblock entry:\n    a = ld 64\n"
+                      "    c = tgt a, 0\n    br c, p, q\nblock p:\n";
+    for (int i = 0; i < 10; ++i)
+        src += detail::cat("    a", i, " = add a, ", i, "\n");
+    src += "    r = add a0, a9\n    jmp out\nblock q:\n"
+           "    r = sub a, 1\n    jmp out\nblock out:\n    ret r\n}";
+    auto hyper = compileSource(src, configNamed("hyper"));
+    auto intra = compileSource(src, configNamed("intra"));
+    EXPECT_LT(intra.stats.get("codegen.insts"),
+              hyper.stats.get("codegen.insts"));
+    EXPECT_GT(intra.stats.get("pipe.fanout_removed"), 0u);
+}
+
+TEST(Pipeline, AllConfigsProduceValidPrograms)
+{
+    const char *src = R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    m = and i, 1
+    c = teq m, 0
+    br c, even, odd
+block even:
+    acc = add acc, 3
+    st 64, acc
+    jmp next
+block odd:
+    acc = add acc, 1
+    jmp next
+block next:
+    i = add i, 1
+    lc = tlt i, 9
+    br lc, loop, done
+block done:
+    ret acc
+})";
+    for (const char *cfg : {"bb", "hyper", "intra", "inter", "both",
+                            "merge"}) {
+        CompileResult res = compileSource(src, configNamed(cfg));
+        EXPECT_TRUE(isa::validateProgram(res.program).ok()) << cfg;
+        isa::ArchState state;
+        auto out = isa::runProgram(res.program, state);
+        ASSERT_TRUE(out.halted) << cfg << ": " << out.error;
+        EXPECT_EQ(state.regs[kRetArchReg], 19u) << cfg;
+    }
+}
+
+TEST(Pipeline, UnrollingPacksLoopIterations)
+{
+    const char *src = R"(func f {
+block entry:
+    i = movi 0
+    s = movi 0
+    jmp loop
+block loop:
+    s = add s, i
+    i = add i, 1
+    c = tlt i, 30
+    br c, loop, done
+block done:
+    ret s
+})";
+    CompileOptions plain = configNamed("both");
+    CompileOptions unrolled = plain;
+    unrolled.unroll.factor = 4;
+    auto a = compileSource(src, plain);
+    auto b = compileSource(src, unrolled);
+    // Unrolled program executes fewer dynamic blocks.
+    isa::ArchState s1, s2;
+    StatSet st1, st2;
+    auto o1 = isa::runProgram(a.program, s1, 1u << 22, &st1);
+    auto o2 = isa::runProgram(b.program, s2, 1u << 22, &st2);
+    ASSERT_TRUE(o1.halted && o2.halted) << o1.error << o2.error;
+    EXPECT_EQ(s1.regs[kRetArchReg], s2.regs[kRetArchReg]);
+    EXPECT_LT(o2.blocksExecuted, o1.blocksExecuted);
+}
+
+TEST(Pipeline, StatsArePopulated)
+{
+    auto res = compileSource(R"(func f {
+block entry:
+    ret 5
+})",
+                             configNamed("hyper"));
+    EXPECT_GE(res.stats.get("codegen.blocks"), 1u);
+    EXPECT_GE(res.stats.get("pipe.regions"), 1u);
+    EXPECT_GE(res.stats.get("pipe.virt_regs"), 1u);
+}
+
+} // namespace
+} // namespace dfp::compiler

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "compiler/regalloc.h"
+#include "isa/tblock.h"
+#include "core/ifconvert.h"
+#include "core/null_insertion.h"
+#include "core/ssa.h"
+#include "ir/parser.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+ir::Function
+toHyperUnallocated(const std::string &src, int maxBlocks = 1)
+{
+    ir::Function fn = ir::parseFunction(src);
+    core::buildSsa(fn);
+    core::RegionConfig rc;
+    rc.maxBlocksPerRegion = maxBlocks;
+    core::RegionPlan plan = core::selectRegions(fn, rc);
+    core::lowerBoundaries(fn, plan);
+    core::ifConvert(fn, plan);
+    return fn;
+}
+
+TEST(RegAlloc, RetValuePinnedToG1)
+{
+    ir::Function fn = toHyperUnallocated(R"(func f {
+block entry:
+    x = movi 4
+    ret x
+})");
+    RegAllocResult res = allocateRegisters(fn);
+    EXPECT_EQ(res.color.at(core::kRetVirtReg), kRetArchReg);
+}
+
+TEST(RegAlloc, SimultaneouslyLiveValuesGetDistinctRegs)
+{
+    ir::Function fn = toHyperUnallocated(R"(func f {
+block entry:
+    a = movi 1
+    b = movi 2
+    c = movi 3
+    jmp use
+block use:
+    s0 = add a, b
+    s1 = add s0, c
+    ret s1
+})");
+    RegAllocResult res = allocateRegisters(fn);
+    // a, b, c all cross the boundary and are live together.
+    std::set<int> colors;
+    for (const auto &[vreg, color] : res.color)
+        colors.insert(color);
+    EXPECT_EQ(colors.size(), res.color.size());
+}
+
+TEST(RegAlloc, NonInterferingValuesMayShare)
+{
+    // x is dead before y is written (separate region chains).
+    ir::Function fn = toHyperUnallocated(R"(func f {
+block entry:
+    x = movi 1
+    jmp mid
+block mid:
+    x2 = add x, 1
+    jmp tail
+block tail:
+    r = add x2, 1
+    ret r
+})");
+    RegAllocResult res = allocateRegisters(fn);
+    EXPECT_LE(res.regsUsed, 3);
+}
+
+TEST(RegAlloc, RewritesRegFieldsInPlace)
+{
+    ir::Function fn = toHyperUnallocated(R"(func f {
+block entry:
+    x = movi 9
+    jmp next
+block next:
+    ret x
+})");
+    allocateRegisters(fn);
+    for (const ir::BBlock &hb : fn.blocks) {
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op == isa::Op::Read || inst.op == isa::Op::Write) {
+                EXPECT_GE(inst.reg, 1);
+                EXPECT_LT(inst.reg, isa::kNumRegs);
+            }
+        }
+    }
+}
+
+TEST(RegAlloc, LoopCarriedValueReadAndWritten)
+{
+    ir::Function fn = toHyperUnallocated(R"(func f {
+block entry:
+    i = movi 0
+    jmp loop
+block loop:
+    i = add i, 1
+    c = tlt i, 3
+    br c, loop, done
+block done:
+    ret i
+})",
+                                         8);
+    allocateRegisters(fn);
+    // The loop hyperblock both reads and writes the carried register.
+    bool loopBlockFound = false;
+    for (const ir::BBlock &hb : fn.blocks) {
+        std::set<int> reads, writes;
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op == isa::Op::Read)
+                reads.insert(inst.reg);
+            if (inst.op == isa::Op::Write)
+                writes.insert(inst.reg);
+        }
+        for (int r : reads)
+            loopBlockFound |= writes.count(r) > 0;
+    }
+    EXPECT_TRUE(loopBlockFound);
+}
+
+} // namespace
+} // namespace dfp::compiler

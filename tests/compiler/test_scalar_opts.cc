@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "compiler/scalar_opts.h"
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+ir::Function
+ssa(const std::string &src)
+{
+    ir::Function fn = ir::parseFunction(src);
+    core::buildSsa(fn);
+    return fn;
+}
+
+size_t
+totalInstrs(const ir::Function &fn)
+{
+    size_t n = 0;
+    for (const auto &b : fn.blocks)
+        n += b.instrs.size();
+    return n;
+}
+
+TEST(ScalarOpts, ConstantFolding)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = add 2, 3
+    b = mul a, 4
+    ret b
+})");
+    runScalarOpts(fn);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 20u);
+    // Everything folded into one constant.
+    EXPECT_LE(totalInstrs(fn), 1u);
+}
+
+TEST(ScalarOpts, BranchFoldingPrunesDeadArm)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    br 1, yes, no
+block yes:
+    ret 10
+block no:
+    ret 20
+})");
+    foldConstants(fn);
+    EXPECT_EQ(fn.blockId("no"), -1);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 10u);
+}
+
+TEST(ScalarOpts, DegenerateBranchBecomesJmp)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    c = ld 64
+    br c, next, next
+block next:
+    ret c
+})");
+    foldConstants(fn);
+    EXPECT_EQ(fn.blocks[fn.blockId("entry")].term, ir::Term::Jmp);
+}
+
+TEST(ScalarOpts, CopyPropagation)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = ld 64
+    b = mov a
+    c = mov b
+    d = add c, c
+    ret d
+})");
+    propagateCopies(fn);
+    eliminateDeadCode(fn);
+    // Only the load and the add remain.
+    EXPECT_EQ(totalInstrs(fn), 2u);
+    isa::Memory mem;
+    mem.store(64, 21);
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 42u);
+}
+
+TEST(ScalarOpts, LocalCseSharesPureExpressions)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = ld 64
+    x = mul a, 3
+    y = mul a, 3
+    z = add x, y
+    ret z
+})");
+    int changes = eliminateCommonSubexprs(fn);
+    EXPECT_GT(changes, 0);
+    eliminateDeadCode(fn);
+    int muls = 0;
+    for (const auto &inst : fn.blocks[0].instrs)
+        muls += inst.op == isa::Op::Mul;
+    EXPECT_EQ(muls, 1);
+}
+
+TEST(ScalarOpts, CseCommutativeCanonicalization)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = ld 64
+    b = ld 72
+    x = add a, b
+    y = add b, a
+    z = sub x, y
+    ret z
+})");
+    runScalarOpts(fn);
+    isa::Memory mem;
+    mem.store(64, 5);
+    mem.store(72, 9);
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 0u);
+    int adds = 0;
+    for (const auto &inst : fn.blocks[0].instrs)
+        adds += inst.op == isa::Op::Add;
+    EXPECT_LE(adds, 1);
+}
+
+TEST(ScalarOpts, LoadCseBlockedByStore)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = ld 64
+    st 64, 99
+    b = ld 64
+    r = sub b, a
+    ret r
+})");
+    runScalarOpts(fn);
+    isa::Memory mem;
+    mem.store(64, 1);
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 98u);
+}
+
+TEST(ScalarOpts, DceKeepsSideEffects)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    dead = mul 3, 3
+    st 64, 5
+    ret 0
+})");
+    runScalarOpts(fn);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(mem.load(64), 5u);
+    int muls = 0;
+    for (const auto &b : fn.blocks) {
+        for (const auto &inst : b.instrs)
+            muls += inst.op == isa::Op::Mul;
+    }
+    EXPECT_EQ(muls, 0);
+}
+
+TEST(ScalarOpts, DivByZeroNotFolded)
+{
+    ir::Function fn = ssa(R"(func f {
+block entry:
+    a = div 5, 0
+    ret a
+})");
+    foldConstants(fn);
+    EXPECT_EQ(fn.blocks[0].instrs[0].op, isa::Op::Div);
+}
+
+} // namespace
+} // namespace dfp::compiler

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/scheduler.h"
+#include "workloads/suite.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+isa::TProgram
+unscheduled(const std::string &kernel)
+{
+    const workloads::Workload *w = workloads::findWorkload(kernel);
+    EXPECT_NE(w, nullptr);
+    CompileOptions opts = configNamed("both");
+    opts.schedule = false;
+    return compileSource(w->source, opts).program;
+}
+
+TEST(Scheduler, PlacementCoversEveryInstructionWithinCapacity)
+{
+    isa::TProgram p = unscheduled("tblook01");
+    GridShape grid;
+    scheduleProgram(p, grid);
+    for (const isa::TBlock &block : p.blocks) {
+        ASSERT_EQ(block.placement.size(), block.insts.size());
+        std::vector<int> load(grid.tiles(), 0);
+        for (uint8_t tile : block.placement) {
+            ASSERT_LT(tile, grid.tiles());
+            ++load[tile];
+        }
+        for (int l : load)
+            EXPECT_LE(l, grid.slotsPerTile());
+    }
+}
+
+TEST(Scheduler, ReducesEstimatedHopsVsRoundRobin)
+{
+    isa::TProgram p = unscheduled("autcor00");
+    GridShape grid;
+    long before = 0, after = 0;
+    for (isa::TBlock &block : p.blocks) {
+        isa::TBlock naive = block;
+        naive.placement.clear();
+        before += estimateHops(naive, grid);
+        scheduleBlock(block, grid);
+        after += estimateHops(block, grid);
+    }
+    EXPECT_LT(after, before);
+}
+
+TEST(Scheduler, DeterministicPlacement)
+{
+    isa::TProgram a = unscheduled("bezier01");
+    isa::TProgram b = unscheduled("bezier01");
+    GridShape grid;
+    scheduleProgram(a, grid);
+    scheduleProgram(b, grid);
+    for (size_t i = 0; i < a.blocks.size(); ++i)
+        EXPECT_EQ(a.blocks[i].placement, b.blocks[i].placement);
+}
+
+TEST(Scheduler, WorksOnOtherGridShapes)
+{
+    isa::TProgram p = unscheduled("pktflow");
+    GridShape grid{2, 8};
+    scheduleProgram(p, grid);
+    for (const isa::TBlock &block : p.blocks) {
+        for (uint8_t tile : block.placement)
+            EXPECT_LT(tile, grid.tiles());
+    }
+}
+
+} // namespace
+} // namespace dfp::compiler

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "compiler/unroll.h"
+#include "ir/analysis.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::compiler
+{
+namespace
+{
+
+const char *kCountLoop = R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    acc = add acc, i
+    i = add i, 1
+    c = tlt i, 10
+    br c, loop, done
+block done:
+    ret acc
+})";
+
+TEST(Unroll, DuplicatesBodyAndPreservesSemantics)
+{
+    ir::Function fn = ir::parseFunction(kCountLoop);
+    UnrollOptions opts;
+    opts.factor = 3;
+    int unrolled = unrollLoops(fn, opts);
+    EXPECT_EQ(unrolled, 1);
+    EXPECT_EQ(fn.blocks.size(), 5u); // entry, loop, loop.u1, loop.u2, done
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 45u);
+}
+
+TEST(Unroll, FactorOneIsNoop)
+{
+    ir::Function fn = ir::parseFunction(kCountLoop);
+    UnrollOptions opts;
+    opts.factor = 1;
+    EXPECT_EQ(unrollLoops(fn, opts), 0);
+    EXPECT_EQ(fn.blocks.size(), 3u);
+}
+
+TEST(Unroll, TripCountNotMultipleOfFactor)
+{
+    // 10 iterations, unroll 4: early exit mid-copy must work.
+    ir::Function fn = ir::parseFunction(kCountLoop);
+    UnrollOptions opts;
+    opts.factor = 4;
+    unrollLoops(fn, opts);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 45u);
+}
+
+TEST(Unroll, RespectsBodySizeLimit)
+{
+    ir::Function fn = ir::parseFunction(kCountLoop);
+    UnrollOptions opts;
+    opts.factor = 3;
+    opts.maxBodyInstrs = 2; // body has 3 instrs: too big
+    EXPECT_EQ(unrollLoops(fn, opts), 0);
+}
+
+TEST(Unroll, OnlyInnermostLoops)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    i = movi 0
+    total = movi 0
+    jmp outer
+block outer:
+    j = movi 0
+    jmp inner
+block inner:
+    total = add total, 1
+    j = add j, 1
+    cj = tlt j, 4
+    br cj, inner, onext
+block onext:
+    i = add i, 1
+    ci = tlt i, 3
+    br ci, outer, done
+block done:
+    ret total
+})");
+    UnrollOptions opts;
+    opts.factor = 2;
+    int unrolled = unrollLoops(fn, opts);
+    EXPECT_EQ(unrolled, 1); // only the inner loop
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 12u);
+}
+
+TEST(Unroll, ConditionalInsideLoopBody)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    m = and i, 1
+    c = teq m, 0
+    br c, even, odd
+block even:
+    acc = add acc, 10
+    jmp next
+block odd:
+    acc = add acc, 1
+    jmp next
+block next:
+    i = add i, 1
+    lc = tlt i, 6
+    br lc, loop, done
+block done:
+    ret acc
+})");
+    UnrollOptions opts;
+    opts.factor = 2;
+    int unrolled = unrollLoops(fn, opts);
+    EXPECT_EQ(unrolled, 1);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 33u);
+}
+
+} // namespace
+} // namespace dfp::compiler

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ifconvert.h"
+#include "core/hb_eval.h"
+#include "core/null_insertion.h"
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+TEST(Boundary, SplitEdgeRewiresCfgAndPhis)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    c = movi 1
+    br c, a, join
+block a:
+    x = movi 5
+    jmp join
+block join:
+    y = phi [entry: 0], [a: x]
+    ret y
+})");
+    fn.computeCfg();
+    int entry = fn.blockId("entry");
+    int join = fn.blockId("join");
+    int split = splitEdge(fn, entry, join);
+    EXPECT_GE(split, 0);
+    // entry no longer directly precedes join.
+    bool direct = false;
+    for (int s : fn.blocks[entry].succs)
+        direct |= s == join;
+    EXPECT_FALSE(direct);
+    // The phi's incoming block moved to the split.
+    const ir::Instr &phi = fn.blocks[join].instrs[0];
+    for (size_t k = 0; k < phi.phiBlocks.size(); ++k)
+        EXPECT_NE(phi.phiBlocks[k], entry);
+    // Semantics unchanged.
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 5u);
+}
+
+TEST(Boundary, RetLowersToReturnRegisterWrite)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    x = movi 9
+    ret x
+})");
+    buildSsa(fn);
+    RegionConfig rc;
+    RegionPlan plan = selectRegions(fn, rc);
+    lowerBoundaries(fn, plan);
+    bool found = false;
+    for (const ir::Instr &inst : fn.blocks[0].instrs) {
+        if (inst.op == isa::Op::Write && inst.reg == kRetVirtReg)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(fn.blocks[0].retVal.isNone());
+}
+
+TEST(Boundary, CrossRegionValueGetsWriteAndRead)
+{
+    // Force two regions with a 1-block cap; 'x' must cross via a
+    // register.
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    x = movi 3
+    jmp next
+block next:
+    y = add x, 4
+    ret y
+})");
+    buildSsa(fn);
+    RegionConfig rc;
+    rc.maxBlocksPerRegion = 1;
+    RegionPlan plan = selectRegions(fn, rc);
+    BoundaryStats stats = lowerBoundaries(fn, plan);
+    EXPECT_GE(stats.virtRegs, 2);   // ret + x
+    EXPECT_GE(stats.valueWrites, 2); // write of x, write of ret
+    EXPECT_GE(stats.reads, 1);
+    // Semantics unchanged.
+    isa::Memory mem;
+    ifConvert(fn, plan);
+    HbRunResult hb = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, 7u);
+}
+
+TEST(Boundary, NullWriteCompensatesUnwrittenPath)
+{
+    // g is written only on one arm; a null write must appear on the
+    // other so the block's outputs are path-invariant (§4.2).
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    a = movi 1
+    c = tgt a, 0
+    br c, setit, skip
+block setit:
+    x = movi 42
+    jmp join
+block skip:
+    jmp join
+block join:
+    y = phi [setit: x], [skip: 7]
+    jmp tail
+block tail:
+    r = add y, 0
+    ret r
+})");
+    buildSsa(fn);
+    RegionConfig rc;
+    rc.maxBlocksPerRegion = 4; // join + arms in one region; tail apart
+    RegionPlan plan = selectRegions(fn, rc);
+    BoundaryStats stats = lowerBoundaries(fn, plan);
+    (void)stats;
+    ifConvert(fn, plan);
+    isa::Memory mem;
+    HbRunResult hb = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, 42u);
+}
+
+TEST(Boundary, StoreTokensAssignedUniquely)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    st 64, 1
+    st 72, 2
+    c = movi 1
+    br c, a, b
+block a:
+    st 80, 3
+    jmp b
+block b:
+    ret
+})");
+    buildSsa(fn);
+    RegionConfig rc;
+    RegionPlan plan = selectRegions(fn, rc);
+    lowerBoundaries(fn, plan);
+    std::set<int> tokens;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::St) {
+                EXPECT_GE(inst.lsid, 0);
+                EXPECT_TRUE(tokens.insert(inst.lsid).second);
+            }
+        }
+    }
+    EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(Boundary, ConditionalStoreGetsNullCompensation)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    a = movi 1
+    c = tgt a, 0
+    br c, yes, no
+block yes:
+    st 64, 5
+    jmp no
+block no:
+    ret a
+})");
+    buildSsa(fn);
+    RegionConfig rc;
+    RegionPlan plan = selectRegions(fn, rc);
+    lowerBoundaries(fn, plan);
+    int nulls = 0;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Null && inst.lsid >= 0)
+                ++nulls;
+        }
+    }
+    EXPECT_EQ(nulls, 1) << "one store-null on the st-less path";
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for coalescePhiMovs — the cleanup that folds phi-lowering
+ * moves into their single producers, reproducing the paper's Figure 4
+ * shape ("addi_t<t3> t5, ..." defining the join temp directly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hb_eval.h"
+#include "core/ifconvert.h"
+#include "core/pfg.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+ir::Instr
+make(isa::Op op, int dst, std::vector<ir::Opnd> srcs,
+     std::vector<ir::Guard> guards = {})
+{
+    ir::Instr inst;
+    inst.op = op;
+    if (dst >= 0)
+        inst.dst = ir::Opnd::temp(dst);
+    inst.srcs = std::move(srcs);
+    inst.guards = std::move(guards);
+    return inst;
+}
+
+ir::BBlock
+shell()
+{
+    ir::BBlock hb;
+    hb.name = "t";
+    hb.term = ir::Term::Hyper;
+    return hb;
+}
+
+void
+finish(ir::BBlock &hb, int resultTemp)
+{
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(resultTemp)};
+    hb.instrs.push_back(w);
+    ir::Instr b;
+    b.op = isa::Op::Bro;
+    b.broLabel = "@halt";
+    hb.instrs.push_back(b);
+}
+
+TEST(Coalesce, FoldsSingleUseProducerIntoMov)
+{
+    // t2 = addi t1, 5 (single use); mov_t<p> t3, t2  ==>
+    // addi_t<p> t3, t1, 5 at the mov's position.
+    ir::BBlock hb = shell();
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 7,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Addi, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    hb.instrs.push_back(make(isa::Op::Mov, 3, {ir::Opnd::temp(2)},
+                             {{7, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(0)},
+                             {{7, false}}));
+    finish(hb, 3);
+
+    int eliminated = coalescePhiMovs(hb);
+    EXPECT_EQ(eliminated, 1);
+    bool foundFoldedAddi = false;
+    for (const ir::Instr &inst : hb.instrs) {
+        EXPECT_NE(inst.op, isa::Op::Mov);
+        if (inst.op == isa::Op::Addi &&
+            inst.dst == ir::Opnd::temp(3)) {
+            foundFoldedAddi = true;
+            ASSERT_EQ(inst.guards.size(), 1u);
+            EXPECT_EQ(inst.guards[0], (ir::Guard{7, true}));
+        }
+    }
+    EXPECT_TRUE(foundFoldedAddi);
+    checkHyperblock(hb);
+
+    std::map<int, uint64_t> regs{{9, 4}};
+    isa::Memory mem;
+    auto out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 9u);
+}
+
+TEST(Coalesce, KeepsMovWhenProducerHasOtherUses)
+{
+    ir::BBlock hb = shell();
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 7,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Addi, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    hb.instrs.push_back(make(isa::Op::Mov, 3, {ir::Opnd::temp(2)},
+                             {{7, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(0)},
+                             {{7, false}}));
+    // Second use of t2 blocks the fold.
+    hb.instrs.push_back(make(isa::Op::Add, 4,
+                             {ir::Opnd::temp(3), ir::Opnd::temp(2)}));
+    finish(hb, 4);
+    EXPECT_EQ(coalescePhiMovs(hb), 0);
+}
+
+TEST(Coalesce, NeverFoldsMemoryOrReadProducers)
+{
+    // Folding a load would move it past other memory operations.
+    ir::BBlock hb = shell();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(64)}));
+    hb.instrs.push_back(make(isa::Op::Tgti, 7,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Ld, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Mov, 3, {ir::Opnd::temp(2)},
+                             {{7, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(0)},
+                             {{7, false}}));
+    finish(hb, 3);
+    EXPECT_EQ(coalescePhiMovs(hb), 0);
+}
+
+TEST(Coalesce, FoldsChainsIteratively)
+{
+    // mov -> mov chains collapse fully.
+    ir::BBlock hb = shell();
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 7,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Muli, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(3)}));
+    hb.instrs.push_back(make(isa::Op::Mov, 3, {ir::Opnd::temp(2)}));
+    hb.instrs.push_back(make(isa::Op::Mov, 4, {ir::Opnd::temp(3)},
+                             {{7, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 4, {ir::Opnd::imm(0)},
+                             {{7, false}}));
+    finish(hb, 4);
+    EXPECT_EQ(coalescePhiMovs(hb), 2);
+    std::map<int, uint64_t> regs{{9, 4}};
+    isa::Memory mem;
+    auto out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 12u);
+}
+
+} // namespace
+} // namespace dfp::core

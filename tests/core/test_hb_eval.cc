@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/hb_eval.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+ir::Instr
+make(isa::Op op, int dst, std::vector<ir::Opnd> srcs,
+     std::vector<ir::Guard> guards = {})
+{
+    ir::Instr inst;
+    inst.op = op;
+    if (dst >= 0)
+        inst.dst = ir::Opnd::temp(dst);
+    inst.srcs = std::move(srcs);
+    inst.guards = std::move(guards);
+    return inst;
+}
+
+ir::BBlock
+haltingBlock()
+{
+    ir::BBlock hb;
+    hb.name = "t";
+    hb.term = ir::Term::Hyper;
+    return hb;
+}
+
+void
+addBro(ir::BBlock &hb, const std::string &label,
+       std::vector<ir::Guard> guards = {})
+{
+    ir::Instr bro;
+    bro.op = isa::Op::Bro;
+    bro.broLabel = label;
+    bro.guards = std::move(guards);
+    hb.instrs.push_back(std::move(bro));
+}
+
+TEST(HbEval, GuardedInstructionSkippedOnMismatch)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 2, {ir::Opnd::imm(7)},
+                             {{1, true}})); // pred false: skipped
+    hb.instrs.push_back(make(isa::Op::Movi, 2, {ir::Opnd::imm(9)},
+                             {{1, false}}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(2)};
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 9u);
+    EXPECT_EQ(out.fired, 4); // one movi skipped
+}
+
+TEST(HbEval, ImplicitPredicationSkipsConsumers)
+{
+    // Consumer of a skipped producer is skipped too (§3.6).
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(1)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 2, {ir::Opnd::imm(5)},
+                             {{1, false}})); // skipped (pred is true)
+    hb.instrs.push_back(make(isa::Op::Addi, 3,
+                             {ir::Opnd::temp(2), ir::Opnd::imm(1)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 4, {ir::Opnd::imm(42)},
+                             {{1, true}}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(4)};
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 42u);
+}
+
+TEST(HbEval, NullWritePreservesRegister)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Null, 1, {}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 3;
+    w.srcs = {ir::Opnd::temp(1)};
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs{{3, 777}};
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[3], 777u);
+}
+
+TEST(HbEval, DoubleWriteDetected)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(1)}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(1)};
+    hb.instrs.push_back(w);
+    hb.instrs.push_back(w); // fires twice: malformed
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("write tokens"), std::string::npos);
+}
+
+TEST(HbEval, MissingWriteDetected)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(0)}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(2)}; // t2 never defined => write skipped
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    EXPECT_FALSE(out.ok);
+}
+
+TEST(HbEval, TwoBranchesDetected)
+{
+    ir::BBlock hb = haltingBlock();
+    addBro(hb, "@halt");
+    addBro(hb, "@halt");
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("two branches"), std::string::npos);
+}
+
+TEST(HbEval, NoBranchDetected)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(0)}));
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("no branch"), std::string::npos);
+}
+
+TEST(HbEval, PredicateOrOnOneInstruction)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(0)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 2, {ir::Opnd::imm(1)}));
+    // Fires because t2 matches even though t1 does not.
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(5)},
+                             {{1, true}, {2, true}}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(3)};
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 5u);
+}
+
+TEST(HbEval, StoresAndLoadsSequential)
+{
+    ir::BBlock hb = haltingBlock();
+    hb.instrs.push_back(make(isa::Op::Movi, 1, {ir::Opnd::imm(64)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 2, {ir::Opnd::imm(31)}));
+    ir::Instr st;
+    st.op = isa::Op::St;
+    st.srcs = {ir::Opnd::temp(1), ir::Opnd::temp(2), ir::Opnd::imm(0)};
+    hb.instrs.push_back(st);
+    hb.instrs.push_back(make(isa::Op::Ld, 3,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)}));
+    ir::Instr w;
+    w.op = isa::Op::Write;
+    w.reg = 0;
+    w.srcs = {ir::Opnd::temp(3)};
+    hb.instrs.push_back(w);
+    addBro(hb, "@halt");
+
+    std::map<int, uint64_t> regs;
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(regs[0], 31u);
+    EXPECT_EQ(mem.load(64), 31u);
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/ifconvert.h"
+#include "core/hb_eval.h"
+#include "core/null_insertion.h"
+#include "core/pfg.h"
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+/** Run the front half of the pipeline up to hyperblock form. */
+ir::Function
+toHyper(const std::string &src, int maxBlocks = 64)
+{
+    ir::Function fn = ir::parseFunction(src);
+    buildSsa(fn);
+    RegionConfig rc;
+    rc.maxBlocksPerRegion = maxBlocks;
+    RegionPlan plan = selectRegions(fn, rc);
+    lowerBoundaries(fn, plan);
+    ifConvert(fn, plan);
+    for (const ir::BBlock &hb : fn.blocks)
+        checkHyperblock(hb);
+    return fn;
+}
+
+const char *kDiamond = R"(func f {
+block entry:
+    a = movi 10
+    c = tgt a, 5
+    br c, big, small
+block big:
+    r = add a, 100
+    jmp join
+block small:
+    r = add a, 200
+    jmp join
+block join:
+    ret r
+})";
+
+TEST(IfConvert, DiamondBecomesOneHyperblock)
+{
+    ir::Function fn = toHyper(kDiamond);
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].term, ir::Term::Hyper);
+    // The two adds are predicated on opposite polarities of one temp.
+    std::vector<ir::Guard> seen;
+    for (const ir::Instr &inst : fn.blocks[0].instrs) {
+        if (inst.op == isa::Op::Addi || inst.op == isa::Op::Add) {
+            ASSERT_EQ(inst.guards.size(), 1u);
+            seen.push_back(inst.guards[0]);
+        }
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].pred, seen[1].pred);
+    EXPECT_NE(seen[0].onTrue, seen[1].onTrue);
+}
+
+TEST(IfConvert, DiamondSemanticsPreserved)
+{
+    ir::Function plain = ir::parseFunction(kDiamond);
+    isa::Memory m1;
+    auto golden = ir::interpret(plain, m1);
+    ASSERT_TRUE(golden.ok);
+
+    ir::Function fn = toHyper(kDiamond);
+    isa::Memory m2;
+    HbRunResult hb = runHyperFunction(fn, m2);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, golden.retValue);
+}
+
+TEST(IfConvert, BasicBlockModeKeepsBlocksSeparate)
+{
+    ir::Function fn = toHyper(kDiamond, /*maxBlocks=*/1);
+    EXPECT_GE(fn.blocks.size(), 4u);
+    for (const ir::BBlock &hb : fn.blocks) {
+        EXPECT_EQ(hb.term, ir::Term::Hyper);
+        // Inside a basic-block region only exits are predicated.
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op != isa::Op::Bro) {
+                EXPECT_TRUE(inst.guards.empty())
+                    << ir::toString(inst) << " in " << hb.name;
+            }
+        }
+    }
+    isa::Memory mem;
+    HbRunResult hb = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, 110u);
+}
+
+TEST(IfConvert, LoopBecomesSelfBranchingHyperblock)
+{
+    const char *src = R"(func f {
+block entry:
+    i = movi 0
+    jmp loop
+block loop:
+    i = add i, 1
+    c = tlt i, 7
+    br c, loop, done
+block done:
+    ret i
+})";
+    ir::Function fn = toHyper(src);
+    // The loop hyperblock branches to itself.
+    bool selfLoop = false;
+    for (const ir::BBlock &hb : fn.blocks) {
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op == isa::Op::Bro && inst.broLabel == hb.name)
+                selfLoop = true;
+        }
+    }
+    EXPECT_TRUE(selfLoop);
+    isa::Memory mem;
+    HbRunResult hb = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, 7u);
+}
+
+TEST(IfConvert, NestedDiamondPredicateAndChain)
+{
+    const char *src = R"(func f {
+block entry:
+    a = movi 3
+    c1 = tgt a, 5
+    br c1, big, small
+block big:
+    r = movi 1
+    jmp join
+block small:
+    c2 = teq a, 3
+    br c2, exact, other
+block exact:
+    r = movi 2
+    jmp join
+block other:
+    r = movi 3
+    jmp join
+block join:
+    ret r
+})";
+    ir::Function fn = toHyper(src);
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    const ir::BBlock &hb = fn.blocks[0];
+    PredInfo info(hb);
+    // The inner test (teq) must itself be predicated (AND chain, §3.4).
+    bool foundInnerTest = false;
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        const ir::Instr &inst = hb.instrs[i];
+        if (inst.op == isa::Op::Teqi || inst.op == isa::Op::Teq) {
+            foundInnerTest = true;
+            EXPECT_FALSE(inst.guards.empty())
+                << "inner test must be guarded";
+        }
+    }
+    EXPECT_TRUE(foundInnerTest);
+    isa::Memory mem;
+    HbRunResult hbr = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hbr.ok) << hbr.error;
+    EXPECT_EQ(hbr.retValue, 2u);
+}
+
+TEST(IfConvert, RegionSelectionRespectsBudget)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    buildSsa(fn);
+    RegionConfig rc;
+    rc.instrBudget = 4; // too small to merge anything
+    RegionPlan plan = selectRegions(fn, rc);
+    EXPECT_EQ(plan.regions.size(), fn.blocks.size());
+}
+
+TEST(IfConvert, JoinPostdominatingHeadIsUnpredicated)
+{
+    ir::Function fn = toHyper(kDiamond);
+    const ir::BBlock &hb = fn.blocks[0];
+    // The final write (return value) is produced by predicated movs but
+    // the bro itself is unpredicated (join postdominates the head).
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Bro) {
+            EXPECT_TRUE(inst.guards.empty());
+        }
+    }
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit tests for the three merging categories of §5.3 on hand-built
+ * hyperblocks, checking the exact guard transformations the paper
+ * describes (Figure 5c / Figure 6d).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hb_eval.h"
+#include "core/merging.h"
+#include "core/pfg.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+ir::Instr
+make(isa::Op op, int dst, std::vector<ir::Opnd> srcs,
+     std::vector<ir::Guard> guards = {})
+{
+    ir::Instr inst;
+    inst.op = op;
+    if (dst >= 0)
+        inst.dst = ir::Opnd::temp(dst);
+    inst.srcs = std::move(srcs);
+    inst.guards = std::move(guards);
+    return inst;
+}
+
+ir::Instr
+bro(const std::string &label, std::vector<ir::Guard> guards = {})
+{
+    ir::Instr inst;
+    inst.op = isa::Op::Bro;
+    inst.broLabel = label;
+    inst.guards = std::move(guards);
+    return inst;
+}
+
+ir::Instr
+writeReg(int reg, int src, std::vector<ir::Guard> guards = {})
+{
+    ir::Instr inst;
+    inst.op = isa::Op::Write;
+    inst.reg = reg;
+    inst.srcs = {ir::Opnd::temp(src)};
+    inst.guards = std::move(guards);
+    return inst;
+}
+
+/** Count instructions with a given op. */
+int
+countOp(const ir::BBlock &hb, isa::Op op)
+{
+    int n = 0;
+    for (const ir::Instr &inst : hb.instrs)
+        n += inst.op == op;
+    return n;
+}
+
+uint64_t
+evalReg0(const ir::BBlock &hb, uint64_t input)
+{
+    std::map<int, uint64_t> regs{{9, input}};
+    isa::Memory mem;
+    HbOutcome out = evalHyperblock(hb, regs, mem);
+    EXPECT_TRUE(out.ok) << out.error;
+    return regs[0];
+}
+
+/** t1 = read; t2 = tgti t1 > 5; two identical movis on opposite
+ *  polarities of t2. */
+ir::BBlock
+category1Block()
+{
+    ir::BBlock hb;
+    hb.name = "cat1";
+    hb.term = ir::Term::Hyper;
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(42)},
+                             {{2, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 3, {ir::Opnd::imm(42)},
+                             {{2, false}}));
+    hb.instrs.push_back(writeReg(0, 3));
+    hb.instrs.push_back(bro("@halt"));
+    return hb;
+}
+
+TEST(MergingCategories, Category1PromotesToDominatingContext)
+{
+    ir::BBlock hb = category1Block();
+    ASSERT_EQ(evalReg0(hb, 1), 42u);
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 1);
+    EXPECT_EQ(countOp(hb, isa::Op::Movi), 1);
+    // The surviving movi inherits the test's (empty) guard context.
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Movi) {
+            EXPECT_TRUE(inst.guards.empty());
+        }
+    }
+    EXPECT_EQ(evalReg0(hb, 1), 42u);
+    EXPECT_EQ(evalReg0(hb, 9), 42u);
+}
+
+/** Nested tests: t2 = t1>5; t4 = (t1>2) under t2-false. Identical
+ *  movis under (t2,T) and (t4,T): category 2 -> predicate-OR. */
+ir::BBlock
+category2Block()
+{
+    ir::BBlock hb;
+    hb.name = "cat2";
+    hb.term = ir::Term::Hyper;
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    hb.instrs.push_back(make(isa::Op::Tgti, 4,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(2)},
+                             {{2, false}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(7)},
+                             {{2, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(7)},
+                             {{4, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(1)},
+                             {{4, false}}));
+    hb.instrs.push_back(writeReg(0, 5));
+    hb.instrs.push_back(bro("@halt"));
+    return hb;
+}
+
+TEST(MergingCategories, Category2UsesPredicateOr)
+{
+    ir::BBlock hb = category2Block();
+    ASSERT_EQ(evalReg0(hb, 9), 7u); // t2 true
+    ASSERT_EQ(evalReg0(hb, 4), 7u); // t2 false, t4 true
+    ASSERT_EQ(evalReg0(hb, 1), 1u); // both false
+
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 1);
+    bool foundOr = false;
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.guards.size() == 2) {
+            foundOr = true;
+            EXPECT_EQ(inst.guards[0].onTrue, inst.guards[1].onTrue);
+        }
+    }
+    EXPECT_TRUE(foundOr);
+    EXPECT_EQ(evalReg0(hb, 9), 7u);
+    EXPECT_EQ(evalReg0(hb, 4), 7u);
+    EXPECT_EQ(evalReg0(hb, 1), 1u);
+}
+
+/** Like category 2 but the second copy sits on (t4,false): the pass
+ *  must flip t4's defining test and rewrite its consumers. */
+ir::BBlock
+category3Block()
+{
+    ir::BBlock hb;
+    hb.name = "cat3";
+    hb.term = ir::Term::Hyper;
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    // t4 = (t1 <= 2) under t2-false; copies on (t2,T) and (t4,F).
+    hb.instrs.push_back(make(isa::Op::Tlei, 4,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(2)},
+                             {{2, false}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(7)},
+                             {{2, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(7)},
+                             {{4, false}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(1)},
+                             {{4, true}}));
+    hb.instrs.push_back(writeReg(0, 5));
+    hb.instrs.push_back(bro("@halt"));
+    return hb;
+}
+
+TEST(MergingCategories, Category3FlipsTheTest)
+{
+    ir::BBlock hb = category3Block();
+    ASSERT_EQ(evalReg0(hb, 9), 7u); // t2 true
+    ASSERT_EQ(evalReg0(hb, 4), 7u); // t2 false, t1>2 -> t4 false
+    ASSERT_EQ(evalReg0(hb, 1), 1u); // t2 false, t1<=2 -> t4 true
+
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 1);
+    // The tlei was flipped to tgti.
+    EXPECT_EQ(countOp(hb, isa::Op::Tgti), 2);
+    EXPECT_EQ(countOp(hb, isa::Op::Tlei), 0);
+    EXPECT_EQ(evalReg0(hb, 9), 7u);
+    EXPECT_EQ(evalReg0(hb, 4), 7u);
+    EXPECT_EQ(evalReg0(hb, 1), 1u);
+}
+
+TEST(MergingCategories, RefusesNonDisjointCandidates)
+{
+    // Two identical movis under (t2,T) and (t4,T) where t4 is NOT
+    // nested under t2-false: both could fire -> must not merge.
+    ir::BBlock hb;
+    hb.name = "nodisjoint";
+    hb.term = ir::Term::Hyper;
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 2,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(5)}));
+    hb.instrs.push_back(make(isa::Op::Tgti, 4,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(2)}));
+    hb.instrs.push_back(make(isa::Op::Movi, 5, {ir::Opnd::imm(7)},
+                             {{2, true}}));
+    hb.instrs.push_back(make(isa::Op::Movi, 6, {ir::Opnd::imm(7)},
+                             {{4, true}}));
+    hb.instrs.push_back(writeReg(0, 5, {{2, true}}));
+    hb.instrs.push_back(writeReg(0, 6, {{2, false}}));
+    hb.instrs.push_back(bro("@halt"));
+    // The copies have different destinations (they are NOT a dataflow
+    // join — both can fire), so nothing may merge.
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 0);
+}
+
+TEST(MergingCategories, RefusesFlipWhenPredicateHasValueUses)
+{
+    ir::BBlock hb = category3Block();
+    // Add a value use of t4: flipping would corrupt it.
+    ir::Instr use = make(isa::Op::Addi, 8,
+                         {ir::Opnd::temp(4), ir::Opnd::imm(0)},
+                         {{2, false}});
+    hb.instrs.insert(hb.instrs.begin() + 3, use);
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 0);
+}
+
+TEST(MergingCategories, MergesBranchesLikeFigure5c)
+{
+    // Two bros to the same label under (t7,T)/(t7,F), with t7 defined
+    // under (t3,F): the merge promotes to a single bro_f<t3>.
+    ir::BBlock hb;
+    hb.name = "fig5c";
+    hb.term = ir::Term::Hyper;
+    ir::Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 9;
+    read.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(read);
+    hb.instrs.push_back(make(isa::Op::Tgti, 3,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(1)}));
+    hb.instrs.push_back(make(isa::Op::Teqi, 7,
+                             {ir::Opnd::temp(1), ir::Opnd::imm(0)},
+                             {{3, false}}));
+    hb.instrs.push_back(bro("L2", {{3, true}}));
+    hb.instrs.push_back(bro("L3", {{7, true}}));
+    hb.instrs.push_back(bro("L3", {{7, false}}));
+    int eliminated = mergeDisjointInstructions(hb);
+    EXPECT_EQ(eliminated, 1);
+    // The merged bro carries t3-false, as in Figure 5c.
+    int brosToL3 = 0;
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Bro && inst.broLabel == "L3") {
+            ++brosToL3;
+            ASSERT_EQ(inst.guards.size(), 1u);
+            EXPECT_EQ(inst.guards[0], (ir::Guard{3, false}));
+        }
+    }
+    EXPECT_EQ(brosToL3, 1);
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/pfg.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+/** Build a hyperblock resembling the paper's Figure 4:
+ *  tgti t3; slli_t<t3>; addi_t<t3>; teqi_f<t3> t7; movi_f<t7>; bros. */
+ir::BBlock
+figure4Block()
+{
+    ir::BBlock hb;
+    hb.name = "fig4";
+    hb.term = ir::Term::Hyper;
+    auto add = [&](isa::Op op, int dst, std::vector<ir::Opnd> srcs,
+                   std::vector<ir::Guard> guards) {
+        ir::Instr inst;
+        inst.op = op;
+        if (dst >= 0)
+            inst.dst = ir::Opnd::temp(dst);
+        inst.srcs = std::move(srcs);
+        inst.guards = std::move(guards);
+        hb.instrs.push_back(std::move(inst));
+        return static_cast<int>(hb.instrs.size() - 1);
+    };
+    // t1, t2 come from reads.
+    ir::Instr r1;
+    r1.op = isa::Op::Read;
+    r1.reg = 1;
+    r1.dst = ir::Opnd::temp(1);
+    hb.instrs.push_back(r1);
+    ir::Instr r2;
+    r2.op = isa::Op::Read;
+    r2.reg = 2;
+    r2.dst = ir::Opnd::temp(2);
+    hb.instrs.push_back(r2);
+    add(isa::Op::Tgti, 3, {ir::Opnd::temp(2), ir::Opnd::imm(1)}, {});
+    add(isa::Op::Shli, 4, {ir::Opnd::temp(1), ir::Opnd::imm(4)},
+        {{3, true}});
+    add(isa::Op::Addi, 5, {ir::Opnd::temp(4), ir::Opnd::imm(1)},
+        {{3, true}});
+    add(isa::Op::Mov, 5, {ir::Opnd::temp(1)}, {{3, false}});
+    add(isa::Op::Teqi, 7, {ir::Opnd::temp(2), ir::Opnd::imm(0)},
+        {{3, false}});
+    add(isa::Op::Movi, 6, {ir::Opnd::imm(1)}, {{7, false}});
+    add(isa::Op::Mov, 6, {ir::Opnd::temp(2)}, {{7, true}});
+    ir::Instr w1;
+    w1.op = isa::Op::Write;
+    w1.reg = 1;
+    w1.srcs = {ir::Opnd::temp(5)};
+    hb.instrs.push_back(w1);
+    ir::Instr bro;
+    bro.op = isa::Op::Bro;
+    bro.broLabel = "@halt";
+    hb.instrs.push_back(bro);
+    return hb;
+}
+
+TEST(Pfg, DefsAndUses)
+{
+    ir::BBlock hb = figure4Block();
+    PredInfo info(hb);
+    EXPECT_EQ(info.defsOf(5).size(), 2u); // addi_t and mov_f
+    EXPECT_EQ(info.defsOf(3).size(), 1u);
+    EXPECT_GE(info.usesOf(3).size(), 4u); // three guards + teqi guard
+}
+
+TEST(Pfg, ContextChainsFollowGuards)
+{
+    ir::BBlock hb = figure4Block();
+    PredInfo info(hb);
+    // movi_f<t7>: context is (t7,false) then (t3,false) via teqi's guard.
+    int moviIdx = -1;
+    for (size_t i = 0; i < hb.instrs.size(); ++i) {
+        if (hb.instrs[i].op == isa::Op::Movi)
+            moviIdx = static_cast<int>(i);
+    }
+    ASSERT_GE(moviIdx, 0);
+    auto ctx = info.contextOf(moviIdx);
+    ASSERT_EQ(ctx.size(), 2u);
+    EXPECT_EQ(ctx[0], (ir::Guard{7, false}));
+    EXPECT_EQ(ctx[1], (ir::Guard{3, false}));
+}
+
+TEST(Pfg, DisjointnessAndImplication)
+{
+    using G = std::vector<ir::Guard>;
+    G a{{3, true}};
+    G b{{3, false}};
+    G c{{7, true}, {3, false}};
+    EXPECT_TRUE(PredInfo::disjoint(a, b));
+    EXPECT_TRUE(PredInfo::disjoint(a, c));
+    EXPECT_FALSE(PredInfo::disjoint(b, c));
+    EXPECT_TRUE(PredInfo::implies(c, b));
+    EXPECT_FALSE(PredInfo::implies(b, c));
+    EXPECT_TRUE(PredInfo::implies(a, G{}));
+}
+
+TEST(Pfg, CheckHyperblockAcceptsFigure4)
+{
+    ir::BBlock hb = figure4Block();
+    EXPECT_NO_THROW(checkHyperblock(hb));
+}
+
+TEST(Pfg, CheckHyperblockRejectsNonDisjointDefs)
+{
+    ir::BBlock hb = figure4Block();
+    // Make the mov_f<t3> unconditional: t5 now has two defs that can
+    // both fire.
+    for (ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Mov && inst.dst == ir::Opnd::temp(5))
+            inst.guards.clear();
+    }
+    EXPECT_THROW(checkHyperblock(hb), PanicError);
+}
+
+TEST(Pfg, CheckHyperblockRejectsUseBeforeDef)
+{
+    ir::BBlock hb = figure4Block();
+    std::swap(hb.instrs[2], hb.instrs[3]); // tgti after its consumer
+    EXPECT_THROW(checkHyperblock(hb), PanicError);
+}
+
+TEST(Pfg, MixedPolarityOrRejected)
+{
+    ir::BBlock hb = figure4Block();
+    for (ir::Instr &inst : hb.instrs) {
+        if (inst.op == isa::Op::Movi) {
+            inst.guards = {{7, false}, {3, true}};
+        }
+    }
+    EXPECT_THROW(checkHyperblock(hb), PanicError);
+}
+
+} // namespace
+} // namespace dfp::core

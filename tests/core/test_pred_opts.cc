@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "core/hb_eval.h"
+#include "core/ifconvert.h"
+#include "core/merging.h"
+#include "core/null_insertion.h"
+#include "core/path_sensitive.h"
+#include "core/pfg.h"
+#include "core/pred_fanout.h"
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+ir::Function
+toHyper(const std::string &src, int maxBlocks = 64)
+{
+    ir::Function fn = ir::parseFunction(src);
+    buildSsa(fn);
+    RegionConfig rc;
+    rc.maxBlocksPerRegion = maxBlocks;
+    RegionPlan plan = selectRegions(fn, rc);
+    lowerBoundaries(fn, plan);
+    ifConvert(fn, plan);
+    return fn;
+}
+
+int
+countGuards(const ir::Function &fn)
+{
+    int n = 0;
+    for (const ir::BBlock &hb : fn.blocks) {
+        for (const ir::Instr &inst : hb.instrs)
+            n += static_cast<int>(inst.guards.size());
+    }
+    return n;
+}
+
+uint64_t
+evalRet(const ir::Function &fn)
+{
+    isa::Memory mem;
+    HbRunResult hb = runHyperFunction(fn, mem);
+    EXPECT_TRUE(hb.ok) << hb.error;
+    return hb.retValue;
+}
+
+const char *kChain = R"(func f {
+block entry:
+    a = movi 9
+    c = tgt a, 5
+    br c, left, right
+block left:
+    x1 = shl a, 4
+    x2 = add x1, 1
+    x3 = mul x2, 3
+    r = add x3, 0
+    jmp join
+block right:
+    r = add a, 7
+    jmp join
+block join:
+    ret r
+})";
+
+TEST(PredFanout, RemovesGuardsFromChainInteriors)
+{
+    ir::Function fn = toHyper(kChain);
+    uint64_t before = evalRet(fn);
+    int guardsBefore = countGuards(fn);
+    int removed = reducePredFanout(fn);
+    EXPECT_GT(removed, 0);
+    EXPECT_EQ(countGuards(fn), guardsBefore - removed);
+    for (const ir::BBlock &hb : fn.blocks)
+        checkHyperblock(hb);
+    EXPECT_EQ(evalRet(fn), before);
+}
+
+TEST(PredFanout, KeepsJoinArmsPredicated)
+{
+    ir::Function fn = toHyper(kChain);
+    reducePredFanout(fn);
+    // Both producers of the return value must still be guarded: they
+    // define one temp on disjoint paths.
+    PredInfo info(fn.blocks[0]);
+    int joinDefs = 0;
+    for (const ir::Instr &inst : fn.blocks[0].instrs) {
+        if (!inst.dst.isTemp())
+            continue;
+        if (info.defsOf(inst.dst.id).size() == 2) {
+            EXPECT_FALSE(inst.guards.empty()) << "join arm unguarded";
+            ++joinDefs;
+        }
+    }
+    EXPECT_GE(joinDefs, 2);
+}
+
+TEST(PredFanout, KeepsOutputsPredicated)
+{
+    ir::Function fn = toHyper(kChain);
+    reducePredFanout(fn);
+    for (const ir::BBlock &hb : fn.blocks) {
+        // Predicate-defining tests keep guards; stores/bros/writes too.
+        for (const ir::Instr &inst : hb.instrs) {
+            if (inst.op == isa::Op::St)
+                ADD_FAILURE() << "no stores expected here";
+        }
+    }
+}
+
+// Path-sensitive removal: x is written on one arm, dead on the other
+// exit, so the defining chain promotes and null writes disappear.
+// Ordered so greedy region growth (RPO) packs {entry, other, setit}
+// and leaves 'useit' as a second hyperblock: x crosses via a register.
+const char *kPathSensitive = R"(func f {
+block entry:
+    a = ld 64
+    c = tle a, 5
+    br c, other, setit
+block other:
+    ret 0
+block setit:
+    x0 = shl a, 2
+    x = add x0, 1
+    jmp useit
+block useit:
+    r = add x, 1
+    ret r
+})";
+
+TEST(PathSensitive, RemovesNullCompensation)
+{
+    // Cap the region so 'useit' lands in a second hyperblock and x
+    // crosses via a register with a null write on the 'other' exit.
+    ir::Function fn = toHyper(kPathSensitive, 3);
+    auto countNullWrites = [&]() {
+        int n = 0;
+        for (const ir::BBlock &hb : fn.blocks) {
+            PredInfo info(hb);
+            for (const ir::Instr &inst : hb.instrs) {
+                if (inst.op != isa::Op::Write ||
+                    !inst.srcs[0].isTemp()) {
+                    continue;
+                }
+                const auto &defs = info.defsOf(inst.srcs[0].id);
+                if (defs.size() == 1 &&
+                    hb.instrs[defs[0]].op == isa::Op::Null) {
+                    ++n;
+                }
+            }
+        }
+        return n;
+    };
+    int before = countNullWrites();
+    ASSERT_GT(before, 0) << "setup should have null compensation";
+
+    isa::Memory m0;
+    m0.store(64, 9);
+    HbRunResult r0 = runHyperFunction(fn, m0);
+    ASSERT_TRUE(r0.ok) << r0.error;
+
+    int changes = removePathSensitivePreds(fn);
+    EXPECT_GT(changes, 0);
+    EXPECT_LT(countNullWrites(), before);
+    for (const ir::BBlock &hb : fn.blocks)
+        checkHyperblock(hb);
+
+    // Semantics on both paths.
+    isa::Memory m1;
+    m1.store(64, 9);
+    HbRunResult r1 = runHyperFunction(fn, m1);
+    ASSERT_TRUE(r1.ok) << r1.error;
+    EXPECT_EQ(r1.retValue, r0.retValue);
+
+    isa::Memory m2;
+    m2.store(64, 1);
+    HbRunResult r2 = runHyperFunction(fn, m2);
+    ASSERT_TRUE(r2.ok) << r2.error;
+    EXPECT_EQ(r2.retValue, 0u);
+}
+
+// Merging: two lexically equivalent bros under complementary guards
+// merge into one at the dominating block (category 1), and equivalent
+// movi join-predicates under different guards merge via predicate-OR
+// (category 2).
+const char *kMergeSrc = R"(func f {
+block entry:
+    a = ld 64
+    c1 = tgt a, 10
+    br c1, w1, t2
+block w1:
+    r = movi 1
+    jmp out
+block t2:
+    c2 = tlt a, 3
+    br c2, w2, w3
+block w2:
+    r = movi 1
+    jmp out
+block w3:
+    r = movi 9
+    jmp out
+block out:
+    ret r
+})";
+
+TEST(Merging, MergesDuplicatesAndPreservesSemantics)
+{
+    ir::Function fn = toHyper(kMergeSrc);
+    size_t before = fn.blocks[0].instrs.size();
+    auto evalWith = [&](uint64_t a) {
+        isa::Memory mem;
+        mem.store(64, a);
+        HbRunResult hb = runHyperFunction(fn, mem);
+        EXPECT_TRUE(hb.ok) << hb.error;
+        return hb.retValue;
+    };
+    uint64_t big = evalWith(20), small = evalWith(1), mid = evalWith(5);
+    EXPECT_EQ(big, 1u);
+    EXPECT_EQ(small, 1u);
+    EXPECT_EQ(mid, 9u);
+
+    int merged = mergeDisjointInstructions(fn);
+    EXPECT_GT(merged, 0);
+    EXPECT_LT(fn.blocks[0].instrs.size(), before);
+    // A predicate-OR instruction (two guards) should now exist.
+    bool predOr = false;
+    for (const ir::Instr &inst : fn.blocks[0].instrs)
+        predOr |= inst.guards.size() >= 2;
+    EXPECT_TRUE(predOr);
+
+    EXPECT_EQ(evalWith(20), big);
+    EXPECT_EQ(evalWith(1), small);
+    EXPECT_EQ(evalWith(5), mid);
+}
+
+TEST(Merging, Category1PromotesToDominatingGuard)
+{
+    // Two identical instructions on both arms of one test.
+    ir::Function fn = toHyper(R"(func f {
+block entry:
+    a = ld 64
+    c = tgt a, 5
+    br c, yes, no
+block yes:
+    r = mul a, 3
+    jmp out
+block no:
+    r = mul a, 3
+    jmp out
+block out:
+    ret r
+})");
+    int merged = mergeDisjointInstructions(fn);
+    EXPECT_GT(merged, 0);
+    isa::Memory mem;
+    mem.store(64, 4);
+    HbRunResult hb = runHyperFunction(fn, mem);
+    ASSERT_TRUE(hb.ok) << hb.error;
+    EXPECT_EQ(hb.retValue, 12u);
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Properties of greedy region selection: the plan is a partition, the
+ * head comes first and dominates membership decisions, caps are
+ * respected, loops only re-enter through heads, and cross-region edges
+ * only target heads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ifconvert.h"
+#include "ir/parser.h"
+#include "workloads/suite.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+RegionPlan
+planFor(const std::string &src, RegionConfig cfg = {})
+{
+    ir::Function fn = ir::parseFunction(src);
+    fn.computeCfg();
+    return selectRegions(fn, cfg);
+}
+
+void
+checkPartition(const ir::Function &fn, const RegionPlan &plan)
+{
+    std::set<int> covered;
+    for (size_t r = 0; r < plan.regions.size(); ++r) {
+        const Region &region = plan.regions[r];
+        EXPECT_EQ(region.blocks.front(), region.head);
+        for (int b : region.blocks) {
+            EXPECT_TRUE(covered.insert(b).second)
+                << "block in two regions";
+            EXPECT_EQ(plan.regionOf[b], static_cast<int>(r));
+        }
+    }
+    EXPECT_EQ(covered.size(), fn.blocks.size());
+}
+
+void
+checkCrossEdgesTargetHeads(const ir::Function &fn, const RegionPlan &plan)
+{
+    for (const ir::BBlock &block : fn.blocks) {
+        for (int s : block.succs) {
+            if (plan.regionOf[s] == plan.regionOf[block.id])
+                continue;
+            EXPECT_EQ(plan.regions[plan.regionOf[s]].head, s)
+                << "cross-region edge into a non-head block";
+        }
+    }
+}
+
+TEST(Regions, SuiteWidePartitionProperties)
+{
+    for (const workloads::Workload &w : workloads::eembcSuite()) {
+        ir::Function fn = ir::parseFunction(w.source);
+        fn.computeCfg();
+        for (int maxBlocks : {1, 3, 64}) {
+            RegionConfig cfg;
+            cfg.maxBlocksPerRegion = maxBlocks;
+            RegionPlan plan = selectRegions(fn, cfg);
+            checkPartition(fn, plan);
+            checkCrossEdgesTargetHeads(fn, plan);
+            for (const Region &region : plan.regions) {
+                EXPECT_LE(static_cast<int>(region.blocks.size()),
+                          maxBlocks)
+                    << w.name;
+            }
+        }
+    }
+}
+
+TEST(Regions, BackEdgesOnlyToHeads)
+{
+    for (const workloads::Workload &w : workloads::eembcSuite()) {
+        ir::Function fn = ir::parseFunction(w.source);
+        fn.computeCfg();
+        RegionPlan plan = selectRegions(fn, RegionConfig{});
+        // Within a region, any edge to an earlier block (in the
+        // region's topological list) must target the head.
+        for (const Region &region : plan.regions) {
+            std::map<int, int> pos;
+            for (size_t i = 0; i < region.blocks.size(); ++i)
+                pos[region.blocks[i]] = static_cast<int>(i);
+            for (int b : region.blocks) {
+                for (int s : fn.blocks[b].succs) {
+                    if (!pos.count(s))
+                        continue;
+                    if (pos[s] <= pos[b]) {
+                        EXPECT_EQ(s, region.head) << w.name;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Regions, LoopsDisallowedWhenConfigured)
+{
+    const char *src = R"(func f {
+block entry:
+    i = movi 0
+    jmp loop
+block loop:
+    i = add i, 1
+    c = tlt i, 5
+    br c, loop, done
+block done:
+    ret i
+})";
+    RegionConfig cfg;
+    cfg.allowLoops = false;
+    RegionPlan plan = planFor(src, cfg);
+    // The loop block must not absorb anything that branches back to it.
+    for (const Region &region : plan.regions) {
+        ir::Function fn = ir::parseFunction(src);
+        fn.computeCfg();
+        for (int b : region.blocks) {
+            for (int s : fn.blocks[b].succs)
+                EXPECT_FALSE(s == region.head && b != region.head &&
+                             region.blocks.size() > 1);
+        }
+    }
+}
+
+TEST(Regions, BudgetCapsRegionCost)
+{
+    // 6 blocks of ~10 instructions each; a budget of 25 holds ~2.
+    std::string src = "func f {\nblock b0:\n";
+    for (int b = 0; b < 6; ++b) {
+        if (b)
+            src += detail::cat("block b", b, ":\n");
+        for (int i = 0; i < 10; ++i)
+            src += detail::cat("    x", b, "_", i, " = movi ", i, "\n");
+        src += b < 5 ? detail::cat("    jmp b", b + 1, "\n")
+                     : std::string("    ret\n");
+    }
+    src += "}\n";
+    RegionConfig cfg;
+    cfg.instrBudget = 25;
+    RegionPlan plan = planFor(src, cfg);
+    EXPECT_GE(plan.regions.size(), 3u);
+    for (const Region &region : plan.regions)
+        EXPECT_LE(region.blocks.size(), 2u);
+}
+
+} // namespace
+} // namespace dfp::core

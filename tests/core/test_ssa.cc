@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+
+namespace dfp::core
+{
+namespace
+{
+
+TEST(Ssa, UniqueDefsAfterConstruction)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    x = movi 1
+    x = add x, 2
+    c = teq x, 3
+    br c, a, b
+block a:
+    x = add x, 10
+    jmp join
+block b:
+    x = add x, 20
+    jmp join
+block join:
+    ret x
+})");
+    EXPECT_FALSE(isSsa(fn));
+    buildSsa(fn);
+    EXPECT_TRUE(isSsa(fn));
+    // A phi merges the two arms.
+    int join = fn.blockId("join");
+    ASSERT_GE(join, 0);
+    EXPECT_EQ(fn.blocks[join].instrs.front().op, isa::Op::Phi);
+}
+
+TEST(Ssa, PreservesSemantics)
+{
+    const char *src = R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    m = and i, 3
+    c = teq m, 0
+    br c, skip, addit
+block addit:
+    acc = add acc, i
+    jmp next
+block skip:
+    acc = add acc, 100
+    jmp next
+block next:
+    i = add i, 1
+    lc = tlt i, 20
+    br lc, loop, done
+block done:
+    ret acc
+})";
+    ir::Function plain = ir::parseFunction(src);
+    isa::Memory m1;
+    auto before = ir::interpret(plain, m1);
+    ASSERT_TRUE(before.ok);
+
+    ir::Function ssa = ir::parseFunction(src);
+    buildSsa(ssa);
+    isa::Memory m2;
+    auto after = ir::interpret(ssa, m2);
+    ASSERT_TRUE(after.ok) << after.error;
+    EXPECT_EQ(after.retValue, before.retValue);
+}
+
+TEST(Ssa, LoopCarriedValueGetsHeaderPhi)
+{
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    i = movi 0
+    jmp loop
+block loop:
+    i = add i, 1
+    c = tlt i, 5
+    br c, loop, done
+block done:
+    ret i
+})");
+    buildSsa(fn);
+    int loop = fn.blockId("loop");
+    bool hasPhi = !fn.blocks[loop].instrs.empty() &&
+                  fn.blocks[loop].instrs[0].op == isa::Op::Phi;
+    EXPECT_TRUE(hasPhi);
+    isa::Memory mem;
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 5u);
+}
+
+TEST(Ssa, PrunedByLiveness)
+{
+    // 'dead' is redefined on both arms but never used afterwards:
+    // pruned SSA inserts no phi for it at the join.
+    ir::Function fn = ir::parseFunction(R"(func f {
+block entry:
+    dead = movi 1
+    c = teq dead, 1
+    br c, a, b
+block a:
+    dead = movi 2
+    jmp join
+block b:
+    dead = movi 3
+    jmp join
+block join:
+    ret 0
+})");
+    buildSsa(fn);
+    int join = fn.blockId("join");
+    for (const ir::Instr &inst : fn.blocks[join].instrs)
+        EXPECT_NE(inst.op, isa::Op::Phi);
+}
+
+} // namespace
+} // namespace dfp::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cross-configuration performance sanity properties on a few kernels:
+ * the qualitative relationships the paper's Figure 7 rests on must hold
+ * in this reproduction (BB slower than hyperblocks on branchy code;
+ * the optimizations never break correctness and reduce static movs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp
+{
+namespace
+{
+
+uint64_t
+cyclesFor(const workloads::Workload &w, const std::string &config)
+{
+    compiler::CompileOptions opts = compiler::configNamed(config);
+    opts.unroll.factor = w.unrollFactor;
+    auto res = compiler::compileSource(w.source, opts);
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(w);
+    sim::SimResult out = sim::simulate(res.program, state);
+    EXPECT_TRUE(out.halted) << w.name << "/" << config << ": "
+                            << out.error;
+    return out.cycles;
+}
+
+TEST(Configs, BasicBlocksSlowerOnBranchyKernels)
+{
+    // Aggregate over a few branchy kernels; individual kernels may tie.
+    double ratioSum = 0;
+    int n = 0;
+    for (const char *name : {"tblook01", "rotate01", "text01"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr);
+        uint64_t bb = cyclesFor(*w, "bb");
+        uint64_t hyper = cyclesFor(*w, "hyper");
+        ratioSum += double(bb) / double(hyper);
+        ++n;
+    }
+    EXPECT_GT(ratioSum / n, 1.0)
+        << "hyperblocks should beat basic blocks on branchy kernels";
+}
+
+TEST(Configs, FanoutReductionReducesDynamicMoves)
+{
+    const workloads::Workload *w = workloads::findWorkload("tblook01");
+    ASSERT_NE(w, nullptr);
+    auto run = [&](const std::string &config) {
+        compiler::CompileOptions opts = compiler::configNamed(config);
+        opts.unroll.factor = w->unrollFactor;
+        auto res = compiler::compileSource(w->source, opts);
+        isa::ArchState state;
+        state.mem = workloads::initialMemory(*w);
+        sim::SimResult out = sim::simulate(res.program, state);
+        EXPECT_TRUE(out.halted) << out.error;
+        return out;
+    };
+    sim::SimResult hyper = run("hyper");
+    sim::SimResult intra = run("intra");
+    EXPECT_LT(intra.movsCommitted, hyper.movsCommitted)
+        << "intra should reduce dynamic move instructions (§6)";
+    // Unguarded instructions execute speculatively, so total fired
+    // instructions may rise slightly even as moves drop; bound the
+    // increase rather than forbidding it.
+    EXPECT_LT(double(intra.instsCommitted),
+              1.15 * double(hyper.instsCommitted));
+}
+
+TEST(Configs, MergeNeverIncreasesStaticSize)
+{
+    for (const char *name : {"canrdr01", "pktflow", "ttsprk01"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr);
+        compiler::CompileOptions both = compiler::configNamed("both");
+        compiler::CompileOptions merge = compiler::configNamed("merge");
+        both.unroll.factor = merge.unroll.factor = w->unrollFactor;
+        auto a = compiler::compileSource(w->source, both);
+        auto b = compiler::compileSource(w->source, merge);
+        // Merging eliminates duplicates but the predicate-OR producers
+        // may need extra fanout movs (the paper's Figure 5c nets -3
+        // after adding 3); allow a small static-size wobble.
+        EXPECT_LE(b.stats.get("codegen.insts"),
+                  a.stats.get("codegen.insts") * 21 / 20 + 4)
+            << name;
+    }
+}
+
+TEST(Configs, SchedulerImprovesOrTiesCycles)
+{
+    const workloads::Workload *w = workloads::findWorkload("autcor00");
+    ASSERT_NE(w, nullptr);
+    compiler::CompileOptions sched = compiler::configNamed("both");
+    compiler::CompileOptions naive = sched;
+    naive.schedule = false;
+    sched.unroll.factor = naive.unroll.factor = w->unrollFactor;
+    auto a = compiler::compileSource(w->source, sched);
+    auto b = compiler::compileSource(w->source, naive);
+    isa::ArchState s1, s2;
+    s1.mem = workloads::initialMemory(*w);
+    s2.mem = workloads::initialMemory(*w);
+    sim::SimResult r1 = sim::simulate(a.program, s1);
+    sim::SimResult r2 = sim::simulate(b.program, s2);
+    ASSERT_TRUE(r1.halted && r2.halted) << r1.error << r2.error;
+    EXPECT_EQ(s1.regs[compiler::kRetArchReg],
+              s2.regs[compiler::kRetArchReg]);
+    // Spatial scheduling should not be a large regression.
+    EXPECT_LT(double(r1.cycles), 1.10 * double(r2.cycles));
+}
+
+} // namespace
+} // namespace dfp

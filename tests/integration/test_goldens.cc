@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Workload-suite hygiene: every kernel parses, runs under the golden
+ * interpreter, does real work, is deterministic, and the kernels are
+ * pairwise distinguishable (no accidental copy-paste duplicates).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/parser.h"
+#include "workloads/suite.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(Goldens, SuiteHasTwentyEightKernelsInFigure7Order)
+{
+    const auto &suite = workloads::eembcSuite();
+    ASSERT_EQ(suite.size(), 28u);
+    EXPECT_EQ(suite.front().name, "a2time01");
+    EXPECT_EQ(suite.back().name, "viterb00");
+}
+
+TEST(Goldens, EveryKernelDoesRealWork)
+{
+    for (const workloads::Workload &w : workloads::eembcSuite()) {
+        workloads::Golden g = workloads::runGolden(w);
+        EXPECT_GT(g.dynInstrs, 1000u) << w.name << " is trivially small";
+        EXPECT_NE(g.memChecksum, isa::Memory().checksum())
+            << w.name << " writes nothing";
+    }
+}
+
+TEST(Goldens, DeterministicAcrossRuns)
+{
+    for (const workloads::Workload &w : workloads::eembcSuite()) {
+        workloads::Golden a = workloads::runGolden(w);
+        workloads::Golden b = workloads::runGolden(w);
+        EXPECT_EQ(a.retValue, b.retValue) << w.name;
+        EXPECT_EQ(a.memChecksum, b.memChecksum) << w.name;
+        EXPECT_EQ(a.dynInstrs, b.dynInstrs) << w.name;
+    }
+}
+
+TEST(Goldens, KernelsPairwiseDistinct)
+{
+    std::map<uint64_t, std::string> seen;
+    for (const workloads::Workload &w : workloads::eembcSuite()) {
+        workloads::Golden g = workloads::runGolden(w);
+        uint64_t key = g.memChecksum ^ (g.retValue * 0x9e3779b9ull) ^
+                       g.dynInstrs;
+        auto [it, inserted] = seen.emplace(key, w.name);
+        EXPECT_TRUE(inserted)
+            << w.name << " collides with " << it->second;
+    }
+}
+
+TEST(Goldens, CategoriesCoverTheSuiteMix)
+{
+    std::map<std::string, int> byCategory;
+    for (const workloads::Workload &w : workloads::eembcSuite())
+        ++byCategory[w.category];
+    // The paper's EEMBC mix spans automotive/telecom/consumer/etc.
+    EXPECT_GE(byCategory.size(), 4u);
+    for (const auto &[category, count] : byCategory)
+        EXPECT_GE(count, 2) << category;
+}
+
+TEST(Goldens, GenalgMatchesFigure6Shape)
+{
+    const workloads::Workload &w = workloads::genalg();
+    // The loop has the short-circuit structure: an FP compare and an
+    // integer bound compare feeding two exits.
+    EXPECT_NE(w.source.find("fgt"), std::string::npos);
+    EXPECT_NE(w.source.find("tlt"), std::string::npos);
+    workloads::Golden g = workloads::runGolden(w);
+    EXPECT_GT(g.retValue, 0u);
+}
+
+TEST(Goldens, MicroSuiteRuns)
+{
+    for (const workloads::Workload &w : workloads::microSuite()) {
+        workloads::Golden g = workloads::runGolden(w);
+        EXPECT_GT(g.dynInstrs, 0u) << w.name;
+    }
+}
+
+TEST(Goldens, FindWorkloadLookups)
+{
+    EXPECT_NE(workloads::findWorkload("fft00"), nullptr);
+    EXPECT_NE(workloads::findWorkload("genalg"), nullptr);
+    EXPECT_NE(workloads::findWorkload("condstore"), nullptr);
+    EXPECT_EQ(workloads::findWorkload("nope"), nullptr);
+}
+
+} // namespace
+} // namespace dfp

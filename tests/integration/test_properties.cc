@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Suite-wide compiler properties, one per invariant:
+ *  - print -> parse -> interpret round-trips preserve semantics;
+ *  - SSA construction preserves semantics and uniqueness of defs;
+ *  - scalar optimization is semantics-preserving and idempotent;
+ *  - every generated program passes the §3.1 validator and its blocks
+ *    survive an encode/decode round trip bit-exactly;
+ *  - the §5 optimization passes never break the hyperblock invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/scalar_opts.h"
+#include "core/pfg.h"
+#include "core/ssa.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "isa/encode.h"
+#include "isa/validate.h"
+#include "workloads/suite.h"
+
+namespace dfp
+{
+namespace
+{
+
+using workloads::Workload;
+
+class SuiteProperty : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &
+    workload() const
+    {
+        const Workload *w = workloads::findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(SuiteProperty, PrintParseRoundTrip)
+{
+    const Workload &w = workload();
+    ir::Function fn = ir::parseFunction(w.source);
+    std::string printed = ir::toString(fn);
+    ir::Function again = ir::parseFunction(printed);
+    isa::Memory m1 = workloads::initialMemory(w);
+    isa::Memory m2 = workloads::initialMemory(w);
+    auto r1 = ir::interpret(fn, m1);
+    auto r2 = ir::interpret(again, m2);
+    ASSERT_TRUE(r1.ok && r2.ok) << r1.error << r2.error;
+    EXPECT_EQ(r1.retValue, r2.retValue);
+    EXPECT_EQ(m1.checksum(), m2.checksum());
+    EXPECT_EQ(r1.dynInstrs, r2.dynInstrs);
+}
+
+TEST_P(SuiteProperty, SsaPreservesSemantics)
+{
+    const Workload &w = workload();
+    ir::Function fn = ir::parseFunction(w.source);
+    core::buildSsa(fn);
+    EXPECT_TRUE(core::isSsa(fn));
+    isa::Memory mem = workloads::initialMemory(w);
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << w.name << ": " << r.error;
+    workloads::Golden golden = workloads::runGolden(w);
+    EXPECT_EQ(r.retValue, golden.retValue);
+    EXPECT_EQ(mem.checksum(), golden.memChecksum);
+}
+
+TEST_P(SuiteProperty, ScalarOptsPreserveAndConverge)
+{
+    const Workload &w = workload();
+    ir::Function fn = ir::parseFunction(w.source);
+    core::buildSsa(fn);
+    compiler::runScalarOpts(fn);
+    // Idempotence: a second run finds nothing.
+    EXPECT_EQ(compiler::runScalarOpts(fn), 0) << w.name;
+    isa::Memory mem = workloads::initialMemory(w);
+    auto r = ir::interpret(fn, mem);
+    ASSERT_TRUE(r.ok) << w.name << ": " << r.error;
+    workloads::Golden golden = workloads::runGolden(w);
+    EXPECT_EQ(r.retValue, golden.retValue);
+    EXPECT_EQ(mem.checksum(), golden.memChecksum);
+    // (No dynamic-length assertion: SSA's phi nodes count as dynamic
+    // instructions in the interpreter, so the comparison with the
+    // pre-SSA golden run is not meaningful.)
+}
+
+TEST_P(SuiteProperty, GeneratedBlocksValidateAndRoundTrip)
+{
+    const Workload &w = workload();
+    compiler::CompileOptions opts = compiler::configNamed("merge");
+    opts.unroll.factor = w.unrollFactor;
+    auto res = compiler::compileSource(w.source, opts);
+    auto vr = isa::validateProgram(res.program);
+    EXPECT_TRUE(vr.ok()) << w.name << ": " << vr.joined();
+    for (const isa::TBlock &block : res.program.blocks) {
+        isa::TBlock back = isa::decodeBlock(isa::encodeBlock(block));
+        ASSERT_EQ(back.insts.size(), block.insts.size()) << w.name;
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            EXPECT_EQ(back.insts[i].op, block.insts[i].op);
+            EXPECT_EQ(back.insts[i].pr, block.insts[i].pr);
+            EXPECT_EQ(back.insts[i].imm, block.insts[i].imm);
+            EXPECT_EQ(back.insts[i].targets, block.insts[i].targets);
+        }
+        EXPECT_EQ(back.storeMask, block.storeMask);
+        EXPECT_EQ(back.placement, block.placement);
+    }
+}
+
+TEST_P(SuiteProperty, HyperblockInvariantsSurviveEveryPass)
+{
+    const Workload &w = workload();
+    for (const char *cfg : {"hyper", "intra", "inter", "both",
+                            "merge"}) {
+        compiler::CompileOptions opts = compiler::configNamed(cfg);
+        opts.unroll.factor = w.unrollFactor;
+        auto res = compiler::compileSource(w.source, opts);
+        for (const ir::BBlock &hb : res.hyperIr.blocks) {
+            EXPECT_NO_THROW(core::checkHyperblock(hb))
+                << w.name << "/" << cfg << "/" << hb.name;
+        }
+    }
+}
+
+TEST_P(SuiteProperty, StaticSizeWithinFormatLimits)
+{
+    const Workload &w = workload();
+    compiler::CompileOptions opts = compiler::configNamed("hyper");
+    opts.unroll.factor = w.unrollFactor;
+    auto res = compiler::compileSource(w.source, opts);
+    for (const isa::TBlock &block : res.program.blocks) {
+        EXPECT_LE(block.insts.size(),
+                  static_cast<size_t>(isa::kMaxInsts));
+        EXPECT_LE(block.reads.size(),
+                  static_cast<size_t>(isa::kMaxReads));
+        EXPECT_LE(block.writes.size(),
+                  static_cast<size_t>(isa::kMaxWrites));
+        for (const isa::TInst &inst : block.insts) {
+            if (inst.op == isa::Op::Ld || inst.op == isa::Op::St) {
+                EXPECT_LT(inst.lsid, isa::kMaxLsids);
+            }
+        }
+    }
+}
+
+std::vector<std::string>
+allKernelNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : workloads::eembcSuite())
+        names.push_back(w.name);
+    names.push_back("genalg");
+    for (const Workload &w : workloads::microSuite())
+        names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SuiteProperty, ::testing::ValuesIn(allKernelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace dfp

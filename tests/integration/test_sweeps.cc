@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property sweeps: architectural results must be invariant across
+ * every *timing* knob of the machine (grid shape, blocks in flight,
+ * contention model, load speculation, early termination, prediction,
+ * fetch width, latencies) and across compiler knobs that only change
+ * code shape (multicast fanout, scheduling, unrolling). Timing models
+ * may change cycle counts; they must never change state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp
+{
+namespace
+{
+
+using workloads::Workload;
+
+const char *kKernels[] = {"tblook01", "conven00", "ospf", "dither01",
+                          "viterb00", "condstore", "genalg"};
+
+struct MachineVariant
+{
+    const char *name;
+    void (*tweak)(sim::SimConfig &);
+};
+
+const MachineVariant kMachineVariants[] = {
+    {"no_early_termination",
+     [](sim::SimConfig &c) { c.earlyTermination = false; }},
+    {"no_contention",
+     [](sim::SimConfig &c) { c.modelContention = false; }},
+    {"conservative_loads",
+     [](sim::SimConfig &c) { c.aggressiveLoads = false; }},
+    {"perfect_prediction",
+     [](sim::SimConfig &c) { c.perfectPrediction = true; }},
+    {"one_block_in_flight",
+     [](sim::SimConfig &c) { c.maxBlocksInFlight = 1; }},
+    {"sixteen_blocks_in_flight",
+     [](sim::SimConfig &c) { c.maxBlocksInFlight = 16; }},
+    {"grid_2x8",
+     [](sim::SimConfig &c) { c.grid = sim::Grid{2, 8}; }},
+    {"grid_8x2",
+     [](sim::SimConfig &c) { c.grid = sim::Grid{8, 2}; }},
+    {"narrow_fetch", [](sim::SimConfig &c) { c.fetchWidth = 4; }},
+    {"slow_memory", [](sim::SimConfig &c) { c.missLatency = 200; }},
+    {"tiny_l1d",
+     [](sim::SimConfig &c) { c.l1dBytes = 1024; c.l1dAssoc = 1; }},
+};
+
+struct SweepCase
+{
+    std::string kernel;
+    std::string variant;
+};
+
+class MachineSweep : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(MachineSweep, TimingKnobsNeverChangeState)
+{
+    const SweepCase &param = GetParam();
+    const Workload *w = workloads::findWorkload(param.kernel);
+    ASSERT_NE(w, nullptr);
+    workloads::Golden golden = workloads::runGolden(*w);
+
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = w->unrollFactor;
+    auto res = compiler::compileSource(w->source, opts);
+
+    sim::SimConfig cfg;
+    for (const MachineVariant &v : kMachineVariants) {
+        if (param.variant == v.name)
+            v.tweak(cfg);
+    }
+    // Grid changes need a matching schedule.
+    compiler::GridShape grid{cfg.grid.rows, cfg.grid.cols};
+    compiler::scheduleProgram(res.program, grid);
+
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(*w);
+    sim::SimResult out = sim::simulate(res.program, state, cfg);
+    ASSERT_TRUE(out.halted)
+        << param.kernel << "/" << param.variant << ": " << out.error;
+    EXPECT_EQ(state.regs[compiler::kRetArchReg], golden.retValue)
+        << param.kernel << "/" << param.variant;
+    EXPECT_EQ(state.mem.checksum(), golden.memChecksum)
+        << param.kernel << "/" << param.variant;
+}
+
+std::vector<SweepCase>
+sweepCases()
+{
+    std::vector<SweepCase> cases;
+    for (const char *k : kKernels) {
+        for (const MachineVariant &v : kMachineVariants)
+            cases.push_back({k, v.name});
+    }
+    return cases;
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<SweepCase> &info)
+{
+    return info.param.kernel + "_" + info.param.variant;
+}
+
+INSTANTIATE_TEST_SUITE_P(Machine, MachineSweep,
+                         ::testing::ValuesIn(sweepCases()), sweepName);
+
+// ---------------------------------------------------------------------
+// Compiler-shape sweeps: multicast, no scheduling, unroll factors.
+
+struct ShapeCase
+{
+    std::string kernel;
+    bool multicast;
+    bool schedule;
+    int unroll;
+};
+
+class CompilerShapeSweep : public ::testing::TestWithParam<ShapeCase>
+{
+};
+
+TEST_P(CompilerShapeSweep, ShapeKnobsNeverChangeState)
+{
+    const ShapeCase &param = GetParam();
+    const Workload *w = workloads::findWorkload(param.kernel);
+    ASSERT_NE(w, nullptr);
+    workloads::Golden golden = workloads::runGolden(*w);
+
+    compiler::CompileOptions opts = compiler::configNamed("merge");
+    opts.multicast = param.multicast;
+    opts.schedule = param.schedule;
+    opts.unroll.factor = param.unroll;
+    auto res = compiler::compileSource(w->source, opts);
+
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(*w);
+    sim::SimResult out = sim::simulate(res.program, state);
+    ASSERT_TRUE(out.halted) << out.error;
+    EXPECT_EQ(state.regs[compiler::kRetArchReg], golden.retValue);
+    EXPECT_EQ(state.mem.checksum(), golden.memChecksum);
+}
+
+std::vector<ShapeCase>
+shapeCases()
+{
+    std::vector<ShapeCase> cases;
+    for (const char *k : {"canrdr01", "rotate01", "fft00", "whilechain"}) {
+        cases.push_back({k, true, true, 1});
+        cases.push_back({k, true, true, 4});
+        cases.push_back({k, false, false, 2});
+        cases.push_back({k, true, false, 3});
+    }
+    return cases;
+}
+
+std::string
+shapeName(const ::testing::TestParamInfo<ShapeCase> &info)
+{
+    return info.param.kernel + (info.param.multicast ? "_mc" : "") +
+           (info.param.schedule ? "_sched" : "_naive") + "_u" +
+           std::to_string(info.param.unroll);
+}
+
+INSTANTIATE_TEST_SUITE_P(Compiler, CompilerShapeSweep,
+                         ::testing::ValuesIn(shapeCases()), shapeName);
+
+} // namespace
+} // namespace dfp

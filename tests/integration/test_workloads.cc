@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The central correctness property of the whole repository: for every
+ * workload and every compiler configuration, the golden IR interpreter,
+ * the hyperblock-form evaluator, the functional target-block executor,
+ * and the cycle-level simulator must all agree on the kernel's return
+ * value and final memory image.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "core/hb_eval.h"
+#include "isa/exec.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp
+{
+namespace
+{
+
+using workloads::Workload;
+
+struct Case
+{
+    std::string kernel;
+    std::string config;
+};
+
+void
+PrintTo(const Case &c, std::ostream *os)
+{
+    *os << c.kernel << "/" << c.config;
+}
+
+class WorkloadEquivalence : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadEquivalence, AllModelsAgree)
+{
+    const Case &param = GetParam();
+    const Workload *w = workloads::findWorkload(param.kernel);
+    ASSERT_NE(w, nullptr);
+
+    workloads::Golden golden = workloads::runGolden(*w);
+
+    compiler::CompileOptions opts =
+        compiler::configNamed(param.config);
+    opts.unroll.factor = w->unrollFactor;
+    compiler::CompileResult res;
+    ASSERT_NO_THROW(res = compiler::compileSource(w->source, opts))
+        << param.kernel << "/" << param.config;
+
+    // 1. Hyperblock-form evaluator.
+    {
+        isa::Memory mem = workloads::initialMemory(*w);
+        core::HbRunResult hb = core::runHyperFunction(res.hyperIr, mem);
+        // After register allocation the "virtual" registers are
+        // architectural; the return value lives in g1 = arch reg 1,
+        // not virtual reg 0, so compare memory + instruction effects
+        // via the checksum only when regalloc renamed. runHyperFunction
+        // reports reg 0; fetch arch reg 1 via a fresh run below instead.
+        ASSERT_TRUE(hb.ok) << param.kernel << "/" << param.config << ": "
+                           << hb.error;
+        EXPECT_EQ(mem.checksum(), golden.memChecksum)
+            << "hb_eval memory mismatch for " << param.kernel;
+    }
+
+    // 2. Functional target executor.
+    {
+        isa::ArchState state;
+        state.mem = workloads::initialMemory(*w);
+        isa::RunOutcome out = isa::runProgram(res.program, state);
+        ASSERT_TRUE(out.halted)
+            << param.kernel << "/" << param.config << ": " << out.error;
+        EXPECT_EQ(state.regs[compiler::kRetArchReg], golden.retValue)
+            << "exec return mismatch for " << param.kernel;
+        EXPECT_EQ(state.mem.checksum(), golden.memChecksum)
+            << "exec memory mismatch for " << param.kernel;
+    }
+
+    // 3. Cycle-level simulator.
+    {
+        isa::ArchState state;
+        state.mem = workloads::initialMemory(*w);
+        sim::SimConfig cfg;
+        sim::SimResult out = sim::simulate(res.program, state, cfg);
+        ASSERT_TRUE(out.halted)
+            << param.kernel << "/" << param.config << ": " << out.error;
+        EXPECT_EQ(state.regs[compiler::kRetArchReg], golden.retValue)
+            << "sim return mismatch for " << param.kernel;
+        EXPECT_EQ(state.mem.checksum(), golden.memChecksum)
+            << "sim memory mismatch for " << param.kernel;
+        EXPECT_GT(out.cycles, 0u);
+    }
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    const char *configs[] = {"bb", "hyper", "intra", "inter", "both",
+                             "merge"};
+    for (const Workload &w : workloads::eembcSuite()) {
+        for (const char *cfg : configs)
+            cases.push_back({w.name, cfg});
+    }
+    for (const Workload &w : workloads::microSuite()) {
+        for (const char *cfg : configs)
+            cases.push_back({w.name, cfg});
+    }
+    for (const char *cfg : configs)
+        cases.push_back({"genalg", cfg});
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string name = info.param.kernel + "_" + info.param.config;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadEquivalence,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/parser.h"
+
+namespace dfp::ir
+{
+namespace
+{
+
+/** A diamond with a loop on the right arm. */
+Function
+diamondLoop()
+{
+    return parseFunction(R"(func f {
+block entry:
+    c = teq 1, 1
+    br c, left, right
+block left:
+    jmp join
+block right:
+    i = movi 0
+    jmp loop
+block loop:
+    i = add i, 1
+    lc = tlt i, 4
+    br lc, loop, join
+block join:
+    ret
+})");
+}
+
+TEST(Analysis, ReversePostorderStartsAtEntry)
+{
+    Function fn = diamondLoop();
+    auto rpo = reversePostorder(fn);
+    ASSERT_FALSE(rpo.empty());
+    EXPECT_EQ(rpo.front(), fn.entry);
+    // Every block's index appears exactly once.
+    std::set<int> seen(rpo.begin(), rpo.end());
+    EXPECT_EQ(seen.size(), fn.blocks.size());
+}
+
+TEST(Analysis, Dominators)
+{
+    Function fn = diamondLoop();
+    DomTree dom = computeDominators(fn);
+    int entry = fn.blockId("entry");
+    int left = fn.blockId("left");
+    int right = fn.blockId("right");
+    int loop = fn.blockId("loop");
+    int join = fn.blockId("join");
+    EXPECT_EQ(dom.idom[entry], -1);
+    EXPECT_EQ(dom.idom[left], entry);
+    EXPECT_EQ(dom.idom[right], entry);
+    EXPECT_EQ(dom.idom[loop], right);
+    EXPECT_EQ(dom.idom[join], entry);
+    EXPECT_TRUE(dom.dominates(entry, loop));
+    EXPECT_FALSE(dom.dominates(left, join));
+}
+
+TEST(Analysis, PostDominators)
+{
+    Function fn = diamondLoop();
+    DomTree pdom = computePostDominators(fn);
+    int entry = fn.blockId("entry");
+    int join = fn.blockId("join");
+    EXPECT_TRUE(pdom.dominates(join, entry));
+    EXPECT_FALSE(pdom.dominates(fn.blockId("left"), entry));
+}
+
+TEST(Analysis, DominanceFrontiers)
+{
+    Function fn = diamondLoop();
+    DomTree dom = computeDominators(fn);
+    auto df = dominanceFrontiers(fn, dom);
+    int left = fn.blockId("left");
+    int join = fn.blockId("join");
+    int loop = fn.blockId("loop");
+    EXPECT_TRUE(df[left].count(join));
+    EXPECT_TRUE(df[loop].count(join));
+    EXPECT_TRUE(df[loop].count(loop)); // loop header in its own DF
+}
+
+TEST(Analysis, Liveness)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    a = movi 1
+    b = movi 2
+    c = teq a, 0
+    br c, t, e
+block t:
+    x = add a, b
+    jmp join
+block e:
+    y = add a, 1
+    jmp join
+block join:
+    ret a
+})");
+    Liveness lv = computeLiveness(fn);
+    int t = fn.blockId("t");
+    int e = fn.blockId("e");
+    int join = fn.blockId("join");
+    EXPECT_TRUE(lv.liveIn[t].size() >= 2); // a and b
+    EXPECT_EQ(lv.liveIn[e].count(
+                  fn.blocks[0].instrs[1].dst.id), 0u); // b dead on e
+    EXPECT_EQ(lv.liveIn[join].size(), 1u); // only a
+}
+
+TEST(Analysis, FindLoops)
+{
+    Function fn = diamondLoop();
+    auto loops = findLoops(fn);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, fn.blockId("loop"));
+    EXPECT_EQ(loops[0].body.size(), 1u);
+    EXPECT_EQ(loops[0].latches.size(), 1u);
+}
+
+TEST(Analysis, NestedLoopsDiscovered)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    i = movi 0
+    jmp outer
+block outer:
+    j = movi 0
+    jmp inner
+block inner:
+    j = add j, 1
+    cj = tlt j, 3
+    br cj, inner, next
+block next:
+    i = add i, 1
+    ci = tlt i, 3
+    br ci, outer, done
+block done:
+    ret i
+})");
+    auto loops = findLoops(fn);
+    ASSERT_EQ(loops.size(), 2u);
+    const Loop *inner = nullptr, *outer = nullptr;
+    for (const Loop &l : loops) {
+        if (l.header == fn.blockId("inner"))
+            inner = &l;
+        if (l.header == fn.blockId("outer"))
+            outer = &l;
+    }
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(inner->body.size(), 1u);
+    EXPECT_TRUE(outer->body.count(fn.blockId("inner")));
+    EXPECT_TRUE(outer->body.count(fn.blockId("next")));
+}
+
+TEST(Analysis, PruneUnreachable)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    jmp live
+block dead:
+    jmp live
+block live:
+    ret
+})");
+    EXPECT_EQ(fn.blocks.size(), 3u);
+    fn.pruneUnreachable();
+    EXPECT_EQ(fn.blocks.size(), 2u);
+    EXPECT_EQ(fn.blockId("dead"), -1);
+    EXPECT_GE(fn.blockId("live"), 0);
+}
+
+} // namespace
+} // namespace dfp::ir

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "isa/alu.h"
+
+namespace dfp::ir
+{
+namespace
+{
+
+InterpResult
+run(const std::string &src, isa::Memory &mem)
+{
+    Function fn = parseFunction(src);
+    return interpret(fn, mem);
+}
+
+TEST(Interp, StraightLine)
+{
+    isa::Memory mem;
+    auto r = run(R"(func f {
+block entry:
+    a = movi 6
+    b = mul a, 7
+    ret b
+})",
+                 mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 42u);
+}
+
+TEST(Interp, BranchTruthIsNonZero)
+{
+    isa::Memory mem;
+    auto r = run(R"(func f {
+block entry:
+    c = movi 2
+    br c, yes, no
+block yes:
+    ret 1
+block no:
+    ret 0
+})",
+                 mem);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.retValue, 1u); // 2 is truthy (non-zero), not low-bit
+}
+
+TEST(Interp, LoopAndMemory)
+{
+    isa::Memory mem;
+    for (int i = 0; i < 10; ++i)
+        mem.store(64 + 8 * i, i + 1);
+    auto r = run(R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    p = add 64, off
+    v = ld p
+    acc = add acc, v
+    i = add i, 1
+    c = tlt i, 10
+    br c, loop, done
+block done:
+    st 256, acc
+    ret acc
+})",
+                 mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 55u);
+    EXPECT_EQ(mem.load(256), 55u);
+    EXPECT_GT(r.dynInstrs, 50u);
+    EXPECT_EQ(r.dynBlocks, 12u);
+}
+
+TEST(Interp, PhiSelectsByEdge)
+{
+    isa::Memory mem;
+    auto r = run(R"(func f {
+block entry:
+    c = movi 0
+    br c, a, b
+block a:
+    x = movi 10
+    jmp join
+block b:
+    y = movi 20
+    jmp join
+block join:
+    z = phi [a: x], [b: y]
+    ret z
+})",
+                 mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 20u);
+}
+
+TEST(Interp, UseBeforeDefFatal)
+{
+    isa::Memory mem;
+    EXPECT_THROW(run(R"(func f {
+block entry:
+    y = add x, 1
+    ret y
+})",
+                     mem),
+                 FatalError);
+}
+
+TEST(Interp, DivideByZeroReported)
+{
+    isa::Memory mem;
+    auto r = run(R"(func f {
+block entry:
+    a = movi 1
+    b = movi 0
+    c = div a, b
+    ret c
+})",
+                 mem);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("exception"), std::string::npos);
+}
+
+TEST(Interp, MisalignedAccessReported)
+{
+    isa::Memory mem;
+    auto r = run(R"(func f {
+block entry:
+    v = ld 3
+    ret v
+})",
+                 mem);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("misaligned"), std::string::npos);
+}
+
+TEST(Interp, StepLimitGuardsLivelock)
+{
+    isa::Memory mem;
+    Function fn = parseFunction(R"(func f {
+block entry:
+    x = movi 1
+    jmp entry2
+block entry2:
+    x = add x, 1
+    jmp entry2
+})");
+    auto r = interpret(fn, mem, 1000);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("limit"), std::string::npos);
+}
+
+TEST(Interp, FloatingPointFlow)
+{
+    isa::Memory mem;
+    mem.store(64, isa::packDouble(2.0));
+    auto r = run(R"(func f {
+block entry:
+    x = ld 64
+    y = fmul x, 3.5
+    c = fgt y, 5.0
+    br c, big, small
+block big:
+    r = ftoi y
+    ret r
+block small:
+    ret 0
+})",
+                 mem);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.retValue, 7u);
+}
+
+} // namespace
+} // namespace dfp::ir

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "isa/alu.h"
+
+namespace dfp::ir
+{
+namespace
+{
+
+TEST(Parser, MinimalFunction)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    x = movi 5
+    ret x
+})");
+    EXPECT_EQ(fn.name, "f");
+    ASSERT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].term, Term::Ret);
+    ASSERT_EQ(fn.blocks[0].instrs.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].instrs[0].op, isa::Op::Movi);
+    EXPECT_EQ(fn.blocks[0].instrs[0].srcs[0].value, 5);
+}
+
+TEST(Parser, ControlFlowAndCfg)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    c = teq 1, 1
+    br c, a, b
+block a:
+    jmp join
+block b:
+    jmp join
+block join:
+    ret
+})");
+    ASSERT_EQ(fn.blocks.size(), 4u);
+    EXPECT_EQ(fn.blocks[0].succs.size(), 2u);
+    EXPECT_EQ(fn.blocks[3].preds.size(), 2u);
+}
+
+TEST(Parser, LoadStoreForms)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    p = movi 64
+    v = ld p
+    w = ld p, 8
+    st p, v
+    st p, w, 16
+    ret v
+})");
+    const auto &is = fn.blocks[0].instrs;
+    EXPECT_EQ(is[1].op, isa::Op::Ld);
+    EXPECT_EQ(is[1].srcs[1].value, 0);
+    EXPECT_EQ(is[2].srcs[1].value, 8);
+    EXPECT_EQ(is[3].op, isa::Op::St);
+    EXPECT_EQ(is[3].srcs[2].value, 0);
+    EXPECT_EQ(is[4].srcs[2].value, 16);
+}
+
+TEST(Parser, FloatLiteralsPackAsBits)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    x = movi 2.5
+    ret x
+})");
+    EXPECT_EQ(static_cast<uint64_t>(fn.blocks[0].instrs[0].srcs[0].value),
+              isa::packDouble(2.5));
+}
+
+TEST(Parser, NegativeAndHexLiterals)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    a = movi -42
+    b = movi 0xff
+    c = add a, b
+    ret c
+})");
+    EXPECT_EQ(fn.blocks[0].instrs[0].srcs[0].value, -42);
+    EXPECT_EQ(fn.blocks[0].instrs[1].srcs[0].value, 255);
+}
+
+TEST(Parser, PhiSyntax)
+{
+    Function fn = parseFunction(R"(func f {
+block entry:
+    c = teq 1, 1
+    br c, a, b
+block a:
+    x = movi 1
+    jmp join
+block b:
+    y = movi 2
+    jmp join
+block join:
+    z = phi [a: x], [b: y]
+    ret z
+})");
+    const Instr &phi = fn.blocks[3].instrs[0];
+    EXPECT_EQ(phi.op, isa::Op::Phi);
+    ASSERT_EQ(phi.srcs.size(), 2u);
+    EXPECT_EQ(phi.phiBlocks[0], 1);
+    EXPECT_EQ(phi.phiBlocks[1], 2);
+}
+
+TEST(Parser, ErrorsReportLine)
+{
+    EXPECT_THROW(parseFunction("func f {\nblock e:\n    x = bogus 1\n}"),
+                 FatalError);
+    EXPECT_THROW(parseFunction("func f {\nblock e:\n    br x, only\n}"),
+                 FatalError);
+    EXPECT_THROW(parseFunction("junk"), FatalError);
+    // Unterminated block (no terminator) is caught by verify().
+    EXPECT_THROW(parseFunction("func f {\nblock e:\n    x = movi 1\n}"),
+                 FatalError);
+}
+
+TEST(Parser, WrongOperandCount)
+{
+    EXPECT_THROW(parseFunction(R"(func f {
+block entry:
+    x = add 1
+    ret x
+})"),
+                 FatalError);
+}
+
+TEST(Parser, PrintParseRoundTrip)
+{
+    const char *src = R"(func f {
+block entry:
+    a = movi 3
+    b = add a, 4
+    c = tlt b, 10
+    br c, yes, no
+block yes:
+    st b, a, 8
+    jmp no
+block no:
+    ret b
+})";
+    Function fn = parseFunction(src);
+    std::string printed = toString(fn);
+    Function again = parseFunction(printed);
+    EXPECT_EQ(toString(again), printed);
+    EXPECT_EQ(again.blocks.size(), fn.blocks.size());
+}
+
+TEST(Parser, DuplicateLabelRejected)
+{
+    EXPECT_THROW(parseFunction(R"(func f {
+block a:
+    jmp a
+block a:
+    ret
+})"),
+                 PanicError);
+}
+
+} // namespace
+} // namespace dfp::ir

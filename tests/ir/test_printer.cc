@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace dfp::ir
+{
+namespace
+{
+
+TEST(Printer, OperandForms)
+{
+    EXPECT_EQ(toString(Opnd::temp(7)), "t7");
+    EXPECT_EQ(toString(Opnd::imm(-3)), "-3");
+    EXPECT_EQ(toString(Opnd::none()), "<none>");
+}
+
+TEST(Printer, GuardedInstructionPaperStyle)
+{
+    Instr inst;
+    inst.op = isa::Op::Addi;
+    inst.dst = Opnd::temp(5);
+    inst.srcs = {Opnd::temp(4), Opnd::imm(1)};
+    inst.guards = {{3, true}};
+    EXPECT_EQ(toString(inst), "addi_t<t3> t5, t4, 1");
+    inst.guards = {{3, false}};
+    EXPECT_EQ(toString(inst), "addi_f<t3> t5, t4, 1");
+}
+
+TEST(Printer, PredicateOrGuards)
+{
+    Instr inst;
+    inst.op = isa::Op::Movi;
+    inst.dst = Opnd::temp(6);
+    inst.srcs = {Opnd::imm(1)};
+    inst.guards = {{9, false}, {10, false}};
+    EXPECT_EQ(toString(inst), "movi_f<t9, t10> t6, 1");
+}
+
+TEST(Printer, BroAndWriteForms)
+{
+    Instr bro;
+    bro.op = isa::Op::Bro;
+    bro.broLabel = "exit";
+    bro.guards = {{7, true}};
+    EXPECT_EQ(toString(bro), "bro_t<t7> exit");
+
+    Instr write;
+    write.op = isa::Op::Write;
+    write.reg = 2;
+    write.srcs = {Opnd::temp(6)};
+    EXPECT_EQ(toString(write), "write g2, t6");
+
+    Instr read;
+    read.op = isa::Op::Read;
+    read.reg = 1;
+    read.dst = Opnd::temp(1);
+    EXPECT_EQ(toString(read), "read t1, g1");
+}
+
+TEST(Printer, FunctionHeaderAndTerminators)
+{
+    Function fn = parseFunction(R"(func demo {
+block entry:
+    x = movi 1
+    br x, a, b
+block a:
+    jmp b
+block b:
+    ret x
+})");
+    std::string text = toString(fn);
+    EXPECT_NE(text.find("func demo {"), std::string::npos);
+    EXPECT_NE(text.find("br t0, a, b"), std::string::npos);
+    EXPECT_NE(text.find("jmp b"), std::string::npos);
+    EXPECT_NE(text.find("ret t0"), std::string::npos);
+}
+
+} // namespace
+} // namespace dfp::ir

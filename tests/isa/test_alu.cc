@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "isa/alu.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+Token
+tok(int64_t v)
+{
+    return {static_cast<uint64_t>(v), false, false};
+}
+
+TEST(Alu, IntegerArithmetic)
+{
+    EXPECT_EQ(evalOp(Op::Add, tok(3), tok(4)).value, 7u);
+    EXPECT_EQ(static_cast<int64_t>(evalOp(Op::Sub, tok(3), tok(5)).value),
+              -2);
+    EXPECT_EQ(evalOp(Op::Mul, tok(-3), tok(4)).value,
+              static_cast<uint64_t>(-12));
+    EXPECT_EQ(evalOp(Op::Div, tok(17), tok(5)).value, 3u);
+    EXPECT_EQ(static_cast<int64_t>(
+                  evalOp(Op::Div, tok(-17), tok(5)).value),
+              -3);
+}
+
+TEST(Alu, DivideByZeroPoisons)
+{
+    Token r = evalOp(Op::Div, tok(1), tok(0));
+    EXPECT_TRUE(r.excep);
+    Token r2 = evalOp(Op::Div, tok(INT64_MIN), tok(-1));
+    EXPECT_TRUE(r2.excep);
+}
+
+TEST(Alu, ShiftsMaskAmount)
+{
+    EXPECT_EQ(evalOp(Op::Shl, tok(1), tok(65)).value, 2u);
+    EXPECT_EQ(evalOp(Op::Shr, tok(-1), tok(60)).value, 0xfull);
+    EXPECT_EQ(static_cast<int64_t>(
+                  evalOp(Op::Sra, tok(-16), tok(2)).value),
+              -4);
+}
+
+TEST(Alu, TestsProduceZeroOne)
+{
+    EXPECT_EQ(evalOp(Op::Teq, tok(5), tok(5)).value, 1u);
+    EXPECT_EQ(evalOp(Op::Tne, tok(5), tok(5)).value, 0u);
+    EXPECT_EQ(evalOp(Op::Tlt, tok(-1), tok(0)).value, 1u);
+    EXPECT_EQ(evalOp(Op::Tge, tok(-1), tok(0)).value, 0u);
+    EXPECT_EQ(evalOp(Op::Tgti, tok(10), tok(3)).value, 1u);
+}
+
+TEST(Alu, FloatingPoint)
+{
+    Token a{packDouble(1.5), false, false};
+    Token b{packDouble(2.25), false, false};
+    EXPECT_DOUBLE_EQ(unpackDouble(evalOp(Op::Fadd, a, b).value), 3.75);
+    EXPECT_DOUBLE_EQ(unpackDouble(evalOp(Op::Fmul, a, b).value), 3.375);
+    EXPECT_EQ(evalOp(Op::Fgt, b, a).value, 1u);
+    EXPECT_EQ(evalOp(Op::Flt, b, a).value, 0u);
+    EXPECT_EQ(static_cast<int64_t>(evalOp(Op::Ftoi, b, Token{}).value),
+              2);
+    EXPECT_DOUBLE_EQ(unpackDouble(evalOp(Op::Itof, tok(-7),
+                                         Token{}).value),
+                     -7.0);
+}
+
+TEST(Alu, FloatDivideByZeroPoisons)
+{
+    Token a{packDouble(1.0), false, false};
+    Token z{packDouble(0.0), false, false};
+    EXPECT_TRUE(evalOp(Op::Fdiv, a, z).excep);
+}
+
+TEST(Alu, NullPropagates)
+{
+    Token null{0, true, false};
+    Token r = evalOp(Op::Add, null, tok(1));
+    EXPECT_TRUE(r.null);
+    EXPECT_FALSE(r.excep);
+    // Null beats exception (a nullified path cannot raise).
+    Token poisonedNull{0, true, true};
+    Token r2 = evalOp(Op::Add, poisonedNull, tok(1));
+    EXPECT_TRUE(r2.null);
+    EXPECT_FALSE(r2.excep);
+}
+
+TEST(Alu, ExceptionPropagates)
+{
+    Token poison{3, false, true};
+    Token r = evalOp(Op::Mul, poison, tok(2));
+    EXPECT_TRUE(r.excep);
+}
+
+TEST(Alu, MoviUsesImmediateOnly)
+{
+    Token junk{99, false, false};
+    Token imm{42, false, false};
+    EXPECT_EQ(evalOp(Op::Movi, junk, imm).value, 42u);
+}
+
+TEST(Alu, PredicateMatching)
+{
+    Token t1{1, false, false};
+    Token t0{0, false, false};
+    EXPECT_TRUE(predMatches(PredMode::OnTrue, t1));
+    EXPECT_FALSE(predMatches(PredMode::OnTrue, t0));
+    EXPECT_TRUE(predMatches(PredMode::OnFalse, t0));
+    EXPECT_FALSE(predMatches(PredMode::OnFalse, t1));
+    EXPECT_FALSE(predMatches(PredMode::Unpred, t1));
+    // Low bit only.
+    Token t2{2, false, false};
+    EXPECT_TRUE(predMatches(PredMode::OnFalse, t2));
+    // Exception bit => interpreted as false (§4.4).
+    Token poisonTrue{1, false, true};
+    EXPECT_TRUE(predMatches(PredMode::OnFalse, poisonTrue));
+    EXPECT_FALSE(predMatches(PredMode::OnTrue, poisonTrue));
+    // Null never matches.
+    Token null{1, true, false};
+    EXPECT_FALSE(predMatches(PredMode::OnTrue, null));
+    EXPECT_FALSE(predMatches(PredMode::OnFalse, null));
+}
+
+} // namespace
+} // namespace dfp::isa

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "base/random.h"
+#include "isa/encode.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+TEST(Encode, TargetRoundTrip)
+{
+    for (int slot = 0; slot < 3; ++slot) {
+        for (int idx : {0, 1, 63, 127}) {
+            Target t{static_cast<Slot>(slot),
+                     static_cast<uint8_t>(idx)};
+            Target back;
+            ASSERT_TRUE(decodeTarget(encodeTarget(t), back));
+            EXPECT_EQ(back, t);
+        }
+    }
+    Target unused;
+    EXPECT_FALSE(decodeTarget(kNoTarget, unused));
+}
+
+TEST(Encode, PaperFigure2Example)
+{
+    // teq with two predicate targets 57 and 58; addi_t / addi_f; slli.
+    TBlock block;
+    block.label = "fig2";
+    block.reads.push_back({3, {{Slot::Left, 0}, {Slot::Right, 0}}});
+    block.reads.push_back({4, {{Slot::Left, 1}, {Slot::Left, 2}}});
+    TInst teq;
+    teq.op = Op::Teq;
+    teq.targets = {{Slot::Pred, 1}, {Slot::Pred, 2}};
+    TInst addiT;
+    addiT.op = Op::Addi;
+    addiT.pr = PredMode::OnTrue;
+    addiT.imm = 2;
+    addiT.targets = {{Slot::Left, 3}};
+    TInst addiF;
+    addiF.op = Op::Addi;
+    addiF.pr = PredMode::OnFalse;
+    addiF.imm = 3;
+    addiF.targets = {{Slot::Left, 3}};
+    TInst slli;
+    slli.op = Op::Shli;
+    slli.imm = 1;
+    slli.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {teq, addiT, addiF, slli, bro};
+    block.writes.push_back({5});
+
+    std::vector<uint32_t> words = encodeBlock(block);
+    TBlock back = decodeBlock(words);
+    EXPECT_EQ(back.insts.size(), block.insts.size());
+    EXPECT_EQ(back.insts[0].op, Op::Teq);
+    EXPECT_EQ(back.insts[0].targets, block.insts[0].targets);
+    EXPECT_EQ(back.insts[1].pr, PredMode::OnTrue);
+    EXPECT_EQ(back.insts[1].imm, 2);
+    EXPECT_EQ(back.insts[2].pr, PredMode::OnFalse);
+    EXPECT_EQ(back.insts[4].imm, kHaltTarget);
+    EXPECT_EQ(back.reads[1].targets, block.reads[1].targets);
+    EXPECT_EQ(back.writes[0].reg, 5);
+}
+
+TEST(Encode, InstructionWordIs32Bits)
+{
+    TInst addi;
+    addi.op = Op::Addi;
+    addi.imm = -200;
+    addi.targets = {{Slot::Right, 77}};
+    auto words = encodeInst(addi);
+    ASSERT_EQ(words.size(), 1u);
+}
+
+TEST(Encode, Mov4TakesTwoWords)
+{
+    TInst mov4;
+    mov4.op = Op::Mov4;
+    mov4.targets = {{Slot::Left, 1},
+                    {Slot::Right, 2},
+                    {Slot::Pred, 3},
+                    {Slot::Left, 4}};
+    auto words = encodeInst(mov4);
+    ASSERT_EQ(words.size(), 2u);
+}
+
+TEST(Encode, ImmediateRangeEnforced)
+{
+    TInst addi;
+    addi.op = Op::Addi;
+    addi.imm = 1 << 10; // does not fit 9 signed bits
+    EXPECT_THROW(encodeInst(addi), PanicError);
+    TInst movi;
+    movi.op = Op::Movi;
+    movi.imm = 8191;
+    EXPECT_NO_THROW(encodeInst(movi));
+    movi.imm = 8192;
+    EXPECT_THROW(encodeInst(movi), PanicError);
+}
+
+TEST(Encode, RandomBlockRoundTrip)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        TBlock block;
+        block.label = "rand";
+        int n = 1 + static_cast<int>(rng.nextBelow(60));
+        for (int i = 0; i < n; ++i) {
+            TInst inst;
+            Op candidates[] = {Op::Add,  Op::Sub,  Op::Mov, Op::Movi,
+                               Op::Addi, Op::Teq,  Op::Ld,  Op::St,
+                               Op::Null, Op::Tgti, Op::Xor};
+            inst.op = candidates[rng.nextBelow(11)];
+            if (opInfo(inst.op).hasImm || inst.op == Op::Movi)
+                inst.imm = static_cast<int32_t>(rng.nextRange(-250, 250));
+            if (inst.op == Op::Ld || inst.op == Op::St)
+                inst.lsid = static_cast<uint8_t>(rng.nextBelow(32));
+            if (rng.nextBelow(3) == 0) {
+                inst.pr = rng.nextBelow(2) ? PredMode::OnTrue
+                                           : PredMode::OnFalse;
+            }
+            int maxT = inst.maxTargets();
+            int numT = static_cast<int>(rng.nextBelow(maxT + 1));
+            for (int t = 0; t < numT; ++t) {
+                inst.targets.push_back(
+                    {static_cast<Slot>(rng.nextBelow(3)),
+                     static_cast<uint8_t>(rng.nextBelow(n))});
+            }
+            if (inst.op == Op::St)
+                block.storeMask |= 1u << inst.lsid;
+            block.insts.push_back(std::move(inst));
+        }
+        TInst bro;
+        bro.op = Op::Bro;
+        bro.imm = static_cast<int32_t>(rng.nextRange(-1, 1000));
+        block.insts.push_back(bro);
+
+        auto words = encodeBlock(block);
+        TBlock back = decodeBlock(words);
+        ASSERT_EQ(back.insts.size(), block.insts.size());
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            EXPECT_EQ(back.insts[i].op, block.insts[i].op);
+            EXPECT_EQ(back.insts[i].pr, block.insts[i].pr);
+            EXPECT_EQ(back.insts[i].imm, block.insts[i].imm);
+            EXPECT_EQ(back.insts[i].targets, block.insts[i].targets);
+            if (block.insts[i].op == Op::Ld ||
+                block.insts[i].op == Op::St) {
+                EXPECT_EQ(back.insts[i].lsid, block.insts[i].lsid);
+            }
+        }
+        EXPECT_EQ(back.storeMask, block.storeMask);
+    }
+}
+
+TEST(Encode, PlacementRoundTrip)
+{
+    TBlock block;
+    block.label = "placed";
+    for (int i = 0; i < 9; ++i) {
+        TInst movi;
+        movi.op = Op::Movi;
+        movi.imm = i;
+        block.insts.push_back(movi);
+    }
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts.push_back(bro);
+    for (size_t i = 0; i < block.insts.size(); ++i)
+        block.placement.push_back(static_cast<uint8_t>(i % 16));
+    TBlock back = decodeBlock(encodeBlock(block));
+    EXPECT_EQ(back.placement, block.placement);
+}
+
+TEST(Encode, SizeBytesCountsMov4Twice)
+{
+    TBlock block;
+    TInst mov4;
+    mov4.op = Op::Mov4;
+    block.insts.push_back(mov4);
+    TInst mov;
+    mov.op = Op::Mov;
+    block.insts.push_back(mov);
+    EXPECT_EQ(block.sizeBytes(), (4 + 2 + 1) * 4);
+}
+
+} // namespace
+} // namespace dfp::isa

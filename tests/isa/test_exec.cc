@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include "isa/exec.h"
+#include "isa/validate.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+/** Hand-build the paper's Figure 2 block:
+ *  teq i, j -> two addi of opposite polarity -> slli -> write b*2. */
+TBlock
+figure2Block()
+{
+    TBlock block;
+    block.label = "fig2";
+    // reads: g3 = i (left/right of teq), g4 = a (left of both addi).
+    block.reads.push_back({3, {{Slot::Left, 0}, {Slot::Right, 0}}});
+    // g3 carries i; j comes via g5 to keep the example small? No —
+    // follow the paper: teq i, j with two distinct registers.
+    block.reads[0].targets = {{Slot::Left, 0}};
+    block.reads.push_back({5, {{Slot::Right, 0}}});
+    block.reads.push_back({4, {{Slot::Left, 1}, {Slot::Left, 2}}});
+
+    TInst teq;
+    teq.op = Op::Teq;
+    teq.targets = {{Slot::Pred, 1}, {Slot::Pred, 2}};
+    TInst addiT;
+    addiT.op = Op::Addi;
+    addiT.pr = PredMode::OnTrue;
+    addiT.imm = 2;
+    addiT.targets = {{Slot::Left, 3}};
+    TInst addiF;
+    addiF.op = Op::Addi;
+    addiF.pr = PredMode::OnFalse;
+    addiF.imm = 3;
+    addiF.targets = {{Slot::Left, 3}};
+    TInst slli;
+    slli.op = Op::Shli;
+    slli.imm = 1;
+    slli.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {teq, addiT, addiF, slli, bro};
+    block.writes.push_back({6}); // c = b * 2 into g6
+    return block;
+}
+
+TEST(Exec, Figure2TakesTruePath)
+{
+    TBlock block = figure2Block();
+    EXPECT_TRUE(validateBlock(block).ok()) <<
+        validateBlock(block).joined();
+    ArchState state;
+    state.regs[3] = 7;
+    state.regs[5] = 7;
+    state.regs[4] = 10;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.regs[6], (10u + 2u) << 1);
+    EXPECT_EQ(out.nextBlock, kHaltTarget);
+}
+
+TEST(Exec, Figure2TakesFalsePath)
+{
+    TBlock block = figure2Block();
+    ArchState state;
+    state.regs[3] = 7;
+    state.regs[5] = 8;
+    state.regs[4] = 10;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.regs[6], (10u + 3u) << 1);
+}
+
+TEST(Exec, NullTokenSatisfiesWriteWithoutChange)
+{
+    TBlock block;
+    block.label = "nullwrite";
+    TInst null;
+    null.op = Op::Null;
+    null.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {null, bro};
+    block.writes.push_back({2});
+    ArchState state;
+    state.regs[2] = 1234;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.regs[2], 1234u); // unchanged (§4.2)
+}
+
+TEST(Exec, NullTokenNullifiesPredicatedStore)
+{
+    // st fires only on p-true; null resolves the LSID on p-false.
+    TBlock block;
+    block.label = "nullstore";
+    block.reads.push_back({1, {{Slot::Left, 0}}});
+    TInst test; // tgti g1 > 0
+    test.op = Op::Tgti;
+    test.imm = 0;
+    test.targets = {{Slot::Pred, 1}, {Slot::Pred, 4}};
+    TInst addr;
+    addr.op = Op::Movi;
+    addr.pr = PredMode::OnTrue;
+    addr.imm = 64;
+    addr.targets = {{Slot::Left, 3}};
+    TInst val;
+    val.op = Op::Movi;
+    val.imm = 99;
+    val.targets = {{Slot::Right, 3}};
+    TInst st;
+    st.op = Op::St;
+    st.lsid = 0;
+    TInst null;
+    null.op = Op::Null;
+    null.pr = PredMode::OnFalse;
+    null.targets = {{Slot::Left, 3}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {test, addr, val, st, null, bro};
+    block.storeMask = 1;
+
+    ArchState state;
+    state.regs[1] = 5; // true path: store happens
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.mem.load(64), 99u);
+
+    ArchState state2;
+    state2.regs[1] = 0; // false path: store nullified
+    out = executeBlock(block, state2);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state2.mem.load(64), 0u);
+}
+
+TEST(Exec, PredicateOrFiresOnOneMatch)
+{
+    // Two tests target one bro's predicate; only one matches (§3.5).
+    TBlock block;
+    block.label = "predor";
+    block.reads.push_back({1, {{Slot::Left, 0}, {Slot::Left, 1}}});
+    TInst t1; // g1 > 10
+    t1.op = Op::Tgti;
+    t1.imm = 10;
+    t1.targets = {{Slot::Pred, 2}};
+    TInst t2; // g1 < 5  (disjoint with t1)
+    t2.op = Op::Tlti;
+    t2.imm = 5;
+    t2.targets = {{Slot::Pred, 2}};
+    TInst broOut; // fires when either test is true
+    broOut.op = Op::Bro;
+    broOut.pr = PredMode::OnTrue;
+    broOut.imm = kHaltTarget;
+    // Complementary exit: both tests false -> g1 in [5,10].
+    TInst t3;
+    t3.op = Op::Tgti;
+    t3.imm = 10;
+    // A second bro on false of t1 alone would double-fire; instead use
+    // a single test chain: predicated test (AND chain, §3.4).
+    t3.pr = PredMode::OnFalse;
+    t3.targets = {{Slot::Pred, 4}};
+    // route t2's result also into t3's predicate? t3 must fire only
+    // when t1 false; feed t1 -> t3 pred.
+    block.insts = {t1, t2, broOut, t3};
+    block.insts[0].targets.push_back({Slot::Pred, 3});
+    TInst broMid;
+    broMid.op = Op::Bro;
+    broMid.pr = PredMode::OnFalse;
+    broMid.imm = kHaltTarget;
+    block.insts.push_back(broMid); // index 4
+    // t3 computes g1 > 10 under t1-false... that is always false; its
+    // false output fires broMid. But t2-true already fired broOut when
+    // g1 < 5: that would be two branches. Rework: make broOut fire only
+    // on t1-true, and chain t2 under t1-false.
+    block.insts[0].targets = {{Slot::Pred, 2}, {Slot::Pred, 1}};
+    block.insts[1].pr = PredMode::OnFalse;          // t2 under t1-false
+    block.insts[1].targets = {{Slot::Pred, 2}, {Slot::Pred, 3}};
+    block.insts[3] = block.insts[4];                // drop t3
+    block.insts.pop_back();
+    block.insts[3].pr = PredMode::OnFalse;          // broMid on t2 false
+    // Now: broOut (index 2) has two predicate producers t1 and t2 (the
+    // predicate-OR) and fires when g1 > 10 (t1 true) or g1 < 5 (t1
+    // false, then t2 true). broMid fires when both are false.
+    block.reads[0].targets = {{Slot::Left, 0}, {Slot::Left, 1}};
+
+    auto run = [&](uint64_t g1) {
+        ArchState state;
+        state.regs[1] = g1;
+        return executeBlock(block, state);
+    };
+    EXPECT_TRUE(run(20).ok) << run(20).error; // t1 matches
+    EXPECT_TRUE(run(2).ok) << run(2).error;   // t2 matches
+    EXPECT_TRUE(run(7).ok) << run(7).error;   // neither: broMid
+}
+
+TEST(Exec, DeadlockDetected)
+{
+    TBlock block;
+    block.label = "hang";
+    TInst add; // operands never arrive
+    add.op = Op::Add;
+    add.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {add, bro};
+    block.writes.push_back({1});
+    ArchState state;
+    BlockOutcome out = executeBlock(block, state);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("without completing"), std::string::npos);
+}
+
+TEST(Exec, TwoBranchesIsMalformed)
+{
+    TBlock block;
+    block.label = "twobro";
+    TInst bro1, bro2;
+    bro1.op = Op::Bro;
+    bro1.imm = kHaltTarget;
+    bro2 = bro1;
+    block.insts = {bro1, bro2};
+    ArchState state;
+    BlockOutcome out = executeBlock(block, state);
+    EXPECT_FALSE(out.ok);
+    EXPECT_NE(out.error.find("two branches"), std::string::npos);
+}
+
+TEST(Exec, ExceptionBitRaisesAtCommit)
+{
+    TBlock block;
+    block.label = "divzero";
+    TInst num;
+    num.op = Op::Movi;
+    num.imm = 9;
+    num.targets = {{Slot::Left, 2}};
+    TInst den;
+    den.op = Op::Movi;
+    den.imm = 0;
+    den.targets = {{Slot::Right, 2}};
+    TInst div;
+    div.op = Op::Div;
+    div.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {num, den, div, bro};
+    block.writes.push_back({1});
+    ArchState state;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok);
+    EXPECT_TRUE(out.raisedException);
+}
+
+TEST(Exec, MispredicatedExceptionFiltered)
+{
+    // The faulting div's poisoned result feeds a predicated mov that
+    // never fires; the block's real output is clean (§4.4).
+    TBlock block;
+    block.label = "filtered";
+    block.reads.push_back({1, {{Slot::Left, 0}}});
+    TInst test; // g1 > 0 -> true with our input
+    test.op = Op::Tgti;
+    test.imm = 0;
+    test.targets = {{Slot::Pred, 4}, {Slot::Pred, 5}};
+    TInst num;
+    num.op = Op::Movi;
+    num.imm = 9;
+    num.targets = {{Slot::Left, 3}};
+    TInst den;
+    den.op = Op::Movi;
+    den.imm = 0;
+    den.targets = {{Slot::Right, 3}};
+    TInst div;
+    div.op = Op::Div;
+    div.targets = {{Slot::Left, 4}};
+    TInst movBad; // on false: would expose the poisoned value
+    movBad.op = Op::Mov;
+    movBad.pr = PredMode::OnFalse;
+    movBad.targets = {{Slot::WriteQ, 0}};
+    TInst movGood; // on true: writes a clean 1
+    movGood.op = Op::Movi;
+    movGood.pr = PredMode::OnTrue;
+    movGood.imm = 1;
+    movGood.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {test, num, den, div, movBad, movGood, bro};
+    block.writes.push_back({2});
+
+    ArchState state;
+    state.regs[1] = 3;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_FALSE(out.raisedException);
+    EXPECT_EQ(state.regs[2], 1u);
+}
+
+TEST(Exec, GateAndSwitchSemantics)
+{
+    // Figure 1: T-gate passes on true control; switch routes.
+    TBlock block;
+    block.label = "gates";
+    block.reads.push_back({1, {{Slot::Left, 0}, {Slot::Left, 2}}});
+    block.reads.push_back({2, {{Slot::Right, 0}, {Slot::Right, 2}}});
+    TInst gateT; // ctl = g1, data = g2
+    gateT.op = Op::GateT;
+    gateT.targets = {{Slot::WriteQ, 0}};
+    TInst nullW; // backup producer so write 0 resolves on false ctl
+    nullW.op = Op::Null;
+    // Route through switch for write1 so both cases produce it:
+    TInst sw;
+    sw.op = Op::Switch;
+    sw.targets = {{Slot::WriteQ, 1}, {Slot::WriteQ, 1}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    // With ctl true, gate passes -> write0 = data; null not needed.
+    block.insts = {gateT, nullW, sw, bro};
+    block.writes.push_back({3});
+    block.writes.push_back({4});
+    // Wire the null only when ctl is false: predicated on read? For the
+    // test keep ctl true so gate fires.
+    block.insts[1].targets = {}; // inert
+
+    ArchState state;
+    state.regs[1] = 1;
+    state.regs[2] = 77;
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.regs[3], 77u);
+    EXPECT_EQ(state.regs[4], 77u);
+}
+
+TEST(Exec, ProgramLoopRunsToHalt)
+{
+    // Block 0: g1 += 1; loop to self while g1 < 5 else halt.
+    TBlock block;
+    block.label = "loop";
+    block.reads.push_back({1, {{Slot::Left, 0}}});
+    TInst addi;
+    addi.op = Op::Addi;
+    addi.imm = 1;
+    addi.targets = {{Slot::WriteQ, 0}, {Slot::Left, 1}};
+    TInst test;
+    test.op = Op::Tlti;
+    test.imm = 5;
+    test.targets = {{Slot::Pred, 2}, {Slot::Pred, 3}};
+    TInst broLoop;
+    broLoop.op = Op::Bro;
+    broLoop.pr = PredMode::OnTrue;
+    broLoop.imm = 0;
+    TInst broExit;
+    broExit.op = Op::Bro;
+    broExit.pr = PredMode::OnFalse;
+    broExit.imm = kHaltTarget;
+    block.insts = {addi, test, broLoop, broExit};
+    block.writes.push_back({1});
+
+    TProgram program;
+    program.blocks.push_back(block);
+    ArchState state;
+    RunOutcome out = runProgram(program, state);
+    ASSERT_TRUE(out.halted) << out.error;
+    EXPECT_EQ(state.regs[1], 5u);
+    EXPECT_EQ(out.blocksExecuted, 5u);
+}
+
+TEST(Exec, StoreLoadForwardingWithinBlock)
+{
+    // st [64] = 5 (lsid 0); ld [64] (lsid 1) must see it.
+    TBlock block;
+    block.label = "fwd";
+    TInst addr;
+    addr.op = Op::Movi;
+    addr.imm = 64;
+    addr.targets = {{Slot::Left, 2}};
+    TInst addr2;
+    addr2.op = Op::Movi;
+    addr2.imm = 64;
+    addr2.targets = {{Slot::Left, 3}};
+    TInst val;
+    val.op = Op::Movi;
+    val.imm = 5;
+    val.targets = {{Slot::Right, 2}};
+    TInst st;
+    st.op = Op::St;
+    st.lsid = 0;
+    TInst ld;
+    ld.op = Op::Ld;
+    ld.lsid = 1;
+    ld.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {addr, addr2, val, st, ld, bro};
+    // Fix target indices: addr->st(2)? st is at index 3, ld at 4.
+    block.insts[0].targets = {{Slot::Left, 3}};
+    block.insts[1].targets = {{Slot::Left, 4}};
+    block.insts[2].targets = {{Slot::Right, 3}};
+    block.storeMask = 1;
+    block.writes.push_back({1});
+
+    ArchState state;
+    state.mem.store(64, 111);
+    BlockOutcome out = executeBlock(block, state);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(state.regs[1], 5u);
+    EXPECT_EQ(state.mem.load(64), 5u);
+}
+
+} // namespace
+} // namespace dfp::isa

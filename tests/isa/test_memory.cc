@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "isa/memory.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+TEST(Memory, UnwrittenReadsZero)
+{
+    Memory mem;
+    EXPECT_EQ(mem.load(0), 0u);
+    EXPECT_EQ(mem.load(0x123450), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+}
+
+TEST(Memory, StoreLoadRoundTrip)
+{
+    Memory mem;
+    mem.store(0x1000, 42);
+    mem.store(0xffff8, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(mem.load(0x1000), 42u);
+    EXPECT_EQ(mem.load(0xffff8), 0xdeadbeefcafef00dull);
+}
+
+TEST(Memory, MisalignedAccessPanics)
+{
+    Memory mem;
+    EXPECT_THROW(mem.load(3), PanicError);
+    EXPECT_THROW(mem.store(9, 1), PanicError);
+}
+
+TEST(Memory, ChecksumDetectsDifferences)
+{
+    Memory a, b;
+    a.store(0x80, 1);
+    b.store(0x80, 1);
+    EXPECT_EQ(a.checksum(), b.checksum());
+    EXPECT_TRUE(a == b);
+    b.store(0x88, 5);
+    EXPECT_NE(a.checksum(), b.checksum());
+    // Same value at a different address also differs.
+    Memory c;
+    c.store(0x90, 1);
+    EXPECT_NE(a.checksum(), c.checksum());
+}
+
+TEST(Memory, ChecksumIgnoresZeroStores)
+{
+    Memory a, b;
+    a.store(0x100, 7);
+    b.store(0x100, 7);
+    b.store(0x40000, 0); // writing zero == untouched for the checksum
+    EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+} // namespace
+} // namespace dfp::isa

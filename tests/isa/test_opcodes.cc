@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "isa/opcodes.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+TEST(Opcodes, NameRoundTrip)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); ++i) {
+        Op op = static_cast<Op>(i);
+        EXPECT_EQ(opFromName(opName(op)), op) << opName(op);
+    }
+    EXPECT_EQ(opFromName("nosuchop"), Op::NumOps);
+}
+
+TEST(Opcodes, TestOpsClassified)
+{
+    EXPECT_TRUE(isTestOp(Op::Teq));
+    EXPECT_TRUE(isTestOp(Op::Tgti));
+    EXPECT_TRUE(isTestOp(Op::Fgt));
+    EXPECT_FALSE(isTestOp(Op::Add));
+    EXPECT_FALSE(isTestOp(Op::Mov));
+}
+
+TEST(Opcodes, InvertedTestsAreInvolutions)
+{
+    Op tests[] = {Op::Teq, Op::Tne, Op::Tlt, Op::Tle, Op::Tgt, Op::Tge,
+                  Op::Teqi, Op::Tnei, Op::Tlti, Op::Tlei, Op::Tgti,
+                  Op::Tgei};
+    for (Op op : tests) {
+        Op inv = invertedTest(op);
+        ASSERT_NE(inv, Op::NumOps);
+        EXPECT_EQ(invertedTest(inv), op) << opName(op);
+    }
+}
+
+TEST(Opcodes, SwappedTestsAreInvolutions)
+{
+    Op tests[] = {Op::Teq, Op::Tne, Op::Tlt, Op::Tle, Op::Tgt, Op::Tge};
+    for (Op op : tests)
+        EXPECT_EQ(swappedTest(swappedTest(op)), op) << opName(op);
+}
+
+TEST(Opcodes, ImmediateFormsMatchArity)
+{
+    EXPECT_EQ(immediateForm(Op::Add), Op::Addi);
+    EXPECT_EQ(immediateForm(Op::Tgt), Op::Tgti);
+    EXPECT_EQ(immediateForm(Op::Fadd), Op::NumOps);
+    for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); ++i) {
+        Op op = static_cast<Op>(i);
+        Op imm = immediateForm(op);
+        if (imm == Op::NumOps)
+            continue;
+        EXPECT_EQ(opInfo(imm).numSrcs + 1, opInfo(op).numSrcs);
+        EXPECT_TRUE(opInfo(imm).hasImm);
+    }
+}
+
+TEST(Opcodes, PseudoOpsFlagged)
+{
+    EXPECT_TRUE(isPseudoOp(Op::Phi));
+    EXPECT_TRUE(isPseudoOp(Op::Br));
+    EXPECT_TRUE(isPseudoOp(Op::Jmp));
+    EXPECT_TRUE(isPseudoOp(Op::Ret));
+    EXPECT_FALSE(isPseudoOp(Op::Bro));
+}
+
+TEST(Opcodes, CommutativityIsSemantic)
+{
+    EXPECT_TRUE(isCommutative(Op::Add));
+    EXPECT_TRUE(isCommutative(Op::Xor));
+    EXPECT_FALSE(isCommutative(Op::Sub));
+    EXPECT_FALSE(isCommutative(Op::Shl));
+}
+
+} // namespace
+} // namespace dfp::isa

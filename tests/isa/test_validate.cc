@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "isa/validate.h"
+
+namespace dfp::isa
+{
+namespace
+{
+
+/** A minimal well-formed block: movi -> write; bro halt. */
+TBlock
+goodBlock()
+{
+    TBlock block;
+    block.label = "good";
+    TInst movi;
+    movi.op = Op::Movi;
+    movi.imm = 5;
+    movi.targets = {{Slot::WriteQ, 0}};
+    TInst bro;
+    bro.op = Op::Bro;
+    bro.imm = kHaltTarget;
+    block.insts = {movi, bro};
+    block.writes.push_back({1});
+    return block;
+}
+
+TEST(Validate, GoodBlockPasses)
+{
+    EXPECT_TRUE(validateBlock(goodBlock()).ok());
+}
+
+TEST(Validate, MissingBranchFlagged)
+{
+    TBlock block = goodBlock();
+    block.insts.pop_back();
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("no branch"), std::string::npos);
+}
+
+TEST(Validate, TargetOutOfRangeFlagged)
+{
+    TBlock block = goodBlock();
+    block.insts[0].targets = {{Slot::Left, 99}};
+    EXPECT_FALSE(validateBlock(block).ok());
+}
+
+TEST(Validate, WriteSlotOutOfRangeFlagged)
+{
+    TBlock block = goodBlock();
+    block.insts[0].targets = {{Slot::WriteQ, 3}};
+    EXPECT_FALSE(validateBlock(block).ok());
+}
+
+TEST(Validate, PredicatedWithoutProducerFlagged)
+{
+    TBlock block = goodBlock();
+    block.insts[1].pr = PredMode::OnTrue;
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("predicated"), std::string::npos);
+}
+
+TEST(Validate, PredicateToUnpredicatedFlagged)
+{
+    TBlock block = goodBlock();
+    block.insts[0].targets.push_back({Slot::Pred, 1});
+    EXPECT_FALSE(validateBlock(block).ok());
+}
+
+TEST(Validate, MissingOperandProducerFlagged)
+{
+    TBlock block = goodBlock();
+    TInst add;
+    add.op = Op::Add;
+    add.targets = {};
+    block.insts.insert(block.insts.begin(), add);
+    block.insts[1].targets = {{Slot::Left, 0}}; // movi feeds add.left
+    // add.right has no producer; write slot 0 lost its producer too.
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("right operand"), std::string::npos);
+}
+
+TEST(Validate, StoreLsidOutsideMaskFlagged)
+{
+    TBlock block = goodBlock();
+    TInst movAddr;
+    movAddr.op = Op::Movi;
+    movAddr.imm = 8;
+    movAddr.targets = {{Slot::Left, 1}, {Slot::Right, 1}};
+    // movi can carry only one target; use mov-style two via Add trick:
+    // keep it simple — two movis.
+    TInst movVal = movAddr;
+    movAddr.targets = {{Slot::Left, 2}};
+    movVal.targets = {{Slot::Right, 2}};
+    TInst st;
+    st.op = Op::St;
+    st.lsid = 4;
+    block.insts = {movAddr, movVal, st, block.insts[0], block.insts[1]};
+    // Retarget the original movi/write/bro indices.
+    block.insts[3].targets = {{Slot::WriteQ, 0}};
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("not in header mask"), std::string::npos);
+    block.storeMask |= 1u << 4;
+    EXPECT_TRUE(validateBlock(block).ok());
+}
+
+TEST(Validate, DataflowCycleFlagged)
+{
+    TBlock block = goodBlock();
+    TInst a, b;
+    a.op = Op::Mov;
+    b.op = Op::Mov;
+    a.targets = {{Slot::Left, 3}};
+    b.targets = {{Slot::Left, 2}};
+    block.insts.push_back(a); // index 2
+    block.insts.push_back(b); // index 3
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("cycle"), std::string::npos);
+}
+
+TEST(Validate, PseudoOpRejected)
+{
+    TBlock block = goodBlock();
+    TInst phi;
+    phi.op = Op::Phi;
+    block.insts.push_back(phi);
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("pseudo-op"), std::string::npos);
+}
+
+TEST(Validate, ProgramBranchTargetsChecked)
+{
+    TProgram program;
+    program.blocks.push_back(goodBlock());
+    program.blocks[0].insts[1].imm = 7; // no block 7
+    auto res = validateProgram(program);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.joined().find("out of range"), std::string::npos);
+    program.blocks[0].insts[1].imm = 0; // self-loop is fine
+    EXPECT_TRUE(validateProgram(program).ok());
+}
+
+TEST(Validate, TooManyInstructionsFlagged)
+{
+    TBlock block = goodBlock();
+    TInst movi;
+    movi.op = Op::Movi;
+    while (block.insts.size() <= kMaxInsts)
+        block.insts.push_back(movi);
+    EXPECT_FALSE(validateBlock(block).ok());
+}
+
+} // namespace
+} // namespace dfp::isa

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 2, 64);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x108)); // same line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    Cache c(256, 2, 64);
+    // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+    c.access(0x000);
+    c.access(0x080);
+    c.access(0x000); // refresh 0x000; 0x080 is now LRU
+    c.access(0x100); // evicts 0x080
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_FALSE(c.probe(0x080));
+    EXPECT_TRUE(c.probe(0x100));
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c(256, 2, 64);
+    c.access(0x000); // set 0
+    c.access(0x040); // set 1
+    EXPECT_TRUE(c.probe(0x000));
+    EXPECT_TRUE(c.probe(0x040));
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(1024, 2, 64);
+    c.access(0x40);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, PaperL1Geometry)
+{
+    // 32KB 2-way 64B: 256 sets; fill one way fully without eviction.
+    Cache c(32 * 1024, 2, 64);
+    for (uint64_t a = 0; a < 32 * 1024 / 2; a += 64)
+        EXPECT_FALSE(c.access(a));
+    for (uint64_t a = 0; a < 32 * 1024 / 2; a += 64)
+        EXPECT_TRUE(c.access(a));
+}
+
+} // namespace
+} // namespace dfp::sim

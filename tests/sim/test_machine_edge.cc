@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Machine edge cases: mov4 multicast execution, fetch-width
+ * monotonicity, dependence-predictor learning, exception delivery,
+ * cycle limits, and placement maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+using compiler::compileSource;
+using compiler::configNamed;
+
+TEST(MachineEdge, Mov4MulticastExecutes)
+{
+    // One producer fans a value to four adders through a mov4.
+    isa::TBlock block;
+    block.label = "mc";
+    isa::TInst src;
+    src.op = isa::Op::Movi;
+    src.imm = 5;
+    src.targets = {{isa::Slot::Left, 1}};
+    isa::TInst mov4;
+    mov4.op = isa::Op::Mov4;
+    mov4.targets = {{isa::Slot::Left, 2},
+                    {isa::Slot::Left, 3},
+                    {isa::Slot::Left, 4},
+                    {isa::Slot::Right, 4}};
+    isa::TInst a1;
+    a1.op = isa::Op::Addi;
+    a1.imm = 1;
+    a1.targets = {{isa::Slot::Left, 5}};
+    isa::TInst a2;
+    a2.op = isa::Op::Addi;
+    a2.imm = 2;
+    a2.targets = {{isa::Slot::Right, 5}};
+    isa::TInst sum0;
+    sum0.op = isa::Op::Add; // 5 + 5
+    sum0.targets = {{isa::Slot::Left, 6}};
+    isa::TInst sum1;
+    sum1.op = isa::Op::Add; // (5+1) + (5+2)
+    sum1.targets = {{isa::Slot::Right, 6}};
+    isa::TInst total;
+    total.op = isa::Op::Add;
+    total.targets = {{isa::Slot::WriteQ, 0}};
+    isa::TInst bro;
+    bro.op = isa::Op::Bro;
+    bro.imm = isa::kHaltTarget;
+    block.insts = {src, mov4, a1, a2, sum0, sum1, total, bro};
+    block.writes.push_back({1});
+
+    isa::TProgram program;
+    program.blocks.push_back(block);
+
+    isa::ArchState fstate;
+    auto fout = isa::runProgram(program, fstate);
+    ASSERT_TRUE(fout.halted) << fout.error;
+    EXPECT_EQ(fstate.regs[1], 23u); // (5+5) + (6+7)
+
+    isa::ArchState state;
+    SimResult res = simulate(program, state);
+    ASSERT_TRUE(res.halted) << res.error;
+    EXPECT_EQ(state.regs[1], 23u);
+}
+
+TEST(MachineEdge, NarrowerFetchIsNotFaster)
+{
+    const workloads::Workload *w = workloads::findWorkload("canrdr01");
+    auto program = compileSource(w->source, configNamed("both")).program;
+    uint64_t prev = 0;
+    for (int width : {64, 16, 4, 1}) {
+        SimConfig cfg;
+        cfg.fetchWidth = width;
+        isa::ArchState state;
+        state.mem = workloads::initialMemory(*w);
+        SimResult res = simulate(program, state, cfg);
+        ASSERT_TRUE(res.halted) << res.error;
+        if (prev) {
+            EXPECT_GE(res.cycles, prev) << "width " << width;
+        }
+        prev = res.cycles;
+    }
+}
+
+TEST(MachineEdge, DependencePredictorLearnsFromViolations)
+{
+    // A kernel with a guaranteed store->load alias in consecutive
+    // blocks: st A[i]; ld A[i] of the previous iteration's address.
+    const char *src = R"(func alias {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    p = add 4096, off
+    v = add i, 100
+    st p, v
+    u = ld p
+    acc = add acc, u
+    i = add i, 1
+    c = tlt i, 64
+    br c, loop, done
+block done:
+    ret acc
+})";
+    auto program = compileSource(src, configNamed("both")).program;
+    isa::ArchState state;
+    SimResult res = simulate(program, state);
+    ASSERT_TRUE(res.halted) << res.error;
+    // Correct result despite speculation.
+    uint64_t expect = 0;
+    for (int i = 0; i < 64; ++i)
+        expect += i + 100;
+    EXPECT_EQ(state.regs[compiler::kRetArchReg], expect);
+    // Violations happen at most a handful of times before the block
+    // turns conservative.
+    EXPECT_LE(res.loadViolations, 8u);
+}
+
+TEST(MachineEdge, CycleLimitReportsError)
+{
+    const workloads::Workload *w = workloads::findWorkload("matrix01");
+    auto program = compileSource(w->source, configNamed("hyper")).program;
+    SimConfig cfg;
+    cfg.maxCycles = 500;
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(*w);
+    SimResult res = simulate(program, state, cfg);
+    EXPECT_FALSE(res.halted);
+    EXPECT_NE(res.error.find("cycle limit"), std::string::npos);
+}
+
+TEST(MachineEdge, ExceptionReachingOutputHaltsWithError)
+{
+    const char *src = R"(func oops {
+block entry:
+    a = ld 64
+    b = div 100, a
+    ret b
+})";
+    auto program = compileSource(src, configNamed("hyper")).program;
+    isa::ArchState state; // memory zero: divide by zero
+    SimResult res = simulate(program, state);
+    EXPECT_FALSE(res.halted);
+    EXPECT_TRUE(res.raisedException);
+    EXPECT_NE(res.error.find("exception"), std::string::npos);
+}
+
+TEST(MachineEdge, PlacementMapRespected)
+{
+    // A program with an explicit placement map simulates correctly and
+    // differs in cycle count from the round-robin default (placement
+    // changes network distances).
+    const workloads::Workload *w = workloads::findWorkload("autcor00");
+    compiler::CompileOptions opts = configNamed("both");
+    opts.schedule = false;
+    auto res = compileSource(w->source, opts);
+
+    isa::ArchState s1;
+    s1.mem = workloads::initialMemory(*w);
+    SimResult noPlace = simulate(res.program, s1);
+
+    // All instructions on tile 0: worst-case serialization.
+    for (isa::TBlock &block : res.program.blocks)
+        block.placement.assign(block.insts.size(), 0);
+    isa::ArchState s2;
+    s2.mem = workloads::initialMemory(*w);
+    SimResult onOne = simulate(res.program, s2);
+    ASSERT_TRUE(noPlace.halted && onOne.halted)
+        << noPlace.error << onOne.error;
+    EXPECT_EQ(s1.regs[compiler::kRetArchReg],
+              s2.regs[compiler::kRetArchReg]);
+    EXPECT_GT(onOne.cycles, noPlace.cycles);
+}
+
+TEST(MachineEdge, PredictorAccuracyReported)
+{
+    const workloads::Workload *w = workloads::findWorkload("aifirf01");
+    auto program = compileSource(w->source, configNamed("both")).program;
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(*w);
+    SimResult res = simulate(program, state);
+    ASSERT_TRUE(res.halted);
+    // A steady inner loop should predict nearly perfectly.
+    EXPECT_LT(res.mispredicts, res.blocksCommitted / 10);
+}
+
+} // namespace
+} // namespace dfp::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+TEST(Network, LocalBypassIsFree)
+{
+    OperandNetwork net(Grid{}, true);
+    EXPECT_EQ(net.deliver(5, 5, 100), 100u);
+    EXPECT_EQ(net.totalHops(), 0u);
+}
+
+TEST(Network, OneCyclePerHopManhattan)
+{
+    OperandNetwork net(Grid{}, false);
+    // Tile 0 (0,0) to tile 15 (3,3): 6 hops on a 4x4 grid.
+    EXPECT_EQ(net.deliver(0, 15, 10), 16u);
+    EXPECT_EQ(net.totalHops(), 6u);
+    // Adjacent tiles: 1 hop.
+    EXPECT_EQ(net.deliver(0, 1, 0), 1u);
+}
+
+TEST(Network, ContentionSerializesSharedLink)
+{
+    OperandNetwork net(Grid{}, true);
+    // Two messages over the same link at the same cycle: the second
+    // waits one cycle.
+    uint64_t a = net.deliver(0, 1, 10);
+    uint64_t b = net.deliver(0, 1, 10);
+    EXPECT_EQ(a, 11u);
+    EXPECT_EQ(b, 12u);
+    EXPECT_EQ(net.contentionStalls(), 1u);
+}
+
+TEST(Network, NoContentionWhenDisabled)
+{
+    OperandNetwork net(Grid{}, false);
+    EXPECT_EQ(net.deliver(0, 1, 10), 11u);
+    EXPECT_EQ(net.deliver(0, 1, 10), 11u);
+    EXPECT_EQ(net.contentionStalls(), 0u);
+}
+
+TEST(Network, RegisterTileDistanceDependsOnRowAndColumn)
+{
+    OperandNetwork net(Grid{}, false);
+    // Reg 0 is served by column 0's register tile above row 0.
+    // From tile (0,0): 1 hop into the RT node.
+    uint64_t t = net.deliverToReg(0, 0, 0);
+    EXPECT_EQ(t, 1u);
+    // From tile (3,0) (tile 12): 3 hops up + 1 into RT = 4.
+    EXPECT_EQ(net.deliverToReg(12, 0, 0), 4u);
+    // Reads mirror writes.
+    EXPECT_EQ(net.deliverFromReg(0, 12, 0), 4u);
+}
+
+TEST(Network, BankDistanceDependsOnColumn)
+{
+    OperandNetwork net(Grid{}, false);
+    // Bank row 0 sits left of column 0: from tile (0,3) it is 3 hops
+    // across + 1 into the DT.
+    EXPECT_EQ(net.deliverToBank(3, 0, 0), 4u);
+    EXPECT_EQ(net.deliverFromBank(0, 3, 0), 4u);
+}
+
+TEST(Network, GridHelpers)
+{
+    Grid g;
+    EXPECT_EQ(g.tiles(), 16);
+    EXPECT_EQ(g.rowOf(13), 3);
+    EXPECT_EQ(g.colOf(13), 1);
+    EXPECT_EQ(g.regCol(5), 1);
+    EXPECT_EQ(g.bankRow(0x40, 64), 1);
+    EXPECT_EQ(g.bankRow(0x100, 64), 0);
+}
+
+TEST(Network, ResetClearsState)
+{
+    OperandNetwork net(Grid{}, true);
+    net.deliver(0, 3, 0);
+    net.reset();
+    EXPECT_EQ(net.totalHops(), 0u);
+    EXPECT_EQ(net.contentionStalls(), 0u);
+}
+
+} // namespace
+} // namespace dfp::sim

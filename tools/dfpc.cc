@@ -1,0 +1,241 @@
+/**
+ * @file
+ * dfpc — the dfp command-line driver. Compiles a kernel written in the
+ * dfp textual IR and, depending on flags, dumps the hyperblock-form
+ * IR, disassembles/encodes the target blocks, runs the functional
+ * executor, or simulates on the cycle-level machine.
+ *
+ *   dfpc [options] <kernel.ir>
+ *     -c <config>     bb|hyper|intra|inter|both|merge   (default both)
+ *     -u <factor>     loop unroll factor                (default 1)
+ *     -O0             disable scalar optimizations
+ *     --multicast     use mov4 fanout trees
+ *     --no-schedule   skip spatial scheduling
+ *     --dump-ir       print hyperblock-form IR (paper notation)
+ *     --dump-blocks   print target blocks with targets and LSIDs
+ *     --encode        print the encoded 32-bit words
+ *     --run           run on the functional executor
+ *     --sim           run on the cycle-level machine (default)
+ *     --stats         dump all compiler/simulator counters
+ *     --workload <w>  compile a built-in workload instead of a file
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "ir/printer.h"
+#include "isa/encode.h"
+#include "isa/exec.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+using namespace dfp;
+
+namespace
+{
+
+void
+printBlock(const isa::TBlock &block, int index)
+{
+    std::printf("block %d '%s': %zu insts, %zu reads, %zu writes, "
+                "storeMask=0x%x\n",
+                index, block.label.c_str(), block.insts.size(),
+                block.reads.size(), block.writes.size(),
+                block.storeMask);
+    auto targetStr = [](const isa::Target &t) {
+        const char *slots[] = {"L", "R", "P", "W"};
+        return detail::cat(slots[static_cast<int>(t.slot)],
+                           int(t.index));
+    };
+    for (size_t r = 0; r < block.reads.size(); ++r) {
+        std::printf("  read[%zu] g%d ->", r, int(block.reads[r].reg));
+        for (const isa::Target &t : block.reads[r].targets)
+            std::printf(" %s", targetStr(t).c_str());
+        std::printf("\n");
+    }
+    for (size_t w = 0; w < block.writes.size(); ++w)
+        std::printf("  write[%zu] g%d\n", w, int(block.writes[w].reg));
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        const isa::TInst &inst = block.insts[i];
+        const char *pr = inst.pr == isa::PredMode::OnTrue    ? "_t"
+                         : inst.pr == isa::PredMode::OnFalse ? "_f"
+                                                             : "";
+        std::printf("  %3zu: %s%s", i, isa::opName(inst.op), pr);
+        if (isa::opInfo(inst.op).hasImm || inst.op == isa::Op::Movi)
+            std::printf(" #%d", inst.imm);
+        if (inst.op == isa::Op::Ld || inst.op == isa::Op::St)
+            std::printf(" [lsid %d]", int(inst.lsid));
+        if (!inst.targets.empty()) {
+            std::printf(" ->");
+            for (const isa::Target &t : inst.targets)
+                std::printf(" %s", targetStr(t).c_str());
+        }
+        if (!block.placement.empty())
+            std::printf("   @tile%d", int(block.placement[i]));
+        std::printf("\n");
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: dfpc [-c config] [-u N] [-O0] [--multicast] "
+                 "[--no-schedule]\n"
+                 "            [--dump-ir] [--dump-blocks] [--encode] "
+                 "[--run] [--sim] [--stats]\n"
+                 "            (<kernel.ir> | --workload <name> | "
+                 "--list-workloads)\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config = "both";
+    std::string file;
+    std::string workload;
+    int unroll = 1;
+    bool scalarOpts = true, multicast = false, schedule = true;
+    bool dumpIr = false, dumpBlocks = false, encode = false;
+    bool runFunctional = false, runSim = false, stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                std::exit(usage());
+            return argv[++i];
+        };
+        if (arg == "-c") config = next();
+        else if (arg == "-u") unroll = std::atoi(next());
+        else if (arg == "-O0") scalarOpts = false;
+        else if (arg == "--multicast") multicast = true;
+        else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--dump-ir") dumpIr = true;
+        else if (arg == "--dump-blocks") dumpBlocks = true;
+        else if (arg == "--encode") encode = true;
+        else if (arg == "--run") runFunctional = true;
+        else if (arg == "--sim") runSim = true;
+        else if (arg == "--stats") stats = true;
+        else if (arg == "--workload") workload = next();
+        else if (arg == "--list-workloads") {
+            for (const auto &w : workloads::eembcSuite())
+                std::printf("%s (%s)\n", w.name.c_str(),
+                            w.category.c_str());
+            std::printf("genalg (apps)\n");
+            for (const auto &w : workloads::microSuite())
+                std::printf("%s (micro)\n", w.name.c_str());
+            return 0;
+        } else if (arg[0] != '-') {
+            file = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats)
+        runSim = true;
+    if (file.empty() && workload.empty())
+        return usage();
+
+    try {
+        std::string source;
+        isa::Memory initial;
+        if (!workload.empty()) {
+            const workloads::Workload *w =
+                workloads::findWorkload(workload);
+            if (!w)
+                dfp_fatal("unknown workload '", workload, "'");
+            source = w->source;
+            initial = workloads::initialMemory(*w);
+            if (unroll == 1)
+                unroll = w->unrollFactor;
+        } else {
+            std::ifstream in(file);
+            if (!in)
+                dfp_fatal("cannot open '", file, "'");
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            source = buf.str();
+        }
+
+        compiler::CompileOptions opts = compiler::configNamed(config);
+        opts.unroll.factor = unroll;
+        opts.scalarOpts = scalarOpts;
+        opts.multicast = multicast;
+        opts.schedule = schedule;
+        compiler::CompileResult res =
+            compiler::compileSource(source, opts);
+
+        if (dumpIr)
+            ir::print(std::cout, res.hyperIr);
+        if (dumpBlocks) {
+            for (size_t b = 0; b < res.program.blocks.size(); ++b)
+                printBlock(res.program.blocks[b], static_cast<int>(b));
+        }
+        if (encode) {
+            for (const isa::TBlock &block : res.program.blocks) {
+                auto words = isa::encodeBlock(block);
+                std::printf("block '%s' (%zu words):\n",
+                            block.label.c_str(), words.size());
+                for (size_t i = 0; i < words.size(); ++i) {
+                    std::printf(" %08x", words[i]);
+                    if (i % 8 == 7)
+                        std::printf("\n");
+                }
+                std::printf("\n");
+            }
+        }
+        if (runFunctional) {
+            isa::ArchState state;
+            state.mem = initial;
+            StatSet execStats;
+            auto out = isa::runProgram(res.program, state, 1u << 22,
+                                       &execStats);
+            std::printf("functional: halted=%d result=%llu blocks=%llu"
+                        "%s%s\n",
+                        out.halted,
+                        (unsigned long long)
+                            state.regs[compiler::kRetArchReg],
+                        (unsigned long long)out.blocksExecuted,
+                        out.error.empty() ? "" : " error=",
+                        out.error.c_str());
+            if (stats)
+                execStats.dump(std::cout, "  ");
+        }
+        if (runSim) {
+            isa::ArchState state;
+            state.mem = initial;
+            sim::SimResult out = sim::simulate(res.program, state);
+            std::printf("sim: halted=%d result=%llu cycles=%llu "
+                        "blocks=%llu IPC=%.2f mispredicts=%llu%s%s\n",
+                        out.halted,
+                        (unsigned long long)
+                            state.regs[compiler::kRetArchReg],
+                        (unsigned long long)out.cycles,
+                        (unsigned long long)out.blocksCommitted,
+                        double(out.instsCommitted) /
+                            double(std::max<uint64_t>(1, out.cycles)),
+                        (unsigned long long)out.mispredicts,
+                        out.error.empty() ? "" : " error=",
+                        out.error.c_str());
+            if (stats)
+                out.stats.dump(std::cout, "  ");
+        }
+        if (stats) {
+            std::printf("compiler stats:\n");
+            res.stats.dump(std::cout, "  ");
+        }
+        return 0;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "dfpc: %s\n", err.what());
+        return 1;
+    }
+}
