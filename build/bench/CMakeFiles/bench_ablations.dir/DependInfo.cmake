@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablations.cc" "bench/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o" "gcc" "bench/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dfp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dfp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

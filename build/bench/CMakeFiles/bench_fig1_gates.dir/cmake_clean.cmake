@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gates.dir/bench_fig1_gates.cc.o"
+  "CMakeFiles/bench_fig1_gates.dir/bench_fig1_gates.cc.o.d"
+  "bench_fig1_gates"
+  "bench_fig1_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

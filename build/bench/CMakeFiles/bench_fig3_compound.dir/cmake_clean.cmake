@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_compound.dir/bench_fig3_compound.cc.o"
+  "CMakeFiles/bench_fig3_compound.dir/bench_fig3_compound.cc.o.d"
+  "bench_fig3_compound"
+  "bench_fig3_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_genalg.dir/bench_fig6_genalg.cc.o"
+  "CMakeFiles/bench_fig6_genalg.dir/bench_fig6_genalg.cc.o.d"
+  "bench_fig6_genalg"
+  "bench_fig6_genalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_genalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_dynstats.dir/bench_sec6_dynstats.cc.o"
+  "CMakeFiles/bench_sec6_dynstats.dir/bench_sec6_dynstats.cc.o.d"
+  "bench_sec6_dynstats"
+  "bench_sec6_dynstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_dynstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

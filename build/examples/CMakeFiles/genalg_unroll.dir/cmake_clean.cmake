@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genalg_unroll.dir/genalg_unroll.cpp.o"
+  "CMakeFiles/genalg_unroll.dir/genalg_unroll.cpp.o.d"
+  "genalg_unroll"
+  "genalg_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genalg_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_base.dir/logging.cc.o"
+  "CMakeFiles/dfp_base.dir/logging.cc.o.d"
+  "CMakeFiles/dfp_base.dir/stats.cc.o"
+  "CMakeFiles/dfp_base.dir/stats.cc.o.d"
+  "libdfp_base.a"
+  "libdfp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/pipeline.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/pipeline.cc.o.d"
+  "/root/repo/src/compiler/regalloc.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/regalloc.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/regalloc.cc.o.d"
+  "/root/repo/src/compiler/scalar_opts.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/scalar_opts.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/scalar_opts.cc.o.d"
+  "/root/repo/src/compiler/scheduler.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/scheduler.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/scheduler.cc.o.d"
+  "/root/repo/src/compiler/unroll.cc" "src/compiler/CMakeFiles/dfp_compiler.dir/unroll.cc.o" "gcc" "src/compiler/CMakeFiles/dfp_compiler.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

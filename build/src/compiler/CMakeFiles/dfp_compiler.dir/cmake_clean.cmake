@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_compiler.dir/codegen.cc.o"
+  "CMakeFiles/dfp_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/dfp_compiler.dir/pipeline.cc.o"
+  "CMakeFiles/dfp_compiler.dir/pipeline.cc.o.d"
+  "CMakeFiles/dfp_compiler.dir/regalloc.cc.o"
+  "CMakeFiles/dfp_compiler.dir/regalloc.cc.o.d"
+  "CMakeFiles/dfp_compiler.dir/scalar_opts.cc.o"
+  "CMakeFiles/dfp_compiler.dir/scalar_opts.cc.o.d"
+  "CMakeFiles/dfp_compiler.dir/scheduler.cc.o"
+  "CMakeFiles/dfp_compiler.dir/scheduler.cc.o.d"
+  "CMakeFiles/dfp_compiler.dir/unroll.cc.o"
+  "CMakeFiles/dfp_compiler.dir/unroll.cc.o.d"
+  "libdfp_compiler.a"
+  "libdfp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hb_eval.cc" "src/core/CMakeFiles/dfp_core.dir/hb_eval.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/hb_eval.cc.o.d"
+  "/root/repo/src/core/ifconvert.cc" "src/core/CMakeFiles/dfp_core.dir/ifconvert.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/ifconvert.cc.o.d"
+  "/root/repo/src/core/merging.cc" "src/core/CMakeFiles/dfp_core.dir/merging.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/merging.cc.o.d"
+  "/root/repo/src/core/null_insertion.cc" "src/core/CMakeFiles/dfp_core.dir/null_insertion.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/null_insertion.cc.o.d"
+  "/root/repo/src/core/path_sensitive.cc" "src/core/CMakeFiles/dfp_core.dir/path_sensitive.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/path_sensitive.cc.o.d"
+  "/root/repo/src/core/pfg.cc" "src/core/CMakeFiles/dfp_core.dir/pfg.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/pfg.cc.o.d"
+  "/root/repo/src/core/pred_fanout.cc" "src/core/CMakeFiles/dfp_core.dir/pred_fanout.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/pred_fanout.cc.o.d"
+  "/root/repo/src/core/ssa.cc" "src/core/CMakeFiles/dfp_core.dir/ssa.cc.o" "gcc" "src/core/CMakeFiles/dfp_core.dir/ssa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

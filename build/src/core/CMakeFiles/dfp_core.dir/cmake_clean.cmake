@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_core.dir/hb_eval.cc.o"
+  "CMakeFiles/dfp_core.dir/hb_eval.cc.o.d"
+  "CMakeFiles/dfp_core.dir/ifconvert.cc.o"
+  "CMakeFiles/dfp_core.dir/ifconvert.cc.o.d"
+  "CMakeFiles/dfp_core.dir/merging.cc.o"
+  "CMakeFiles/dfp_core.dir/merging.cc.o.d"
+  "CMakeFiles/dfp_core.dir/null_insertion.cc.o"
+  "CMakeFiles/dfp_core.dir/null_insertion.cc.o.d"
+  "CMakeFiles/dfp_core.dir/path_sensitive.cc.o"
+  "CMakeFiles/dfp_core.dir/path_sensitive.cc.o.d"
+  "CMakeFiles/dfp_core.dir/pfg.cc.o"
+  "CMakeFiles/dfp_core.dir/pfg.cc.o.d"
+  "CMakeFiles/dfp_core.dir/pred_fanout.cc.o"
+  "CMakeFiles/dfp_core.dir/pred_fanout.cc.o.d"
+  "CMakeFiles/dfp_core.dir/ssa.cc.o"
+  "CMakeFiles/dfp_core.dir/ssa.cc.o.d"
+  "libdfp_core.a"
+  "libdfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

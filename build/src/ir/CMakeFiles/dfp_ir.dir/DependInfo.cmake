@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cc" "src/ir/CMakeFiles/dfp_ir.dir/analysis.cc.o" "gcc" "src/ir/CMakeFiles/dfp_ir.dir/analysis.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/dfp_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/dfp_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/dfp_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/dfp_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/dfp_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/dfp_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/dfp_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/dfp_ir.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_ir.dir/analysis.cc.o"
+  "CMakeFiles/dfp_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/dfp_ir.dir/interp.cc.o"
+  "CMakeFiles/dfp_ir.dir/interp.cc.o.d"
+  "CMakeFiles/dfp_ir.dir/ir.cc.o"
+  "CMakeFiles/dfp_ir.dir/ir.cc.o.d"
+  "CMakeFiles/dfp_ir.dir/parser.cc.o"
+  "CMakeFiles/dfp_ir.dir/parser.cc.o.d"
+  "CMakeFiles/dfp_ir.dir/printer.cc.o"
+  "CMakeFiles/dfp_ir.dir/printer.cc.o.d"
+  "libdfp_ir.a"
+  "libdfp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/alu.cc" "src/isa/CMakeFiles/dfp_isa.dir/alu.cc.o" "gcc" "src/isa/CMakeFiles/dfp_isa.dir/alu.cc.o.d"
+  "/root/repo/src/isa/encode.cc" "src/isa/CMakeFiles/dfp_isa.dir/encode.cc.o" "gcc" "src/isa/CMakeFiles/dfp_isa.dir/encode.cc.o.d"
+  "/root/repo/src/isa/exec.cc" "src/isa/CMakeFiles/dfp_isa.dir/exec.cc.o" "gcc" "src/isa/CMakeFiles/dfp_isa.dir/exec.cc.o.d"
+  "/root/repo/src/isa/opcodes.cc" "src/isa/CMakeFiles/dfp_isa.dir/opcodes.cc.o" "gcc" "src/isa/CMakeFiles/dfp_isa.dir/opcodes.cc.o.d"
+  "/root/repo/src/isa/validate.cc" "src/isa/CMakeFiles/dfp_isa.dir/validate.cc.o" "gcc" "src/isa/CMakeFiles/dfp_isa.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_isa.dir/alu.cc.o"
+  "CMakeFiles/dfp_isa.dir/alu.cc.o.d"
+  "CMakeFiles/dfp_isa.dir/encode.cc.o"
+  "CMakeFiles/dfp_isa.dir/encode.cc.o.d"
+  "CMakeFiles/dfp_isa.dir/exec.cc.o"
+  "CMakeFiles/dfp_isa.dir/exec.cc.o.d"
+  "CMakeFiles/dfp_isa.dir/opcodes.cc.o"
+  "CMakeFiles/dfp_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/dfp_isa.dir/validate.cc.o"
+  "CMakeFiles/dfp_isa.dir/validate.cc.o.d"
+  "libdfp_isa.a"
+  "libdfp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/dfp_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/dfp_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/dfp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/dfp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/dfp_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/dfp_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/predictor.cc" "src/sim/CMakeFiles/dfp_sim.dir/predictor.cc.o" "gcc" "src/sim/CMakeFiles/dfp_sim.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_sim.dir/cache.cc.o"
+  "CMakeFiles/dfp_sim.dir/cache.cc.o.d"
+  "CMakeFiles/dfp_sim.dir/machine.cc.o"
+  "CMakeFiles/dfp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/dfp_sim.dir/network.cc.o"
+  "CMakeFiles/dfp_sim.dir/network.cc.o.d"
+  "CMakeFiles/dfp_sim.dir/predictor.cc.o"
+  "CMakeFiles/dfp_sim.dir/predictor.cc.o.d"
+  "libdfp_sim.a"
+  "libdfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

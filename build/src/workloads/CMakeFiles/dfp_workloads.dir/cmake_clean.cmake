@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfp_workloads.dir/kernels_control.cc.o"
+  "CMakeFiles/dfp_workloads.dir/kernels_control.cc.o.d"
+  "CMakeFiles/dfp_workloads.dir/kernels_dsp.cc.o"
+  "CMakeFiles/dfp_workloads.dir/kernels_dsp.cc.o.d"
+  "CMakeFiles/dfp_workloads.dir/kernels_misc.cc.o"
+  "CMakeFiles/dfp_workloads.dir/kernels_misc.cc.o.d"
+  "CMakeFiles/dfp_workloads.dir/kernels_net.cc.o"
+  "CMakeFiles/dfp_workloads.dir/kernels_net.cc.o.d"
+  "CMakeFiles/dfp_workloads.dir/suite.cc.o"
+  "CMakeFiles/dfp_workloads.dir/suite.cc.o.d"
+  "libdfp_workloads.a"
+  "libdfp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfp_workloads.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/test_codegen.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_codegen.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_codegen.cc.o.d"
+  "/root/repo/tests/compiler/test_pipeline.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_pipeline.cc.o.d"
+  "/root/repo/tests/compiler/test_regalloc.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_regalloc.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_regalloc.cc.o.d"
+  "/root/repo/tests/compiler/test_scalar_opts.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_scalar_opts.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_scalar_opts.cc.o.d"
+  "/root/repo/tests/compiler/test_scheduler.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_scheduler.cc.o.d"
+  "/root/repo/tests/compiler/test_unroll.cc" "tests/CMakeFiles/test_compiler.dir/compiler/test_unroll.cc.o" "gcc" "tests/CMakeFiles/test_compiler.dir/compiler/test_unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dfp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dfp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

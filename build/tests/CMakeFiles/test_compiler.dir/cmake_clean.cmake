@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler.dir/compiler/test_codegen.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_codegen.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/test_pipeline.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_pipeline.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/test_regalloc.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_regalloc.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/test_scalar_opts.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_scalar_opts.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/test_scheduler.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_scheduler.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/test_unroll.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/test_unroll.cc.o.d"
+  "test_compiler"
+  "test_compiler.pdb"
+  "test_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

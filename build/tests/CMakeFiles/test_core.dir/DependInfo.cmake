@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_boundary.cc" "tests/CMakeFiles/test_core.dir/core/test_boundary.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_boundary.cc.o.d"
+  "/root/repo/tests/core/test_coalesce.cc" "tests/CMakeFiles/test_core.dir/core/test_coalesce.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_coalesce.cc.o.d"
+  "/root/repo/tests/core/test_hb_eval.cc" "tests/CMakeFiles/test_core.dir/core/test_hb_eval.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hb_eval.cc.o.d"
+  "/root/repo/tests/core/test_ifconvert.cc" "tests/CMakeFiles/test_core.dir/core/test_ifconvert.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ifconvert.cc.o.d"
+  "/root/repo/tests/core/test_merging_categories.cc" "tests/CMakeFiles/test_core.dir/core/test_merging_categories.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_merging_categories.cc.o.d"
+  "/root/repo/tests/core/test_pfg.cc" "tests/CMakeFiles/test_core.dir/core/test_pfg.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pfg.cc.o.d"
+  "/root/repo/tests/core/test_pred_opts.cc" "tests/CMakeFiles/test_core.dir/core/test_pred_opts.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pred_opts.cc.o.d"
+  "/root/repo/tests/core/test_regions.cc" "tests/CMakeFiles/test_core.dir/core/test_regions.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_regions.cc.o.d"
+  "/root/repo/tests/core/test_ssa.cc" "tests/CMakeFiles/test_core.dir/core/test_ssa.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ssa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dfp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dfp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

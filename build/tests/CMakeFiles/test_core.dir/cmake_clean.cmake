@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_boundary.cc.o"
+  "CMakeFiles/test_core.dir/core/test_boundary.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_coalesce.cc.o"
+  "CMakeFiles/test_core.dir/core/test_coalesce.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hb_eval.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hb_eval.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_ifconvert.cc.o"
+  "CMakeFiles/test_core.dir/core/test_ifconvert.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_merging_categories.cc.o"
+  "CMakeFiles/test_core.dir/core/test_merging_categories.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pfg.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pfg.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pred_opts.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pred_opts.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_regions.cc.o"
+  "CMakeFiles/test_core.dir/core/test_regions.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_ssa.cc.o"
+  "CMakeFiles/test_core.dir/core/test_ssa.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_analysis.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_interp.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_interp.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_parser.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_parser.cc.o.d"
+  "CMakeFiles/test_ir.dir/ir/test_printer.cc.o"
+  "CMakeFiles/test_ir.dir/ir/test_printer.cc.o.d"
+  "test_ir"
+  "test_ir.pdb"
+  "test_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/isa/test_alu.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_alu.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_encode.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_encode.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_exec.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_exec.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_memory.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_memory.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_opcodes.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_opcodes.cc.o.d"
+  "CMakeFiles/test_isa.dir/isa/test_validate.cc.o"
+  "CMakeFiles/test_isa.dir/isa/test_validate.cc.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_machine.cc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cc.o.d"
+  "/root/repo/tests/sim/test_machine_edge.cc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_edge.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine_edge.cc.o.d"
+  "/root/repo/tests/sim/test_network.cc" "tests/CMakeFiles/test_sim.dir/sim/test_network.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_network.cc.o.d"
+  "/root/repo/tests/sim/test_predictor.cc" "tests/CMakeFiles/test_sim.dir/sim/test_predictor.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dfp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dfp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/dfp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/dfp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfpc.dir/dfpc.cc.o"
+  "CMakeFiles/dfpc.dir/dfpc.cc.o.d"
+  "dfpc"
+  "dfpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
