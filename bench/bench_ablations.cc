@@ -30,8 +30,11 @@ namespace
 const char *kSubset[] = {"tblook01", "rotate01", "autcor00", "pktflow",
                          "iirflt01", "viterb00", "text01", "matrix01"};
 
+bench::StatsReport *gReport = nullptr;
+
 double
-geoCycles(const std::function<void(compiler::CompileOptions &,
+geoCycles(const char *ablation,
+          const std::function<void(compiler::CompileOptions &,
                                    sim::SimConfig &)> &tweak)
 {
     std::vector<double> cycles;
@@ -43,6 +46,7 @@ geoCycles(const std::function<void(compiler::CompileOptions &,
         tweak(opts, simCfg);
         bench::RunNumbers run =
             bench::runWorkload(*w, "both", simCfg, &opts);
+        gReport->add(detail::cat(ablation, "/", name), run);
         cycles.push_back(double(run.cycles));
     }
     return geomean(cycles);
@@ -51,13 +55,15 @@ geoCycles(const std::function<void(compiler::CompileOptions &,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport report("bench_ablations", argc, argv);
+    gReport = &report;
     std::printf("Ablations ('both' configuration, geomean cycles over "
                 "%zu kernels; lower is better)\n\n",
                 std::size(kSubset));
 
-    double base = geoCycles([](auto &, auto &) {});
+    double base = geoCycles("baseline", [](auto &, auto &) {});
     auto row = [&](const char *name, double cycles) {
         std::printf("  %-34s %12.0f  (%+5.1f%%)\n", name, cycles,
                     100.0 * (cycles / base - 1.0));
@@ -66,33 +72,34 @@ main()
     std::printf("baseline (default machine)           %12.0f\n", base);
 
     row("early termination OFF (§4.3)",
-        geoCycles([](auto &, sim::SimConfig &s) {
+        geoCycles("no_early_term", [](auto &, sim::SimConfig &s) {
             s.earlyTermination = false;
         }));
     row("perfect next-block prediction",
-        geoCycles([](auto &, sim::SimConfig &s) {
+        geoCycles("perfect_prediction", [](auto &, sim::SimConfig &s) {
             s.perfectPrediction = true;
         }));
     row("no operand-network contention",
-        geoCycles([](auto &, sim::SimConfig &s) {
+        geoCycles("no_contention", [](auto &, sim::SimConfig &s) {
             s.modelContention = false;
         }));
     row("conservative loads (no speculation)",
-        geoCycles([](auto &, sim::SimConfig &s) {
+        geoCycles("conservative_loads", [](auto &, sim::SimConfig &s) {
             s.aggressiveLoads = false;
         }));
     row("naive placement (no scheduler)",
-        geoCycles([](compiler::CompileOptions &o, auto &) {
+        geoCycles("naive_placement", [](compiler::CompileOptions &o, auto &) {
             o.schedule = false;
         }));
     row("mov4 predicate multicast (§7)",
-        geoCycles([](compiler::CompileOptions &o, auto &) {
+        geoCycles("mov4_multicast", [](compiler::CompileOptions &o, auto &) {
             o.multicast = true;
         }));
 
     std::printf("\nblocks in flight (window size, §7):\n");
     for (int inflight : {1, 2, 4, 8, 16}) {
-        double c = geoCycles([&](auto &, sim::SimConfig &s) {
+        double c = geoCycles(detail::cat("inflight_", inflight).c_str(),
+                             [&](auto &, sim::SimConfig &s) {
             s.maxBlocksInFlight = inflight;
         });
         std::printf("  %2d blocks in flight %12.0f  (%+5.1f%%)\n",

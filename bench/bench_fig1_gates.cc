@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "isa/exec.h"
 #include "isa/validate.h"
 #include "sim/machine.h"
@@ -298,7 +299,8 @@ switched()
 }
 
 void
-report(const char *name, isa::TBlock block)
+report(const char *name, isa::TBlock block,
+       bench::StatsReport &stats)
 {
     isa::TProgram program;
     program.blocks.push_back(block);
@@ -321,6 +323,7 @@ report(const char *name, isa::TBlock block)
     sim::SimResult res = sim::simulate(program, state);
     if (!res.halted)
         dfp_fatal(name, ": ", res.error);
+    stats.add(name, res);
     if (state.regs[4] != golden.regs[4])
         dfp_fatal(name, ": result mismatch vs functional executor");
     std::printf("%-22s %6zu %12llu %10.2f %14llu\n", name,
@@ -332,17 +335,18 @@ report(const char *name, isa::TBlock block)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport stats("bench_fig1_gates", argc, argv);
     std::printf("Figure 1/2: partial predication vs dataflow "
                 "predication\n(%d chained stages of "
                 "b=(x==j)?x+2:x+3; x=b*2, executed 10k times)\n\n",
                 kReps);
     std::printf("%-22s %6s %12s %10s %14s\n", "variant", "insts",
                 "cycles", "cyc/block", "result");
-    report("dataflow predication", predicated());
-    report("T-gate/F-gate", gated());
-    report("switch", switched());
+    report("dataflow predication", predicated(), stats);
+    report("T-gate/F-gate", gated(), stats);
+    report("switch", switched(), stats);
     std::printf("\npaper: gates/switch insert an extra dataflow level "
                 "between test and consumers and add instructions; "
                 "per-instruction predication removes both (§2.1, "

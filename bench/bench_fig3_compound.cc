@@ -65,8 +65,9 @@ countStatic(const isa::TProgram &program)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport report("bench_fig3_compound", argc, argv);
     const workloads::Workload *chain = workloads::findWorkload(
         "whilechain");
 
@@ -82,6 +83,7 @@ main()
         StaticCounts counts = countStatic(res.program);
         bench::RunNumbers run = bench::runWorkload(
             *chain, "both", sim::SimConfig(), &opts);
+        report.add(detail::cat("whilechain/u", unroll), run);
         std::printf("%-8d %8llu %8llu %8llu %10llu %10llu\n", unroll,
                     (unsigned long long)counts.insts,
                     (unsigned long long)counts.tests,

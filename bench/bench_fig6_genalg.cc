@@ -18,8 +18,9 @@ using namespace dfp;
 using bench::RunNumbers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport report("bench_fig6_genalg", argc, argv);
     const workloads::Workload &w = workloads::genalg();
 
     std::printf("Figure 6: genalg loop — unrolling x merging\n");
@@ -36,6 +37,9 @@ main()
             RunNumbers run =
                 bench::runWorkload(w, merge ? "merge" : "both",
                                    sim::SimConfig(), &opts);
+            report.add(detail::cat("genalg/u", unroll,
+                                   merge ? "/merge" : "/both"),
+                       run);
             if (baseline == 0)
                 baseline = double(run.cycles);
             std::printf("%-8d %-7s %10llu %9.2fx %10llu %10llu\n",

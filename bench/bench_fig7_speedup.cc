@@ -26,8 +26,9 @@ using bench::geomean;
 using bench::RunNumbers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport report("bench_fig7_speedup", argc, argv);
     const char *configs[] = {"bb", "intra", "inter", "both", "merge"};
 
     std::printf("Figure 7: speedup over the 'hyper' baseline "
@@ -40,10 +41,12 @@ main()
     std::vector<std::vector<double>> speedups(std::size(configs));
     for (const workloads::Workload &w : workloads::eembcSuite()) {
         RunNumbers base = bench::runWorkload(w, "hyper");
+        report.add(w.name + "/hyper", base);
         std::printf("%-14s %10llu |", w.name.c_str(),
                     static_cast<unsigned long long>(base.cycles));
         for (size_t c = 0; c < std::size(configs); ++c) {
             RunNumbers run = bench::runWorkload(w, configs[c]);
+            report.add(w.name + "/" + configs[c], run);
             double speedup = double(base.cycles) / double(run.cycles);
             speedups[c].push_back(speedup);
             std::printf(" %7.3f", speedup);

@@ -15,8 +15,9 @@ using namespace dfp;
 using bench::RunNumbers;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::StatsReport report("bench_sec6_dynstats", argc, argv);
     std::printf("Section 6 dynamic statistics: intra vs hyper\n");
     std::printf("%-14s %9s %9s %9s %9s %9s %9s\n", "benchmark",
                 "movsH", "movsI", "instsH", "instsI", "blksH", "blksI");
@@ -26,6 +27,8 @@ main()
     for (const workloads::Workload &w : workloads::eembcSuite()) {
         RunNumbers hyper = bench::runWorkload(w, "hyper");
         RunNumbers intra = bench::runWorkload(w, "intra");
+        report.add(w.name + "/hyper", hyper);
+        report.add(w.name + "/intra", intra);
         std::printf("%-14s %9llu %9llu %9llu %9llu %9llu %9llu\n",
                     w.name.c_str(),
                     (unsigned long long)hyper.movs,

@@ -2,7 +2,10 @@
  * @file
  * Shared helpers for the dfp benchmark harnesses: compile a workload
  * under a named configuration, run it on the cycle simulator, verify
- * the result against the golden model, and format result tables.
+ * the result against the golden model, format result tables, and —
+ * when the harness is invoked with --stats-json=<file> — export the
+ * aggregated simulator statistics (per-tile occupancy, network-hop
+ * histograms, flush counts, ...) as machine-diffable JSON.
  */
 
 #ifndef DFP_BENCH_BENCH_UTIL_H
@@ -10,9 +13,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "base/json.h"
 #include "compiler/pipeline.h"
 #include "compiler/regalloc.h"
 #include "sim/machine.h"
@@ -32,6 +38,118 @@ struct RunNumbers
     uint64_t flushed = 0;
     uint64_t staticInsts = 0;
     uint64_t staticBlocks = 0;
+    StatSet stats; //!< the full simulator StatSet for this run
+};
+
+/**
+ * Collects per-run results and writes one JSON document at the end of
+ * the harness when --stats-json=<file> was passed ('-' = stdout);
+ * otherwise add()/write() are no-ops. The document holds one
+ * {name, cycles, ...} summary per run plus the merged StatSet
+ * (counters summed, histograms merged) over all runs.
+ */
+class StatsReport
+{
+  public:
+    StatsReport(const char *harness, int argc, char **argv)
+        : harness_(harness)
+    {
+        const std::string prefix = "--stats-json=";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind(prefix, 0) == 0) {
+                path_ = arg.substr(prefix.size());
+            } else if (arg == "--stats-json" && i + 1 < argc) {
+                path_ = argv[++i];
+            } else {
+                dfp_fatal(harness, ": unknown argument '", arg,
+                          "' (only --stats-json=<file> is accepted)");
+            }
+        }
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one run. Cheap no-op when not enabled. */
+    void
+    add(const std::string &name, const RunNumbers &run)
+    {
+        if (!enabled())
+            return;
+        runs_.push_back({name, run.cycles, run.blocks, run.insts,
+                         run.mispredicts, run.flushed});
+        total_.merge(run.stats);
+    }
+
+    /** Record a run given the raw simulator StatSet. */
+    void
+    add(const std::string &name, const dfp::sim::SimResult &res)
+    {
+        RunNumbers n;
+        n.cycles = res.cycles;
+        n.blocks = res.blocksCommitted;
+        n.insts = res.instsCommitted;
+        n.mispredicts = res.mispredicts;
+        n.flushed = res.blocksFlushed;
+        n.stats = res.stats;
+        add(name, n);
+    }
+
+    /** Write the report (if enabled). Safe to call exactly once. */
+    void
+    write()
+    {
+        if (!enabled() || written_)
+            return;
+        written_ = true;
+        std::ofstream fileOut;
+        std::ostream *os = &std::cout;
+        if (path_ != "-") {
+            fileOut.open(path_);
+            if (!fileOut)
+                dfp_fatal(harness_, ": cannot open '", path_,
+                          "' for writing");
+            os = &fileOut;
+        }
+        json::Writer w(*os);
+        w.beginObject();
+        w.key("harness").value(harness_);
+        w.key("runs").beginArray();
+        for (const Run &r : runs_) {
+            w.beginObject();
+            w.key("name").value(r.name);
+            w.key("cycles").value(r.cycles);
+            w.key("blocks").value(r.blocks);
+            w.key("insts").value(r.insts);
+            w.key("mispredicts").value(r.mispredicts);
+            w.key("flushed").value(r.flushed);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("total");
+        total_.dumpJson(*os);
+        w.endObject();
+        *os << "\n";
+        if (path_ != "-") {
+            std::fprintf(stderr, "%s: wrote stats JSON to %s\n",
+                         harness_.c_str(), path_.c_str());
+        }
+    }
+
+    ~StatsReport() { write(); }
+
+  private:
+    struct Run
+    {
+        std::string name;
+        uint64_t cycles, blocks, insts, mispredicts, flushed;
+    };
+
+    std::string harness_;
+    std::string path_;
+    std::vector<Run> runs_;
+    StatSet total_;
+    bool written_ = false;
 };
 
 /** Compile @p w under @p config (with its unroll hint) and simulate. */
@@ -68,6 +186,7 @@ runWorkload(const workloads::Workload &w, const std::string &config,
     n.flushed = out.blocksFlushed;
     n.staticInsts = res.stats.get("codegen.insts");
     n.staticBlocks = res.stats.get("codegen.blocks");
+    n.stats = std::move(out.stats);
     return n;
 }
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * A minimal streaming JSON writer, shared by the stats registry, the
+ * simulator trace sinks, and the tool/bench harnesses. Emits compact
+ * (single-line) JSON; no reflection, no DOM — the caller drives the
+ * structure with begin/end calls and the writer tracks where commas
+ * are needed.
+ */
+
+#ifndef DFP_BASE_JSON_H
+#define DFP_BASE_JSON_H
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfp::json
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming writer with automatic comma placement. Usage:
+ *
+ *   json::Writer w(os);
+ *   w.beginObject();
+ *   w.key("cycles").value(uint64_t{42});
+ *   w.key("tiles").beginArray();
+ *   w.value(uint64_t{1}).value(uint64_t{2});
+ *   w.endArray();
+ *   w.endObject();
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) {}
+
+    Writer &
+    beginObject()
+    {
+        pre();
+        os_ << '{';
+        first_.push_back(true);
+        return *this;
+    }
+
+    Writer &
+    endObject()
+    {
+        first_.pop_back();
+        os_ << '}';
+        return *this;
+    }
+
+    Writer &
+    beginArray()
+    {
+        pre();
+        os_ << '[';
+        first_.push_back(true);
+        return *this;
+    }
+
+    Writer &
+    endArray()
+    {
+        first_.pop_back();
+        os_ << ']';
+        return *this;
+    }
+
+    Writer &
+    key(std::string_view name)
+    {
+        pre();
+        os_ << '"' << escape(name) << "\":";
+        haveKey_ = true;
+        return *this;
+    }
+
+    Writer &
+    value(std::string_view s)
+    {
+        pre();
+        os_ << '"' << escape(s) << '"';
+        return *this;
+    }
+
+    Writer &value(const char *s) { return value(std::string_view(s)); }
+
+    Writer &
+    value(uint64_t v)
+    {
+        pre();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        os_ << buf;
+        return *this;
+    }
+
+    Writer &
+    value(int64_t v)
+    {
+        pre();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+        os_ << buf;
+        return *this;
+    }
+
+    Writer &value(int v) { return value(static_cast<int64_t>(v)); }
+    Writer &value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+    Writer &
+    value(double v)
+    {
+        pre();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        os_ << buf;
+        return *this;
+    }
+
+    Writer &
+    value(bool v)
+    {
+        pre();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+  private:
+    /** Write the separating comma if needed; keys suppress the next one. */
+    void
+    pre()
+    {
+        if (haveKey_) {
+            haveKey_ = false;
+            return;
+        }
+        if (!first_.empty()) {
+            if (!first_.back())
+                os_ << ',';
+            first_.back() = false;
+        }
+    }
+
+    std::ostream &os_;
+    std::vector<bool> first_;
+    bool haveKey_ = false;
+};
+
+} // namespace dfp::json
+
+#endif // DFP_BASE_JSON_H

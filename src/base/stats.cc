@@ -1,13 +1,62 @@
 #include "base/stats.h"
 
+#include "base/json.h"
+
 namespace dfp
 {
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+}
 
 void
 StatSet::dump(std::ostream &os, const std::string &prefix) const
 {
     for (const auto &[name, value] : counters_)
         os << prefix << name << " " << value << "\n";
+    for (const auto &[name, hist] : histograms_) {
+        os << prefix << name << " count=" << hist.count()
+           << " sum=" << hist.sum() << " min=" << hist.min()
+           << " max=" << hist.max() << " mean=" << hist.mean() << "\n";
+    }
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : counters_)
+        w.key(name).value(value);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, hist] : histograms_) {
+        w.key(name).beginObject();
+        w.key("count").value(hist.count());
+        w.key("sum").value(hist.sum());
+        w.key("min").value(hist.min());
+        w.key("max").value(hist.max());
+        w.key("mean").value(hist.mean());
+        w.key("buckets").beginArray();
+        for (uint64_t b : hist.buckets())
+            w.value(b);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace dfp

@@ -2,12 +2,17 @@
  * @file
  * A tiny named-statistics registry, in the spirit of the gem5 stats
  * package: simulator and compiler components register scalar counters
- * under dotted names; harnesses dump or query them after a run.
+ * and latency histograms under dotted names; harnesses dump them as
+ * text or JSON, or query them after a run.
+ *
+ * Names are hierarchical by convention ("sim.tile.3.issued",
+ * "sim.net.hop_latency"): consumers can roll sub-trees up by prefix.
  */
 
 #ifndef DFP_BASE_STATS_H
 #define DFP_BASE_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -17,7 +22,59 @@ namespace dfp
 {
 
 /**
- * An ordered collection of named scalar statistics.
+ * A power-of-two-bucketed distribution, cheap enough for simulator hot
+ * paths: bucket 0 holds zero-valued samples, bucket i holds samples in
+ * [2^(i-1), 2^i), and the last bucket absorbs everything larger.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 17;
+
+    /** Record one sample. Inline — simulator hot paths call this per
+     *  event (e.g. per operand-network message). */
+    void
+    add(uint64_t value)
+    {
+        ++count_;
+        sum_ += value;
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+        int bucket = 0;
+        if (value > 0) {
+            // floorLog2(value) + 1, capped to the last bucket.
+            int log = 63 - __builtin_clzll(value);
+            bucket = log + 1 < kBuckets ? log + 1 : kBuckets - 1;
+        }
+        ++buckets_[bucket];
+    }
+
+    void merge(const Histogram &other);
+    void clear() { *this = Histogram(); }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    /** Smallest/largest sample seen; 0 when empty. */
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+    const std::array<uint64_t, kBuckets> &buckets() const { return buckets_; }
+
+    /** Inclusive lower bound of bucket @p i (0, 1, 2, 4, 8, ...). */
+    static uint64_t bucketLo(int i) { return i == 0 ? 0 : 1ull << (i - 1); }
+
+  private:
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~0ull;
+    uint64_t max_ = 0;
+    std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/**
+ * An ordered collection of named scalar statistics and histograms.
  *
  * Values are 64-bit counters; ratio-style derived values are computed by
  * the consumer. Lookup of a missing name returns 0 so harness code can be
@@ -57,25 +114,65 @@ class StatSet
         return it == counters_.end() ? 0 : it->second;
     }
 
-    /** Remove all counters. */
-    void clear() { counters_.clear(); }
+    /** Record one sample into the histogram @p name (creating it). */
+    void
+    sample(const std::string &name, uint64_t value)
+    {
+        histograms_[name].add(value);
+    }
 
-    /** Merge another set into this one by addition. */
+    /** Access (and create) the histogram @p name — components that
+     *  sample on hot paths should hold this reference, not re-look-up. */
+    Histogram &histogram(const std::string &name) { return histograms_[name]; }
+
+    /** Adopt a component-owned histogram wholesale. */
+    void
+    setHistogram(const std::string &name, const Histogram &h)
+    {
+        histograms_[name] = h;
+    }
+
+    /** Remove all counters and histograms. */
+    void
+    clear()
+    {
+        counters_.clear();
+        histograms_.clear();
+    }
+
+    /** Merge another set into this one (counters add, histograms merge). */
     void
     merge(const StatSet &other)
     {
         for (const auto &[name, value] : other.counters_)
             counters_[name] += value;
+        for (const auto &[name, hist] : other.histograms_)
+            histograms_[name].merge(hist);
     }
 
-    /** Dump "name value" lines, sorted by name. */
+    /** Dump "name value" lines (and histogram summaries), sorted by name. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Emit the whole set as one JSON object:
+     *   {"counters":{...},"histograms":{name:{count,sum,min,max,mean,
+     *    buckets:[...]}}}
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Access all counters (sorted by name). */
     const std::map<std::string, uint64_t> &all() const { return counters_; }
 
+    /** Access all histograms (sorted by name). */
+    const std::map<std::string, Histogram> &
+    allHistograms() const
+    {
+        return histograms_;
+    }
+
   private:
     std::map<std::string, uint64_t> counters_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace dfp

@@ -60,6 +60,14 @@ Cache::probe(uint64_t addr) const
 }
 
 void
+Cache::exportStats(StatSet &stats, const std::string &prefix) const
+{
+    stats.set(prefix + ".hits", hits_);
+    stats.set(prefix + ".misses", misses_);
+    stats.set(prefix + ".accesses", hits_ + misses_);
+}
+
+void
 Cache::reset()
 {
     for (Line &line : lines_)

@@ -12,7 +12,10 @@
 #define DFP_SIM_CACHE_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "base/stats.h"
 
 namespace dfp::sim
 {
@@ -39,6 +42,10 @@ class Cache
 
     uint64_t hits() const { return hits_; }
     uint64_t misses() const { return misses_; }
+
+    /** Roll per-line-access counters into @p stats as
+     *  "<prefix>.hits" / "<prefix>.misses" / "<prefix>.accesses". */
+    void exportStats(StatSet &stats, const std::string &prefix) const;
 
   private:
     struct Line

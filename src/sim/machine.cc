@@ -1,5 +1,6 @@
 #include "sim/machine.h"
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
@@ -23,6 +24,67 @@ using isa::Op;
 using isa::Slot;
 using isa::Target;
 using isa::Token;
+
+/**
+ * Opcode classes for the "sim.ops.<class>" rollups. Buckets follow the
+ * machine's functional units rather than the encoding: data movement,
+ * integer ALU, tests, floating point, memory, control, legacy gates.
+ */
+enum class OpClass : uint8_t
+{
+    Mov, Alu, Test, Fp, Load, Store, Branch, Gate, Other, NumClasses
+};
+
+constexpr const char *kOpClassNames[] = {
+    "mov", "alu", "test", "fp", "load", "store", "branch", "gate", "other",
+};
+
+constexpr OpClass
+opClassOfSwitch(Op op)
+{
+    switch (op) {
+      case Op::Mov: case Op::Mov4: case Op::Movi: case Op::Null:
+        return OpClass::Mov;
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Shl:
+      case Op::Shr: case Op::Sra: case Op::Addi: case Op::Subi:
+      case Op::Muli: case Op::Divi: case Op::Andi: case Op::Ori:
+      case Op::Xori: case Op::Shli: case Op::Shri: case Op::Srai:
+        return OpClass::Alu;
+      case Op::Teq: case Op::Tne: case Op::Tlt: case Op::Tle:
+      case Op::Tgt: case Op::Tge: case Op::Teqi: case Op::Tnei:
+      case Op::Tlti: case Op::Tlei: case Op::Tgti: case Op::Tgei:
+        return OpClass::Test;
+      case Op::Fadd: case Op::Fsub: case Op::Fmul: case Op::Fdiv:
+      case Op::Feq: case Op::Flt: case Op::Fle: case Op::Fgt:
+      case Op::Fge: case Op::Itof: case Op::Ftoi:
+        return OpClass::Fp;
+      case Op::Ld:
+        return OpClass::Load;
+      case Op::St:
+        return OpClass::Store;
+      case Op::Bro:
+        return OpClass::Branch;
+      case Op::GateT: case Op::GateF: case Op::Switch:
+        return OpClass::Gate;
+      default:
+        return OpClass::Other;
+    }
+}
+
+/** Flat table so the per-issue classification is one load. */
+constexpr auto kOpClassTable = [] {
+    std::array<OpClass, size_t(Op::NumOps)> table{};
+    for (size_t i = 0; i < table.size(); ++i)
+        table[i] = opClassOfSwitch(Op(i));
+    return table;
+}();
+
+inline OpClass
+opClassOf(Op op)
+{
+    return kOpClassTable[size_t(op)];
+}
 
 /** One block in flight. */
 struct Frame
@@ -53,6 +115,7 @@ struct Frame
     bool complete = false;
     uint64_t completeCycle = 0;
     uint64_t lastOutputCycle = 0;
+    uint64_t fetchStart = 0; //!< cycle the fetch pipeline accepted us
 
     // dynamic counters (accumulated into SimResult at commit)
     uint64_t fired = 0;
@@ -70,8 +133,10 @@ class Machine
           net_(config.grid, config.modelContention),
           l1d_(config.l1dBytes, config.l1dAssoc, config.lineBytes),
           l1i_(config.l1iBytes, config.l1iAssoc, config.lineBytes),
-          tileFree_(config.grid.tiles(), 0)
+          tileFree_(config.grid.tiles(), 0),
+          tileIssued_(config.grid.tiles(), 0)
     {
+        net_.attachTrace(cfg_.trace);
         // Static code layout for the I-cache model.
         uint64_t base = 1ull << 40; // away from data
         for (const isa::TBlock &block : program.blocks) {
@@ -192,6 +257,29 @@ class Machine
     SimResult res_;
     bool done_ = false;
     int redirect_ = 0; //!< next block to fetch when no frames exist
+
+    // Hot-path metrics: plain members (kept after the cold state so
+    // the hot layout above is undisturbed), folded into res_.stats
+    // once at the end of run() so the per-event cost stays flat.
+    std::vector<uint64_t> tileIssued_; //!< issue-slot occupancy per tile
+    uint64_t opClassFired_[size_t(OpClass::NumClasses)] = {};
+    uint64_t nulledTokens_ = 0;
+    uint64_t predTokensDelivered_ = 0;
+    uint64_t predTokensMatched_ = 0;
+    uint64_t earlyTermBlocks_ = 0;
+    uint64_t earlyTermOps_ = 0;
+    uint64_t maxFramesInFlight_ = 0;
+
+    // Cold trace helpers: out-of-line so the emission code (event
+    // construction + virtual call) never bulks up the hot functions.
+    __attribute__((noinline, cold)) void tracePredToken(
+        const Frame &f, int idx, uint64_t cycle, bool matched);
+    __attribute__((noinline, cold)) void traceLoad(
+        const Frame &f, int idx, uint64_t addr, uint8_t lsid,
+        uint64_t doneCycle, uint64_t back);
+    __attribute__((noinline, cold)) void traceStore(
+        const Frame &f, uint64_t addr, uint8_t lsid, uint64_t cycle,
+        bool nullified);
 };
 
 void
@@ -294,6 +382,14 @@ Machine::startFetch(int blockIdx)
     extra = missed ? cfg_.missLatency : cfg_.l1iHitLatency;
     res_.stats.inc(missed ? "sim.l1i_misses" : "sim.l1i_hits");
 
+    frames_[slot]->fetchStart = start;
+    if (order_.size() > maxFramesInFlight_)
+        maxFramesInFlight_ = order_.size();
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::BlockFetch, start,
+                          cfg_.fetchLatency + extra, -1, blockIdx,
+                          frames_[slot]->block->label.c_str(),
+                          uint64_t(missed), 0}));
     frameAt(slot, start + cfg_.fetchLatency + extra,
             [this, slot](Frame &f) { onFetchDone(f, slot); });
     res_.stats.inc("sim.fetches");
@@ -363,9 +459,38 @@ Machine::wakeRegWaiters(int reg)
 }
 
 void
+Machine::tracePredToken(const Frame &f, int idx, uint64_t cycle,
+                        bool matched)
+{
+    cfg_.trace->emit(TraceEvent{TraceEventKind::PredToken, cycle, 0,
+                                tileOf(f, idx), f.blockIdx, "",
+                                uint64_t(matched), uint64_t(idx)});
+}
+
+void
+Machine::traceLoad(const Frame &f, int idx, uint64_t addr, uint8_t lsid,
+                   uint64_t doneCycle, uint64_t back)
+{
+    cfg_.trace->emit(TraceEvent{TraceEventKind::LsqLoad, doneCycle,
+                                back - doneCycle, tileOf(f, idx),
+                                f.blockIdx, "", addr, lsid});
+}
+
+void
+Machine::traceStore(const Frame &f, uint64_t addr, uint8_t lsid,
+                    uint64_t cycle, bool nullified)
+{
+    cfg_.trace->emit(TraceEvent{TraceEventKind::LsqStore, cycle, 0, -1,
+                                f.blockIdx, nullified ? "nulled" : "",
+                                addr, lsid});
+}
+
+void
 Machine::deliverOperand(Frame &f, int slot, Target target, Token token,
                         uint64_t cycle)
 {
+    if (token.null)
+        ++nulledTokens_;
     if (target.slot == Slot::WriteQ) {
         auto &wt = f.writeTok[target.index];
         if (wt.has_value()) {
@@ -385,7 +510,14 @@ Machine::deliverOperand(Frame &f, int slot, Target target, Token token,
     Frame::IState &st = f.ists[idx];
 
     if (target.slot == Slot::Pred) {
-        if (isa::predMatches(def.pr, token)) {
+        const bool matched = isa::predMatches(def.pr, token);
+        ++predTokensDelivered_;
+        predTokensMatched_ += matched;
+#if DFP_SIM_TRACING
+        if (__builtin_expect(cfg_.trace != nullptr, 0))
+            tracePredToken(f, idx, cycle, matched);
+#endif
+        if (matched) {
             if (st.predMatched) {
                 res_.error = detail::cat("block '", f.block->label,
                                          "': double matching predicate");
@@ -438,6 +570,8 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
 
     // One issue slot per tile per cycle.
     int tile = tileOf(f, idx);
+    ++tileIssued_[tile];
+    ++opClassFired_[size_t(opClassOf(inst.op))];
     uint64_t issue = std::max(now_ + 1, tileFree_[tile]);
     tileFree_[tile] = issue + 1;
     frameAt(slot, issue,
@@ -610,6 +744,10 @@ Machine::doLoad(Frame &f, int slot, int idx, uint64_t issueCycle)
         atBank + (hit ? cfg_.l1dHitLatency : cfg_.missLatency);
     uint64_t back = net_.deliverFromBank(bank, tileOf(f, idx), dataReady);
 
+#if DFP_SIM_TRACING
+    if (__builtin_expect(cfg_.trace != nullptr, 0))
+        traceLoad(f, idx, addr, inst.lsid, doneCycle, back);
+#endif
     f.doneLoads.push_back({inst.lsid, addr});
     frameAt(slot, back, [this, slot, idx, out](Frame &g) {
         routeResult(g, slot, idx, out, now_);
@@ -631,6 +769,10 @@ Machine::resolveStore(Frame &f, int slot, uint8_t lsid, uint64_t addr,
     if (!nullified)
         f.storeBuf[lsid] = {addr, value};
     f.lastOutputCycle = std::max(f.lastOutputCycle, cycle);
+#if DFP_SIM_TRACING
+    if (__builtin_expect(cfg_.trace != nullptr, 0))
+        traceStore(f, addr, lsid, cycle, nullified);
+#endif
 
     // Dependence violation check: a later load in this frame, or any
     // load in a younger frame, already read this address. The flush may
@@ -753,6 +895,26 @@ Machine::commitOldest()
     res_.movsCommitted += f.movs;
     res_.cycles = std::max(res_.cycles, now_);
 
+    // Early mispredication termination (§4.3): committing while events
+    // for falsely-predicated instructions are still in flight.
+    if (f.pendingOps > 0) {
+        ++earlyTermBlocks_;
+        earlyTermOps_ += f.pendingOps;
+        DFP_TRACE(cfg_.trace,
+                  (TraceEvent{TraceEventKind::EarlyTerm, now_, 0, -1,
+                              f.blockIdx, f.block->label.c_str(),
+                              uint64_t(f.pendingOps), 0}));
+    }
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::BlockCommit, f.fetchStart,
+                          std::max<uint64_t>(now_ - f.fetchStart, 1),
+                          -1, f.blockIdx, f.block->label.c_str(),
+                          f.fired, 0}));
+    if (cfg_.perBlockStats) {
+        res_.stats.inc(
+            detail::cat("sim.block.", f.block->label, ".commits"));
+    }
+
     int actual = *f.branchTarget;
     predictor_.train(f.blockIdx, actual);
     if (cfg_.perfectPrediction)
@@ -797,6 +959,14 @@ void
 Machine::flushFrom(size_t pos, const char *why, int redirectBlock)
 {
     for (size_t p = pos; p < order_.size(); ++p) {
+        Frame &g = *frames_[order_[p]];
+        DFP_TRACE(cfg_.trace,
+                  (TraceEvent{TraceEventKind::BlockFlush, now_, 0, -1,
+                              g.blockIdx, why, 0, 0}));
+        if (cfg_.perBlockStats) {
+            res_.stats.inc(
+                detail::cat("sim.block.", g.block->label, ".flushes"));
+        }
         frames_[order_[p]].reset();
         res_.blocksFlushed++;
     }
@@ -887,8 +1057,25 @@ Machine::run()
     res_.stats.set("sim.mispredicts", res_.mispredicts);
     res_.stats.set("sim.flushed", res_.blocksFlushed);
     res_.stats.set("sim.violations", res_.loadViolations);
-    res_.stats.set("sim.net_hops", net_.totalHops());
-    res_.stats.set("sim.net_stalls", net_.contentionStalls());
+    net_.exportStats(res_.stats);
+    l1d_.exportStats(res_.stats, "sim.l1d");
+    l1i_.exportStats(res_.stats, "sim.l1i");
+    predictor_.exportStats(res_.stats);
+    for (int t = 0; t < cfg_.grid.tiles(); ++t)
+        res_.stats.set(detail::cat("sim.tile.", t, ".issued"),
+                       tileIssued_[t]);
+    for (size_t c = 0; c < size_t(OpClass::NumClasses); ++c) {
+        res_.stats.set(detail::cat("sim.ops.", kOpClassNames[c]),
+                       opClassFired_[c]);
+    }
+    res_.stats.set("sim.tokens.nulled", nulledTokens_);
+    res_.stats.set("sim.tokens.pred_delivered", predTokensDelivered_);
+    res_.stats.set("sim.tokens.pred_matched", predTokensMatched_);
+    res_.stats.set("sim.early_term.blocks", earlyTermBlocks_);
+    res_.stats.set("sim.early_term.insts", earlyTermOps_);
+    res_.stats.set("sim.frames.max_in_flight", maxFramesInFlight_);
+    if (cfg_.trace)
+        cfg_.trace->flush();
     return res_;
 }
 

@@ -30,6 +30,7 @@
 #include "isa/exec.h"
 #include "isa/tblock.h"
 #include "sim/network.h"
+#include "sim/trace.h"
 
 namespace dfp::sim
 {
@@ -55,6 +56,20 @@ struct SimConfig
     bool modelContention = true;   //!< operand network link contention
     bool aggressiveLoads = true;   //!< speculate past unresolved stores
     uint64_t maxCycles = 1ull << 40;
+
+    /**
+     * Optional event sink (not owned; must outlive the run). When
+     * null — the default — every emission site reduces to one
+     * predicted-not-taken branch; see docs/TRACING.md.
+     */
+    TraceSink *trace = nullptr;
+
+    /**
+     * Per-block-label commit/flush rollups ("sim.block.<label>.*").
+     * String-keyed, so off by default costs nothing; the per-tile and
+     * per-opcode-class rollups are array-backed and always collected.
+     */
+    bool perBlockStats = false;
 };
 
 /** Result of one simulation. */

@@ -48,7 +48,30 @@ OperandNetwork::route(const std::vector<int> &path, uint64_t cycle)
         t = depart + 1;
         ++hops_;
     }
+    hopLatency_.add(t - cycle);
+#if DFP_SIM_TRACING
+    if (__builtin_expect(trace_ != nullptr, 0))
+        traceHop(path, cycle, t, links);
+#endif
     return t;
+}
+
+void
+OperandNetwork::traceHop(const std::vector<int> &path, uint64_t cycle,
+                         uint64_t arrive, size_t links)
+{
+    trace_->emit(TraceEvent{TraceEventKind::NetHop, cycle,
+                            arrive - cycle, path.front(), -1, "",
+                            static_cast<uint64_t>(path.back()), links});
+}
+
+void
+OperandNetwork::exportStats(StatSet &stats) const
+{
+    stats.set("sim.net_hops", hops_);
+    stats.set("sim.net_stalls", stalls_);
+    stats.set("sim.net.messages", hopLatency_.count());
+    stats.setHistogram("sim.net.hop_latency", hopLatency_);
 }
 
 uint64_t
@@ -102,6 +125,7 @@ OperandNetwork::reset()
     linkFree_.clear();
     hops_ = 0;
     stalls_ = 0;
+    hopLatency_.clear();
 }
 
 } // namespace dfp::sim

@@ -14,6 +14,9 @@
 #include <map>
 #include <vector>
 
+#include "base/stats.h"
+#include "sim/trace.h"
+
 namespace dfp::sim
 {
 
@@ -50,6 +53,10 @@ class OperandNetwork
         : grid_(grid), contention_(modelContention)
     {}
 
+    /** Attach an optional event sink; hop events are emitted per
+     *  routed message. Pass nullptr to detach. */
+    void attachTrace(TraceSink *trace) { trace_ = trace; }
+
     /** Cycle at which an operand leaving @p from at @p cycle reaches
      *  @p to (adjacent tiles: +1; same tile: +0 via local bypass). */
     uint64_t deliver(int from, int to, uint64_t cycle);
@@ -66,11 +73,23 @@ class OperandNetwork
     uint64_t totalHops() const { return hops_; }
     uint64_t contentionStalls() const { return stalls_; }
 
+    /**
+     * Roll the network's counters and the per-message latency
+     * histogram into @p stats under "sim.net.*" (plus the legacy
+     * "sim.net_hops"/"sim.net_stalls" names).
+     */
+    void exportStats(StatSet &stats) const;
+
     void reset();
 
   private:
     /** Route over a hop sequence with per-link occupancy. */
     uint64_t route(const std::vector<int> &path, uint64_t cycle);
+
+    /** Cold out-of-line emission so route() stays compact. */
+    __attribute__((noinline, cold)) void traceHop(
+        const std::vector<int> &path, uint64_t cycle, uint64_t arrive,
+        size_t links);
 
     /** Node ids: 0..tiles-1 = execution tiles; then register-tile nodes
      *  (one per column); then data-tile nodes (one per row). */
@@ -83,6 +102,8 @@ class OperandNetwork
     bool contention_;
     uint64_t hops_ = 0;
     uint64_t stalls_ = 0;
+    Histogram hopLatency_; //!< per-message inject-to-eject latency
+    TraceSink *trace_ = nullptr;
     std::map<std::pair<int, int>, uint64_t> linkFree_;
 };
 

@@ -48,4 +48,11 @@ BlockPredictor::train(int block, int next)
     history_ = (history_ << 4) ^ static_cast<uint64_t>(block + 1);
 }
 
+void
+BlockPredictor::exportStats(StatSet &stats) const
+{
+    stats.set("sim.pred.lookups", lookups_);
+    stats.set("sim.pred.correct", correct_);
+}
+
 } // namespace dfp::sim

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/stats.h"
+
 namespace dfp::sim
 {
 
@@ -36,6 +38,9 @@ class BlockPredictor
 
     uint64_t lookups() const { return lookups_; }
     uint64_t correct() const { return correct_; }
+
+    /** Roll accuracy counters into @p stats under "sim.pred.*". */
+    void exportStats(StatSet &stats) const;
 
     /** Record prediction accuracy (called by the machine at commit). */
     void

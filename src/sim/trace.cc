@@ -1,0 +1,159 @@
+#include "sim/trace.h"
+
+#include "base/json.h"
+#include "base/logging.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+/** Per-kind payload key names, for self-describing JSON output. */
+struct KindInfo
+{
+    const char *name;
+    const char *aKey;
+    const char *bKey;
+};
+
+const KindInfo &
+kindInfo(TraceEventKind kind)
+{
+    static const KindInfo kTable[] = {
+        {"block_fetch", "miss", "b"},
+        {"block_commit", "fired", "b"},
+        {"block_flush", "a", "b"},
+        {"net_hop", "to", "hops"},
+        {"lsq_load", "addr", "lsid"},
+        {"lsq_store", "addr", "lsid"},
+        {"pred_token", "matched", "inst"},
+        {"early_term", "pending", "b"},
+    };
+    return kTable[static_cast<int>(kind)];
+}
+
+} // namespace
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    return kindInfo(kind).name;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace event format.
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void
+ChromeTraceSink::nameTrack(int tid)
+{
+    if (tid < 0 || tid >= 64 || (namedTids_ & (1ull << tid)))
+        return;
+    namedTids_ |= 1ull << tid;
+    if (!first_)
+        os_ << ",";
+    first_ = false;
+    std::string name =
+        tid == 0 ? std::string("machine") : detail::cat("tile ", tid - 1);
+    os_ << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+        << tid << ",\"args\":{\"name\":\"" << json::escape(name)
+        << "\"}}";
+}
+
+void
+ChromeTraceSink::emit(const TraceEvent &event)
+{
+    if (finished_)
+        return;
+    const KindInfo &info = kindInfo(event.kind);
+    int tid = event.tile < 0 ? 0 : event.tile + 1;
+    nameTrack(tid);
+    if (!first_)
+        os_ << ",";
+    first_ = false;
+    os_ << "\n";
+    json::Writer w(os_);
+    w.beginObject();
+    std::string name = info.name;
+    if (event.label[0] != '\0')
+        name = detail::cat(name, " ", event.label);
+    w.key("name").value(name);
+    w.key("cat").value(info.name);
+    if (event.duration > 0) {
+        w.key("ph").value("X");
+        w.key("dur").value(event.duration);
+    } else {
+        w.key("ph").value("i");
+        w.key("s").value("t");
+    }
+    w.key("ts").value(event.cycle);
+    w.key("pid").value(0);
+    w.key("tid").value(tid);
+    w.key("args").beginObject();
+    if (event.block >= 0)
+        w.key("block").value(static_cast<int64_t>(event.block));
+    w.key(info.aKey).value(event.a);
+    w.key(info.bKey).value(event.b);
+    w.endObject();
+    w.endObject();
+}
+
+void
+ChromeTraceSink::flush()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+// ---------------------------------------------------------------------
+// JSONL.
+
+void
+JsonlTraceSink::emit(const TraceEvent &event)
+{
+    const KindInfo &info = kindInfo(event.kind);
+    json::Writer w(os_);
+    w.beginObject();
+    w.key("kind").value(info.name);
+    w.key("cycle").value(event.cycle);
+    if (event.duration > 0)
+        w.key("dur").value(event.duration);
+    if (event.tile >= 0)
+        w.key("tile").value(static_cast<int64_t>(event.tile));
+    if (event.block >= 0)
+        w.key("block").value(static_cast<int64_t>(event.block));
+    if (event.label[0] != '\0')
+        w.key("label").value(event.label);
+    w.key(info.aKey).value(event.a);
+    w.key(info.bKey).value(event.b);
+    w.endObject();
+    os_ << "\n";
+}
+
+void
+JsonlTraceSink::flush()
+{
+    os_.flush();
+}
+
+std::unique_ptr<TraceSink>
+makeTraceSink(const std::string &format, std::ostream &os)
+{
+    if (format == "chrome")
+        return std::make_unique<ChromeTraceSink>(os);
+    if (format == "jsonl")
+        return std::make_unique<JsonlTraceSink>(os);
+    return nullptr;
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Simulator event tracing. The cycle-level machine and the operand
+ * network emit TraceEvents into an optional TraceSink; two backends are
+ * provided — Chrome-trace-format JSON (loadable in chrome://tracing or
+ * Perfetto) and compact JSONL (one event object per line, for scripted
+ * analysis).
+ *
+ * Cost model: emission sites are wrapped in the DFP_TRACE macro, which
+ * (a) compiles to nothing when DFP_SIM_TRACING is defined to 0, and
+ * (b) otherwise guards both event construction and the virtual call
+ * behind a null-pointer check, so a run with no sink attached pays one
+ * predictable branch per site. See docs/TRACING.md for the schema.
+ */
+
+#ifndef DFP_SIM_TRACE_H
+#define DFP_SIM_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+namespace dfp::sim
+{
+
+/** What happened. Payload field meaning per kind is fixed; see
+ *  docs/TRACING.md for the full schema table. */
+enum class TraceEventKind : uint8_t
+{
+    BlockFetch,   //!< block fetch pipeline occupancy; dur = fetch latency
+    BlockCommit,  //!< block lifetime; cycle = fetch start, dur = to commit
+    BlockFlush,   //!< one squashed in-flight block; label = reason
+    NetHop,       //!< operand network traversal; a = dest node, b = hops
+    LsqLoad,      //!< load issued to a data tile; a = addr, b = LSID
+    LsqStore,     //!< store LSID resolved; a = addr, b = LSID
+    PredToken,    //!< predicate token delivery; a = matched, b = inst idx
+    EarlyTerm,    //!< early mispredication termination; a = in-flight ops
+};
+
+/** Stable lowercase name for a kind ("block_fetch", "net_hop", ...). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/** One simulator event. Instant events have duration 0. */
+struct TraceEvent
+{
+    TraceEventKind kind;
+    uint64_t cycle = 0;    //!< start cycle
+    uint64_t duration = 0; //!< cycles spanned (0 = instant)
+    int tile = -1;         //!< originating node; -1 = machine-global
+    int block = -1;        //!< static block index, if any
+    const char *label = ""; //!< block label / flush reason / detail
+    uint64_t a = 0;        //!< kind-specific payload
+    uint64_t b = 0;        //!< kind-specific payload
+};
+
+/** Abstract consumer of simulator events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent &event) = 0;
+    /** Finalize the output (write trailers). Idempotent; also runs on
+     *  destruction. */
+    virtual void flush() {}
+};
+
+/**
+ * Chrome trace event format writer: a {"traceEvents":[...]} JSON
+ * document of "X" (complete) and "i" (instant) events, with cycles as
+ * the time unit. Tracks: tid 0 is the machine-global track, tid N+1 is
+ * execution tile N; thread-name metadata records are emitted lazily.
+ */
+class ChromeTraceSink final : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+
+    void emit(const TraceEvent &event) override;
+    void flush() override;
+
+  private:
+    void nameTrack(int tid);
+
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+    uint64_t namedTids_ = 0; //!< bitmap of tids with metadata emitted
+};
+
+/** Compact JSONL writer: one JSON object per line, one line per event. */
+class JsonlTraceSink final : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : os_(os) {}
+
+    void emit(const TraceEvent &event) override;
+    void flush() override;
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Construct a sink writing to @p os. @p format is "chrome" or "jsonl";
+ * anything else returns nullptr.
+ */
+std::unique_ptr<TraceSink> makeTraceSink(const std::string &format,
+                                         std::ostream &os);
+
+} // namespace dfp::sim
+
+// Compile-time kill switch: build with -DDFP_SIM_TRACING=0 to remove
+// every emission site (and its branch) from the simulator entirely.
+#ifndef DFP_SIM_TRACING
+#define DFP_SIM_TRACING 1
+#endif
+
+#if DFP_SIM_TRACING
+// The null check is hinted cold so the emission block (event
+// construction + virtual call) is laid out off the hot path.
+#define DFP_TRACE(sink, ...)                                                 \
+    do {                                                                     \
+        if (__builtin_expect((sink) != nullptr, 0))                          \
+            (sink)->emit(__VA_ARGS__);                                       \
+    } while (0)
+#else
+#define DFP_TRACE(sink, ...)                                                 \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // DFP_SIM_TRACE_H

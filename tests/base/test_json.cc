@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/json.h"
+#include "support/minijson.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(Json, EscapeSpecials)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectWithCommas)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.key("a").value(uint64_t{1});
+    w.key("b").value("two");
+    w.key("c").value(true);
+    w.endObject();
+    EXPECT_EQ(os.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.key("xs").beginArray();
+    w.value(uint64_t{1}).value(uint64_t{2}).value(uint64_t{3});
+    w.endArray();
+    w.key("o").beginObject();
+    w.key("k").value(int64_t{-4});
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(os.str(), R"({"xs":[1,2,3],"o":{"k":-4}})");
+}
+
+TEST(Json, EmptyContainers)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.key("a").beginArray().endArray();
+    w.key("o").beginObject().endObject();
+    w.endObject();
+    EXPECT_EQ(os.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(Json, DoubleUsesCompactForm)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginArray();
+    w.value(1.5).value(0.25);
+    w.endArray();
+    EXPECT_EQ(os.str(), "[1.5,0.25]");
+}
+
+TEST(Json, OutputRoundTripsThroughParser)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.key("name").value("he said \"hi\"\n");
+    w.key("count").value(uint64_t{18446744073709551615ull});
+    w.key("list").beginArray();
+    w.beginObject();
+    w.key("x").value(-1);
+    w.endObject();
+    w.value(false);
+    w.endArray();
+    w.endObject();
+
+    bool ok = false;
+    std::string err;
+    minijson::Value v = minijson::parse(os.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err << " in: " << os.str();
+    EXPECT_EQ(v["name"].str, "he said \"hi\"\n");
+    ASSERT_TRUE(v["list"].isArray());
+    ASSERT_EQ(v["list"].arr.size(), 2u);
+    EXPECT_EQ(v["list"].arr[0]["x"].number, -1.0);
+    EXPECT_EQ(v["list"].arr[1].type, minijson::Value::Type::Bool);
+}
+
+} // namespace
+} // namespace dfp

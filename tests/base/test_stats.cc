@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "base/stats.h"
+#include "support/minijson.h"
 
 namespace dfp
 {
@@ -54,6 +55,123 @@ TEST(Stats, DumpSortedWithPrefix)
     std::ostringstream os;
     s.dump(os, "p.");
     EXPECT_EQ(os.str(), "p.alpha 2\np.zeta 1\n");
+}
+
+TEST(Histogram, PowerOfTwoBuckets)
+{
+    Histogram h;
+    h.add(0); // bucket 0 holds exactly the value 0
+    h.add(1); // bucket 1 = [1,2)
+    h.add(2); // bucket 2 = [2,4)
+    h.add(3);
+    h.add(4); // bucket 3 = [4,8)
+    h.add(1ull << 40); // clamps into the last bucket
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 2u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Histogram, SummaryStats)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    h.add(2);
+    h.add(4);
+    h.add(12);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 18u);
+    EXPECT_EQ(h.min(), 2u);
+    EXPECT_EQ(h.max(), 12u);
+    EXPECT_DOUBLE_EQ(h.mean(), 6.0);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    Histogram a, b;
+    a.add(1);
+    a.add(8);
+    b.add(3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 12u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 8u);
+    Histogram empty;
+    a.merge(empty); // merging an empty histogram is a no-op
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, SampleRecordsIntoNamedHistogram)
+{
+    StatSet s;
+    s.sample("lat", 3);
+    s.sample("lat", 5);
+    EXPECT_EQ(s.allHistograms().count("missing"), 0u);
+    ASSERT_EQ(s.allHistograms().count("lat"), 1u);
+    EXPECT_EQ(s.histogram("lat").count(), 2u);
+    EXPECT_EQ(s.histogram("lat").sum(), 8u);
+}
+
+TEST(Stats, MergeCombinesHistograms)
+{
+    StatSet a, b;
+    a.sample("lat", 1);
+    b.sample("lat", 2);
+    b.sample("other", 7);
+    a.merge(b);
+    EXPECT_EQ(a.histogram("lat").count(), 2u);
+    EXPECT_EQ(a.histogram("other").sum(), 7u);
+}
+
+TEST(Stats, SetHistogramAdoptsComponentCopy)
+{
+    Histogram h;
+    h.add(9);
+    StatSet s;
+    s.setHistogram("comp", h);
+    EXPECT_EQ(s.histogram("comp").count(), 1u);
+    EXPECT_EQ(s.histogram("comp").max(), 9u);
+}
+
+TEST(Stats, ClearDropsEverything)
+{
+    StatSet s;
+    s.inc("a");
+    s.sample("h", 4);
+    s.clear();
+    EXPECT_EQ(s.get("a"), 0u);
+    EXPECT_TRUE(s.allHistograms().empty());
+    EXPECT_TRUE(s.all().empty());
+}
+
+TEST(Stats, DumpJsonIsValidAndComplete)
+{
+    StatSet s;
+    s.inc("sim.blocks", 42);
+    s.sample("sim.net.hop_latency", 0);
+    s.sample("sim.net.hop_latency", 5);
+    std::ostringstream os;
+    s.dumpJson(os);
+
+    bool ok = false;
+    std::string err;
+    minijson::Value v = minijson::parse(os.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err << " in: " << os.str();
+    EXPECT_EQ(v["counters"]["sim.blocks"].number, 42.0);
+    const minijson::Value &h =
+        v["histograms"]["sim.net.hop_latency"];
+    ASSERT_TRUE(h.isObject());
+    EXPECT_EQ(h["count"].number, 2.0);
+    EXPECT_EQ(h["sum"].number, 5.0);
+    EXPECT_EQ(h["min"].number, 0.0);
+    EXPECT_EQ(h["max"].number, 5.0);
+    ASSERT_TRUE(h["buckets"].isArray());
+    EXPECT_EQ(h["buckets"].arr.size(),
+              size_t(Histogram::kBuckets));
 }
 
 } // namespace

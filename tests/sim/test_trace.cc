@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+#include "support/minijson.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+using compiler::compileSource;
+using compiler::configNamed;
+
+isa::TProgram
+branchyProgram()
+{
+    return compileSource(R"(func f {
+block entry:
+    i = movi 0
+    acc = movi 0
+    jmp loop
+block loop:
+    off = shl i, 3
+    p = add 64, off
+    v = ld p
+    c = tgt v, 5
+    br c, big, small
+block big:
+    acc = add acc, v
+    st p, acc
+    jmp next
+block small:
+    acc = add acc, 1
+    jmp next
+block next:
+    i = add i, 1
+    lc = tlt i, 16
+    br lc, loop, done
+block done:
+    ret acc
+})",
+                         configNamed("both"))
+        .program;
+}
+
+isa::ArchState
+freshState()
+{
+    isa::ArchState state;
+    for (int i = 0; i < 16; ++i)
+        state.mem.store(64 + 8 * i, (i * 7) % 13);
+    return state;
+}
+
+/** Run the branchy loop with @p sink attached. */
+SimResult
+tracedRun(TraceSink *sink)
+{
+    isa::TProgram program = branchyProgram();
+    isa::ArchState state = freshState();
+    SimConfig cfg;
+    cfg.trace = sink;
+    SimResult res = simulate(program, state, cfg);
+    EXPECT_TRUE(res.halted) << res.error;
+    return res;
+}
+
+TEST(Trace, KindNamesAreStable)
+{
+    EXPECT_STREQ(traceEventKindName(TraceEventKind::BlockFetch),
+                 "block_fetch");
+    EXPECT_STREQ(traceEventKindName(TraceEventKind::NetHop), "net_hop");
+    EXPECT_STREQ(traceEventKindName(TraceEventKind::EarlyTerm),
+                 "early_term");
+}
+
+TEST(Trace, MakeTraceSinkSelectsFormat)
+{
+    std::ostringstream os;
+    EXPECT_NE(makeTraceSink("chrome", os), nullptr);
+    EXPECT_NE(makeTraceSink("jsonl", os), nullptr);
+    EXPECT_EQ(makeTraceSink("xml", os), nullptr);
+}
+
+TEST(Trace, ChromeOutputIsValidAndSchemaComplete)
+{
+    std::ostringstream os;
+    {
+        ChromeTraceSink sink(os);
+        tracedRun(&sink);
+    } // destructor finalizes the document
+
+    bool ok = false;
+    std::string err;
+    minijson::Value doc = minijson::parse(os.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err;
+    ASSERT_TRUE(doc["traceEvents"].isArray());
+    const auto &events = doc["traceEvents"].arr;
+    ASSERT_GT(events.size(), 10u);
+
+    std::set<std::string> phases;
+    std::set<std::string> names;
+    for (const minijson::Value &e : events) {
+        ASSERT_TRUE(e.isObject());
+        ASSERT_TRUE(e["ph"].isString());
+        phases.insert(e["ph"].str);
+        if (e["ph"].str == "M") { // metadata names a track
+            EXPECT_EQ(e["name"].str, "thread_name");
+            continue;
+        }
+        EXPECT_TRUE(e.has("ts"));
+        EXPECT_TRUE(e.has("pid"));
+        EXPECT_TRUE(e.has("tid"));
+        ASSERT_TRUE(e["name"].isString());
+        names.insert(e["name"].str.substr(0, e["name"].str.find(' ')));
+        if (e["ph"].str == "X") {
+            EXPECT_TRUE(e.has("dur"));
+        }
+    }
+    // Complete spans, instants, and track metadata all present.
+    EXPECT_TRUE(phases.count("X"));
+    EXPECT_TRUE(phases.count("i"));
+    EXPECT_TRUE(phases.count("M"));
+    // The branchy loop exercises fetch, commit, hops, loads, stores,
+    // and predicate-token delivery at minimum.
+    for (const char *kind : {"block_fetch", "block_commit", "net_hop",
+                             "lsq_load", "lsq_store", "pred_token"})
+        EXPECT_TRUE(names.count(kind)) << "missing kind " << kind;
+}
+
+TEST(Trace, ChromeFlushIsIdempotent)
+{
+    std::ostringstream os;
+    ChromeTraceSink sink(os);
+    tracedRun(&sink); // Machine::run flushes the sink at the end
+    sink.flush();
+    sink.flush();
+    bool ok = false;
+    std::string err;
+    minijson::parse(os.str(), &ok, &err);
+    EXPECT_TRUE(ok) << err;
+}
+
+TEST(Trace, JsonlEveryLineParsesWithSchema)
+{
+    std::ostringstream os;
+    JsonlTraceSink sink(os);
+    SimResult res = tracedRun(&sink);
+
+    std::istringstream lines(os.str());
+    std::string line;
+    size_t n = 0;
+    std::set<std::string> kinds;
+    uint64_t maxCycle = 0;
+    while (std::getline(lines, line)) {
+        bool ok = false;
+        std::string err;
+        minijson::Value e = minijson::parse(line, &ok, &err);
+        ASSERT_TRUE(ok) << err << " in line: " << line;
+        ASSERT_TRUE(e["kind"].isString());
+        ASSERT_TRUE(e["cycle"].isNumber());
+        kinds.insert(e["kind"].str);
+        maxCycle = std::max(maxCycle, uint64_t(e["cycle"].number));
+        ++n;
+    }
+    EXPECT_GT(n, 10u);
+    EXPECT_TRUE(kinds.count("block_commit"));
+    EXPECT_TRUE(kinds.count("net_hop"));
+    // Speculative work past the halting block may trail by a few
+    // cycles, but nothing should be wildly out of range.
+    EXPECT_LE(maxCycle, res.cycles + 64);
+}
+
+TEST(Trace, SimResultsUnchangedByTracing)
+{
+    std::ostringstream os;
+    JsonlTraceSink sink(os);
+    SimResult traced = tracedRun(&sink);
+    SimResult plain = tracedRun(nullptr);
+    EXPECT_EQ(traced.cycles, plain.cycles);
+    EXPECT_EQ(traced.blocksCommitted, plain.blocksCommitted);
+    EXPECT_EQ(traced.instsCommitted, plain.instsCommitted);
+}
+
+} // namespace
+} // namespace dfp::sim

@@ -5,33 +5,25 @@
  * IR, disassembles/encodes the target blocks, runs the functional
  * executor, or simulates on the cycle-level machine.
  *
- *   dfpc [options] <kernel.ir>
- *     -c <config>     bb|hyper|intra|inter|both|merge   (default both)
- *     -u <factor>     loop unroll factor                (default 1)
- *     -O0             disable scalar optimizations
- *     --multicast     use mov4 fanout trees
- *     --no-schedule   skip spatial scheduling
- *     --dump-ir       print hyperblock-form IR (paper notation)
- *     --dump-blocks   print target blocks with targets and LSIDs
- *     --encode        print the encoded 32-bit words
- *     --run           run on the functional executor
- *     --sim           run on the cycle-level machine (default)
- *     --stats         dump all compiler/simulator counters
- *     --workload <w>  compile a built-in workload instead of a file
+ * Run `dfpc --help` for the full flag reference (compile configs,
+ * dumps, the simulator, event tracing and JSON stats export).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "base/json.h"
 #include "compiler/pipeline.h"
 #include "compiler/regalloc.h"
 #include "ir/printer.h"
 #include "isa/encode.h"
 #include "isa/exec.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 #include "workloads/suite.h"
 
 using namespace dfp;
@@ -81,16 +73,56 @@ printBlock(const isa::TBlock &block, int index)
     }
 }
 
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfpc [options] (<kernel.ir> | --workload <name>)\n"
+        "\n"
+        "Compile a kernel written in the dfp textual IR and, depending\n"
+        "on flags, dump the hyperblock-form IR, disassemble/encode the\n"
+        "target blocks, run the functional executor, or simulate on the\n"
+        "cycle-level machine (the default action).\n"
+        "\n"
+        "compilation:\n"
+        "  -c <config>        bb|hyper|intra|inter|both|merge "
+        "(default both)\n"
+        "  -u <factor>        loop unroll factor (default 1, or the\n"
+        "                     workload's own hint)\n"
+        "  -O0                disable scalar optimizations\n"
+        "  --multicast        use mov4 fanout trees\n"
+        "  --no-schedule      skip spatial scheduling\n"
+        "\n"
+        "inputs:\n"
+        "  <kernel.ir>        compile a file\n"
+        "  --workload <name>  compile a built-in workload instead\n"
+        "  --list-workloads   print every built-in workload and exit\n"
+        "\n"
+        "actions:\n"
+        "  --dump-ir          print hyperblock-form IR (paper "
+        "notation)\n"
+        "  --dump-blocks      print target blocks with targets and "
+        "LSIDs\n"
+        "  --encode           print the encoded 32-bit words\n"
+        "  --run              run on the functional executor\n"
+        "  --sim              run on the cycle-level machine\n"
+        "\n"
+        "observability (see docs/TRACING.md):\n"
+        "  --stats            dump all compiler/simulator counters\n"
+        "  --stats-json=<f>   write counters + histograms as JSON "
+        "('-' = stdout)\n"
+        "  --trace=<file>     write a simulator event trace\n"
+        "  --trace-format=<fmt>  chrome (default; open in Perfetto or\n"
+        "                     chrome://tracing) or jsonl (one JSON\n"
+        "                     object per line)\n"
+        "\n"
+        "  -h, --help         this text\n");
+}
+
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: dfpc [-c config] [-u N] [-O0] [--multicast] "
-                 "[--no-schedule]\n"
-                 "            [--dump-ir] [--dump-blocks] [--encode] "
-                 "[--run] [--sim] [--stats]\n"
-                 "            (<kernel.ir> | --workload <name> | "
-                 "--list-workloads)\n");
+    printHelp(stderr);
     return 2;
 }
 
@@ -102,6 +134,7 @@ main(int argc, char **argv)
     std::string config = "both";
     std::string file;
     std::string workload;
+    std::string traceFile, traceFormat = "chrome", statsJsonFile;
     int unroll = 1;
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
@@ -110,9 +143,28 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
-            if (i + 1 >= argc)
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfpc: option '%s' needs a value\n\n",
+                             arg.c_str());
                 std::exit(usage());
+            }
             return argv[++i];
+        };
+        // `--flag=value` and `--flag value` are both accepted for the
+        // value-taking long options.
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
         };
         if (arg == "-c") config = next();
         else if (arg == "-u") unroll = std::atoi(next());
@@ -125,7 +177,14 @@ main(int argc, char **argv)
         else if (arg == "--run") runFunctional = true;
         else if (arg == "--sim") runSim = true;
         else if (arg == "--stats") stats = true;
-        else if (arg == "--workload") workload = next();
+        else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        }
+        else if (eatValue("--trace", traceFile)) {}
+        else if (eatValue("--trace-format", traceFormat)) {}
+        else if (eatValue("--stats-json", statsJsonFile)) {}
+        else if (eatValue("--workload", workload)) {}
         else if (arg == "--list-workloads") {
             for (const auto &w : workloads::eembcSuite())
                 std::printf("%s (%s)\n", w.name.c_str(),
@@ -137,13 +196,27 @@ main(int argc, char **argv)
         } else if (arg[0] != '-') {
             file = arg;
         } else {
+            std::fprintf(stderr, "dfpc: unknown option '%s'\n\n",
+                         arg.c_str());
             return usage();
         }
     }
+    if (traceFormat != "chrome" && traceFormat != "jsonl") {
+        std::fprintf(stderr,
+                     "dfpc: --trace-format must be 'chrome' or "
+                     "'jsonl', got '%s'\n\n",
+                     traceFormat.c_str());
+        return usage();
+    }
     if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats)
         runSim = true;
-    if (file.empty() && workload.empty())
+    if (!traceFile.empty() || !statsJsonFile.empty())
+        runSim = true; // tracing / stats export require a sim run
+    if (file.empty() && workload.empty()) {
+        std::fprintf(stderr, "dfpc: no input (give a <kernel.ir> file "
+                             "or --workload <name>)\n\n");
         return usage();
+    }
 
     try {
         std::string source;
@@ -213,8 +286,26 @@ main(int argc, char **argv)
         if (runSim) {
             isa::ArchState state;
             state.mem = initial;
-            sim::SimResult out = sim::simulate(res.program, state);
-            std::printf("sim: halted=%d result=%llu cycles=%llu "
+
+            sim::SimConfig simCfg;
+            simCfg.perBlockStats = stats || !statsJsonFile.empty();
+            std::ofstream traceOut;
+            std::unique_ptr<sim::TraceSink> sink;
+            if (!traceFile.empty()) {
+                traceOut.open(traceFile);
+                if (!traceOut)
+                    dfp_fatal("cannot open '", traceFile,
+                              "' for writing");
+                sink = sim::makeTraceSink(traceFormat, traceOut);
+                simCfg.trace = sink.get();
+            }
+
+            sim::SimResult out =
+                sim::simulate(res.program, state, simCfg);
+            // Keep stdout machine-clean when the stats JSON goes there.
+            FILE *sumOut = statsJsonFile == "-" ? stderr : stdout;
+            std::fprintf(sumOut,
+                        "sim: halted=%d result=%llu cycles=%llu "
                         "blocks=%llu IPC=%.2f mispredicts=%llu%s%s\n",
                         out.halted,
                         (unsigned long long)
@@ -226,8 +317,38 @@ main(int argc, char **argv)
                         (unsigned long long)out.mispredicts,
                         out.error.empty() ? "" : " error=",
                         out.error.c_str());
+            if (sink) {
+                sink->flush();
+                std::fprintf(stderr, "dfpc: wrote %s trace to %s\n",
+                             traceFormat.c_str(), traceFile.c_str());
+            }
             if (stats)
                 out.stats.dump(std::cout, "  ");
+            if (!statsJsonFile.empty()) {
+                std::ofstream jsonFileOut;
+                std::ostream *jsonOut = &std::cout;
+                if (statsJsonFile != "-") {
+                    jsonFileOut.open(statsJsonFile);
+                    if (!jsonFileOut)
+                        dfp_fatal("cannot open '", statsJsonFile,
+                                  "' for writing");
+                    jsonOut = &jsonFileOut;
+                }
+                *jsonOut << "{\"workload\":\""
+                         << json::escape(workload.empty() ? file
+                                                          : workload)
+                         << "\",\"config\":\"" << json::escape(config)
+                         << "\",\"sim\":";
+                out.stats.dumpJson(*jsonOut);
+                *jsonOut << ",\"compiler\":";
+                res.stats.dumpJson(*jsonOut);
+                *jsonOut << "}\n";
+                if (statsJsonFile != "-") {
+                    std::fprintf(stderr,
+                                 "dfpc: wrote stats JSON to %s\n",
+                                 statsJsonFile.c_str());
+                }
+            }
         }
         if (stats) {
             std::printf("compiler stats:\n");
