@@ -10,6 +10,7 @@
 #include "core/ssa.h"
 #include "ir/parser.h"
 #include "isa/validate.h"
+#include "verify/ir_verify.h"
 
 namespace dfp::compiler
 {
@@ -50,19 +51,33 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     CompileResult res;
     ir::Function fn = source;
 
+    // Inter-pass IR checking: each pass must leave the function
+    // satisfying the invariants of its stage, or the pipeline stops
+    // right there instead of miscompiling three passes later.
+    auto check = [&](verify::IrStage stage, const char *pass) {
+        if (opts.verifyEachPass)
+            verify::checkIrOrPanic(fn, stage, pass);
+    };
+    check(verify::IrStage::Cfg, "input");
+
     // 1. Frontend cleanups that are safe pre-SSA.
     foldConstants(fn);
+    check(verify::IrStage::Cfg, "foldConstants");
 
     // 2. Loop unrolling (pre-SSA: temps copy verbatim).
     if (opts.unroll.factor > 1) {
         int unrolled = unrollLoops(fn, opts.unroll);
         res.stats.set("pipe.unrolled_loops", unrolled);
+        check(verify::IrStage::Cfg, "unrollLoops");
     }
 
     // 3. SSA and scalar optimizations.
     core::buildSsa(fn);
-    if (opts.scalarOpts)
+    check(verify::IrStage::Ssa, "buildSsa");
+    if (opts.scalarOpts) {
         res.stats.set("pipe.scalar_changes", runScalarOpts(fn));
+        check(verify::IrStage::Ssa, "runScalarOpts");
+    }
 
     // 4. Region selection. Naive predication spends block space on
     // predicate fanout trees, so the hyperblock former must leave more
@@ -80,33 +95,40 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     res.stats.set("pipe.virt_regs", bs.virtRegs);
     res.stats.set("pipe.null_writes", bs.nullWrites);
     res.stats.set("pipe.split_blocks", bs.splitBlocks);
+    check(verify::IrStage::Cfg, "lowerBoundaries");
 
     // 6. If-conversion into hyperblocks (naive predication baseline).
     core::ifConvert(fn, plan);
     for (const ir::BBlock &hb : fn.blocks)
         core::checkHyperblock(hb);
+    check(verify::IrStage::Hyper, "ifConvert");
 
     // 7. Dataflow predicate optimizations (§5).
     if (opts.predFanoutReduction) {
         res.stats.set("pipe.fanout_removed",
                       core::reducePredFanout(fn));
+        check(verify::IrStage::Hyper, "reducePredFanout");
     }
     if (opts.pathSensitive) {
         res.stats.set("pipe.path_sensitive",
                       core::removePathSensitivePreds(fn));
+        check(verify::IrStage::Hyper, "removePathSensitivePreds");
     }
     if (opts.merging) {
         res.stats.set("pipe.merged",
                       core::mergeDisjointInstructions(fn));
+        check(verify::IrStage::Hyper, "mergeDisjointInstructions");
     }
     // Cleanup after the predicate passes.
     eliminateDeadCode(fn);
     for (const ir::BBlock &hb : fn.blocks)
         core::checkHyperblock(hb);
+    check(verify::IrStage::Hyper, "eliminateDeadCode");
 
     // 8. Register allocation.
     RegAllocResult ra = allocateRegisters(fn);
     res.stats.set("pipe.arch_regs", ra.regsUsed);
+    check(verify::IrStage::Hyper, "allocateRegisters");
 
     // 9. Code generation and linking.
     CodegenOptions cg;

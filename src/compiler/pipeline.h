@@ -43,6 +43,19 @@ struct CompileOptions
     bool scalarOpts = true;
     bool schedule = true;             //!< spatial placement
     bool multicast = false;           //!< mov4 fanout (§7 future work)
+
+    /**
+     * Run the verify::checkIrOrPanic IR checker between every pipeline
+     * pass (stage-appropriate: cfg / ssa / hyper invariants). On by
+     * default in Debug builds so every ctest run exercises the
+     * inter-pass checks; off in Release so hot benchmark paths pay
+     * nothing. `dfpc --verify` forces it on.
+     */
+#ifdef NDEBUG
+    bool verifyEachPass = false;
+#else
+    bool verifyEachPass = true;
+#endif
     UnrollOptions unroll;
     core::RegionConfig region;
     GridShape grid;

@@ -28,7 +28,12 @@ lexKey(const ir::Instr &inst)
     addOpnd(inst.dst);
     for (const ir::Opnd &src : inst.srcs)
         addOpnd(src);
-    key += detail::cat("|r", inst.reg, "|", inst.broLabel);
+    // The LSID is part of the instruction's identity: null tokens and
+    // stores with different LSIDs resolve different header-mask bits,
+    // so merging across LSIDs would double-resolve one and starve the
+    // other (dfp-lint DFPV206/207 catch exactly this).
+    key += detail::cat("|r", inst.reg, "|l", inst.lsid, "|",
+                       inst.broLabel);
     return key;
 }
 

@@ -1,7 +1,6 @@
 #include "isa/validate.h"
 
 #include <functional>
-#include <sstream>
 
 #include "base/logging.h"
 
@@ -10,6 +9,10 @@ namespace dfp::isa
 
 namespace
 {
+
+using verify::Severity;
+using verify::SourceLoc;
+namespace codes = verify::codes;
 
 /** Can this opcode legally receive a token in @p slot? */
 bool
@@ -30,40 +33,35 @@ slotLegal(const TInst &inst, Slot slot)
 
 } // namespace
 
-std::string
-ValidationResult::joined() const
+void
+validateBlock(const TBlock &block, verify::DiagList &out)
 {
-    std::ostringstream os;
-    for (size_t i = 0; i < errors.size(); ++i)
-        os << (i ? "; " : "") << errors[i];
-    return os.str();
-}
-
-ValidationResult
-validateBlock(const TBlock &block)
-{
-    ValidationResult res;
-    auto err = [&](auto &&...parts) {
-        res.errors.push_back(detail::cat("block '", block.label, "': ",
-                                         parts...));
+    auto err = [&](const char *code, int index, auto &&...parts) {
+        out.error(code, SourceLoc{block.label, index},
+                  detail::cat("block '", block.label, "': ", parts...));
     };
 
     const int n = static_cast<int>(block.insts.size());
     if (n > kMaxInsts)
-        err("too many instructions (", n, ")");
+        err(codes::BlockTooManyInsts, -1, "too many instructions (", n,
+            ")");
     if (block.reads.size() > kMaxReads)
-        err("too many reads (", block.reads.size(), ")");
+        err(codes::TooManyReads, -1, "too many reads (",
+            block.reads.size(), ")");
     if (block.writes.size() > kMaxWrites)
-        err("too many writes (", block.writes.size(), ")");
+        err(codes::TooManyWrites, -1, "too many writes (",
+            block.writes.size(), ")");
 
     // Per-slot producer counts; [slot][index].
     std::vector<int> leftProd(n, 0), rightProd(n, 0), predProd(n, 0);
     std::vector<int> writeProd(block.writes.size(), 0);
 
-    auto checkTarget = [&](const std::string &who, const Target &t) {
+    auto checkTarget = [&](const std::string &who, int fromIndex,
+                           const Target &t) {
         if (t.slot == Slot::WriteQ) {
             if (t.index >= block.writes.size()) {
-                err(who, " targets write slot ", int(t.index),
+                err(codes::WriteIndexOutOfRange, fromIndex, who,
+                    " targets write slot ", int(t.index),
                     " out of range");
                 return;
             }
@@ -71,13 +69,24 @@ validateBlock(const TBlock &block)
             return;
         }
         if (t.index >= n) {
-            err(who, " targets instruction ", int(t.index), " out of range");
+            err(codes::TargetOutOfRange, fromIndex, who,
+                " targets instruction ", int(t.index), " out of range");
             return;
         }
         const TInst &c = block.insts[t.index];
         if (!slotLegal(c, t.slot)) {
-            err(who, " targets illegal slot ", int(t.slot), " of inst ",
-                int(t.index), " (", opName(c.op), ")");
+            // A predicate token aimed at a PR=00 consumer gets its own
+            // code: it is the §3.2 rule the paper's predication model
+            // rests on, distinct from a plain operand-arity mismatch.
+            const char *code = (t.slot == Slot::Pred && !c.predicated())
+                                   ? codes::PredTokenToUnpredicated
+                                   : codes::IllegalSlot;
+            err(code, fromIndex, who, " targets illegal slot ",
+                int(t.slot), " of inst ", int(t.index), " (",
+                opName(c.op), ")",
+                code == codes::PredTokenToUnpredicated
+                    ? " which is unpredicated (PR=00)"
+                    : "");
             return;
         }
         switch (t.slot) {
@@ -90,15 +99,18 @@ validateBlock(const TBlock &block)
 
     for (size_t r = 0; r < block.reads.size(); ++r) {
         if (block.reads[r].reg >= kNumRegs)
-            err("read ", r, " register out of range");
+            err(codes::ReadRegOutOfRange, -1, "read ", r,
+                " register out of range");
         if (block.reads[r].targets.size() > 2)
-            err("read ", r, " has too many targets");
+            err(codes::ReadTooManyTargets, -1, "read ", r,
+                " has too many targets");
         for (const Target &t : block.reads[r].targets)
-            checkTarget(detail::cat("read ", r), t);
+            checkTarget(detail::cat("read ", r), -1, t);
     }
     for (size_t w = 0; w < block.writes.size(); ++w) {
         if (block.writes[w].reg >= kNumRegs)
-            err("write ", w, " register out of range");
+            err(codes::WriteRegOutOfRange, -1, "write ", w,
+                " register out of range");
     }
 
     int numBranches = 0;
@@ -108,41 +120,45 @@ validateBlock(const TBlock &block)
         std::string who = detail::cat("inst ", i, " (", opName(inst.op),
                                       ")");
         if (inst.op >= Op::NumOps) {
-            err(who, " bad opcode");
+            err(codes::BadOpcode, i, who, " bad opcode");
             continue;
         }
         if (isPseudoOp(inst.op)) {
-            err(who, " pseudo-op is not valid in a block");
+            err(codes::PseudoOp, i, who,
+                " pseudo-op is not valid in a block");
             continue;
         }
         if (inst.op == Op::Read || inst.op == Op::Write) {
-            err(who, " read/write are queue entries, not instructions");
+            err(codes::QueueOpInBlock, i, who,
+                " read/write are queue entries, not instructions");
             continue;
         }
         if (static_cast<int>(inst.targets.size()) > inst.maxTargets())
-            err(who, " has too many targets");
+            err(codes::TooManyTargets, i, who, " has too many targets");
         if (inst.op == Op::Bro) {
             ++numBranches;
         } else if (inst.op == Op::Switch) {
             if (inst.targets.size() != 2)
-                err(who, " switch requires exactly 2 targets");
+                err(codes::SwitchArity, i, who,
+                    " switch requires exactly 2 targets");
         }
         if (inst.op == Op::Ld || inst.op == Op::St) {
             if (inst.lsid >= kMaxLsids)
-                err(who, " LSID out of range");
+                err(codes::LsidOutOfRange, i, who, " LSID out of range");
             if (inst.op == Op::St) {
                 if (!(block.storeMask & (1u << inst.lsid)))
-                    err(who, " store LSID ", int(inst.lsid),
+                    err(codes::StoreLsidNotInMask, i, who,
+                        " store LSID ", int(inst.lsid),
                         " not in header mask");
                 seenLsids |= 1u << inst.lsid;
             }
         }
         for (const Target &t : inst.targets)
-            checkTarget(who, t);
+            checkTarget(who, i, t);
     }
 
     if (numBranches == 0)
-        err("no branch instruction");
+        err(codes::NoBranch, -1, "no branch instruction");
 
     // Every predicated instruction needs at least one predicate producer,
     // and every data operand needs at least one producer, otherwise the
@@ -150,27 +166,25 @@ validateBlock(const TBlock &block)
     for (int i = 0; i < n; ++i) {
         const TInst &inst = block.insts[i];
         if (inst.predicated() && predProd[i] == 0)
-            err("inst ", i, " (", opName(inst.op),
+            err(codes::PredNoProducer, i, "inst ", i, " (",
+                opName(inst.op),
                 ") is predicated but nothing targets its predicate");
-        if (!inst.predicated() && predProd[i] > 0)
-            err("inst ", i, " (", opName(inst.op),
-                ") is unpredicated but something targets its predicate");
         if (inst.numSrcs() >= 1 && leftProd[i] == 0)
-            err("inst ", i, " (", opName(inst.op),
-                ") left operand has no producer");
+            err(codes::OperandNoProducer, i, "inst ", i, " (",
+                opName(inst.op), ") left operand has no producer");
         if (inst.numSrcs() >= 2 && rightProd[i] == 0 &&
             !(inst.op == Op::St)) {
             // A store's value operand may legitimately be satisfied only
             // via a null token to its *left* slot (see DESIGN.md), but any
             // other two-source op with a missing right producer hangs.
-            err("inst ", i, " (", opName(inst.op),
-                ") right operand has no producer");
+            err(codes::OperandNoProducer, i, "inst ", i, " (",
+                opName(inst.op), ") right operand has no producer");
         }
     }
     for (size_t w = 0; w < block.writes.size(); ++w) {
         if (writeProd[w] == 0)
-            err("write slot ", w, " (g", int(block.writes[w].reg),
-                ") has no producer");
+            err(codes::WriteNoProducer, -1, "write slot ", w, " (g",
+                int(block.writes[w].reg), ") has no producer");
     }
 
     // Header store mask must not demand LSIDs no store can resolve...
@@ -197,33 +211,48 @@ validateBlock(const TBlock &block)
     };
     for (int i = 0; i < n; ++i) {
         if (color[i] == 0 && !dfs(i)) {
-            err("dataflow graph has a cycle through inst ", i);
+            err(codes::DataflowCycle, i,
+                "dataflow graph has a cycle through inst ", i);
             break;
         }
     }
+}
 
+void
+validateProgram(const TProgram &program, verify::DiagList &out)
+{
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        validateBlock(program.blocks[b], out);
+        const TBlock &block = program.blocks[b];
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const TInst &inst = block.insts[i];
+            if (inst.op == Op::Bro && inst.imm != kHaltTarget &&
+                (inst.imm < 0 ||
+                 inst.imm >= static_cast<int32_t>(program.blocks.size()))) {
+                out.error(codes::BranchTargetOutOfRange,
+                          SourceLoc{block.label, static_cast<int>(i)},
+                          detail::cat("block '", block.label,
+                                      "': bro target ", inst.imm,
+                                      " out of range"));
+            }
+        }
+    }
+}
+
+ValidationResult
+validateBlock(const TBlock &block)
+{
+    ValidationResult res;
+    validateBlock(block, res.diags);
     return res;
 }
 
 ValidationResult
 validateProgram(const TProgram &program)
 {
-    ValidationResult all;
-    for (size_t b = 0; b < program.blocks.size(); ++b) {
-        ValidationResult r = validateBlock(program.blocks[b]);
-        all.errors.insert(all.errors.end(), r.errors.begin(),
-                          r.errors.end());
-        for (const TInst &inst : program.blocks[b].insts) {
-            if (inst.op == Op::Bro && inst.imm != kHaltTarget &&
-                (inst.imm < 0 ||
-                 inst.imm >= static_cast<int32_t>(program.blocks.size()))) {
-                all.errors.push_back(detail::cat(
-                    "block '", program.blocks[b].label,
-                    "': bro target ", inst.imm, " out of range"));
-            }
-        }
-    }
-    return all;
+    ValidationResult res;
+    validateProgram(program, res.diags);
+    return res;
 }
 
 } // namespace dfp::isa

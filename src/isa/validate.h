@@ -6,7 +6,8 @@
  *  1. only predicable instructions carry a PR field other than 00
  *     (reads/writes are queue entries and cannot be predicated);
  *  2. every predicated instruction has at least one producer targeting
- *     its predicate operand;
+ *     its predicate operand, and predicate tokens are rejected when the
+ *     consumer's PR field is 00 (unpredicated);
  *  3. multiple producers may target one predicate operand (at most one
  *     matching at runtime is checked dynamically by the executor);
  *  4. predicates reach >2 consumers only through fanout instructions
@@ -16,26 +17,34 @@
  * Additional structural rules: targets in range, operand slots valid for
  * the consumer's opcode, dataflow acyclicity, one-or-more branches,
  * store LSIDs covered by the header mask, every write slot reachable.
+ *
+ * Every violation is reported as a verify::Diag with a stable DFPV1##
+ * code (see docs/VERIFY.md); ValidationResult keeps the historical
+ * ok()/joined() surface as a compatibility shim. The deeper predicate-
+ * path analysis (exactly-one-token-per-path and friends) lives in
+ * src/verify/block_verify.h, layered on top of these checks.
  */
 
 #ifndef DFP_ISA_VALIDATE_H
 #define DFP_ISA_VALIDATE_H
 
 #include <string>
-#include <vector>
 
 #include "isa/tblock.h"
+#include "verify/diag.h"
 
 namespace dfp::isa
 {
 
-/** Result of validating a block: empty errors means well-formed. */
+/** Result of validating a block: no error diags means well-formed. */
 struct ValidationResult
 {
-    std::vector<std::string> errors;
+    verify::DiagList diags;
 
-    bool ok() const { return errors.empty(); }
-    std::string joined() const;
+    bool ok() const { return !diags.hasErrors(); }
+
+    /** Legacy flat rendering: all messages joined by "; ". */
+    std::string joined() const { return diags.joined(); }
 };
 
 /** Validate a single block. */
@@ -43,6 +52,13 @@ ValidationResult validateBlock(const TBlock &block);
 
 /** Validate every block of a program plus inter-block branch targets. */
 ValidationResult validateProgram(const TProgram &program);
+
+/**
+ * Diagnostic-native variants: append to @p out instead of returning a
+ * fresh result.
+ */
+void validateBlock(const TBlock &block, verify::DiagList &out);
+void validateProgram(const TProgram &program, verify::DiagList &out);
 
 } // namespace dfp::isa
 

@@ -928,6 +928,9 @@ Machine::commitOldest()
         return;
     }
 
+    // The frame dies here; keep the committed block reachable for the
+    // register wake-ups below (it lives in the program, not the frame).
+    const isa::TBlock *const committed = f.block;
     order_.erase(order_.begin());
     frames_[slot].reset();
 
@@ -948,7 +951,7 @@ Machine::commitOldest()
     } else {
         // The next frame's reads may now resolve against committed
         // state (it may have been waiting on our writes).
-        for (const isa::WriteSlot &w : f.block->writes)
+        for (const isa::WriteSlot &w : committed->writes)
             wakeRegWaiters(w.reg);
         tryCommit();
     }

@@ -1,0 +1,873 @@
+#include "verify/block_verify.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "base/logging.h"
+#include "isa/validate.h"
+
+namespace dfp::verify
+{
+
+namespace
+{
+
+using isa::Op;
+using isa::PredMode;
+using isa::Slot;
+using isa::Target;
+using isa::TBlock;
+using isa::TInst;
+
+/**
+ * Abstract token: provenance plus nullness. Values are opaque — only
+ * the truth of an origin (assigned per enumerated path) and the null
+ * bit influence the dataflow firing structure.
+ */
+struct AbsToken
+{
+    int origin = -1;
+    bool null = false;
+};
+
+/** One deduplicated violation across paths, with its first witness. */
+struct Violation
+{
+    uint64_t witness = 0;  //!< variable assignment that first hit it
+    uint64_t paths = 0;    //!< how many enumerated paths hit it
+    std::string message;   //!< detail from the first witness
+};
+
+/**
+ * The predicate-path analyzer for one block. Requires the block to
+ * have passed isa::validateBlock (indices in range, graph acyclic).
+ */
+class PathAnalyzer
+{
+  public:
+    PathAnalyzer(const TBlock &block, const VerifyOptions &opts,
+                 DiagList &out)
+        : block_(block), opts_(opts), out_(out),
+          n_(static_cast<int>(block.insts.size()))
+    {}
+
+    void run();
+
+  private:
+    // --- setup ---------------------------------------------------------
+    void collectProducers();
+    void computeOrigins();
+    void buildVariables();
+    std::string originName(int origin) const;
+    std::string witnessString(uint64_t mask) const;
+
+    // --- static (non-enumerated) checks --------------------------------
+    void staticChecks();
+    bool mustProduceToken(int idx, std::vector<int> &memo) const;
+
+    // --- per-path simulation -------------------------------------------
+    void simulate(uint64_t mask);
+    bool truth(const AbsToken &tok) const;
+    bool absPredMatches(PredMode pr, const AbsToken &tok) const;
+    void deliver(const Target &t, const AbsToken &tok);
+    void maybeReady(int idx);
+    void fire(int idx);
+    void route(const TInst &inst, const AbsToken &tok);
+    void resolveLsid(uint8_t lsid);
+    bool loadOrderSatisfied(uint8_t lsid) const;
+    void retryLoads();
+    void finishPath();
+    void flag(const char *code, int index, std::string message);
+
+    const TBlock &block_;
+    const VerifyOptions &opts_;
+    DiagList &out_;
+    const int n_;
+
+    // Producer refs per slot: an instruction index (< n_) or a
+    // read-queue origin (n_ + read index).
+    std::vector<std::vector<int>> leftProd_, rightProd_, predProd_;
+
+    // Set of origins each instruction's output token can carry
+    // (singleton {i} except through mov/gate/switch forwarding).
+    std::vector<std::vector<int>> outOrigins_;
+
+    // Path variables: origin -> (variable index, negate). Correlated
+    // test pairs share a variable with opposite polarity. Constant
+    // origins (movi) have a fixed truth instead of a variable.
+    std::map<int, std::pair<int, bool>> varOf_;
+    std::map<int, bool> fixedTruth_;
+    std::vector<int> varRep_;   //!< representative origin per variable
+    bool exhaustive_ = true;
+
+    // Per-path state, reset by simulate().
+    uint64_t mask_ = 0;
+    std::vector<std::optional<AbsToken>> left_, right_;
+    std::vector<int> predMatch_;
+    std::vector<char> fired_, active_;
+    std::vector<int> writeCount_;
+    std::deque<int> ready_;
+    std::vector<int> pendingLoads_;
+    uint32_t resolvedLsids_ = 0;
+    int branchFires_ = 0;
+    std::set<std::pair<std::string, int>> flaggedThisPath_;
+
+    // Across paths.
+    std::vector<char> everActive_;
+    std::map<std::pair<std::string, int>, Violation> violations_;
+};
+
+void
+PathAnalyzer::collectProducers()
+{
+    leftProd_.assign(n_, {});
+    rightProd_.assign(n_, {});
+    predProd_.assign(n_, {});
+    auto note = [&](int ref, const Target &t) {
+        if (t.slot == Slot::WriteQ)
+            return;
+        switch (t.slot) {
+          case Slot::Left:  leftProd_[t.index].push_back(ref); break;
+          case Slot::Right: rightProd_[t.index].push_back(ref); break;
+          case Slot::Pred:  predProd_[t.index].push_back(ref); break;
+          default: break;
+        }
+    };
+    for (int i = 0; i < n_; ++i) {
+        for (const Target &t : block_.insts[i].targets)
+            note(i, t);
+    }
+    for (size_t r = 0; r < block_.reads.size(); ++r) {
+        for (const Target &t : block_.reads[r].targets)
+            note(n_ + static_cast<int>(r), t);
+    }
+}
+
+void
+PathAnalyzer::computeOrigins()
+{
+    // Topological order over the (validated acyclic) instruction graph.
+    std::vector<int> order;
+    std::vector<int> color(n_, 0);
+    std::vector<std::pair<int, size_t>> stack;
+    for (int s = 0; s < n_; ++s) {
+        if (color[s])
+            continue;
+        stack.push_back({s, 0});
+        color[s] = 1;
+        while (!stack.empty()) {
+            auto &[u, edge] = stack.back();
+            const auto &targets = block_.insts[u].targets;
+            bool descended = false;
+            while (edge < targets.size()) {
+                const Target &t = targets[edge++];
+                if (t.slot != Slot::WriteQ && t.index < n_ &&
+                    !color[t.index]) {
+                    color[t.index] = 1;
+                    stack.push_back({t.index, 0});
+                    descended = true;
+                    break;
+                }
+            }
+            if (descended)
+                continue;
+            order.push_back(u);
+            stack.pop_back();
+        }
+    }
+    // Post-order lists consumers before producers... no: children are
+    // consumers, so post-order lists consumers first; producers last.
+    // Reverse to get producers-before-consumers.
+    std::reverse(order.begin(), order.end());
+
+    outOrigins_.assign(n_, {});
+    auto originsOfRef = [&](int ref) -> std::vector<int> {
+        if (ref >= n_)
+            return {ref};
+        return outOrigins_[ref];
+    };
+    auto unionInto = [](std::vector<int> &dst,
+                        const std::vector<int> &src) {
+        for (int o : src) {
+            if (std::find(dst.begin(), dst.end(), o) == dst.end())
+                dst.push_back(o);
+        }
+    };
+    for (int i : order) {
+        const TInst &inst = block_.insts[i];
+        std::vector<int> &outs = outOrigins_[i];
+        if (inst.op == Op::Mov || inst.op == Op::Mov4) {
+            for (int ref : leftProd_[i])
+                unionInto(outs, originsOfRef(ref));
+        } else if (inst.op == Op::GateT || inst.op == Op::GateF ||
+                   inst.op == Op::Switch) {
+            for (int ref : rightProd_[i])
+                unionInto(outs, originsOfRef(ref));
+        }
+        if (outs.empty())
+            outs.push_back(i);
+    }
+}
+
+void
+PathAnalyzer::buildVariables()
+{
+    // Origins whose truth is ever consulted: values reaching a
+    // predicate operand, or the control (left) operand of a
+    // gate/switch.
+    std::set<int> consulted;
+    auto consult = [&](const std::vector<int> &refs) {
+        for (int ref : refs) {
+            if (ref >= n_) {
+                consulted.insert(ref);
+            } else {
+                for (int o : outOrigins_[ref])
+                    consulted.insert(o);
+            }
+        }
+    };
+    for (int i = 0; i < n_; ++i) {
+        consult(predProd_[i]);
+        const Op op = block_.insts[i].op;
+        if (op == Op::GateT || op == Op::GateF || op == Op::Switch)
+            consult(leftProd_[i]);
+    }
+
+    // Assign variables, tying correlated test pairs: two tests over
+    // identical producer lists whose opcodes are equal (same truth),
+    // inverted (negated), swapped (same), or inverted-swapped
+    // (negated) share one variable. Without tying, `tlt a,b` guarding
+    // one arm and `tge a,b` guarding the other would enumerate
+    // impossible both-true paths and report phantom violations.
+    using Key = std::tuple<int, std::vector<int>, std::vector<int>,
+                           int64_t>;
+    std::map<Key, std::pair<int, bool>> byKey;
+    varRep_.clear();
+    for (int origin : consulted) {
+        // A movi delivers a known constant: its truth is fixed, never
+        // a free variable. Guard trees are full of `movi 1` predicate
+        // seeds; enumerating them as free booleans would fabricate
+        // impossible paths (and phantom violations).
+        if (origin < n_ && block_.insts[origin].op == Op::Movi) {
+            fixedTruth_[origin] =
+                (block_.insts[origin].imm & 1) != 0;
+            continue;
+        }
+        if (origin < n_ && isa::isTestOp(block_.insts[origin].op)) {
+            const TInst &inst = block_.insts[origin];
+            std::vector<int> lp = leftProd_[origin];
+            std::vector<int> rp = rightProd_[origin];
+            std::sort(lp.begin(), lp.end());
+            std::sort(rp.begin(), rp.end());
+            const int op = static_cast<int>(inst.op);
+            const int64_t imm =
+                isa::opInfo(inst.op).hasImm ? inst.imm : 0;
+            const Op invOp = isa::invertedTest(inst.op);
+            // swappedTest only accepts reg-reg tests; immediate forms
+            // have a fixed right operand and nothing to swap.
+            const Op swapOp = isa::opInfo(inst.op).hasImm
+                                  ? Op::NumOps
+                                  : isa::swappedTest(inst.op);
+            const Op invSwapOp = swapOp != Op::NumOps
+                                     ? isa::invertedTest(swapOp)
+                                     : Op::NumOps;
+            struct Cand
+            {
+                Op op;
+                bool swap, neg;
+            };
+            const Cand cands[] = {
+                {inst.op, false, false},
+                {invOp, false, true},
+                {swapOp, true, false},
+                {invSwapOp, true, true},
+            };
+            bool tied = false;
+            for (const Cand &c : cands) {
+                if (c.op == Op::NumOps)
+                    continue;
+                Key k{static_cast<int>(c.op), c.swap ? rp : lp,
+                      c.swap ? lp : rp, imm};
+                auto it = byKey.find(k);
+                if (it != byKey.end()) {
+                    varOf_[origin] = {it->second.first,
+                                      it->second.second != c.neg};
+                    tied = true;
+                    break;
+                }
+            }
+            if (tied)
+                continue;
+            int var = static_cast<int>(varRep_.size());
+            varRep_.push_back(origin);
+            varOf_[origin] = {var, false};
+            byKey[Key{op, lp, rp, imm}] = {var, false};
+            continue;
+        }
+        int var = static_cast<int>(varRep_.size());
+        varRep_.push_back(origin);
+        varOf_[origin] = {var, false};
+    }
+}
+
+std::string
+PathAnalyzer::originName(int origin) const
+{
+    if (origin >= n_)
+        return detail::cat("read", origin - n_, "(g",
+                           int(block_.reads[origin - n_].reg), ")");
+    return detail::cat("i", origin, "(",
+                       isa::opName(block_.insts[origin].op), ")");
+}
+
+std::string
+PathAnalyzer::witnessString(uint64_t mask) const
+{
+    if (varRep_.empty())
+        return "unconditional";
+    std::string s;
+    for (size_t v = 0; v < varRep_.size(); ++v) {
+        if (!s.empty())
+            s += ", ";
+        s += originName(varRep_[v]);
+        s += (mask >> v) & 1 ? "=T" : "=F";
+    }
+    return s;
+}
+
+bool
+PathAnalyzer::mustProduceToken(int idx, std::vector<int> &memo) const
+{
+    // Conservative "definitely emits a token once per execution":
+    // unpredicated, never absorbing, and every needed operand slot has
+    // a producer that itself definitely emits. Reads always emit.
+    if (memo[idx] != -1)
+        return memo[idx] == 1;
+    memo[idx] = 0; // cycle-safe default (graph is acyclic anyway)
+    const TInst &inst = block_.insts[idx];
+    if (inst.predicated() || inst.op == Op::GateT ||
+        inst.op == Op::GateF || inst.op == Op::Switch)
+        return false;
+    auto slotCovered = [&](const std::vector<int> &prods) {
+        for (int ref : prods) {
+            if (ref >= n_ || mustProduceToken(ref, memo))
+                return true;
+        }
+        return false;
+    };
+    if (inst.numSrcs() >= 1 && !slotCovered(leftProd_[idx]))
+        return false;
+    if (inst.numSrcs() >= 2 && !slotCovered(rightProd_[idx]))
+        return false;
+    memo[idx] = 1;
+    return true;
+}
+
+void
+PathAnalyzer::staticChecks()
+{
+    // DFPV210: two stores sharing an LSID that both *definitely*
+    // resolve (fire or get nullified) double-resolve on every path.
+    std::vector<int> memo(n_, -1);
+    std::map<int, std::vector<int>> storesByLsid;
+    for (int i = 0; i < n_; ++i) {
+        if (block_.insts[i].op == Op::St)
+            storesByLsid[block_.insts[i].lsid].push_back(i);
+    }
+    for (const auto &[lsid, stores] : storesByLsid) {
+        if (stores.size() < 2)
+            continue;
+        int definite = 0;
+        for (int s : stores)
+            definite += mustProduceToken(s, memo) ? 1 : 0;
+        if (definite >= 2) {
+            out_.error(codes::DuplicateStoreLsid,
+                       SourceLoc{block_.label, stores[1]},
+                       detail::cat("block '", block_.label,
+                                   "': stores at ", stores[0], " and ",
+                                   stores[1],
+                                   " both always resolve LSID ", lsid));
+        }
+    }
+
+    if (!opts_.warnings)
+        return;
+
+    // DFPV211: a load whose output feeds (transitively) a store with an
+    // earlier masked LSID — the load waits for the store, the store
+    // waits for the load. Only a null token from elsewhere can break
+    // the cycle, so this is a warning, not an error.
+    for (int i = 0; i < n_; ++i) {
+        if (block_.insts[i].op != Op::Ld)
+            continue;
+        std::vector<char> seen(n_, 0);
+        std::vector<int> work = {i};
+        seen[i] = 1;
+        while (!work.empty()) {
+            int u = work.back();
+            work.pop_back();
+            for (const Target &t : block_.insts[u].targets) {
+                if (t.slot == Slot::WriteQ || t.index >= n_ ||
+                    seen[t.index])
+                    continue;
+                seen[t.index] = 1;
+                const TInst &c = block_.insts[t.index];
+                if (c.op == Op::St && c.lsid < block_.insts[i].lsid &&
+                    (block_.storeMask & (1u << c.lsid))) {
+                    out_.warning(
+                        codes::LsidOrderHazard,
+                        SourceLoc{block_.label, t.index},
+                        detail::cat("block '", block_.label,
+                                    "': load at ", i, " (LSID ",
+                                    int(block_.insts[i].lsid),
+                                    ") feeds store at ", int(t.index),
+                                    " with earlier LSID ",
+                                    int(c.lsid)));
+                }
+                work.push_back(t.index);
+            }
+        }
+    }
+
+    // DFPV214/215: fanout-tree shape.
+    for (int i = 0; i < n_; ++i) {
+        const TInst &inst = block_.insts[i];
+        if (inst.op != Op::Mov && inst.op != Op::Mov4)
+            continue;
+        if (inst.targets.empty()) {
+            out_.warning(codes::DeadFanoutNode,
+                         SourceLoc{block_.label, i},
+                         detail::cat("block '", block_.label,
+                                     "': fanout ", isa::opName(inst.op),
+                                     " at ", i, " has no targets"));
+        } else if (!inst.predicated() && inst.targets.size() == 1 &&
+                   inst.targets[0].slot == Slot::Left &&
+                   inst.targets[0].index < n_) {
+            const TInst &c = block_.insts[inst.targets[0].index];
+            if ((c.op == Op::Mov || c.op == Op::Mov4) &&
+                !c.predicated()) {
+                out_.warning(
+                    codes::RedundantFanout,
+                    SourceLoc{block_.label, i},
+                    detail::cat("block '", block_.label,
+                                "': single-target mov at ", i,
+                                " feeds another mov at ",
+                                int(inst.targets[0].index),
+                                " (redundant fanout depth)"));
+            }
+        }
+    }
+}
+
+bool
+PathAnalyzer::truth(const AbsToken &tok) const
+{
+    auto fixed = fixedTruth_.find(tok.origin);
+    if (fixed != fixedTruth_.end())
+        return fixed->second;
+    auto it = varOf_.find(tok.origin);
+    if (it == varOf_.end())
+        return false; // unconsulted origin; default polarity
+    bool v = (mask_ >> it->second.first) & 1;
+    return it->second.second ? !v : v;
+}
+
+bool
+PathAnalyzer::absPredMatches(PredMode pr, const AbsToken &tok) const
+{
+    if (pr == PredMode::Unpred || tok.null)
+        return false;
+    return truth(tok) == (pr == PredMode::OnTrue);
+}
+
+void
+PathAnalyzer::flag(const char *code, int index, std::string message)
+{
+    if (!flaggedThisPath_.insert({code, index}).second)
+        return;
+    auto [it, fresh] =
+        violations_.try_emplace({code, index});
+    if (fresh) {
+        it->second.witness = mask_;
+        it->second.message = std::move(message);
+    }
+    ++it->second.paths;
+}
+
+void
+PathAnalyzer::deliver(const Target &t, const AbsToken &tok)
+{
+    if (t.slot == Slot::WriteQ) {
+        if (++writeCount_[t.index] > 1) {
+            flag(codes::PathWriteDouble, -1,
+                 detail::cat("write slot ", int(t.index), " (g",
+                             int(block_.writes[t.index].reg),
+                             ") receives two tokens"));
+        }
+        return;
+    }
+    const int idx = t.index;
+    const TInst &def = block_.insts[idx];
+    if (t.slot == Slot::Pred) {
+        if (absPredMatches(def.pr, tok)) {
+            if (++predMatch_[idx] > 1) {
+                flag(codes::PathPredDouble, idx,
+                     detail::cat("inst ", idx, " (", isa::opName(def.op),
+                                 ") receives two matching predicates"));
+            }
+            maybeReady(idx);
+        }
+        return;
+    }
+    // A null token reaching a store nullifies it immediately (§4.2).
+    if (def.op == Op::St && tok.null) {
+        active_[idx] = 1;
+        resolveLsid(def.lsid);
+        return;
+    }
+    auto &slot = (t.slot == Slot::Left) ? left_[idx] : right_[idx];
+    if (slot.has_value()) {
+        flag(codes::PathOperandDouble, idx,
+             detail::cat("inst ", idx, " (", isa::opName(def.op),
+                         ") ", t.slot == Slot::Left ? "left" : "right",
+                         " operand receives two tokens"));
+        return;
+    }
+    slot = tok;
+    maybeReady(idx);
+}
+
+void
+PathAnalyzer::maybeReady(int idx)
+{
+    const TInst &def = block_.insts[idx];
+    if (fired_[idx])
+        return;
+    if (def.predicated() && predMatch_[idx] == 0)
+        return;
+    const int need = def.numSrcs();
+    if (need >= 1 && !left_[idx].has_value())
+        return;
+    if (need >= 2 && !right_[idx].has_value())
+        return;
+    ready_.push_back(idx);
+}
+
+void
+PathAnalyzer::route(const TInst &inst, const AbsToken &tok)
+{
+    for (const Target &t : inst.targets)
+        deliver(t, tok);
+}
+
+void
+PathAnalyzer::resolveLsid(uint8_t lsid)
+{
+    if (resolvedLsids_ & (1u << lsid)) {
+        flag(codes::PathLsidDouble, -1,
+             detail::cat("store LSID ", int(lsid), " resolves twice"));
+        return;
+    }
+    resolvedLsids_ |= 1u << lsid;
+    retryLoads();
+}
+
+bool
+PathAnalyzer::loadOrderSatisfied(uint8_t lsid) const
+{
+    uint32_t earlier = block_.storeMask & ((1u << lsid) - 1);
+    return (earlier & ~resolvedLsids_) == 0;
+}
+
+void
+PathAnalyzer::retryLoads()
+{
+    std::vector<int> still;
+    for (int idx : pendingLoads_) {
+        if (loadOrderSatisfied(block_.insts[idx].lsid)) {
+            const AbsToken addr = left_[idx].value_or(AbsToken{});
+            route(block_.insts[idx], AbsToken{idx, addr.null});
+        } else {
+            still.push_back(idx);
+        }
+    }
+    pendingLoads_ = std::move(still);
+}
+
+void
+PathAnalyzer::fire(int idx)
+{
+    const TInst &inst = block_.insts[idx];
+    if (fired_[idx])
+        return;
+    fired_[idx] = 1;
+    active_[idx] = 1;
+
+    const AbsToken a = left_[idx].value_or(AbsToken{});
+    const AbsToken b = right_[idx].value_or(AbsToken{});
+
+    switch (inst.op) {
+      case Op::Bro:
+        if (++branchFires_ > 1) {
+            flag(codes::PathBranchDouble, idx,
+                 detail::cat("branch at ", idx,
+                             " is the second branch to fire"));
+        }
+        return;
+      case Op::St:
+        // Null operands nullify; both ways the LSID resolves once.
+        resolveLsid(inst.lsid);
+        return;
+      case Op::Ld:
+        if (loadOrderSatisfied(inst.lsid))
+            route(inst, AbsToken{idx, a.null});
+        else
+            pendingLoads_.push_back(idx);
+        return;
+      case Op::GateT:
+      case Op::GateF:
+        // left = control, right = data; absorb on mismatch (§2.1).
+        if (a.null)
+            return;
+        if (truth(a) != (inst.op == Op::GateT))
+            return;
+        route(inst, b);
+        return;
+      case Op::Switch: {
+        if (a.null)
+            return;
+        deliver(inst.targets[truth(a) ? 0 : 1], b);
+        return;
+      }
+      case Op::Null:
+        route(inst, AbsToken{idx, true});
+        return;
+      case Op::Mov:
+      case Op::Mov4:
+        route(inst, a);
+        return;
+      default: {
+        // Mirrors isa::evalOp's null propagation: immediates are never
+        // null, so hasImm ops only inherit the left operand's nullness.
+        const int srcs =
+            isa::opInfo(inst.op).numSrcs +
+            (isa::opInfo(inst.op).hasImm ? 1 : 0);
+        const bool useA = srcs >= 1 && inst.op != Op::Movi;
+        const bool useB = srcs >= 2 && !isa::opInfo(inst.op).hasImm;
+        AbsToken out{idx, (useA && a.null) || (useB && b.null)};
+        route(inst, out);
+        return;
+      }
+    }
+}
+
+void
+PathAnalyzer::finishPath()
+{
+    bool incomplete = false;
+    if (branchFires_ == 0) {
+        flag(codes::PathNoBranch, -1, "no branch fires");
+        incomplete = true;
+    }
+    const uint32_t unresolved = block_.storeMask & ~resolvedLsids_;
+    if (unresolved) {
+        for (int lsid = 0; lsid < isa::kMaxLsids; ++lsid) {
+            if (!(unresolved & (1u << lsid)))
+                continue;
+            int site = -1;
+            for (int i = 0; i < n_ && site < 0; ++i) {
+                if (block_.insts[i].op == Op::St &&
+                    block_.insts[i].lsid == lsid)
+                    site = i;
+            }
+            flag(codes::PathStoreUnresolved, site,
+                 detail::cat("masked store LSID ", lsid,
+                             " never resolves"));
+        }
+        incomplete = true;
+    }
+    for (size_t w = 0; w < writeCount_.size(); ++w) {
+        if (writeCount_[w] == 0) {
+            flag(codes::PathWriteMissing, -1,
+                 detail::cat("write slot ", w, " (g",
+                             int(block_.writes[w].reg),
+                             ") receives no token, not even null"));
+            incomplete = true;
+        }
+    }
+    if (!incomplete)
+        return;
+    // Starvation diagnosis: instructions that were activated (matching
+    // predicate, or one of two operands) but never fired explain *why*
+    // the outputs above are missing.
+    for (int i = 0; i < n_; ++i) {
+        if (fired_[i])
+            continue;
+        const TInst &inst = block_.insts[i];
+        const bool predWoken =
+            inst.predicated() && predMatch_[i] > 0;
+        const bool halfFed =
+            inst.numSrcs() >= 2 &&
+            left_[i].has_value() != right_[i].has_value();
+        if (predWoken || halfFed) {
+            flag(codes::PathOperandMissing, i,
+                 detail::cat("inst ", i, " (", isa::opName(inst.op),
+                             ") ",
+                             predWoken ? "matched its predicate"
+                                       : "received one operand",
+                             " but starves waiting for ",
+                             inst.numSrcs() >= 1 &&
+                                     !left_[i].has_value()
+                                 ? "its left operand"
+                                 : "its right operand"));
+        }
+    }
+}
+
+void
+PathAnalyzer::simulate(uint64_t mask)
+{
+    mask_ = mask;
+    left_.assign(n_, std::nullopt);
+    right_.assign(n_, std::nullopt);
+    predMatch_.assign(n_, 0);
+    fired_.assign(n_, 0);
+    active_.assign(n_, 0);
+    writeCount_.assign(block_.writes.size(), 0);
+    ready_.clear();
+    pendingLoads_.clear();
+    resolvedLsids_ = 0;
+    branchFires_ = 0;
+    flaggedThisPath_.clear();
+
+    for (size_t r = 0; r < block_.reads.size(); ++r) {
+        AbsToken tok{n_ + static_cast<int>(r), false};
+        for (const Target &t : block_.reads[r].targets)
+            deliver(t, tok);
+    }
+    for (int i = 0; i < n_; ++i) {
+        const TInst &inst = block_.insts[i];
+        if (inst.numSrcs() == 0 && !inst.predicated())
+            ready_.push_back(i);
+    }
+    while (!ready_.empty()) {
+        int idx = ready_.front();
+        ready_.pop_front();
+        fire(idx);
+    }
+    finishPath();
+    for (int i = 0; i < n_; ++i)
+        everActive_[i] |= active_[i];
+}
+
+void
+PathAnalyzer::run()
+{
+    collectProducers();
+    computeOrigins();
+    buildVariables();
+    staticChecks();
+
+    const int k = static_cast<int>(varRep_.size());
+    everActive_.assign(n_, 0);
+    if (k <= opts_.maxPathVars) {
+        const uint64_t paths = uint64_t{1} << k;
+        for (uint64_t mask = 0; mask < paths; ++mask)
+            simulate(mask);
+    } else {
+        exhaustive_ = false;
+        if (opts_.warnings) {
+            out_.note(codes::PredSpaceSampled,
+                      SourceLoc{block_.label, -1},
+                      detail::cat("block '", block_.label, "': ", k,
+                                  " predicate variables exceed the 2^",
+                                  opts_.maxPathVars,
+                                  " exhaustive budget; sampling ",
+                                  opts_.sampledPaths, " paths"));
+        }
+        uint64_t state = 0x9e3779b97f4a7c15ull;
+        for (int p = 0; p < opts_.sampledPaths; ++p) {
+            // SplitMix64: deterministic, seed-stable sampling.
+            state += 0x9e3779b97f4a7c15ull;
+            uint64_t z = state;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            z ^= z >> 31;
+            simulate(k >= 64 ? z : (z & ((uint64_t{1} << k) - 1)));
+        }
+    }
+
+    for (const auto &[key, v] : violations_) {
+        const auto &[code, index] = key;
+        std::string msg = detail::cat(
+            "block '", block_.label, "': ", v.message,
+            " on predicate path {", witnessString(v.witness), "}");
+        if (v.paths > 1)
+            msg += detail::cat(" and ", v.paths - 1, " more path",
+                               v.paths > 2 ? "s" : "");
+        out_.error(code, SourceLoc{block_.label, index},
+                   std::move(msg));
+    }
+
+    // Dead predicate paths: provable only under exhaustive enumeration.
+    if (exhaustive_ && opts_.warnings) {
+        for (int i = 0; i < n_; ++i) {
+            if (!everActive_[i]) {
+                out_.warning(
+                    codes::DeadPredicatePath,
+                    SourceLoc{block_.label, i},
+                    detail::cat("block '", block_.label, "': inst ", i,
+                                " (", isa::opName(block_.insts[i].op),
+                                ") fires on no enumerated predicate "
+                                "path"));
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+verifyBlock(const isa::TBlock &block, const VerifyOptions &opts,
+            DiagList &out)
+{
+    DiagList structural;
+    isa::validateBlock(block, structural);
+    const bool sound = !structural.hasErrors();
+    out.append(std::move(structural));
+    if (sound && opts.deep)
+        PathAnalyzer(block, opts, out).run();
+}
+
+void
+verifyProgram(const isa::TProgram &program, const VerifyOptions &opts,
+              DiagList &out)
+{
+    for (const isa::TBlock &block : program.blocks)
+        verifyBlock(block, opts, out);
+    // Inter-block checks (branch target ranges) from the structural
+    // validator, without re-validating each block.
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        const isa::TBlock &block = program.blocks[b];
+        for (size_t i = 0; i < block.insts.size(); ++i) {
+            const isa::TInst &inst = block.insts[i];
+            if (inst.op == Op::Bro && inst.imm != isa::kHaltTarget &&
+                (inst.imm < 0 ||
+                 inst.imm >=
+                     static_cast<int32_t>(program.blocks.size()))) {
+                out.error(codes::BranchTargetOutOfRange,
+                          SourceLoc{block.label, static_cast<int>(i)},
+                          detail::cat("block '", block.label,
+                                      "': bro target ", inst.imm,
+                                      " out of range"));
+            }
+        }
+    }
+}
+
+} // namespace dfp::verify

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The deep TBlock analyzer — the static half of the paper's correctness
+ * argument. Where isa::validateBlock checks per-instruction structure,
+ * this analyzer checks the *dynamic* contract of §3–§5 statically, by
+ * enumerating the block's predicate space:
+ *
+ * Every value that can reach a predicate operand (or a gate/switch
+ * control) is traced back through mov fanout trees to its computing
+ * instruction or read-queue slot — its *origin*. Each origin that is
+ * ever consulted for truth becomes one boolean path variable
+ * (correlated test pairs such as `tlt a,b` / `tge a,b` over identical
+ * producers are tied to a single variable). For every assignment of
+ * the variables, an abstract token simulation mirroring the functional
+ * executor (isa/exec.cc) replays the dataflow firing rule — predicate
+ * matching, null-token propagation and store nullification, LSID
+ * ordering, block completion — and reports:
+ *
+ *  - exactly-one-token-per-path violations for every operand slot
+ *    (DFPV201/202) and write-queue slot (DFPV204/205);
+ *  - predicate-OR legality: at most one matching predicate (DFPV203);
+ *  - null-token coverage: masked store LSIDs and write slots resolve
+ *    on every path (DFPV204/206), exactly one branch fires
+ *    (DFPV208/209), no double LSID resolution (DFPV207);
+ *  - dead predicate paths: instructions that fire on no enumerated
+ *    path (DFPV212, warning), dead or redundant fanout-tree nodes
+ *    (DFPV214/215, warning), LSID-order hazards where a load feeds a
+ *    store with an earlier LSID (DFPV211, warning).
+ *
+ * Blocks whose predicate space exceeds `maxPathVars` are sampled
+ * deterministically instead of enumerated (DFPV213, note); errors
+ * found under sampling are still real, only exhaustiveness is lost.
+ */
+
+#ifndef DFP_VERIFY_BLOCK_VERIFY_H
+#define DFP_VERIFY_BLOCK_VERIFY_H
+
+#include "isa/tblock.h"
+#include "verify/diag.h"
+
+namespace dfp::verify
+{
+
+/** Knobs for the deep analyzer. */
+struct VerifyOptions
+{
+    /** Exhaustively enumerate up to 2^maxPathVars predicate paths. */
+    int maxPathVars = 12;
+
+    /** Paths sampled (deterministically) beyond the exhaustive cap. */
+    int sampledPaths = 2048;
+
+    /** Run the path-enumeration analysis (else structural only). */
+    bool deep = true;
+
+    /** Emit warning/note diagnostics (errors are always emitted). */
+    bool warnings = true;
+};
+
+/**
+ * Deep-verify one block: structural validation (isa::validateBlock)
+ * first, then — only when the structure is sound — the predicate-path
+ * analysis described above.
+ */
+void verifyBlock(const isa::TBlock &block, const VerifyOptions &opts,
+                 DiagList &out);
+
+/**
+ * Verify a whole linked program: inter-block structural validation
+ * plus the deep analysis of every block.
+ */
+void verifyProgram(const isa::TProgram &program,
+                   const VerifyOptions &opts, DiagList &out);
+
+} // namespace dfp::verify
+
+#endif // DFP_VERIFY_BLOCK_VERIFY_H

@@ -1,0 +1,145 @@
+#include "verify/diag.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/json.h"
+#include "base/logging.h"
+
+namespace dfp::verify
+{
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+SourceLoc::str() const
+{
+    if (block.empty())
+        return "<program>";
+    if (index < 0)
+        return detail::cat("block '", block, "'");
+    return detail::cat("block '", block, "' inst ", index);
+}
+
+std::string
+Diag::render() const
+{
+    return detail::cat(severityName(sev), " ", code, " [", loc.str(),
+                       "]: ", message);
+}
+
+Diag &
+DiagList::add(std::string code, Severity sev, SourceLoc loc,
+              std::string message)
+{
+    diags_.push_back({std::move(code), sev, std::move(loc),
+                      std::move(message)});
+    return diags_.back();
+}
+
+size_t
+DiagList::count(Severity sev) const
+{
+    size_t n = 0;
+    for (const Diag &d : diags_)
+        n += d.sev == sev;
+    return n;
+}
+
+bool
+DiagList::seen(std::string_view code) const
+{
+    for (const Diag &d : diags_) {
+        if (d.code == code)
+            return true;
+    }
+    return false;
+}
+
+void
+DiagList::append(DiagList &&other)
+{
+    for (Diag &d : other.diags_)
+        diags_.push_back(std::move(d));
+    other.diags_.clear();
+}
+
+void
+DiagList::renderText(std::ostream &os) const
+{
+    for (const Diag &d : diags_)
+        os << d.render() << '\n';
+}
+
+void
+DiagList::renderJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginArray();
+    for (const Diag &d : diags_) {
+        w.beginObject();
+        w.key("code").value(d.code);
+        w.key("severity").value(severityName(d.sev));
+        w.key("block").value(d.loc.block);
+        w.key("index").value(d.loc.index);
+        w.key("message").value(d.message);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::string
+DiagList::joined() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < diags_.size(); ++i)
+        os << (i ? "; " : "") << diags_[i].message;
+    return os.str();
+}
+
+std::string
+DiagList::joinedErrors() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const Diag &d : diags_) {
+        if (d.sev != Severity::Error)
+            continue;
+        os << (first ? "" : "; ") << d.render();
+        first = false;
+    }
+    return os.str();
+}
+
+const std::vector<CodeInfo> &
+diagCatalog()
+{
+    static const std::vector<CodeInfo> catalog = {
+#define DFP_DIAG(name, code, sev, summary)                                   \
+        {code, Severity::sev, summary},
+        DFP_DIAG_LIST
+#undef DFP_DIAG
+    };
+    return catalog;
+}
+
+const CodeInfo *
+findCode(std::string_view code)
+{
+    for (const CodeInfo &info : diagCatalog()) {
+        if (code == info.code)
+            return &info;
+    }
+    return nullptr;
+}
+
+} // namespace dfp::verify

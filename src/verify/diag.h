@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The dfp-verify diagnostics engine. Every check in the verifier
+ * subsystem (the ISA block validator, the IR/PFG verifier, and the
+ * deep predicate-path analyzer) reports through this type: a stable
+ * `DFPV###` code, a severity, a source location (block label +
+ * instruction index), and a human-readable message. Diagnostic lists
+ * render as text or as JSON (via base/json.h) and are the exchange
+ * format between the compiler pipeline, `dfpc --verify`, and the
+ * standalone `dfp-lint` tool.
+ *
+ * Code ranges: 1xx structural block/ISA checks, 2xx deep predicate-
+ * path analysis, 3xx IR/PFG checks. The full catalog (with minimal
+ * triggering examples) is documented in docs/VERIFY.md.
+ */
+
+#ifndef DFP_VERIFY_DIAG_H
+#define DFP_VERIFY_DIAG_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfp::verify
+{
+
+/** How bad a diagnostic is. Only Error fails a build/lint run. */
+enum class Severity : uint8_t
+{
+    Note,    //!< informational (e.g. analysis was truncated)
+    Warning, //!< suspicious but not provably wrong
+    Error,   //!< violates an invariant; the artifact is malformed
+};
+
+/** "note" / "warning" / "error". */
+const char *severityName(Severity sev);
+
+/** Where a diagnostic points: a block, optionally one instruction. */
+struct SourceLoc
+{
+    std::string block; //!< block label or IR block name ("" = program)
+    int index = -1;    //!< instruction index within the block (-1 = none)
+
+    /** "block 'x' inst 3", "block 'x'", or "<program>". */
+    std::string str() const;
+};
+
+/** One diagnostic. */
+struct Diag
+{
+    std::string code;    //!< stable "DFPV###" identifier
+    Severity sev = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    /** "error DFPV104 [block 'x' inst 3]: ...". */
+    std::string render() const;
+};
+
+/** An ordered collection of diagnostics with render helpers. */
+class DiagList
+{
+  public:
+    /** Append a diagnostic; returns it for further decoration. */
+    Diag &add(std::string code, Severity sev, SourceLoc loc,
+              std::string message);
+
+    Diag &
+    error(std::string code, SourceLoc loc, std::string message)
+    {
+        return add(std::move(code), Severity::Error, std::move(loc),
+                   std::move(message));
+    }
+
+    Diag &
+    warning(std::string code, SourceLoc loc, std::string message)
+    {
+        return add(std::move(code), Severity::Warning, std::move(loc),
+                   std::move(message));
+    }
+
+    Diag &
+    note(std::string code, SourceLoc loc, std::string message)
+    {
+        return add(std::move(code), Severity::Note, std::move(loc),
+                   std::move(message));
+    }
+
+    bool empty() const { return diags_.empty(); }
+    size_t size() const { return diags_.size(); }
+    const std::vector<Diag> &all() const { return diags_; }
+
+    bool hasErrors() const { return count(Severity::Error) > 0; }
+    size_t count(Severity sev) const;
+
+    /** True if any diagnostic carries @p code. */
+    bool seen(std::string_view code) const;
+
+    /** Move-append all diagnostics of @p other. */
+    void append(DiagList &&other);
+
+    /** One rendered diagnostic per line. */
+    void renderText(std::ostream &os) const;
+
+    /** A JSON array of {code, severity, block, index, message}. */
+    void renderJson(std::ostream &os) const;
+
+    /**
+     * All messages joined by "; " — the legacy isa::ValidationResult
+     * format, kept so pre-dfp-verify callers and tests keep working.
+     */
+    std::string joined() const;
+
+    /** Rendered error-severity diagnostics joined by "; ". */
+    std::string joinedErrors() const;
+
+  private:
+    std::vector<Diag> diags_;
+};
+
+/**
+ * The diagnostic catalog: symbolic name, "DFPV###" code, severity,
+ * one-line summary. Call sites use `codes::<Name>`; docs/VERIFY.md
+ * documents each entry with a minimal triggering example.
+ */
+#define DFP_DIAG_LIST                                                        \
+    /*        name                   code       severity  summary */         \
+    DFP_DIAG( BlockTooManyInsts,     "DFPV101", Error,                       \
+              "block exceeds the 128-instruction format limit")              \
+    DFP_DIAG( TooManyReads,          "DFPV102", Error,                       \
+              "block exceeds the 32-entry read queue")                       \
+    DFP_DIAG( TooManyWrites,         "DFPV103", Error,                       \
+              "block exceeds the 32-entry write queue")                      \
+    DFP_DIAG( TargetOutOfRange,      "DFPV104", Error,                       \
+              "target names an instruction index outside the block")         \
+    DFP_DIAG( WriteIndexOutOfRange,  "DFPV105", Error,                       \
+              "target names a write-queue slot that does not exist")         \
+    DFP_DIAG( IllegalSlot,           "DFPV106", Error,                       \
+              "target names an operand slot the consumer cannot accept")     \
+    DFP_DIAG( ReadRegOutOfRange,     "DFPV107", Error,                       \
+              "read queue entry names a register beyond g63")                \
+    DFP_DIAG( ReadTooManyTargets,    "DFPV108", Error,                       \
+              "read queue entry has more than two targets")                  \
+    DFP_DIAG( WriteRegOutOfRange,    "DFPV109", Error,                       \
+              "write queue entry names a register beyond g63")               \
+    DFP_DIAG( BadOpcode,             "DFPV110", Error,                       \
+              "instruction carries an out-of-range opcode")                  \
+    DFP_DIAG( PseudoOp,              "DFPV111", Error,                       \
+              "compiler pseudo-op (phi/br/jmp/ret) inside a block")          \
+    DFP_DIAG( QueueOpInBlock,        "DFPV112", Error,                       \
+              "read/write queue entry encoded as a block instruction")       \
+    DFP_DIAG( TooManyTargets,        "DFPV113", Error,                       \
+              "instruction has more targets than its format encodes")        \
+    DFP_DIAG( SwitchArity,           "DFPV114", Error,                       \
+              "switch requires exactly two targets")                         \
+    DFP_DIAG( LsidOutOfRange,        "DFPV115", Error,                       \
+              "load/store sequence id beyond the 32 LSIDs")                  \
+    DFP_DIAG( StoreLsidNotInMask,    "DFPV116", Error,                       \
+              "store LSID missing from the block's header store mask")       \
+    DFP_DIAG( NoBranch,              "DFPV117", Error,                       \
+              "block contains no branch instruction")                        \
+    DFP_DIAG( PredNoProducer,        "DFPV118", Error,                       \
+              "predicated instruction with no predicate producer")           \
+    DFP_DIAG( PredTokenToUnpredicated, "DFPV119", Error,                     \
+              "predicate token targets an instruction with PR=00")           \
+    DFP_DIAG( OperandNoProducer,     "DFPV120", Error,                       \
+              "data operand slot has no producer (block would hang)")        \
+    DFP_DIAG( WriteNoProducer,       "DFPV121", Error,                       \
+              "write-queue slot has no producer")                            \
+    DFP_DIAG( DataflowCycle,         "DFPV122", Error,                       \
+              "instruction dataflow graph is cyclic")                        \
+    DFP_DIAG( BranchTargetOutOfRange, "DFPV123", Error,                      \
+              "bro immediate names a block outside the program")             \
+    DFP_DIAG( PathOperandMissing,    "DFPV201", Error,                       \
+              "a firing instruction's operand gets no token on some path")   \
+    DFP_DIAG( PathOperandDouble,     "DFPV202", Error,                       \
+              "a data operand receives two tokens on some path")             \
+    DFP_DIAG( PathPredDouble,        "DFPV203", Error,                       \
+              "two matching predicate tokens arrive on some path")           \
+    DFP_DIAG( PathWriteMissing,      "DFPV204", Error,                       \
+              "a write slot gets no token (not even null) on some path")     \
+    DFP_DIAG( PathWriteDouble,       "DFPV205", Error,                       \
+              "a write slot receives two tokens on some path")               \
+    DFP_DIAG( PathStoreUnresolved,   "DFPV206", Error,                       \
+              "a masked store LSID never resolves on some path")             \
+    DFP_DIAG( PathLsidDouble,        "DFPV207", Error,                       \
+              "a store LSID resolves twice on some path")                    \
+    DFP_DIAG( PathNoBranch,          "DFPV208", Error,                       \
+              "no branch fires on some path")                                \
+    DFP_DIAG( PathBranchDouble,      "DFPV209", Error,                       \
+              "two branches fire on some path")                              \
+    DFP_DIAG( DuplicateStoreLsid,    "DFPV210", Error,                       \
+              "two unpredicated stores share one LSID")                      \
+    DFP_DIAG( LsidOrderHazard,       "DFPV211", Warning,                     \
+              "load output feeds a store with an earlier LSID")              \
+    DFP_DIAG( DeadPredicatePath,     "DFPV212", Warning,                     \
+              "instruction fires on no enumerated predicate path")           \
+    DFP_DIAG( PredSpaceSampled,      "DFPV213", Note,                        \
+              "predicate space too large; paths were sampled")               \
+    DFP_DIAG( DeadFanoutNode,        "DFPV214", Warning,                     \
+              "fanout mov with no targets")                                  \
+    DFP_DIAG( RedundantFanout,       "DFPV215", Warning,                     \
+              "single-target unpredicated mov feeding another mov")          \
+    DFP_DIAG( IrNoTerminator,        "DFPV301", Error,                       \
+              "IR block has no terminator")                                  \
+    DFP_DIAG( IrBadSuccessor,        "DFPV302", Error,                       \
+              "terminator successor label does not resolve")                 \
+    DFP_DIAG( IrPhiArity,            "DFPV303", Error,                       \
+              "phi operand count does not match its incoming blocks")        \
+    DFP_DIAG( IrUseBeforeDef,        "DFPV304", Error,                       \
+              "temp used without a reaching definition")                     \
+    DFP_DIAG( IrMultipleDefs,        "DFPV305", Error,                       \
+              "temp defined more than once in SSA form")                     \
+    DFP_DIAG( IrDomViolation,        "DFPV306", Error,                       \
+              "SSA definition does not dominate a use")                      \
+    DFP_DIAG( IrGuardUndefined,      "DFPV307", Error,                       \
+              "guard references a predicate with no definition")             \
+    DFP_DIAG( IrContradictoryGuards, "DFPV308", Error,                       \
+              "one instruction guarded on both polarities of a predicate")   \
+    DFP_DIAG( IrMixedPolarityOr,     "DFPV309", Error,                       \
+              "predicate-OR guard set mixes polarities")                     \
+    DFP_DIAG( IrNonDisjointDefs,     "DFPV310", Error,                       \
+              "multiple defs of a temp are not provably disjoint")           \
+    DFP_DIAG( IrGuardCycle,          "DFPV311", Error,                       \
+              "guard chain is cyclic (guard unreachable from entry)")        \
+    DFP_DIAG( IrPseudoInBody,        "DFPV312", Error,                       \
+              "terminator pseudo-op in a block body")                        \
+    DFP_DIAG( IrUnreachableBlock,    "DFPV313", Warning,                     \
+              "block unreachable from the entry")                            \
+    DFP_DIAG( IrPhiBadPred,          "DFPV314", Error,                       \
+              "phi input from a block that is not a predecessor")            \
+    DFP_DIAG( IrNoBranchInHyper,     "DFPV315", Error,                       \
+              "hyperblock contains no bro instruction")
+
+/** Symbolic constants for the catalog codes (codes::TargetOutOfRange). */
+namespace codes
+{
+#define DFP_DIAG(name, code, sev, summary)                                   \
+    inline constexpr const char *name = code;
+DFP_DIAG_LIST
+#undef DFP_DIAG
+} // namespace codes
+
+/** Catalog entry for one diagnostic code. */
+struct CodeInfo
+{
+    const char *code;     //!< "DFPV###"
+    Severity sev;         //!< severity the code is emitted with
+    const char *summary;  //!< one-line description
+};
+
+/** Every diagnostic code dfp-verify can emit, in numeric order. */
+const std::vector<CodeInfo> &diagCatalog();
+
+/** Catalog lookup; nullptr for unknown codes. */
+const CodeInfo *findCode(std::string_view code);
+
+} // namespace dfp::verify
+
+#endif // DFP_VERIFY_DIAG_H

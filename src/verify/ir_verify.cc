@@ -1,0 +1,479 @@
+#include "verify/ir_verify.h"
+
+#include <map>
+#include <set>
+
+#include "base/logging.h"
+#include "core/pfg.h"
+#include "ir/analysis.h"
+
+namespace dfp::verify
+{
+
+namespace
+{
+
+/** Per-function context shared by the stage checks. */
+struct IrChecker
+{
+    const ir::Function &fn;
+    IrStage stage;
+    DiagList &out;
+
+    void
+    error(const char *code, const ir::BBlock &block, int index,
+          std::string message)
+    {
+        out.error(code, SourceLoc{block.name, index}, std::move(message));
+    }
+
+    void structural();
+    void reachability(std::vector<char> &reachable);
+    void ssaChecks(const std::vector<char> &reachable);
+    void hyperChecks(const ir::BBlock &block);
+
+    void run();
+};
+
+void
+IrChecker::structural()
+{
+    for (const ir::BBlock &block : fn.blocks) {
+        if (stage == IrStage::Hyper) {
+            if (block.term != ir::Term::Hyper) {
+                error(codes::IrNoTerminator, block, -1,
+                      detail::cat("block '", block.name,
+                                  "' is not in hyperblock form"));
+            }
+        } else if (block.term == ir::Term::None) {
+            error(codes::IrNoTerminator, block, -1,
+                  detail::cat("block '", block.name,
+                              "' has no terminator"));
+        }
+        if (block.term == ir::Term::Br && !block.cond.isTemp() &&
+            !block.cond.isImm()) {
+            error(codes::IrNoTerminator, block, -1,
+                  detail::cat("block '", block.name,
+                              "' br without condition"));
+        }
+        size_t want = block.term == ir::Term::Jmp  ? 1
+                      : block.term == ir::Term::Br ? 2
+                                                   : 0;
+        if (block.term != ir::Term::Hyper &&
+            block.term != ir::Term::None &&
+            block.succLabels.size() != want) {
+            error(codes::IrBadSuccessor, block, -1,
+                  detail::cat("block '", block.name,
+                              "' has wrong successor count"));
+        }
+        for (const std::string &label : ir::successorLabels(block)) {
+            if (fn.blockId(label) < 0) {
+                error(codes::IrBadSuccessor, block, -1,
+                      detail::cat("block '", block.name,
+                                  "' successor '", label,
+                                  "' does not resolve"));
+            }
+        }
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const ir::Instr &inst = block.instrs[i];
+            if (inst.op == isa::Op::Br || inst.op == isa::Op::Jmp ||
+                inst.op == isa::Op::Ret) {
+                error(codes::IrPseudoInBody, block,
+                      static_cast<int>(i),
+                      detail::cat("terminator pseudo-op ",
+                                  isa::opName(inst.op),
+                                  " in the body of block '", block.name,
+                                  "'"));
+            }
+            if (inst.op == isa::Op::Phi &&
+                inst.srcs.size() != inst.phiBlocks.size()) {
+                error(codes::IrPhiArity, block, static_cast<int>(i),
+                      detail::cat("phi operand/block count mismatch in '",
+                                  block.name, "'"));
+            }
+        }
+    }
+
+    // Every temp used anywhere must have some definition (any stage;
+    // SSA materializes implicit zeros, the frontend rejects use-before-
+    // def via the golden interpreter).
+    std::set<int> defined;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp())
+                defined.insert(inst.dst.id);
+        }
+    }
+    for (const ir::BBlock &block : fn.blocks) {
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const ir::Instr &inst = block.instrs[i];
+            for (const ir::Opnd &src : inst.srcs) {
+                if (src.isTemp() && !defined.count(src.id)) {
+                    error(codes::IrUseBeforeDef, block,
+                          static_cast<int>(i),
+                          detail::cat("t", src.id, " used in block '",
+                                      block.name,
+                                      "' but never defined"));
+                }
+            }
+            // Guard predicates get their dedicated code: an undefined
+            // guard silences the instruction forever, a different
+            // failure mode from a missing data operand.
+            for (const ir::Guard &g : inst.guards) {
+                if (!defined.count(g.pred)) {
+                    error(codes::IrGuardUndefined, block,
+                          static_cast<int>(i),
+                          detail::cat("guard predicate t", g.pred,
+                                      " of instruction ", i, " in '",
+                                      block.name,
+                                      "' has no definition"));
+                }
+            }
+        }
+        std::vector<int> termUses;
+        ir::collectTermUses(block, termUses);
+        for (int t : termUses) {
+            if (!defined.count(t)) {
+                error(codes::IrUseBeforeDef, block, -1,
+                      detail::cat("t", t, " used by the terminator of '",
+                                  block.name, "' but never defined"));
+            }
+        }
+    }
+}
+
+void
+IrChecker::reachability(std::vector<char> &reachable)
+{
+    reachable.assign(fn.blocks.size(), 0);
+    if (fn.entry < 0 || fn.entry >= static_cast<int>(fn.blocks.size()))
+        return;
+    std::vector<int> work = {fn.entry};
+    reachable[fn.entry] = 1;
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (const std::string &label :
+             ir::successorLabels(fn.blocks[b])) {
+            int s = fn.blockId(label);
+            if (s >= 0 && !reachable[s]) {
+                reachable[s] = 1;
+                work.push_back(s);
+            }
+        }
+    }
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        if (!reachable[b]) {
+            out.warning(codes::IrUnreachableBlock,
+                        SourceLoc{fn.blocks[b].name, -1},
+                        detail::cat("block '", fn.blocks[b].name,
+                                    "' is unreachable from the entry"));
+        }
+    }
+}
+
+void
+IrChecker::ssaChecks(const std::vector<char> &reachable)
+{
+    // Definition sites: temp -> (block id, instruction index).
+    std::map<int, std::pair<int, int>> defSite;
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        const ir::BBlock &block = fn.blocks[b];
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const ir::Instr &inst = block.instrs[i];
+            if (!inst.dst.isTemp())
+                continue;
+            auto [it, fresh] = defSite.try_emplace(
+                inst.dst.id, static_cast<int>(b), static_cast<int>(i));
+            if (!fresh) {
+                error(codes::IrMultipleDefs, block, static_cast<int>(i),
+                      detail::cat("t", inst.dst.id,
+                                  " redefined in block '", block.name,
+                                  "' (first defined in '",
+                                  fn.blocks[it->second.first].name,
+                                  "' inst ", it->second.second, ")"));
+            }
+        }
+    }
+
+    ir::DomTree dom = ir::computeDominators(fn);
+    auto defReaches = [&](int t, int useBlock, int usePos) {
+        auto it = defSite.find(t);
+        if (it == defSite.end())
+            return true; // already reported by structural()
+        auto [db, di] = it->second;
+        if (db == useBlock)
+            return usePos < 0 || di < usePos; // usePos < 0: terminator
+        return dom.dominates(db, useBlock);
+    };
+
+    for (size_t b = 0; b < fn.blocks.size(); ++b) {
+        if (!reachable[b])
+            continue; // dominance is undefined off the reachable CFG
+        const ir::BBlock &block = fn.blocks[b];
+        for (size_t i = 0; i < block.instrs.size(); ++i) {
+            const ir::Instr &inst = block.instrs[i];
+            if (inst.op == isa::Op::Phi) {
+                for (size_t k = 0; k < inst.srcs.size() &&
+                                   k < inst.phiBlocks.size(); ++k) {
+                    int pb = inst.phiBlocks[k];
+                    bool isPred = false;
+                    for (int p : block.preds)
+                        isPred |= p == pb;
+                    if (!isPred) {
+                        error(codes::IrPhiBadPred, block,
+                              static_cast<int>(i),
+                              detail::cat("phi in '", block.name,
+                                          "' has an input from block ",
+                                          pb,
+                                          " which is not a predecessor"));
+                        continue;
+                    }
+                    if (inst.srcs[k].isTemp() &&
+                        !defReaches(inst.srcs[k].id, pb, -1)) {
+                        error(codes::IrDomViolation, block,
+                              static_cast<int>(i),
+                              detail::cat("phi input t",
+                                          inst.srcs[k].id,
+                                          " does not dominate edge ",
+                                          fn.blocks[pb].name, " -> ",
+                                          block.name));
+                    }
+                }
+                continue;
+            }
+            std::vector<int> uses;
+            ir::collectUses(inst, uses);
+            for (int t : uses) {
+                if (!defReaches(t, static_cast<int>(b),
+                                static_cast<int>(i))) {
+                    error(codes::IrDomViolation, block,
+                          static_cast<int>(i),
+                          detail::cat("definition of t", t,
+                                      " does not dominate its use in '",
+                                      block.name, "' inst ", i));
+                }
+            }
+        }
+        std::vector<int> termUses;
+        ir::collectTermUses(block, termUses);
+        for (int t : termUses) {
+            if (!defReaches(t, static_cast<int>(b), -1)) {
+                error(codes::IrDomViolation, block, -1,
+                      detail::cat("definition of t", t,
+                                  " does not dominate the terminator "
+                                  "of '", block.name, "'"));
+            }
+        }
+    }
+}
+
+void
+IrChecker::hyperChecks(const ir::BBlock &block)
+{
+    if (block.term != ir::Term::Hyper)
+        return; // already reported by structural()
+
+    bool hasBro = false;
+    for (const ir::Instr &inst : block.instrs)
+        hasBro |= inst.op == isa::Op::Bro;
+    if (!hasBro) {
+        error(codes::IrNoBranchInHyper, block, -1,
+              detail::cat("hyperblock '", block.name,
+                          "' contains no bro instruction"));
+    }
+
+    // Topological order: every use (including guards) must follow a
+    // definition; entry phis are resolved by register allocation and
+    // Read injects from outside the block.
+    std::set<int> seen;
+    std::map<int, std::vector<int>> defs; // temp -> defining indices
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+        const ir::Instr &inst = block.instrs[i];
+        if (inst.op == isa::Op::Phi) {
+            if (inst.dst.isTemp()) {
+                seen.insert(inst.dst.id);
+                defs[inst.dst.id].push_back(static_cast<int>(i));
+            }
+            continue;
+        }
+        std::vector<int> uses;
+        ir::collectUses(inst, uses);
+        for (int t : uses) {
+            if (!seen.count(t) && inst.op != isa::Op::Read) {
+                error(codes::IrUseBeforeDef, block, static_cast<int>(i),
+                      detail::cat("t", t, " used at index ", i,
+                                  " before any definition in "
+                                  "hyperblock '", block.name, "'"));
+            }
+        }
+        if (inst.dst.isTemp()) {
+            seen.insert(inst.dst.id);
+            defs[inst.dst.id].push_back(static_cast<int>(i));
+        }
+    }
+
+    // Guard sanity: defined predicates, polarity rules.
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+        const ir::Instr &inst = block.instrs[i];
+        if (inst.op == isa::Op::Phi)
+            continue;
+        bool contradictory = false;
+        for (size_t x = 0; x < inst.guards.size(); ++x) {
+            for (size_t y = x + 1; y < inst.guards.size(); ++y) {
+                if (inst.guards[x].pred == inst.guards[y].pred &&
+                    inst.guards[x].onTrue != inst.guards[y].onTrue)
+                    contradictory = true;
+            }
+        }
+        if (contradictory) {
+            error(codes::IrContradictoryGuards, block,
+                  static_cast<int>(i),
+                  detail::cat("instruction ", i, " in '", block.name,
+                              "' is guarded on both polarities of t",
+                              inst.guards.front().pred));
+        } else if (inst.guards.size() > 1) {
+            for (const ir::Guard &g : inst.guards) {
+                if (g.onTrue != inst.guards.front().onTrue) {
+                    error(codes::IrMixedPolarityOr, block,
+                          static_cast<int>(i),
+                          detail::cat("predicate-OR guard set of "
+                                      "instruction ", i, " in '",
+                                      block.name,
+                                      "' mixes polarities"));
+                    break;
+                }
+            }
+        }
+        for (const ir::Guard &g : inst.guards) {
+            if (!defs.count(g.pred)) {
+                error(codes::IrGuardUndefined, block,
+                      static_cast<int>(i),
+                      detail::cat("guard predicate t", g.pred,
+                                  " of instruction ", i, " in '",
+                                  block.name, "' has no definition"));
+            }
+        }
+    }
+
+    // Guard chains must be acyclic so every guard is reachable from the
+    // block entry (a cycle means no token can ever start the chain).
+    bool cyclic = false;
+    for (const auto &[temp, sites] : defs) {
+        std::set<int> onChain;
+        int t = temp;
+        while (true) {
+            if (!onChain.insert(t).second) {
+                error(codes::IrGuardCycle, block, -1,
+                      detail::cat("guard chain through t", t, " in '",
+                                  block.name, "' is cyclic"));
+                cyclic = true;
+                break;
+            }
+            auto it = defs.find(t);
+            if (it == defs.end() || it->second.size() != 1)
+                break; // join or undefined: chain terminates
+            const ir::Instr &def = block.instrs[it->second.front()];
+            if (def.guards.size() != 1)
+                break; // unguarded or predicate-OR: chain terminates
+            t = def.guards.front().pred;
+        }
+        if (cyclic)
+            break;
+    }
+
+    // Multiple defs of one temp must be pairwise disjoint (a dataflow
+    // join). Mirrors core::checkHyperblock, but reports a diagnostic
+    // instead of panicking; skipped when the guard structure is cyclic
+    // (PredInfo::contextOf would not terminate).
+    if (cyclic)
+        return;
+    core::PredInfo info(block);
+    auto disjunctContexts = [&](int idx) {
+        std::vector<std::vector<ir::Guard>> contexts;
+        const ir::Instr &inst = block.instrs[idx];
+        if (inst.guards.size() <= 1) {
+            contexts.push_back(info.contextOf(idx));
+        } else {
+            for (const ir::Guard &g : inst.guards)
+                contexts.push_back(info.contextOfGuards({g}));
+        }
+        return contexts;
+    };
+    for (const auto &[temp, sites] : defs) {
+        for (size_t x = 0; x < sites.size(); ++x) {
+            for (size_t y = x + 1; y < sites.size(); ++y) {
+                if (block.instrs[sites[x]].op == isa::Op::Phi ||
+                    block.instrs[sites[y]].op == isa::Op::Phi)
+                    continue;
+                bool ok = true;
+                for (const auto &cx : disjunctContexts(sites[x])) {
+                    for (const auto &cy : disjunctContexts(sites[y]))
+                        ok &= core::PredInfo::disjoint(cx, cy);
+                }
+                if (!ok) {
+                    error(codes::IrNonDisjointDefs, block, sites[y],
+                          detail::cat("defs of t", temp, " at ",
+                                      sites[x], " and ", sites[y],
+                                      " in '", block.name,
+                                      "' are not provably disjoint"));
+                }
+            }
+        }
+    }
+}
+
+void
+IrChecker::run()
+{
+    if (fn.blocks.empty()) {
+        out.error(codes::IrNoTerminator, SourceLoc{},
+                  "function has no blocks");
+        return;
+    }
+    structural();
+    std::vector<char> reachable;
+    reachability(reachable);
+    if (out.hasErrors())
+        return; // structure is broken; deeper checks would misfire
+    if (stage == IrStage::Ssa)
+        ssaChecks(reachable);
+    if (stage == IrStage::Hyper) {
+        for (const ir::BBlock &block : fn.blocks)
+            hyperChecks(block);
+    }
+}
+
+} // namespace
+
+const char *
+irStageName(IrStage stage)
+{
+    switch (stage) {
+      case IrStage::Cfg: return "cfg";
+      case IrStage::Ssa: return "ssa";
+      case IrStage::Hyper: return "hyper";
+    }
+    return "?";
+}
+
+void
+verifyFunction(const ir::Function &fn, IrStage stage, DiagList &out)
+{
+    IrChecker{fn, stage, out}.run();
+}
+
+void
+checkIrOrPanic(const ir::Function &fn, IrStage stage,
+               const char *passName)
+{
+    DiagList diags;
+    verifyFunction(fn, stage, diags);
+    if (diags.hasErrors()) {
+        dfp_panic("IR verification (stage ", irStageName(stage),
+                  ") failed after pass '", passName, "': ",
+                  diags.joinedErrors());
+    }
+}
+
+} // namespace dfp::verify

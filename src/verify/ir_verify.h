@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The inter-pass IR verifier. Each compiler pass leaves the function in
+ * one of three shapes, and the checks differ per shape:
+ *
+ *  - Cfg: frontend form. Structural checks only — terminators present,
+ *    successor labels resolve, phi arity, no terminator pseudo-ops in
+ *    block bodies, every used temp defined somewhere.
+ *  - Ssa: adds unique-definition and dominance checking (defs dominate
+ *    uses, phi inputs dominate their incoming edge).
+ *  - Hyper: hyperblock form after if-conversion. Adds predicate-flow-
+ *    graph consistency: topological def-before-use, every guard
+ *    predicate defined in-block and its guard chain acyclic (reachable
+ *    from block entry), no contradictory bipolar guards on one
+ *    instruction, predicate-OR polarity consistency, and pairwise
+ *    disjointness of multiple definitions of one temp.
+ *
+ * The pipeline invokes this between every pass when
+ * CompileOptions::verifyEachPass is set (default in Debug builds;
+ * `dfpc --verify` forces it on): see verify::checkIrOrPanic.
+ */
+
+#ifndef DFP_VERIFY_IR_VERIFY_H
+#define DFP_VERIFY_IR_VERIFY_H
+
+#include "ir/ir.h"
+#include "verify/diag.h"
+
+namespace dfp::verify
+{
+
+/** Which invariants the function is expected to satisfy. */
+enum class IrStage : uint8_t
+{
+    Cfg,   //!< frontend CFG, temps freely redefined
+    Ssa,   //!< unique defs + dominance
+    Hyper, //!< hyperblock form with predicate guards
+};
+
+/** "cfg" / "ssa" / "hyper". */
+const char *irStageName(IrStage stage);
+
+/** Run every check for @p stage, appending diagnostics to @p out. */
+void verifyFunction(const ir::Function &fn, IrStage stage,
+                    DiagList &out);
+
+/**
+ * Pipeline hook: verify and dfp_panic with the rendered error
+ * diagnostics when any check fails, naming @p passName as the pass
+ * that broke the invariant. Warnings and notes are discarded.
+ */
+void checkIrOrPanic(const ir::Function &fn, IrStage stage,
+                    const char *passName);
+
+} // namespace dfp::verify
+
+#endif // DFP_VERIFY_IR_VERIFY_H

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header for the dfp::verify subsystem: the diagnostics
+ * engine (diag.h), the inter-pass IR/PFG verifier (ir_verify.h), and
+ * the deep TBlock predicate-path analyzer (block_verify.h).
+ */
+
+#ifndef DFP_VERIFY_VERIFY_H
+#define DFP_VERIFY_VERIFY_H
+
+#include "verify/block_verify.h"
+#include "verify/diag.h"
+#include "verify/ir_verify.h"
+
+#endif // DFP_VERIFY_VERIFY_H

@@ -65,8 +65,36 @@ TEST(Validate, PredicatedWithoutProducerFlagged)
 TEST(Validate, PredicateToUnpredicatedFlagged)
 {
     TBlock block = goodBlock();
-    block.insts[0].targets.push_back({Slot::Pred, 1});
-    EXPECT_FALSE(validateBlock(block).ok());
+    // movi -> mov fanout; the mov aims a predicate token at the bro,
+    // which is unpredicated (PR=00).
+    block.insts[0].targets = {{Slot::Left, 1}};
+    TInst mov;
+    mov.op = Op::Mov;
+    mov.targets = {{Slot::Pred, 2}, {Slot::WriteQ, 0}};
+    block.insts.insert(block.insts.begin() + 1, mov);
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    // A predicate token aimed at a PR=00 consumer gets its dedicated
+    // code, not the generic illegal-slot one.
+    EXPECT_TRUE(res.diags.seen(verify::codes::PredTokenToUnpredicated));
+    EXPECT_FALSE(res.diags.seen(verify::codes::IllegalSlot));
+    EXPECT_NE(res.joined().find("unpredicated (PR=00)"),
+              std::string::npos);
+    // Predicating the consumer makes the same token legal.
+    block.insts[2].pr = PredMode::OnTrue;
+    EXPECT_TRUE(validateBlock(block).ok());
+}
+
+TEST(Validate, DiagnosticsCarryCodesAndLocations)
+{
+    TBlock block = goodBlock();
+    block.insts.pop_back(); // drop the branch
+    auto res = validateBlock(block);
+    ASSERT_FALSE(res.ok());
+    EXPECT_TRUE(res.diags.seen(verify::codes::NoBranch));
+    ASSERT_EQ(res.diags.size(), 1u);
+    EXPECT_EQ(res.diags.all()[0].loc.block, "good");
+    EXPECT_EQ(res.diags.all()[0].sev, verify::Severity::Error);
 }
 
 TEST(Validate, MissingOperandProducerFlagged)

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include "verify/block_verify.h"
+
+namespace dfp::verify
+{
+namespace
+{
+
+using isa::kHaltTarget;
+using isa::Op;
+using isa::PredMode;
+using isa::Slot;
+using isa::TBlock;
+using isa::TInst;
+using isa::TProgram;
+
+TInst
+inst(Op op, std::vector<isa::Target> targets,
+     PredMode pr = PredMode::Unpred, int32_t imm = 0)
+{
+    TInst i;
+    i.op = op;
+    i.targets = std::move(targets);
+    i.pr = pr;
+    i.imm = imm;
+    return i;
+}
+
+DiagList
+verify(const TBlock &block, VerifyOptions opts = {})
+{
+    DiagList out;
+    verifyBlock(block, opts, out);
+    return out;
+}
+
+/**
+ * A predicated diamond: a register read feeds one test whose result
+ * fans out to an on-true and an on-false movi, each targeting the
+ * single write slot. Exactly one token per slot on either path.
+ *
+ *   r0(g2) -> i0 tnei -> i1 mov -> { i2.P, i3.P }
+ *   i2 movi_t -> W0 ; i3 movi_f -> W0 ; i4 bro halt
+ */
+TBlock
+diamond()
+{
+    TBlock block;
+    block.label = "diamond";
+    block.reads.push_back({2, {{Slot::Left, 0}}});
+    block.insts = {
+        inst(Op::Tnei, {{Slot::Left, 1}}, PredMode::Unpred, 0),
+        inst(Op::Mov, {{Slot::Pred, 2}, {Slot::Pred, 3}}),
+        inst(Op::Movi, {{Slot::WriteQ, 0}}, PredMode::OnTrue, 10),
+        inst(Op::Movi, {{Slot::WriteQ, 0}}, PredMode::OnFalse, 20),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.writes.push_back({1});
+    return block;
+}
+
+TEST(BlockVerify, CleanPredicatedDiamondIsSpotless)
+{
+    DiagList out = verify(diamond());
+    EXPECT_TRUE(out.empty()) << out.joined();
+}
+
+TEST(BlockVerify, MissingWriteOnOnePathFlagged)
+{
+    TBlock block = diamond();
+    // The on-false arm no longer reaches the write slot: structurally
+    // the slot still has a producer (the on-true arm), but on the
+    // false path nothing arrives — only the deep analysis sees it.
+    block.insts[3].targets.clear();
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathWriteMissing)) << out.joined();
+    // The witness names the enumerated test variable.
+    EXPECT_NE(out.joined().find("tnei"), std::string::npos)
+        << out.joined();
+}
+
+TEST(BlockVerify, DoubleWriteOnOnePathFlagged)
+{
+    TBlock block = diamond();
+    // Both arms now fire on true: double write on the true path,
+    // nothing on the false path.
+    block.insts[3].pr = PredMode::OnTrue;
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathWriteDouble)) << out.joined();
+    EXPECT_TRUE(out.seen(codes::PathWriteMissing)) << out.joined();
+}
+
+TEST(BlockVerify, DoubleMatchingPredicateFlagged)
+{
+    TBlock block = diamond();
+    // The fanout delivers the predicate to i2 twice: on the true path
+    // both copies match.
+    block.insts[1] = inst(
+        Op::Mov4, {{Slot::Pred, 2}, {Slot::Pred, 2}, {Slot::Pred, 3}});
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathPredDouble)) << out.joined();
+}
+
+TEST(BlockVerify, DoubleDataOperandFlagged)
+{
+    TBlock block;
+    block.label = "dup";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 3}}, PredMode::Unpred, 1),
+        inst(Op::Movi, {{Slot::Left, 3}}, PredMode::Unpred, 2),
+        inst(Op::Movi, {{Slot::Right, 3}}, PredMode::Unpred, 3),
+        inst(Op::Add, {{Slot::WriteQ, 0}}),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.writes.push_back({1});
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathOperandDouble)) << out.joined();
+    EXPECT_FALSE(out.seen(codes::PathWriteMissing));
+    EXPECT_FALSE(out.seen(codes::PathWriteDouble));
+}
+
+TEST(BlockVerify, NoBranchOnOnePathFlagged)
+{
+    TBlock block = diamond();
+    block.insts[1] = inst(
+        Op::Mov4, {{Slot::Pred, 2}, {Slot::Pred, 3}, {Slot::Pred, 4}});
+    block.insts[4].pr = PredMode::OnTrue;
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathNoBranch)) << out.joined();
+}
+
+TEST(BlockVerify, DoubleBranchFlagged)
+{
+    TBlock block = diamond();
+    block.insts.push_back(
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget));
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathBranchDouble)) << out.joined();
+}
+
+/** addr/value movis feeding one store, LSID 0 masked. */
+TBlock
+storeBlock()
+{
+    TBlock block;
+    block.label = "store";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 2}}, PredMode::Unpred, 8),
+        inst(Op::Movi, {{Slot::Right, 2}}, PredMode::Unpred, 3),
+        inst(Op::St, {}),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.insts[2].lsid = 0;
+    block.storeMask = 1u;
+    return block;
+}
+
+TEST(BlockVerify, CleanStoreBlockPasses)
+{
+    DiagList out = verify(storeBlock());
+    EXPECT_TRUE(out.empty()) << out.joined();
+}
+
+TEST(BlockVerify, MaskedLsidWithNoResolverFlagged)
+{
+    TBlock block = storeBlock();
+    // Header mask promises LSID 1 but no store or null ever resolves
+    // it: the block would never complete. Structural validation
+    // accepts this (a null could resolve it); the path analysis
+    // proves none does.
+    block.storeMask |= 1u << 1;
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::PathStoreUnresolved)) << out.joined();
+}
+
+TEST(BlockVerify, DuplicateStoreLsidFlagged)
+{
+    TBlock block;
+    block.label = "twostores";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 4}}, PredMode::Unpred, 8),
+        inst(Op::Movi, {{Slot::Right, 4}}, PredMode::Unpred, 3),
+        inst(Op::Movi, {{Slot::Left, 5}}, PredMode::Unpred, 16),
+        inst(Op::Movi, {{Slot::Right, 5}}, PredMode::Unpred, 4),
+        inst(Op::St, {}),
+        inst(Op::St, {}),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.insts[4].lsid = 0;
+    block.insts[5].lsid = 0;
+    block.storeMask = 1u;
+    DiagList out = verify(block);
+    // Static check: both stores definitely fire.
+    EXPECT_TRUE(out.seen(codes::DuplicateStoreLsid)) << out.joined();
+    // Path check: the LSID resolves twice on the (only) path.
+    EXPECT_TRUE(out.seen(codes::PathLsidDouble)) << out.joined();
+}
+
+TEST(BlockVerify, LoadFeedingEarlierStoreWarns)
+{
+    TBlock block;
+    block.label = "hazard";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 1}}, PredMode::Unpred, 8),
+        inst(Op::Ld, {{Slot::Left, 3}}),
+        inst(Op::Movi, {{Slot::Right, 3}}, PredMode::Unpred, 7),
+        inst(Op::St, {}),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.insts[1].lsid = 1;
+    block.insts[3].lsid = 0;
+    block.storeMask = 1u;
+    DiagList out = verify(block);
+    // The load waits for LSID 0; the store waits for the load.
+    EXPECT_TRUE(out.seen(codes::LsidOrderHazard)) << out.joined();
+    EXPECT_TRUE(out.seen(codes::PathStoreUnresolved)) << out.joined();
+}
+
+TEST(BlockVerify, ConstantPredicateIsNotEnumerated)
+{
+    TBlock block = diamond();
+    // Replace the test with a constant-false seed (movi 0). Its truth
+    // is fixed, not a free path variable: the on-true arm is provably
+    // dead, and the block is still correct (no phantom missing-write
+    // error from an impossible "constant is true" path).
+    block.insts[0] = inst(Op::Movi, {{Slot::Left, 1}},
+                          PredMode::Unpred, 0);
+    block.reads.clear(); // the movi replaces the register read
+    DiagList out = verify(block);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+    EXPECT_TRUE(out.seen(codes::DeadPredicatePath)) << out.joined();
+}
+
+TEST(BlockVerify, InvertedTestPairSharesOneVariable)
+{
+    // tlt a,b guards one arm; tge a,b guards the other. Tied to a
+    // single variable they are complementary and the block is clean;
+    // enumerated independently the impossible both-true / both-false
+    // paths would report double/missing writes.
+    TBlock block;
+    block.label = "tied";
+    block.reads.push_back({2, {{Slot::Left, 0}, {Slot::Left, 1}}});
+    block.reads.push_back({3, {{Slot::Right, 0}, {Slot::Right, 1}}});
+    block.insts = {
+        inst(Op::Tlt, {{Slot::Left, 2}}),
+        inst(Op::Tge, {{Slot::Left, 3}}),
+        inst(Op::Mov, {{Slot::Pred, 4}}),
+        inst(Op::Mov, {{Slot::Pred, 5}}),
+        inst(Op::Movi, {{Slot::WriteQ, 0}}, PredMode::OnTrue, 1),
+        inst(Op::Movi, {{Slot::WriteQ, 0}}, PredMode::OnTrue, 2),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.writes.push_back({1});
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.empty()) << out.joined();
+}
+
+TEST(BlockVerify, LargePredicateSpaceIsSampled)
+{
+    // Three independent register-read predicates exceed a 2-variable
+    // exhaustive budget: the analyzer samples and says so.
+    TBlock block;
+    block.label = "wide";
+    for (int j = 0; j < 3; ++j) {
+        const uint8_t m = static_cast<uint8_t>(3 * j);
+        block.reads.push_back(
+            {static_cast<uint8_t>(2 + j), {{Slot::Left, m}}});
+        block.insts.push_back(inst(
+            Op::Mov, {{Slot::Pred, static_cast<uint8_t>(m + 1)},
+                      {Slot::Pred, static_cast<uint8_t>(m + 2)}}));
+        block.insts.push_back(
+            inst(Op::Movi, {{Slot::WriteQ, static_cast<uint8_t>(j)}},
+                 PredMode::OnTrue, 1));
+        block.insts.push_back(
+            inst(Op::Movi, {{Slot::WriteQ, static_cast<uint8_t>(j)}},
+                 PredMode::OnFalse, 2));
+        block.writes.push_back({static_cast<uint8_t>(1 + j)});
+    }
+    block.insts.push_back(
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget));
+
+    VerifyOptions opts;
+    opts.maxPathVars = 2;
+    DiagList out = verify(block, opts);
+    EXPECT_TRUE(out.seen(codes::PredSpaceSampled)) << out.joined();
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+
+    // With the default budget the same block enumerates cleanly.
+    DiagList full = verify(block);
+    EXPECT_TRUE(full.empty()) << full.joined();
+}
+
+TEST(BlockVerify, DeadFanoutNodeWarns)
+{
+    TBlock block;
+    block.label = "deadmov";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 1}}, PredMode::Unpred, 1),
+        inst(Op::Mov, {}),
+        inst(Op::Movi, {{Slot::WriteQ, 0}}, PredMode::Unpred, 2),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.writes.push_back({1});
+    DiagList out = verify(block);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+    EXPECT_TRUE(out.seen(codes::DeadFanoutNode)) << out.joined();
+}
+
+TEST(BlockVerify, RedundantFanoutChainWarns)
+{
+    TBlock block;
+    block.label = "movmov";
+    block.insts = {
+        inst(Op::Movi, {{Slot::Left, 1}}, PredMode::Unpred, 1),
+        inst(Op::Mov, {{Slot::Left, 2}}),
+        inst(Op::Mov, {{Slot::WriteQ, 0}}),
+        inst(Op::Bro, {}, PredMode::Unpred, kHaltTarget),
+    };
+    block.writes.push_back({1});
+    DiagList out = verify(block);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+    EXPECT_TRUE(out.seen(codes::RedundantFanout)) << out.joined();
+
+    VerifyOptions quiet;
+    quiet.warnings = false;
+    EXPECT_TRUE(verify(block, quiet).empty());
+}
+
+TEST(BlockVerify, DeepAnalysisCanBeDisabled)
+{
+    TBlock block = diamond();
+    block.insts[3].targets.clear(); // path bug, structurally fine
+    VerifyOptions shallow;
+    shallow.deep = false;
+    DiagList out = verify(block, shallow);
+    EXPECT_TRUE(out.empty()) << out.joined();
+}
+
+TEST(BlockVerify, StructuralErrorsSkipDeepAnalysis)
+{
+    TBlock block = diamond();
+    block.insts.pop_back(); // no branch: structural error
+    DiagList out = verify(block);
+    EXPECT_TRUE(out.seen(codes::NoBranch)) << out.joined();
+    EXPECT_FALSE(out.seen(codes::PathNoBranch)) << out.joined();
+}
+
+TEST(BlockVerify, ProgramBranchTargetsRangeChecked)
+{
+    TProgram program;
+    program.blocks.push_back(diamond());
+    program.blocks[0].insts[4].imm = 7; // no block 7
+    DiagList out;
+    verifyProgram(program, {}, out);
+    EXPECT_TRUE(out.seen(codes::BranchTargetOutOfRange))
+        << out.joined();
+
+    program.blocks[0].insts[4].imm = 0; // self-loop is fine
+    DiagList clean;
+    verifyProgram(program, {}, clean);
+    EXPECT_TRUE(clean.empty()) << clean.joined();
+}
+
+} // namespace
+} // namespace dfp::verify

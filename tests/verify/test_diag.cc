@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "verify/diag.h"
+
+namespace dfp::verify
+{
+namespace
+{
+
+TEST(Diag, RenderIncludesSeverityCodeAndLocation)
+{
+    Diag d{codes::NoBranch, Severity::Error, {"loop", 3},
+           "no branch instruction"};
+    std::string r = d.render();
+    EXPECT_NE(r.find("error"), std::string::npos);
+    EXPECT_NE(r.find("DFPV117"), std::string::npos);
+    EXPECT_NE(r.find("'loop'"), std::string::npos);
+    EXPECT_NE(r.find("inst 3"), std::string::npos);
+    EXPECT_NE(r.find("no branch instruction"), std::string::npos);
+}
+
+TEST(Diag, SourceLocRendersProgramScope)
+{
+    EXPECT_EQ(SourceLoc{}.str(), "<program>");
+    EXPECT_EQ((SourceLoc{"b", -1}).str(), "block 'b'");
+    EXPECT_EQ((SourceLoc{"b", 2}).str(), "block 'b' inst 2");
+}
+
+TEST(Diag, ListCountsAndSeen)
+{
+    DiagList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_FALSE(list.hasErrors());
+    list.error(codes::NoBranch, {"a", -1}, "e1");
+    list.warning(codes::DeadPredicatePath, {"a", 0}, "w1");
+    list.note(codes::PredSpaceSampled, {"a", -1}, "n1");
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.count(Severity::Error), 1u);
+    EXPECT_EQ(list.count(Severity::Warning), 1u);
+    EXPECT_EQ(list.count(Severity::Note), 1u);
+    EXPECT_TRUE(list.hasErrors());
+    EXPECT_TRUE(list.seen(codes::NoBranch));
+    EXPECT_FALSE(list.seen(codes::DataflowCycle));
+}
+
+TEST(Diag, AppendMovesDiagnostics)
+{
+    DiagList a, b;
+    a.error(codes::NoBranch, {}, "e");
+    b.warning(codes::DeadPredicatePath, {}, "w");
+    a.append(std::move(b));
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Diag, JoinedMatchesLegacyFormat)
+{
+    DiagList list;
+    list.error(codes::NoBranch, {"a", -1}, "first");
+    list.error(codes::DataflowCycle, {"a", 1}, "second");
+    EXPECT_EQ(list.joined(), "first; second");
+}
+
+TEST(Diag, RenderJsonIsWellFormedArray)
+{
+    DiagList list;
+    list.error(codes::NoBranch, {"a \"quoted\"", 2}, "msg\nline");
+    std::ostringstream os;
+    list.renderJson(os);
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"DFPV117\""), std::string::npos);
+    EXPECT_NE(json.find("\"error\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(Diag, CatalogIsCompleteAndOrdered)
+{
+    const auto &cat = diagCatalog();
+    ASSERT_FALSE(cat.empty());
+    // Codes are unique, numeric, and sorted.
+    for (size_t i = 1; i < cat.size(); ++i)
+        EXPECT_LT(std::string(cat[i - 1].code),
+                  std::string(cat[i].code));
+    for (const CodeInfo &info : cat) {
+        EXPECT_EQ(std::string(info.code).substr(0, 4), "DFPV");
+        EXPECT_NE(std::string(info.summary), "");
+    }
+    const CodeInfo *found = findCode("DFPV117");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->sev, Severity::Error);
+    EXPECT_EQ(findCode("DFPV999"), nullptr);
+}
+
+} // namespace
+} // namespace dfp::verify

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "core/ifconvert.h"
+#include "core/ssa.h"
+#include "ir/parser.h"
+#include "verify/ir_verify.h"
+
+namespace dfp::verify
+{
+namespace
+{
+
+/** A diamond: entry branches, both arms join, the join returns. */
+const char *const kDiamond = R"(
+func kernel {
+  block entry:
+    t0 = movi 1
+    t1 = tlt t0, 10
+    br t1, then, else
+  block then:
+    t2 = add t0, 1
+    jmp join
+  block else:
+    t3 = add t0, 2
+    jmp join
+  block join:
+    t4 = phi [then: t2], [else: t3]
+    ret t4
+}
+)";
+
+DiagList
+check(const ir::Function &fn, IrStage stage)
+{
+    DiagList out;
+    verifyFunction(fn, stage, out);
+    return out;
+}
+
+TEST(IrVerify, CleanCfgPasses)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+}
+
+TEST(IrVerify, CleanSsaPasses)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    core::buildSsa(fn);
+    DiagList out = check(fn, IrStage::Ssa);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+}
+
+TEST(IrVerify, MissingTerminatorFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    fn.blocks[1].term = ir::Term::None;
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_TRUE(out.seen(codes::IrNoTerminator)) << out.joined();
+}
+
+TEST(IrVerify, UnresolvedSuccessorFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    fn.blocks[1].succLabels[0] = "nowhere";
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_TRUE(out.seen(codes::IrBadSuccessor)) << out.joined();
+}
+
+TEST(IrVerify, PhiArityMismatchFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    for (ir::BBlock &block : fn.blocks) {
+        for (ir::Instr &inst : block.instrs) {
+            if (inst.op == isa::Op::Phi)
+                inst.phiBlocks.pop_back();
+        }
+    }
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_TRUE(out.seen(codes::IrPhiArity)) << out.joined();
+}
+
+TEST(IrVerify, UseWithoutAnyDefFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    fn.blocks[1].instrs[0].srcs[0] = ir::Opnd::temp(999);
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_TRUE(out.seen(codes::IrUseBeforeDef)) << out.joined();
+}
+
+TEST(IrVerify, PseudoOpInBodyFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    ir::Instr jmp;
+    jmp.op = isa::Op::Jmp;
+    fn.blocks[0].instrs.insert(fn.blocks[0].instrs.begin(), jmp);
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_TRUE(out.seen(codes::IrPseudoInBody)) << out.joined();
+}
+
+TEST(IrVerify, UnreachableBlockWarns)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    ir::BBlock &orphan = fn.addBlock("orphan");
+    orphan.term = ir::Term::Ret;
+    fn.computeCfg();
+    DiagList out = check(fn, IrStage::Cfg);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+    EXPECT_TRUE(out.seen(codes::IrUnreachableBlock));
+}
+
+TEST(IrVerify, SsaRedefinitionFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    core::buildSsa(fn);
+    // Duplicate the first defining instruction: two defs of one temp.
+    fn.blocks[0].instrs.push_back(fn.blocks[0].instrs[0]);
+    DiagList out = check(fn, IrStage::Ssa);
+    EXPECT_TRUE(out.seen(codes::IrMultipleDefs)) << out.joined();
+}
+
+TEST(IrVerify, SsaDominanceViolationFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    core::buildSsa(fn);
+    // Find the temp defined in 'then' and use it in 'else': neither
+    // block dominates the other.
+    int thenId = fn.blockId("then"), elseId = fn.blockId("else");
+    ASSERT_GE(thenId, 0);
+    ASSERT_GE(elseId, 0);
+    int thenTemp = -1;
+    for (const ir::Instr &inst : fn.blocks[thenId].instrs) {
+        if (inst.dst.isTemp())
+            thenTemp = inst.dst.id;
+    }
+    ASSERT_GE(thenTemp, 0);
+    for (ir::Instr &inst : fn.blocks[elseId].instrs) {
+        if (inst.op != isa::Op::Phi && !inst.srcs.empty() &&
+            inst.srcs[0].isTemp())
+            inst.srcs[0] = ir::Opnd::temp(thenTemp);
+    }
+    DiagList out = check(fn, IrStage::Ssa);
+    EXPECT_TRUE(out.seen(codes::IrDomViolation)) << out.joined();
+}
+
+TEST(IrVerify, SsaPhiInputFromNonPredecessorFlagged)
+{
+    ir::Function fn = ir::parseFunction(kDiamond);
+    core::buildSsa(fn);
+    int join = fn.blockId("join");
+    ASSERT_GE(join, 0);
+    for (ir::Instr &inst : fn.blocks[join].instrs) {
+        if (inst.op == isa::Op::Phi && !inst.phiBlocks.empty())
+            inst.phiBlocks[0] = join; // join is not its own pred
+    }
+    DiagList out = check(fn, IrStage::Ssa);
+    EXPECT_TRUE(out.seen(codes::IrPhiBadPred)) << out.joined();
+}
+
+/** Build a tiny hand-rolled hyperblock with a guarded diamond. */
+ir::Function
+hyperFunction()
+{
+    ir::Function fn;
+    ir::BBlock &hb = fn.addBlock("hb");
+    hb.term = ir::Term::Hyper;
+
+    auto add = [&](isa::Op op, ir::Opnd dst, std::vector<ir::Opnd> srcs,
+                   std::vector<ir::Guard> guards) -> ir::Instr & {
+        ir::Instr inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.srcs = std::move(srcs);
+        inst.guards = std::move(guards);
+        hb.instrs.push_back(std::move(inst));
+        return hb.instrs.back();
+    };
+
+    // t0 = movi 7; t1 = tlti t0, 10; t2 = movi 1 [t1]; t2 = movi 2 [!t1]
+    add(isa::Op::Movi, ir::Opnd::temp(0), {ir::Opnd::imm(7)}, {});
+    add(isa::Op::Tlti, ir::Opnd::temp(1),
+        {ir::Opnd::temp(0), ir::Opnd::imm(10)}, {});
+    add(isa::Op::Movi, ir::Opnd::temp(2), {ir::Opnd::imm(1)},
+        {{1, true}});
+    add(isa::Op::Movi, ir::Opnd::temp(2), {ir::Opnd::imm(2)},
+        {{1, false}});
+    ir::Instr &w = add(isa::Op::Write, ir::Opnd::none(),
+                       {ir::Opnd::temp(2)}, {});
+    w.reg = 1;
+    ir::Instr &bro = add(isa::Op::Bro, ir::Opnd::none(), {}, {});
+    bro.broLabel = "@halt";
+    for (const ir::Instr &inst : hb.instrs) {
+        if (inst.dst.isTemp())
+            fn.noteTemp(inst.dst.id);
+    }
+    fn.computeCfg();
+    return fn;
+}
+
+TEST(IrVerify, CleanHyperblockPasses)
+{
+    ir::Function fn = hyperFunction();
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+}
+
+TEST(IrVerify, HyperWithoutBranchFlagged)
+{
+    ir::Function fn = hyperFunction();
+    fn.blocks[0].instrs.pop_back(); // drop the bro
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrNoBranchInHyper)) << out.joined();
+}
+
+TEST(IrVerify, HyperUseBeforeDefFlagged)
+{
+    ir::Function fn = hyperFunction();
+    auto &instrs = fn.blocks[0].instrs;
+    std::swap(instrs[0], instrs[1]); // tlti now reads t0 before its def
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrUseBeforeDef)) << out.joined();
+}
+
+TEST(IrVerify, ContradictoryGuardsFlagged)
+{
+    ir::Function fn = hyperFunction();
+    fn.blocks[0].instrs[2].guards = {{1, true}, {1, false}};
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrContradictoryGuards)) << out.joined();
+}
+
+TEST(IrVerify, MixedPolarityOrFlagged)
+{
+    ir::Function fn = hyperFunction();
+    // Add a second predicate so the OR set isn't contradictory.
+    ir::Instr extra;
+    extra.op = isa::Op::Tlti;
+    extra.dst = ir::Opnd::temp(3);
+    extra.srcs = {ir::Opnd::temp(0), ir::Opnd::imm(20)};
+    auto &instrs = fn.blocks[0].instrs;
+    instrs.insert(instrs.begin() + 2, extra);
+    fn.noteTemp(3);
+    instrs[3].guards = {{1, true}, {3, false}};
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrMixedPolarityOr)) << out.joined();
+}
+
+TEST(IrVerify, UndefinedGuardFlagged)
+{
+    ir::Function fn = hyperFunction();
+    fn.blocks[0].instrs[2].guards = {{42, true}};
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrGuardUndefined)) << out.joined();
+}
+
+TEST(IrVerify, NonDisjointDefsFlagged)
+{
+    ir::Function fn = hyperFunction();
+    // Both defs of t2 now fire when t1 is true: not disjoint.
+    fn.blocks[0].instrs[3].guards = {{1, true}};
+    DiagList out = check(fn, IrStage::Hyper);
+    EXPECT_TRUE(out.seen(codes::IrNonDisjointDefs)) << out.joined();
+}
+
+TEST(IrVerify, CheckIrOrPanicThrowsWithPassName)
+{
+    ir::Function fn = hyperFunction();
+    fn.blocks[0].instrs.pop_back(); // invalid: no bro
+    try {
+        checkIrOrPanic(fn, IrStage::Hyper, "unit-test-pass");
+        FAIL() << "expected a panic";
+    } catch (const std::exception &err) {
+        EXPECT_NE(std::string(err.what()).find("unit-test-pass"),
+                  std::string::npos);
+        EXPECT_NE(std::string(err.what()).find("DFPV"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace dfp::verify

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Randomized mutation testing for the deep verifier: compile real
+ * workloads, corrupt the generated blocks in ways that are violations
+ * by construction, and check that verification (a) accepts the
+ * pristine program and (b) reports the documented DFPV code for each
+ * corruption. Seeds are fixed, so failures reproduce exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <random>
+
+#include "compiler/pipeline.h"
+#include "verify/block_verify.h"
+#include "workloads/suite.h"
+
+namespace dfp::verify
+{
+namespace
+{
+
+using isa::Op;
+using isa::PredMode;
+using isa::Slot;
+using isa::TBlock;
+using isa::TProgram;
+
+const char *const kWorkloads[] = {"ifthenelse", "nesteddiamond",
+                                  "whilechain", "condstore"};
+const char *const kConfigs[] = {"both", "merge"};
+
+TProgram
+compileWorkload(const char *name, const char *config)
+{
+    const workloads::Workload *w = workloads::findWorkload(name);
+    EXPECT_NE(w, nullptr) << name;
+    compiler::CompileOptions opts = compiler::configNamed(config);
+    opts.unroll.factor = w->unrollFactor;
+    opts.verifyEachPass = true;
+    return compiler::compileSource(w->source, opts).program;
+}
+
+DiagList
+verify(const TProgram &program)
+{
+    DiagList out;
+    verifyProgram(program, {}, out);
+    return out;
+}
+
+/**
+ * A mutation: returns true when it could be applied to the block
+ * (some need a store, a predicated instruction, ...) and the DFPV
+ * code the verifier must then report.
+ */
+struct Mutation
+{
+    const char *name;
+    const char *code;
+    bool (*apply)(TBlock &, std::mt19937 &);
+};
+
+/** Pick a uniformly random element index, or -1 when empty. */
+template <typename Pred>
+int
+pickInst(const TBlock &block, std::mt19937 &rng, Pred pred)
+{
+    std::vector<int> candidates;
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        if (pred(block.insts[i]))
+            candidates.push_back(static_cast<int>(i));
+    }
+    if (candidates.empty())
+        return -1;
+    std::uniform_int_distribution<size_t> d(0, candidates.size() - 1);
+    return candidates[d(rng)];
+}
+
+const Mutation kMutations[] = {
+    {"target out of range", codes::TargetOutOfRange,
+     [](TBlock &block, std::mt19937 &rng) {
+         int i = pickInst(block, rng, [](const isa::TInst &inst) {
+             return !inst.targets.empty() &&
+                    inst.targets[0].slot != Slot::WriteQ;
+         });
+         if (i < 0)
+             return false;
+         block.insts[i].targets[0].index = 200; // > kMaxInsts
+         return true;
+     }},
+    {"unpredicate a consumer", codes::PredTokenToUnpredicated,
+     [](TBlock &block, std::mt19937 &rng) {
+         // Its predicate producers now feed a PR=00 instruction.
+         int i = pickInst(block, rng, [](const isa::TInst &inst) {
+             return inst.predicated();
+         });
+         if (i < 0)
+             return false;
+         block.insts[i].pr = PredMode::Unpred;
+         return true;
+     }},
+    {"store outside header mask", codes::StoreLsidNotInMask,
+     [](TBlock &block, std::mt19937 &rng) {
+         int i = pickInst(block, rng, [](const isa::TInst &inst) {
+             return inst.op == Op::St;
+         });
+         if (i < 0)
+             return false;
+         block.storeMask &= ~(1u << block.insts[i].lsid);
+         return true;
+     }},
+    {"masked LSID nobody resolves", codes::PathStoreUnresolved,
+     [](TBlock &block, std::mt19937 &rng) {
+         (void)rng;
+         for (int bit = isa::kMaxLsids - 1; bit >= 0; --bit) {
+             if (!(block.storeMask & (1u << bit))) {
+                 block.storeMask |= 1u << bit;
+                 return true;
+             }
+         }
+         return false;
+     }},
+    {"erase every branch", codes::NoBranch,
+     [](TBlock &block, std::mt19937 &rng) {
+         (void)rng;
+         bool any = false;
+         for (isa::TInst &inst : block.insts) {
+             if (inst.op == Op::Bro) {
+                 inst.op = Op::Nop;
+                 any = true;
+             }
+         }
+         return any;
+     }},
+};
+
+class MutationTest
+    : public ::testing::TestWithParam<std::tuple<const char *,
+                                                 const char *>>
+{};
+
+TEST_P(MutationTest, PristineProgramVerifiesClean)
+{
+    auto [workload, config] = GetParam();
+    TProgram program = compileWorkload(workload, config);
+    DiagList out = verify(program);
+    EXPECT_FALSE(out.hasErrors()) << out.joined();
+}
+
+TEST_P(MutationTest, EveryMutationIsCaughtWithItsCode)
+{
+    auto [workload, config] = GetParam();
+    const TProgram pristine = compileWorkload(workload, config);
+
+    std::mt19937 rng(0xdf9u);
+    for (const Mutation &m : kMutations) {
+        // Try each mutation on a few random blocks; skip blocks where
+        // it does not apply (e.g. no store to corrupt).
+        int applied = 0;
+        for (int attempt = 0; attempt < 8 && applied < 2; ++attempt) {
+            TProgram program = pristine;
+            std::uniform_int_distribution<size_t> d(
+                0, program.blocks.size() - 1);
+            TBlock &block = program.blocks[d(rng)];
+            if (!m.apply(block, rng))
+                continue;
+            ++applied;
+            DiagList out = verify(program);
+            EXPECT_TRUE(out.hasErrors())
+                << m.name << " on block '" << block.label
+                << "' not caught";
+            EXPECT_TRUE(out.seen(m.code))
+                << m.name << " on block '" << block.label
+                << "' reported wrong code: " << out.joined();
+        }
+    }
+}
+
+TEST_P(MutationTest, RandomMutationsNeverVerifyClean)
+{
+    auto [workload, config] = GetParam();
+    const TProgram pristine = compileWorkload(workload, config);
+
+    std::mt19937 rng(0x5eedu);
+    std::uniform_int_distribution<size_t> pickMutation(
+        0, std::size(kMutations) - 1);
+    int applied = 0;
+    for (int attempt = 0; attempt < 32 && applied < 10; ++attempt) {
+        TProgram program = pristine;
+        std::uniform_int_distribution<size_t> pickBlock(
+            0, program.blocks.size() - 1);
+        const Mutation &m = kMutations[pickMutation(rng)];
+        if (!m.apply(program.blocks[pickBlock(rng)], rng))
+            continue;
+        ++applied;
+        EXPECT_TRUE(verify(program).hasErrors()) << m.name;
+    }
+    EXPECT_GT(applied, 0);
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<MutationTest::ParamType> &p)
+{
+    return std::string(std::get<0>(p.param)) + "_" +
+           std::get<1>(p.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MutationTest,
+    ::testing::Combine(::testing::ValuesIn(kWorkloads),
+                       ::testing::ValuesIn(kConfigs)),
+    paramName);
+
+} // namespace
+} // namespace dfp::verify

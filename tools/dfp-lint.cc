@@ -1,0 +1,267 @@
+/**
+ * @file
+ * dfp-lint — the standalone static verifier. Compiles textual-IR files
+ * or built-in workloads under one (or all six) pipeline configurations
+ * with inter-pass IR checking enabled, runs the deep predicate-path
+ * analyzer over every generated block, and prints the diagnostics as
+ * text or JSON. Exit status: 0 clean, 1 when any error-severity
+ * diagnostic (or compile failure) was produced, 2 on usage errors.
+ * CI runs it over examples/kernels and the whole workload suite.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "compiler/pipeline.h"
+#include "ir/parser.h"
+#include "verify/verify.h"
+#include "workloads/suite.h"
+
+using namespace dfp;
+
+namespace
+{
+
+const char *const kAllConfigs[] = {"bb",    "hyper", "intra",
+                                   "inter", "both",  "merge"};
+
+/** One named lint input: a source string plus its unroll hint. */
+struct Input
+{
+    std::string name;
+    std::string source;
+    int unroll = 1;
+};
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfp-lint [options] (<kernel.ir>... | --workload <name>"
+        " | --all-workloads)\n"
+        "\n"
+        "Statically verify dfp programs: compile with inter-pass IR\n"
+        "checking and run the deep predicate-path analyzer over every\n"
+        "generated block (docs/VERIFY.md catalogs the DFPV codes).\n"
+        "\n"
+        "  -c <config>        bb|hyper|intra|inter|both|merge|all\n"
+        "                     (default both)\n"
+        "  --workload <name>  lint a built-in workload\n"
+        "  --all-workloads    lint every workload in the suite\n"
+        "  --ir-only          only check the parsed IR (no compile)\n"
+        "  --no-warnings      suppress warning/note diagnostics\n"
+        "  --json             print diagnostics as a JSON array\n"
+        "  --list-codes       print the diagnostic catalog and exit\n"
+        "  -h, --help         this text\n"
+        "\n"
+        "exit status: 0 clean, 1 error diagnostics or compile failure,\n"
+        "2 usage error\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+/** Diagnostics for one (input, config) combination. */
+struct LintRun
+{
+    std::string input;
+    std::string config;
+    verify::DiagList diags;
+};
+
+void
+lintOne(const Input &in, const std::string &config, bool irOnly,
+        bool warnings, std::vector<LintRun> &runs)
+{
+    LintRun run;
+    run.input = in.name;
+    run.config = irOnly ? "ir" : config;
+    try {
+        if (irOnly) {
+            ir::Function fn = ir::parseFunction(in.source);
+            verify::verifyFunction(fn, verify::IrStage::Cfg,
+                                   run.diags);
+        } else {
+            compiler::CompileOptions opts =
+                compiler::configNamed(config);
+            opts.unroll.factor = in.unroll;
+            opts.verifyEachPass = true;
+            compiler::CompileResult res =
+                compiler::compileSource(in.source, opts);
+            verify::VerifyOptions vo;
+            vo.warnings = warnings;
+            verify::verifyProgram(res.program, vo, run.diags);
+        }
+    } catch (const std::exception &err) {
+        // Inter-pass verification failures surface as panics; report
+        // them as a diagnostic so one bad input doesn't stop the run.
+        run.diags.error(verify::codes::IrNoTerminator,
+                        verify::SourceLoc{},
+                        detail::cat("compile failed: ", err.what()));
+    }
+    runs.push_back(std::move(run));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config = "both";
+    std::vector<std::string> files;
+    std::vector<std::string> workloadNames;
+    bool allWorkloads = false, irOnly = false, jsonOut = false;
+    bool warnings = true;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfp-lint: option '%s' needs a value\n\n",
+                             arg.c_str());
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string value;
+        if (arg == "-c") config = next();
+        else if (eatValue("--workload", value))
+            workloadNames.push_back(value);
+        else if (arg == "--all-workloads") allWorkloads = true;
+        else if (arg == "--ir-only") irOnly = true;
+        else if (arg == "--no-warnings") warnings = false;
+        else if (arg == "--json") jsonOut = true;
+        else if (arg == "--list-codes") {
+            for (const verify::CodeInfo &info : verify::diagCatalog())
+                std::printf("%s  %-7s  %s\n", info.code,
+                            verify::severityName(info.sev),
+                            info.summary);
+            return 0;
+        }
+        else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        } else if (arg[0] != '-') {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr, "dfp-lint: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    std::vector<std::string> configs;
+    if (config == "all")
+        configs.assign(std::begin(kAllConfigs), std::end(kAllConfigs));
+    else
+        configs.push_back(config);
+
+    std::vector<Input> inputs;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "dfp-lint: cannot open '%s'\n",
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        inputs.push_back({file, buf.str(), 1});
+    }
+    auto addWorkload = [&](const workloads::Workload &w) {
+        inputs.push_back({w.name, w.source, w.unrollFactor});
+    };
+    if (allWorkloads) {
+        for (const auto &w : workloads::eembcSuite())
+            addWorkload(w);
+        addWorkload(workloads::genalg());
+        for (const auto &w : workloads::microSuite())
+            addWorkload(w);
+    }
+    for (const std::string &name : workloadNames) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        if (!w) {
+            std::fprintf(stderr, "dfp-lint: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        addWorkload(*w);
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "dfp-lint: no inputs\n\n");
+        return usage();
+    }
+
+    std::vector<LintRun> runs;
+    for (const Input &in : inputs) {
+        if (irOnly) {
+            lintOne(in, "ir", true, warnings, runs);
+            continue;
+        }
+        for (const std::string &cfg : configs)
+            lintOne(in, cfg, false, warnings, runs);
+    }
+
+    size_t errors = 0, warns = 0, notes = 0;
+    for (const LintRun &run : runs) {
+        errors += run.diags.count(verify::Severity::Error);
+        warns += run.diags.count(verify::Severity::Warning);
+        notes += run.diags.count(verify::Severity::Note);
+    }
+
+    if (jsonOut) {
+        std::cout << "[";
+        bool first = true;
+        for (const LintRun &run : runs) {
+            if (run.diags.empty())
+                continue;
+            if (!first)
+                std::cout << ",";
+            first = false;
+            std::cout << "{\"input\":\"" << json::escape(run.input)
+                      << "\",\"config\":\"" << json::escape(run.config)
+                      << "\",\"diagnostics\":";
+            run.diags.renderJson(std::cout);
+            std::cout << "}";
+        }
+        std::cout << "]\n";
+    } else {
+        for (const LintRun &run : runs) {
+            if (run.diags.empty())
+                continue;
+            std::printf("%s [%s]:\n", run.input.c_str(),
+                        run.config.c_str());
+            for (const verify::Diag &d : run.diags.all())
+                std::printf("  %s\n", d.render().c_str());
+        }
+        std::printf("dfp-lint: %zu input(s) x %zu config(s): "
+                    "%zu error(s), %zu warning(s), %zu note(s)\n",
+                    inputs.size(), irOnly ? 1 : configs.size(), errors,
+                    warns, notes);
+    }
+    return errors > 0 ? 1 : 0;
+}

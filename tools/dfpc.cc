@@ -24,6 +24,7 @@
 #include "isa/exec.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
+#include "verify/verify.h"
 #include "workloads/suite.h"
 
 using namespace dfp;
@@ -92,6 +93,11 @@ printHelp(std::FILE *out)
         "  -O0                disable scalar optimizations\n"
         "  --multicast        use mov4 fanout trees\n"
         "  --no-schedule      skip spatial scheduling\n"
+        "  --verify           check IR invariants between every pass\n"
+        "                     and run the deep predicate-path analyzer\n"
+        "                     on the generated blocks; diagnostics go\n"
+        "                     to stderr, exit 1 on errors (see\n"
+        "                     docs/VERIFY.md)\n"
         "\n"
         "inputs:\n"
         "  <kernel.ir>        compile a file\n"
@@ -139,6 +145,7 @@ main(int argc, char **argv)
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
     bool runFunctional = false, runSim = false, stats = false;
+    bool verifyFlag = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -171,6 +178,7 @@ main(int argc, char **argv)
         else if (arg == "-O0") scalarOpts = false;
         else if (arg == "--multicast") multicast = true;
         else if (arg == "--no-schedule") schedule = false;
+        else if (arg == "--verify") verifyFlag = true;
         else if (arg == "--dump-ir") dumpIr = true;
         else if (arg == "--dump-blocks") dumpBlocks = true;
         else if (arg == "--encode") encode = true;
@@ -208,7 +216,8 @@ main(int argc, char **argv)
                      traceFormat.c_str());
         return usage();
     }
-    if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats)
+    if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats &&
+        !verifyFlag)
         runSim = true;
     if (!traceFile.empty() || !statsJsonFile.empty())
         runSim = true; // tracing / stats export require a sim run
@@ -244,9 +253,25 @@ main(int argc, char **argv)
         opts.scalarOpts = scalarOpts;
         opts.multicast = multicast;
         opts.schedule = schedule;
+        if (verifyFlag)
+            opts.verifyEachPass = true;
         compiler::CompileResult res =
             compiler::compileSource(source, opts);
 
+        if (verifyFlag) {
+            verify::DiagList diags;
+            verify::verifyProgram(res.program, verify::VerifyOptions{},
+                                  diags);
+            diags.renderText(std::cerr);
+            std::fprintf(stderr,
+                         "dfpc: verify: %zu error(s), %zu warning(s), "
+                         "%zu note(s)\n",
+                         diags.count(verify::Severity::Error),
+                         diags.count(verify::Severity::Warning),
+                         diags.count(verify::Severity::Note));
+            if (diags.hasErrors())
+                return 1;
+        }
         if (dumpIr)
             ir::print(std::cout, res.hyperIr);
         if (dumpBlocks) {
