@@ -21,6 +21,8 @@ bool
 Cache::access(uint64_t addr)
 {
     ++tick_;
+    if (DFP_FAULT_ACTIVE(faults_))
+        lastFlip_ = faults_->cacheFlip();
     uint64_t lineAddr = addr >> lineShift_;
     int set = static_cast<int>(lineAddr & (numSets_ - 1));
     uint64_t tag = lineAddr >> floorLog2(numSets_);

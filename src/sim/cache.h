@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "sim/fault.h"
 
 namespace dfp::sim
 {
@@ -33,6 +34,19 @@ class Cache
 
     /** Access @p addr: returns true on hit; allocates on miss. */
     bool access(uint64_t addr);
+
+    /**
+     * Attach a fault engine (not owned): each access may then suffer a
+     * transient line bit flip, surfaced through lastAccessFlipped().
+     * The machine attaches it to the L1-D only; detached — the default
+     * — an access pays one predicted branch.
+     */
+    void attachFaults(FaultEngine *faults) { faults_ = faults; }
+
+    /** Did the most recent access() return bit-flipped data? (Line
+     *  parity catches the flip when the data comes back; the machine
+     *  turns it into a squash-and-replay.) */
+    bool lastAccessFlipped() const { return lastFlip_; }
 
     /** Probe without allocating. */
     bool probe(uint64_t addr) const;
@@ -58,6 +72,8 @@ class Cache
     int numSets_;
     int assoc_;
     int lineShift_;
+    FaultEngine *faults_ = nullptr;
+    bool lastFlip_ = false;
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;

@@ -1,0 +1,153 @@
+#include "sim/fault.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+struct ModelName
+{
+    FaultModel model;
+    const char *name;
+};
+
+constexpr ModelName kModelNames[] = {
+    {FaultModel::None, "none"},
+    {FaultModel::NetDrop, "net-drop"},
+    {FaultModel::NetCorrupt, "net-corrupt"},
+    {FaultModel::NetDelay, "net-delay"},
+    {FaultModel::TileStall, "tile-stall"},
+    {FaultModel::TileFail, "tile-fail"},
+    {FaultModel::CacheFlip, "cache-flip"},
+    {FaultModel::PredLie, "pred-lie"},
+};
+
+/** Rate in [0, 1] scaled to a threshold on the raw 64-bit PRNG draw. */
+uint64_t
+rateThreshold(double rate)
+{
+    if (rate <= 0.0)
+        return 0;
+    if (rate >= 1.0)
+        return ~0ull;
+    return static_cast<uint64_t>(
+        std::ldexp(rate, 64)); // rate * 2^64, exact for binary rates
+}
+
+} // namespace
+
+const char *
+faultModelName(FaultModel model)
+{
+    for (const ModelName &m : kModelNames) {
+        if (m.model == model)
+            return m.name;
+    }
+    return "?";
+}
+
+bool
+parseFaultModel(const std::string &name, FaultModel &out)
+{
+    for (const ModelName &m : kModelNames) {
+        if (name == m.name) {
+            out = m.model;
+            return true;
+        }
+    }
+    return false;
+}
+
+FaultEngine::FaultEngine(const FaultConfig &config, int numTiles,
+                         int numBlocks)
+    : cfg_(config), rng_(config.seed), threshold_(rateThreshold(config.rate)),
+      numBlocks_(numBlocks), liveTiles_(numTiles),
+      hardFails_(numTiles, 0), dead_(numTiles, false)
+{
+    dfp_assert(numTiles > 0 && numBlocks > 0, "degenerate fault target");
+    // The guaranteed injection lands at a seed-chosen phase of each
+    // 16-opportunity window, so even a few-dozen-event microkernel
+    // sees faults and two seeds differ in their schedule from the very
+    // first site. Detectable models keep forcing until the machine
+    // reports a recovery (see fire()); benign ones force once.
+    forcedPhase_ = cfg_.enabled() ? rng_.nextBelow(kForcePeriod)
+                                  : kNoForce;
+    detectable_ = cfg_.model == FaultModel::NetDrop ||
+                  cfg_.model == FaultModel::NetCorrupt ||
+                  cfg_.model == FaultModel::TileFail ||
+                  cfg_.model == FaultModel::CacheFlip;
+}
+
+bool
+FaultEngine::tileFailIssue(int tile)
+{
+    if (cfg_.model != FaultModel::TileFail || !fire())
+        return false;
+    // Refuse to kill the machine outright: the last live tile (and any
+    // tile already mapped out) absorbs the fault without effect.
+    if (dead_[tile] || liveTiles_ <= 1)
+        return false;
+    ++injected_;
+    ++hardFailCount_;
+    ++hardFails_[tile];
+    return true;
+}
+
+int
+FaultEngine::predictorLie(int predicted)
+{
+    if (cfg_.model != FaultModel::PredLie || !fire())
+        return predicted;
+    ++injected_;
+    ++lies_;
+    if (numBlocks_ <= 1)
+        return 0; // only one possible lie target
+    if (predicted < 0 || predicted >= numBlocks_)
+        return static_cast<int>(
+            rng_.nextBelow(static_cast<uint64_t>(numBlocks_)));
+    // A wrong-but-valid block: offset by a nonzero amount mod the
+    // program size so the lie is never the true prediction.
+    uint64_t off =
+        1 + rng_.nextBelow(static_cast<uint64_t>(numBlocks_ - 1));
+    return static_cast<int>(
+        (static_cast<uint64_t>(predicted) + off) % numBlocks_);
+}
+
+int
+FaultEngine::takeTileToMapOut()
+{
+    if (cfg_.model != FaultModel::TileFail)
+        return -1;
+    for (size_t t = 0; t < hardFails_.size(); ++t) {
+        if (!dead_[t] && hardFails_[t] >= cfg_.tileFailThreshold &&
+            liveTiles_ > 1) {
+            dead_[t] = true;
+            --liveTiles_;
+            return static_cast<int>(t);
+        }
+    }
+    return -1;
+}
+
+void
+FaultEngine::exportStats(StatSet &stats) const
+{
+    stats.set("sim.fault.opportunities", opportunities_);
+    stats.set("sim.fault.injected", injected_);
+    stats.set("sim.fault.net.dropped", dropped_);
+    stats.set("sim.fault.net.corrupted", corrupted_);
+    stats.set("sim.fault.net.delayed", delayed_);
+    stats.set("sim.fault.net.delay_cycles", delayCycles_);
+    stats.set("sim.fault.tile.stalls", stalls_);
+    stats.set("sim.fault.tile.stall_cycles", stallCycles_);
+    stats.set("sim.fault.tile.hard_fails", hardFailCount_);
+    stats.set("sim.fault.cache.flips", flips_);
+    stats.set("sim.fault.pred.lies", lies_);
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Deterministic fault injection for the cycle-level machine. A seeded
+ * xorshift64* PRNG (no wall-clock, no std::random) drives one of several
+ * pluggable fault models:
+ *
+ *  - net-drop     an operand-network message is lost in transit
+ *  - net-corrupt  an operand-network message arrives with a flipped bit
+ *                 (always caught by per-token parity at ejection)
+ *  - net-delay    an operand-network message is delayed a few cycles
+ *  - tile-stall   an execution tile transiently holds an issue slot
+ *  - tile-fail    an execution tile silently swallows an issue (hard
+ *                 fault; past a threshold the tile is mapped out)
+ *  - cache-flip   an L1-D line access returns data with a flipped bit
+ *                 (always caught by line parity when the data returns)
+ *  - pred-lie     the next-block predictor returns a wrong target
+ *
+ * Each eligible site consults the engine exactly once per event, so a
+ * given `--fault-seed` reproduces the exact same injection schedule on
+ * every run. To make short runs and smoke tests meaningful, the engine
+ * additionally forces one injection per 16 eligible sites at a
+ * seed-chosen phase until the machine reports the first
+ * fault-triggered recovery (an injection that lands on a falsely-
+ * predicated path is architecturally harmless and triggers nothing, so
+ * a single forced shot could be silently absorbed); benign models
+ * (net-delay, tile-stall) and pred-lie, which recover through the
+ * ordinary mispredict path, force only once. The 16-site period is
+ * small enough that even the tiniest microkernel (a few dozen operand
+ * messages end to end) sees a fault. The Bernoulli schedule applies
+ * everywhere else.
+ *
+ * Cost model: the machine only constructs a FaultEngine when a fault
+ * model is enabled, and every injection site is guarded by the
+ * DFP_FAULT_ACTIVE macro — a predicted-not-taken null check (the same
+ * zero-cost-off discipline as DFP_TRACE), or nothing at all when the
+ * simulator is built with -DDFP_SIM_FAULTS=0.
+ */
+
+#ifndef DFP_SIM_FAULT_H
+#define DFP_SIM_FAULT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.h"
+#include "base/stats.h"
+
+namespace dfp::sim
+{
+
+/** The pluggable fault models. */
+enum class FaultModel : uint8_t
+{
+    None,
+    NetDrop,
+    NetCorrupt,
+    NetDelay,
+    TileStall,
+    TileFail,
+    CacheFlip,
+    PredLie,
+};
+
+/** Stable CLI name ("net-drop", "cache-flip", ...). */
+const char *faultModelName(FaultModel model);
+
+/** Parse a CLI name; returns false on an unknown name. */
+bool parseFaultModel(const std::string &name, FaultModel &out);
+
+/** Fault-injection knobs (SimConfig::faults). */
+struct FaultConfig
+{
+    FaultModel model = FaultModel::None;
+    double rate = 0.0;        //!< per-opportunity injection probability
+    uint64_t seed = 1;        //!< PRNG seed (--fault-seed)
+    int maxDelayCycles = 8;   //!< net-delay: extra cycles in [1, max]
+    int maxStallCycles = 6;   //!< tile-stall: extra cycles in [1, max]
+    int tileFailThreshold = 3; //!< hard fails before a tile is mapped out
+
+    bool
+    enabled() const
+    {
+        return model != FaultModel::None && rate > 0.0;
+    }
+};
+
+/**
+ * The injection engine. One instance per simulation; the machine owns
+ * it and attaches it to the operand network (delay faults), the L1-D
+ * (bit flips), and the next-block predictor (lies). All decisions come
+ * from the one shared PRNG, so consultation order — which is fully
+ * deterministic in the event-driven machine — fixes the schedule.
+ */
+class FaultEngine
+{
+  public:
+    /** Verdict for one operand-network message. */
+    enum class MessageVerdict : uint8_t
+    {
+        Deliver, //!< unharmed (the common case)
+        Drop,    //!< lost in transit; the consumer starves
+        Corrupt, //!< bit flipped; parity catches it at ejection
+    };
+
+    FaultEngine(const FaultConfig &config, int numTiles, int numBlocks);
+
+    /** One operand-network message (any send site). */
+    MessageVerdict
+    onMessage()
+    {
+        if (cfg_.model == FaultModel::NetDrop && fire()) {
+            ++injected_;
+            ++dropped_;
+            return MessageVerdict::Drop;
+        }
+        if (cfg_.model == FaultModel::NetCorrupt && fire()) {
+            ++injected_;
+            ++corrupted_;
+            return MessageVerdict::Corrupt;
+        }
+        return MessageVerdict::Deliver;
+    }
+
+    /** Extra in-flight cycles for one routed message (0 = none). */
+    uint64_t
+    netDelay()
+    {
+        if (cfg_.model != FaultModel::NetDelay || !fire())
+            return 0;
+        ++injected_;
+        ++delayed_;
+        uint64_t d = 1 + rng_.nextBelow(
+                             static_cast<uint64_t>(cfg_.maxDelayCycles));
+        delayCycles_ += d;
+        return d;
+    }
+
+    /** Extra cycles before one issue slot frees up (0 = none). */
+    uint64_t
+    tileStall(int tile)
+    {
+        (void)tile;
+        if (cfg_.model != FaultModel::TileStall || !fire())
+            return 0;
+        ++injected_;
+        ++stalls_;
+        uint64_t d = 1 + rng_.nextBelow(
+                             static_cast<uint64_t>(cfg_.maxStallCycles));
+        stallCycles_ += d;
+        return d;
+    }
+
+    /**
+     * Does @p tile hard-fail this issue (silently swallow it)? Counts
+     * against the tile's map-out threshold. Never fires on the last
+     * live tile, so the machine always retains an execution resource.
+     */
+    bool tileFailIssue(int tile);
+
+    /** Was the last L1-D access corrupted by a bit flip? */
+    bool
+    cacheFlip()
+    {
+        if (cfg_.model != FaultModel::CacheFlip || !fire())
+            return false;
+        ++injected_;
+        ++flips_;
+        return true;
+    }
+
+    /**
+     * Possibly replace @p predicted with a lie: a wrong (but in-range)
+     * block index. @p predicted may be negative (no prediction / halt).
+     */
+    int predictorLie(int predicted);
+
+    /**
+     * Next tile whose injected hard-fail count crossed the threshold
+     * and that has not been handed out yet; marks it dead. -1 = none.
+     * The machine calls this during recovery to map tiles out.
+     */
+    int takeTileToMapOut();
+
+    bool tileDead(int tile) const { return dead_[tile]; }
+    int liveTiles() const { return liveTiles_; }
+
+    /** The machine squashed and replayed a block because of a fault;
+     *  the guaranteed-injection forcing stops once this happens. */
+    void noteRecovery() { ++recoveries_; }
+
+    uint64_t injected() const { return injected_; }
+
+    /** Roll the injection counters into @p stats under "sim.fault.*". */
+    void exportStats(StatSet &stats) const;
+
+  private:
+    static constexpr uint64_t kForcePeriod = 16;
+    static constexpr uint64_t kNoForce = ~0ull;
+
+    /** One Bernoulli(rate) draw, plus the guaranteed injections. */
+    bool
+    fire()
+    {
+        ++opportunities_;
+        if (rng_.next() < threshold_)
+            return true;
+        if (forcedPhase_ != kNoForce &&
+            opportunities_ % kForcePeriod == forcedPhase_) {
+            // Detectable models force until a recovery actually
+            // happened; benign ones only within the first window.
+            return detectable_ ? recoveries_ == 0
+                               : opportunities_ <= kForcePeriod;
+        }
+        return false;
+    }
+
+    FaultConfig cfg_;
+    Rng rng_;
+    uint64_t threshold_; //!< rate scaled to the full 64-bit range
+    uint64_t opportunities_ = 0;
+    uint64_t forcedPhase_; //!< guaranteed-injection phase (kNoForce = off)
+    bool detectable_;      //!< model can trigger a squash-and-replay
+    uint64_t recoveries_ = 0;
+    int numBlocks_;
+    int liveTiles_;
+
+    std::vector<int> hardFails_; //!< injected hard fails per tile
+    std::vector<bool> dead_;     //!< tiles handed out for map-out
+
+    // Injection tallies, exported under "sim.fault.*".
+    uint64_t injected_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t corrupted_ = 0;
+    uint64_t delayed_ = 0;
+    uint64_t delayCycles_ = 0;
+    uint64_t stalls_ = 0;
+    uint64_t stallCycles_ = 0;
+    uint64_t hardFailCount_ = 0;
+    uint64_t flips_ = 0;
+    uint64_t lies_ = 0;
+};
+
+} // namespace dfp::sim
+
+// Compile-time kill switch: build with -DDFP_SIM_FAULTS=0 to remove
+// every injection site (and its branch) from the simulator entirely.
+#ifndef DFP_SIM_FAULTS
+#define DFP_SIM_FAULTS 1
+#endif
+
+#if DFP_SIM_FAULTS
+// Predicted-not-taken null check, mirroring DFP_TRACE: a fault-free run
+// pays one predictable branch per site and never calls the engine.
+#define DFP_FAULT_ACTIVE(engine) (__builtin_expect((engine) != nullptr, 0))
+#else
+#define DFP_FAULT_ACTIVE(engine) (false)
+#endif
+
+#endif // DFP_SIM_FAULT_H

@@ -133,10 +133,26 @@ class Machine
           net_(config.grid, config.modelContention),
           l1d_(config.l1dBytes, config.l1dAssoc, config.lineBytes),
           l1i_(config.l1iBytes, config.l1iAssoc, config.lineBytes),
+          recovery_(config.recovery),
           tileFree_(config.grid.tiles(), 0),
           tileIssued_(config.grid.tiles(), 0)
     {
         net_.attachTrace(cfg_.trace);
+        if (cfg_.faults.enabled()) {
+            faultOwner_ = std::make_unique<FaultEngine>(
+                cfg_.faults, config.grid.tiles(),
+                static_cast<int>(program.blocks.size()));
+            faults_ = faultOwner_.get();
+            net_.attachFaults(faults_);
+            l1d_.attachFaults(faults_); // L1-I misses only re-fetch
+            predictor_.attachFaults(faults_);
+            tileRemap_.resize(config.grid.tiles());
+            for (size_t t = 0; t < tileRemap_.size(); ++t)
+                tileRemap_[t] = static_cast<int>(t);
+        }
+        watchdogCycles_ = cfg_.watchdogCycles != 0
+                              ? cfg_.watchdogCycles
+                              : (cfg_.faults.enabled() ? 10000 : 0);
         // Static code layout for the I-cache model.
         uint64_t base = 1ull << 40; // away from data
         for (const isa::TBlock &block : program.blocks) {
@@ -186,16 +202,30 @@ class Machine
                 return; // flushed
             f->pendingOps--;
             fn(*f);
-            checkCompletion(*f, slot);
+            // fn may have flushed this very frame (same-frame dependence
+            // violations, fault recovery); re-check before completion.
+            f = frames_[slot].get();
+            if (f && f->gen == gen)
+                checkCompletion(*f, slot);
         });
     }
 
     // ------------------------------------------------------------------
     int tileOf(const Frame &f, int idx) const
     {
-        if (!f.block->placement.empty())
-            return f.block->placement[idx];
-        return idx % cfg_.grid.tiles();
+        int t = !f.block->placement.empty() ? f.block->placement[idx]
+                                            : idx % cfg_.grid.tiles();
+        if (DFP_FAULT_ACTIVE(faults_))
+            t = tileRemap_[t]; // hard-failed tiles are mapped out
+        return t;
+    }
+
+    /** One progress tick for the watchdog: an event retired. */
+    void
+    noteProgress()
+    {
+        ++progress_;
+        lastProgressCycle_ = now_;
     }
 
     void buildOracleTrace();
@@ -221,6 +251,19 @@ class Machine
     void flushFrom(size_t pos, const char *why, int redirectBlock);
     int frameOrder(int slot) const;
 
+    // Fault injection, detection, and recovery (all cold: reachable
+    // only behind DFP_FAULT_ACTIVE or from a watchdog/deadlock event).
+    __attribute__((noinline, cold)) bool faultMessage(int slot,
+                                                      uint64_t arrive);
+    __attribute__((noinline, cold)) void onFaultDetected(
+        int slot, const char *what);
+    __attribute__((noinline, cold)) void recover(size_t pos,
+                                                 const char *why);
+    __attribute__((noinline, cold)) void mapOutTile(int tile);
+    void armWatchdog();
+    void watchdogTick();
+    DeadlockReport buildForensics(const char *reason) const;
+
     uint64_t readRegister(int slot, int reg, bool &ready, Token &out);
 
     // ------------------------------------------------------------------
@@ -231,6 +274,21 @@ class Machine
     Cache l1d_, l1i_;
     BlockPredictor predictor_;
     std::vector<uint64_t> codeBase_;
+
+    // Fault injection and recovery. faults_ stays null on fault-free
+    // runs, so every injection site is one predicted-not-taken branch.
+    std::unique_ptr<FaultEngine> faultOwner_;
+    FaultEngine *faults_ = nullptr;
+    RecoveryManager recovery_;
+    std::vector<int> tileRemap_;  //!< logical -> live physical tile
+    uint64_t watchdogCycles_ = 0; //!< 0 = watchdog disarmed
+    uint64_t progress_ = 0;       //!< events retired (watchdog signal)
+    uint64_t watchdogLastProgress_ = 0;
+    uint64_t lastProgressCycle_ = 0;
+    uint64_t fetchHoldUntil_ = 0; //!< replay backoff gate on fetch
+    bool holdScheduled_ = false;
+    uint64_t watchdogFires_ = 0;
+    uint64_t tilesMappedOut_ = 0;
 
     // Frames, oldest first. frames_[order]; slot index == position in
     // a fixed pool referenced by events.
@@ -314,6 +372,18 @@ Machine::fetchMore()
 {
     if (done_)
         return;
+    if (__builtin_expect(now_ < fetchHoldUntil_, 0)) {
+        // Replay backoff after a squash: resume fetching once, when the
+        // hold expires (a later squash may extend it further).
+        if (!holdScheduled_) {
+            holdScheduled_ = true;
+            at(fetchHoldUntil_, [this] {
+                holdScheduled_ = false;
+                fetchMore();
+            });
+        }
+        return;
+    }
     while (static_cast<int>(order_.size()) < cfg_.maxBlocksInFlight) {
         int next;
         if (order_.empty()) {
@@ -434,8 +504,16 @@ Machine::tryResolveRead(int slot, int readIdx)
         return;
     }
     for (const Target &t : read.targets) {
-        int toTile = tileOf(f, t.index);
+        // A WriteQ target indexes the block's writes, not its
+        // instructions: route the pass-through to the register tile
+        // column serving the destination register instead of indexing
+        // the placement vector with a write-slot index.
+        int toTile = t.slot == Slot::WriteQ
+                         ? cfg_.grid.regCol(f.block->writes[t.index].reg)
+                         : tileOf(f, t.index);
         uint64_t arrive = net_.deliverFromReg(read.reg, toTile, now_ + 1);
+        if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
+            continue;
         frameAt(slot, arrive, [this, slot, t, token](Frame &g) {
             deliverOperand(g, slot, t, token, now_);
         });
@@ -489,6 +567,7 @@ void
 Machine::deliverOperand(Frame &f, int slot, Target target, Token token,
                         uint64_t cycle)
 {
+    noteProgress();
     if (token.null)
         ++nulledTokens_;
     if (target.slot == Slot::WriteQ) {
@@ -573,6 +652,26 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
     ++tileIssued_[tile];
     ++opClassFired_[size_t(opClassOf(inst.op))];
     uint64_t issue = std::max(now_ + 1, tileFree_[tile]);
+    if (DFP_FAULT_ACTIVE(faults_)) {
+        uint64_t stall = faults_->tileStall(tile);
+        if (__builtin_expect(stall != 0, 0)) {
+            issue += stall;
+            DFP_TRACE(cfg_.trace,
+                      (TraceEvent{TraceEventKind::FaultInject, now_,
+                                  stall, tile, f.blockIdx, "tile-stall",
+                                  stall, 0}));
+        }
+        if (__builtin_expect(faults_->tileFailIssue(tile), 0)) {
+            // The issue is silently swallowed (hard fault): consumers
+            // starve and the watchdog squashes and replays the block.
+            tileFree_[tile] = issue + 1;
+            DFP_TRACE(cfg_.trace,
+                      (TraceEvent{TraceEventKind::FaultInject, now_, 0,
+                                  tile, f.blockIdx, "tile-fail",
+                                  uint64_t(idx), 0}));
+            return;
+        }
+    }
     tileFree_[tile] = issue + 1;
     frameAt(slot, issue,
             [this, slot, idx, issue](Frame &g) {
@@ -617,6 +716,8 @@ Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
         int bank = cfg_.grid.bankRow(addr, cfg_.lineBytes);
         uint64_t arrive =
             net_.deliverToBank(tileOf(f, idx), bank, doneCycle);
+        if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
+            return; // the LSID never resolves; the watchdog recovers
         frameAt(slot, arrive,
                 [this, slot, lsid = inst.lsid, addr, value](Frame &g) {
                     resolveStore(g, slot, lsid, addr, value, now_, false);
@@ -649,6 +750,8 @@ Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
             tileOf(f, idx),
             t.slot == Slot::WriteQ ? tileOf(f, idx) : tileOf(f, t.index),
             doneCycle);
+        if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
+            return;
         frameAt(slot, arrive, [this, slot, t, out](Frame &g) {
             deliverOperand(g, slot, t, out, now_);
         });
@@ -683,6 +786,8 @@ Machine::routeResult(Frame &f, int slot, int idx, const Token &result,
         } else {
             arrive = net_.deliver(fromTile, tileOf(f, t.index), cycle);
         }
+        if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
+            continue;
         frameAt(slot, arrive, [this, slot, t, result](Frame &g) {
             deliverOperand(g, slot, t, result, now_);
         });
@@ -748,6 +853,22 @@ Machine::doLoad(Frame &f, int slot, int idx, uint64_t issueCycle)
     if (__builtin_expect(cfg_.trace != nullptr, 0))
         traceLoad(f, idx, addr, inst.lsid, doneCycle, back);
 #endif
+    if (DFP_FAULT_ACTIVE(faults_)) {
+        if (__builtin_expect(l1d_.lastAccessFlipped(), 0)) {
+            // Line parity catches the flip when the data returns; the
+            // detection squashes and replays the block.
+            DFP_TRACE(cfg_.trace,
+                      (TraceEvent{TraceEventKind::FaultInject, now_, 0,
+                                  tileOf(f, idx), f.blockIdx,
+                                  "cache-flip", addr, inst.lsid}));
+            frameAt(slot, back, [this, slot](Frame &) {
+                onFaultDetected(slot, "l1d-parity");
+            });
+            return;
+        }
+        if (!faultMessage(slot, back))
+            return; // reply lost; the watchdog recovers
+    }
     f.doneLoads.push_back({inst.lsid, addr});
     frameAt(slot, back, [this, slot, idx, out](Frame &g) {
         routeResult(g, slot, idx, out, now_);
@@ -758,6 +879,7 @@ void
 Machine::resolveStore(Frame &f, int slot, uint8_t lsid, uint64_t addr,
                       Token value, uint64_t cycle, bool nullified)
 {
+    noteProgress();
     if (f.resolvedLsids & (1u << lsid)) {
         res_.error = detail::cat("block '", f.block->label,
                                  "': store LSID ", int(lsid),
@@ -890,6 +1012,9 @@ Machine::commitOldest()
         state_.regs[f.block->writes[w].reg] = tok.value;
     }
 
+    noteProgress();
+    if (DFP_FAULT_ACTIVE(faults_) || watchdogCycles_ != 0)
+        recovery_.onCommit(f.blockIdx); // consecutive-retry count resets
     res_.blocksCommitted++;
     res_.instsCommitted += f.fired;
     res_.movsCommitted += f.movs;
@@ -985,6 +1110,7 @@ Machine::flushFrom(size_t pos, const char *why, int redirectBlock)
 void
 Machine::onFetchDone(Frame &f, int slot)
 {
+    noteProgress();
     f.fetched = true;
     for (size_t r = 0; r < f.block->reads.size(); ++r)
         tryResolveRead(slot, static_cast<int>(r));
@@ -996,10 +1122,226 @@ Machine::onFetchDone(Frame &f, int slot)
     checkCompletion(f, slot);
 }
 
+bool
+Machine::faultMessage(int slot, uint64_t arrive)
+{
+    FaultEngine::MessageVerdict v = faults_->onMessage();
+    if (__builtin_expect(v == FaultEngine::MessageVerdict::Deliver, 1))
+        return true;
+    Frame &f = *frames_[slot];
+    const bool corrupt = v == FaultEngine::MessageVerdict::Corrupt;
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::FaultInject, now_, 0, -1,
+                          f.blockIdx, corrupt ? "net-corrupt" : "net-drop",
+                          arrive, 0}));
+    if (corrupt) {
+        // Per-token parity catches the flip at ejection: model the
+        // detection as an event at the would-be arrival cycle. (A drop
+        // has no such signal — only the progress watchdog sees it.)
+        frameAt(slot, arrive, [this, slot](Frame &) {
+            onFaultDetected(slot, "net-parity");
+        });
+    }
+    return false;
+}
+
+void
+Machine::onFaultDetected(int slot, const char *what)
+{
+    // Callers run under a frameAt generation check, so the frame is the
+    // one the fault hit; it may still have committed already when early
+    // termination retired the block before the detection surfaced — in
+    // that case the fault landed on a falsely-predicated path and was
+    // architecturally harmless (the gen check above filtered it).
+    Frame *f = frames_[slot].get();
+    if (!f || done_)
+        return;
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::FaultDetect, now_, 0, -1,
+                          f->blockIdx, what, 0, 0}));
+    int pos = frameOrder(slot);
+    if (pos < 0)
+        return;
+    recover(static_cast<size_t>(pos), what);
+}
+
+void
+Machine::recover(size_t pos, const char *why)
+{
+    if (done_)
+        return;
+    int blockIdx = frames_[order_[pos]]->blockIdx;
+    int64_t backoff = recovery_.onSquash(blockIdx);
+    if (backoff < 0) {
+        // A persistently faulty block fails the run loudly instead of
+        // livelocking; the forensic dump explains what kept dying.
+        res_.deadlock = buildForensics("replay budget exhausted");
+        res_.error = res_.deadlock.summary();
+        done_ = true;
+        return;
+    }
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::Recovery, now_,
+                          uint64_t(backoff), -1, blockIdx, why,
+                          recovery_.replays(), 0}));
+    if (DFP_FAULT_ACTIVE(faults_))
+        faults_->noteRecovery(); // stops the guaranteed-shot forcing
+    // Map out any tile that crossed its hard-fail threshold before the
+    // replay refetches, so replayed slots land on live tiles.
+    if (DFP_FAULT_ACTIVE(faults_)) {
+        for (int t = faults_->takeTileToMapOut(); t >= 0;
+             t = faults_->takeTileToMapOut())
+            mapOutTile(t);
+    }
+    fetchHoldUntil_ =
+        std::max(fetchHoldUntil_, now_ + static_cast<uint64_t>(backoff));
+    flushFrom(pos, why, blockIdx);
+}
+
+void
+Machine::mapOutTile(int tile)
+{
+    // Re-route the dead tile's issue slots to the nearest live tile by
+    // mesh distance. The engine never hands out the last live tile.
+    int best = -1;
+    int bestDist = 1 << 30;
+    for (int t = 0; t < cfg_.grid.tiles(); ++t) {
+        if (faults_->tileDead(t))
+            continue;
+        int dr = cfg_.grid.rowOf(t) - cfg_.grid.rowOf(tile);
+        int dc = cfg_.grid.colOf(t) - cfg_.grid.colOf(tile);
+        int dist = (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = t;
+        }
+    }
+    dfp_assert(best >= 0, "no live tile to map out to");
+    for (size_t t = 0; t < tileRemap_.size(); ++t) {
+        if (tileRemap_[t] == tile)
+            tileRemap_[t] = best;
+    }
+    ++tilesMappedOut_;
+    DFP_TRACE(cfg_.trace,
+              (TraceEvent{TraceEventKind::TileMapOut, now_, 0, tile, -1,
+                          "", uint64_t(best), 0}));
+}
+
+void
+Machine::armWatchdog()
+{
+    at(now_ + watchdogCycles_, [this] { watchdogTick(); });
+}
+
+void
+Machine::watchdogTick()
+{
+    if (done_)
+        return;
+    // A window with no event retired and frames outstanding is a hang
+    // (a dropped token, a swallowed issue, a genuine deadlock). Replay
+    // backoff legitimately idles the machine, so the hold is exempt.
+    if (progress_ == watchdogLastProgress_ && !order_.empty() &&
+        now_ >= fetchHoldUntil_) {
+        ++watchdogFires_;
+        // Victim: the oldest incomplete frame — it gates commit.
+        size_t pos = 0;
+        while (pos < order_.size() && frames_[order_[pos]]->complete)
+            ++pos;
+        if (pos == order_.size())
+            pos = 0;
+        Frame &f = *frames_[order_[pos]];
+        DFP_TRACE(cfg_.trace,
+                  (TraceEvent{TraceEventKind::Watchdog, now_, 0, -1,
+                              f.blockIdx, f.block->label.c_str(),
+                              lastProgressCycle_, 0}));
+        recover(pos, "watchdog");
+    }
+    watchdogLastProgress_ = progress_;
+    if (!done_ && (!order_.empty() || !events_.empty()))
+        armWatchdog();
+}
+
+DeadlockReport
+Machine::buildForensics(const char *reason) const
+{
+    DeadlockReport report;
+    report.valid = true;
+    report.reason = reason;
+    report.cycle = now_;
+    report.lastProgressCycle = lastProgressCycle_;
+    for (int slot : order_) {
+        const Frame &f = *frames_[slot];
+        DeadlockFrame df;
+        df.blockIdx = f.blockIdx;
+        df.label = f.block->label;
+        df.gen = f.gen;
+        df.fetched = f.fetched;
+        df.complete = f.complete;
+        df.conservative = f.conservative;
+        df.branchFired = f.branchTarget.has_value();
+        df.pendingOps = f.pendingOps;
+        for (size_t w = 0; w < f.writeTok.size(); ++w) {
+            if (!f.writeTok[w].has_value()) {
+                df.missingWrites.push_back(
+                    {static_cast<int>(w),
+                     static_cast<int>(f.block->writes[w].reg)});
+            }
+        }
+        uint32_t lsids = f.block->storeMask & ~f.resolvedLsids;
+        for (int l = 0; l < 32; ++l) {
+            if (lsids & (1u << l))
+                df.unresolvedLsids.push_back(l);
+        }
+        for (const auto &[lsid, st] : f.storeBuf)
+            df.lsqResidue.push_back(
+                {static_cast<int>(lsid), st.first, st.second.null});
+        df.waitingLoads = f.waitingLoads;
+        auto collectStalled = [&](bool requirePartial) {
+            for (size_t i = 0; i < f.block->insts.size(); ++i) {
+                const isa::TInst &inst = f.block->insts[i];
+                const Frame::IState &st = f.ists[i];
+                if (st.fired)
+                    continue;
+                bool partial = st.left.has_value() ||
+                               st.right.has_value() || st.predMatched;
+                if (requirePartial && !partial && inst.numSrcs() != 0)
+                    continue;
+                StalledInst si;
+                si.index = static_cast<int>(i);
+                si.op = isa::opName(inst.op);
+                si.hasLeft = st.left.has_value();
+                si.hasRight = st.right.has_value();
+                si.predMatched = st.predMatched;
+                if (inst.predicated() && !st.predMatched)
+                    si.missing.push_back("pred");
+                if (inst.numSrcs() >= 1 && !si.hasLeft)
+                    si.missing.push_back("left");
+                if (inst.numSrcs() >= 2 && !si.hasRight)
+                    si.missing.push_back("right");
+                df.stalled.push_back(std::move(si));
+            }
+        };
+        // Untouched instructions with sources are usually dead
+        // predicated paths, not stalls, so the first pass reports only
+        // partially-fed ones (and source-free ones, which should have
+        // fired at fetch). But an incomplete frame with NO partial
+        // instruction starved totally — every operand was lost in
+        // flight — and then the unfired instructions are the story.
+        collectStalled(/*requirePartial=*/true);
+        if (df.stalled.empty() && !f.complete)
+            collectStalled(/*requirePartial=*/false);
+        report.frames.push_back(std::move(df));
+    }
+    return report;
+}
+
 SimResult
 Machine::run()
 {
     fetchMore();
+    if (watchdogCycles_ != 0)
+        armWatchdog();
     while (!events_.empty() && !done_) {
         Event ev = events_.top();
         events_.pop();
@@ -1013,45 +1355,11 @@ Machine::run()
     res_.cycles = std::max(res_.cycles, now_);
     if (!done_ && res_.error.empty() && !res_.halted) {
         // Event queue drained with frames outstanding: a block deadlock.
-        std::string detail = "simulation deadlock";
-        if (!order_.empty()) {
-            const Frame &f = *frames_[order_.front()];
-            std::string missing;
-            for (size_t w = 0; w < f.writeTok.size(); ++w) {
-                if (!f.writeTok[w].has_value()) {
-                    missing += detail::cat(" w", w, "(g",
-                                           int(f.block->writes[w].reg),
-                                           ")");
-                }
-            }
-            uint32_t lsids = f.block->storeMask & ~f.resolvedLsids;
-            std::string stuck;
-            for (size_t i = 0; i < f.block->insts.size(); ++i) {
-                const isa::TInst &inst = f.block->insts[i];
-                const Frame::IState &st = f.ists[i];
-                if (st.fired)
-                    continue;
-                bool partial = st.left.has_value() ||
-                               st.right.has_value() || st.predMatched;
-                if (!partial && inst.numSrcs() != 0)
-                    continue;
-                stuck += detail::cat(" ", i, ":", isa::opName(inst.op),
-                                     "(l=", st.left.has_value(), ",r=",
-                                     st.right.has_value(), ",p=",
-                                     st.predMatched, ")");
-            }
-            std::string waiting;
-            for (int idx : f.waitingLoads)
-                waiting += detail::cat(" ", idx);
-            detail = detail::cat(
-                "deadlock in block '", f.block->label, "' (branch=",
-                f.branchTarget.has_value(), ", missing writes:[",
-                missing, " ], missing lsids=0x", std::hex, lsids,
-                std::dec, ", fetched=", f.fetched, ", gen=", f.gen, ", waitingLoads=[",
-                waiting, " ], conservative=", f.conservative,
-                ", stuck:[", stuck, " ])");
-        }
-        res_.error = detail;
+        // The structured forensic dump carries the full per-frame state
+        // (missing operand slots, unresolved LSIDs, LSQ residue); the
+        // one-line summary becomes the error string.
+        res_.deadlock = buildForensics("event queue drained");
+        res_.error = res_.deadlock.summary();
     }
     res_.stats.set("sim.cycles", res_.cycles);
     res_.stats.set("sim.blocks", res_.blocksCommitted);
@@ -1077,6 +1385,21 @@ Machine::run()
     res_.stats.set("sim.early_term.blocks", earlyTermBlocks_);
     res_.stats.set("sim.early_term.insts", earlyTermOps_);
     res_.stats.set("sim.frames.max_in_flight", maxFramesInFlight_);
+    // Fault and recovery rollups appear only when the subsystem was
+    // armed, so fault-free stats output is byte-identical to a build
+    // without it.
+    res_.replays = recovery_.replays();
+    res_.watchdogFires = watchdogFires_;
+    res_.tilesMappedOut = tilesMappedOut_;
+    if (faults_ != nullptr) {
+        res_.faultsInjected = faults_->injected();
+        faults_->exportStats(res_.stats);
+    }
+    if (faults_ != nullptr || watchdogCycles_ != 0) {
+        recovery_.exportStats(res_.stats);
+        res_.stats.set("sim.recovery.tiles_mapped_out", tilesMappedOut_);
+        res_.stats.set("sim.watchdog.fires", watchdogFires_);
+    }
     if (cfg_.trace)
         cfg_.trace->flush();
     return res_;

@@ -29,7 +29,9 @@
 #include "base/stats.h"
 #include "isa/exec.h"
 #include "isa/tblock.h"
+#include "sim/fault.h"
 #include "sim/network.h"
+#include "sim/recovery.h"
 #include "sim/trace.h"
 
 namespace dfp::sim
@@ -70,6 +72,27 @@ struct SimConfig
      * per-opcode-class rollups are array-backed and always collected.
      */
     bool perBlockStats = false;
+
+    /**
+     * Fault injection (see docs/RESILIENCE.md). Disabled by default;
+     * when disabled no engine is constructed and every injection site
+     * reduces to one predicted-not-taken branch, so fault-free runs
+     * are cycle-identical to a build without the subsystem.
+     */
+    FaultConfig faults;
+
+    /** Squash-and-replay retry budget and backoff. */
+    RecoveryConfig recovery;
+
+    /**
+     * Per-frame progress watchdog: if this many cycles pass with no
+     * event retired (no fetch completion, operand delivery, store
+     * resolution, or block commit), the stalled block is squashed and
+     * replayed. 0 = automatic: armed at 10000 cycles when fault
+     * injection is enabled, off otherwise (so fault-free runs schedule
+     * no watchdog events and stay cycle-identical to the seed).
+     */
+    uint64_t watchdogCycles = 0;
 };
 
 /** Result of one simulation. */
@@ -86,7 +109,19 @@ struct SimResult
     uint64_t movsCommitted = 0;    //!< fired moves in committed blocks
     uint64_t mispredicts = 0;
     uint64_t loadViolations = 0;
+    uint64_t faultsInjected = 0;  //!< faults the engine injected
+    uint64_t replays = 0;         //!< blocks squashed and replayed
+    uint64_t watchdogFires = 0;   //!< progress-watchdog detections
+    uint64_t tilesMappedOut = 0;  //!< hard-failed tiles mapped out
     StatSet stats;
+
+    /**
+     * Structured hang forensics; valid when the run ended in a
+     * deadlock, a watchdog-detected hang with an exhausted replay
+     * budget, or a genuine (unrecoverable) starvation. `error` carries
+     * its one-line summary.
+     */
+    DeadlockReport deadlock;
 };
 
 /**

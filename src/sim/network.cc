@@ -48,6 +48,8 @@ OperandNetwork::route(const std::vector<int> &path, uint64_t cycle)
         t = depart + 1;
         ++hops_;
     }
+    if (DFP_FAULT_ACTIVE(faults_))
+        t += faults_->netDelay(); // transient link fault: extra transit
     hopLatency_.add(t - cycle);
 #if DFP_SIM_TRACING
     if (__builtin_expect(trace_ != nullptr, 0))

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "sim/fault.h"
 #include "sim/trace.h"
 
 namespace dfp::sim
@@ -56,6 +57,11 @@ class OperandNetwork
     /** Attach an optional event sink; hop events are emitted per
      *  routed message. Pass nullptr to detach. */
     void attachTrace(TraceSink *trace) { trace_ = trace; }
+
+    /** Attach a fault engine (not owned): net-delay faults stretch a
+     *  message's in-flight time inside route(). Pass nullptr to detach;
+     *  detached — the default — costs one predicted branch per route. */
+    void attachFaults(FaultEngine *faults) { faults_ = faults; }
 
     /** Cycle at which an operand leaving @p from at @p cycle reaches
      *  @p to (adjacent tiles: +1; same tile: +0 via local bypass). */
@@ -104,6 +110,7 @@ class OperandNetwork
     uint64_t stalls_ = 0;
     Histogram hopLatency_; //!< per-message inject-to-eject latency
     TraceSink *trace_ = nullptr;
+    FaultEngine *faults_ = nullptr;
     std::map<std::pair<int, int>, uint64_t> linkFree_;
 };
 

@@ -22,10 +22,13 @@ int
 BlockPredictor::predict(int block) const
 {
     const Entry &pat = pattern_[index(block)];
-    if (pat.confidence >= 2 && pat.target != kNoPrediction)
-        return pat.target;
-    const Entry &last = lastSeen_[static_cast<uint32_t>(block) & mask_];
-    return last.target;
+    int target = pat.confidence >= 2 && pat.target != kNoPrediction
+                     ? pat.target
+                     : lastSeen_[static_cast<uint32_t>(block) & mask_]
+                           .target;
+    if (DFP_FAULT_ACTIVE(faults_))
+        return faults_->predictorLie(target);
+    return target;
 }
 
 void

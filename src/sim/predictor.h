@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "sim/fault.h"
 
 namespace dfp::sim
 {
@@ -32,6 +33,11 @@ class BlockPredictor
     /** Predict the committed successor of @p block
      *  (kNoPrediction = no idea; -1 is a real halt prediction). */
     int predict(int block) const;
+
+    /** Attach a fault engine (not owned): predictions may then be
+     *  replaced by lies — wrong-but-valid targets caught later by the
+     *  machine's commit-time validation. Detached by default. */
+    void attachFaults(FaultEngine *faults) { faults_ = faults; }
 
     /** Train on an observed committed transition. */
     void train(int block, int next);
@@ -61,6 +67,7 @@ class BlockPredictor
 
     uint32_t mask_;
     uint64_t history_ = 0;
+    FaultEngine *faults_ = nullptr;
     std::vector<Entry> pattern_;  //!< history-hashed table
     std::vector<Entry> lastSeen_; //!< per-block fallback
     mutable uint64_t lookups_ = 0;

@@ -1,0 +1,183 @@
+#include "sim/recovery.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/json.h"
+#include "base/logging.h"
+
+namespace dfp::sim
+{
+
+int64_t
+RecoveryManager::onSquash(int blockIdx)
+{
+    int &count = retries_[blockIdx];
+    ++count;
+    ++replays_;
+    maxRetriesSeen_ = std::max(maxRetriesSeen_, count);
+    if (count > cfg_.retryBudget)
+        return -1;
+    int shift = std::min(count - 1, cfg_.backoffCapShift);
+    uint64_t backoff = cfg_.backoffBase << shift;
+    backoffCycles_ += backoff;
+    return static_cast<int64_t>(backoff);
+}
+
+void
+RecoveryManager::exportStats(StatSet &stats) const
+{
+    stats.set("sim.recovery.replays", replays_);
+    stats.set("sim.recovery.backoff_cycles", backoffCycles_);
+    stats.set("sim.recovery.max_consecutive_retries",
+              static_cast<uint64_t>(maxRetriesSeen_));
+}
+
+// ---------------------------------------------------------------------
+// Forensics rendering.
+
+std::string
+DeadlockReport::summary() const
+{
+    if (frames.empty())
+        return detail::cat("simulation deadlock (", reason, ") at cycle ",
+                           cycle, " with no frames in flight");
+    const DeadlockFrame &f = frames.front();
+    std::string what;
+    if (!f.stalled.empty()) {
+        const StalledInst &s = f.stalled.front();
+        what = detail::cat(": inst ", s.index, " (", s.op, ") missing");
+        for (const std::string &m : s.missing)
+            what += detail::cat(" ", m);
+    } else if (!f.missingWrites.empty()) {
+        what = detail::cat(": write slot ", f.missingWrites.front().first,
+                           " (g", f.missingWrites.front().second,
+                           ") never produced");
+    } else if (!f.unresolvedLsids.empty()) {
+        what = detail::cat(": store LSID ", f.unresolvedLsids.front(),
+                           " never resolved");
+    } else if (!f.branchFired) {
+        what = ": no branch fired";
+    }
+    return detail::cat("deadlock in block '", f.label, "' (", reason,
+                       ", cycle ", cycle, ", last progress ",
+                       lastProgressCycle, ")", what);
+}
+
+std::string
+DeadlockReport::renderText() const
+{
+    std::ostringstream os;
+    os << "=== hang forensics (" << reason << ") ===\n"
+       << "detected at cycle " << cycle << "; last progress at cycle "
+       << lastProgressCycle << "; " << frames.size()
+       << " frame(s) in flight (oldest first)\n";
+    for (size_t i = 0; i < frames.size(); ++i) {
+        const DeadlockFrame &f = frames[i];
+        os << "frame[" << i << "] block " << f.blockIdx << " '" << f.label
+           << "' gen " << f.gen << (f.fetched ? "" : " (fetch in flight)")
+           << (f.complete ? " complete" : "")
+           << (f.conservative ? " conservative" : "") << " pendingOps="
+           << f.pendingOps << " branch=" << (f.branchFired ? "fired" : "MISSING")
+           << "\n";
+        for (const auto &[slot, reg] : f.missingWrites)
+            os << "  missing write slot " << slot << " (g" << reg << ")\n";
+        if (!f.unresolvedLsids.empty()) {
+            os << "  unresolved store LSIDs:";
+            for (int lsid : f.unresolvedLsids)
+                os << " " << lsid;
+            os << "\n";
+        }
+        for (const LsqResidue &r : f.lsqResidue) {
+            os << "  LSQ residue: lsid " << r.lsid;
+            if (r.nullResolved)
+                os << " (nulled)";
+            else
+                os << " addr 0x" << std::hex << r.addr << std::dec;
+            os << " (uncommitted)\n";
+        }
+        if (!f.waitingLoads.empty()) {
+            os << "  loads deferred on earlier stores:";
+            for (int idx : f.waitingLoads)
+                os << " " << idx;
+            os << "\n";
+        }
+        for (const StalledInst &s : f.stalled) {
+            os << "  stalled inst " << s.index << ": " << s.op
+               << " waiting on";
+            for (const std::string &m : s.missing)
+                os << " " << m;
+            os << " (left=" << (s.hasLeft ? "y" : "n") << " right="
+               << (s.hasRight ? "y" : "n") << " pred="
+               << (s.predMatched ? "y" : "n") << ")\n";
+        }
+    }
+    return os.str();
+}
+
+void
+DeadlockReport::renderJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("reason").value(reason);
+    w.key("cycle").value(cycle);
+    w.key("last_progress_cycle").value(lastProgressCycle);
+    w.key("frames").beginArray();
+    for (const DeadlockFrame &f : frames) {
+        w.beginObject();
+        w.key("block").value(f.blockIdx);
+        w.key("label").value(f.label);
+        w.key("gen").value(f.gen);
+        w.key("fetched").value(f.fetched);
+        w.key("complete").value(f.complete);
+        w.key("conservative").value(f.conservative);
+        w.key("branch_fired").value(f.branchFired);
+        w.key("pending_ops").value(f.pendingOps);
+        w.key("missing_writes").beginArray();
+        for (const auto &[slot, reg] : f.missingWrites) {
+            w.beginObject();
+            w.key("slot").value(slot);
+            w.key("reg").value(reg);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("unresolved_lsids").beginArray();
+        for (int lsid : f.unresolvedLsids)
+            w.value(lsid);
+        w.endArray();
+        w.key("lsq_residue").beginArray();
+        for (const LsqResidue &r : f.lsqResidue) {
+            w.beginObject();
+            w.key("lsid").value(r.lsid);
+            w.key("addr").value(r.addr);
+            w.key("nulled").value(r.nullResolved);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("waiting_loads").beginArray();
+        for (int idx : f.waitingLoads)
+            w.value(idx);
+        w.endArray();
+        w.key("stalled").beginArray();
+        for (const StalledInst &s : f.stalled) {
+            w.beginObject();
+            w.key("inst").value(s.index);
+            w.key("op").value(s.op);
+            w.key("missing").beginArray();
+            for (const std::string &m : s.missing)
+                w.value(m);
+            w.endArray();
+            w.key("left").value(s.hasLeft);
+            w.key("right").value(s.hasRight);
+            w.key("pred_matched").value(s.predMatched);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Block-granular squash-and-replay recovery and hang forensics for the
+ * cycle-level machine.
+ *
+ * The EDGE execution model makes the 128-instruction block the atomic
+ * unit of commit, so a block is also the natural recovery boundary: no
+ * architectural state (registers, memory) changes until a block
+ * commits, which means any in-flight block can be squashed through the
+ * existing early-termination flush machinery and refetched with no
+ * cleanup beyond discarding its frame — store buffers and LSID state
+ * die with the frame, so replay can never double-apply a store.
+ *
+ * RecoveryManager enforces a per-block retry budget with exponential
+ * cycle backoff (a persistently faulty block eventually fails the run
+ * loudly instead of livelocking); DeadlockReport is the structured
+ * forensic dump produced when the machine hangs — by the per-frame
+ * progress watchdog during a fault run, or by the event queue draining
+ * with frames outstanding — replacing the old one-line "simulation
+ * deadlock" string. See docs/RESILIENCE.md.
+ */
+
+#ifndef DFP_SIM_RECOVERY_H
+#define DFP_SIM_RECOVERY_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace dfp::sim
+{
+
+/** Squash-and-replay knobs (SimConfig::recovery). */
+struct RecoveryConfig
+{
+    int retryBudget = 8;       //!< replays per block before giving up
+    uint64_t backoffBase = 32; //!< first replay's refetch delay, cycles
+    int backoffCapShift = 6;   //!< backoff doubles up to base << cap
+};
+
+/**
+ * Tracks per-block replay budgets. The budget is charged per squash
+ * and refunded when the block finally commits, so a hot loop block hit
+ * by many independent transient faults over a long run is only limited
+ * in *consecutive* failed attempts.
+ */
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(const RecoveryConfig &config) : cfg_(config) {}
+
+    /**
+     * Charge one squash of @p blockIdx. Returns the refetch backoff in
+     * cycles, or -1 when the block exhausted its retry budget.
+     */
+    int64_t onSquash(int blockIdx);
+
+    /** The block committed: its consecutive-retry count resets. */
+    void
+    onCommit(int blockIdx)
+    {
+        if (!retries_.empty())
+            retries_.erase(blockIdx);
+    }
+
+    uint64_t replays() const { return replays_; }
+
+    /** Roll recovery counters into @p stats under "sim.recovery.*". */
+    void exportStats(StatSet &stats) const;
+
+  private:
+    RecoveryConfig cfg_;
+    std::map<int, int> retries_; //!< consecutive squashes per block
+    uint64_t replays_ = 0;
+    uint64_t backoffCycles_ = 0;
+    int maxRetriesSeen_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Hang forensics.
+
+/** One unretired instruction and what it is still waiting for. */
+struct StalledInst
+{
+    int index = -1;          //!< instruction index within the block
+    std::string op;          //!< mnemonic
+    bool hasLeft = false;    //!< left data operand arrived
+    bool hasRight = false;   //!< right data operand arrived
+    bool predMatched = false; //!< a matching predicate token arrived
+    /** The operand slots still empty ("left", "right", "pred"). */
+    std::vector<std::string> missing;
+};
+
+/** One store-buffer entry left behind by an unretired block. */
+struct LsqResidue
+{
+    int lsid = -1;
+    uint64_t addr = 0;
+    bool nullResolved = false; //!< resolved by a null (no memory effect)
+};
+
+/** Snapshot of one in-flight frame at hang time, oldest first. */
+struct DeadlockFrame
+{
+    int blockIdx = -1;
+    std::string label;
+    uint64_t gen = 0;
+    bool fetched = false;
+    bool complete = false;
+    bool conservative = false;
+    bool branchFired = false;
+    int pendingOps = 0;
+    std::vector<std::pair<int, int>> missingWrites; //!< (slot, register)
+    std::vector<int> unresolvedLsids;
+    std::vector<LsqResidue> lsqResidue; //!< resolved-but-uncommitted stores
+    std::vector<int> waitingLoads;      //!< deferred load inst indices
+    std::vector<StalledInst> stalled;
+};
+
+/**
+ * The structured forensic dump. `renderText()` is the multi-line
+ * human-readable form `dfpc` prints to stderr; `renderJson()` is the
+ * `deadlock` record embedded in `--stats-json` output.
+ */
+struct DeadlockReport
+{
+    bool valid = false;
+    std::string reason;        //!< "deadlock", "watchdog", "budget", ...
+    uint64_t cycle = 0;        //!< detection cycle
+    uint64_t lastProgressCycle = 0;
+    std::vector<DeadlockFrame> frames;
+
+    /** Compact one-line summary (becomes SimResult::error). */
+    std::string summary() const;
+
+    /** Multi-line human-readable dump. */
+    std::string renderText() const;
+
+    /** JSON object mirroring the structure above. */
+    void renderJson(std::ostream &os) const;
+};
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_RECOVERY_H

@@ -29,6 +29,11 @@ kindInfo(TraceEventKind kind)
         {"lsq_store", "addr", "lsid"},
         {"pred_token", "matched", "inst"},
         {"early_term", "pending", "b"},
+        {"fault_inject", "a", "b"},
+        {"fault_detect", "a", "b"},
+        {"recovery", "retry", "backoff"},
+        {"tile_map_out", "to", "b"},
+        {"watchdog", "last_progress", "b"},
     };
     return kTable[static_cast<int>(kind)];
 }

@@ -36,6 +36,11 @@ enum class TraceEventKind : uint8_t
     LsqStore,     //!< store LSID resolved; a = addr, b = LSID
     PredToken,    //!< predicate token delivery; a = matched, b = inst idx
     EarlyTerm,    //!< early mispredication termination; a = in-flight ops
+    FaultInject,  //!< injected fault; label = model, a/b = model detail
+    FaultDetect,  //!< fault detected; label = detector (parity/watchdog)
+    Recovery,     //!< block squash-and-replay; a = retry #, b = backoff
+    TileMapOut,   //!< hard-failed tile mapped out; a = replacement tile
+    Watchdog,     //!< progress watchdog fired; a = last-progress cycle
 };
 
 /** Stable lowercase name for a kind ("block_fetch", "net_hop", ...). */

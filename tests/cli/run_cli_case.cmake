@@ -1,0 +1,36 @@
+# Runs one dfpc CLI case and checks its exit code and output.
+#
+# Arguments (all via -D):
+#   DFPC          path to the dfpc binary
+#   CASE_ARGS     semicolon-separated argument list
+#   EXPECT_EXIT   required exit code
+#   EXPECT_MATCH  regex that must appear in combined stdout+stderr
+#                 (optional)
+#   FORBID_MATCH  regex that must NOT appear (optional)
+
+separate_arguments(args UNIX_COMMAND "${CASE_ARGS}")
+execute_process(
+    COMMAND "${DFPC}" ${args}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+)
+set(all "${out}${err}")
+
+if(NOT exit_code STREQUAL "${EXPECT_EXIT}")
+    message(FATAL_ERROR
+        "dfpc ${CASE_ARGS}: expected exit ${EXPECT_EXIT}, got "
+        "${exit_code}\n--- output ---\n${all}")
+endif()
+
+if(EXPECT_MATCH AND NOT all MATCHES "${EXPECT_MATCH}")
+    message(FATAL_ERROR
+        "dfpc ${CASE_ARGS}: output does not match '${EXPECT_MATCH}'"
+        "\n--- output ---\n${all}")
+endif()
+
+if(FORBID_MATCH AND all MATCHES "${FORBID_MATCH}")
+    message(FATAL_ERROR
+        "dfpc ${CASE_ARGS}: output unexpectedly matches "
+        "'${FORBID_MATCH}'\n--- output ---\n${all}")
+endif()

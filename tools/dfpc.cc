@@ -9,7 +9,9 @@
  * dumps, the simulator, event tracing and JSON stats export).
  */
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,8 +24,10 @@
 #include "ir/printer.h"
 #include "isa/encode.h"
 #include "isa/exec.h"
+#include "sim/fault.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
+#include "verify/diag.h"
 #include "verify/verify.h"
 #include "workloads/suite.h"
 
@@ -113,6 +117,17 @@ printHelp(std::FILE *out)
         "  --run              run on the functional executor\n"
         "  --sim              run on the cycle-level machine\n"
         "\n"
+        "resilience (see docs/RESILIENCE.md):\n"
+        "  --fault-model <m>  inject faults: net-drop|net-corrupt|\n"
+        "                     net-delay|tile-stall|tile-fail|\n"
+        "                     cache-flip|pred-lie\n"
+        "  --fault-rate <r>   per-opportunity injection probability\n"
+        "                     (e.g. 1e-4; 0 disables injection)\n"
+        "  --fault-seed <n>   PRNG seed; the same seed and model give\n"
+        "                     a byte-identical schedule (default 1)\n"
+        "  --watchdog-cycles <n>  progress watchdog window (default:\n"
+        "                     10000 when faults are on, else off)\n"
+        "\n"
         "observability (see docs/TRACING.md):\n"
         "  --stats            dump all compiler/simulator counters\n"
         "  --stats-json=<f>   write counters + histograms as JSON "
@@ -132,6 +147,87 @@ usage()
     return 2;
 }
 
+/**
+ * DFPC1xx: driver-level input diagnostics (file loading and the cheap
+ * pre-parse shape checks), rendered in the dfp-verify style so tooling
+ * that already consumes DFPV lines can consume these too. Exit code 2
+ * marks bad input, distinct from internal failures (exit 1).
+ */
+int
+inputError(const char *code, std::string message)
+{
+    verify::DiagList diags;
+    diags.error(code, {}, std::move(message));
+    diags.renderText(std::cerr);
+    return 2;
+}
+
+/**
+ * Structural checks on a loaded IR file before the parser runs:
+ *  - DFPC102: the first code line must open a `func` block
+ *  - DFPC103: unbalanced braces (a truncated or corrupted file)
+ * Returns 0 when the shape is plausible, otherwise the exit code.
+ */
+int
+checkSourceShape(const std::string &file, const std::string &source)
+{
+    std::istringstream in(source);
+    std::string line;
+    int lineNo = 0;
+    int depth = 0;
+    int lastOpenLine = 0;
+    bool sawCode = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (size_t hash = line.find('#'); hash != std::string::npos)
+            line.resize(hash);
+        size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos)
+            continue;
+        if (!sawCode) {
+            sawCode = true;
+            if (line.compare(start, 4, "func") != 0 ||
+                (start + 4 < line.size() &&
+                 !std::isspace(
+                     static_cast<unsigned char>(line[start + 4])))) {
+                return inputError(
+                    "DFPC102",
+                    detail::cat("'", file, "' line ", lineNo,
+                                ": bad header: expected a 'func <name> "
+                                "{' block, got '",
+                                line.substr(start), "'"));
+            }
+        }
+        for (size_t c = start; c < line.size(); ++c) {
+            if (line[c] == '{') {
+                ++depth;
+                lastOpenLine = lineNo;
+            } else if (line[c] == '}') {
+                if (--depth < 0) {
+                    return inputError(
+                        "DFPC103",
+                        detail::cat("'", file, "' line ", lineNo,
+                                    ": unbalanced '}' with no open "
+                                    "block"));
+                }
+            }
+        }
+    }
+    if (!sawCode)
+        return inputError("DFPC102",
+                          detail::cat("'", file,
+                                      "': empty input (no func block)"));
+    if (depth != 0) {
+        return inputError(
+            "DFPC103",
+            detail::cat("'", file, "': truncated input: ", depth,
+                        " block(s) still open at end of file (last "
+                        "'{' at line ",
+                        lastOpenLine, ")"));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -141,6 +237,7 @@ main(int argc, char **argv)
     std::string file;
     std::string workload;
     std::string traceFile, traceFormat = "chrome", statsJsonFile;
+    std::string faultModelStr, faultRateStr, faultSeedStr, watchdogStr;
     int unroll = 1;
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
@@ -192,6 +289,10 @@ main(int argc, char **argv)
         else if (eatValue("--trace", traceFile)) {}
         else if (eatValue("--trace-format", traceFormat)) {}
         else if (eatValue("--stats-json", statsJsonFile)) {}
+        else if (eatValue("--fault-model", faultModelStr)) {}
+        else if (eatValue("--fault-rate", faultRateStr)) {}
+        else if (eatValue("--fault-seed", faultSeedStr)) {}
+        else if (eatValue("--watchdog-cycles", watchdogStr)) {}
         else if (eatValue("--workload", workload)) {}
         else if (arg == "--list-workloads") {
             for (const auto &w : workloads::eembcSuite())
@@ -216,11 +317,47 @@ main(int argc, char **argv)
                      traceFormat.c_str());
         return usage();
     }
+    sim::FaultConfig faultCfg;
+    if (!faultModelStr.empty() &&
+        !sim::parseFaultModel(faultModelStr, faultCfg.model)) {
+        std::fprintf(stderr,
+                     "dfpc: unknown --fault-model '%s' (one of: "
+                     "net-drop net-corrupt net-delay tile-stall "
+                     "tile-fail cache-flip pred-lie)\n\n",
+                     faultModelStr.c_str());
+        return usage();
+    }
+    if (!faultRateStr.empty()) {
+        char *end = nullptr;
+        faultCfg.rate = std::strtod(faultRateStr.c_str(), &end);
+        if (end == faultRateStr.c_str() || *end != '\0' ||
+            faultCfg.rate < 0.0 || faultCfg.rate > 1.0) {
+            std::fprintf(stderr,
+                         "dfpc: --fault-rate must be a probability in "
+                         "[0, 1], got '%s'\n\n",
+                         faultRateStr.c_str());
+            return usage();
+        }
+    }
+    if (!faultSeedStr.empty())
+        faultCfg.seed = std::strtoull(faultSeedStr.c_str(), nullptr, 0);
+    uint64_t watchdogCycles =
+        watchdogStr.empty()
+            ? 0
+            : std::strtoull(watchdogStr.c_str(), nullptr, 0);
+    if (faultCfg.model != sim::FaultModel::None && faultCfg.rate == 0.0) {
+        std::fprintf(stderr,
+                     "dfpc: note: --fault-model given with a zero "
+                     "--fault-rate; no faults will be injected\n");
+    }
     if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats &&
         !verifyFlag)
         runSim = true;
     if (!traceFile.empty() || !statsJsonFile.empty())
         runSim = true; // tracing / stats export require a sim run
+    if (!faultModelStr.empty() || !faultRateStr.empty() ||
+        !faultSeedStr.empty() || !watchdogStr.empty())
+        runSim = true; // fault knobs only make sense on the machine
     if (file.empty() && workload.empty()) {
         std::fprintf(stderr, "dfpc: no input (give a <kernel.ir> file "
                              "or --workload <name>)\n\n");
@@ -241,11 +378,17 @@ main(int argc, char **argv)
                 unroll = w->unrollFactor;
         } else {
             std::ifstream in(file);
-            if (!in)
-                dfp_fatal("cannot open '", file, "'");
+            if (!in) {
+                return inputError(
+                    "DFPC101",
+                    detail::cat("cannot read '", file,
+                                "': file is missing or unreadable"));
+            }
             std::ostringstream buf;
             buf << in.rdbuf();
             source = buf.str();
+            if (int rc = checkSourceShape(file, source))
+                return rc;
         }
 
         compiler::CompileOptions opts = compiler::configNamed(config);
@@ -255,8 +398,24 @@ main(int argc, char **argv)
         opts.schedule = schedule;
         if (verifyFlag)
             opts.verifyEachPass = true;
-        compiler::CompileResult res =
-            compiler::compileSource(source, opts);
+        compiler::CompileResult res;
+        try {
+            res = compiler::compileSource(source, opts);
+        } catch (const FatalError &err) {
+            // A parse failure on a user-supplied file is bad input
+            // (DFPC104, exit 2), not an internal failure; built-in
+            // workload sources failing to parse is a real bug.
+            // FatalError::what() is "src/file:line: message"; strip the
+            // throw-site prefix before classifying and reporting.
+            std::string what = err.what();
+            size_t at = what.find("IR parse error");
+            if (!file.empty() && at != std::string::npos) {
+                return inputError(
+                    "DFPC104",
+                    detail::cat("'", file, "': ", what.substr(at)));
+            }
+            throw;
+        }
 
         if (verifyFlag) {
             verify::DiagList diags;
@@ -308,12 +467,15 @@ main(int argc, char **argv)
             if (stats)
                 execStats.dump(std::cout, "  ");
         }
+        bool simFailed = false;
         if (runSim) {
             isa::ArchState state;
             state.mem = initial;
 
             sim::SimConfig simCfg;
             simCfg.perBlockStats = stats || !statsJsonFile.empty();
+            simCfg.faults = faultCfg;
+            simCfg.watchdogCycles = watchdogCycles;
             std::ofstream traceOut;
             std::unique_ptr<sim::TraceSink> sink;
             if (!traceFile.empty()) {
@@ -342,6 +504,22 @@ main(int argc, char **argv)
                         (unsigned long long)out.mispredicts,
                         out.error.empty() ? "" : " error=",
                         out.error.c_str());
+            if (simCfg.faults.enabled()) {
+                std::fprintf(sumOut,
+                             "sim: faults injected=%llu replays=%llu "
+                             "watchdog_fires=%llu tiles_mapped_out="
+                             "%llu\n",
+                             (unsigned long long)out.faultsInjected,
+                             (unsigned long long)out.replays,
+                             (unsigned long long)out.watchdogFires,
+                             (unsigned long long)out.tilesMappedOut);
+            }
+            if (out.deadlock.valid)
+                std::fputs(out.deadlock.renderText().c_str(), stderr);
+            // A simulation that hung or died is a failed run: exit
+            // nonzero so scripts and CI notice, even though the stats
+            // and forensics above were still written.
+            simFailed = !out.halted;
             if (sink) {
                 sink->flush();
                 std::fprintf(stderr, "dfpc: wrote %s trace to %s\n",
@@ -365,6 +543,10 @@ main(int argc, char **argv)
                          << "\",\"config\":\"" << json::escape(config)
                          << "\",\"sim\":";
                 out.stats.dumpJson(*jsonOut);
+                if (out.deadlock.valid) {
+                    *jsonOut << ",\"deadlock\":";
+                    out.deadlock.renderJson(*jsonOut);
+                }
                 *jsonOut << ",\"compiler\":";
                 res.stats.dumpJson(*jsonOut);
                 *jsonOut << "}\n";
@@ -379,7 +561,7 @@ main(int argc, char **argv)
             std::printf("compiler stats:\n");
             res.stats.dump(std::cout, "  ");
         }
-        return 0;
+        return simFailed ? 1 : 0;
     } catch (const std::exception &err) {
         std::fprintf(stderr, "dfpc: %s\n", err.what());
         return 1;
