@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Throughput of the differential-fuzzing subsystem: program generation,
+ * the printer/parser round-trip property, single differential cases per
+ * configuration, and a full default-sweep program. Campaign wall-clock
+ * is generation + sweep; these numbers say which stage bounds how many
+ * seeds a CI minute buys.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "ir/ir.h"
+
+using namespace dfp;
+
+namespace
+{
+
+void
+BM_GenerateProgram(benchmark::State &state)
+{
+    uint64_t seed = 1;
+    int64_t instrs = 0;
+    for (auto _ : state) {
+        fuzz::GenConfig cfg;
+        cfg.seed = fuzz::deriveSeed(1, seed++);
+        ir::Function fn = fuzz::generate(cfg);
+        for (const ir::BBlock &b : fn.blocks)
+            instrs += static_cast<int64_t>(b.instrs.size());
+        benchmark::DoNotOptimize(fn);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["instrs"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GenerateProgram);
+
+void
+BM_RoundTripCheck(benchmark::State &state)
+{
+    fuzz::GenConfig cfg;
+    cfg.seed = 7;
+    ir::Function fn = fuzz::generate(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fuzz::checkRoundTrip(fn));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundTripCheck);
+
+void
+BM_DifferentialCase(benchmark::State &state, const char *config,
+                    int unroll)
+{
+    fuzz::GenConfig cfg;
+    cfg.seed = 7;
+    ir::Function fn = fuzz::generate(cfg);
+    fuzz::CaseConfig cc;
+    cc.config = config;
+    cc.unroll = unroll;
+    for (auto _ : state) {
+        fuzz::CaseResult res = fuzz::runCase(fn, cfg.seed, cc);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_DifferentialCase, hyper, "hyper", 1);
+BENCHMARK_CAPTURE(BM_DifferentialCase, both, "both", 1);
+BENCHMARK_CAPTURE(BM_DifferentialCase, merge_u4, "merge", 4);
+
+void
+BM_DefaultSweepProgram(benchmark::State &state)
+{
+    fuzz::GenConfig cfg;
+    cfg.seed = 7;
+    ir::Function fn = fuzz::generate(cfg);
+    std::vector<fuzz::CaseConfig> sweep = fuzz::defaultSweep();
+    int64_t cases = 0;
+    for (auto _ : state) {
+        for (const fuzz::CaseConfig &cc : sweep) {
+            benchmark::DoNotOptimize(fuzz::runCase(fn, cfg.seed, cc));
+            ++cases;
+        }
+    }
+    state.counters["cases"] = benchmark::Counter(
+        static_cast<double>(cases), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DefaultSweepProgram);
+
+} // namespace

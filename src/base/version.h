@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Build provenance. The returned string is the `git describe --always
+ * --dirty --tags` output captured at configure time ("unknown" when the
+ * source tree is not a git checkout). Tools print it for --version and
+ * embed it in their JSON artifacts so every emitted file records the
+ * revision that produced it.
+ */
+
+#ifndef DFP_BASE_VERSION_H
+#define DFP_BASE_VERSION_H
+
+namespace dfp
+{
+
+/** The git describe string baked in at configure time. */
+const char *versionString();
+
+} // namespace dfp
+
+#endif // DFP_BASE_VERSION_H

@@ -41,8 +41,55 @@ configNamed(const std::string &name)
     return opts;
 }
 
+const std::vector<std::string> &
+allConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "bb", "hyper", "intra", "inter", "both", "merge"};
+    return names;
+}
+
 namespace
 {
+
+/**
+ * The fuzzer's deliberate-miscompilation hook (CompileOptions::
+ * debugBreak). Applied after the predicate optimizations and their
+ * checks, so the damage reaches codegen the way a real pass bug
+ * would. Returns the number of instructions tampered with.
+ */
+int
+applyDebugBreak(ir::Function &fn, const std::string &mode)
+{
+    if (mode != "flip-guard")
+        dfp_fatal("unknown debugBreak mode '", mode,
+                  "' (want flip-guard)");
+    // Prefer a predicated compute instruction; fall back to a
+    // predicated bro so even straight-line single-block hyperblocks
+    // (the bb configuration) can be broken.
+    ir::Instr *victim = nullptr;
+    for (ir::BBlock &block : fn.blocks) {
+        if (block.term != ir::Term::Hyper)
+            continue;
+        for (ir::Instr &inst : block.instrs) {
+            if (inst.guards.empty())
+                continue;
+            if (inst.op != isa::Op::Bro) {
+                victim = &inst;
+                break;
+            }
+            if (!victim)
+                victim = &inst;
+        }
+        if (victim && victim->op != isa::Op::Bro)
+            break;
+    }
+    if (!victim)
+        return 0;
+    for (ir::Guard &g : victim->guards)
+        g.onTrue = !g.onTrue;
+    return 1;
+}
 
 CompileResult
 compileOnce(const ir::Function &source, const CompileOptions &opts,
@@ -74,6 +121,11 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     // 3. SSA and scalar optimizations.
     core::buildSsa(fn);
     check(verify::IrStage::Ssa, "buildSsa");
+    // Unconditional (not an -O flag): correlated branches must share
+    // predicate temps before region selection, or the predicate passes
+    // can't see the correlation (see normalizeBranchConds).
+    res.stats.set("pipe.br_normalized", normalizeBranchConds(fn));
+    check(verify::IrStage::Ssa, "normalizeBranchConds");
     if (opts.scalarOpts) {
         res.stats.set("pipe.scalar_changes", runScalarOpts(fn));
         check(verify::IrStage::Ssa, "runScalarOpts");
@@ -124,6 +176,11 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     for (const ir::BBlock &hb : fn.blocks)
         core::checkHyperblock(hb);
     check(verify::IrStage::Hyper, "eliminateDeadCode");
+
+    if (!opts.debugBreak.empty()) {
+        res.stats.set("pipe.debug_break",
+                      applyDebugBreak(fn, opts.debugBreak));
+    }
 
     // 8. Register allocation.
     RegAllocResult ra = allocateRegisters(fn);

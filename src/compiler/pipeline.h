@@ -21,6 +21,7 @@
 #define DFP_COMPILER_PIPELINE_H
 
 #include <string>
+#include <vector>
 
 #include "base/stats.h"
 #include "compiler/codegen.h"
@@ -59,10 +60,27 @@ struct CompileOptions
     UnrollOptions unroll;
     core::RegionConfig region;
     GridShape grid;
+
+    /**
+     * Deliberate-miscompilation hook for the differential fuzzer's
+     * self-test (tools/dfp-fuzz --break-opt; see docs/FUZZING.md).
+     * Empty = off. "flip-guard" inverts the guard polarity of one
+     * predicated instruction after the predicate optimizations — a
+     * realistic predication bug the oracle must catch and the reducer
+     * must minimize. Never set by production configurations.
+     */
+    std::string debugBreak;
 };
 
 /** The canonical §6 configurations by name. */
 CompileOptions configNamed(const std::string &name);
+
+/**
+ * The six §6 configuration names in evaluation order (bb, hyper,
+ * intra, inter, both, merge) — the enumeration the sweep-style tools
+ * (dfp-lint -c all, dfp-fuzz) iterate.
+ */
+const std::vector<std::string> &allConfigNames();
 
 /** Output of a compilation. */
 struct CompileResult

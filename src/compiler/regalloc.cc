@@ -1,5 +1,6 @@
 #include "compiler/regalloc.h"
 
+#include <map>
 #include <set>
 #include <vector>
 
@@ -12,19 +13,52 @@ namespace dfp::compiler
 namespace
 {
 
-/** Hyperblock-level liveness of virtual registers. Writes do not kill
- *  (a null write preserves the previous value). */
+/**
+ * Hyperblock-level liveness of virtual registers. Guarded and
+ * null-token writes do not kill (a write that may not fire, or fires
+ * with a null token, preserves the previous register value — §4.2), so
+ * a write only ends the old value's live range when it is unguarded
+ * AND its value is definitely real: every in-block definition of the
+ * written temp is itself unguarded and not a Null. Without kills,
+ * every register reads as live from entry to its last use, and the
+ * inflated interference cliques exhaust the 64-register file on
+ * programs that actually fit (found by dfp-fuzz under merge-u4).
+ */
 std::vector<std::set<int>>
 liveInPerBlock(const ir::Function &fn)
 {
     size_t n = fn.blocks.size();
-    std::vector<std::set<int>> liveIn(n), use(n);
+    std::vector<std::set<int>> liveIn(n), use(n), kill(n);
     for (const ir::BBlock &block : fn.blocks) {
+        std::map<int, std::vector<const ir::Instr *>> defs;
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp())
+                defs[inst.dst.id].push_back(&inst);
+        }
         for (const ir::Instr &inst : block.instrs) {
             if (inst.op == isa::Op::Read)
                 use[block.id].insert(inst.reg);
             if (inst.op == isa::Op::Bro && inst.broLabel == "@halt")
                 use[block.id].insert(core::kRetVirtReg);
+            if (inst.op != isa::Op::Write || !inst.guards.empty() ||
+                inst.srcs.empty()) {
+                continue;
+            }
+            bool definite = false;
+            if (inst.srcs[0].isImm()) {
+                definite = true;
+            } else if (inst.srcs[0].isTemp()) {
+                auto it = defs.find(inst.srcs[0].id);
+                definite = it != defs.end();
+                if (definite) {
+                    for (const ir::Instr *d : it->second) {
+                        definite &= d->op != isa::Op::Null &&
+                                    d->guards.empty();
+                    }
+                }
+            }
+            if (definite)
+                kill[block.id].insert(inst.reg);
         }
     }
     bool changed = true;
@@ -33,8 +67,10 @@ liveInPerBlock(const ir::Function &fn)
         for (size_t b = n; b-- > 0;) {
             std::set<int> in = use[b];
             for (int s : fn.blocks[b].succs) {
-                for (int r : liveIn[s])
-                    in.insert(r);
+                for (int r : liveIn[s]) {
+                    if (!kill[b].count(r))
+                        in.insert(r);
+                }
             }
             if (in != liveIn[b]) {
                 liveIn[b] = std::move(in);

@@ -5,6 +5,7 @@
 
 #include "ir/analysis.h"
 #include "isa/alu.h"
+#include "isa/opcodes.h"
 
 namespace dfp::compiler
 {
@@ -77,6 +78,86 @@ foldConstants(ir::Function &fn)
         fn.computeCfg();
         fn.pruneUnreachable();
     }
+    return changes;
+}
+
+namespace
+{
+
+/** If @p inst computes `xor t, 1` (either operand order), the temp t; else -1. */
+int
+negatedTemp(const ir::Instr &inst)
+{
+    if (inst.op != isa::Op::Xor || inst.srcs.size() != 2)
+        return -1;
+    if (inst.srcs[0].isTemp() && inst.srcs[1].isImm() &&
+        inst.srcs[1].value == 1) {
+        return inst.srcs[0].id;
+    }
+    if (inst.srcs[1].isTemp() && inst.srcs[0].isImm() &&
+        inst.srcs[0].value == 1) {
+        return inst.srcs[1].id;
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+normalizeBranchConds(ir::Function &fn)
+{
+    // SSA: one definition per temp.
+    std::map<int, const ir::Instr *> defs;
+    for (const ir::BBlock &block : fn.blocks) {
+        for (const ir::Instr &inst : block.instrs) {
+            if (inst.dst.isTemp() && !defs.count(inst.dst.id))
+                defs[inst.dst.id] = &inst;
+        }
+    }
+
+    // `xor t, 1` is logical negation only for 0/1 values: a test
+    // result, a 0/1 constant, or a chain of such negations.
+    auto isBoolean = [&](int t) {
+        for (int fuel = 0; fuel < 8; ++fuel) {
+            auto it = defs.find(t);
+            if (it == defs.end())
+                return false;
+            const ir::Instr &d = *it->second;
+            if (isa::isTestOp(d.op))
+                return true;
+            if (d.op == isa::Op::Movi && d.srcs.size() == 1 &&
+                d.srcs[0].isImm() &&
+                (d.srcs[0].value == 0 || d.srcs[0].value == 1)) {
+                return true;
+            }
+            int inner = negatedTemp(d);
+            if (inner < 0)
+                return false;
+            t = inner;
+        }
+        return false;
+    };
+
+    int changes = 0;
+    for (ir::BBlock &block : fn.blocks) {
+        if (block.term != ir::Term::Br || !block.cond.isTemp())
+            continue;
+        // Peel negations one at a time; each swap re-inspects the new
+        // condition so double negations collapse fully.
+        for (int fuel = 0; fuel < 8; ++fuel) {
+            auto it = defs.find(block.cond.id);
+            if (it == defs.end())
+                break;
+            int inner = negatedTemp(*it->second);
+            if (inner < 0 || !isBoolean(inner))
+                break;
+            block.cond = ir::Opnd::temp(inner);
+            std::swap(block.succLabels[0], block.succLabels[1]);
+            ++changes;
+        }
+    }
+    if (changes)
+        fn.computeCfg();
     return changes;
 }
 

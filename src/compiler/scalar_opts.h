@@ -20,6 +20,19 @@ namespace dfp::compiler
 /** Fold constant expressions and constant/degenerate branches. */
 int foldConstants(ir::Function &fn);
 
+/**
+ * Rewrite branches on negated predicates (`br (xor p, 1), A, B` with
+ * boolean p) into `br p, B, A`. SSA only.
+ *
+ * Correlated branches then share one predicate temp, which is what
+ * makes them visible to the predicate passes: path-sensitive removal
+ * (§5.2) matches on predicate identity, and PredInfo's disjointness
+ * prover only chains through guard temps — a negation routed through
+ * a fresh xor temp would make provably-exclusive paths look
+ * independent and forbid otherwise-legal §5.3 merges.
+ */
+int normalizeBranchConds(ir::Function &fn);
+
 /** Propagate copies (mov/movi) into uses. SSA only. */
 int propagateCopies(ir::Function &fn);
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "base/logging.h"
 #include "core/pfg.h"
 #include "ir/analysis.h"
 
@@ -172,6 +173,11 @@ mergeRound(ir::BBlock &hb)
                     continue;
 
                 // Apply the merge: rewrite instruction 'a', drop 'b'.
+                // Tentatively — a flip or an OR-def can break the
+                // guard *chains* other joins' disjointness proofs run
+                // through, so the result is validated below and rolled
+                // back if the hyperblock invariants no longer hold.
+                std::vector<ir::Instr> saved = hb.instrs;
                 if (flipB) {
                     int defIdx = info.defsOf(gb.pred).front();
                     ir::Instr &test = hb.instrs[defIdx];
@@ -201,6 +207,16 @@ mergeRound(ir::BBlock &hb)
                 if (static_cast<int>(next.size()) < pos + 1)
                     next.push_back(merged);
                 hb.instrs = std::move(next);
+                try {
+                    checkHyperblock(hb);
+                } catch (const PanicError &) {
+                    // The merged block no longer proves its own
+                    // invariants (e.g. a join temp's disjointness
+                    // chained through a predicate this merge turned
+                    // into an atomic OR-node). Skip this candidate.
+                    hb.instrs = std::move(saved);
+                    continue;
+                }
                 return 1; // restart with fresh analyses
             }
         }

@@ -323,8 +323,12 @@ BoundaryLowerer::lowerHeadPhis()
                                      : job.phi.phiBlocks[q.input];
                     if (regionOf(anchor) != region)
                         continue;
-                    if (q.block >= 0 && q.block == p.block)
-                        continue; // same def: one de-duplicated write
+                    if (q.block >= 0 && q.block == p.block &&
+                        job.phi.srcs[q.input] == job.phi.srcs[p.input])
+                        continue; // same value: one de-duplicated write
+                        // (same block but different values — e.g. two
+                        // phi joins lowered in one block — is a real
+                        // conflict and must demote to edge writes)
                     if (sameRegionPath(region, p.block, anchor)) {
                         p.block = -1;
                         changed = true;
@@ -334,8 +338,10 @@ BoundaryLowerer::lowerHeadPhis()
             }
         }
 
-        std::set<int> writtenAfterDef; // def block de-dup (same value
-                                       // feeding several edges)
+        // (block, value) de-dup: the same value feeding several edges
+        // gets one write, but distinct values defined in one block
+        // (never both per-def after the demotion above) stay separate.
+        std::set<std::pair<int, int>> writtenAfterDef;
         for (const Placement &p : placements) {
             const ir::Opnd &src = job.phi.srcs[p.input];
             ir::Instr write;
@@ -343,7 +349,7 @@ BoundaryLowerer::lowerHeadPhis()
             write.reg = job.vreg;
             write.srcs.push_back(src);
             if (p.block >= 0) {
-                if (!writtenAfterDef.insert(p.block).second)
+                if (!writtenAfterDef.insert({p.block, src.id}).second)
                     continue;
                 // After the def (and past any phi group).
                 ir::BBlock &db = fn_.blocks[p.block];

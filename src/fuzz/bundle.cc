@@ -1,0 +1,125 @@
+#include "fuzz/bundle.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "base/version.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+
+namespace dfp::fuzz
+{
+
+namespace
+{
+
+/** Directives are one-line comments; flatten embedded newlines. */
+std::string
+oneLine(std::string s)
+{
+    for (char &c : s) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    return s;
+}
+
+uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str())
+        dfp_fatal("bundle directive '", key, "' needs a number, got '",
+                  value, "'");
+    return v;
+}
+
+} // namespace
+
+std::string
+renderBundle(const Bundle &bundle)
+{
+    std::ostringstream os;
+    os << "# dfp-fuzz reproducer\n";
+    os << "# version: "
+       << (bundle.version.empty() ? versionString() : bundle.version)
+       << "\n";
+    os << "# seed: " << bundle.seed << "\n";
+    os << "# mem-seed: " << bundle.memSeed << "\n";
+    os << "# config: " << bundle.cc.config << "\n";
+    os << "# unroll: " << bundle.cc.unroll << "\n";
+    os << "# scalar-opts: " << (bundle.cc.scalarOpts ? 1 : 0) << "\n";
+    if (!bundle.cc.breakOpt.empty())
+        os << "# break-opt: " << bundle.cc.breakOpt << "\n";
+    if (bundle.cc.faults.enabled()) {
+        os << "# fault-model: "
+           << sim::faultModelName(bundle.cc.faults.model) << "\n";
+        os << "# fault-rate: " << bundle.cc.faults.rate << "\n";
+        os << "# fault-seed: " << bundle.cc.faults.seed << "\n";
+    }
+    os << "# kind: " << failKindName(bundle.kind) << "\n";
+    if (!bundle.detail.empty())
+        os << "# detail: " << oneLine(bundle.detail) << "\n";
+    os << "\n";
+    ir::print(os, bundle.fn);
+    return os.str();
+}
+
+Bundle
+parseBundle(const std::string &text)
+{
+    Bundle bundle;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t hash = line.find('#');
+        if (hash == std::string::npos)
+            continue;
+        size_t colon = line.find(':', hash);
+        if (colon == std::string::npos)
+            continue;
+        std::string key = line.substr(hash + 1, colon - hash - 1);
+        // Trim the key and the value.
+        while (!key.empty() && key.front() == ' ')
+            key.erase(key.begin());
+        while (!key.empty() && key.back() == ' ')
+            key.pop_back();
+        std::string value = line.substr(colon + 1);
+        while (!value.empty() && value.front() == ' ')
+            value.erase(value.begin());
+
+        if (key == "version") {
+            bundle.version = value;
+        } else if (key == "seed") {
+            bundle.seed = parseU64(key, value);
+        } else if (key == "mem-seed") {
+            bundle.memSeed = parseU64(key, value);
+        } else if (key == "config") {
+            bundle.cc.config = value;
+        } else if (key == "unroll") {
+            bundle.cc.unroll = static_cast<int>(parseU64(key, value));
+        } else if (key == "scalar-opts") {
+            bundle.cc.scalarOpts = parseU64(key, value) != 0;
+        } else if (key == "break-opt") {
+            bundle.cc.breakOpt = value;
+        } else if (key == "fault-model") {
+            if (!sim::parseFaultModel(value, bundle.cc.faults.model))
+                dfp_fatal("bundle: unknown fault model '", value, "'");
+        } else if (key == "fault-rate") {
+            bundle.cc.faults.rate = std::strtod(value.c_str(), nullptr);
+        } else if (key == "fault-seed") {
+            bundle.cc.faults.seed = parseU64(key, value);
+        } else if (key == "kind") {
+            if (!parseFailKind(value, bundle.kind))
+                dfp_fatal("bundle: unknown failure kind '", value, "'");
+        } else if (key == "detail") {
+            bundle.detail = value;
+        }
+        // Unknown keys (and the banner line) fall through silently.
+    }
+    bundle.fn = ir::parseFunction(text);
+    return bundle;
+}
+
+} // namespace dfp::fuzz

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Self-contained reproducer bundles. A bundle is a single text file:
+ * '#'-comment directives carrying the seed, configuration and failure
+ * classification, followed by the failing function in parser syntax.
+ * Because directives are comments, the whole file also parses directly
+ * as IR — `dfpc reproducer.dfp` works on a bundle unchanged, and
+ * `dfp-fuzz --replay reproducer.dfp` re-runs the exact failing case.
+ */
+
+#ifndef DFP_FUZZ_BUNDLE_H
+#define DFP_FUZZ_BUNDLE_H
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/oracle.h"
+#include "ir/ir.h"
+
+namespace dfp::fuzz
+{
+
+/** Everything needed to replay one failing case. */
+struct Bundle
+{
+    std::string version;  //!< dfp version that produced the bundle
+    uint64_t seed = 0;    //!< generator seed (0 = reduced/hand-written)
+    uint64_t memSeed = 0; //!< initialMemory seed
+    CaseConfig cc;        //!< the failing configuration
+    FailKind kind = FailKind::None;
+    std::string detail;   //!< one-line divergence description
+    ir::Function fn;      //!< the (possibly minimized) program
+};
+
+/** Render a bundle to its text form. */
+std::string renderBundle(const Bundle &bundle);
+
+/**
+ * Parse a bundle from text. Unknown directives are ignored (forward
+ * compatibility); a missing function or malformed directive value
+ * throws FatalError.
+ */
+Bundle parseBundle(const std::string &text);
+
+} // namespace dfp::fuzz
+
+#endif // DFP_FUZZ_BUNDLE_H

@@ -1,0 +1,161 @@
+#include "fuzz/fuzz.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "base/version.h"
+
+namespace dfp::fuzz
+{
+
+namespace
+{
+
+/** Derived stream tags, so program and memory seeds are independent. */
+constexpr uint64_t kMemStream = 0x6d656d; // "mem"
+
+std::string
+writeBundleFile(const std::string &outDir, const Bundle &bundle,
+                const char *suffix)
+{
+    std::filesystem::create_directories(outDir);
+    std::string name = detail::cat("seed-", bundle.seed, "-",
+                                   caseLabel(bundle.cc), "-",
+                                   failKindName(bundle.kind), suffix,
+                                   ".dfp");
+    // caseLabel uses ':' and '+'; both are filename-safe on POSIX but
+    // ':' trips some archive tools, so normalize.
+    for (char &c : name) {
+        if (c == ':' || c == '+')
+            c = '_';
+    }
+    std::string path = detail::cat(outDir, "/", name);
+    std::ofstream out(path);
+    if (!out)
+        dfp_fatal("cannot write reproducer '", path, "'");
+    out << renderBundle(bundle);
+    return path;
+}
+
+/** The reducer's acceptance predicate for one failing case. */
+std::function<bool(const ir::Function &)>
+sameFailure(const CaseConfig &cc, uint64_t memSeed, FailKind kind)
+{
+    if (kind == FailKind::RoundTrip) {
+        return [](const ir::Function &fn) {
+            return checkRoundTrip(fn).kind == FailKind::RoundTrip;
+        };
+    }
+    return [cc, memSeed, kind](const ir::Function &fn) {
+        return runCase(fn, memSeed, cc).kind == kind;
+    };
+}
+
+} // namespace
+
+FuzzReport
+runFuzz(const FuzzOptions &opts, std::ostream &log)
+{
+    FuzzReport report;
+    std::vector<CaseConfig> sweep =
+        opts.sweep.empty() ? defaultSweep() : opts.sweep;
+    for (CaseConfig &cc : sweep) {
+        if (!opts.breakOpt.empty())
+            cc.breakOpt = opts.breakOpt;
+        if (opts.faults.enabled())
+            cc.faults = opts.faults;
+        if (opts.watchdogCycles)
+            cc.watchdogCycles = opts.watchdogCycles;
+    }
+
+    for (uint64_t i = 0; i < opts.runs; ++i) {
+        uint64_t seed = deriveSeed(opts.seed, i);
+        uint64_t memSeed = deriveSeed(seed, kMemStream);
+        GenConfig gen = opts.gen;
+        gen.seed = seed;
+        ir::Function fn = generate(gen);
+        ++report.programs;
+
+        // The round-trip property first, then the sweep; a program
+        // stops at its first failing case (one bundle per program
+        // keeps fuzz-out/ readable when a single bug fires broadly).
+        CaseConfig failedCc;
+        CaseResult failed = checkRoundTrip(fn);
+        if (!failed.failed()) {
+            for (const CaseConfig &cc : sweep) {
+                ++report.cases;
+                failed = runCase(fn, memSeed, cc);
+                if (failed.failed()) {
+                    failedCc = cc;
+                    break;
+                }
+            }
+        }
+        if (!failed.failed()) {
+            if ((i + 1) % 100 == 0) {
+                log << "dfp-fuzz: " << (i + 1) << "/" << opts.runs
+                    << " programs clean\n";
+            }
+            continue;
+        }
+
+        FuzzFailure failure;
+        failure.seed = seed;
+        failure.cc = failedCc;
+        failure.kind = failed.kind;
+        failure.detail = failed.detail;
+        log << "dfp-fuzz: seed " << seed << " ["
+            << caseLabel(failedCc) << "] "
+            << failKindName(failed.kind) << ": " << failed.detail
+            << "\n";
+
+        Bundle bundle;
+        bundle.version = versionString();
+        bundle.seed = seed;
+        bundle.memSeed = memSeed;
+        bundle.cc = failedCc;
+        bundle.kind = failed.kind;
+        bundle.detail = failed.detail;
+        bundle.fn = fn;
+        failure.origPath =
+            writeBundleFile(opts.outDir, bundle, "-orig");
+
+        if (opts.reduce) {
+            bundle.fn = reduce(fn,
+                               sameFailure(failedCc, memSeed,
+                                           failed.kind),
+                               &failure.reduceStats);
+            // Re-run the minimized program so the bundle's detail line
+            // describes it, not its ancestor.
+            CaseResult minRes =
+                failed.kind == FailKind::RoundTrip
+                    ? checkRoundTrip(bundle.fn)
+                    : runCase(bundle.fn, memSeed, failedCc);
+            if (minRes.failed())
+                bundle.detail = minRes.detail;
+        }
+        failure.minPath = writeBundleFile(opts.outDir, bundle, "-min");
+        log << "dfp-fuzz: minimized to " << failure.minPath << " ("
+            << failure.reduceStats.accepted << " mutations in "
+            << failure.reduceStats.attempts << " attempts)\n";
+
+        report.failures.push_back(std::move(failure));
+        if (report.failures.size() >= opts.maxFailures) {
+            log << "dfp-fuzz: stopping after " << opts.maxFailures
+                << " failures\n";
+            break;
+        }
+    }
+    return report;
+}
+
+CaseResult
+replayBundle(const Bundle &bundle)
+{
+    if (bundle.kind == FailKind::RoundTrip)
+        return checkRoundTrip(bundle.fn);
+    return runCase(bundle.fn, bundle.memSeed, bundle.cc);
+}
+
+} // namespace dfp::fuzz

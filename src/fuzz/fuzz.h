@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The differential-fuzzing campaign driver behind tools/dfp-fuzz:
+ * generate seeded random programs (generator.h), run each through the
+ * printer/parser round-trip property and a sweep of compiler
+ * configurations against the golden interpreter (oracle.h), and turn
+ * every divergence into a delta-minimized reproducer bundle on disk
+ * (reducer.h, bundle.h). Fully deterministic: one (seed, runs, sweep)
+ * triple produces byte-identical bundles on every host.
+ */
+
+#ifndef DFP_FUZZ_FUZZ_H
+#define DFP_FUZZ_FUZZ_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/bundle.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/reducer.h"
+
+namespace dfp::fuzz
+{
+
+/** Campaign configuration. */
+struct FuzzOptions
+{
+    uint64_t seed = 1;       //!< campaign seed; run i uses deriveSeed(seed, i)
+    uint64_t runs = 100;     //!< programs to generate
+    GenConfig gen;           //!< program shape (per-run seed overrides gen.seed)
+    std::vector<CaseConfig> sweep; //!< empty = defaultSweep()
+    std::string outDir = "fuzz-out"; //!< reproducer bundle directory
+    bool reduce = true;      //!< delta-minimize failures
+    std::string breakOpt;    //!< self-test: CompileOptions::debugBreak
+    sim::FaultConfig faults; //!< soak mode: inject faults into every sim
+    uint64_t watchdogCycles = 0;
+    uint64_t maxFailures = 10; //!< stop the campaign after this many
+};
+
+/** One failing program, after reduction. */
+struct FuzzFailure
+{
+    uint64_t seed = 0;     //!< generator seed of the failing program
+    CaseConfig cc;         //!< the configuration that diverged
+    FailKind kind = FailKind::None;
+    std::string detail;
+    std::string origPath;  //!< unreduced bundle file
+    std::string minPath;   //!< minimized bundle file
+    ReduceStats reduceStats;
+};
+
+/** Campaign summary. */
+struct FuzzReport
+{
+    uint64_t programs = 0; //!< programs generated
+    uint64_t cases = 0;    //!< differential cases executed
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Run a campaign. Progress and failure summaries go to @p log (one
+ * line per failure plus a periodic heartbeat); bundles go to
+ * opts.outDir, which is created on first failure.
+ */
+FuzzReport runFuzz(const FuzzOptions &opts, std::ostream &log);
+
+/**
+ * Re-run a parsed bundle's exact case (round-trip check for
+ * FailKind::RoundTrip bundles, the full differential case otherwise).
+ */
+CaseResult replayBundle(const Bundle &bundle);
+
+} // namespace dfp::fuzz
+
+#endif // DFP_FUZZ_FUZZ_H

@@ -1,0 +1,489 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+
+#include "base/random.h"
+#include "workloads/suite.h"
+
+namespace dfp::fuzz
+{
+
+namespace
+{
+
+using ir::BBlock;
+using ir::Function;
+using ir::Instr;
+using ir::Opnd;
+using ir::Term;
+
+const uint64_t kBases[] = {workloads::kArrA, workloads::kArrB,
+                           workloads::kArrC, workloads::kOut,
+                           workloads::kScratch};
+
+/**
+ * Structural program builder. Blocks are addressed by id (addBlock
+ * reallocates the block vector), variables by temp id. Scoping rule:
+ * variables introduced inside a diamond arm or loop body go out of
+ * scope at the join/exit — only a definition that dominates every
+ * later use may stay visible, and arm/body definitions dominate
+ * nothing past the join. Reassignment of an outer variable inside an
+ * arm is the interesting (predication-relevant) case and is always
+ * legal: the outer definition still dominates later reads.
+ */
+class Builder
+{
+  public:
+    explicit Builder(const GenConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed ? cfg.seed : 1)
+    {}
+
+    Function
+    build()
+    {
+        fn_.name = "fuzz";
+        cur_ = fn_.addBlock("entry").id;
+        prelude();
+        int structures = 1 + pick(cfg_.maxTopStructures);
+        for (int i = 0; i < structures; ++i)
+            genStructure(cfg_.maxDepth);
+        straightLine();
+        epilogue();
+        fn_.computeCfg();
+        fn_.verify();
+        return std::move(fn_);
+    }
+
+  private:
+    // --- randomness helpers ---------------------------------------------
+    int pick(int bound) { return static_cast<int>(rng_.nextBelow(
+                              static_cast<uint64_t>(std::max(1, bound)))); }
+    bool chance(int percent) { return pick(100) < percent; }
+
+    // --- emission helpers -----------------------------------------------
+    BBlock &cur() { return fn_.blocks[cur_]; }
+
+    int
+    newBlock()
+    {
+        return fn_.addBlock(detail::cat("b", ++blockCount_)).id;
+    }
+
+    Instr &
+    emit(isa::Op op, Opnd dst, std::vector<Opnd> srcs)
+    {
+        Instr inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.srcs = std::move(srcs);
+        cur().instrs.push_back(std::move(inst));
+        return cur().instrs.back();
+    }
+
+    /** Admit a value to the readable pool, respecting the liveness cap. */
+    void
+    trackVar(int id)
+    {
+        if (static_cast<int>(vars_.size()) < cfg_.maxLiveVars)
+            vars_.push_back(id);
+    }
+
+    void
+    trackPred(int id)
+    {
+        // Predicates reused for correlated branches stay live across
+        // whole structures; a small pool keeps that pressure bounded.
+        if (preds_.size() < 8)
+            preds_.push_back(id);
+    }
+
+    Opnd
+    freshVar(isa::Op op, std::vector<Opnd> srcs)
+    {
+        Opnd dst = Opnd::temp(fn_.newTemp());
+        emit(op, dst, std::move(srcs));
+        trackVar(dst.id);
+        return dst;
+    }
+
+    /** A variable to read (uniform over the live set). */
+    Opnd
+    readVar()
+    {
+        return Opnd::temp(vars_[pick(static_cast<int>(vars_.size()))]);
+    }
+
+    /** A read operand: usually a variable, sometimes an immediate. */
+    Opnd
+    operand()
+    {
+        if (chance(25))
+            return Opnd::imm(randImm());
+        return readVar();
+    }
+
+    int64_t
+    randImm()
+    {
+        switch (pick(6)) {
+          case 0: return 0;
+          case 1: return 1;
+          case 2: return -1;
+          // 32-bit, not 64: codegen synthesizes wide constants at ~2
+          // instructions per byte, and a few full-width immediates
+          // would blow the 128-instruction block cap outright.
+          case 3: return static_cast<int32_t>(rng_.next());
+          default: return rng_.nextRange(-128, 127);
+        }
+    }
+
+    /** A destination: a fresh variable or an unprotected existing one. */
+    Opnd
+    destVar()
+    {
+        bool full = static_cast<int>(vars_.size()) >= cfg_.maxLiveVars;
+        if (!full && !chance(40))
+            return Opnd::temp(fn_.newTemp());
+        std::vector<int> candidates;
+        for (int v : vars_) {
+            if (std::find(protected_.begin(), protected_.end(), v) ==
+                protected_.end()) {
+                candidates.push_back(v);
+            }
+        }
+        if (candidates.empty())
+            return Opnd::temp(fn_.newTemp());
+        return Opnd::temp(
+            candidates[pick(static_cast<int>(candidates.size()))]);
+    }
+
+    void
+    define(isa::Op op, std::vector<Opnd> srcs)
+    {
+        Opnd dst = destVar();
+        bool fresh = std::find(vars_.begin(), vars_.end(), dst.id) ==
+                     vars_.end();
+        emit(op, dst, std::move(srcs));
+        if (fresh)
+            trackVar(dst.id);
+    }
+
+    // --- program pieces -------------------------------------------------
+
+    void
+    prelude()
+    {
+        // Seed the variable pool: a few loads from the input arrays and
+        // a few constants, then the accumulator the program returns.
+        for (int i = 0; i < cfg_.numInputVars; ++i) {
+            if (cfg_.memOps && chance(60)) {
+                Opnd base = freshVar(
+                    isa::Op::Movi, {Opnd::imm(static_cast<int64_t>(
+                                       kBases[pick(3)]))});
+                Instr &ld = emit(isa::Op::Ld, Opnd::temp(fn_.newTemp()),
+                                 {base, Opnd::imm(8 * pick(8))});
+                trackVar(ld.dst.id);
+                ++memOps_;
+            } else {
+                freshVar(isa::Op::Movi, {Opnd::imm(randImm())});
+            }
+        }
+        acc_ = freshVar(isa::Op::Movi, {Opnd::imm(randImm())}).id;
+    }
+
+    void
+    epilogue()
+    {
+        // Fold a couple of live variables into the accumulator so more
+        // of the computation is observable, store it, and return it.
+        emit(isa::Op::Xor, Opnd::temp(acc_),
+             {Opnd::temp(acc_), readVar()});
+        emit(isa::Op::Add, Opnd::temp(acc_),
+             {Opnd::temp(acc_), readVar()});
+        if (cfg_.memOps) {
+            Opnd base = freshVar(
+                isa::Op::Movi,
+                {Opnd::imm(static_cast<int64_t>(workloads::kOut))});
+            Instr &st = emit(isa::Op::St, Opnd::none(),
+                             {base, Opnd::temp(acc_), Opnd::imm(0)});
+            (void)st;
+        }
+        cur().term = Term::Ret;
+        cur().retVal = Opnd::temp(acc_);
+    }
+
+    void
+    genStructure(int depth)
+    {
+        int roll = pick(100);
+        if (depth > 0 && cfg_.loops && roll < 25)
+            genLoop(depth);
+        else if (depth > 0 && roll < 70)
+            genDiamond(depth);
+        else if (cfg_.memOps && roll < 85)
+            genMemRun();
+        else
+            straightLine();
+    }
+
+    /** One straight-line run of random compute statements. */
+    void
+    straightLine()
+    {
+        int n = 1 + pick(cfg_.maxStmtsPerRun);
+        for (int i = 0; i < n; ++i)
+            genStatement();
+    }
+
+    void
+    genStatement()
+    {
+        static const isa::Op kArith[] = {
+            isa::Op::Add, isa::Op::Sub, isa::Op::Mul, isa::Op::And,
+            isa::Op::Or,  isa::Op::Xor, isa::Op::Shl, isa::Op::Shr,
+            isa::Op::Sra};
+        static const isa::Op kTests[] = {isa::Op::Teq, isa::Op::Tne,
+                                         isa::Op::Tlt, isa::Op::Tle,
+                                         isa::Op::Tgt, isa::Op::Tge};
+        int roll = pick(100);
+        if (roll < 55) {
+            define(kArith[pick(9)], {readVar(), operand()});
+        } else if (roll < 70) {
+            Opnd dst = Opnd::temp(fn_.newTemp());
+            emit(kTests[pick(6)], dst, {readVar(), operand()});
+            trackVar(dst.id);
+            trackPred(dst.id);
+        } else if (roll < 80) {
+            // Exception-free division: divisor masked to [1, 255].
+            Opnd m = freshVar(isa::Op::And, {readVar(), Opnd::imm(255)});
+            Opnd d = freshVar(isa::Op::Or, {m, Opnd::imm(1)});
+            define(isa::Op::Div, {readVar(), d});
+        } else if (roll < 90 && cfg_.floatOps) {
+            genFloatRun();
+        } else if (roll < 95) {
+            define(isa::Op::Mov, {readVar()});
+        } else {
+            // Fold into the accumulator (keeps dead-code elimination
+            // from erasing whole regions and keeps results observable).
+            emit(isa::Op::Add, Opnd::temp(acc_),
+                 {Opnd::temp(acc_), readVar()});
+        }
+    }
+
+    /**
+     * Float dataflow that cannot trap or go undefined: itof from
+     * integers, a few arithmetic steps, observed through a comparison
+     * (never ftoi — out-of-range double-to-int casts are UB).
+     */
+    void
+    genFloatRun()
+    {
+        Opnd f1 = freshVar(isa::Op::Itof, {readVar()});
+        Opnd f2 = freshVar(isa::Op::Itof, {readVar()});
+        static const isa::Op kFArith[] = {isa::Op::Fadd, isa::Op::Fsub,
+                                          isa::Op::Fmul};
+        Opnd f3 = freshVar(kFArith[pick(3)], {f1, f2});
+        static const isa::Op kFTests[] = {isa::Op::Flt, isa::Op::Fgt,
+                                          isa::Op::Feq, isa::Op::Fle,
+                                          isa::Op::Fge};
+        Opnd c = freshVar(kFTests[pick(5)], {f3, f1});
+        trackPred(c.id);
+    }
+
+    /** Aligned address: base + ((var & 63) << 3), plus 0/8 in the
+     *  instruction's offset immediate. */
+    Opnd
+    alignedAddr()
+    {
+        Opnd idx = freshVar(isa::Op::And, {readVar(), Opnd::imm(63)});
+        Opnd off = freshVar(isa::Op::Shl, {idx, Opnd::imm(3)});
+        Opnd base = freshVar(
+            isa::Op::Movi,
+            {Opnd::imm(static_cast<int64_t>(kBases[pick(5)]))});
+        return freshVar(isa::Op::Add, {base, off});
+    }
+
+    /**
+     * A load/store run with deliberate aliasing: one address feeds a
+     * mix of loads and stores (RAW/WAR through the LSQ and the LSID
+     * ordering machinery), sometimes reusing the same base so distinct
+     * addresses can still collide.
+     */
+    void
+    genMemRun()
+    {
+        if (memOps_ + 2 > cfg_.maxMemOps) {
+            straightLine();
+            return;
+        }
+        Opnd addr = alignedAddr();
+        int n = 2 + pick(3);
+        for (int i = 0; i < n && memOps_ < cfg_.maxMemOps; ++i) {
+            if (chance(45)) {
+                Instr &st = emit(isa::Op::St, Opnd::none(),
+                                 {addr, readVar(),
+                                  Opnd::imm(8 * pick(2))});
+                (void)st;
+            } else {
+                Opnd dst = Opnd::temp(fn_.newTemp());
+                emit(isa::Op::Ld, dst, {addr, Opnd::imm(8 * pick(2))});
+                trackVar(dst.id);
+            }
+            ++memOps_;
+            if (chance(30))
+                addr = alignedAddr(); // switch to a (maybe aliasing) addr
+        }
+    }
+
+    /**
+     * Branch condition. With correlation enabled this frequently
+     * reuses or negates an earlier predicate, building the correlated
+     * test chains the path-sensitive optimization (§5.2) keys on.
+     */
+    Opnd
+    condVar()
+    {
+        if (cfg_.correlatedBranches && !preds_.empty() && chance(45)) {
+            int p = preds_[pick(static_cast<int>(preds_.size()))];
+            if (chance(35))
+                return freshVar(isa::Op::Xor,
+                                {Opnd::temp(p), Opnd::imm(1)});
+            return Opnd::temp(p);
+        }
+        static const isa::Op kTests[] = {isa::Op::Teq, isa::Op::Tne,
+                                         isa::Op::Tlt, isa::Op::Tgt};
+        Opnd c = freshVar(kTests[pick(4)], {readVar(), operand()});
+        trackPred(c.id);
+        return c;
+    }
+
+    /** Restore variable scope at a join point. */
+    void
+    closeScope(size_t varsMark, size_t predsMark)
+    {
+        vars_.resize(varsMark);
+        preds_.resize(predsMark);
+    }
+
+    void
+    genDiamond(int depth)
+    {
+        Opnd cond = condVar();
+        int thenB = newBlock();
+        int elseB = newBlock();
+        int joinB = newBlock();
+        cur().term = Term::Br;
+        cur().cond = cond;
+        cur().succLabels = {fn_.blocks[thenB].name,
+                            fn_.blocks[elseB].name};
+
+        size_t varsMark = vars_.size(), predsMark = preds_.size();
+        cur_ = thenB;
+        if (depth > 1 && chance(40))
+            genStructure(depth - 1);
+        else
+            straightLine();
+        cur().term = Term::Jmp;
+        cur().succLabels = {fn_.blocks[joinB].name};
+        closeScope(varsMark, predsMark);
+
+        cur_ = elseB;
+        if (chance(20)) {
+            // Empty else arm: a pure fall-through edge.
+        } else if (depth > 1 && chance(30)) {
+            genStructure(depth - 1);
+        } else {
+            straightLine();
+        }
+        cur().term = Term::Jmp;
+        cur().succLabels = {fn_.blocks[joinB].name};
+        closeScope(varsMark, predsMark);
+
+        cur_ = joinB;
+    }
+
+    void
+    genLoop(int depth)
+    {
+        // i = 0; header: if (i < trip) body; else exit
+        // body: ...; i = i + 1; jmp header
+        Opnd i = freshVar(isa::Op::Movi, {Opnd::imm(0)});
+        int64_t trip = 1 + pick(cfg_.maxLoopTrip);
+        int headerB = newBlock();
+        int bodyB = newBlock();
+        int exitB = newBlock();
+        cur().term = Term::Jmp;
+        cur().succLabels = {fn_.blocks[headerB].name};
+
+        cur_ = headerB;
+        Opnd c = freshVar(isa::Op::Tlt, {i, Opnd::imm(trip)});
+        cur().term = Term::Br;
+        cur().cond = c;
+        cur().succLabels = {fn_.blocks[bodyB].name,
+                            fn_.blocks[exitB].name};
+
+        size_t varsMark = vars_.size(), predsMark = preds_.size();
+        protected_.push_back(i.id);
+        cur_ = bodyB;
+        if (depth > 1 && chance(45))
+            genStructure(depth - 1);
+        else
+            straightLine();
+        // Loop-carried accumulation keeps the body observable.
+        emit(isa::Op::Add, Opnd::temp(acc_),
+             {Opnd::temp(acc_), readVar()});
+        emit(isa::Op::Add, i, {i, Opnd::imm(1)});
+        cur().term = Term::Jmp;
+        cur().succLabels = {fn_.blocks[headerB].name};
+        protected_.pop_back();
+        closeScope(varsMark, predsMark);
+
+        cur_ = exitB;
+    }
+
+    GenConfig cfg_;
+    Rng rng_;
+    Function fn_;
+    int cur_ = 0;            //!< current block id
+    int blockCount_ = 0;
+    int memOps_ = 0;
+    int acc_ = -1;           //!< accumulator temp id
+    std::vector<int> vars_;  //!< in-scope variables (temp ids)
+    std::vector<int> preds_; //!< in-scope 0/1 test results
+    std::vector<int> protected_; //!< open-loop counters (never clobber)
+};
+
+} // namespace
+
+ir::Function
+generate(const GenConfig &cfg)
+{
+    return Builder(cfg).build();
+}
+
+isa::Memory
+initialMemory(uint64_t seed)
+{
+    Rng rng(seed ? seed : 1);
+    isa::Memory mem;
+    for (uint64_t base : {workloads::kArrA, workloads::kArrB,
+                          workloads::kArrC}) {
+        for (uint64_t i = 0; i < 64; ++i)
+            mem.store(base + 8 * i, rng.next());
+    }
+    return mem;
+}
+
+uint64_t
+deriveSeed(uint64_t base, uint64_t index)
+{
+    // splitmix64 finalizer over the combined value: adjacent indices
+    // give statistically independent streams.
+    uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 1;
+}
+
+} // namespace dfp::fuzz

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded random generator of well-formed CFG-stage IR programs for the
+ * differential fuzzer (docs/FUZZING.md). Programs are built
+ * structurally — nested if/else diamonds, bounded counted loops
+ * (eligible for unrolling), correlated branch conditions, and
+ * aligned load/store runs with aliasing LSID patterns — so every
+ * generated function:
+ *
+ *  - parses/verifies as frontend IR,
+ *  - terminates on the golden interpreter (all loops count to a
+ *    constant trip bound; counters are never clobbered),
+ *  - never traps (no unaligned accesses, no divide faults: divisors
+ *    are forced odd-positive; no ftoi range casts),
+ *  - stays within the TRIPS block format limits after compilation
+ *    (bounded live variables, bounded memory ops per region).
+ *
+ * All randomness comes from base/random.h's xorshift64* — no
+ * wall-clock, no std::random — so a seed identifies a program
+ * byte-for-byte on every platform.
+ */
+
+#ifndef DFP_FUZZ_GENERATOR_H
+#define DFP_FUZZ_GENERATOR_H
+
+#include <cstdint>
+
+#include "ir/ir.h"
+#include "isa/memory.h"
+
+namespace dfp::fuzz
+{
+
+/** Generator size/shape knobs. Defaults target ~20-80 instructions. */
+struct GenConfig
+{
+    uint64_t seed = 1;
+    int maxDepth = 3;          //!< control-structure nesting limit
+    int maxTopStructures = 4;  //!< structures chained at the top level
+    int maxStmtsPerRun = 5;    //!< straight-line statements per run
+    int numInputVars = 4;      //!< variables seeded from memory/constants
+    int maxMemOps = 10;        //!< total loads+stores per program
+    int maxLoopTrip = 8;       //!< constant loop trip bound
+    //! Readable-variable pool cap. The machine has 64 architectural
+    //! registers and no spilling, so a generator targeting it must
+    //! bound cross-hyperblock liveness the same way it bounds block
+    //! sizes — past the cap, new values stop joining the pool and
+    //! destinations overwrite existing variables instead.
+    int maxLiveVars = 24;
+    bool loops = true;
+    bool memOps = true;
+    bool floatOps = true;      //!< itof + fadd/fsub/fmul + comparisons
+    bool correlatedBranches = true; //!< reuse/negate earlier predicates
+};
+
+/** Generate one program. Deterministic in @p cfg (including seed). */
+ir::Function generate(const GenConfig &cfg);
+
+/**
+ * The memory image generated programs run against: the three input
+ * arrays (workloads::kArrA/B/C) filled with 64 seeded words each.
+ */
+isa::Memory initialMemory(uint64_t seed);
+
+/** Mix a base seed with a run index into an independent stream seed. */
+uint64_t deriveSeed(uint64_t base, uint64_t index);
+
+} // namespace dfp::fuzz
+
+#endif // DFP_FUZZ_GENERATOR_H

@@ -1,0 +1,263 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "fuzz/generator.h"
+#include "ir/analysis.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "isa/exec.h"
+#include "sim/machine.h"
+#include "verify/verify.h"
+
+namespace dfp::fuzz
+{
+
+namespace
+{
+
+const struct
+{
+    FailKind kind;
+    const char *name;
+} kKindNames[] = {
+    {FailKind::None, "none"},
+    {FailKind::InvalidProgram, "invalid-program"},
+    {FailKind::RoundTrip, "round-trip"},
+    {FailKind::CompileError, "compile-error"},
+    {FailKind::VerifyError, "verify-error"},
+    {FailKind::ExecMismatch, "exec-mismatch"},
+    {FailKind::SimHang, "sim-hang"},
+    {FailKind::SimMismatch, "sim-mismatch"},
+};
+
+/** The reference outcome every execution must reproduce. */
+struct Golden
+{
+    uint64_t retValue = 0;
+    uint64_t memChecksum = 0;
+};
+
+/**
+ * Compare one execution's observable state against the golden run.
+ * Returns a non-empty description on divergence.
+ */
+std::string
+diffState(const Golden &want, uint64_t retValue, uint64_t memChecksum)
+{
+    if (retValue != want.retValue) {
+        return detail::cat("ret value ", retValue, " != golden ",
+                           want.retValue);
+    }
+    if (memChecksum != want.memChecksum) {
+        return detail::cat("memory checksum 0x", std::hex, memChecksum,
+                           " != golden 0x", want.memChecksum);
+    }
+    return "";
+}
+
+} // namespace
+
+const char *
+failKindName(FailKind kind)
+{
+    for (const auto &e : kKindNames) {
+        if (e.kind == kind)
+            return e.name;
+    }
+    return "unknown";
+}
+
+bool
+parseFailKind(const std::string &name, FailKind &out)
+{
+    for (const auto &e : kKindNames) {
+        if (name == e.name) {
+            out = e.kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+caseLabel(const CaseConfig &cc)
+{
+    std::string label = detail::cat(cc.config, "-u", cc.unroll);
+    if (!cc.scalarOpts)
+        label += "-noscalar";
+    if (!cc.breakOpt.empty())
+        label += detail::cat("-break:", cc.breakOpt);
+    if (cc.faults.enabled())
+        label += detail::cat("+", sim::faultModelName(cc.faults.model));
+    return label;
+}
+
+std::vector<CaseConfig>
+defaultSweep()
+{
+    std::vector<CaseConfig> sweep;
+    for (const std::string &name : compiler::allConfigNames()) {
+        CaseConfig cc;
+        cc.config = name;
+        sweep.push_back(cc);
+    }
+    CaseConfig u2;
+    u2.config = "both";
+    u2.unroll = 2;
+    sweep.push_back(u2);
+    CaseConfig u4;
+    u4.config = "merge";
+    u4.unroll = 4;
+    sweep.push_back(u4);
+    return sweep;
+}
+
+CaseResult
+runCase(const ir::Function &fn, uint64_t memSeed, const CaseConfig &cc)
+{
+    CaseResult res;
+
+    // 1. Golden reference: the CFG interpreter. A program the
+    //    interpreter rejects is the generator's (or reducer's) fault,
+    //    not the compiler's — InvalidProgram tells the reducer to
+    //    discard the variant.
+    Golden golden;
+    try {
+        isa::Memory mem = initialMemory(memSeed);
+        ir::InterpResult gi = ir::interpret(fn, mem, 1u << 20);
+        if (!gi.ok) {
+            res.kind = FailKind::InvalidProgram;
+            res.detail = gi.error.empty() ? "interpreter step budget"
+                                          : gi.error;
+            return res;
+        }
+        golden.retValue = gi.retValue;
+        golden.memChecksum = mem.checksum();
+    } catch (const std::exception &e) {
+        // The interpreter throws on structurally broken programs (use
+        // of an undefined temp, for one) — reducer variants hit this
+        // constantly, and it means "discard", not "bug".
+        res.kind = FailKind::InvalidProgram;
+        res.detail = e.what();
+        return res;
+    }
+
+    // 2. Compile. The pipeline's own inter-pass checks stay off —
+    //    stage 3's whole-program verify is the checked surface, and
+    //    running the checker 15x per case would dominate fuzz
+    //    throughput.
+    compiler::CompileResult compiled;
+    try {
+        compiler::CompileOptions opts = compiler::configNamed(cc.config);
+        opts.unroll.factor = cc.unroll;
+        opts.scalarOpts = cc.scalarOpts;
+        opts.debugBreak = cc.breakOpt;
+        opts.verifyEachPass = false;
+        compiled = compiler::compile(fn, opts);
+    } catch (const std::exception &e) {
+        res.kind = FailKind::CompileError;
+        res.detail = e.what();
+        return res;
+    }
+
+    // 3. Static verification of the compiled program.
+    {
+        verify::DiagList diags;
+        verify::verifyProgram(compiled.program, verify::VerifyOptions{},
+                              diags);
+        if (diags.hasErrors()) {
+            res.kind = FailKind::VerifyError;
+            res.detail = diags.joinedErrors();
+            return res;
+        }
+    }
+
+    // 4. Functional block executor vs golden.
+    try {
+        isa::ArchState state;
+        state.mem = initialMemory(memSeed);
+        isa::RunOutcome out = isa::runProgram(compiled.program, state);
+        if (!out.halted) {
+            res.kind = FailKind::ExecMismatch;
+            res.detail = detail::cat(
+                "functional executor did not halt: ",
+                out.error.empty() ? "block budget" : out.error);
+            return res;
+        }
+        std::string diff =
+            diffState(golden, state.regs[compiler::kRetArchReg],
+                      state.mem.checksum());
+        if (!diff.empty()) {
+            res.kind = FailKind::ExecMismatch;
+            res.detail = detail::cat("functional executor: ", diff);
+            return res;
+        }
+    } catch (const std::exception &e) {
+        res.kind = FailKind::ExecMismatch;
+        res.detail = detail::cat("functional executor threw: ",
+                                 e.what());
+        return res;
+    }
+
+    // 5. Cycle simulator vs golden (with fault injection in soak
+    //    mode — injected faults must still recover to the golden
+    //    result; see docs/RESILIENCE.md).
+    try {
+        isa::ArchState state;
+        state.mem = initialMemory(memSeed);
+        sim::SimConfig scfg;
+        scfg.faults = cc.faults;
+        scfg.watchdogCycles = cc.watchdogCycles;
+        scfg.maxCycles = 1ull << 24;
+        sim::SimResult sr = sim::simulate(compiled.program, state, scfg);
+        if (!sr.halted) {
+            res.kind = FailKind::SimHang;
+            res.detail = detail::cat(
+                "simulator did not halt after ", sr.cycles, " cycles: ",
+                sr.error.empty() ? "cycle budget" : sr.error);
+            return res;
+        }
+        std::string diff =
+            diffState(golden, state.regs[compiler::kRetArchReg],
+                      state.mem.checksum());
+        if (!diff.empty()) {
+            res.kind = FailKind::SimMismatch;
+            res.detail = detail::cat("simulator: ", diff);
+            return res;
+        }
+    } catch (const std::exception &e) {
+        res.kind = FailKind::SimHang;
+        res.detail = detail::cat("simulator threw: ", e.what());
+        return res;
+    }
+
+    return res;
+}
+
+CaseResult
+checkRoundTrip(const ir::Function &fn)
+{
+    CaseResult res;
+    std::string text = ir::toString(fn);
+    ir::Function reparsed;
+    try {
+        reparsed = ir::parseFunction(text);
+    } catch (const std::exception &e) {
+        res.kind = FailKind::RoundTrip;
+        res.detail = detail::cat("printed function failed to re-parse: ",
+                                 e.what());
+        return res;
+    }
+    std::string why;
+    if (!ir::structurallyEquivalent(fn, reparsed, &why)) {
+        res.kind = FailKind::RoundTrip;
+        res.detail = detail::cat("parse(print(fn)) differs: ", why);
+    }
+    return res;
+}
+
+} // namespace dfp::fuzz

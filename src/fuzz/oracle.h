@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The differential-testing oracle: one generated program, one compiler
+ * configuration, three executions — the golden CFG interpreter
+ * (reference semantics), the functional block executor, and the cycle
+ * simulator — cross-checked on halt status, the returned value and the
+ * final memory image. Any disagreement, verifier error, compile crash
+ * or simulator hang is classified into a FailKind the reducer can use
+ * as an acceptance criterion.
+ */
+
+#ifndef DFP_FUZZ_ORACLE_H
+#define DFP_FUZZ_ORACLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "sim/fault.h"
+
+namespace dfp::fuzz
+{
+
+/** How a differential case can fail, ordered by detection stage. */
+enum class FailKind : uint8_t
+{
+    None,           //!< all executions agreed
+    InvalidProgram, //!< golden interpreter rejected the input itself
+    RoundTrip,      //!< parse(print(fn)) not structurally equivalent
+    CompileError,   //!< pipeline threw (FatalError/PanicError)
+    VerifyError,    //!< dfp-verify found errors in the compiled program
+    ExecMismatch,   //!< functional executor diverged from the interpreter
+    SimHang,        //!< simulator failed to halt (deadlock/starvation)
+    SimMismatch,    //!< simulator halted but diverged from the interpreter
+};
+
+/** Stable name ("exec-mismatch", ...) for reports and bundles. */
+const char *failKindName(FailKind kind);
+
+/** Parse a stable name; returns false on an unknown name. */
+bool parseFailKind(const std::string &name, FailKind &out);
+
+/** One compiler+simulator configuration to differentially test. */
+struct CaseConfig
+{
+    std::string config = "both"; //!< §6 configuration name
+    int unroll = 1;              //!< loop unroll factor
+    bool scalarOpts = true;
+    std::string breakOpt;        //!< CompileOptions::debugBreak
+    sim::FaultConfig faults;     //!< soak mode: inject + must recover
+    uint64_t watchdogCycles = 0; //!< 0 = SimConfig's automatic arming
+};
+
+/** Compact label, e.g. "both-u2" or "merge-u1+net-drop". */
+std::string caseLabel(const CaseConfig &cc);
+
+/**
+ * The default sweep: all six §6 configurations at unroll 1, plus
+ * "both" at unroll 2 and "merge" at unroll 4 (the unroll-sensitive
+ * corners). 8 cases per generated program.
+ */
+std::vector<CaseConfig> defaultSweep();
+
+/** Outcome of one differential case. */
+struct CaseResult
+{
+    FailKind kind = FailKind::None;
+    std::string detail; //!< one-line human-readable divergence report
+
+    bool failed() const { return kind != FailKind::None; }
+};
+
+/**
+ * Run one program through one case: golden-interpret it against
+ * initialMemory(memSeed), compile under @p cc, verify, execute
+ * functionally, then simulate (with @p cc's fault injection, if any),
+ * comparing each execution's (halted, retValue, memory checksum)
+ * against the interpreter's.
+ */
+CaseResult runCase(const ir::Function &fn, uint64_t memSeed,
+                   const CaseConfig &cc);
+
+/**
+ * The printer/parser round-trip property: parse(print(fn)) must be
+ * structurally equivalent to fn. Returns a failed CaseResult
+ * (FailKind::RoundTrip) describing the first difference, or None.
+ */
+CaseResult checkRoundTrip(const ir::Function &fn);
+
+} // namespace dfp::fuzz
+
+#endif // DFP_FUZZ_ORACLE_H

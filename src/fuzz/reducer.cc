@@ -1,0 +1,184 @@
+#include "fuzz/reducer.h"
+
+#include <cstddef>
+
+namespace dfp::fuzz
+{
+
+namespace
+{
+
+/** Candidate budget: reduction is best-effort, not exhaustive. */
+constexpr int kMaxAttempts = 4000;
+
+/**
+ * Validate a mutated candidate and test it. Invalid IR (dangling
+ * labels, malformed terminators) is rejected without consulting the
+ * predicate.
+ */
+bool
+accepts(ir::Function fn,
+        const std::function<bool(const ir::Function &)> &stillFails,
+        ir::Function &best, ReduceStats &st)
+{
+    ++st.attempts;
+    try {
+        fn.computeCfg();
+        fn.verify();
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (!stillFails(fn))
+        return false;
+    ++st.accepted;
+    best = std::move(fn);
+    return true;
+}
+
+/** Flatten Br terminators to one side and prune what dies. */
+bool
+tryFlattenBranches(ir::Function &best,
+                   const std::function<bool(const ir::Function &)>
+                       &stillFails,
+                   ReduceStats &st)
+{
+    bool any = false;
+    for (size_t b = 0; b < best.blocks.size(); ++b) {
+        if (best.blocks[b].term != ir::Term::Br)
+            continue;
+        for (int side = 0; side < 2; ++side) {
+            if (st.attempts >= kMaxAttempts)
+                return any;
+            ir::Function cand = best;
+            ir::BBlock &blk = cand.blocks[b];
+            std::string target = blk.succLabels[side];
+            blk.term = ir::Term::Jmp;
+            blk.succLabels = {target};
+            blk.cond = ir::Opnd::none();
+            cand.pruneUnreachable();
+            if (accepts(std::move(cand), stillFails, best, st)) {
+                any = true;
+                if (b >= best.blocks.size())
+                    return any; // pruning shifted ids; restart caller
+                break;
+            }
+        }
+    }
+    return any;
+}
+
+/** Delete instructions one at a time (back to front). */
+bool
+tryDeleteInstrs(ir::Function &best,
+                const std::function<bool(const ir::Function &)>
+                    &stillFails,
+                ReduceStats &st)
+{
+    bool any = false;
+    for (size_t b = 0; b < best.blocks.size(); ++b) {
+        for (size_t i = best.blocks[b].instrs.size(); i-- > 0;) {
+            if (st.attempts >= kMaxAttempts)
+                return any;
+            ir::Function cand = best;
+            cand.blocks[b].instrs.erase(
+                cand.blocks[b].instrs.begin() +
+                static_cast<std::ptrdiff_t>(i));
+            any |= accepts(std::move(cand), stillFails, best, st);
+        }
+    }
+    return any;
+}
+
+/** Replace one operand with a simpler one; true if changed. */
+bool
+simplifyOpnd(ir::Opnd &op, int step)
+{
+    if (op.isTemp())
+        return step == 0 ? (op = ir::Opnd::imm(0), true)
+                         : (op = ir::Opnd::imm(1), true);
+    if (op.isImm() && op.value != 0 && op.value != 1) {
+        if (step == 0) {
+            op = ir::Opnd::imm(0);
+            return true;
+        }
+        if (step == 1 && op.value != 1) {
+            op = ir::Opnd::imm(1);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Simplify instruction sources, branch conditions and return values. */
+bool
+trySimplifyOpnds(ir::Function &best,
+                 const std::function<bool(const ir::Function &)>
+                     &stillFails,
+                 ReduceStats &st)
+{
+    bool any = false;
+    for (size_t b = 0; b < best.blocks.size(); ++b) {
+        for (size_t i = 0; i < best.blocks[b].instrs.size(); ++i) {
+            // Phi sources are paired with predecessor blocks; an
+            // immediate there is fine, so they simplify like any src.
+            size_t nsrc = best.blocks[b].instrs[i].srcs.size();
+            for (size_t s = 0; s < nsrc; ++s) {
+                for (int step = 0; step < 2; ++step) {
+                    if (st.attempts >= kMaxAttempts)
+                        return any;
+                    ir::Function cand = best;
+                    if (!simplifyOpnd(
+                            cand.blocks[b].instrs[i].srcs[s], step))
+                        break;
+                    if (accepts(std::move(cand), stillFails, best,
+                                st)) {
+                        any = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for (int step = 0; step < 2; ++step) {
+            if (st.attempts >= kMaxAttempts)
+                return any;
+            if (best.blocks[b].term == ir::Term::Ret &&
+                !best.blocks[b].retVal.isNone()) {
+                ir::Function cand = best;
+                if (simplifyOpnd(cand.blocks[b].retVal, step) &&
+                    accepts(std::move(cand), stillFails, best, st)) {
+                    any = true;
+                    break;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+} // namespace
+
+ir::Function
+reduce(const ir::Function &fn,
+       const std::function<bool(const ir::Function &)> &stillFails,
+       ReduceStats *stats)
+{
+    ReduceStats st;
+    ir::Function best = fn;
+
+    bool progress = true;
+    while (progress && st.attempts < kMaxAttempts) {
+        ++st.rounds;
+        progress = false;
+        // Branch flattening first: killing a whole arm removes more
+        // than any number of single-instruction deletions.
+        progress |= tryFlattenBranches(best, stillFails, st);
+        progress |= tryDeleteInstrs(best, stillFails, st);
+        progress |= trySimplifyOpnds(best, stillFails, st);
+    }
+
+    if (stats)
+        *stats = st;
+    return best;
+}
+
+} // namespace dfp::fuzz

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Delta-debugging reducer for failing fuzz cases. Given a function and
+ * a predicate "does this variant still fail the same way?", it applies
+ * semantic-preserving-enough mutations — branch flattening (Br -> Jmp
+ * plus unreachable-block pruning), instruction deletion, and operand
+ * simplification — keeping each mutation only when the failure
+ * reproduces, until a fixpoint or the attempt budget. Variants that
+ * are malformed or that the golden interpreter rejects never satisfy
+ * the predicate (runCase classifies them InvalidProgram), so the
+ * reducer cannot wander off the valid-program manifold.
+ */
+
+#ifndef DFP_FUZZ_REDUCER_H
+#define DFP_FUZZ_REDUCER_H
+
+#include <functional>
+
+#include "ir/ir.h"
+
+namespace dfp::fuzz
+{
+
+/** Reduction effort/result counters (for logs and stats JSON). */
+struct ReduceStats
+{
+    int attempts = 0;  //!< candidate variants tried
+    int accepted = 0;  //!< mutations kept
+    int rounds = 0;    //!< fixpoint iterations
+};
+
+/**
+ * Shrink @p fn while @p stillFails holds. @p stillFails is called on
+ * structurally valid candidates only; it must return true iff the
+ * candidate reproduces the original failure (same FailKind).
+ */
+ir::Function reduce(const ir::Function &fn,
+                    const std::function<bool(const ir::Function &)>
+                        &stillFails,
+                    ReduceStats *stats = nullptr);
+
+} // namespace dfp::fuzz
+
+#endif // DFP_FUZZ_REDUCER_H

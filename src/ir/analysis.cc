@@ -293,4 +293,124 @@ findLoops(const Function &fn)
     return loops;
 }
 
+namespace
+{
+
+/** Temp-id bijection builder shared by structurallyEquivalent. */
+struct TempMap
+{
+    std::vector<int> aToB;
+    std::vector<int> bToA;
+
+    TempMap(int aCount, int bCount)
+        : aToB(aCount, -1), bToA(bCount, -1)
+    {}
+
+    bool
+    match(int a, int b)
+    {
+        if (a >= static_cast<int>(aToB.size()) ||
+            b >= static_cast<int>(bToA.size()) || a < 0 || b < 0) {
+            return false;
+        }
+        if (aToB[a] == -1 && bToA[b] == -1) {
+            aToB[a] = b;
+            bToA[b] = a;
+            return true;
+        }
+        return aToB[a] == b && bToA[b] == a;
+    }
+};
+
+} // namespace
+
+bool
+structurallyEquivalent(const Function &a, const Function &b,
+                       std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (a.name != b.name)
+        return fail("function names differ");
+    if (a.entry != b.entry)
+        return fail("entry blocks differ");
+    if (a.blocks.size() != b.blocks.size())
+        return fail(detail::cat("block count ", a.blocks.size(), " vs ",
+                                b.blocks.size()));
+
+    TempMap map(a.tempCount(), b.tempCount());
+    auto opndEq = [&](const Opnd &oa, const Opnd &ob) {
+        if (oa.kind != ob.kind)
+            return false;
+        if (oa.isImm())
+            return oa.value == ob.value;
+        if (oa.isTemp())
+            return map.match(oa.id, ob.id);
+        return true; // both None
+    };
+
+    for (size_t i = 0; i < a.blocks.size(); ++i) {
+        const BBlock &ba = a.blocks[i];
+        const BBlock &bb = b.blocks[i];
+        auto at = [&](size_t j) {
+            return detail::cat("block '", ba.name, "' inst ", j, ": ");
+        };
+        if (ba.name != bb.name)
+            return fail(detail::cat("block ", i, " name '", ba.name,
+                                    "' vs '", bb.name, "'"));
+        if (ba.term != bb.term)
+            return fail(detail::cat("block '", ba.name,
+                                    "' terminators differ"));
+        if (ba.succLabels != bb.succLabels)
+            return fail(detail::cat("block '", ba.name,
+                                    "' successors differ"));
+        if (!opndEq(ba.cond, bb.cond))
+            return fail(detail::cat("block '", ba.name,
+                                    "' br conditions differ"));
+        if (!opndEq(ba.retVal, bb.retVal))
+            return fail(detail::cat("block '", ba.name,
+                                    "' return values differ"));
+        if (ba.instrs.size() != bb.instrs.size())
+            return fail(detail::cat("block '", ba.name,
+                                    "' instruction count ",
+                                    ba.instrs.size(), " vs ",
+                                    bb.instrs.size()));
+        for (size_t j = 0; j < ba.instrs.size(); ++j) {
+            const Instr &ia = ba.instrs[j];
+            const Instr &ib = bb.instrs[j];
+            if (ia.op != ib.op)
+                return fail(at(j) + "opcodes differ");
+            if (!opndEq(ia.dst, ib.dst))
+                return fail(at(j) + "destinations differ");
+            if (ia.srcs.size() != ib.srcs.size())
+                return fail(at(j) + "source counts differ");
+            for (size_t k = 0; k < ia.srcs.size(); ++k) {
+                if (!opndEq(ia.srcs[k], ib.srcs[k]))
+                    return fail(at(j) +
+                                detail::cat("source ", k, " differs"));
+            }
+            if (ia.guards.size() != ib.guards.size())
+                return fail(at(j) + "guard counts differ");
+            for (size_t k = 0; k < ia.guards.size(); ++k) {
+                if (ia.guards[k].onTrue != ib.guards[k].onTrue ||
+                    !map.match(ia.guards[k].pred, ib.guards[k].pred)) {
+                    return fail(at(j) + "guards differ");
+                }
+            }
+            if (ia.phiBlocks != ib.phiBlocks)
+                return fail(at(j) + "phi predecessors differ");
+            if (ia.lsid != ib.lsid)
+                return fail(at(j) + "lsids differ");
+            if (ia.reg != ib.reg)
+                return fail(at(j) + "registers differ");
+            if (ia.broLabel != ib.broLabel)
+                return fail(at(j) + "bro labels differ");
+        }
+    }
+    return true;
+}
+
 } // namespace dfp::ir

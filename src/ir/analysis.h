@@ -75,6 +75,17 @@ struct Loop
 /** Find natural loops (requires reducible back edges; others ignored). */
 std::vector<Loop> findLoops(const Function &fn);
 
+/**
+ * Structural equality of two functions up to a bijective renaming of
+ * temps: same block names/order/terminators, same instructions with
+ * the same opcodes, immediates, guards, phi wiring, LSIDs and register
+ * annotations. The printer/parser round-trip property test uses this —
+ * the parser assigns temp ids by first use, so ids need not match.
+ * When @p why is non-null, the first difference is described there.
+ */
+bool structurallyEquivalent(const Function &a, const Function &b,
+                            std::string *why = nullptr);
+
 } // namespace dfp::ir
 
 #endif // DFP_IR_ANALYSIS_H

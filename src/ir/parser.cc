@@ -246,6 +246,13 @@ Parser::parseStatement(Function &fn, BBlock *&block)
         return;
     }
 
+    if (inst.op == isa::Op::Bro) {
+        // Bro has no frontend syntax (it exists only inside compiled
+        // hyperblocks); accepting it here would silently mis-parse its
+        // label operand as a temp.
+        error("'bro' is not valid in frontend IR");
+    }
+
     if (!atEol()) {
         inst.srcs.push_back(parseOpnd(fn));
         while (tryConsume(','))
@@ -256,11 +263,18 @@ Parser::parseStatement(Function &fn, BBlock *&block)
         inst.srcs[0].isTemp()) {
         inst.op = isa::Op::Mov;
     }
-    unsigned want = isa::opInfo(inst.op).numSrcs +
-                    (inst.op == isa::Op::Movi ? 1 : 0);
+    // Immediate-form opcodes (addi, tlti, ...) carry the immediate as
+    // their trailing operand, so printed post-optimization functions
+    // round-trip through the parser (print -> parse symmetry).
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    unsigned want = info.numSrcs + (info.hasImm ? 1u : 0u);
     if (inst.srcs.size() != want) {
         error(detail::cat("opcode '", mnem, "' expects ", want,
                           " operands, got ", inst.srcs.size()));
+    }
+    if (info.hasImm && !inst.srcs.back().isImm()) {
+        error(detail::cat("opcode '", mnem,
+                          "' needs an immediate last operand"));
     }
     block->instrs.push_back(std::move(inst));
 }

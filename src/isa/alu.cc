@@ -58,14 +58,16 @@ evalOp(Op op, const Token &a, const Token &b)
         r.null = true;
         r.excep = false;
         break;
+      // Add/sub/mul wrap in two's complement; compute in uint64_t so
+      // overflow is defined (same bit pattern as signed wraparound).
       case Op::Add: case Op::Addi:
-        r.value = static_cast<uint64_t>(sa + sb);
+        r.value = a.value + b.value;
         break;
       case Op::Sub: case Op::Subi:
-        r.value = static_cast<uint64_t>(sa - sb);
+        r.value = a.value - b.value;
         break;
       case Op::Mul: case Op::Muli:
-        r.value = static_cast<uint64_t>(sa * sb);
+        r.value = a.value * b.value;
         break;
       case Op::Div: case Op::Divi:
         if (sb == 0 || (sa == INT64_MIN && sb == -1)) {

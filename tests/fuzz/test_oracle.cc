@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compiler/pipeline.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(FuzzOracle, FailKindNamesRoundTrip)
+{
+    const fuzz::FailKind kinds[] = {
+        fuzz::FailKind::None,          fuzz::FailKind::InvalidProgram,
+        fuzz::FailKind::RoundTrip,     fuzz::FailKind::CompileError,
+        fuzz::FailKind::VerifyError,   fuzz::FailKind::ExecMismatch,
+        fuzz::FailKind::SimHang,       fuzz::FailKind::SimMismatch,
+    };
+    for (fuzz::FailKind k : kinds) {
+        fuzz::FailKind back;
+        ASSERT_TRUE(fuzz::parseFailKind(fuzz::failKindName(k), back));
+        EXPECT_EQ(back, k);
+    }
+    fuzz::FailKind unused;
+    EXPECT_FALSE(fuzz::parseFailKind("flux-capacitor", unused));
+}
+
+TEST(FuzzOracle, CaseLabelEncodesConfig)
+{
+    fuzz::CaseConfig cc;
+    cc.config = "both";
+    EXPECT_EQ(fuzz::caseLabel(cc), "both-u1");
+    cc.unroll = 2;
+    EXPECT_EQ(fuzz::caseLabel(cc), "both-u2");
+    cc.breakOpt = "flip-guard";
+    EXPECT_EQ(fuzz::caseLabel(cc), "both-u2-break:flip-guard");
+    cc.breakOpt.clear();
+    cc.faults.model = sim::FaultModel::NetDrop;
+    cc.faults.rate = 1e-4;
+    EXPECT_EQ(fuzz::caseLabel(cc), "both-u2+net-drop");
+}
+
+TEST(FuzzOracle, DefaultSweepCoversEveryConfigPlusUnroll)
+{
+    std::vector<fuzz::CaseConfig> sweep = fuzz::defaultSweep();
+    std::vector<std::string> names = compiler::allConfigNames();
+    EXPECT_EQ(sweep.size(), names.size() + 2);
+    for (const std::string &name : names) {
+        bool found = std::any_of(
+            sweep.begin(), sweep.end(),
+            [&](const fuzz::CaseConfig &cc) { return cc.config == name; });
+        EXPECT_TRUE(found) << name;
+    }
+    EXPECT_TRUE(std::any_of(sweep.begin(), sweep.end(),
+                            [](const fuzz::CaseConfig &cc) {
+                                return cc.unroll > 1;
+                            }));
+}
+
+TEST(FuzzOracle, GeneratedProgramsRunCleanAcrossSweep)
+{
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        fuzz::GenConfig gen;
+        gen.seed = fuzz::deriveSeed(77, seed);
+        ir::Function fn = fuzz::generate(gen);
+        for (const fuzz::CaseConfig &cc : fuzz::defaultSweep()) {
+            fuzz::CaseResult res = fuzz::runCase(fn, gen.seed, cc);
+            EXPECT_FALSE(res.failed())
+                << "seed " << gen.seed << " [" << fuzz::caseLabel(cc)
+                << "] " << fuzz::failKindName(res.kind) << ": "
+                << res.detail;
+        }
+    }
+}
+
+TEST(FuzzOracle, RoundTripPropertyHoldsOnGeneratedPrograms)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        fuzz::GenConfig gen;
+        gen.seed = seed;
+        fuzz::CaseResult res = fuzz::checkRoundTrip(fuzz::generate(gen));
+        EXPECT_FALSE(res.failed()) << "seed " << seed << ": " << res.detail;
+    }
+}
+
+TEST(FuzzOracle, InjectedBreakIsCaught)
+{
+    // --break-opt flip-guard deliberately miscompiles; the oracle must
+    // notice on at least one of a handful of programs (diamond-free
+    // programs have no guards to flip, so not necessarily all).
+    int caught = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        fuzz::GenConfig gen;
+        gen.seed = fuzz::deriveSeed(1, seed);
+        ir::Function fn = fuzz::generate(gen);
+        fuzz::CaseConfig cc;
+        cc.config = "both";
+        cc.breakOpt = "flip-guard";
+        fuzz::CaseResult res = fuzz::runCase(fn, gen.seed, cc);
+        if (res.failed()) {
+            ++caught;
+            EXPECT_NE(res.kind, fuzz::FailKind::InvalidProgram);
+        }
+    }
+    EXPECT_GT(caught, 0);
+}
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/bundle.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/reducer.h"
+#include "ir/analysis.h"
+#include "ir/parser.h"
+
+namespace dfp
+{
+namespace
+{
+
+size_t
+instrCount(const ir::Function &fn)
+{
+    size_t n = 0;
+    for (const ir::BBlock &b : fn.blocks)
+        n += b.instrs.size();
+    return n;
+}
+
+/** Find a (program, case) pair the flip-guard break makes fail. */
+bool
+findBrokenCase(ir::Function &fn, uint64_t &memSeed, fuzz::CaseConfig &cc,
+               fuzz::CaseResult &res)
+{
+    cc = fuzz::CaseConfig{};
+    cc.config = "both";
+    cc.breakOpt = "flip-guard";
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        fuzz::GenConfig gen;
+        gen.seed = fuzz::deriveSeed(1, seed);
+        fn = fuzz::generate(gen);
+        memSeed = gen.seed;
+        res = fuzz::runCase(fn, memSeed, cc);
+        if (res.failed())
+            return true;
+    }
+    return false;
+}
+
+TEST(FuzzReducer, ShrinksWhilePreservingFailure)
+{
+    ir::Function fn;
+    uint64_t memSeed = 0;
+    fuzz::CaseConfig cc;
+    fuzz::CaseResult orig;
+    ASSERT_TRUE(findBrokenCase(fn, memSeed, cc, orig));
+
+    auto stillFails = [&](const ir::Function &candidate) {
+        return fuzz::runCase(candidate, memSeed, cc).kind == orig.kind;
+    };
+    fuzz::ReduceStats stats;
+    ir::Function reduced = fuzz::reduce(fn, stillFails, &stats);
+
+    EXPECT_LE(instrCount(reduced), instrCount(fn));
+    EXPECT_GT(stats.attempts, 0);
+    // The minimized program must still be valid and still fail the
+    // same way — that is the whole point of a reproducer.
+    EXPECT_EQ(fuzz::runCase(reduced, memSeed, cc).kind, orig.kind);
+}
+
+TEST(FuzzReducer, ReductionIsDeterministic)
+{
+    ir::Function fn;
+    uint64_t memSeed = 0;
+    fuzz::CaseConfig cc;
+    fuzz::CaseResult orig;
+    ASSERT_TRUE(findBrokenCase(fn, memSeed, cc, orig));
+
+    auto stillFails = [&](const ir::Function &candidate) {
+        return fuzz::runCase(candidate, memSeed, cc).kind == orig.kind;
+    };
+    ir::Function a = fuzz::reduce(fn, stillFails);
+    ir::Function b = fuzz::reduce(fn, stillFails);
+    std::string why;
+    EXPECT_TRUE(ir::structurallyEquivalent(a, b, &why)) << why;
+}
+
+TEST(FuzzBundle, RenderParseRoundTripPreservesEverything)
+{
+    fuzz::GenConfig gen;
+    gen.seed = 42;
+    fuzz::Bundle bundle;
+    bundle.version = "test-version";
+    bundle.seed = 42;
+    bundle.memSeed = fuzz::deriveSeed(42, 0x6d656d);
+    bundle.cc.config = "merge";
+    bundle.cc.unroll = 4;
+    bundle.cc.breakOpt = "flip-guard";
+    bundle.cc.faults.model = sim::FaultModel::NetDrop;
+    bundle.cc.faults.rate = 1e-4;
+    bundle.cc.faults.seed = 7;
+    bundle.kind = fuzz::FailKind::ExecMismatch;
+    bundle.detail = "ret value 3 != golden 5";
+    bundle.fn = fuzz::generate(gen);
+
+    fuzz::Bundle back = fuzz::parseBundle(fuzz::renderBundle(bundle));
+    EXPECT_EQ(back.version, bundle.version);
+    EXPECT_EQ(back.seed, bundle.seed);
+    EXPECT_EQ(back.memSeed, bundle.memSeed);
+    EXPECT_EQ(back.cc.config, "merge");
+    EXPECT_EQ(back.cc.unroll, 4);
+    EXPECT_EQ(back.cc.breakOpt, "flip-guard");
+    EXPECT_EQ(back.cc.faults.model, sim::FaultModel::NetDrop);
+    EXPECT_DOUBLE_EQ(back.cc.faults.rate, 1e-4);
+    EXPECT_EQ(back.cc.faults.seed, 7u);
+    EXPECT_EQ(back.kind, fuzz::FailKind::ExecMismatch);
+    EXPECT_EQ(back.detail, bundle.detail);
+    std::string why;
+    EXPECT_TRUE(ir::structurallyEquivalent(back.fn, bundle.fn, &why))
+        << why;
+}
+
+TEST(FuzzBundle, BundleTextParsesAsPlainIr)
+{
+    fuzz::GenConfig gen;
+    gen.seed = 3;
+    fuzz::Bundle bundle;
+    bundle.seed = 3;
+    bundle.memSeed = 3;
+    bundle.fn = fuzz::generate(gen);
+    // Directives are comments, so dfpc can consume a bundle unchanged.
+    ir::Function plain;
+    ASSERT_NO_THROW(plain = ir::parseFunction(fuzz::renderBundle(bundle)));
+    EXPECT_EQ(plain.blocks.size(), bundle.fn.blocks.size());
+}
+
+TEST(FuzzBundle, ReplayReproducesTheRecordedFailure)
+{
+    ir::Function fn;
+    uint64_t memSeed = 0;
+    fuzz::CaseConfig cc;
+    fuzz::CaseResult orig;
+    ASSERT_TRUE(findBrokenCase(fn, memSeed, cc, orig));
+
+    fuzz::Bundle bundle;
+    bundle.memSeed = memSeed;
+    bundle.cc = cc;
+    bundle.kind = orig.kind;
+    bundle.detail = orig.detail;
+    bundle.fn = fn;
+    fuzz::Bundle back = fuzz::parseBundle(fuzz::renderBundle(bundle));
+    fuzz::CaseResult replayed = fuzz::replayBundle(back);
+    EXPECT_EQ(replayed.kind, orig.kind);
+}
+
+} // namespace
+} // namespace dfp

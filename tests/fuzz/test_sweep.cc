@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/fuzz.h"
+
+namespace dfp
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(FuzzSweep, CleanCampaignFindsNothing)
+{
+    fuzz::FuzzOptions opts;
+    opts.seed = 1;
+    opts.runs = 30;
+    opts.outDir = ::testing::TempDir() + "dfp-fuzz-clean";
+    std::ostringstream log;
+    fuzz::FuzzReport report = fuzz::runFuzz(opts, log);
+    EXPECT_TRUE(report.ok()) << log.str();
+    EXPECT_EQ(report.programs, 30u);
+    EXPECT_GT(report.cases, report.programs); // sweep multiplies cases
+}
+
+TEST(FuzzSweep, BreakCampaignProducesReplayableBundles)
+{
+    fuzz::FuzzOptions opts;
+    opts.seed = 1;
+    opts.runs = 10;
+    opts.breakOpt = "flip-guard";
+    opts.outDir = ::testing::TempDir() + "dfp-fuzz-break";
+    std::ostringstream log;
+    fuzz::FuzzReport report = fuzz::runFuzz(opts, log);
+    ASSERT_FALSE(report.ok())
+        << "flip-guard should miscompile something in 10 programs";
+
+    for (const fuzz::FuzzFailure &failure : report.failures) {
+        EXPECT_NE(failure.kind, fuzz::FailKind::None);
+        // Both the original and the minimized bundle replay to the
+        // recorded failure kind.
+        for (const std::string &path :
+             {failure.origPath, failure.minPath}) {
+            ASSERT_FALSE(path.empty());
+            fuzz::Bundle bundle = fuzz::parseBundle(slurp(path));
+            EXPECT_EQ(bundle.kind, failure.kind) << path;
+            fuzz::CaseResult replayed = fuzz::replayBundle(bundle);
+            EXPECT_EQ(replayed.kind, failure.kind) << path;
+        }
+    }
+}
+
+TEST(FuzzSweep, CampaignsAreDeterministic)
+{
+    fuzz::FuzzOptions a, b;
+    a.seed = b.seed = 5;
+    a.runs = b.runs = 8;
+    a.breakOpt = b.breakOpt = "flip-guard";
+    a.outDir = ::testing::TempDir() + "dfp-fuzz-det-a";
+    b.outDir = ::testing::TempDir() + "dfp-fuzz-det-b";
+    std::ostringstream logA, logB;
+    fuzz::FuzzReport ra = fuzz::runFuzz(a, logA);
+    fuzz::FuzzReport rb = fuzz::runFuzz(b, logB);
+
+    EXPECT_EQ(ra.programs, rb.programs);
+    EXPECT_EQ(ra.cases, rb.cases);
+    ASSERT_EQ(ra.failures.size(), rb.failures.size());
+    for (size_t i = 0; i < ra.failures.size(); ++i) {
+        EXPECT_EQ(ra.failures[i].seed, rb.failures[i].seed);
+        EXPECT_EQ(ra.failures[i].kind, rb.failures[i].kind);
+        // Byte-identical reproducers — the acceptance bar for CI.
+        EXPECT_EQ(slurp(ra.failures[i].minPath),
+                  slurp(rb.failures[i].minPath));
+    }
+}
+
+TEST(FuzzSweep, SoakModeRecoversThroughFaults)
+{
+    fuzz::FuzzOptions opts;
+    opts.seed = 11;
+    opts.runs = 5;
+    opts.faults.model = sim::FaultModel::NetDrop;
+    opts.faults.rate = 1e-4;
+    opts.faults.seed = 1;
+    opts.outDir = ::testing::TempDir() + "dfp-fuzz-soak";
+    std::ostringstream log;
+    fuzz::FuzzReport report = fuzz::runFuzz(opts, log);
+    EXPECT_TRUE(report.ok()) << log.str();
+}
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * dfp-fuzz — the differential fuzzer (docs/FUZZING.md). Generates
+ * seeded random IR programs, sweeps them through compiler
+ * configurations, cross-checks the functional executor and the cycle
+ * simulator against the golden interpreter, and writes delta-minimized
+ * reproducer bundles for every divergence. Exit status: 0 campaign
+ * clean, 1 divergences found (or a replayed bundle still reproduces),
+ * 2 usage/input errors.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/json.h"
+#include "base/version.h"
+#include "compiler/pipeline.h"
+#include "fuzz/fuzz.h"
+#include "verify/diag.h"
+
+using namespace dfp;
+
+namespace
+{
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfp-fuzz [options]\n"
+        "       dfp-fuzz --replay <bundle.dfp>\n"
+        "\n"
+        "Differentially fuzz the dfp pipeline: random well-formed IR\n"
+        "programs are compiled under a sweep of configurations and\n"
+        "executed on the functional executor and the cycle simulator;\n"
+        "results are cross-checked against the golden CFG interpreter.\n"
+        "Divergences become minimized reproducer bundles (see\n"
+        "docs/FUZZING.md).\n"
+        "\n"
+        "campaign:\n"
+        "  --runs <n>         programs to generate (default 100)\n"
+        "  --seed <n>         campaign seed; the same seed reproduces\n"
+        "                     the campaign byte-for-byte (default 1)\n"
+        "  --configs <list>   comma-separated subset of\n"
+        "                     bb,hyper,intra,inter,both,merge or 'all'\n"
+        "                     (default: all six at unroll 1, plus\n"
+        "                     both-u2 and merge-u4)\n"
+        "  --unroll <list>    unroll factors for --configs (default 1)\n"
+        "  --out <dir>        reproducer directory (default fuzz-out)\n"
+        "  --max-failures <n> stop after n failing programs (default "
+        "10)\n"
+        "  --no-reduce        keep reproducers unminimized\n"
+        "\n"
+        "soak mode (fault injection; see docs/RESILIENCE.md):\n"
+        "  --soak             inject faults during simulation; every\n"
+        "                     faulted run must still recover to the\n"
+        "                     golden result (default model net-drop at\n"
+        "                     rate 1e-4)\n"
+        "  --fault-model <m>  net-drop|net-corrupt|net-delay|\n"
+        "                     tile-stall|tile-fail|cache-flip|pred-lie\n"
+        "  --fault-rate <r>   per-opportunity probability\n"
+        "  --fault-seed <n>   fault PRNG seed (default 1)\n"
+        "  --watchdog-cycles <n>  progress watchdog window\n"
+        "\n"
+        "self-test:\n"
+        "  --break-opt <mode> deliberately miscompile (mode:\n"
+        "                     flip-guard) so the oracle and reducer can\n"
+        "                     be validated end to end\n"
+        "\n"
+        "other:\n"
+        "  --replay <file>    re-run a reproducer bundle; exit 1 if the\n"
+        "                     failure still reproduces\n"
+        "  --stats-json=<f>   write a campaign summary as JSON\n"
+        "                     ('-' = stdout)\n"
+        "  --version          print the dfp version and exit\n"
+        "  -h, --help         this text\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+/** DFPC1xx driver diagnostics, as in dfpc (exit 2 = bad input/crash). */
+int
+inputError(const char *code, std::string message)
+{
+    verify::DiagList diags;
+    diags.error(code, {}, std::move(message));
+    diags.renderText(std::cerr);
+    return 2;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+void
+writeStatsJson(std::ostream &os, const fuzz::FuzzOptions &opts,
+               const fuzz::FuzzReport &report,
+               const std::vector<fuzz::CaseConfig> &sweep)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("tool").value("dfp-fuzz");
+    w.key("version").value(versionString());
+    w.key("seed").value(opts.seed);
+    w.key("runs").value(opts.runs);
+    w.key("configs").beginArray();
+    for (const fuzz::CaseConfig &cc : sweep)
+        w.value(fuzz::caseLabel(cc));
+    w.endArray();
+    if (opts.faults.enabled()) {
+        w.key("fault_model")
+            .value(sim::faultModelName(opts.faults.model));
+        w.key("fault_rate").value(opts.faults.rate);
+        w.key("fault_seed").value(opts.faults.seed);
+    }
+    if (!opts.breakOpt.empty())
+        w.key("break_opt").value(opts.breakOpt);
+    w.key("programs").value(report.programs);
+    w.key("cases").value(report.cases);
+    w.key("failures").beginArray();
+    for (const fuzz::FuzzFailure &f : report.failures) {
+        w.beginObject();
+        w.key("seed").value(f.seed);
+        w.key("case").value(fuzz::caseLabel(f.cc));
+        w.key("kind").value(fuzz::failKindName(f.kind));
+        w.key("detail").value(f.detail);
+        w.key("bundle").value(f.minPath);
+        w.key("reduce_attempts").value(f.reduceStats.attempts);
+        w.key("reduce_accepted").value(f.reduceStats.accepted);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+int
+replay(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return inputError("DFPC101",
+                          detail::cat("cannot read '", path,
+                                      "': file is missing or "
+                                      "unreadable"));
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fuzz::Bundle bundle = fuzz::parseBundle(buf.str());
+    std::printf("dfp-fuzz: replaying %s [%s] (expected %s)\n",
+                path.c_str(), fuzz::caseLabel(bundle.cc).c_str(),
+                fuzz::failKindName(bundle.kind));
+    fuzz::CaseResult res = fuzz::replayBundle(bundle);
+    if (!res.failed()) {
+        std::printf("dfp-fuzz: bundle no longer reproduces (fixed?)\n");
+        return 0;
+    }
+    std::printf("dfp-fuzz: reproduced %s: %s\n",
+                fuzz::failKindName(res.kind), res.detail.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::FuzzOptions opts;
+    std::string configsStr, unrollStr, replayFile, statsJsonFile;
+    std::string faultModelStr, faultRateStr;
+    bool soak = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfp-fuzz: option '%s' needs a value\n\n",
+                             arg.c_str());
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string value;
+        if (eatValue("--runs", value)) {
+            opts.runs = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (eatValue("--seed", value)) {
+            opts.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (eatValue("--configs", configsStr)) {
+        } else if (eatValue("--unroll", unrollStr)) {
+        } else if (eatValue("--out", value)) {
+            opts.outDir = value;
+        } else if (eatValue("--max-failures", value)) {
+            opts.maxFailures = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (arg == "--no-reduce") {
+            opts.reduce = false;
+        } else if (arg == "--soak") {
+            soak = true;
+        } else if (eatValue("--fault-model", faultModelStr)) {
+        } else if (eatValue("--fault-rate", faultRateStr)) {
+        } else if (eatValue("--fault-seed", value)) {
+            opts.faults.seed = std::strtoull(value.c_str(), nullptr, 0);
+        } else if (eatValue("--watchdog-cycles", value)) {
+            opts.watchdogCycles =
+                std::strtoull(value.c_str(), nullptr, 0);
+        } else if (eatValue("--break-opt", value)) {
+            opts.breakOpt = value;
+        } else if (eatValue("--replay", replayFile)) {
+        } else if (eatValue("--stats-json", statsJsonFile)) {
+        } else if (arg == "--version") {
+            std::printf("dfp-fuzz %s\n", versionString());
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "dfp-fuzz: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    try {
+        if (!replayFile.empty())
+            return replay(replayFile);
+
+        if (soak) {
+            // Soak defaults; explicit --fault-* flags override.
+            opts.faults.model = sim::FaultModel::NetDrop;
+            opts.faults.rate = 1e-4;
+        }
+        if (!faultModelStr.empty() &&
+            !sim::parseFaultModel(faultModelStr, opts.faults.model)) {
+            std::fprintf(stderr,
+                         "dfp-fuzz: unknown --fault-model '%s'\n\n",
+                         faultModelStr.c_str());
+            return usage();
+        }
+        if (!faultRateStr.empty()) {
+            char *end = nullptr;
+            opts.faults.rate = std::strtod(faultRateStr.c_str(), &end);
+            if (end == faultRateStr.c_str() || *end != '\0' ||
+                opts.faults.rate < 0.0 || opts.faults.rate > 1.0) {
+                std::fprintf(stderr,
+                             "dfp-fuzz: --fault-rate must be a "
+                             "probability in [0, 1], got '%s'\n\n",
+                             faultRateStr.c_str());
+                return usage();
+            }
+        }
+        if (opts.faults.enabled() && !soak) {
+            std::fprintf(stderr,
+                         "dfp-fuzz: note: fault flags imply --soak\n");
+        }
+
+        if (!configsStr.empty()) {
+            std::vector<std::string> names = splitList(configsStr);
+            if (names.size() == 1 && names[0] == "all")
+                names = compiler::allConfigNames();
+            std::vector<int> factors = {1};
+            if (!unrollStr.empty()) {
+                factors.clear();
+                for (const std::string &u : splitList(unrollStr))
+                    factors.push_back(std::atoi(u.c_str()));
+            }
+            const std::vector<std::string> &known =
+                compiler::allConfigNames();
+            for (const std::string &name : names) {
+                if (std::find(known.begin(), known.end(), name) ==
+                    known.end()) {
+                    std::fprintf(stderr,
+                                 "dfp-fuzz: unknown config '%s'\n\n",
+                                 name.c_str());
+                    return usage();
+                }
+                for (int u : factors) {
+                    fuzz::CaseConfig cc;
+                    cc.config = name;
+                    cc.unroll = u;
+                    opts.sweep.push_back(cc);
+                }
+            }
+        }
+
+        // With --stats-json=- the summary moves to stderr so stdout is
+        // pure JSON (the dfpc convention).
+        std::ostream &summary =
+            statsJsonFile == "-" ? std::cerr : std::cout;
+        summary << "dfp-fuzz " << versionString() << ": " << opts.runs
+                << " runs, seed " << opts.seed
+                << (opts.faults.enabled()
+                        ? detail::cat(", soak: ",
+                                      sim::faultModelName(
+                                          opts.faults.model))
+                        : "")
+                << "\n";
+        fuzz::FuzzReport report = fuzz::runFuzz(opts, summary);
+        summary << "dfp-fuzz: " << report.programs << " programs, "
+                << report.cases << " cases, "
+                << report.failures.size() << " divergence(s)\n";
+
+        if (!statsJsonFile.empty()) {
+            std::vector<fuzz::CaseConfig> sweep =
+                opts.sweep.empty() ? fuzz::defaultSweep() : opts.sweep;
+            if (statsJsonFile == "-") {
+                writeStatsJson(std::cout, opts, report, sweep);
+            } else {
+                std::ofstream out(statsJsonFile);
+                if (!out)
+                    dfp_fatal("cannot open '", statsJsonFile,
+                              "' for writing");
+                writeStatsJson(out, opts, report, sweep);
+                std::fprintf(stderr,
+                             "dfp-fuzz: wrote stats JSON to %s\n",
+                             statsJsonFile.c_str());
+            }
+        }
+        return report.ok() ? 0 : 1;
+    } catch (...) {
+        // Unexpected escape (PanicError, bad_alloc, ...): render as a
+        // driver diagnostic so scripts see a stable DFPC code, and exit
+        // 2 like other input/environment failures.
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        return inputError("DFPC105",
+                          detail::cat("unexpected error: ", what));
+    }
+}

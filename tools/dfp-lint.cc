@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "base/json.h"
+#include "base/version.h"
 #include "compiler/pipeline.h"
 #include "ir/parser.h"
 #include "verify/verify.h"
@@ -27,9 +28,6 @@ using namespace dfp;
 
 namespace
 {
-
-const char *const kAllConfigs[] = {"bb",    "hyper", "intra",
-                                   "inter", "both",  "merge"};
 
 /** One named lint input: a source string plus its unroll hint. */
 struct Input
@@ -58,6 +56,7 @@ printHelp(std::FILE *out)
         "  --no-warnings      suppress warning/note diagnostics\n"
         "  --json             print diagnostics as a JSON array\n"
         "  --list-codes       print the diagnostic catalog and exit\n"
+        "  --version          print the dfp version and exit\n"
         "  -h, --help         this text\n"
         "\n"
         "exit status: 0 clean, 1 error diagnostics or compile failure,\n"
@@ -162,6 +161,10 @@ main(int argc, char **argv)
                             info.summary);
             return 0;
         }
+        else if (arg == "--version") {
+            std::printf("dfp-lint %s\n", versionString());
+            return 0;
+        }
         else if (arg == "-h" || arg == "--help") {
             printHelp(stdout);
             return 0;
@@ -174,9 +177,10 @@ main(int argc, char **argv)
         }
     }
 
+    try {
     std::vector<std::string> configs;
     if (config == "all")
-        configs.assign(std::begin(kAllConfigs), std::end(kAllConfigs));
+        configs = compiler::allConfigNames();
     else
         configs.push_back(config);
 
@@ -264,4 +268,22 @@ main(int argc, char **argv)
                     warns, notes);
     }
     return errors > 0 ? 1 : 0;
+    } catch (...) {
+        // lintOne absorbs per-input compile failures; anything that
+        // still escapes is a driver bug or environment failure. Render
+        // it as a stable DFPC-coded diagnostic and exit 2, matching
+        // dfpc's crash convention.
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &err) {
+            what = err.what();
+        } catch (...) {
+        }
+        verify::DiagList diags;
+        diags.error("DFPC105", {},
+                    detail::cat("unexpected error: ", what));
+        diags.renderText(std::cerr);
+        return 2;
+    }
 }

@@ -19,6 +19,7 @@
 #include <sstream>
 
 #include "base/json.h"
+#include "base/version.h"
 #include "compiler/pipeline.h"
 #include "compiler/regalloc.h"
 #include "ir/printer.h"
@@ -137,6 +138,7 @@ printHelp(std::FILE *out)
         "                     chrome://tracing) or jsonl (one JSON\n"
         "                     object per line)\n"
         "\n"
+        "  --version          print the dfp version and exit\n"
         "  -h, --help         this text\n");
 }
 
@@ -148,10 +150,12 @@ usage()
 }
 
 /**
- * DFPC1xx: driver-level input diagnostics (file loading and the cheap
- * pre-parse shape checks), rendered in the dfp-verify style so tooling
- * that already consumes DFPV lines can consume these too. Exit code 2
- * marks bad input, distinct from internal failures (exit 1).
+ * DFPC1xx: driver-level diagnostics (file loading, the cheap pre-parse
+ * shape checks, and the top-level catch-all for unexpected crashes),
+ * rendered in the dfp-verify style so tooling that already consumes
+ * DFPV lines can consume these too. Exit code 2 marks bad input or a
+ * driver crash; exit 1 is reserved for runs that executed but failed
+ * (verify errors, simulator hangs).
  */
 int
 inputError(const char *code, std::string message)
@@ -282,6 +286,10 @@ main(int argc, char **argv)
         else if (arg == "--run") runFunctional = true;
         else if (arg == "--sim") runSim = true;
         else if (arg == "--stats") stats = true;
+        else if (arg == "--version") {
+            std::printf("dfpc %s\n", versionString());
+            return 0;
+        }
         else if (arg == "-h" || arg == "--help") {
             printHelp(stdout);
             return 0;
@@ -537,11 +545,23 @@ main(int argc, char **argv)
                                   "' for writing");
                     jsonOut = &jsonFileOut;
                 }
-                *jsonOut << "{\"workload\":\""
+                // Invocation metadata first, so a results directory
+                // of JSON files is self-describing: which build, which
+                // configuration, which fault schedule.
+                *jsonOut << "{\"version\":\""
+                         << json::escape(versionString())
+                         << "\",\"workload\":\""
                          << json::escape(workload.empty() ? file
                                                           : workload)
                          << "\",\"config\":\"" << json::escape(config)
-                         << "\",\"sim\":";
+                         << "\",\"unroll\":" << unroll;
+                if (faultCfg.enabled()) {
+                    *jsonOut << ",\"fault_model\":\""
+                             << sim::faultModelName(faultCfg.model)
+                             << "\",\"fault_rate\":" << faultCfg.rate
+                             << ",\"fault_seed\":" << faultCfg.seed;
+                }
+                *jsonOut << ",\"sim\":";
                 out.stats.dumpJson(*jsonOut);
                 if (out.deadlock.valid) {
                     *jsonOut << ",\"deadlock\":";
@@ -562,8 +582,20 @@ main(int argc, char **argv)
             res.stats.dump(std::cout, "  ");
         }
         return simFailed ? 1 : 0;
-    } catch (const std::exception &err) {
-        std::fprintf(stderr, "dfpc: %s\n", err.what());
-        return 1;
+    } catch (...) {
+        // Any escape from the pipeline or the simulator — including
+        // non-std::exception throws — renders as a stable DFPC-coded
+        // diagnostic (exit 2) instead of an unformatted one-liner, so
+        // harnesses distinguish "dfpc crashed" from "the run failed"
+        // (exit 1, e.g. a simulator hang).
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &err) {
+            what = err.what();
+        } catch (...) {
+        }
+        return inputError("DFPC105",
+                          detail::cat("unexpected error: ", what));
     }
 }
