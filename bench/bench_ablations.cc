@@ -13,6 +13,12 @@
  *
  * Each ablation reports geomean cycles over a representative subset of
  * the suite (full Figure 7 sweeps live in bench_fig7_speedup).
+ *
+ * The whole matrix (12 ablations × 8 kernels) is submitted to
+ * sim::BatchRunner up front — `--jobs N` parallelises it, and
+ * simulator-side ablations share one compiled program per kernel
+ * through the batch compile cache. Results and table order are
+ * byte-identical at any job count.
  */
 
 #include <cmath>
@@ -20,6 +26,7 @@
 #include <functional>
 
 #include "bench_util.h"
+#include "sim/batch.h"
 
 using namespace dfp;
 using bench::geomean;
@@ -30,23 +37,36 @@ namespace
 const char *kSubset[] = {"tblook01", "rotate01", "autcor00", "pktflow",
                          "iirflt01", "viterb00", "text01", "matrix01"};
 
-bench::StatsReport *gReport = nullptr;
+using Tweak = std::function<void(compiler::CompileOptions &,
+                                 sim::SimConfig &)>;
 
-double
-geoCycles(const char *ablation,
-          const std::function<void(compiler::CompileOptions &,
-                                   sim::SimConfig &)> &tweak)
+/** Queue the 8-kernel subset under @p tweak; returns the first job's
+ *  index so results can be read back in submission order. */
+size_t
+queueAblation(std::vector<sim::BatchJob> &jobs, const char *ablation,
+              const Tweak &tweak)
 {
-    std::vector<double> cycles;
+    size_t first = jobs.size();
     for (const char *name : kSubset) {
         const workloads::Workload *w = workloads::findWorkload(name);
-        compiler::CompileOptions opts = compiler::configNamed("both");
-        opts.unroll.factor = w->unrollFactor;
-        sim::SimConfig simCfg;
-        tweak(opts, simCfg);
-        bench::RunNumbers run =
-            bench::runWorkload(*w, "both", simCfg, &opts);
-        gReport->add(detail::cat(ablation, "/", name), run);
+        sim::BatchJob job = sim::makeJob(*w, "both");
+        job.label = detail::cat(ablation, "/", name);
+        tweak(job.opts, job.sim);
+        jobs.push_back(std::move(job));
+    }
+    return first;
+}
+
+double
+geoCycles(const sim::BatchSummary &batch, bench::StatsReport &report,
+          size_t first)
+{
+    std::vector<double> cycles;
+    for (size_t i = first; i < first + std::size(kSubset); ++i) {
+        const sim::BatchResult &run = batch.results[i];
+        if (!run.ok)
+            dfp_fatal("bench run failed: ", run.label, ": ", run.error);
+        report.add(run.label, bench::toRunNumbers(run));
         cycles.push_back(double(run.cycles));
     }
     return geomean(cycles);
@@ -58,53 +78,75 @@ int
 main(int argc, char **argv)
 {
     bench::StatsReport report("bench_ablations", argc, argv);
-    gReport = &report;
+    bench::warmUp();
+
+    std::vector<sim::BatchJob> jobs;
+    size_t baseAt = queueAblation(jobs, "baseline",
+                                  [](auto &, auto &) {});
+    struct Row
+    {
+        const char *display;
+        size_t at;
+    };
+    std::vector<Row> rows;
+    auto ablate = [&](const char *display, const char *name,
+                      const Tweak &tweak) {
+        rows.push_back({display, queueAblation(jobs, name, tweak)});
+    };
+    ablate("early termination OFF (§4.3)", "no_early_term",
+           [](auto &, sim::SimConfig &s) { s.earlyTermination = false; });
+    ablate("perfect next-block prediction", "perfect_prediction",
+           [](auto &, sim::SimConfig &s) { s.perfectPrediction = true; });
+    ablate("no operand-network contention", "no_contention",
+           [](auto &, sim::SimConfig &s) { s.modelContention = false; });
+    ablate("conservative loads (no speculation)", "conservative_loads",
+           [](auto &, sim::SimConfig &s) { s.aggressiveLoads = false; });
+    ablate("naive placement (no scheduler)", "naive_placement",
+           [](compiler::CompileOptions &o, auto &) { o.schedule = false; });
+    ablate("mov4 predicate multicast (§7)", "mov4_multicast",
+           [](compiler::CompileOptions &o, auto &) { o.multicast = true; });
+
+    std::vector<Row> inflightRows;
+    for (int inflight : {1, 2, 4, 8, 16}) {
+        inflightRows.push_back(
+            {"", queueAblation(
+                     jobs, detail::cat("inflight_", inflight).c_str(),
+                     [&](auto &, sim::SimConfig &s) {
+                         s.maxBlocksInFlight = inflight;
+                     })});
+    }
+
+    sim::BatchOptions batchOpts;
+    batchOpts.jobs = report.jobs();
+    sim::BatchRunner runner(batchOpts);
+    bench::Stopwatch timer;
+    sim::BatchSummary batch = runner.run(jobs);
+
     std::printf("Ablations ('both' configuration, geomean cycles over "
                 "%zu kernels; lower is better)\n\n",
                 std::size(kSubset));
-
-    double base = geoCycles("baseline", [](auto &, auto &) {});
-    auto row = [&](const char *name, double cycles) {
-        std::printf("  %-34s %12.0f  (%+5.1f%%)\n", name, cycles,
-                    100.0 * (cycles / base - 1.0));
-        std::fflush(stdout);
-    };
+    double base = geoCycles(batch, report, baseAt);
     std::printf("baseline (default machine)           %12.0f\n", base);
-
-    row("early termination OFF (§4.3)",
-        geoCycles("no_early_term", [](auto &, sim::SimConfig &s) {
-            s.earlyTermination = false;
-        }));
-    row("perfect next-block prediction",
-        geoCycles("perfect_prediction", [](auto &, sim::SimConfig &s) {
-            s.perfectPrediction = true;
-        }));
-    row("no operand-network contention",
-        geoCycles("no_contention", [](auto &, sim::SimConfig &s) {
-            s.modelContention = false;
-        }));
-    row("conservative loads (no speculation)",
-        geoCycles("conservative_loads", [](auto &, sim::SimConfig &s) {
-            s.aggressiveLoads = false;
-        }));
-    row("naive placement (no scheduler)",
-        geoCycles("naive_placement", [](compiler::CompileOptions &o, auto &) {
-            o.schedule = false;
-        }));
-    row("mov4 predicate multicast (§7)",
-        geoCycles("mov4_multicast", [](compiler::CompileOptions &o, auto &) {
-            o.multicast = true;
-        }));
+    for (const Row &r : rows) {
+        double cycles = geoCycles(batch, report, r.at);
+        std::printf("  %-34s %12.0f  (%+5.1f%%)\n", r.display, cycles,
+                    100.0 * (cycles / base - 1.0));
+    }
 
     std::printf("\nblocks in flight (window size, §7):\n");
-    for (int inflight : {1, 2, 4, 8, 16}) {
-        double c = geoCycles(detail::cat("inflight_", inflight).c_str(),
-                             [&](auto &, sim::SimConfig &s) {
-            s.maxBlocksInFlight = inflight;
-        });
+    const int inflights[] = {1, 2, 4, 8, 16};
+    for (size_t i = 0; i < inflightRows.size(); ++i) {
+        double c = geoCycles(batch, report, inflightRows[i].at);
         std::printf("  %2d blocks in flight %12.0f  (%+5.1f%%)\n",
-                    inflight, c, 100.0 * (c / base - 1.0));
-        std::fflush(stdout);
+                    inflights[i], c, 100.0 * (c / base - 1.0));
     }
+    std::printf("\nsweep: %zu runs, %llu compiles, %llu cache hits, "
+                "%d job(s), %.1fs wall, %.2f Msimcycles/s\n",
+                batch.results.size(),
+                (unsigned long long)batch.compiles,
+                (unsigned long long)batch.cacheHits, report.jobs(),
+                timer.seconds(),
+                batch.simCyclesPerSecond() / 1e6);
+    std::fflush(stdout);
     return 0;
 }

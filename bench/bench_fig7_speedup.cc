@@ -14,39 +14,67 @@
  * Paper shape targets (§6): BB ≈ 0.71-0.78x of Hyper on average (i.e.
  * hyperblocks beat basic blocks by ~29%), Intra ≈ +11%, Inter ≈ +1%
  * with a few kernels at +5-9%, Both ≈ +12%.
+ *
+ * The 168-run sweep goes through sim::BatchRunner: pass `--jobs N`
+ * (0 = all hardware threads) to fan it out across cores. Results are
+ * byte-identical at any job count (docs/PERFORMANCE.md); the printed
+ * table is always in kernel × configuration order.
  */
 
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "sim/batch.h"
 
 using namespace dfp;
 using bench::geomean;
-using bench::RunNumbers;
 
 int
 main(int argc, char **argv)
 {
     bench::StatsReport report("bench_fig7_speedup", argc, argv);
-    const char *configs[] = {"bb", "intra", "inter", "both", "merge"};
+    const char *configs[] = {"hyper", "bb", "intra", "inter", "both",
+                             "merge"};
+    constexpr size_t kNumSpeedupConfigs = 5; // all but the hyper baseline
+
+    bench::warmUp();
+    const std::vector<workloads::Workload> &suite =
+        workloads::eembcSuite();
+    std::vector<sim::BatchJob> jobs;
+    for (const workloads::Workload &w : suite)
+        for (const char *cfg : configs)
+            jobs.push_back(sim::makeJob(w, cfg));
+
+    sim::BatchOptions batchOpts;
+    batchOpts.jobs = report.jobs();
+    sim::BatchRunner runner(batchOpts);
+    bench::Stopwatch timer;
+    sim::BatchSummary batch = runner.run(jobs);
 
     std::printf("Figure 7: speedup over the 'hyper' baseline "
                 "(cycles_hyper / cycles_config)\n");
     std::printf("%-14s %10s |", "benchmark", "hyper(cyc)");
-    for (const char *cfg : configs)
-        std::printf(" %7s", cfg);
+    for (size_t c = 1; c < std::size(configs); ++c)
+        std::printf(" %7s", configs[c]);
     std::printf("\n");
 
-    std::vector<std::vector<double>> speedups(std::size(configs));
-    for (const workloads::Workload &w : workloads::eembcSuite()) {
-        RunNumbers base = bench::runWorkload(w, "hyper");
-        report.add(w.name + "/hyper", base);
-        std::printf("%-14s %10llu |", w.name.c_str(),
+    std::vector<std::vector<double>> speedups(kNumSpeedupConfigs);
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
+        const size_t rowAt = wi * std::size(configs);
+        const sim::BatchResult &base = batch.results[rowAt];
+        if (!base.ok)
+            dfp_fatal("bench run failed: ", base.label, ": ",
+                      base.error);
+        report.add(base.label, bench::toRunNumbers(base));
+        std::printf("%-14s %10llu |", suite[wi].name.c_str(),
                     static_cast<unsigned long long>(base.cycles));
-        for (size_t c = 0; c < std::size(configs); ++c) {
-            RunNumbers run = bench::runWorkload(w, configs[c]);
-            report.add(w.name + "/" + configs[c], run);
+        for (size_t c = 0; c < kNumSpeedupConfigs; ++c) {
+            const sim::BatchResult &run = batch.results[rowAt + 1 + c];
+            if (!run.ok)
+                dfp_fatal("bench run failed: ", run.label, ": ",
+                          run.error);
+            report.add(run.label, bench::toRunNumbers(run));
             double speedup = double(base.cycles) / double(run.cycles);
             speedups[c].push_back(speedup);
             std::printf(" %7.3f", speedup);
@@ -56,7 +84,7 @@ main(int argc, char **argv)
     }
 
     std::printf("%-14s %10s |", "geomean", "");
-    for (size_t c = 0; c < std::size(configs); ++c)
+    for (size_t c = 0; c < kNumSpeedupConfigs; ++c)
         std::printf(" %7.3f", geomean(speedups[c]));
     std::printf("\n\n");
 
@@ -73,5 +101,12 @@ main(int argc, char **argv)
     std::printf("  basic blocks vs both: %.0f%% slower "
                 "(paper: 41%% slower)\n",
                 (both / bb - 1.0) * 100.0);
+    std::printf("\nsweep: %zu runs, %llu compiles, %llu cache hits, "
+                "%d job(s), %.1fs wall, %.2f Msimcycles/s\n",
+                batch.results.size(),
+                (unsigned long long)batch.compiles,
+                (unsigned long long)batch.cacheHits, report.jobs(),
+                timer.seconds(),
+                batch.simCyclesPerSecond() / 1e6);
     return 0;
 }

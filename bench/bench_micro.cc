@@ -3,6 +3,14 @@
  * google-benchmark microbenchmarks of the dfp components themselves:
  * encoder/decoder throughput, functional-executor and cycle-simulator
  * rates, full pipeline compile time, and the golden interpreter.
+ *
+ * This binary defines its own main (instead of benchmark_main) so it
+ * can warm the lazily-built inputs — the workload suite's RNG-filled
+ * memory images and the shared compiled kernel — *before* any timed
+ * region. Without that, whichever benchmark ran first (it depends on
+ * --benchmark_filter) paid the one-time construction cost inside its
+ * first measured iteration, visibly polluting the smallest numbers
+ * (encode/decode are nanoseconds per op).
  */
 
 #include <benchmark/benchmark.h>
@@ -134,3 +142,16 @@ BM_Scheduler(benchmark::State &state)
 BENCHMARK(BM_Scheduler);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::warmUp(&kernel(), "both");
+    compiled(); // populate the shared-compilation static
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,21 +11,75 @@
 #ifndef DFP_BENCH_BENCH_UTIL_H
 #define DFP_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "base/json.h"
+#include "base/threadpool.h"
 #include "compiler/pipeline.h"
 #include "compiler/regalloc.h"
+#include "sim/batch.h"
 #include "sim/machine.h"
 #include "workloads/suite.h"
 
 namespace dfp::bench
 {
+
+/**
+ * Wall-clock timing for the harnesses, on std::chrono::steady_clock —
+ * *never* system_clock, whose NTP/suspend jumps make the smallest
+ * intervals (sub-millisecond micro numbers) meaningless.
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction / the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Force every lazily-constructed input the timed region would
+ * otherwise build on first touch — the workload suites (kernel
+ * sources + RNG-generated memory images) and, when @p config is
+ * non-null, one full compile of @p w under it. Without this, the
+ * first measurement of a harness silently pays suite construction and
+ * first-run compile cost, which pollutes exactly the smallest numbers
+ * (the micro benches and single-kernel timings). Idempotent and
+ * cheap when already warm.
+ */
+inline void
+warmUp(const workloads::Workload *w = nullptr,
+       const char *config = nullptr)
+{
+    workloads::eembcSuite();
+    workloads::microSuite();
+    workloads::genalg();
+    if (w && config) {
+        compiler::CompileOptions opts = compiler::configNamed(config);
+        opts.unroll.factor = w->unrollFactor;
+        (void)compiler::compileSource(w->source, opts);
+        (void)workloads::runGolden(*w);
+    }
+}
 
 /** One simulated run's interesting numbers. */
 struct RunNumbers
@@ -55,20 +109,36 @@ class StatsReport
         : harness_(harness)
     {
         const std::string prefix = "--stats-json=";
+        const std::string jobsPrefix = "--jobs=";
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg.rfind(prefix, 0) == 0) {
                 path_ = arg.substr(prefix.size());
             } else if (arg == "--stats-json" && i + 1 < argc) {
                 path_ = argv[++i];
+            } else if (arg.rfind(jobsPrefix, 0) == 0) {
+                jobs_ = std::atoi(arg.c_str() + jobsPrefix.size());
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                jobs_ = std::atoi(argv[++i]);
             } else {
                 dfp_fatal(harness, ": unknown argument '", arg,
-                          "' (only --stats-json=<file> is accepted)");
+                          "' (accepted: --stats-json=<file>, "
+                          "--jobs <n>)");
             }
         }
+        if (jobs_ < 1)
+            jobs_ = ThreadPool::defaultThreads();
     }
 
     bool enabled() const { return !path_.empty(); }
+
+    /**
+     * Parallelism requested with --jobs (default 1 = the serial path,
+     * so a bare invocation reproduces historical single-thread
+     * behaviour exactly; --jobs 0 = every hardware thread). Per-run
+     * results are byte-identical either way — see docs/PERFORMANCE.md.
+     */
+    int jobs() const { return jobs_; }
 
     /** Record one run. Cheap no-op when not enabled. */
     void
@@ -147,10 +217,28 @@ class StatsReport
 
     std::string harness_;
     std::string path_;
+    int jobs_ = 1;
     std::vector<Run> runs_;
     StatSet total_;
     bool written_ = false;
 };
+
+/** Lift one BatchRunner result into the harnesses' RunNumbers. */
+inline RunNumbers
+toRunNumbers(const sim::BatchResult &r)
+{
+    RunNumbers n;
+    n.cycles = r.cycles;
+    n.blocks = r.blocks;
+    n.insts = r.insts;
+    n.movs = r.movs;
+    n.mispredicts = r.mispredicts;
+    n.flushed = r.flushed;
+    n.staticInsts = r.staticInsts;
+    n.staticBlocks = r.staticBlocks;
+    n.stats = r.stats;
+    return n;
+}
 
 /** Compile @p w under @p config (with its unroll hint) and simulate. */
 inline RunNumbers

@@ -1,0 +1,174 @@
+#include "base/threadpool.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace dfp
+{
+
+/**
+ * Shared state of one parallelFor invocation. Task *indices* live in
+ * the per-worker deques; everything else — the callable, completion
+ * count, and the winning (lowest-index) exception — lives here, under
+ * the pool mutex.
+ */
+struct ThreadPool::Batch
+{
+    const std::function<void(size_t)> *fn = nullptr;
+    size_t total = 0;     //!< tasks in this batch
+    size_t finished = 0;  //!< tasks completed (ok or thrown)
+    size_t errorIndex = 0;
+    std::exception_ptr error; //!< from the lowest-index failing task
+};
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = std::max(0, threads - 1); // the caller is a worker too
+    queues_.resize(static_cast<size_t>(n) + 1); // +1 = shared overflow
+    workers_.reserve(static_cast<size_t>(n));
+    for (size_t w = 0; w < static_cast<size_t>(n); ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool
+ThreadPool::takeTask(size_t self, size_t &index)
+{
+    // Caller holds mu_. Own queue front first, then steal from the
+    // back of every other queue (including the shared overflow slot).
+    if (!queues_[self].empty()) {
+        index = queues_[self].front();
+        queues_[self].pop_front();
+        return true;
+    }
+    for (size_t q = 0; q < queues_.size(); ++q) {
+        if (q == self || queues_[q].empty())
+            continue;
+        index = queues_[q].back();
+        queues_[q].pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(size_t index)
+{
+    const std::function<void(size_t)> *fn;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn = batch_->fn;
+    }
+    std::exception_ptr err;
+    try {
+        (*fn)(index);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (err && (!batch_->error || index < batch_->errorIndex)) {
+            batch_->error = err;
+            batch_->errorIndex = index;
+        }
+        if (++batch_->finished == batch_->total)
+            doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    for (;;) {
+        size_t index = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [&] {
+                return stop_ || (batch_ && takeTask(self, index));
+            });
+            if (stop_ && !batch_)
+                return;
+            if (stop_) {
+                // Drain the active batch before exiting so a caller
+                // blocked in parallelFor always wakes up.
+                if (!takeTask(self, index))
+                    return;
+            }
+        }
+        runTask(index);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        // Serial mode: byte-identical to a plain loop, first failure
+        // propagates immediately (it is necessarily the lowest index).
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.total = n;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dfp_assert(batch_ == nullptr,
+                   "ThreadPool::parallelFor is not reentrant");
+        batch_ = &batch;
+        // Deal indices round-robin across the worker deques; the
+        // caller's share goes to the shared overflow slot, where any
+        // worker can steal it back if the caller is slow.
+        size_t slots = queues_.size();
+        for (size_t i = 0; i < n; ++i)
+            queues_[i % slots].push_back(i);
+    }
+    cv_.notify_all();
+
+    // The calling thread works too: drain from the overflow slot
+    // (stealing from workers when it is empty).
+    const size_t self = queues_.size() - 1;
+    for (;;) {
+        size_t index = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!takeTask(self, index))
+                break;
+        }
+        runTask(index);
+    }
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] { return batch.finished == batch.total; });
+        batch_ = nullptr;
+        error = batch.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace dfp

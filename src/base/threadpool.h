@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A fixed-size work-stealing thread pool for embarrassingly-parallel
+ * batch work (the parallel simulation sweeps of sim::BatchRunner and
+ * tools/dfp-bench).
+ *
+ * Design points:
+ *
+ *  - **Fixed worker count**, chosen at construction. `threads <= 1`
+ *    means "no worker threads at all": every task submitted through
+ *    parallelFor() runs inline on the calling thread, in submission
+ *    order. The serial path therefore executes byte-for-byte the same
+ *    code as a plain loop — the determinism anchor the batch tests
+ *    compare the parallel path against.
+ *
+ *  - **Work stealing.** Each worker owns a deque; submissions are
+ *    dealt round-robin across the deques. A worker pops from the front
+ *    of its own deque (cache-warm, FIFO-ish) and steals from the back
+ *    of a victim's when its own is empty, so an unlucky distribution
+ *    of long tasks cannot idle the pool.
+ *
+ *  - **Deterministic result ordering by submission index.**
+ *    parallelFor(n, fn) invokes fn(i) for every i in [0, n) exactly
+ *    once and returns when all calls finished. Callers write results
+ *    into slot i of a pre-sized vector, so the output order never
+ *    depends on the execution interleaving. If one or more calls
+ *    throw, parallelFor rethrows the exception with the *lowest*
+ *    submission index after every task has finished — again
+ *    independent of scheduling — and the pool stays usable.
+ *
+ * The pool is *not* a general async executor: there are no futures and
+ * no detached submission; parallelFor is the whole public surface
+ * (plus size()). That keeps the invariants small enough to test
+ * exhaustively under ThreadSanitizer (tests/base/test_threadpool.cc).
+ */
+
+#ifndef DFP_BASE_THREADPOOL_H
+#define DFP_BASE_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfp
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads workers. Values <= 1 create no
+     * threads; parallelFor then runs inline on the caller.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Joins all workers; pending work is finished first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (0 = inline/serial mode). */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Run @p fn(i) for every i in [0, n), distributing across the
+     * workers (the calling thread also executes tasks, so a 1-worker
+     * pool still overlaps with the caller). Blocks until every call
+     * has finished. Rethrows the lowest-index exception, if any.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * The host's advertised concurrency (>= 1) — the default for
+     * --jobs flags. hardware_concurrency() may return 0 on exotic
+     * platforms; this never does.
+     */
+    static int defaultThreads();
+
+  private:
+    struct Batch; // one parallelFor invocation's shared state
+
+    void workerLoop(size_t self);
+    /** Pop one task index for worker @p self (own front, then steal
+     *  from the back of the others). Returns false when drained. */
+    bool takeTask(size_t self, size_t &index);
+    void runTask(size_t index);
+
+    std::vector<std::thread> workers_;
+    // Per-worker deques of task indices into the current batch, plus
+    // one shared overflow deque (slot workers_.size()) the caller
+    // drains too. One mutex guards them all: batch tasks here are
+    // whole simulations (milliseconds), so queue contention is noise,
+    // and a single lock keeps the stealing protocol trivially correct
+    // under TSan.
+    std::vector<std::deque<size_t>> queues_;
+    std::mutex mu_;
+    std::condition_variable cv_;      //!< workers wait for tasks
+    std::condition_variable doneCv_;  //!< caller waits for completion
+    Batch *batch_ = nullptr;          //!< active parallelFor, if any
+    bool stop_ = false;
+};
+
+} // namespace dfp
+
+#endif // DFP_BASE_THREADPOOL_H

@@ -1,0 +1,179 @@
+#include "sim/batch.h"
+
+#include <chrono>
+
+#include "base/logging.h"
+#include "base/threadpool.h"
+#include "compiler/regalloc.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+/**
+ * One compilation's immutable products, shared read-only across every
+ * run that hits the cache: the compiled program (+ static stats) and
+ * the golden reference the runs verify against. Simulation never
+ * mutates the TProgram, so concurrent runs of the same pointer are
+ * safe; each run still gets a private ArchState/Machine/StatSet.
+ */
+struct BatchRunner::Compiled
+{
+    compiler::CompileResult res;
+    workloads::Golden golden;
+};
+
+BatchRunner::BatchRunner(const BatchOptions &opts) : opts_(opts) {}
+
+BatchJob
+makeJob(const workloads::Workload &w, const std::string &config,
+        const SimConfig &simCfg)
+{
+    BatchJob job;
+    job.workload = &w;
+    job.config = config;
+    job.label = w.name + "/" + config;
+    job.opts = compiler::configNamed(config);
+    job.opts.unroll.factor = w.unrollFactor;
+    job.sim = simCfg;
+    return job;
+}
+
+std::string
+BatchRunner::compileKey(const std::string &workload,
+                        const compiler::CompileOptions &o)
+{
+    // Every field that can change the generated program, in a fixed
+    // order. A new CompileOptions knob that is forgotten here degrades
+    // to a *correctness* bug (two different programs sharing a cache
+    // slot), so the batch tests pin this key against configNamed().
+    return detail::cat(
+        workload, "|hb=", o.hyperblocks, ",intra=", o.predFanoutReduction,
+        ",inter=", o.pathSensitive, ",merge=", o.merging,
+        ",scalar=", o.scalarOpts, ",sched=", o.schedule,
+        ",mcast=", o.multicast, ",verify=", o.verifyEachPass,
+        ",u=", o.unroll.factor, "/", o.unroll.maxBodyInstrs, "/",
+        o.unroll.maxBodyBlocks, ",region=", o.region.maxBlocksPerRegion,
+        "/", o.region.instrBudget, "/", o.region.memOpBudget, "/",
+        o.region.allowLoops, ",grid=", o.grid.rows, "x", o.grid.cols,
+        ",break=", o.debugBreak);
+}
+
+std::shared_ptr<const BatchRunner::Compiled>
+BatchRunner::compiledFor(const BatchJob &job, uint64_t &compiles,
+                         uint64_t &cacheHits)
+{
+    const std::string key = compileKey(job.workload->name, job.opts);
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cacheHits;
+            return it->second;
+        }
+    }
+
+    // Compile outside the lock — compilations of *different* keys run
+    // concurrently. Two threads may race to compile the same key; the
+    // first insertion wins and the loser's work is discarded, so the
+    // cache stays single-valued and the published program identical
+    // either way. (Sweeps enqueue a workload's configs contiguously,
+    // so in practice the racers are compiling different keys.)
+    auto fresh = std::make_shared<Compiled>();
+    fresh->res = compiler::compileSource(job.workload->source, job.opts);
+    fresh->golden = workloads::runGolden(*job.workload);
+
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    auto [it, inserted] = cache_.emplace(key, std::move(fresh));
+    if (inserted)
+        ++compiles;
+    else
+        ++cacheHits;
+    return it->second;
+}
+
+BatchSummary
+BatchRunner::run(const std::vector<BatchJob> &jobs)
+{
+    BatchSummary summary;
+    summary.results.resize(jobs.size());
+    // Accounting is written under cacheMu_ by the workers.
+    uint64_t compiles = 0, cacheHits = 0;
+
+    Clock::time_point batchStart = Clock::now();
+    ThreadPool pool(opts_.jobs);
+    pool.parallelFor(jobs.size(), [&](size_t i) {
+        const BatchJob &job = jobs[i];
+        BatchResult &out = summary.results[i];
+        out.label = job.label;
+        out.config = job.config;
+        out.workload = job.workload ? job.workload->name : "";
+        try {
+            dfp_assert(job.workload != nullptr,
+                       "batch job ", i, " has no workload");
+            std::shared_ptr<const Compiled> prog =
+                compiledFor(job, compiles, cacheHits);
+
+            isa::ArchState state;
+            state.mem = workloads::initialMemory(*job.workload);
+            Clock::time_point runStart = Clock::now();
+            SimResult res = simulate(prog->res.program, state, job.sim);
+            out.hostSeconds = secondsSince(runStart);
+
+            out.cycles = res.cycles;
+            out.blocks = res.blocksCommitted;
+            out.insts = res.instsCommitted;
+            out.movs = res.movsCommitted;
+            out.mispredicts = res.mispredicts;
+            out.flushed = res.blocksFlushed;
+            out.faultsInjected = res.faultsInjected;
+            out.replays = res.replays;
+            out.staticInsts = prog->res.stats.get("codegen.insts");
+            out.staticBlocks = prog->res.stats.get("codegen.blocks");
+            if (opts_.keepRunStats)
+                out.stats = std::move(res.stats);
+            else
+                out.stats = StatSet();
+
+            if (!res.halted) {
+                out.error = res.error.empty() ? "simulation did not halt"
+                                              : res.error;
+            } else if (opts_.checkGolden &&
+                       (state.regs[compiler::kRetArchReg] !=
+                            prog->golden.retValue ||
+                        state.mem.checksum() !=
+                            prog->golden.memChecksum)) {
+                out.error = "diverged from the golden model";
+            } else {
+                out.ok = true;
+            }
+        } catch (const std::exception &err) {
+            out.ok = false;
+            out.error = err.what();
+        }
+    });
+
+    summary.wallSeconds = secondsSince(batchStart);
+    summary.compiles = compiles;
+    summary.cacheHits = cacheHits;
+    for (const BatchResult &r : summary.results) {
+        summary.merged.merge(r.stats);
+        summary.totalSimCycles += r.cycles;
+        summary.allOk = summary.allOk && r.ok;
+    }
+    return summary;
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The parallel batch-simulation engine: fan a workload × CompileOptions
+ * matrix out across a base::ThreadPool, compile each distinct
+ * (workload, options) pair exactly once into a shared immutable
+ * program cache, give every run its own Machine/FaultEngine/ArchState/
+ * StatSet so nothing races, and merge the per-run statistics back in
+ * deterministic submission order.
+ *
+ * Each (workload, CompileOptions, SimConfig) simulation is completely
+ * independent — the machine takes a `const TProgram &` and owns all of
+ * its mutable state per run — so a sweep parallelises embarrassingly
+ * while every per-run result stays **byte-identical to the serial
+ * path**: `run()` with jobs=N and jobs=1 produce the same
+ * BatchResult vector, the same merged StatSet, and the same error
+ * strings; only the wall-clock time and the hostSeconds fields differ.
+ * tests/sim/test_batch.cc enforces this, including under fault
+ * injection (the FaultEngine PRNG is seeded per run from the job's
+ * own FaultConfig).
+ *
+ * This is the engine under `dfpc --jobs`, `tools/dfp-bench`, and the
+ * converted figure/ablation benches; see docs/PERFORMANCE.md for the
+ * threading model and determinism guarantees.
+ */
+
+#ifndef DFP_SIM_BATCH_H
+#define DFP_SIM_BATCH_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "compiler/pipeline.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp::sim
+{
+
+/** One cell of the sweep matrix. */
+struct BatchJob
+{
+    const workloads::Workload *workload = nullptr;
+    std::string label;       //!< display name, e.g. "tblook01/both"
+    std::string config;      //!< configuration name (informational)
+    compiler::CompileOptions opts; //!< fully resolved compile options
+    SimConfig sim;           //!< per-run machine configuration
+};
+
+/** Build a job from a workload and a named §6 configuration, applying
+ *  the workload's own unroll hint (the runWorkload() convention). */
+BatchJob makeJob(const workloads::Workload &w, const std::string &config,
+                 const SimConfig &simCfg = SimConfig());
+
+/** Outcome of one job, in submission order. */
+struct BatchResult
+{
+    std::string label;
+    std::string config;
+    std::string workload;
+
+    bool ok = false;         //!< halted, golden-matched, nothing threw
+    std::string error;       //!< failure reason when !ok
+
+    uint64_t cycles = 0;
+    uint64_t blocks = 0;
+    uint64_t insts = 0;
+    uint64_t movs = 0;
+    uint64_t mispredicts = 0;
+    uint64_t flushed = 0;
+    uint64_t faultsInjected = 0;
+    uint64_t replays = 0;
+    uint64_t staticInsts = 0;
+    uint64_t staticBlocks = 0;
+    double hostSeconds = 0;  //!< this run's wall time (monotonic clock)
+
+    /** Full simulator StatSet (empty when keepRunStats is off). */
+    StatSet stats;
+
+    /** Instructions committed per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? double(insts) / double(cycles) : 0.0;
+    }
+};
+
+/** Whole-batch rollup. */
+struct BatchSummary
+{
+    std::vector<BatchResult> results; //!< one per job, submission order
+
+    StatSet merged;          //!< all run StatSets merged, in order
+    uint64_t compiles = 0;   //!< pipeline invocations
+    uint64_t cacheHits = 0;  //!< jobs served from the program cache
+    uint64_t totalSimCycles = 0; //!< sum of per-run cycle counts
+    double wallSeconds = 0;  //!< whole-batch wall time (monotonic)
+
+    bool allOk = true;       //!< every result.ok
+
+    /** Aggregate simulation throughput over the batch wall time. */
+    double
+    simCyclesPerSecond() const
+    {
+        return wallSeconds > 0 ? double(totalSimCycles) / wallSeconds
+                               : 0.0;
+    }
+};
+
+struct BatchOptions
+{
+    /** Worker threads; <= 1 runs serially on the calling thread. */
+    int jobs = 1;
+
+    /** Verify every run's architectural state against the golden IR
+     *  interpreter (cached per workload). Divergence marks the run
+     *  !ok; it never throws. */
+    bool checkGolden = true;
+
+    /** Keep each run's full StatSet in its BatchResult (the merged
+     *  set is always built). Off saves memory on huge sweeps. */
+    bool keepRunStats = true;
+};
+
+/**
+ * Runs batches. The compiled-program cache lives on the runner, so
+ * consecutive run() calls (e.g. a bench harness's repetitions) reuse
+ * compilations; compiles/cacheHits in each summary count that batch's
+ * lookups only.
+ */
+class BatchRunner
+{
+  public:
+    explicit BatchRunner(const BatchOptions &opts = BatchOptions());
+
+    /** Execute all @p jobs; blocks until every run finished. */
+    BatchSummary run(const std::vector<BatchJob> &jobs);
+
+    /**
+     * The canonical cache key of one compilation: the workload name
+     * plus a full serialization of every CompileOptions field that can
+     * change generated code. Exposed for the cache-accounting tests.
+     */
+    static std::string compileKey(const std::string &workload,
+                                  const compiler::CompileOptions &opts);
+
+  private:
+    struct Compiled; // CompileResult + golden reference, immutable
+
+    std::shared_ptr<const Compiled> compiledFor(const BatchJob &job,
+                                                uint64_t &compiles,
+                                                uint64_t &cacheHits);
+
+    BatchOptions opts_;
+    std::mutex cacheMu_;
+    std::map<std::string, std::shared_ptr<const Compiled>> cache_;
+};
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_BATCH_H

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Determinism and accounting tests for the parallel batch engine.
+ *
+ * The load-bearing guarantee is byte-identity: run() at --jobs 8 must
+ * produce exactly the results of --jobs 1 — same counters, same stats
+ * dumps, same error strings, same merged StatSet — for a 16-workload
+ * sweep that includes fault-injected runs (the FaultEngine PRNG is
+ * seeded per run, so interleaving must not leak into the schedule).
+ * Only host-time fields may differ.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/batch.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+std::string
+dumped(const StatSet &stats)
+{
+    std::ostringstream os;
+    stats.dump(os);
+    return os.str();
+}
+
+/** The 16-workload sweep the determinism tests compare across job
+ *  counts: 12 fault-free EEMBC kernels plus 4 fault-injected runs with
+ *  pinned seeds (two models, two rates). */
+std::vector<BatchJob>
+determinismJobs()
+{
+    const std::vector<workloads::Workload> &suite = workloads::eembcSuite();
+    std::vector<BatchJob> jobs;
+    size_t wi = 0;
+    for (; wi < 12 && wi < suite.size(); ++wi)
+        jobs.push_back(makeJob(suite[wi], "both"));
+
+    const struct
+    {
+        FaultModel model;
+        double rate;
+        uint64_t seed;
+    } faulty[] = {
+        {FaultModel::NetDrop, 1e-4, 7},
+        {FaultModel::NetDrop, 1e-3, 7},
+        {FaultModel::CacheFlip, 1e-4, 11},
+        {FaultModel::CacheFlip, 1e-3, 11},
+    };
+    for (const auto &f : faulty) {
+        EXPECT_LT(wi, suite.size()) << "suite too small";
+        SimConfig cfg;
+        cfg.faults.model = f.model;
+        cfg.faults.rate = f.rate;
+        cfg.faults.seed = f.seed;
+        BatchJob job = makeJob(suite[wi++], "both", cfg);
+        job.label += "+faults";
+        jobs.push_back(job);
+    }
+    return jobs;
+}
+
+void
+expectIdentical(const BatchResult &serial, const BatchResult &parallel)
+{
+    EXPECT_EQ(serial.label, parallel.label);
+    EXPECT_EQ(serial.config, parallel.config);
+    EXPECT_EQ(serial.workload, parallel.workload);
+    EXPECT_EQ(serial.ok, parallel.ok) << serial.label;
+    EXPECT_EQ(serial.error, parallel.error) << serial.label;
+    EXPECT_EQ(serial.cycles, parallel.cycles) << serial.label;
+    EXPECT_EQ(serial.blocks, parallel.blocks) << serial.label;
+    EXPECT_EQ(serial.insts, parallel.insts) << serial.label;
+    EXPECT_EQ(serial.movs, parallel.movs) << serial.label;
+    EXPECT_EQ(serial.mispredicts, parallel.mispredicts) << serial.label;
+    EXPECT_EQ(serial.flushed, parallel.flushed) << serial.label;
+    EXPECT_EQ(serial.faultsInjected, parallel.faultsInjected)
+        << serial.label;
+    EXPECT_EQ(serial.replays, parallel.replays) << serial.label;
+    EXPECT_EQ(serial.staticInsts, parallel.staticInsts) << serial.label;
+    EXPECT_EQ(serial.staticBlocks, parallel.staticBlocks) << serial.label;
+    // The full StatSet, byte for byte. hostSeconds is the one field
+    // that may (and will) differ.
+    EXPECT_EQ(dumped(serial.stats), dumped(parallel.stats))
+        << serial.label;
+}
+
+TEST(Batch, ParallelIsByteIdenticalToSerial)
+{
+    std::vector<BatchJob> jobs = determinismJobs();
+    ASSERT_EQ(jobs.size(), 16u);
+
+    BatchOptions serialOpts;
+    serialOpts.jobs = 1;
+    BatchSummary serial = BatchRunner(serialOpts).run(jobs);
+
+    BatchOptions parallelOpts;
+    parallelOpts.jobs = 8;
+    BatchSummary parallel = BatchRunner(parallelOpts).run(jobs);
+
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (size_t i = 0; i < serial.results.size(); ++i)
+        expectIdentical(serial.results[i], parallel.results[i]);
+
+    EXPECT_EQ(dumped(serial.merged), dumped(parallel.merged));
+    EXPECT_EQ(serial.totalSimCycles, parallel.totalSimCycles);
+    EXPECT_EQ(serial.compiles, parallel.compiles);
+    EXPECT_EQ(serial.cacheHits, parallel.cacheHits);
+    EXPECT_EQ(serial.allOk, parallel.allOk);
+    EXPECT_TRUE(serial.allOk);
+    // The fault-injected runs actually injected and recovered: the
+    // sweep exercises the FaultEngine, not just the fault-free path.
+    uint64_t injected = 0;
+    for (const BatchResult &r : serial.results)
+        injected += r.faultsInjected;
+    EXPECT_GT(injected, 0u);
+}
+
+TEST(Batch, RepeatedRunsAreDeterministic)
+{
+    // Same runner, same jobs, twice in a row at jobs=4: identical
+    // merged stats both times (the program cache warm/cold state must
+    // not change simulated behavior).
+    std::vector<BatchJob> jobs;
+    const std::vector<workloads::Workload> &suite = workloads::eembcSuite();
+    for (size_t wi = 0; wi < 6; ++wi)
+        jobs.push_back(makeJob(suite[wi], "hyper"));
+
+    BatchOptions opts;
+    opts.jobs = 4;
+    BatchRunner runner(opts);
+    BatchSummary first = runner.run(jobs);
+    BatchSummary second = runner.run(jobs);
+
+    EXPECT_EQ(dumped(first.merged), dumped(second.merged));
+    EXPECT_EQ(first.totalSimCycles, second.totalSimCycles);
+    // Second pass is served entirely from the warm cache.
+    EXPECT_EQ(first.compiles, 6u);
+    EXPECT_EQ(second.compiles, 0u);
+    EXPECT_EQ(second.cacheHits, 6u);
+}
+
+TEST(Batch, CacheHitAccounting)
+{
+    // 3 workloads x 2 configs, each job duplicated: 6 distinct
+    // (workload, options) keys, 12 jobs. compiles + cacheHits must
+    // equal the job count and compiles must equal the distinct keys —
+    // at any job count, regardless of how insert races resolve.
+    const std::vector<workloads::Workload> &suite = workloads::eembcSuite();
+    std::vector<BatchJob> jobs;
+    for (size_t wi = 0; wi < 3; ++wi)
+        for (const char *config : {"hyper", "both"}) {
+            jobs.push_back(makeJob(suite[wi], config));
+            jobs.push_back(makeJob(suite[wi], config));
+        }
+
+    std::set<std::string> keys;
+    for (const BatchJob &job : jobs)
+        keys.insert(BatchRunner::compileKey(job.workload->name, job.opts));
+    ASSERT_EQ(keys.size(), 6u);
+
+    for (int jobCount : {1, 8}) {
+        BatchOptions opts;
+        opts.jobs = jobCount;
+        BatchSummary summary = BatchRunner(opts).run(jobs);
+        EXPECT_TRUE(summary.allOk);
+        EXPECT_EQ(summary.compiles, 6u) << "jobs=" << jobCount;
+        EXPECT_EQ(summary.cacheHits, jobs.size() - 6u)
+            << "jobs=" << jobCount;
+    }
+}
+
+TEST(Batch, CompileKeyCoversTheNamedConfigs)
+{
+    // Every named §6 configuration must map to a distinct cache key for
+    // the same workload — if a CompileOptions knob is missing from
+    // compileKey(), two configs alias one program and sweeps silently
+    // simulate the wrong code.
+    const char *configs[] = {"hyper", "bb", "intra", "inter", "both",
+                             "merge"};
+    std::set<std::string> keys;
+    for (const char *config : configs)
+        keys.insert(
+            BatchRunner::compileKey("w", compiler::configNamed(config)));
+    EXPECT_EQ(keys.size(), std::size(configs));
+
+    // ...and knobs outside configNamed() must show up too.
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    std::string base = BatchRunner::compileKey("w", opts);
+    opts.unroll.factor = 4;
+    EXPECT_NE(BatchRunner::compileKey("w", opts), base);
+    opts = compiler::configNamed("both");
+    opts.grid.rows = 16;
+    EXPECT_NE(BatchRunner::compileKey("w", opts), base);
+    opts = compiler::configNamed("both");
+    EXPECT_NE(BatchRunner::compileKey("w2", opts), base);
+}
+
+TEST(Batch, PerRunErrorsAreCapturedNotThrown)
+{
+    const std::vector<workloads::Workload> &suite = workloads::eembcSuite();
+    std::vector<BatchJob> jobs;
+    jobs.push_back(makeJob(suite[0], "both"));
+    // A run that cannot finish: starve the cycle budget.
+    SimConfig tiny;
+    tiny.maxCycles = 100;
+    jobs.push_back(makeJob(suite[1], "both", tiny));
+    // A malformed job (no workload) must fail alone, not sink the run.
+    jobs.emplace_back();
+    jobs.back().label = "broken";
+    jobs.push_back(makeJob(suite[2], "both"));
+
+    BatchOptions opts;
+    opts.jobs = 4;
+    BatchSummary summary = BatchRunner(opts).run(jobs);
+
+    ASSERT_EQ(summary.results.size(), 4u);
+    EXPECT_TRUE(summary.results[0].ok);
+    EXPECT_FALSE(summary.results[1].ok);
+    EXPECT_FALSE(summary.results[1].error.empty());
+    EXPECT_FALSE(summary.results[2].ok);
+    EXPECT_FALSE(summary.results[2].error.empty());
+    EXPECT_TRUE(summary.results[3].ok);
+    EXPECT_FALSE(summary.allOk);
+}
+
+TEST(Batch, KeepRunStatsOffStillMerges)
+{
+    const std::vector<workloads::Workload> &suite = workloads::eembcSuite();
+    std::vector<BatchJob> jobs = {makeJob(suite[0], "both"),
+                                  makeJob(suite[1], "both")};
+
+    BatchOptions lean;
+    lean.jobs = 2;
+    lean.keepRunStats = false;
+    BatchSummary summary = BatchRunner(lean).run(jobs);
+
+    EXPECT_TRUE(summary.allOk);
+    for (const BatchResult &r : summary.results)
+        EXPECT_EQ(dumped(r.stats), "");
+    // keepRunStats only drops the per-run copies; the per-run counters
+    // survive in the summary rollup.
+    EXPECT_GT(summary.totalSimCycles, 0u);
+    EXPECT_GT(summary.results[0].cycles, 0u);
+}
+
+TEST(Batch, MakeJobAppliesWorkloadConventions)
+{
+    const workloads::Workload *w = workloads::findWorkload("tblook01");
+    ASSERT_NE(w, nullptr);
+    BatchJob job = makeJob(*w, "both");
+    EXPECT_EQ(job.label, "tblook01/both");
+    EXPECT_EQ(job.config, "both");
+    EXPECT_EQ(job.workload, w);
+    EXPECT_EQ(job.opts.unroll.factor, w->unrollFactor);
+}
+
+} // namespace
+} // namespace dfp::sim

@@ -1,0 +1,636 @@
+/**
+ * @file
+ * dfp-bench — the parallel performance-sweep driver and regression
+ * gate. Fans the figure/ablation/resilience matrices out across a
+ * work-stealing pool (sim::BatchRunner), emits a machine-readable
+ * BENCH_<rev>.json performance record, and compares records against a
+ * checked-in baseline, exiting nonzero on a throughput regression or
+ * a per-run cycle-count drift.
+ *
+ * Run `dfp-bench --help` for the flag reference; docs/PERFORMANCE.md
+ * documents the JSON schema, the threading model, and how to read a
+ * regression failure.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+#include "base/json.h"
+#include "base/json_reader.h"
+#include "base/threadpool.h"
+#include "base/version.h"
+#include "sim/batch.h"
+#include "sim/fault.h"
+#include "verify/diag.h"
+#include "workloads/suite.h"
+
+using namespace dfp;
+
+namespace
+{
+
+/** BENCH_*.json schema version; bump on incompatible changes. */
+constexpr int kSchemaVersion = 1;
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfp-bench [options]\n"
+        "\n"
+        "Runs the dfp performance sweeps in parallel through the batch\n"
+        "simulation engine and writes a BENCH_<rev>.json performance\n"
+        "record; optionally compares the record against a baseline and\n"
+        "exits nonzero on regression. See docs/PERFORMANCE.md.\n"
+        "\n"
+        "sweep selection:\n"
+        "  --suite <name>     quick | fig7 | ablations | resilience |\n"
+        "                     all (default all; quick is the CI-sized\n"
+        "                     subset the checked-in baseline records)\n"
+        "  --list             print each suite's run count and exit\n"
+        "\n"
+        "execution:\n"
+        "  --jobs <n>         worker threads (default: all hardware\n"
+        "                     threads; 1 = serial). Per-run results\n"
+        "                     are byte-identical at any job count.\n"
+        "  --seed <n>         fault-injection seed for the resilience\n"
+        "                     runs (default 1)\n"
+        "\n"
+        "output:\n"
+        "  --out <file>       write the JSON record here (default\n"
+        "                     BENCH_<rev>.json; '-' = stdout,\n"
+        "                     'none' = don't write)\n"
+        "\n"
+        "regression gating:\n"
+        "  --compare <file>   compare against this baseline record\n"
+        "                     (after running, or against --in) and\n"
+        "                     exit 1 on regression\n"
+        "  --in <file>        compare an existing record instead of\n"
+        "                     running the sweep\n"
+        "  --threshold <p>    allowed sim-throughput drop, percent\n"
+        "                     (default 5; accepts '5', '5%%')\n"
+        "  --no-cycle-check   don't fail when a run's cycle count\n"
+        "                     differs from the baseline (cycle counts\n"
+        "                     are deterministic: a drift means the\n"
+        "                     simulated behaviour changed, not the\n"
+        "                     host)\n"
+        "\n"
+        "  --version          print the dfp version and exit\n"
+        "  -h, --help         this text\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+/** DFPC1xx driver diagnostics, same taxonomy as dfpc (exit 2 = bad
+ *  input / crash, exit 1 = the run executed and failed the gate). */
+int
+inputError(const char *code, std::string message)
+{
+    verify::DiagList diags;
+    diags.error(code, {}, std::move(message));
+    diags.renderText(std::cerr);
+    return 2;
+}
+
+// --------------------------------------------------------------------
+// Sweep construction
+
+const char *const kQuickKernels[] = {"tblook01", "rotate01", "autcor00",
+                                     "pktflow",  "iirflt01", "viterb00",
+                                     "text01",   "matrix01"};
+
+void
+addFig7(std::vector<sim::BatchJob> &jobs)
+{
+    for (const workloads::Workload &w : workloads::eembcSuite())
+        for (const std::string &cfg : compiler::allConfigNames())
+            jobs.push_back(sim::makeJob(w, cfg));
+}
+
+void
+addAblations(std::vector<sim::BatchJob> &jobs)
+{
+    auto queue = [&](const char *ablation, auto tweak) {
+        for (const char *name : kQuickKernels) {
+            const workloads::Workload *w = workloads::findWorkload(name);
+            sim::BatchJob job = sim::makeJob(*w, "both");
+            job.label = detail::cat("abl/", ablation, "/", name);
+            tweak(job.opts, job.sim);
+            jobs.push_back(std::move(job));
+        }
+    };
+    queue("baseline", [](auto &, auto &) {});
+    queue("no_early_term",
+          [](auto &, sim::SimConfig &s) { s.earlyTermination = false; });
+    queue("perfect_prediction",
+          [](auto &, sim::SimConfig &s) { s.perfectPrediction = true; });
+    queue("no_contention",
+          [](auto &, sim::SimConfig &s) { s.modelContention = false; });
+    queue("conservative_loads",
+          [](auto &, sim::SimConfig &s) { s.aggressiveLoads = false; });
+    queue("naive_placement",
+          [](compiler::CompileOptions &o, auto &) { o.schedule = false; });
+    queue("mov4_multicast",
+          [](compiler::CompileOptions &o, auto &) { o.multicast = true; });
+    for (int inflight : {1, 2, 4, 8, 16}) {
+        queue(detail::cat("inflight_", inflight).c_str(),
+              [&](auto &, sim::SimConfig &s) {
+                  s.maxBlocksInFlight = inflight;
+              });
+    }
+}
+
+void
+addResilience(std::vector<sim::BatchJob> &jobs, uint64_t seed)
+{
+    const char *const kernels[] = {"a2time01", "fbital00", "routelookup",
+                                   "tblook01", "viterb00", "genalg"};
+    const sim::FaultModel models[] = {sim::FaultModel::NetDrop,
+                                      sim::FaultModel::CacheFlip};
+    const double rates[] = {1e-5, 1e-4, 1e-3};
+    for (sim::FaultModel model : models) {
+        for (const char *name : kernels) {
+            for (double rate : rates) {
+                const workloads::Workload *w =
+                    workloads::findWorkload(name);
+                sim::BatchJob job = sim::makeJob(*w, "both");
+                job.sim.faults.model = model;
+                job.sim.faults.rate = rate;
+                job.sim.faults.seed = seed;
+                job.label =
+                    detail::cat("res/", sim::faultModelName(model), "/",
+                                rate, "/", name);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+}
+
+void
+addQuick(std::vector<sim::BatchJob> &jobs, uint64_t seed)
+{
+    for (const char *name : kQuickKernels) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        for (const char *cfg : {"hyper", "both"})
+            jobs.push_back(sim::makeJob(*w, cfg));
+    }
+    for (const char *name : {"tblook01", "viterb00", "rotate01",
+                             "pktflow"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        sim::BatchJob job = sim::makeJob(*w, "both");
+        job.sim.faults.model = sim::FaultModel::NetDrop;
+        job.sim.faults.rate = 1e-4;
+        job.sim.faults.seed = seed;
+        job.label = detail::cat("res/net-drop/0.0001/", name);
+        jobs.push_back(std::move(job));
+    }
+}
+
+bool
+buildSuite(const std::string &suite, uint64_t seed,
+           std::vector<sim::BatchJob> &jobs)
+{
+    if (suite == "quick") {
+        addQuick(jobs, seed);
+    } else if (suite == "fig7") {
+        addFig7(jobs);
+    } else if (suite == "ablations") {
+        addAblations(jobs);
+    } else if (suite == "resilience") {
+        addResilience(jobs, seed);
+    } else if (suite == "all") {
+        addFig7(jobs);
+        addAblations(jobs);
+        addResilience(jobs, seed);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// The performance record
+
+/** The subset of a BENCH_*.json document --compare consumes; built
+ *  either from a fresh BatchSummary or parsed back from a file. */
+struct BenchDoc
+{
+    std::string version;
+    std::string suite;
+    uint64_t seed = 0;
+    int jobs = 0;
+    double wallSeconds = 0;
+    uint64_t simCycles = 0;
+    double simCyclesPerSec = 0;
+    struct Run
+    {
+        std::string workload, config;
+        uint64_t cycles = 0, insts = 0;
+    };
+    std::map<std::string, Run> runs; //!< by label
+};
+
+BenchDoc
+docFromSummary(const sim::BatchSummary &batch, const std::string &suite,
+               uint64_t seed, int jobs)
+{
+    BenchDoc doc;
+    doc.version = versionString();
+    doc.suite = suite;
+    doc.seed = seed;
+    doc.jobs = jobs;
+    doc.wallSeconds = batch.wallSeconds;
+    doc.simCycles = batch.totalSimCycles;
+    doc.simCyclesPerSec = batch.simCyclesPerSecond();
+    for (const sim::BatchResult &r : batch.results)
+        doc.runs[r.label] = {r.workload, r.config, r.cycles, r.insts};
+    return doc;
+}
+
+void
+writeRecord(std::ostream &os, const sim::BatchSummary &batch,
+            const std::string &suite, uint64_t seed, int jobs)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("schema").value(kSchemaVersion);
+    w.key("harness").value("dfp-bench");
+    w.key("version").value(versionString());
+    w.key("suite").value(suite);
+    w.key("seed").value(seed);
+    w.key("jobs").value(jobs);
+
+    w.key("host").beginObject();
+    w.key("hardware_concurrency").value(ThreadPool::defaultThreads());
+#if defined(__unix__) || defined(__APPLE__)
+    struct utsname un;
+    if (uname(&un) == 0) {
+        w.key("system").value(un.sysname);
+        w.key("release").value(un.release);
+        w.key("machine").value(un.machine);
+    }
+#endif
+    w.endObject();
+
+    w.key("wall_seconds").value(batch.wallSeconds);
+    w.key("sim_cycles").value(batch.totalSimCycles);
+    w.key("sim_cycles_per_sec").value(batch.simCyclesPerSecond());
+    w.key("compiles").value(batch.compiles);
+    w.key("cache_hits").value(batch.cacheHits);
+    w.key("all_ok").value(batch.allOk);
+
+    w.key("runs").beginArray();
+    for (const sim::BatchResult &r : batch.results) {
+        w.beginObject();
+        w.key("label").value(r.label);
+        w.key("workload").value(r.workload);
+        w.key("config").value(r.config);
+        w.key("ok").value(r.ok);
+        if (!r.ok)
+            w.key("error").value(r.error);
+        w.key("cycles").value(r.cycles);
+        w.key("insts").value(r.insts);
+        w.key("ipc").value(r.ipc());
+        w.key("blocks").value(r.blocks);
+        w.key("mispredicts").value(r.mispredicts);
+        w.key("flushed").value(r.flushed);
+        if (r.faultsInjected || r.replays) {
+            w.key("faults_injected").value(r.faultsInjected);
+            w.key("replays").value(r.replays);
+        }
+        w.key("host_seconds").value(r.hostSeconds);
+        w.endObject();
+    }
+    w.endArray();
+
+    // Per-workload IPC: the mean over that workload's runs, keyed by
+    // name — the per-kernel trend line the trajectory plots track.
+    std::map<std::string, std::pair<double, int>> ipc;
+    for (const sim::BatchResult &r : batch.results) {
+        auto &slot = ipc[r.workload];
+        slot.first += r.ipc();
+        slot.second += 1;
+    }
+    w.key("per_workload_ipc").beginObject();
+    for (const auto &[name, acc] : ipc)
+        w.key(name).value(acc.second ? acc.first / acc.second : 0.0);
+    w.endObject();
+
+    w.endObject();
+    os << "\n";
+}
+
+bool
+loadDoc(const std::string &path, BenchDoc &doc, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot read '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bool ok = false;
+    minijson::Value root = minijson::parse(buf.str(), &ok, &err);
+    if (!ok) {
+        err = "'" + path + "': JSON parse error: " + err;
+        return false;
+    }
+    if (!root.isObject() || !root.has("runs") ||
+        root["harness"].str != "dfp-bench") {
+        err = "'" + path + "' is not a dfp-bench record";
+        return false;
+    }
+    doc.version = root["version"].str;
+    doc.suite = root["suite"].str;
+    doc.seed = static_cast<uint64_t>(root["seed"].number);
+    doc.jobs = static_cast<int>(root["jobs"].number);
+    doc.wallSeconds = root["wall_seconds"].number;
+    doc.simCycles = static_cast<uint64_t>(root["sim_cycles"].number);
+    doc.simCyclesPerSec = root["sim_cycles_per_sec"].number;
+    for (const minijson::Value &r : root["runs"].arr) {
+        BenchDoc::Run run;
+        run.workload = r["workload"].str;
+        run.config = r["config"].str;
+        run.cycles = static_cast<uint64_t>(r["cycles"].number);
+        run.insts = static_cast<uint64_t>(r["insts"].number);
+        doc.runs[r["label"].str] = run;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Regression comparison
+
+int
+compareDocs(const BenchDoc &baseline, const BenchDoc &current,
+            double thresholdPct, bool cycleCheck)
+{
+    int failures = 0;
+
+    if (baseline.suite != current.suite) {
+        std::fprintf(stderr,
+                     "dfp-bench: note: comparing suite '%s' against "
+                     "baseline suite '%s'\n",
+                     current.suite.c_str(), baseline.suite.c_str());
+    }
+
+    // Determinism gate: per-run simulated cycle counts are exact. Any
+    // drift means this change altered simulated behaviour — that may
+    // be intentional (then re-record the baseline), but it must never
+    // pass silently as "noise".
+    size_t compared = 0, drifted = 0, missing = 0;
+    for (const auto &[label, base] : baseline.runs) {
+        auto it = current.runs.find(label);
+        if (it == current.runs.end()) {
+            ++missing;
+            std::fprintf(stderr,
+                         "dfp-bench: MISSING  %s (in baseline, not in "
+                         "current record)\n",
+                         label.c_str());
+            continue;
+        }
+        ++compared;
+        if (cycleCheck && it->second.cycles != base.cycles) {
+            ++drifted;
+            double pct = base.cycles
+                             ? 100.0 * (double(it->second.cycles) -
+                                        double(base.cycles)) /
+                                   double(base.cycles)
+                             : 0.0;
+            std::fprintf(stderr,
+                         "dfp-bench: DRIFT    %s: cycles %llu -> %llu "
+                         "(%+.2f%%)\n",
+                         label.c_str(),
+                         (unsigned long long)base.cycles,
+                         (unsigned long long)it->second.cycles, pct);
+        }
+    }
+    if (missing || drifted)
+        ++failures;
+
+    // Throughput gate: host-dependent, hence the threshold.
+    double floor =
+        baseline.simCyclesPerSec * (1.0 - thresholdPct / 100.0);
+    bool slow = current.simCyclesPerSec < floor;
+    if (slow)
+        ++failures;
+    std::printf("compare: baseline %s (%s), current %s\n",
+                baseline.version.c_str(), baseline.suite.c_str(),
+                current.version.c_str());
+    std::printf("  cycle determinism: %zu runs compared, %zu drifted, "
+                "%zu missing%s\n",
+                compared, drifted, missing,
+                cycleCheck ? "" : " (drift not gated)");
+    std::printf("  throughput: %.3f Msimcycles/s vs baseline %.3f "
+                "(floor %.3f at -%g%%): %s\n",
+                current.simCyclesPerSec / 1e6,
+                baseline.simCyclesPerSec / 1e6, floor / 1e6,
+                thresholdPct, slow ? "REGRESSION" : "ok");
+    std::printf("compare: %s\n", failures ? "FAIL" : "PASS");
+    return failures ? 1 : 0;
+}
+
+std::string
+defaultOutName()
+{
+    std::string rev = versionString();
+    for (char &c : rev) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-')
+            c = '-';
+    }
+    return "BENCH_" + rev + ".json";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite = "all";
+    std::string outPath; // empty = default name
+    std::string comparePath, inPath;
+    double thresholdPct = 5.0;
+    bool cycleCheck = true;
+    bool listOnly = false;
+    uint64_t seed = 1;
+    int jobs = 0; // 0 = all hardware threads
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfp-bench: option '%s' needs a value\n\n",
+                             arg.c_str());
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string value;
+        if (eatValue("--suite", value)) suite = value;
+        else if (eatValue("--out", value)) outPath = value;
+        else if (eatValue("--compare", value)) comparePath = value;
+        else if (eatValue("--in", value)) inPath = value;
+        else if (eatValue("--jobs", value)) jobs = std::atoi(value.c_str());
+        else if (eatValue("--seed", value))
+            seed = std::strtoull(value.c_str(), nullptr, 0);
+        else if (eatValue("--threshold", value)) {
+            char *end = nullptr;
+            thresholdPct = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() ||
+                (*end != '\0' && std::strcmp(end, "%") != 0) ||
+                thresholdPct < 0.0) {
+                std::fprintf(stderr,
+                             "dfp-bench: --threshold must be a "
+                             "non-negative percentage, got '%s'\n\n",
+                             value.c_str());
+                return usage();
+            }
+        }
+        else if (arg == "--no-cycle-check") cycleCheck = false;
+        else if (arg == "--list") listOnly = true;
+        else if (arg == "--version") {
+            std::printf("dfp-bench %s\n", versionString());
+            return 0;
+        }
+        else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        }
+        else {
+            std::fprintf(stderr, "dfp-bench: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    try {
+        if (listOnly) {
+            for (const char *name :
+                 {"quick", "fig7", "ablations", "resilience", "all"}) {
+                std::vector<sim::BatchJob> jobsList;
+                buildSuite(name, seed, jobsList);
+                std::printf("%-11s %4zu runs\n", name, jobsList.size());
+            }
+            return 0;
+        }
+
+        BenchDoc current;
+        if (!inPath.empty()) {
+            std::string err;
+            if (!loadDoc(inPath, current, err))
+                return inputError("DFPC101", err);
+        } else {
+            std::vector<sim::BatchJob> jobsList;
+            if (!buildSuite(suite, seed, jobsList)) {
+                std::fprintf(stderr,
+                             "dfp-bench: unknown --suite '%s' (one of: "
+                             "quick fig7 ablations resilience all)\n\n",
+                             suite.c_str());
+                return usage();
+            }
+
+            if (jobs < 1)
+                jobs = ThreadPool::defaultThreads();
+            sim::BatchOptions opts;
+            opts.jobs = jobs;
+            opts.keepRunStats = false; // the record keeps summaries only
+            sim::BatchRunner runner(opts);
+            std::fprintf(stderr,
+                         "dfp-bench: suite '%s': %zu runs on %d "
+                         "job(s)...\n",
+                         suite.c_str(), jobsList.size(), jobs);
+            sim::BatchSummary batch = runner.run(jobsList);
+
+            size_t failed = 0;
+            for (const sim::BatchResult &r : batch.results) {
+                if (!r.ok) {
+                    ++failed;
+                    std::fprintf(stderr, "dfp-bench: FAILED  %s: %s\n",
+                                 r.label.c_str(), r.error.c_str());
+                }
+            }
+            std::printf("suite %s: %zu runs (%zu failed), %llu "
+                        "compiles, %llu cache hits, %.2fs wall, "
+                        "%.3f Msimcycles/s\n",
+                        suite.c_str(), batch.results.size(), failed,
+                        (unsigned long long)batch.compiles,
+                        (unsigned long long)batch.cacheHits,
+                        batch.wallSeconds,
+                        batch.simCyclesPerSecond() / 1e6);
+
+            if (outPath != "none") {
+                std::string path =
+                    outPath.empty() ? defaultOutName() : outPath;
+                std::ofstream fileOut;
+                std::ostream *os = &std::cout;
+                if (path != "-") {
+                    fileOut.open(path);
+                    if (!fileOut)
+                        dfp_fatal("cannot open '", path,
+                                  "' for writing");
+                    os = &fileOut;
+                }
+                writeRecord(*os, batch, suite, seed, jobs);
+                if (path != "-")
+                    std::fprintf(stderr,
+                                 "dfp-bench: wrote record to %s\n",
+                                 path.c_str());
+            }
+            if (failed)
+                return 1;
+            current = docFromSummary(batch, suite, seed, jobs);
+        }
+
+        if (comparePath.empty())
+            return 0;
+        BenchDoc baseline;
+        std::string err;
+        if (!loadDoc(comparePath, baseline, err))
+            return inputError("DFPC101", err);
+        return compareDocs(baseline, current, thresholdPct, cycleCheck);
+    } catch (...) {
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &err) {
+            what = err.what();
+        } catch (...) {
+        }
+        return inputError("DFPC105",
+                          detail::cat("unexpected error: ", what));
+    }
+}

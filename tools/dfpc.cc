@@ -19,12 +19,14 @@
 #include <sstream>
 
 #include "base/json.h"
+#include "base/threadpool.h"
 #include "base/version.h"
 #include "compiler/pipeline.h"
 #include "compiler/regalloc.h"
 #include "ir/printer.h"
 #include "isa/encode.h"
 #include "isa/exec.h"
+#include "sim/batch.h"
 #include "sim/fault.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
@@ -107,7 +109,16 @@ printHelp(std::FILE *out)
         "inputs:\n"
         "  <kernel.ir>        compile a file\n"
         "  --workload <name>  compile a built-in workload instead\n"
+        "  --all-workloads    simulate every built-in workload (the\n"
+        "                     batch engine; honors --jobs, -c and the\n"
+        "                     fault flags; see docs/PERFORMANCE.md)\n"
         "  --list-workloads   print every built-in workload and exit\n"
+        "\n"
+        "parallelism:\n"
+        "  --jobs <n>         worker threads for --all-workloads\n"
+        "                     (default 1; 0 = all hardware threads).\n"
+        "                     Per-run results are byte-identical at\n"
+        "                     any job count.\n"
         "\n"
         "actions:\n"
         "  --dump-ir          print hyperblock-form IR (paper "
@@ -242,11 +253,12 @@ main(int argc, char **argv)
     std::string workload;
     std::string traceFile, traceFormat = "chrome", statsJsonFile;
     std::string faultModelStr, faultRateStr, faultSeedStr, watchdogStr;
+    std::string jobsStr;
     int unroll = 1;
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
     bool runFunctional = false, runSim = false, stats = false;
-    bool verifyFlag = false;
+    bool verifyFlag = false, allWorkloads = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -301,6 +313,8 @@ main(int argc, char **argv)
         else if (eatValue("--fault-rate", faultRateStr)) {}
         else if (eatValue("--fault-seed", faultSeedStr)) {}
         else if (eatValue("--watchdog-cycles", watchdogStr)) {}
+        else if (eatValue("--jobs", jobsStr)) {}
+        else if (arg == "--all-workloads") allWorkloads = true;
         else if (eatValue("--workload", workload)) {}
         else if (arg == "--list-workloads") {
             for (const auto &w : workloads::eembcSuite())
@@ -358,6 +372,12 @@ main(int argc, char **argv)
                      "dfpc: note: --fault-model given with a zero "
                      "--fault-rate; no faults will be injected\n");
     }
+    int jobs = 1;
+    if (!jobsStr.empty()) {
+        jobs = std::atoi(jobsStr.c_str());
+        if (jobs < 1)
+            jobs = dfp::ThreadPool::defaultThreads();
+    }
     if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats &&
         !verifyFlag)
         runSim = true;
@@ -366,13 +386,124 @@ main(int argc, char **argv)
     if (!faultModelStr.empty() || !faultRateStr.empty() ||
         !faultSeedStr.empty() || !watchdogStr.empty())
         runSim = true; // fault knobs only make sense on the machine
-    if (file.empty() && workload.empty()) {
+    if (allWorkloads) {
+        if (!file.empty() || !workload.empty() || dumpIr || dumpBlocks ||
+            encode || runFunctional || verifyFlag || !traceFile.empty()) {
+            std::fprintf(stderr,
+                         "dfpc: --all-workloads batch-simulates every "
+                         "built-in workload; it cannot be combined "
+                         "with a file input, --workload, dump/encode/"
+                         "run/verify actions, or --trace\n\n");
+            return usage();
+        }
+    } else if (file.empty() && workload.empty()) {
         std::fprintf(stderr, "dfpc: no input (give a <kernel.ir> file "
                              "or --workload <name>)\n\n");
         return usage();
     }
 
     try {
+        if (allWorkloads) {
+            // Batch mode: every built-in workload under the chosen
+            // configuration, fanned across --jobs workers (see
+            // docs/PERFORMANCE.md for the engine's guarantees).
+            std::vector<const workloads::Workload *> all;
+            for (const auto &w : workloads::eembcSuite())
+                all.push_back(&w);
+            all.push_back(&workloads::genalg());
+            for (const auto &w : workloads::microSuite())
+                all.push_back(&w);
+
+            std::vector<sim::BatchJob> jobsList;
+            for (const workloads::Workload *w : all) {
+                sim::BatchJob job = sim::makeJob(*w, config);
+                if (unroll != 1)
+                    job.opts.unroll.factor = unroll;
+                job.opts.scalarOpts = scalarOpts;
+                job.opts.multicast = multicast;
+                job.opts.schedule = schedule;
+                job.sim.perBlockStats =
+                    stats || !statsJsonFile.empty();
+                job.sim.faults = faultCfg;
+                job.sim.watchdogCycles = watchdogCycles;
+                jobsList.push_back(std::move(job));
+            }
+
+            sim::BatchOptions batchOpts;
+            batchOpts.jobs = jobs;
+            sim::BatchRunner runner(batchOpts);
+            sim::BatchSummary batch = runner.run(jobsList);
+
+            FILE *sumOut = statsJsonFile == "-" ? stderr : stdout;
+            for (const sim::BatchResult &r : batch.results) {
+                std::fprintf(sumOut,
+                             "%-14s ok=%d cycles=%llu blocks=%llu "
+                             "IPC=%.2f mispredicts=%llu%s%s\n",
+                             r.workload.c_str(), r.ok,
+                             (unsigned long long)r.cycles,
+                             (unsigned long long)r.blocks, r.ipc(),
+                             (unsigned long long)r.mispredicts,
+                             r.error.empty() ? "" : " error=",
+                             r.error.c_str());
+            }
+            std::fprintf(sumOut,
+                         "batch: %zu workloads, config=%s, %d job(s), "
+                         "%llu compiles, %llu cache hits, %.2fs wall, "
+                         "%.3f Msimcycles/s%s\n",
+                         batch.results.size(), config.c_str(), jobs,
+                         (unsigned long long)batch.compiles,
+                         (unsigned long long)batch.cacheHits,
+                         batch.wallSeconds,
+                         batch.simCyclesPerSecond() / 1e6,
+                         batch.allOk ? "" : " [FAILURES]");
+            if (stats)
+                batch.merged.dump(std::cout, "  ");
+            if (!statsJsonFile.empty()) {
+                std::ofstream jsonFileOut;
+                std::ostream *jsonOut = &std::cout;
+                if (statsJsonFile != "-") {
+                    jsonFileOut.open(statsJsonFile);
+                    if (!jsonFileOut)
+                        dfp_fatal("cannot open '", statsJsonFile,
+                                  "' for writing");
+                    jsonOut = &jsonFileOut;
+                }
+                json::Writer w(*jsonOut);
+                w.beginObject();
+                w.key("version").value(versionString());
+                w.key("config").value(config);
+                w.key("jobs").value(jobs);
+                if (faultCfg.enabled()) {
+                    w.key("fault_model")
+                        .value(sim::faultModelName(faultCfg.model));
+                    w.key("fault_rate").value(faultCfg.rate);
+                    w.key("fault_seed").value(faultCfg.seed);
+                }
+                w.key("runs").beginArray();
+                for (const sim::BatchResult &r : batch.results) {
+                    w.beginObject();
+                    w.key("name").value(r.workload);
+                    w.key("ok").value(r.ok);
+                    w.key("cycles").value(r.cycles);
+                    w.key("blocks").value(r.blocks);
+                    w.key("insts").value(r.insts);
+                    w.key("mispredicts").value(r.mispredicts);
+                    w.key("flushed").value(r.flushed);
+                    w.endObject();
+                }
+                w.endArray();
+                w.key("total");
+                batch.merged.dumpJson(*jsonOut);
+                w.endObject();
+                *jsonOut << "\n";
+                if (statsJsonFile != "-")
+                    std::fprintf(stderr,
+                                 "dfpc: wrote stats JSON to %s\n",
+                                 statsJsonFile.c_str());
+            }
+            return batch.allOk ? 0 : 1;
+        }
+
         std::string source;
         isa::Memory initial;
         if (!workload.empty()) {
