@@ -1,0 +1,26 @@
+#include "analysis/cost_model.h"
+
+namespace dfp::analysis
+{
+
+CostModel
+CostModel::fromSim(const sim::SimConfig &cfg)
+{
+    CostModel cm;
+    cm.grid = cfg.grid;
+    cm.fetchLatency = cfg.fetchLatency;
+    cm.fetchWidth = cfg.fetchWidth;
+    cm.predictLatency = cfg.predictLatency;
+    cm.l1dHitLatency = cfg.l1dHitLatency;
+    cm.l1iHitLatency = cfg.l1iHitLatency;
+    cm.missLatency = cfg.missLatency;
+    cm.lineBytes = cfg.lineBytes;
+    // Fault injection and the watchdog can squash the entry block and
+    // refetch it into a warm I-cache; only the fault-free machine
+    // guarantees the cold first-fetch miss.
+    cm.coldEntryFetch =
+        !cfg.faults.enabled() && cfg.watchdogCycles == 0;
+    return cm;
+}
+
+} // namespace dfp::analysis

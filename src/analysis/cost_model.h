@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The static analyzer's timing model. Every latency here is either a
+ * shared constant from sim/timing_model.h or a copy of a SimConfig
+ * field, so the analyzer and the simulator price the machine
+ * identically by construction — a divergence is a bug, and
+ * `dfp-analyze --validate` cross-checks the two on every workload.
+ *
+ * Distances mirror sim/network.cc exactly: dimension-order (X then Y)
+ * mesh routing between execution tiles, one virtual register-tile node
+ * per column above row 0 (one extra link), and one data-tile node per
+ * row left of column 0 (one extra link).
+ */
+
+#ifndef DFP_ANALYSIS_COST_MODEL_H
+#define DFP_ANALYSIS_COST_MODEL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "isa/tblock.h"
+#include "sim/machine.h"
+#include "sim/network.h"
+#include "sim/timing_model.h"
+
+namespace dfp::analysis
+{
+
+/** Timing parameters the analyzer prices blocks with. */
+struct CostModel
+{
+    sim::Grid grid;
+    int fetchLatency = 8;
+    int fetchWidth = 16;
+    int predictLatency = 3;
+    int l1dHitLatency = 2;
+    int l1iHitLatency = 1;
+    int missLatency = 40;
+    int lineBytes = 64;
+
+    /**
+     * True when the simulated machine's first fetch deterministically
+     * misses the cold L1-I (the default). Fault injection and the
+     * progress watchdog can squash and refetch the entry block into a
+     * now-warm cache, so fromSim() clears this when either is armed.
+     */
+    bool coldEntryFetch = true;
+
+    /** Build a model priced identically to @p cfg. */
+    static CostModel fromSim(const sim::SimConfig &cfg);
+
+    /** Mesh distance between execution tiles, in links. */
+    int
+    tileDist(int a, int b) const
+    {
+        return std::abs(grid.rowOf(a) - grid.rowOf(b)) +
+               std::abs(grid.colOf(a) - grid.colOf(b));
+    }
+
+    /** Links between register @p reg 's register tile and @p tile
+     *  (either direction): one RT link plus the mesh path via row 0. */
+    int
+    regDist(int reg, int tile) const
+    {
+        return 1 + grid.rowOf(tile) +
+               std::abs(grid.colOf(tile) - grid.regCol(reg));
+    }
+
+    /** Links a read-queue passthrough to a write slot traverses:
+     *  RT link, then along row 0 to the write register's column (the
+     *  machine parks write tokens at that row-0 tile). */
+    int
+    readToWriteDist(int readReg, int writeReg) const
+    {
+        return 1 + std::abs(grid.regCol(readReg) - grid.regCol(writeReg));
+    }
+
+    /** Minimum round-trip links tile <-> any L1-D bank (achieved by
+     *  the bank on the tile's own row): down to column 0 and the DT
+     *  link, each way. */
+    int
+    minBankRoundTrip(int tile) const
+    {
+        return 2 * grid.colOf(tile) + 2;
+    }
+
+    /** Fetch-pipe occupancy of a block in cycles (sim/machine.cc
+     *  fetchMore: fetchWidth instruction words per cycle). */
+    uint64_t
+    fetchOccupancy(const isa::TBlock &block) const
+    {
+        uint64_t words = static_cast<uint64_t>(block.sizeBytes()) / 4;
+        return std::max<uint64_t>(1, (words + fetchWidth - 1) / fetchWidth);
+    }
+
+    /** Guaranteed-minimum L1 latencies (a hit is not cheaper than the
+     *  configured hit latency, a miss not cheaper than either). */
+    uint64_t
+    l1dFloor() const
+    {
+        return static_cast<uint64_t>(std::min(l1dHitLatency, missLatency));
+    }
+    uint64_t
+    l1iFloor() const
+    {
+        return static_cast<uint64_t>(std::min(l1iHitLatency, missLatency));
+    }
+
+    /** Execution tile of instruction @p idx under the block's placement
+     *  (round-robin default when the scheduler did not run). */
+    int
+    tileOf(const isa::TBlock &block, int idx) const
+    {
+        return !block.placement.empty()
+                   ? block.placement[idx]
+                   : idx % grid.tiles();
+    }
+};
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_COST_MODEL_H

@@ -1,0 +1,497 @@
+#include "analysis/critical_path.h"
+
+#include <algorithm>
+
+#include "isa/validate.h"
+#include "sim/timing_model.h"
+
+namespace dfp::analysis
+{
+
+namespace
+{
+
+using sim::timing::kCommitCycles;
+using sim::timing::kHopCycles;
+using sim::timing::kLoadPipeCycles;
+using sim::timing::kReadInjectCycles;
+using sim::timing::kWakeupToIssueCycles;
+
+/** A static producer of a token: a read-queue slot or an instruction. */
+struct ProdRef
+{
+    bool isRead = false;
+    int id = 0;
+};
+
+/** Per-instruction static producer sets, one per operand slot. */
+struct SlotProds
+{
+    std::vector<ProdRef> left, right, pred;
+};
+
+/**
+ * The earliest-event fixpoint solver. Instantiated twice per block:
+ * once with real network distances and once with every distance zero
+ * (the placement-independent floor).
+ */
+class Pricer
+{
+  public:
+    Pricer(const isa::TBlock &b, const CostModel &cm, bool useHops)
+        : b_(b), cm_(cm), hops_(useHops),
+          n_(static_cast<int>(b.insts.size()))
+    {
+        prods_.resize(n_);
+        writeProds_.resize(b.writes.size());
+        for (int r = 0; r < static_cast<int>(b.reads.size()); ++r) {
+            for (const isa::Target &t : b_.reads[r].targets)
+                addTarget({true, r}, t);
+        }
+        for (int i = 0; i < n_; ++i) {
+            for (const isa::Target &t : b_.insts[i].targets)
+                addTarget({false, i}, t);
+        }
+        solve();
+    }
+
+    /** Earliest issue cycle of instruction @p i (rel. fetch-done). */
+    uint64_t issueAt(int i) const { return t_[i]; }
+
+    /** Earliest predicate arrival; 0 for unpredicated instructions. */
+    uint64_t
+    predArrival(int i) const
+    {
+        if (!b_.insts[i].predicated())
+            return 0;
+        return slotMin(prods_[i].pred, i).first;
+    }
+
+    /** Earliest resolution of write slot @p w. */
+    uint64_t
+    writeBound(int w) const
+    {
+        uint64_t best = kNever;
+        for (const ProdRef &p : writeProds_[w])
+            best = std::min(best, arrivalToWrite(p, w));
+        return best;
+    }
+
+    /** Earliest resolution of store LSID @p lsid: the first token
+     *  (real or null) reaching any matching St's data slots. */
+    uint64_t
+    storeBound(int lsid) const
+    {
+        uint64_t best = kNever;
+        for (int i = 0; i < n_; ++i) {
+            const isa::TInst &inst = b_.insts[i];
+            if (inst.op != isa::Op::St || inst.lsid != lsid)
+                continue;
+            best = std::min(best, slotMin(prods_[i].left, i).first);
+            best = std::min(best, slotMin(prods_[i].right, i).first);
+        }
+        return best;
+    }
+
+    /** Earliest completing branch. */
+    uint64_t
+    branchBound() const
+    {
+        uint64_t best = kNever;
+        for (int i = 0; i < n_; ++i) {
+            if (b_.insts[i].op == isa::Op::Bro && t_[i] != kNever) {
+                best = std::min(
+                    best, t_[i] + sim::timing::opLatency(isa::Op::Bro));
+            }
+        }
+        return best;
+    }
+
+    // -- limiting-chain reconstruction (hop/latency decomposition) ----
+
+    struct Chain
+    {
+        uint64_t hopCycles = 0;
+        uint64_t latencyCycles = 0;
+        std::vector<int> insts; //!< producer-first instruction indices
+    };
+
+    /** Walk the limiting chain behind write slot @p w. */
+    Chain
+    writeChain(int w) const
+    {
+        Chain c;
+        uint64_t best = kNever;
+        ProdRef bestP;
+        for (const ProdRef &p : writeProds_[w]) {
+            uint64_t a = arrivalToWrite(p, w);
+            if (a < best) {
+                best = a;
+                bestP = p;
+            }
+        }
+        if (best == kNever)
+            return c;
+        if (bestP.isRead) {
+            c.hopCycles += hopCost(cm_.readToWriteDist(
+                b_.reads[bestP.id].reg, b_.writes[w].reg));
+            c.latencyCycles += kReadInjectCycles;
+            return c;
+        }
+        if (b_.insts[bestP.id].op != isa::Op::Switch) {
+            c.hopCycles += hopCost(
+                cm_.regDist(b_.writes[w].reg, tileOf(bestP.id)));
+        }
+        walkFrom(bestP.id, c);
+        return c;
+    }
+
+    /** Walk the limiting chain behind store LSID @p lsid. */
+    Chain
+    storeChain(int lsid) const
+    {
+        Chain c;
+        uint64_t best = kNever;
+        ProdRef bestP;
+        int bestConsumer = -1;
+        for (int i = 0; i < n_; ++i) {
+            const isa::TInst &inst = b_.insts[i];
+            if (inst.op != isa::Op::St || inst.lsid != lsid)
+                continue;
+            for (const std::vector<ProdRef> *slot :
+                 {&prods_[i].left, &prods_[i].right}) {
+                for (const ProdRef &p : *slot) {
+                    uint64_t a = arrivalToInst(p, i);
+                    if (a < best) {
+                        best = a;
+                        bestP = p;
+                        bestConsumer = i;
+                    }
+                }
+            }
+        }
+        if (best == kNever)
+            return c;
+        walkEdge(bestP, bestConsumer, c);
+        return c;
+    }
+
+    /** Walk the limiting chain behind the branch. */
+    Chain
+    branchChain() const
+    {
+        Chain c;
+        uint64_t best = kNever;
+        int bestI = -1;
+        for (int i = 0; i < n_; ++i) {
+            if (b_.insts[i].op == isa::Op::Bro && t_[i] != kNever) {
+                uint64_t done =
+                    t_[i] + sim::timing::opLatency(isa::Op::Bro);
+                if (done < best) {
+                    best = done;
+                    bestI = i;
+                }
+            }
+        }
+        if (bestI < 0)
+            return c;
+        walkFrom(bestI, c);
+        return c;
+    }
+
+  private:
+    void
+    addTarget(ProdRef p, const isa::Target &t)
+    {
+        if (t.slot == isa::Slot::WriteQ) {
+            writeProds_[t.index].push_back(p);
+            return;
+        }
+        SlotProds &sp = prods_[t.index];
+        (t.slot == isa::Slot::Left
+             ? sp.left
+             : t.slot == isa::Slot::Right ? sp.right : sp.pred)
+            .push_back(p);
+    }
+
+    int tileOf(int idx) const { return cm_.tileOf(b_, idx); }
+
+    uint64_t
+    hopCost(int links) const
+    {
+        return hops_ ? static_cast<uint64_t>(links) * kHopCycles : 0;
+    }
+
+    /** Token-departure time from producer @p j 's tile. Loads leave
+     *  only after the pipe, the bank round trip and the L1-D floor. */
+    uint64_t
+    outTime(int j) const
+    {
+        if (t_[j] == kNever)
+            return kNever;
+        const isa::TInst &inst = b_.insts[j];
+        if (inst.op == isa::Op::Ld) {
+            return t_[j] + kLoadPipeCycles +
+                   hopCost(cm_.minBankRoundTrip(tileOf(j))) +
+                   cm_.l1dFloor();
+        }
+        return t_[j] + sim::timing::opLatency(inst.op);
+    }
+
+    uint64_t
+    arrivalToInst(const ProdRef &p, int i) const
+    {
+        if (p.isRead) {
+            return kReadInjectCycles +
+                   hopCost(cm_.regDist(b_.reads[p.id].reg, tileOf(i)));
+        }
+        uint64_t out = outTime(p.id);
+        if (out == kNever)
+            return kNever;
+        return out + hopCost(cm_.tileDist(tileOf(p.id), tileOf(i)));
+    }
+
+    uint64_t
+    arrivalToWrite(const ProdRef &p, int w) const
+    {
+        if (p.isRead) {
+            return kReadInjectCycles +
+                   hopCost(cm_.readToWriteDist(b_.reads[p.id].reg,
+                                               b_.writes[w].reg));
+        }
+        uint64_t out = outTime(p.id);
+        if (out == kNever)
+            return kNever;
+        // A switch parks its token on its own tile (sim/machine.cc
+        // Op::Switch: deliver(tile, tile)); everything else routes to
+        // the write register's row-0 column and RT link.
+        if (b_.insts[p.id].op == isa::Op::Switch)
+            return out;
+        return out +
+               hopCost(cm_.regDist(b_.writes[w].reg, tileOf(p.id)));
+    }
+
+    /** (earliest arrival, producer) over one slot's producer set. */
+    std::pair<uint64_t, ProdRef>
+    slotMin(const std::vector<ProdRef> &slot, int i) const
+    {
+        uint64_t best = kNever;
+        ProdRef bestP;
+        for (const ProdRef &p : slot) {
+            uint64_t a = arrivalToInst(p, i);
+            if (a < best) {
+                best = a;
+                bestP = p;
+            }
+        }
+        return {best, bestP};
+    }
+
+    /**
+     * Descending fixpoint from "never": each round recomputes every
+     * instruction's earliest issue from the current estimates. Values
+     * only decrease, instructions on pure cycles stay at kNever (they
+     * can indeed never fire), and a DAG of firing depth d converges in
+     * d rounds, so n+1 rounds always suffice.
+     */
+    void
+    solve()
+    {
+        t_.assign(n_, kNever);
+        for (int round = 0; round <= n_; ++round) {
+            bool changed = false;
+            for (int i = 0; i < n_; ++i) {
+                uint64_t v = recompute(i);
+                if (v != t_[i]) {
+                    t_[i] = v;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+
+    uint64_t
+    recompute(int i) const
+    {
+        const isa::TInst &inst = b_.insts[i];
+        uint64_t latest = 0;
+        auto need = [&](const std::vector<ProdRef> &slot) -> bool {
+            uint64_t a = slotMin(slot, i).first;
+            if (a == kNever)
+                return false;
+            latest = std::max(latest, a);
+            return true;
+        };
+        if (inst.numSrcs() >= 1 && !need(prods_[i].left))
+            return kNever;
+        if (inst.numSrcs() >= 2 && !need(prods_[i].right))
+            return kNever;
+        if (inst.predicated() && !need(prods_[i].pred))
+            return kNever;
+        return latest + kWakeupToIssueCycles;
+    }
+
+    /** Decompose one producer->consumer edge, then keep walking. */
+    void
+    walkEdge(const ProdRef &p, int consumer, Chain &c) const
+    {
+        if (p.isRead) {
+            c.hopCycles += hopCost(
+                cm_.regDist(b_.reads[p.id].reg, tileOf(consumer)));
+            c.latencyCycles += kReadInjectCycles;
+            return;
+        }
+        c.hopCycles +=
+            hopCost(cm_.tileDist(tileOf(p.id), tileOf(consumer)));
+        walkFrom(p.id, c);
+    }
+
+    /** Accumulate instruction @p i 's own cost and its limiting input
+     *  chain. Arrival times strictly increase along edges, so the walk
+     *  terminates; the cap is sheer paranoia. */
+    void
+    walkFrom(int i, Chain &c) const
+    {
+        for (int steps = 0; steps <= n_ && i >= 0; ++steps) {
+            c.insts.push_back(i);
+            const isa::TInst &inst = b_.insts[i];
+            if (inst.op == isa::Op::Ld) {
+                c.hopCycles += hopCost(cm_.minBankRoundTrip(tileOf(i)));
+                c.latencyCycles += kLoadPipeCycles + cm_.l1dFloor();
+            } else {
+                c.latencyCycles += sim::timing::opLatency(inst.op);
+            }
+            c.latencyCycles += kWakeupToIssueCycles;
+
+            // Find the limiting slot and its earliest producer.
+            uint64_t latest = 0;
+            const std::vector<ProdRef> *limiting = nullptr;
+            ProdRef bestP;
+            auto consider = [&](const std::vector<ProdRef> &slot,
+                                bool required) {
+                if (!required)
+                    return;
+                auto [a, p] = slotMin(slot, i);
+                if (a != kNever && a >= latest) {
+                    latest = a;
+                    limiting = &slot;
+                    bestP = p;
+                }
+            };
+            consider(prods_[i].left, inst.numSrcs() >= 1);
+            consider(prods_[i].right, inst.numSrcs() >= 2);
+            consider(prods_[i].pred, inst.predicated());
+            if (!limiting)
+                return; // source instruction (no required inputs)
+            if (bestP.isRead) {
+                c.hopCycles += hopCost(
+                    cm_.regDist(b_.reads[bestP.id].reg, tileOf(i)));
+                c.latencyCycles += kReadInjectCycles;
+                return;
+            }
+            c.hopCycles +=
+                hopCost(cm_.tileDist(tileOf(bestP.id), tileOf(i)));
+            i = bestP.id;
+        }
+    }
+
+    const isa::TBlock &b_;
+    const CostModel &cm_;
+    bool hops_;
+    int n_;
+    std::vector<SlotProds> prods_;
+    std::vector<std::vector<ProdRef>> writeProds_;
+    std::vector<uint64_t> t_;
+};
+
+} // namespace
+
+BlockCost
+blockCost(const isa::TBlock &block, const CostModel &cm)
+{
+    BlockCost out;
+    verify::DiagList structural;
+    isa::validateBlock(block, structural);
+    if (structural.hasErrors())
+        return out;
+    out.valid = true;
+
+    Pricer priced(block, cm, /*useHops=*/true);
+    Pricer floor(block, cm, /*useHops=*/false);
+
+    int n = static_cast<int>(block.insts.size());
+    out.issueTime.resize(n);
+    out.predArrival.resize(n);
+    for (int i = 0; i < n; ++i) {
+        out.issueTime[i] = priced.issueAt(i);
+        out.predArrival[i] = priced.predArrival(i);
+    }
+
+    // The block's last required output, under both pricings.
+    enum class Kind { Write, Store, Branch };
+    Kind kind = Kind::Branch;
+    int kindIdx = -1;
+    auto fold = [](uint64_t &acc, uint64_t v) {
+        if (v != kNever)
+            acc = std::max(acc, v);
+    };
+    uint64_t crit = 0, zero = 0;
+    for (int w = 0; w < static_cast<int>(block.writes.size()); ++w) {
+        uint64_t v = priced.writeBound(w);
+        if (v != kNever && v > crit) {
+            crit = v;
+            kind = Kind::Write;
+            kindIdx = w;
+        }
+        fold(zero, floor.writeBound(w));
+    }
+    for (int lsid = 0; lsid < isa::kMaxLsids; ++lsid) {
+        if (!(block.storeMask & (1u << lsid)))
+            continue;
+        uint64_t v = priced.storeBound(lsid);
+        if (v != kNever && v > crit) {
+            crit = v;
+            kind = Kind::Store;
+            kindIdx = lsid;
+        }
+        fold(zero, floor.storeBound(lsid));
+    }
+    {
+        uint64_t v = priced.branchBound();
+        if (v != kNever && v > crit) {
+            crit = v;
+            kind = Kind::Branch;
+            kindIdx = -1;
+        }
+        fold(zero, floor.branchBound());
+    }
+    out.critPath = crit;
+    out.zeroHopCritPath = zero;
+
+    Pricer::Chain chain;
+    switch (kind) {
+      case Kind::Write:
+        if (kindIdx >= 0) {
+            chain = priced.writeChain(kindIdx);
+            out.limitingOutput =
+                "write g" + std::to_string(block.writes[kindIdx].reg);
+        }
+        break;
+      case Kind::Store:
+        chain = priced.storeChain(kindIdx);
+        out.limitingOutput = "store lsid " + std::to_string(kindIdx);
+        break;
+      case Kind::Branch:
+        chain = priced.branchChain();
+        out.limitingOutput = "branch";
+        break;
+    }
+    out.hopCycles = chain.hopCycles;
+    out.latencyCycles = chain.latencyCycles;
+    out.critChain.assign(chain.insts.rbegin(), chain.insts.rend());
+    return out;
+}
+
+} // namespace dfp::analysis

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Static dataflow critical path of one scheduled TBlock: a provable
+ * lower bound on the cycles between the block's fetch completing and
+ * its last required output (register writes, masked store LSIDs, the
+ * branch) resolving, priced with the simulator's own latencies
+ * (sim/timing_model.h via analysis/cost_model.h).
+ *
+ * The recursion is path-INsensitive and therefore sound: an
+ * instruction's earliest issue takes the max over its *required*
+ * operand slots of the min over each slot's *static* producers. Every
+ * dynamic schedule — whichever predicate path executes, wherever
+ * contention stalls messages — can only be later than this bound,
+ * because contention, L1 misses, issue-port conflicts, deferred loads
+ * and refetches all strictly delay events, and the min/max structure
+ * under-approximates every firing the machine could choose.
+ *
+ * Output rules mirror sim/machine.cc:
+ *  - a write slot resolves when ANY producer's token arrives at its
+ *    row-0 parking tile (min over producers; read passthroughs skip
+ *    the target register's RT link; a switch parks on its own tile);
+ *  - a masked store LSID resolves no earlier than the first token
+ *    (real or null) reaching any of its St instructions' data slots
+ *    (the null fast path resolves at arrival, a firing store later);
+ *  - the branch resolves when the earliest Bro could complete.
+ */
+
+#ifndef DFP_ANALYSIS_CRITICAL_PATH_H
+#define DFP_ANALYSIS_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "isa/tblock.h"
+
+namespace dfp::analysis
+{
+
+/** Sentinel for "cannot happen" (statically unreachable firing). */
+constexpr uint64_t kNever = ~uint64_t{0};
+
+/** Static cost of one block. */
+struct BlockCost
+{
+    bool valid = false; //!< false: block failed structural validation
+
+    /** Cycles from fetch-done to the last required output (rel.). */
+    uint64_t critPath = 0;
+
+    /** The same bound with every network distance priced at zero —
+     *  the placement-independent floor. critPath - zeroHopCritPath is
+     *  the latency the spatial schedule itself adds. */
+    uint64_t zeroHopCritPath = 0;
+
+    /** Decomposition of critPath along the limiting chain. */
+    uint64_t hopCycles = 0;     //!< operand-network link traversals
+    uint64_t latencyCycles = 0; //!< ALU/cache/issue/commit latencies
+
+    /** Which output the bound is limited by: "write g<n>",
+     *  "store lsid <n>", or "branch". */
+    std::string limitingOutput;
+
+    /** Instruction indices along the limiting chain, producer first.
+     *  A chain starting at a read-queue passthrough may be empty. */
+    std::vector<int> critChain;
+
+    /** Per-instruction earliest issue cycle (rel. fetch-done);
+     *  kNever = the instruction can never fire. */
+    std::vector<uint64_t> issueTime;
+
+    /** Per-instruction earliest predicate arrival (rel. fetch-done);
+     *  0 for unpredicated instructions, kNever = unreachable. */
+    std::vector<uint64_t> predArrival;
+};
+
+/** Price @p block under @p cm. */
+BlockCost blockCost(const isa::TBlock &block, const CostModel &cm);
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_CRITICAL_PATH_H

@@ -1,0 +1,150 @@
+#include "analysis/predicates.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dfp::analysis
+{
+
+namespace
+{
+
+/**
+ * Follow one test instruction's value through Mov/Mov4 relays,
+ * counting how many predicate slots it reaches and through how many
+ * relay levels. Depth-bounded by the instruction count (the validator
+ * rejects dataflow cycles, but stay safe on unvalidated input).
+ */
+void
+traceFanout(const isa::TBlock &b, int idx, int depth, int limit,
+            int &fanout, int &maxDepth)
+{
+    if (depth > limit)
+        return;
+    for (const isa::Target &t : b.insts[idx].targets) {
+        if (t.slot == isa::Slot::WriteQ)
+            continue;
+        if (t.slot == isa::Slot::Pred) {
+            ++fanout;
+            maxDepth = std::max(maxDepth, depth);
+            continue;
+        }
+        const isa::TInst &next = b.insts[t.index];
+        if (next.op == isa::Op::Mov || next.op == isa::Op::Mov4)
+            traceFanout(b, t.index, depth + 1, limit, fanout, maxDepth);
+    }
+}
+
+/** Minimal relay depth to reach @p fanout predicate consumers when a
+ *  producer has @p rootWidth targets and each relay @p relayWidth. */
+int
+idealDepth(int fanout, int rootWidth, int relayWidth)
+{
+    int depth = 0;
+    long capacity = rootWidth;
+    while (capacity < fanout && depth < 64) {
+        capacity *= relayWidth;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace
+
+PredicateReport
+analyzePredicates(const isa::TBlock &block, const BlockCost &cost,
+                  const verify::VerifyOptions &vo, bool enumerate)
+{
+    PredicateReport rep;
+    int n = static_cast<int>(block.insts.size());
+
+    for (int i = 0; i < n; ++i) {
+        if (!block.insts[i].predicated())
+            continue;
+        ++rep.predicatedInsts;
+        if (i < static_cast<int>(cost.predArrival.size()) &&
+            cost.predArrival[i] != kNever) {
+            rep.predHeight =
+                std::max(rep.predHeight, cost.predArrival[i]);
+        }
+    }
+
+    // Fanout trees: movs whose value feeds at least one predicate slot.
+    bool hasMov4 = false;
+    for (const isa::TInst &inst : block.insts)
+        hasMov4 |= inst.op == isa::Op::Mov4;
+    rep.multicast = hasMov4;
+    std::vector<char> feedsPred(n, 0);
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (int i = 0; i < n; ++i) {
+            if (feedsPred[i])
+                continue;
+            for (const isa::Target &t : block.insts[i].targets) {
+                bool feeds =
+                    t.slot == isa::Slot::Pred ||
+                    (t.slot != isa::Slot::WriteQ && feedsPred[t.index] &&
+                     (block.insts[t.index].op == isa::Op::Mov ||
+                      block.insts[t.index].op == isa::Op::Mov4));
+                if (feeds) {
+                    feedsPred[i] = 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        const isa::TInst &inst = block.insts[i];
+        if ((inst.op == isa::Op::Mov || inst.op == isa::Op::Mov4) &&
+            feedsPred[i])
+            ++rep.fanoutMovs;
+        if (!isa::isTestOp(inst.op))
+            continue;
+        int fanout = 0, depth = 0;
+        traceFanout(block, i, 0, n, fanout, depth);
+        if (fanout == 0)
+            continue;
+        if (depth > rep.maxFanoutDepth ||
+            (depth == rep.maxFanoutDepth && fanout > rep.worstFanout)) {
+            rep.maxFanoutDepth = depth;
+            rep.worstFanout = fanout;
+            rep.idealFanoutDepth =
+                idealDepth(fanout, block.insts[i].maxTargets(),
+                           hasMov4 ? 4 : 2);
+        }
+    }
+
+    if (!enumerate)
+        return rep;
+    verify::PathEnumeration pe = verify::enumeratePaths(block, vo);
+    if (pe.paths.empty())
+        return rep;
+    rep.enumerated = true;
+    rep.exhaustive = pe.exhaustive;
+    rep.pathVariables = pe.variables;
+    rep.paths = pe.paths.size();
+    double sumNull = 0, sumDepth = 0;
+    for (const verify::PathProfile &p : pe.paths) {
+        uint64_t nullified = 0, depth = 0;
+        for (int i = 0; i < n && i < static_cast<int>(p.fired.size());
+             ++i) {
+            if (p.fired[i])
+                continue;
+            ++nullified;
+            if (block.insts[i].predicated() &&
+                i < static_cast<int>(cost.predArrival.size()) &&
+                cost.predArrival[i] != kNever)
+                depth = std::max(depth, cost.predArrival[i]);
+        }
+        sumNull += static_cast<double>(nullified);
+        sumDepth += static_cast<double>(depth);
+        rep.maxNullified = std::max(rep.maxNullified, nullified);
+        rep.maxTermDepth = std::max(rep.maxTermDepth, depth);
+    }
+    rep.meanNullified = sumNull / static_cast<double>(rep.paths);
+    rep.meanTermDepth = sumDepth / static_cast<double>(rep.paths);
+    return rep;
+}
+
+} // namespace dfp::analysis

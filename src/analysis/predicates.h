@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static predicate-structure analysis of one block: how high the
+ * predicate dependence chain is (when the latest predicate could
+ * arrive), how deep the compiler's mov fanout trees are against the
+ * minimal tree for the same fanout (§5.1 is precisely about shrinking
+ * these), and — reusing the verifier's path enumeration — how deep
+ * into the block each predicate path keeps executing before early
+ * termination (§4.3) could cut it off.
+ */
+
+#ifndef DFP_ANALYSIS_PREDICATES_H
+#define DFP_ANALYSIS_PREDICATES_H
+
+#include <cstdint>
+
+#include "analysis/critical_path.h"
+#include "isa/tblock.h"
+#include "verify/block_verify.h"
+
+namespace dfp::analysis
+{
+
+/** Predicate-structure report for one block. */
+struct PredicateReport
+{
+    int predicatedInsts = 0;
+
+    /** Max over predicated instructions of the earliest cycle their
+     *  predicate can arrive (rel. fetch-done): the height of the
+     *  predicate dependence chain. */
+    uint64_t predHeight = 0;
+
+    /** Deepest mov relay chain between a test instruction and a
+     *  predicate slot it feeds (0 = tests feed predicates directly). */
+    int maxFanoutDepth = 0;
+
+    /** Minimal relay depth a tree with the same branching factor
+     *  needs for the worst test's predicate fanout. */
+    int idealFanoutDepth = 0;
+
+    /** Predicate consumers fed by the worst (deepest-tree) test. */
+    int worstFanout = 0;
+
+    /** Mov/Mov4 instructions relaying predicate values. */
+    int fanoutMovs = 0;
+
+    /** Block uses Mov4 multicast trees. Only then is the ideal-depth
+     *  comparison actionable: without --multicast the compiler's
+     *  canonical fanout form is a linear mov chain, and flagging it
+     *  (DFPA402) would mark every predicate-heavy block. */
+    bool multicast = false;
+
+    // -- per-path profile (verify::enumeratePaths) --------------------
+    bool enumerated = false; //!< paths below were actually enumerated
+    bool exhaustive = true;  //!< every assignment visited (else sampled)
+    int pathVariables = 0;
+    uint64_t paths = 0;
+
+    /** Instructions nullified (never fire) per path. */
+    double meanNullified = 0;
+    uint64_t maxNullified = 0;
+
+    /** Early-termination depth per path: the latest predicate arrival
+     *  among that path's nullified instructions — how long the block
+     *  keeps a mispredicated instruction pending before §4.3 could
+     *  retire past it. */
+    double meanTermDepth = 0;
+    uint64_t maxTermDepth = 0;
+};
+
+/**
+ * Analyze @p block. @p cost must be the blockCost() result for the
+ * same block (its predArrival feeds the height/termination metrics).
+ * When @p enumerate is false the per-path section is skipped (cheap
+ * mode for very large sweeps).
+ */
+PredicateReport analyzePredicates(const isa::TBlock &block,
+                                  const BlockCost &cost,
+                                  const verify::VerifyOptions &vo,
+                                  bool enumerate = true);
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_PREDICATES_H

@@ -1,0 +1,98 @@
+#include "analysis/predict.h"
+
+#include <algorithm>
+
+#include "analysis/critical_path.h"
+#include "base/logging.h"
+#include "sim/timing_model.h"
+
+namespace dfp::analysis
+{
+
+Prediction
+predictCycles(const isa::TProgram &program, isa::ArchState &state,
+              const CostModel &cm, uint64_t maxBlocks)
+{
+    Prediction out;
+    if (program.blocks.empty()) {
+        out.error = "empty program";
+        return out;
+    }
+
+    // Per-block static facts, computed once per distinct block.
+    size_t nblocks = program.blocks.size();
+    std::vector<uint64_t> crit(nblocks, kNever);
+    std::vector<uint64_t> occ(nblocks);
+    auto critOf = [&](int idx) {
+        if (crit[idx] == kNever) {
+            BlockCost bc = blockCost(program.blocks[idx], cm);
+            crit[idx] = bc.valid ? bc.critPath : 0;
+            occ[idx] = cm.fetchOccupancy(program.blocks[idx]);
+        }
+        return crit[idx];
+    };
+
+    // Functional committed-block trace.
+    std::vector<int32_t> trace;
+    int32_t cur = 0;
+    while (out.blocks < maxBlocks) {
+        if (cur < 0 || cur >= static_cast<int32_t>(nblocks)) {
+            out.error = detail::cat("branch to invalid block ", cur);
+            return out;
+        }
+        isa::BlockOutcome bo =
+            isa::executeBlock(program.blocks[cur], state);
+        if (!bo.ok) {
+            out.error = bo.error;
+            return out;
+        }
+        trace.push_back(cur);
+        ++out.blocks;
+        if (bo.nextBlock == isa::kHaltTarget) {
+            out.ok = true;
+            break;
+        }
+        cur = bo.nextBlock;
+    }
+    if (!out.ok) {
+        out.error = detail::cat("no halt within ", maxBlocks,
+                                " blocks");
+        return out;
+    }
+
+    // The entry block's first fetch misses a cold I-cache — unless the
+    // entry block can be squashed and refetched warm, which (faults and
+    // watchdog aside, see CostModel::coldEntryFetch) only an intra-
+    // block load-store dependence violation can cause. Claim the miss
+    // only when the entry block provably cannot raise one.
+    const isa::TBlock &entry = program.blocks[trace.front()];
+    bool entryHasLoad = false;
+    for (const isa::TInst &inst : entry.insts)
+        entryHasLoad |= inst.op == isa::Op::Ld;
+    bool coldMiss = cm.coldEntryFetch &&
+                    (!entryHasLoad || entry.storeMask == 0);
+
+    uint64_t n = static_cast<uint64_t>(trace.size());
+    uint64_t chain = 0, best = 0;
+    for (uint64_t k = 0; k < n; ++k) {
+        int idx = trace[k];
+        uint64_t critRel = critOf(idx);
+        chain += occ[idx] + static_cast<uint64_t>(cm.predictLatency);
+        uint64_t l1i = (k == 0 && coldMiss)
+                           ? static_cast<uint64_t>(cm.missLatency)
+                           : cm.l1iFloor();
+        uint64_t commitLB = chain +
+                            static_cast<uint64_t>(cm.fetchLatency) +
+                            l1i + critRel +
+                            sim::timing::kCommitCycles + (n - 1 - k);
+        if (commitLB > best) {
+            best = commitLB;
+            out.limitingPosition = k;
+            out.limitingBlock = idx;
+        }
+    }
+    out.predictedCycles = best;
+    return out;
+}
+
+} // namespace dfp::analysis

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Whole-workload cycle prediction: a provable lower bound on
+ * sim::simulate()'s cycle count for a program, built from the
+ * functional executor's committed-block trace and each block's static
+ * critical path. `dfp-analyze --validate` checks the bound against the
+ * real simulator on every (workload, configuration) pair; a violation
+ * means the analyzer's cost model and the machine have diverged.
+ *
+ * The bound: the machine fetches blocks through one fetch pipe whose
+ * start-to-start spacing is at least the block's pipe occupancy plus
+ * the predictor latency (sim/machine.cc fetchMore keeps lastFetchStart
+ * monotone over ALL fetches, wrong-path ones included, and the
+ * committed blocks are an ordered subsequence of the fetches). Block k
+ * of the N committed blocks therefore finishes fetching no earlier
+ * than
+ *
+ *     sum_{i<=k} (occupancy_i + predictLatency) + fetchLatency + L1I_k
+ *
+ * where L1I_k is the I-cache floor (the entry block's first fetch
+ * deterministically misses a cold cache when CostModel::coldEntryFetch
+ * holds). Its outputs then need at least its static critical path, its
+ * commit another cycle, and the N-k commits after it one strictly
+ * increasing cycle each. The final cycle count is at least the max of
+ * this over every trace position k.
+ */
+
+#ifndef DFP_ANALYSIS_PREDICT_H
+#define DFP_ANALYSIS_PREDICT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "isa/exec.h"
+#include "isa/tblock.h"
+
+namespace dfp::analysis
+{
+
+/** Workload-level prediction. */
+struct Prediction
+{
+    bool ok = false; //!< functional execution reached a clean halt
+
+    /** Lower bound on sim::simulate() cycles for the same initial
+     *  architectural state. Meaningless unless ok. */
+    uint64_t predictedCycles = 0;
+
+    /** Committed (functional) dynamic block count. */
+    uint64_t blocks = 0;
+
+    /** Trace position whose bound term was the max ("the block the
+     *  prediction pivots on") and its block index. */
+    uint64_t limitingPosition = 0;
+    int limitingBlock = 0;
+
+    std::string error; //!< non-empty when !ok
+};
+
+/**
+ * Predict @p program 's simulated cycles from @p state (consumed: the
+ * functional executor runs in it). Pass the same initial state the
+ * simulator will get. @p maxBlocks bounds the functional run.
+ */
+Prediction predictCycles(const isa::TProgram &program,
+                         isa::ArchState &state, const CostModel &cm,
+                         uint64_t maxBlocks = 1u << 22);
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_PREDICT_H

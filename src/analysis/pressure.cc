@@ -1,0 +1,175 @@
+#include "analysis/pressure.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dfp::analysis
+{
+
+namespace
+{
+
+/**
+ * Static link-traffic accumulator mirroring OperandNetwork's node
+ * numbering: execution tiles, then one register-tile node per column,
+ * then one data-tile node per row.
+ */
+class LinkCounter
+{
+  public:
+    explicit LinkCounter(const CostModel &cm) : cm_(cm) {}
+
+    int regNode(int col) const { return cm_.grid.tiles() + col; }
+    int
+    bankNode(int row) const
+    {
+        return cm_.grid.tiles() + cm_.grid.cols + row;
+    }
+
+    /** Dimension-order (X then Y) mesh walk, as network.cc meshPath. */
+    void
+    mesh(int fromTile, int toTile)
+    {
+        int r = cm_.grid.rowOf(fromTile), c = cm_.grid.colOf(fromTile);
+        int tr = cm_.grid.rowOf(toTile), tc = cm_.grid.colOf(toTile);
+        int at = fromTile;
+        while (c != tc) {
+            c += (tc > c) ? 1 : -1;
+            int next = r * cm_.grid.cols + c;
+            link(at, next);
+            at = next;
+        }
+        while (r != tr) {
+            r += (tr > r) ? 1 : -1;
+            int next = r * cm_.grid.cols + c;
+            link(at, next);
+            at = next;
+        }
+    }
+
+    void
+    link(int from, int to)
+    {
+        ++counts_[{from, to}];
+        ++hops_;
+    }
+
+    void message() { ++messages_; }
+
+    uint64_t messages() const { return messages_; }
+    uint64_t hops() const { return hops_; }
+
+    void
+    busiest(uint64_t &load, std::string &name, double &mean) const
+    {
+        load = 0;
+        mean = 0;
+        std::pair<int, int> argmax{-1, -1};
+        for (const auto &[lk, n] : counts_) {
+            mean += static_cast<double>(n);
+            if (n > load) {
+                load = n;
+                argmax = lk;
+            }
+        }
+        if (!counts_.empty())
+            mean /= static_cast<double>(counts_.size());
+        if (argmax.first >= 0)
+            name = nodeName(argmax.first) + "->" + nodeName(argmax.second);
+    }
+
+  private:
+    std::string
+    nodeName(int node) const
+    {
+        int tiles = cm_.grid.tiles();
+        if (node < tiles) {
+            return "E" + std::to_string(cm_.grid.rowOf(node)) +
+                   std::to_string(cm_.grid.colOf(node));
+        }
+        if (node < tiles + cm_.grid.cols)
+            return "R" + std::to_string(node - tiles);
+        return "D" + std::to_string(node - tiles - cm_.grid.cols);
+    }
+
+    const CostModel &cm_;
+    std::map<std::pair<int, int>, uint64_t> counts_;
+    uint64_t messages_ = 0;
+    uint64_t hops_ = 0;
+};
+
+} // namespace
+
+PressureReport
+analyzePressure(const isa::TBlock &block, const CostModel &cm)
+{
+    PressureReport rep;
+    int tiles = cm.grid.tiles();
+    rep.tileLoad.assign(tiles, 0);
+    rep.tileCapacity = (isa::kMaxInsts + tiles - 1) / tiles;
+
+    int n = static_cast<int>(block.insts.size());
+    for (int i = 0; i < n; ++i)
+        ++rep.tileLoad[cm.tileOf(block, i)];
+    for (int load : rep.tileLoad)
+        rep.maxTileLoad = std::max(rep.maxTileLoad, load);
+
+    LinkCounter lc(cm);
+    auto row0Tile = [&](int col) { return 0 * cm.grid.cols + col; };
+
+    // Read-queue injections: RT link, then the mesh to each consumer
+    // (write-slot passthroughs park at the write register's column).
+    for (const isa::ReadSlot &read : block.reads) {
+        int col = cm.grid.regCol(read.reg);
+        for (const isa::Target &t : read.targets) {
+            int dest = t.slot == isa::Slot::WriteQ
+                           ? row0Tile(cm.grid.regCol(
+                                 block.writes[t.index].reg))
+                           : cm.tileOf(block, t.index);
+            lc.message();
+            lc.link(lc.regNode(col), row0Tile(col));
+            lc.mesh(row0Tile(col), dest);
+        }
+    }
+
+    for (int i = 0; i < n; ++i) {
+        const isa::TInst &inst = block.insts[i];
+        int tile = cm.tileOf(block, i);
+        for (const isa::Target &t : inst.targets) {
+            lc.message();
+            if (t.slot == isa::Slot::WriteQ) {
+                // A switch parks the token on its own tile; everything
+                // else routes to the write register's RT.
+                if (inst.op == isa::Op::Switch)
+                    continue;
+                int col = cm.grid.regCol(block.writes[t.index].reg);
+                lc.mesh(tile, row0Tile(col));
+                lc.link(row0Tile(col), lc.regNode(col));
+            } else {
+                lc.mesh(tile, cm.tileOf(block, t.index));
+            }
+        }
+        // Memory traffic, attributed to the tile's own-row bank.
+        int bankRow = cm.grid.rowOf(tile);
+        int bankTile = bankRow * cm.grid.cols + 0;
+        if (inst.op == isa::Op::Ld) {
+            lc.message();
+            lc.mesh(tile, bankTile);
+            lc.link(bankTile, lc.bankNode(bankRow));
+            lc.message();
+            lc.link(lc.bankNode(bankRow), bankTile);
+            lc.mesh(bankTile, tile);
+        } else if (inst.op == isa::Op::St) {
+            lc.message();
+            lc.mesh(tile, bankTile);
+            lc.link(bankTile, lc.bankNode(bankRow));
+        }
+    }
+
+    rep.messages = lc.messages();
+    rep.totalHops = lc.hops();
+    lc.busiest(rep.maxLinkLoad, rep.maxLinkName, rep.meanLinkLoad);
+    return rep;
+}
+
+} // namespace dfp::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Static resource-pressure analysis of one scheduled block: execution
+ * tile occupancy against the reservation-station capacity the fetch
+ * protocol reserves (GridShape::slotsPerTile), and a static per-link
+ * traffic upper bound over the operand network, counting every message
+ * the block could send along the simulator's own dimension-order
+ * routes (sim/network.cc). Since each link moves one operand per
+ * cycle, a link whose static message count exceeds the block's
+ * critical path cannot hide its serialization — the DFPA403 signal.
+ */
+
+#ifndef DFP_ANALYSIS_PRESSURE_H
+#define DFP_ANALYSIS_PRESSURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "isa/tblock.h"
+
+namespace dfp::analysis
+{
+
+/** Resource-pressure report for one block. */
+struct PressureReport
+{
+    /** Instructions placed on each execution tile. */
+    std::vector<int> tileLoad;
+    int maxTileLoad = 0;
+
+    /** Reservation-station slots per tile the block format reserves
+     *  (ceil(128 / tiles), mirrors GridShape::slotsPerTile). */
+    int tileCapacity = 0;
+
+    /** Static message and link-traversal totals, all senders firing. */
+    uint64_t messages = 0;
+    uint64_t totalHops = 0;
+
+    /** The single busiest link and its static message count. Memory
+     *  traffic is attributed to each tile's own-row bank (the nearest;
+     *  real banks are address-dependent, so this is representative,
+     *  not exact). */
+    uint64_t maxLinkLoad = 0;
+    std::string maxLinkName;
+    double meanLinkLoad = 0;
+};
+
+/** Count @p block 's static traffic under @p cm. */
+PressureReport analyzePressure(const isa::TBlock &block,
+                               const CostModel &cm);
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_PRESSURE_H

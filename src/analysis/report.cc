@@ -1,0 +1,256 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "base/json.h"
+#include "base/logging.h"
+
+namespace dfp::analysis
+{
+
+namespace
+{
+
+void
+emitDfpa(const AnalyzeOptions &opts, const BlockReport &br,
+         verify::DiagList &diags)
+{
+    const BlockCost &c = br.cost;
+    if (!c.valid || !opts.warnings)
+        return;
+
+    if (c.critPath > 0 &&
+        c.hopCycles >= opts.hopInflationMinCycles &&
+        static_cast<double>(c.hopCycles) >=
+            opts.hopInflationRatio * static_cast<double>(c.critPath)) {
+        diags.warning(
+            verify::codes::HopInflation, {br.label, -1},
+            detail::cat("operand-network hops contribute ", c.hopCycles,
+                        " of the ", c.critPath,
+                        "-cycle critical path (limiting output: ",
+                        c.limitingOutput,
+                        "); placement, not computation, bounds this "
+                        "block"));
+    }
+
+    // Without Mov4 multicast the compiler's fanout form is a linear
+    // mov chain by construction; depth-vs-ideal is only a regression
+    // signal when the multicast fanout pass actually ran.
+    if (br.pred.multicast &&
+        br.pred.maxFanoutDepth >
+            br.pred.idealFanoutDepth + opts.fanoutDepthSlack) {
+        diags.warning(
+            verify::codes::DeepPredFanout, {br.label, -1},
+            detail::cat("predicate fanout tree is ",
+                        br.pred.maxFanoutDepth, " mov levels deep for ",
+                        br.pred.worstFanout, " consumers; ",
+                        br.pred.idealFanoutDepth,
+                        " levels would suffice"));
+    }
+
+    if (c.critPath > 0 &&
+        br.pressure.maxLinkLoad >= opts.linkDominanceMinMessages &&
+        static_cast<double>(br.pressure.maxLinkLoad) >
+            opts.linkDominanceRatio * static_cast<double>(c.critPath)) {
+        diags.warning(
+            verify::codes::LinkDominatedBound, {br.label, -1},
+            detail::cat("link ", br.pressure.maxLinkName,
+                        " carries up to ", br.pressure.maxLinkLoad,
+                        " operands but the critical path is only ",
+                        c.critPath,
+                        " cycles; that link's serialization bounds "
+                        "the block"));
+    }
+}
+
+} // namespace
+
+ProgramReport
+analyzeProgram(const compiler::CompileResult &res,
+               const AnalyzeOptions &opts)
+{
+    ProgramReport rep;
+    rep.regPressure = res.regalloc.pressure;
+    rep.maxLiveRegs = res.regalloc.maxLive;
+    rep.archRegs = res.regalloc.regsUsed;
+
+    for (const isa::TBlock &block : res.program.blocks) {
+        BlockReport br;
+        br.label = block.label;
+        br.insts = static_cast<int>(block.insts.size());
+        br.sizeBytes = block.sizeBytes();
+        br.cost = blockCost(block, opts.cm);
+        br.pred = analyzePredicates(block, br.cost, opts.verify,
+                                    opts.enumeratePaths);
+        br.pressure = analyzePressure(block, opts.cm);
+
+        if (br.cost.valid) {
+            rep.totalCritPath += br.cost.critPath;
+            if (br.cost.critPath > rep.maxCritPath) {
+                rep.maxCritPath = br.cost.critPath;
+                rep.maxCritBlock = br.label;
+            }
+        }
+        emitDfpa(opts, br, rep.diags);
+        rep.blocks.push_back(std::move(br));
+    }
+    return rep;
+}
+
+void
+compareMergeBaseline(ProgramReport &merged,
+                     const ProgramReport &baseline,
+                     const AnalyzeOptions &opts)
+{
+    if (!opts.warnings)
+        return;
+    std::map<std::string, std::pair<uint64_t, int>> base;
+    for (const BlockReport &br : baseline.blocks) {
+        if (br.cost.valid)
+            base[br.label] = {br.cost.critPath, br.insts};
+    }
+    for (const BlockReport &br : merged.blocks) {
+        auto it = base.find(br.label);
+        if (it == base.end() || !br.cost.valid)
+            continue;
+        // A block whose instruction count changed absorbed (or shed)
+        // code during merging; a longer path there is the price of the
+        // merge itself, not a regression. Compare only blocks merging
+        // left structurally untouched — their path may still move
+        // through scheduling/placement perturbation, and that is the
+        // signal DFPA404 exists for.
+        if (br.insts != it->second.second)
+            continue;
+        uint64_t before = it->second.first, after = br.cost.critPath;
+        if (after >= before + opts.mergeRegressMinCycles &&
+            static_cast<double>(after) >
+                opts.mergeRegressRatio * static_cast<double>(before)) {
+            merged.diags.warning(
+                verify::codes::MergeLengthenedPath, {br.label, -1},
+                detail::cat("merging stretched the critical path from ",
+                            before, " to ", after, " cycles"));
+        }
+    }
+}
+
+void
+renderText(const ProgramReport &rep, std::ostream &os, bool perBlock)
+{
+    os << "blocks: " << rep.blocks.size() << "\n";
+    os << "critical path: max " << rep.maxCritPath << " cycles";
+    if (!rep.maxCritBlock.empty())
+        os << " (block '" << rep.maxCritBlock << "')";
+    os << ", serial total " << rep.totalCritPath << "\n";
+    os << "registers: " << rep.archRegs << " architectural, peak "
+       << rep.maxLiveRegs << " live\n";
+    if (perBlock) {
+        for (const BlockReport &br : rep.blocks) {
+            os << "\nblock '" << br.label << "' (" << br.insts
+               << " insts, " << br.sizeBytes << " bytes)\n";
+            if (!br.cost.valid) {
+                os << "  INVALID (failed structural validation)\n";
+                continue;
+            }
+            os << "  critical path: " << br.cost.critPath
+               << " cycles (" << br.cost.hopCycles << " hop + "
+               << br.cost.latencyCycles << " latency), zero-hop floor "
+               << br.cost.zeroHopCritPath << ", limited by "
+               << br.cost.limitingOutput << "\n";
+            os << "  chain:";
+            for (int idx : br.cost.critChain)
+                os << " #" << idx;
+            os << "\n";
+            os << "  predicates: " << br.pred.predicatedInsts
+               << " predicated, height " << br.pred.predHeight
+               << ", fanout depth " << br.pred.maxFanoutDepth
+               << " (ideal " << br.pred.idealFanoutDepth << ", "
+               << br.pred.fanoutMovs << " movs)\n";
+            if (br.pred.enumerated) {
+                os << "  paths: " << br.pred.paths
+                   << (br.pred.exhaustive ? "" : " (sampled)")
+                   << " over " << br.pred.pathVariables
+                   << " vars, mean nullified " << br.pred.meanNullified
+                   << " (max " << br.pred.maxNullified
+                   << "), mean early-termination depth "
+                   << br.pred.meanTermDepth << " (max "
+                   << br.pred.maxTermDepth << ")\n";
+            }
+            os << "  pressure: max tile load " << br.pressure.maxTileLoad
+               << "/" << br.pressure.tileCapacity << ", "
+               << br.pressure.messages << " messages over "
+               << br.pressure.totalHops << " hops, busiest link "
+               << (br.pressure.maxLinkName.empty()
+                       ? "-"
+                       : br.pressure.maxLinkName)
+               << " x" << br.pressure.maxLinkLoad << "\n";
+        }
+    }
+    if (!rep.diags.empty()) {
+        os << "\n";
+        rep.diags.renderText(os);
+    }
+}
+
+void
+renderJson(const ProgramReport &rep, std::ostream &os)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("max_crit_path").value(rep.maxCritPath);
+    w.key("max_crit_block").value(rep.maxCritBlock);
+    w.key("total_crit_path").value(rep.totalCritPath);
+    w.key("arch_regs").value(rep.archRegs);
+    w.key("max_live_regs").value(rep.maxLiveRegs);
+    w.key("blocks").beginArray();
+    for (const BlockReport &br : rep.blocks) {
+        w.beginObject();
+        w.key("label").value(br.label);
+        w.key("insts").value(br.insts);
+        w.key("size_bytes").value(br.sizeBytes);
+        w.key("valid").value(br.cost.valid);
+        if (br.cost.valid) {
+            w.key("crit_path").value(br.cost.critPath);
+            w.key("zero_hop_crit_path").value(br.cost.zeroHopCritPath);
+            w.key("hop_cycles").value(br.cost.hopCycles);
+            w.key("latency_cycles").value(br.cost.latencyCycles);
+            w.key("limiting_output").value(br.cost.limitingOutput);
+            w.key("pred_height").value(br.pred.predHeight);
+            w.key("predicated_insts").value(br.pred.predicatedInsts);
+            w.key("fanout_depth").value(br.pred.maxFanoutDepth);
+            w.key("ideal_fanout_depth").value(br.pred.idealFanoutDepth);
+            w.key("fanout_movs").value(br.pred.fanoutMovs);
+            if (br.pred.enumerated) {
+                w.key("paths").value(br.pred.paths);
+                w.key("paths_exhaustive").value(br.pred.exhaustive);
+                w.key("mean_nullified").value(br.pred.meanNullified);
+                w.key("max_nullified").value(br.pred.maxNullified);
+                w.key("mean_term_depth").value(br.pred.meanTermDepth);
+                w.key("max_term_depth").value(br.pred.maxTermDepth);
+            }
+            w.key("max_tile_load").value(br.pressure.maxTileLoad);
+            w.key("tile_capacity").value(br.pressure.tileCapacity);
+            w.key("messages").value(br.pressure.messages);
+            w.key("total_hops").value(br.pressure.totalHops);
+            w.key("max_link_load").value(br.pressure.maxLinkLoad);
+            w.key("max_link").value(br.pressure.maxLinkName);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("reg_pressure").beginArray();
+    for (const compiler::BlockPressure &bp : rep.regPressure) {
+        w.beginObject();
+        w.key("block").value(bp.block);
+        w.key("live_regs").value(bp.liveRegs);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("diags");
+    rep.diags.renderJson(os);
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace dfp::analysis

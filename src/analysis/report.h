@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The dfp-analyze report: per-block critical path, predicate
+ * structure and resource pressure rolled up over a compiled program,
+ * plus the DFPA placement-quality diagnostics (verify/diag.h 4xx
+ * range) flagging blocks whose numbers look pathological:
+ *
+ *  - DFPA401 hop inflation: network hops on the limiting chain
+ *    dominate the critical path, i.e. placement (not computation) sets
+ *    the block's speed;
+ *  - DFPA402 deep predicate fanout: a test's mov relay tree is deeper
+ *    than the minimal tree for its fanout (§5.1 headroom left on the
+ *    table);
+ *  - DFPA403 link-dominated bound: one operand-network link must carry
+ *    more messages than the critical path has cycles, so serialization
+ *    on that link, not dataflow, bounds the block;
+ *  - DFPA404 merge lengthened path: a block compiled under merging has
+ *    a longer critical path than the same block without it (emitted by
+ *    compareMergeBaseline, which dfp-analyze drives with a second
+ *    compile).
+ *
+ * Thresholds live in AnalyzeOptions; the defaults are calibrated so
+ * the stock workload suite under every §6 configuration is clean, and
+ * CI keeps it that way (`dfp-analyze --all-workloads -c all --strict`).
+ */
+
+#ifndef DFP_ANALYSIS_REPORT_H
+#define DFP_ANALYSIS_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "analysis/critical_path.h"
+#include "analysis/predicates.h"
+#include "analysis/pressure.h"
+#include "compiler/pipeline.h"
+#include "verify/diag.h"
+
+namespace dfp::analysis
+{
+
+/** Analyzer knobs. */
+struct AnalyzeOptions
+{
+    CostModel cm;
+    verify::VerifyOptions verify; //!< path-enumeration limits
+
+    bool enumeratePaths = true; //!< per-path predicate profile
+    bool warnings = true;       //!< emit DFPA diagnostics
+
+    // -- DFPA thresholds ---------------------------------------------
+    /** DFPA401: hop cycles on the limiting chain must be at least this
+     *  many cycles AND at least this fraction of the critical path. */
+    uint64_t hopInflationMinCycles = 24;
+    double hopInflationRatio = 0.6;
+
+    /** DFPA402: relay depth may exceed the minimal tree by this much. */
+    int fanoutDepthSlack = 1;
+
+    /** DFPA403: busiest-link messages must exceed ratio * critPath and
+     *  this floor. */
+    double linkDominanceRatio = 1.0;
+    uint64_t linkDominanceMinMessages = 24;
+
+    /** DFPA404: merged critical path must exceed the unmerged one by
+     *  this factor and this many cycles. */
+    double mergeRegressRatio = 1.1;
+    uint64_t mergeRegressMinCycles = 8;
+};
+
+/** Everything the analyzer knows about one block. */
+struct BlockReport
+{
+    std::string label;
+    int insts = 0;
+    int sizeBytes = 0;
+    BlockCost cost;
+    PredicateReport pred;
+    PressureReport pressure;
+};
+
+/** Program-level rollup. */
+struct ProgramReport
+{
+    std::vector<BlockReport> blocks;
+
+    uint64_t maxCritPath = 0;
+    std::string maxCritBlock;
+    uint64_t totalCritPath = 0; //!< sum over blocks (serial floor)
+
+    int archRegs = 0; //!< architectural registers the program uses
+    int maxLiveRegs = 0;
+    std::vector<compiler::BlockPressure> regPressure;
+
+    verify::DiagList diags; //!< DFPA findings (warnings/notes)
+};
+
+/** Analyze a compiled program. */
+ProgramReport analyzeProgram(const compiler::CompileResult &res,
+                             const AnalyzeOptions &opts = {});
+
+/**
+ * DFPA404: compare a merge-configuration compile against the same
+ * source compiled without merging; blocks (matched by label) whose
+ * critical path regressed past the thresholds are flagged into
+ * @p merged.diags.
+ */
+void compareMergeBaseline(ProgramReport &merged,
+                          const ProgramReport &baseline,
+                          const AnalyzeOptions &opts);
+
+/** Human-readable report; @p perBlock adds one section per block. */
+void renderText(const ProgramReport &rep, std::ostream &os,
+                bool perBlock);
+
+/** Machine-readable report (one JSON object). */
+void renderJson(const ProgramReport &rep, std::ostream &os);
+
+} // namespace dfp::analysis
+
+#endif // DFP_ANALYSIS_REPORT_H

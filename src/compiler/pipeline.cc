@@ -185,6 +185,8 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     // 8. Register allocation.
     RegAllocResult ra = allocateRegisters(fn);
     res.stats.set("pipe.arch_regs", ra.regsUsed);
+    res.stats.set("pipe.max_live_regs", ra.maxLive);
+    res.regalloc = std::move(ra);
     check(verify::IrStage::Hyper, "allocateRegisters");
 
     // 9. Code generation and linking.

@@ -25,6 +25,7 @@
 
 #include "base/stats.h"
 #include "compiler/codegen.h"
+#include "compiler/regalloc.h"
 #include "compiler/scheduler.h"
 #include "compiler/unroll.h"
 #include "core/ifconvert.h"
@@ -88,6 +89,10 @@ struct CompileResult
     isa::TProgram program;
     ir::Function hyperIr;   //!< final hyperblock-form IR (diagnostics)
     StatSet stats;          //!< static counters from every stage
+
+    /** Register-allocation introspection (coloring + per-hyperblock
+     *  liveness pressure) for the static performance analyzer. */
+    RegAllocResult regalloc;
 };
 
 /** Compile a frontend-stage function; throws FatalError on bad input. */

@@ -1,5 +1,6 @@
 #include "compiler/regalloc.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -107,6 +108,7 @@ allocateRegisters(ir::Function &fn)
             }
         }
     };
+    RegAllocResult res;
     for (const ir::BBlock &block : fn.blocks) {
         std::set<int> active = liveIn[block.id];
         std::set<int> liveOut;
@@ -125,9 +127,12 @@ allocateRegisters(ir::Function &fn)
         for (int r : liveOut)
             active.insert(r);
         addClique(active);
+        res.pressure.push_back(
+            {block.name, static_cast<int>(active.size())});
+        res.maxLive =
+            std::max(res.maxLive, static_cast<int>(active.size()));
     }
 
-    RegAllocResult res;
     res.color[core::kRetVirtReg] = kRetArchReg;
     std::set<int> usedColors{kRetArchReg};
     for (int v : vregs) {

@@ -12,6 +12,8 @@
 #define DFP_COMPILER_REGALLOC_H
 
 #include <map>
+#include <string>
+#include <vector>
 
 #include "ir/ir.h"
 
@@ -21,11 +23,25 @@ namespace dfp::compiler
 /** Architectural register of the kernel return value. */
 constexpr int kRetArchReg = 1;
 
+/** Register-file pressure inside one hyperblock (introspection for
+ *  the static performance analyzer; see docs/ANALYSIS.md). */
+struct BlockPressure
+{
+    std::string block; //!< hyperblock name (matches the TBlock label)
+    int liveRegs = 0;  //!< virtual registers live across this block
+};
+
 /** Result of coloring. */
 struct RegAllocResult
 {
     std::map<int, int> color; //!< virtual -> architectural register
     int regsUsed = 0;
+
+    /** Per-hyperblock liveness intervals, in block order. */
+    std::vector<BlockPressure> pressure;
+
+    /** Peak simultaneous liveness over all hyperblocks. */
+    int maxLive = 0;
 };
 
 /**

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "analysis/cost_model.h"
+#include "analysis/predict.h"
 #include "base/logging.h"
 #include "base/threadpool.h"
 #include "compiler/regalloc.h"
@@ -146,6 +148,16 @@ BatchRunner::run(const std::vector<BatchJob> &jobs)
                 out.stats = std::move(res.stats);
             else
                 out.stats = StatSet();
+
+            if (opts_.predictCycles) {
+                isa::ArchState pstate;
+                pstate.mem = workloads::initialMemory(*job.workload);
+                analysis::Prediction p = analysis::predictCycles(
+                    prog->res.program, pstate,
+                    analysis::CostModel::fromSim(job.sim));
+                if (p.ok)
+                    out.predictedCycles = p.predictedCycles;
+            }
 
             if (!res.halted) {
                 out.error = res.error.empty() ? "simulation did not halt"

@@ -78,6 +78,15 @@ struct BatchResult
     uint64_t staticBlocks = 0;
     double hostSeconds = 0;  //!< this run's wall time (monotonic clock)
 
+    /**
+     * Static lower bound on this run's cycles from the performance
+     * analyzer (analysis/predict.h), when BatchOptions::predictCycles
+     * is on and the functional pre-run halted; 0 otherwise. The
+     * invariant predictedCycles <= cycles holds on every ok run and is
+     * enforced by `dfp-analyze --validate` and CI.
+     */
+    uint64_t predictedCycles = 0;
+
     /** Full simulator StatSet (empty when keepRunStats is off). */
     StatSet stats;
 
@@ -124,6 +133,11 @@ struct BatchOptions
     /** Keep each run's full StatSet in its BatchResult (the merged
      *  set is always built). Off saves memory on huge sweeps. */
     bool keepRunStats = true;
+
+    /** Fill BatchResult::predictedCycles with the static analyzer's
+     *  cycle lower bound (costs one functional pre-run per job). Off
+     *  by default so plain sweeps pay nothing. */
+    bool predictCycles = false;
 };
 
 /**

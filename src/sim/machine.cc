@@ -13,6 +13,7 @@
 #include "isa/alu.h"
 #include "sim/cache.h"
 #include "sim/predictor.h"
+#include "sim/timing_model.h"
 
 namespace dfp::sim
 {
@@ -511,7 +512,8 @@ Machine::tryResolveRead(int slot, int readIdx)
         int toTile = t.slot == Slot::WriteQ
                          ? cfg_.grid.regCol(f.block->writes[t.index].reg)
                          : tileOf(f, t.index);
-        uint64_t arrive = net_.deliverFromReg(read.reg, toTile, now_ + 1);
+        uint64_t arrive = net_.deliverFromReg(
+            read.reg, toTile, now_ + timing::kReadInjectCycles);
         if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
             continue;
         frameAt(slot, arrive, [this, slot, t, token](Frame &g) {
@@ -651,7 +653,8 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
     int tile = tileOf(f, idx);
     ++tileIssued_[tile];
     ++opClassFired_[size_t(opClassOf(inst.op))];
-    uint64_t issue = std::max(now_ + 1, tileFree_[tile]);
+    uint64_t issue =
+        std::max(now_ + timing::kWakeupToIssueCycles, tileFree_[tile]);
     if (DFP_FAULT_ACTIVE(faults_)) {
         uint64_t stall = faults_->tileStall(tile);
         if (__builtin_expect(stall != 0, 0)) {
@@ -664,7 +667,7 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
         if (__builtin_expect(faults_->tileFailIssue(tile), 0)) {
             // The issue is silently swallowed (hard fault): consumers
             // starve and the watchdog squashes and replays the block.
-            tileFree_[tile] = issue + 1;
+            tileFree_[tile] = issue + timing::kIssueRepeatCycles;
             DFP_TRACE(cfg_.trace,
                       (TraceEvent{TraceEventKind::FaultInject, now_, 0,
                                   tile, f.blockIdx, "tile-fail",
@@ -672,7 +675,7 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
             return;
         }
     }
-    tileFree_[tile] = issue + 1;
+    tileFree_[tile] = issue + timing::kIssueRepeatCycles;
     frameAt(slot, issue,
             [this, slot, idx, issue](Frame &g) {
                 execute(g, slot, idx, issue);
@@ -689,7 +692,7 @@ Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
     Token immTok{static_cast<uint64_t>(
                      static_cast<int64_t>(inst.imm)),
                  false, false};
-    uint64_t doneCycle = issueCycle + isa::opInfo(inst.op).latency;
+    uint64_t doneCycle = issueCycle + timing::opLatency(inst.op);
 
     switch (inst.op) {
       case Op::Bro: {
@@ -801,7 +804,7 @@ Machine::doLoad(Frame &f, int slot, int idx, uint64_t issueCycle)
 {
     const isa::TInst &inst = f.block->insts[idx];
     const Token &addrTok = *f.ists[idx].left;
-    uint64_t doneCycle = issueCycle + 1;
+    uint64_t doneCycle = issueCycle + timing::kLoadPipeCycles;
     if (addrTok.null || addrTok.excep) {
         Token out;
         out.null = addrTok.null;
@@ -971,7 +974,8 @@ Machine::tryCommit()
     Frame &oldest = *frames_[order_.front()];
     if (!oldest.complete)
         return;
-    uint64_t when = std::max(now_, oldest.completeCycle) + 1;
+    uint64_t when =
+        std::max(now_, oldest.completeCycle) + timing::kCommitCycles;
     int slot = order_.front();
     uint64_t gen = oldest.gen;
     at(when, [this, slot, gen] {

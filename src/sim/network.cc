@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "sim/timing_model.h"
 
 namespace dfp::sim
 {
@@ -28,10 +29,10 @@ OperandNetwork::meshPath(int fromTile, int toTile) const
 uint64_t
 OperandNetwork::route(const std::vector<int> &path, uint64_t cycle)
 {
-    // One cycle per hop. Contention is arbitrated at the injection and
-    // ejection links only: the OPN's routers are buffered, so transit
-    // flits rarely block each other, but each tile can inject and
-    // accept one operand per cycle.
+    // timing::kHopCycles per hop. Contention is arbitrated at the
+    // injection and ejection links only: the OPN's routers are
+    // buffered, so transit flits rarely block each other, but each
+    // tile can inject and accept one operand per cycle.
     uint64_t t = cycle;
     size_t links = path.size() - 1;
     for (size_t i = 0; i + 1 < path.size(); ++i) {
@@ -43,9 +44,9 @@ OperandNetwork::route(const std::vector<int> &path, uint64_t cycle)
                 stalls_ += free - depart;
                 depart = free;
             }
-            free = depart + 1;
+            free = depart + timing::kLinkOccupancyCycles;
         }
-        t = depart + 1;
+        t = depart + timing::kHopCycles;
         ++hops_;
     }
     if (DFP_FAULT_ACTIVE(faults_))

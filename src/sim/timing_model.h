@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The single source of truth for the machine's fixed timing constants.
+ * Every latency the event-driven simulator hard-codes — the per-hop
+ * operand-network cost, the wakeup-to-issue delay, the per-tile issue
+ * repeat rate, the load AGU pipeline, the commit delay — lives here,
+ * and the static cost-model analyzer (src/analysis) consumes the same
+ * definitions, so the two can never drift apart. Configurable
+ * latencies (fetch pipe depth, predictor, cache hit/miss times) stay
+ * on sim::SimConfig; per-opcode execution latencies stay in the
+ * isa::opInfo table and are re-exported here through opLatency() so
+ * the analyzer has one include for the whole cost model.
+ *
+ * docs/ANALYSIS.md documents how these constants compose into the
+ * analyzer's lower-bound recurrence; docs/SIM.md documents where the
+ * simulator spends them.
+ */
+
+#ifndef DFP_SIM_TIMING_MODEL_H
+#define DFP_SIM_TIMING_MODEL_H
+
+#include <cstdint>
+
+#include "isa/opcodes.h"
+
+namespace dfp::sim::timing
+{
+
+/** Cycles an operand spends crossing one operand-network link
+ *  (tile-to-tile, tile-to-register-tile, or tile-to-data-tile). */
+inline constexpr uint64_t kHopCycles = 1;
+
+/** Cycles a link stays occupied per operand under contention — each
+ *  injection/ejection port accepts one operand per cycle. */
+inline constexpr uint64_t kLinkOccupancyCycles = 1;
+
+/** Cycles between a read-queue slot resolving its register value and
+ *  the operand entering the network at the register tile. */
+inline constexpr uint64_t kReadInjectCycles = 1;
+
+/** Cycles between an instruction's last operand arriving (wakeup) and
+ *  the earliest issue slot it can claim. */
+inline constexpr uint64_t kWakeupToIssueCycles = 1;
+
+/** Cycles a tile's single issue slot stays busy per instruction. */
+inline constexpr uint64_t kIssueRepeatCycles = 1;
+
+/** Cycles a load spends in the AGU pipeline before its cache access
+ *  is injected toward the data tile. */
+inline constexpr uint64_t kLoadPipeCycles = 1;
+
+/** Cycles between a block completing (all outputs counted) and its
+ *  commit retiring the frame. */
+inline constexpr uint64_t kCommitCycles = 1;
+
+/** Execution latency of @p op (the isa::opInfo table: 1 for simple
+ *  ALU ops, 3 for multiplies, 24 for divides, 4/16 for FP, ...). */
+inline uint64_t
+opLatency(isa::Op op)
+{
+    return static_cast<uint64_t>(isa::opInfo(op).latency);
+}
+
+} // namespace dfp::sim::timing
+
+#endif // DFP_SIM_TIMING_MODEL_H

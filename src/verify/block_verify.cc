@@ -56,6 +56,9 @@ class PathAnalyzer
           n_(static_cast<int>(block.insts.size()))
     {}
 
+    /** Record every visited path into @p sink (see enumeratePaths). */
+    void collectInto(PathEnumeration *sink) { collect_ = sink; }
+
     void run();
 
   private:
@@ -104,6 +107,7 @@ class PathAnalyzer
     std::map<int, bool> fixedTruth_;
     std::vector<int> varRep_;   //!< representative origin per variable
     bool exhaustive_ = true;
+    PathEnumeration *collect_ = nullptr; //!< optional path sink
 
     // Per-path state, reset by simulate().
     uint64_t mask_ = 0;
@@ -761,6 +765,8 @@ PathAnalyzer::simulate(uint64_t mask)
         fire(idx);
     }
     finishPath();
+    if (collect_)
+        collect_->paths.push_back({mask_, fired_});
     for (int i = 0; i < n_; ++i)
         everActive_[i] |= active_[i];
 }
@@ -772,6 +778,11 @@ PathAnalyzer::run()
     computeOrigins();
     buildVariables();
     staticChecks();
+
+    if (collect_) {
+        collect_->variables = static_cast<int>(varRep_.size());
+        collect_->varOrigins = varRep_;
+    }
 
     const int k = static_cast<int>(varRep_.size());
     everActive_.assign(n_, 0);
@@ -801,6 +812,8 @@ PathAnalyzer::run()
             simulate(k >= 64 ? z : (z & ((uint64_t{1} << k) - 1)));
         }
     }
+    if (collect_)
+        collect_->exhaustive = exhaustive_;
 
     for (const auto &[key, v] : violations_) {
         const auto &[code, index] = key;
@@ -831,6 +844,21 @@ PathAnalyzer::run()
 }
 
 } // namespace
+
+PathEnumeration
+enumeratePaths(const isa::TBlock &block, const VerifyOptions &opts)
+{
+    PathEnumeration out;
+    DiagList structural;
+    isa::validateBlock(block, structural);
+    if (structural.hasErrors())
+        return out;
+    DiagList scratch;
+    PathAnalyzer analyzer(block, opts, scratch);
+    analyzer.collectInto(&out);
+    analyzer.run();
+    return out;
+}
 
 void
 verifyBlock(const isa::TBlock &block, const VerifyOptions &opts,

@@ -35,6 +35,9 @@
 #ifndef DFP_VERIFY_BLOCK_VERIFY_H
 #define DFP_VERIFY_BLOCK_VERIFY_H
 
+#include <cstdint>
+#include <vector>
+
 #include "isa/tblock.h"
 #include "verify/diag.h"
 
@@ -56,6 +59,38 @@ struct VerifyOptions
     /** Emit warning/note diagnostics (errors are always emitted). */
     bool warnings = true;
 };
+
+/**
+ * One enumerated predicate path: the boolean assignment of the path
+ * variables and the set of instructions that fired under it.
+ */
+struct PathProfile
+{
+    uint64_t mask = 0;        //!< path-variable assignment (bit per var)
+    std::vector<char> fired;  //!< per-instruction: fired on this path
+};
+
+/**
+ * The analyzer's enumeration of a block's predicate space, exposed for
+ * reuse (the static performance analyzer derives per-path early-
+ * termination depth from the same paths the verifier checks).
+ */
+struct PathEnumeration
+{
+    bool exhaustive = true;     //!< every 2^k assignment was visited
+    int variables = 0;          //!< number of predicate path variables
+    std::vector<int> varOrigins; //!< representative origin inst per var
+    std::vector<PathProfile> paths; //!< one profile per visited path
+};
+
+/**
+ * Enumerate @p block's predicate paths with the verifier's own
+ * machinery (origins, correlated-test tying, abstract token replay)
+ * without emitting diagnostics. The block must pass
+ * isa::validateBlock; malformed blocks return an empty enumeration.
+ */
+PathEnumeration enumeratePaths(const isa::TBlock &block,
+                               const VerifyOptions &opts = VerifyOptions());
 
 /**
  * Deep-verify one block: structural validation (isa::validateBlock)

@@ -1,5 +1,6 @@
 #include "verify/diag.h"
 
+#include <cstdio>
 #include <ostream>
 #include <sstream>
 
@@ -130,6 +131,17 @@ diagCatalog()
 #undef DFP_DIAG
     };
     return catalog;
+}
+
+void
+renderCatalog(std::ostream &os)
+{
+    char line[256];
+    for (const CodeInfo &info : diagCatalog()) {
+        std::snprintf(line, sizeof(line), "%s  %-7s  %s\n", info.code,
+                      severityName(info.sev), info.summary);
+        os << line;
+    }
 }
 
 const CodeInfo *

@@ -10,8 +10,11 @@
  * standalone `dfp-lint` tool.
  *
  * Code ranges: 1xx structural block/ISA checks, 2xx deep predicate-
- * path analysis, 3xx IR/PFG checks. The full catalog (with minimal
- * triggering examples) is documented in docs/VERIFY.md.
+ * path analysis, 3xx IR/PFG checks (all "DFPV", documented in
+ * docs/VERIFY.md), and 4xx static performance-analysis findings
+ * ("DFPA", emitted by src/analysis / dfp-analyze, documented in
+ * docs/ANALYSIS.md). One catalog serves every tool so `--list-codes`
+ * output is identical across dfp-lint and dfp-analyze.
  */
 
 #ifndef DFP_VERIFY_DIAG_H
@@ -121,12 +124,23 @@ class DiagList
 };
 
 /**
- * The diagnostic catalog: symbolic name, "DFPV###" code, severity,
- * one-line summary. Call sites use `codes::<Name>`; docs/VERIFY.md
- * documents each entry with a minimal triggering example.
+ * The diagnostic catalog: symbolic name, "DFPV###"/"DFPA###" code,
+ * severity, one-line summary, kept sorted by code (a test enforces
+ * it). Call sites use `codes::<Name>`; docs/VERIFY.md documents the
+ * verifier entries with a minimal triggering example each, and
+ * docs/ANALYSIS.md the analyzer ones.
  */
 #define DFP_DIAG_LIST                                                        \
     /*        name                   code       severity  summary */         \
+    DFP_DIAG( HopInflation,          "DFPA401", Warning,                     \
+              "placement hop latency dominates the dataflow critical path")  \
+    DFP_DIAG( DeepPredFanout,        "DFPA402", Warning,                     \
+              "predicate fanout tree deeper than the minimal mov tree")      \
+    DFP_DIAG( LinkDominatedBound,    "DFPA403", Warning,                     \
+              "one operand-network link carries more traffic than the "      \
+              "block's critical path can hide")                              \
+    DFP_DIAG( MergeLengthenedPath,   "DFPA404", Warning,                     \
+              "block merging lengthened the dataflow critical path")         \
     DFP_DIAG( BlockTooManyInsts,     "DFPV101", Error,                       \
               "block exceeds the 128-instruction format limit")              \
     DFP_DIAG( TooManyReads,          "DFPV102", Error,                       \
@@ -256,6 +270,13 @@ const std::vector<CodeInfo> &diagCatalog();
 
 /** Catalog lookup; nullptr for unknown codes. */
 const CodeInfo *findCode(std::string_view code);
+
+/**
+ * Render the whole catalog, one `CODE  severity  summary` line per
+ * entry — the shared implementation behind `--list-codes` in dfp-lint
+ * and dfp-analyze (a CLI test pins the two outputs to be identical).
+ */
+void renderCatalog(std::ostream &os);
 
 } // namespace dfp::verify
 

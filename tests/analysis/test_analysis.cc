@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Unit tests for the static performance analyzer (src/analysis): the
+ * cost model mirrors SimConfig, hand-computed critical paths on tiny
+ * blocks come out exactly, the per-workload cycle prediction is a true
+ * lower bound on the simulator, resource-pressure accounting sums, and
+ * each DFPA diagnostic fires on a synthetic block built to trip it
+ * (while the stock suite stays clean — CI enforces that side).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/cost_model.h"
+#include "analysis/critical_path.h"
+#include "analysis/predicates.h"
+#include "analysis/predict.h"
+#include "analysis/pressure.h"
+#include "analysis/report.h"
+#include "compiler/pipeline.h"
+#include "sim/batch.h"
+#include "sim/machine.h"
+#include "support/minijson.h"
+#include "verify/diag.h"
+#include "workloads/suite.h"
+
+namespace dfp::analysis
+{
+namespace
+{
+
+isa::TInst
+inst(isa::Op op, std::vector<isa::Target> targets = {},
+     isa::PredMode pr = isa::PredMode::Unpred)
+{
+    isa::TInst i;
+    i.op = op;
+    i.targets = std::move(targets);
+    i.pr = pr;
+    return i;
+}
+
+isa::Target
+to(isa::Slot slot, int index)
+{
+    return {slot, static_cast<uint8_t>(index)};
+}
+
+isa::TInst
+halt()
+{
+    isa::TInst i;
+    i.op = isa::Op::Bro;
+    i.imm = isa::kHaltTarget;
+    return i;
+}
+
+/** read g0 -> addi -> addi -> addi -> write g0, plus the branch. */
+isa::TBlock
+chainBlock()
+{
+    isa::TBlock b;
+    b.label = "chain";
+    b.reads.push_back({0, {to(isa::Slot::Left, 0)}});
+    b.writes.push_back({0});
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::Left, 1)}));
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::Left, 2)}));
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::WriteQ, 0)}));
+    b.insts.push_back(halt());
+    return b;
+}
+
+TEST(CostModel, FromSimCopiesEveryPricedField)
+{
+    sim::SimConfig cfg;
+    cfg.fetchLatency = 11;
+    cfg.fetchWidth = 8;
+    cfg.predictLatency = 5;
+    cfg.l1dHitLatency = 4;
+    cfg.l1iHitLatency = 2;
+    cfg.missLatency = 77;
+    cfg.lineBytes = 128;
+    CostModel cm = CostModel::fromSim(cfg);
+    EXPECT_EQ(cm.fetchLatency, 11);
+    EXPECT_EQ(cm.fetchWidth, 8);
+    EXPECT_EQ(cm.predictLatency, 5);
+    EXPECT_EQ(cm.l1dHitLatency, 4);
+    EXPECT_EQ(cm.l1iHitLatency, 2);
+    EXPECT_EQ(cm.missLatency, 77);
+    EXPECT_EQ(cm.lineBytes, 128);
+    EXPECT_EQ(cm.grid.tiles(), cfg.grid.tiles());
+    EXPECT_TRUE(cm.coldEntryFetch);
+}
+
+TEST(CostModel, ColdEntryClearedWhenRefetchIsPossible)
+{
+    sim::SimConfig cfg;
+    cfg.faults.model = sim::FaultModel::NetDrop;
+    cfg.faults.rate = 1e-4;
+    EXPECT_FALSE(CostModel::fromSim(cfg).coldEntryFetch);
+
+    sim::SimConfig dog;
+    dog.watchdogCycles = 1000;
+    EXPECT_FALSE(CostModel::fromSim(dog).coldEntryFetch);
+}
+
+TEST(CostModel, DistancesMatchTheNetworkGeometry)
+{
+    CostModel cm;
+    ASSERT_EQ(cm.grid.tiles(), 16);
+    EXPECT_EQ(cm.tileDist(0, 0), 0);
+    EXPECT_EQ(cm.tileDist(0, 15), 6); // (0,0) -> (3,3)
+    EXPECT_EQ(cm.regDist(0, 0), 1);   // RT link only
+    EXPECT_EQ(cm.regDist(0, 15), 7);  // RT + 3 down + 3 across
+    EXPECT_EQ(cm.readToWriteDist(0, 0), 1);
+    EXPECT_EQ(cm.readToWriteDist(0, 3), 4);
+    EXPECT_EQ(cm.minBankRoundTrip(0), 2);  // DT link both ways
+    EXPECT_EQ(cm.minBankRoundTrip(3), 8);  // 3 hops + DT, both ways
+}
+
+TEST(CriticalPath, HandComputedChain)
+{
+    isa::TBlock b = chainBlock();
+    CostModel cm;
+    BlockCost c = blockCost(b, cm);
+    ASSERT_TRUE(c.valid);
+
+    // Default placement puts inst i on tile i. Read inject (1) + RT
+    // link (1) lands the value at cycle 2; each stage adds wakeup (1)
+    // + ALU (1) + one mesh hop; the final write token crosses 3 links
+    // to register column 0's parking tile.
+    EXPECT_EQ(c.critPath, 13u);
+    EXPECT_EQ(c.zeroHopCritPath, 7u);
+    EXPECT_EQ(c.hopCycles, 6u);
+    EXPECT_EQ(c.latencyCycles, 7u);
+    EXPECT_EQ(c.hopCycles + c.latencyCycles, c.critPath);
+    EXPECT_EQ(c.limitingOutput, "write g0");
+    EXPECT_EQ(c.critChain, (std::vector<int>{0, 1, 2}));
+
+    ASSERT_EQ(c.issueTime.size(), 4u);
+    EXPECT_EQ(c.issueTime[0], 3u);
+    EXPECT_EQ(c.issueTime[1], 6u);
+    EXPECT_EQ(c.issueTime[2], 9u);
+    EXPECT_EQ(c.issueTime[3], 1u); // the branch has no inputs
+}
+
+TEST(CriticalPath, BranchOnlyBlock)
+{
+    isa::TBlock b;
+    b.label = "jump";
+    b.insts.push_back(halt());
+    CostModel cm;
+    BlockCost c = blockCost(b, cm);
+    ASSERT_TRUE(c.valid);
+    EXPECT_EQ(c.limitingOutput, "branch");
+    EXPECT_EQ(c.critPath, 2u); // wakeup + bro latency
+}
+
+TEST(CriticalPath, InvalidBlockIsRejectedNotPriced)
+{
+    isa::TBlock b; // no branch instruction
+    b.label = "bad";
+    b.insts.push_back(inst(isa::Op::Addi));
+    EXPECT_FALSE(blockCost(b, CostModel()).valid);
+}
+
+TEST(Predicates, FanoutAndPathProfileOnWorkload)
+{
+    const workloads::Workload *w = workloads::findWorkload("ifthenelse");
+    ASSERT_NE(w, nullptr);
+    compiler::CompileResult res =
+        compiler::compileSource(w->source, compiler::configNamed("both"));
+    CostModel cm;
+    bool sawPredicated = false;
+    for (const isa::TBlock &block : res.program.blocks) {
+        BlockCost cost = blockCost(block, cm);
+        ASSERT_TRUE(cost.valid) << block.label;
+        PredicateReport pr =
+            analyzePredicates(block, cost, verify::VerifyOptions{});
+        if (pr.predicatedInsts == 0)
+            continue;
+        sawPredicated = true;
+        EXPECT_GT(pr.predHeight, 0u);
+        EXPECT_TRUE(pr.enumerated);
+        EXPECT_GE(pr.paths, 2u);
+        EXPECT_GE(pr.maxNullified, 1u);
+        EXPECT_LE(pr.meanTermDepth,
+                  static_cast<double>(pr.maxTermDepth));
+    }
+    EXPECT_TRUE(sawPredicated);
+}
+
+TEST(Pressure, TileLoadsSumToInstructionCount)
+{
+    isa::TBlock b = chainBlock();
+    CostModel cm;
+    PressureReport pr = analyzePressure(b, cm);
+    int total = 0;
+    for (int l : pr.tileLoad)
+        total += l;
+    EXPECT_EQ(total, static_cast<int>(b.insts.size()));
+    EXPECT_EQ(pr.tileCapacity, 8); // ceil(128 / 16)
+    EXPECT_LE(pr.maxTileLoad, pr.tileCapacity);
+    EXPECT_GT(pr.messages, 0u);
+    EXPECT_GT(pr.totalHops, 0u);
+    EXPECT_GE(pr.maxLinkLoad, 1u);
+    EXPECT_FALSE(pr.maxLinkName.empty());
+}
+
+TEST(Predict, LowerBoundHoldsAcrossWorkloadsAndConfigs)
+{
+    std::vector<sim::BatchJob> jobs;
+    for (const char *name : {"ifthenelse", "nesteddiamond", "whilechain",
+                             "condstore", "tblook01"}) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        for (const char *cfg : {"bb", "both", "merge"})
+            jobs.push_back(sim::makeJob(*w, cfg));
+    }
+    sim::BatchOptions opts;
+    opts.predictCycles = true;
+    sim::BatchRunner runner(opts);
+    sim::BatchSummary batch = runner.run(jobs);
+    for (const sim::BatchResult &r : batch.results) {
+        ASSERT_TRUE(r.ok) << r.label << ": " << r.error;
+        EXPECT_GT(r.predictedCycles, 0u) << r.label;
+        EXPECT_LE(r.predictedCycles, r.cycles) << r.label;
+    }
+}
+
+TEST(Predict, DirectPredictionMatchesBoundOnOneRun)
+{
+    const workloads::Workload *w = workloads::findWorkload("ifthenelse");
+    ASSERT_NE(w, nullptr);
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = w->unrollFactor;
+    compiler::CompileResult res =
+        compiler::compileSource(w->source, opts);
+
+    isa::ArchState simState;
+    simState.mem = workloads::initialMemory(*w);
+    sim::SimResult simOut =
+        sim::simulate(res.program, simState, sim::SimConfig());
+    ASSERT_TRUE(simOut.halted);
+
+    isa::ArchState predState;
+    predState.mem = workloads::initialMemory(*w);
+    Prediction p = predictCycles(res.program, predState, CostModel());
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_GT(p.blocks, 0u);
+    EXPECT_GT(p.predictedCycles, 0u);
+    EXPECT_LE(p.predictedCycles, simOut.cycles);
+}
+
+// -------------------------------------------------------------------
+// DFPA diagnostics: each code must fire on a block built to trip it.
+
+compiler::CompileResult
+wrap(isa::TBlock block)
+{
+    compiler::CompileResult res;
+    res.program.blocks.push_back(std::move(block));
+    return res;
+}
+
+TEST(Dfpa, HopInflationFiresOnScatteredChain)
+{
+    // A six-stage chain ping-ponging between opposite grid corners:
+    // 30 of the path's cycles are mesh hops.
+    isa::TBlock b;
+    b.label = "scatter";
+    b.reads.push_back({0, {to(isa::Slot::Left, 0)}});
+    b.writes.push_back({0});
+    for (int i = 0; i < 6; ++i) {
+        b.insts.push_back(inst(
+            isa::Op::Addi,
+            {i < 5 ? to(isa::Slot::Left, i + 1)
+                   : to(isa::Slot::WriteQ, 0)}));
+    }
+    b.insts.push_back(halt());
+    b.placement = {0, 15, 0, 15, 0, 15, 0};
+
+    AnalyzeOptions opts;
+    opts.enumeratePaths = false;
+    ProgramReport rep = analyzeProgram(wrap(b), opts);
+    EXPECT_TRUE(rep.diags.seen(verify::codes::HopInflation));
+}
+
+TEST(Dfpa, DeepPredFanoutFiresOnMov4Chain)
+{
+    // teq -> mov4 -> mov4 -> mov4 -> three predicate consumers: three
+    // relay levels where a single mov4 (ideal depth 1) would do.
+    isa::TBlock b;
+    b.label = "deepfan";
+    b.reads.push_back(
+        {0, {to(isa::Slot::Left, 0), to(isa::Slot::Right, 0)}});
+    b.reads.push_back({0, {to(isa::Slot::Left, 4),
+                           to(isa::Slot::Left, 5)}});
+    b.reads.push_back({0, {to(isa::Slot::Left, 6)}});
+    b.writes.push_back({1});
+    b.writes.push_back({2});
+    b.writes.push_back({3});
+    b.insts.push_back(inst(isa::Op::Teq, {to(isa::Slot::Left, 1)}));
+    b.insts.push_back(inst(isa::Op::Mov4, {to(isa::Slot::Left, 2)}));
+    b.insts.push_back(inst(isa::Op::Mov4, {to(isa::Slot::Left, 3)}));
+    b.insts.push_back(inst(isa::Op::Mov4,
+                           {to(isa::Slot::Pred, 4), to(isa::Slot::Pred, 5),
+                            to(isa::Slot::Pred, 6)}));
+    for (int w = 0; w < 3; ++w) {
+        b.insts.push_back(inst(isa::Op::Addi,
+                               {to(isa::Slot::WriteQ, w)},
+                               isa::PredMode::OnTrue));
+    }
+    b.insts.push_back(halt());
+
+    AnalyzeOptions opts;
+    ProgramReport rep = analyzeProgram(wrap(b), opts);
+    EXPECT_TRUE(rep.diags.seen(verify::codes::DeepPredFanout));
+}
+
+TEST(Dfpa, DeepFanoutStaysQuietWithoutMulticast)
+{
+    // The same shape as a plain mov chain is the compiler's canonical
+    // non-multicast fanout form and must NOT warn.
+    isa::TBlock b;
+    b.label = "movchain";
+    b.reads.push_back(
+        {0, {to(isa::Slot::Left, 0), to(isa::Slot::Right, 0)}});
+    b.reads.push_back({0, {to(isa::Slot::Left, 4),
+                           to(isa::Slot::Left, 5)}});
+    b.reads.push_back({0, {to(isa::Slot::Left, 6)}});
+    b.writes.push_back({1});
+    b.writes.push_back({2});
+    b.writes.push_back({3});
+    b.insts.push_back(inst(isa::Op::Teq, {to(isa::Slot::Left, 1)}));
+    b.insts.push_back(inst(isa::Op::Mov, {to(isa::Slot::Left, 2)}));
+    b.insts.push_back(inst(isa::Op::Mov, {to(isa::Slot::Left, 3)}));
+    b.insts.push_back(inst(isa::Op::Mov,
+                           {to(isa::Slot::Pred, 4), to(isa::Slot::Pred, 5)}));
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::WriteQ, 0)},
+                           isa::PredMode::OnTrue));
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::WriteQ, 1)},
+                           isa::PredMode::OnTrue));
+    b.insts.push_back(inst(isa::Op::Addi, {to(isa::Slot::WriteQ, 2)}));
+    b.insts.push_back(halt());
+
+    AnalyzeOptions opts;
+    ProgramReport rep = analyzeProgram(wrap(b), opts);
+    EXPECT_FALSE(rep.diags.seen(verify::codes::DeepPredFanout));
+}
+
+TEST(Dfpa, LinkDominanceFiresOnSharedRegisterColumn)
+{
+    // 25 parallel instructions all fed from g0: every injection
+    // crosses register column 0's RT link, far more messages than the
+    // short critical path has cycles.
+    isa::TBlock b;
+    b.label = "hotlink";
+    const int n = 25;
+    for (int i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            b.reads.push_back({0, {to(isa::Slot::Left, i)}});
+        else
+            b.reads.back().targets.push_back(to(isa::Slot::Left, i));
+        b.writes.push_back({static_cast<uint8_t>(i + 1)});
+        b.insts.push_back(
+            inst(isa::Op::Addi, {to(isa::Slot::WriteQ, i)}));
+    }
+    b.insts.push_back(halt());
+
+    AnalyzeOptions opts;
+    opts.enumeratePaths = false;
+    ProgramReport rep = analyzeProgram(wrap(b), opts);
+    EXPECT_TRUE(rep.diags.seen(verify::codes::LinkDominatedBound));
+    EXPECT_FALSE(rep.diags.seen(verify::codes::HopInflation));
+}
+
+TEST(Dfpa, MergeRegressionFiresOnStretchedPath)
+{
+    isa::TBlock before = chainBlock();
+    isa::TBlock after = chainBlock(); // same label, same inst count
+    after.placement = {0, 15, 0, 15}; // ... but scattered placement
+
+    AnalyzeOptions opts;
+    opts.enumeratePaths = false;
+    ProgramReport baseRep = analyzeProgram(wrap(before), opts);
+    ProgramReport mergedRep = analyzeProgram(wrap(after), opts);
+    compareMergeBaseline(mergedRep, baseRep, opts);
+    EXPECT_TRUE(mergedRep.diags.seen(verify::codes::MergeLengthenedPath));
+}
+
+TEST(Dfpa, MergeComparisonSkipsStructurallyChangedBlocks)
+{
+    isa::TBlock before = chainBlock();
+    isa::TBlock after = chainBlock();
+    after.placement = {0, 15, 0, 15};
+    // The merged block absorbed code: longer path is the merge's
+    // price, not a regression.
+    after.insts.insert(after.insts.end() - 1,
+                       inst(isa::Op::Movi, {to(isa::Slot::Right, 5)}));
+    after.placement.push_back(0);
+    after.insts.push_back(inst(isa::Op::Add, {to(isa::Slot::WriteQ, 0)}));
+    after.placement.push_back(0);
+    after.reads.push_back({0, {to(isa::Slot::Left, 5)}});
+
+    AnalyzeOptions opts;
+    opts.enumeratePaths = false;
+    ProgramReport baseRep = analyzeProgram(wrap(before), opts);
+    ProgramReport mergedRep = analyzeProgram(wrap(after), opts);
+    compareMergeBaseline(mergedRep, baseRep, opts);
+    EXPECT_FALSE(
+        mergedRep.diags.seen(verify::codes::MergeLengthenedPath));
+}
+
+TEST(Report, StockSuiteSampleIsCleanAndJsonParses)
+{
+    const workloads::Workload *w = workloads::findWorkload("tblook01");
+    ASSERT_NE(w, nullptr);
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = w->unrollFactor;
+    compiler::CompileResult res =
+        compiler::compileSource(w->source, opts);
+
+    ProgramReport rep = analyzeProgram(res);
+    EXPECT_GT(rep.blocks.size(), 0u);
+    EXPECT_GT(rep.maxCritPath, 0u);
+    EXPECT_TRUE(rep.diags.empty()); // stock suite must stay clean
+    for (const BlockReport &br : rep.blocks) {
+        ASSERT_TRUE(br.cost.valid) << br.label;
+        EXPECT_LE(br.cost.zeroHopCritPath, br.cost.critPath);
+        EXPECT_EQ(br.cost.hopCycles + br.cost.latencyCycles,
+                  br.cost.critPath);
+    }
+
+    std::ostringstream os;
+    renderJson(rep, os);
+    bool ok = false;
+    std::string err;
+    minijson::Value root = minijson::parse(os.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err;
+    EXPECT_EQ(static_cast<size_t>(root["blocks"].arr.size()),
+              rep.blocks.size());
+    EXPECT_EQ(static_cast<uint64_t>(root["max_crit_path"].number),
+              rep.maxCritPath);
+}
+
+} // namespace
+} // namespace dfp::analysis

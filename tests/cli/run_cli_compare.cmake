@@ -1,0 +1,38 @@
+# Runs the same arguments through two tool binaries and requires both
+# to exit 0 with byte-identical stdout. Used to pin outputs that must
+# stay unified across tools (e.g. the --list-codes diagnostic catalog,
+# which dfp-lint and dfp-analyze both render via verify::renderCatalog).
+#
+# Arguments (all via -D):
+#   TOOL_A, TOOL_B  paths to the two binaries
+#   CASE_ARGS       semicolon-separated argument list given to both
+
+separate_arguments(args UNIX_COMMAND "${CASE_ARGS}")
+execute_process(
+    COMMAND "${TOOL_A}" ${args}
+    RESULT_VARIABLE rc_a
+    OUTPUT_VARIABLE out_a
+    ERROR_VARIABLE err_a
+)
+execute_process(
+    COMMAND "${TOOL_B}" ${args}
+    RESULT_VARIABLE rc_b
+    OUTPUT_VARIABLE out_b
+    ERROR_VARIABLE err_b
+)
+
+if(NOT rc_a STREQUAL "0")
+    message(FATAL_ERROR
+        "${TOOL_A} ${CASE_ARGS}: exit ${rc_a}\n${out_a}${err_a}")
+endif()
+if(NOT rc_b STREQUAL "0")
+    message(FATAL_ERROR
+        "${TOOL_B} ${CASE_ARGS}: exit ${rc_b}\n${out_b}${err_b}")
+endif()
+
+if(NOT out_a STREQUAL out_b)
+    message(FATAL_ERROR
+        "outputs differ for '${CASE_ARGS}'\n"
+        "--- ${TOOL_A} ---\n${out_a}\n"
+        "--- ${TOOL_B} ---\n${out_b}")
+endif()

@@ -62,6 +62,97 @@ TEST(Scheduler, DeterministicPlacement)
         EXPECT_EQ(a.blocks[i].placement, b.blocks[i].placement);
 }
 
+// -------------------------------------------------------------------
+// Golden placements: tiny hand-built blocks whose optimal placement
+// and hop count are computable by hand. These pin the scheduler's
+// actual output — a cost-function or tie-breaking change that moves
+// any of these placements is a deliberate decision, not drift.
+
+isa::Target
+to(isa::Slot slot, int index)
+{
+    return {slot, static_cast<uint8_t>(index)};
+}
+
+isa::TInst
+gInst(isa::Op op, std::vector<isa::Target> targets)
+{
+    isa::TInst i;
+    i.op = op;
+    i.targets = std::move(targets);
+    return i;
+}
+
+TEST(SchedulerGolden, DependentChainCollapsesOntoOneTile)
+{
+    // read g0 -> addi -> addi -> addi -> write g0. Everything belongs
+    // on tile 0 (register column 0, row 0): zero mesh hops, one RT
+    // link in and one out.
+    isa::TBlock b;
+    b.reads.push_back({0, {to(isa::Slot::Left, 0)}});
+    b.writes.push_back({0});
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::Left, 1)}));
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::Left, 2)}));
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::WriteQ, 0)}));
+
+    GridShape grid;
+    scheduleBlock(b, grid);
+    EXPECT_EQ(b.placement, (std::vector<uint8_t>{0, 0, 0}));
+    EXPECT_EQ(estimateHops(b, grid), 2);
+}
+
+TEST(SchedulerGolden, IndependentChainsSpreadToTheirRegisterColumns)
+{
+    // Two independent one-instruction chains on g0 and g1: each lands
+    // on the row-0 tile of its own register column.
+    isa::TBlock b;
+    b.reads.push_back({0, {to(isa::Slot::Left, 0)}});
+    b.reads.push_back({1, {to(isa::Slot::Left, 1)}});
+    b.writes.push_back({0});
+    b.writes.push_back({1});
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::WriteQ, 0)}));
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::WriteQ, 1)}));
+
+    GridShape grid;
+    scheduleBlock(b, grid);
+    EXPECT_EQ(b.placement, (std::vector<uint8_t>{0, 1}));
+    EXPECT_EQ(estimateHops(b, grid), 4);
+}
+
+TEST(SchedulerGolden, HighColumnRegisterPullsPlacement)
+{
+    // g3 lives in column 3: its consumer belongs on tile 3, not 0.
+    isa::TBlock b;
+    b.reads.push_back({3, {to(isa::Slot::Left, 0)}});
+    b.writes.push_back({3});
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::WriteQ, 0)}));
+
+    GridShape grid;
+    scheduleBlock(b, grid);
+    EXPECT_EQ(b.placement, (std::vector<uint8_t>{3}));
+    EXPECT_EQ(estimateHops(b, grid), 2);
+}
+
+TEST(SchedulerGolden, DiamondStaysCompact)
+{
+    // add fans out to two addis that reconverge: the whole diamond
+    // fits on tile 0 well under capacity, so it must not scatter.
+    isa::TBlock b;
+    b.reads.push_back(
+        {0, {to(isa::Slot::Left, 0), to(isa::Slot::Right, 0)}});
+    b.writes.push_back({0});
+    b.insts.push_back(gInst(
+        isa::Op::Add, {to(isa::Slot::Left, 1), to(isa::Slot::Left, 2)}));
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::Left, 3)}));
+    b.insts.push_back(gInst(isa::Op::Addi, {to(isa::Slot::Right, 3)}));
+    b.insts.push_back(gInst(isa::Op::Add, {to(isa::Slot::WriteQ, 0)}));
+
+    GridShape grid;
+    scheduleBlock(b, grid);
+    EXPECT_EQ(b.placement, (std::vector<uint8_t>{0, 0, 0, 0}));
+    EXPECT_EQ(estimateHops(b, grid), 3);
+}
+
 TEST(Scheduler, WorksOnOtherGridShapes)
 {
     isa::TProgram p = unscheduled("pktflow");

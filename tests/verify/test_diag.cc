@@ -85,13 +85,19 @@ TEST(Diag, CatalogIsCompleteAndOrdered)
     for (size_t i = 1; i < cat.size(); ++i)
         EXPECT_LT(std::string(cat[i - 1].code),
                   std::string(cat[i].code));
+    // Two families share the catalog: DFPV (verifier) and DFPA (the
+    // static performance analyzer).
     for (const CodeInfo &info : cat) {
-        EXPECT_EQ(std::string(info.code).substr(0, 4), "DFPV");
+        std::string prefix = std::string(info.code).substr(0, 4);
+        EXPECT_TRUE(prefix == "DFPV" || prefix == "DFPA") << info.code;
         EXPECT_NE(std::string(info.summary), "");
     }
     const CodeInfo *found = findCode("DFPV117");
     ASSERT_NE(found, nullptr);
     EXPECT_EQ(found->sev, Severity::Error);
+    const CodeInfo *analyze = findCode("DFPA401");
+    ASSERT_NE(analyze, nullptr);
+    EXPECT_EQ(analyze->sev, Severity::Warning);
     EXPECT_EQ(findCode("DFPV999"), nullptr);
 }
 

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * dfp-analyze — the static cost-model analyzer. Compiles textual-IR
+ * files or built-in workloads under one (or all six) §6 pipeline
+ * configurations and prints each program's dataflow critical paths,
+ * predicate structure and resource pressure, flagging placement
+ * pathologies through the DFPA diagnostic family (docs/ANALYSIS.md).
+ *
+ * `--validate` cross-checks the analyzer against the simulator: every
+ * (workload, configuration) pair is simulated through the batch
+ * engine and the static per-workload cycle bound must be a true lower
+ * bound on the simulated cycle count — a violation means the cost
+ * model diverged from the machine and fails the run (CI gates on it).
+ *
+ * Exit status: 0 clean, 1 when any error diagnostic, bound violation
+ * or failed run was produced (with --strict, any diagnostic at all),
+ * 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "base/json.h"
+#include "base/logging.h"
+#include "base/version.h"
+#include "compiler/pipeline.h"
+#include "sim/batch.h"
+#include "verify/diag.h"
+#include "workloads/suite.h"
+
+using namespace dfp;
+
+namespace
+{
+
+/** One named input: a source string plus its unroll hint. */
+struct Input
+{
+    std::string name;
+    std::string source;
+    int unroll = 1;
+    const workloads::Workload *workload = nullptr; //!< null for files
+};
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfp-analyze [options] (<kernel.ir>... | --workload"
+        " <name> | --all-workloads)\n"
+        "\n"
+        "Static performance analysis of compiled dfp programs: dataflow\n"
+        "critical paths, predicate structure, resource pressure, and\n"
+        "the DFPA placement diagnostics (docs/ANALYSIS.md).\n"
+        "\n"
+        "  -c <config>        bb|hyper|intra|inter|both|merge|all\n"
+        "                     (default both)\n"
+        "  --workload <name>  analyze a built-in workload\n"
+        "  --all-workloads    analyze every workload in the suite\n"
+        "  --per-block        per-block detail in the text report\n"
+        "  --json             machine-readable output\n"
+        "  --out <file>       write the report to a file\n"
+        "  --validate         simulate every (workload, config) pair and\n"
+        "                     check the static bound <= simulated cycles\n"
+        "  --jobs <n>         worker threads for --validate (0 = all)\n"
+        "  --no-warnings      suppress DFPA diagnostics\n"
+        "  --no-paths         skip predicate-path enumeration\n"
+        "  --strict           any diagnostic fails the run (exit 1)\n"
+        "  --list-codes       print the diagnostic catalog and exit\n"
+        "  --version          print the dfp version and exit\n"
+        "  -h, --help         this text\n"
+        "\n"
+        "exit status: 0 clean, 1 findings or bound violation, 2 usage\n"
+        "error\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+/** Analysis of one (input, config) pair. */
+struct AnalyzeRun
+{
+    std::string input;
+    std::string config;
+    bool compiled = false;
+    std::string error;
+    analysis::ProgramReport report;
+};
+
+AnalyzeRun
+analyzeOne(const Input &in, const std::string &config,
+           const analysis::AnalyzeOptions &aopts)
+{
+    AnalyzeRun run;
+    run.input = in.name;
+    run.config = config;
+    try {
+        compiler::CompileOptions opts = compiler::configNamed(config);
+        opts.unroll.factor = in.unroll;
+        compiler::CompileResult res =
+            compiler::compileSource(in.source, opts);
+        run.report = analysis::analyzeProgram(res, aopts);
+        if (config == "merge") {
+            // DFPA404 needs the same source compiled without merging.
+            compiler::CompileOptions base = opts;
+            base.merging = false;
+            analysis::AnalyzeOptions cheap = aopts;
+            cheap.enumeratePaths = false;
+            cheap.warnings = false;
+            analysis::ProgramReport before = analysis::analyzeProgram(
+                compiler::compileSource(in.source, base), cheap);
+            analysis::compareMergeBaseline(run.report, before, aopts);
+        }
+        run.compiled = true;
+    } catch (const std::exception &err) {
+        run.error = err.what();
+    }
+    return run;
+}
+
+/** `--validate` over the workload suite; returns the exit status. */
+int
+runValidate(const std::vector<Input> &inputs,
+            const std::vector<std::string> &configs, int jobs,
+            bool jsonOut, std::ostream &os)
+{
+    std::vector<sim::BatchJob> batch;
+    for (const Input &in : inputs) {
+        if (!in.workload) {
+            std::fprintf(stderr,
+                         "dfp-analyze: --validate needs built-in "
+                         "workloads, not files ('%s')\n",
+                         in.name.c_str());
+            return 2;
+        }
+        for (const std::string &cfg : configs)
+            batch.push_back(sim::makeJob(*in.workload, cfg));
+    }
+
+    sim::BatchOptions bopts;
+    bopts.jobs = jobs;
+    bopts.predictCycles = true;
+    bopts.keepRunStats = false;
+    sim::BatchRunner runner(bopts);
+    sim::BatchSummary summary = runner.run(batch);
+
+    size_t violations = 0, failed = 0, predicted = 0;
+    double gapSum = 0;
+    for (const sim::BatchResult &r : summary.results) {
+        if (!r.ok) {
+            ++failed;
+            continue;
+        }
+        if (r.predictedCycles == 0)
+            continue;
+        ++predicted;
+        if (r.predictedCycles > r.cycles)
+            ++violations;
+        else if (r.cycles > 0)
+            gapSum += double(r.cycles - r.predictedCycles) /
+                      double(r.cycles);
+    }
+    double meanGap = predicted > violations && predicted > 0
+                         ? gapSum / double(predicted - violations)
+                         : 0.0;
+
+    if (jsonOut) {
+        json::Writer w(os);
+        w.beginObject();
+        w.key("runs").value(uint64_t(summary.results.size()));
+        w.key("failed_runs").value(uint64_t(failed));
+        w.key("predicted_runs").value(uint64_t(predicted));
+        w.key("bound_violations").value(uint64_t(violations));
+        w.key("mean_prediction_gap").value(meanGap);
+        w.key("results").beginArray();
+        for (const sim::BatchResult &r : summary.results) {
+            w.beginObject();
+            w.key("label").value(r.label);
+            w.key("ok").value(r.ok);
+            if (!r.ok)
+                w.key("error").value(r.error);
+            w.key("cycles").value(r.cycles);
+            w.key("predicted_cycles").value(r.predictedCycles);
+            if (r.ok && r.cycles > 0 && r.predictedCycles > 0) {
+                w.key("gap").value(
+                    double(int64_t(r.cycles) -
+                           int64_t(r.predictedCycles)) /
+                    double(r.cycles));
+                w.key("violation")
+                    .value(r.predictedCycles > r.cycles);
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+    } else {
+        for (const sim::BatchResult &r : summary.results) {
+            if (!r.ok) {
+                os << r.label << ": FAILED (" << r.error << ")\n";
+            } else if (r.predictedCycles > r.cycles) {
+                os << r.label << ": BOUND VIOLATION (predicted "
+                   << r.predictedCycles << " > simulated " << r.cycles
+                   << ")\n";
+            }
+        }
+        char gapBuf[32];
+        std::snprintf(gapBuf, sizeof(gapBuf), "%.1f%%",
+                      meanGap * 100.0);
+        os << "dfp-analyze: validated " << predicted << "/"
+           << summary.results.size() << " runs, " << violations
+           << " bound violation(s), " << failed
+           << " failed run(s), mean prediction gap " << gapBuf << "\n";
+    }
+    return (violations > 0 || failed > 0) ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config = "both";
+    std::string outFile;
+    std::vector<std::string> files;
+    std::vector<std::string> workloadNames;
+    bool allWorkloads = false, jsonOut = false, perBlock = false;
+    bool warnings = true, paths = true, strict = false;
+    bool validate = false;
+    int jobs = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(
+                    stderr, "dfp-analyze: option '%s' needs a value\n\n",
+                    arg.c_str());
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string value;
+        if (arg == "-c") config = next();
+        else if (eatValue("--workload", value))
+            workloadNames.push_back(value);
+        else if (arg == "--all-workloads") allWorkloads = true;
+        else if (arg == "--per-block") perBlock = true;
+        else if (arg == "--json") jsonOut = true;
+        else if (eatValue("--out", value)) outFile = value;
+        else if (arg == "--validate") validate = true;
+        else if (eatValue("--jobs", value)) jobs = std::atoi(value.c_str());
+        else if (arg == "--no-warnings") warnings = false;
+        else if (arg == "--no-paths") paths = false;
+        else if (arg == "--strict") strict = true;
+        else if (arg == "--list-codes") {
+            verify::renderCatalog(std::cout);
+            return 0;
+        }
+        else if (arg == "--version") {
+            std::printf("dfp-analyze %s\n", versionString());
+            return 0;
+        }
+        else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        } else if (arg[0] != '-') {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr,
+                         "dfp-analyze: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    try {
+    std::vector<std::string> configs;
+    if (config == "all")
+        configs = compiler::allConfigNames();
+    else
+        configs.push_back(config);
+
+    std::vector<Input> inputs;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::fprintf(stderr, "dfp-analyze: cannot open '%s'\n",
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        inputs.push_back({file, buf.str(), 1, nullptr});
+    }
+    auto addWorkload = [&](const workloads::Workload &w) {
+        inputs.push_back({w.name, w.source, w.unrollFactor, &w});
+    };
+    if (allWorkloads) {
+        for (const auto &w : workloads::eembcSuite())
+            addWorkload(w);
+        addWorkload(workloads::genalg());
+        for (const auto &w : workloads::microSuite())
+            addWorkload(w);
+    }
+    for (const std::string &name : workloadNames) {
+        const workloads::Workload *w = workloads::findWorkload(name);
+        if (!w) {
+            std::fprintf(stderr,
+                         "dfp-analyze: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        addWorkload(*w);
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "dfp-analyze: no inputs\n\n");
+        return usage();
+    }
+
+    std::ofstream outStream;
+    std::ostream *os = &std::cout;
+    if (!outFile.empty()) {
+        outStream.open(outFile);
+        if (!outStream) {
+            std::fprintf(stderr, "dfp-analyze: cannot write '%s'\n",
+                         outFile.c_str());
+            return 2;
+        }
+        os = &outStream;
+    }
+
+    if (validate)
+        return runValidate(inputs, configs, jobs, jsonOut, *os);
+
+    analysis::AnalyzeOptions aopts;
+    aopts.warnings = warnings;
+    aopts.enumeratePaths = paths;
+
+    std::vector<AnalyzeRun> runs;
+    for (const Input &in : inputs) {
+        for (const std::string &cfg : configs)
+            runs.push_back(analyzeOne(in, cfg, aopts));
+    }
+
+    size_t errors = 0, warns = 0, notes = 0;
+    for (const AnalyzeRun &run : runs) {
+        if (!run.compiled)
+            ++errors;
+        errors += run.report.diags.count(verify::Severity::Error);
+        warns += run.report.diags.count(verify::Severity::Warning);
+        notes += run.report.diags.count(verify::Severity::Note);
+    }
+
+    if (jsonOut) {
+        *os << "[";
+        bool first = true;
+        for (const AnalyzeRun &run : runs) {
+            if (!first)
+                *os << ",";
+            first = false;
+            *os << "{\"input\":\"" << json::escape(run.input)
+                << "\",\"config\":\"" << json::escape(run.config)
+                << "\",";
+            if (!run.compiled) {
+                *os << "\"error\":\"" << json::escape(run.error)
+                    << "\"}";
+                continue;
+            }
+            *os << "\"report\":";
+            analysis::renderJson(run.report, *os);
+            *os << "}";
+        }
+        *os << "]\n";
+    } else {
+        for (const AnalyzeRun &run : runs) {
+            *os << "== " << run.input << " [" << run.config << "]\n";
+            if (!run.compiled) {
+                *os << "compile failed: " << run.error << "\n\n";
+                continue;
+            }
+            analysis::renderText(run.report, *os, perBlock);
+            *os << "\n";
+        }
+        *os << "dfp-analyze: " << inputs.size() << " input(s) x "
+            << configs.size() << " config(s): " << errors
+            << " error(s), " << warns << " warning(s), " << notes
+            << " note(s)\n";
+    }
+    if (errors > 0)
+        return 1;
+    if (strict && (warns > 0 || notes > 0))
+        return 1;
+    return 0;
+    } catch (...) {
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &err) {
+            what = err.what();
+        } catch (...) {
+        }
+        verify::DiagList diags;
+        diags.error("DFPC105", {},
+                    detail::cat("unexpected error: ", what));
+        diags.renderText(std::cerr);
+        return 2;
+    }
+}

@@ -42,8 +42,11 @@ using namespace dfp;
 namespace
 {
 
-/** BENCH_*.json schema version; bump on incompatible changes. */
-constexpr int kSchemaVersion = 1;
+/** BENCH_*.json schema version; bump on incompatible changes.
+ *  v2: per-run "predicted_cycles" (the static analyzer's cycle lower
+ *  bound, see docs/ANALYSIS.md) so --compare can track the prediction
+ *  gap over time. v1 records still load (the field reads as 0). */
+constexpr int kSchemaVersion = 2;
 
 void
 printHelp(std::FILE *out)
@@ -244,6 +247,7 @@ struct BenchDoc
     {
         std::string workload, config;
         uint64_t cycles = 0, insts = 0;
+        uint64_t predictedCycles = 0; //!< 0 in v1 records
     };
     std::map<std::string, Run> runs; //!< by label
 };
@@ -260,8 +264,10 @@ docFromSummary(const sim::BatchSummary &batch, const std::string &suite,
     doc.wallSeconds = batch.wallSeconds;
     doc.simCycles = batch.totalSimCycles;
     doc.simCyclesPerSec = batch.simCyclesPerSecond();
-    for (const sim::BatchResult &r : batch.results)
-        doc.runs[r.label] = {r.workload, r.config, r.cycles, r.insts};
+    for (const sim::BatchResult &r : batch.results) {
+        doc.runs[r.label] = {r.workload, r.config, r.cycles, r.insts,
+                             r.predictedCycles};
+    }
     return doc;
 }
 
@@ -307,6 +313,7 @@ writeRecord(std::ostream &os, const sim::BatchSummary &batch,
         if (!r.ok)
             w.key("error").value(r.error);
         w.key("cycles").value(r.cycles);
+        w.key("predicted_cycles").value(r.predictedCycles);
         w.key("insts").value(r.insts);
         w.key("ipc").value(r.ipc());
         w.key("blocks").value(r.blocks);
@@ -372,6 +379,9 @@ loadDoc(const std::string &path, BenchDoc &doc, std::string &err)
         run.config = r["config"].str;
         run.cycles = static_cast<uint64_t>(r["cycles"].number);
         run.insts = static_cast<uint64_t>(r["insts"].number);
+        // Absent in v1 records: operator[] yields Null (number 0).
+        run.predictedCycles =
+            static_cast<uint64_t>(r["predicted_cycles"].number);
         doc.runs[r["label"].str] = run;
     }
     return true;
@@ -427,6 +437,24 @@ compareDocs(const BenchDoc &baseline, const BenchDoc &current,
     if (missing || drifted)
         ++failures;
 
+    // Prediction-gap trend (informational, never gates): how tight the
+    // static analyzer's cycle bound is, averaged over runs present in
+    // both records. A widening gap means the cost model is drifting
+    // away from the machine; see docs/ANALYSIS.md.
+    auto meanGap = [](const BenchDoc &doc) -> double {
+        double sum = 0;
+        size_t n = 0;
+        for (const auto &[label, run] : doc.runs) {
+            if (run.predictedCycles == 0 || run.cycles == 0)
+                continue;
+            sum += (double(run.cycles) - double(run.predictedCycles)) /
+                   double(run.cycles);
+            ++n;
+        }
+        return n ? sum / double(n) : -1.0;
+    };
+    double baseGap = meanGap(baseline), curGap = meanGap(current);
+
     // Throughput gate: host-dependent, hence the threshold.
     double floor =
         baseline.simCyclesPerSec * (1.0 - thresholdPct / 100.0);
@@ -440,6 +468,18 @@ compareDocs(const BenchDoc &baseline, const BenchDoc &current,
                 "%zu missing%s\n",
                 compared, drifted, missing,
                 cycleCheck ? "" : " (drift not gated)");
+    if (curGap >= 0) {
+        if (baseGap >= 0) {
+            std::printf("  prediction gap: mean %.1f%% vs baseline "
+                        "%.1f%% (%+.1f pt, informational)\n",
+                        curGap * 100.0, baseGap * 100.0,
+                        (curGap - baseGap) * 100.0);
+        } else {
+            std::printf("  prediction gap: mean %.1f%% (baseline "
+                        "record predates predicted_cycles)\n",
+                        curGap * 100.0);
+        }
+    }
     std::printf("  throughput: %.3f Msimcycles/s vs baseline %.3f "
                 "(floor %.3f at -%g%%): %s\n",
                 current.simCyclesPerSec / 1e6,
@@ -568,6 +608,7 @@ main(int argc, char **argv)
             sim::BatchOptions opts;
             opts.jobs = jobs;
             opts.keepRunStats = false; // the record keeps summaries only
+            opts.predictCycles = true; // v2 records carry the bound
             sim::BatchRunner runner(opts);
             std::fprintf(stderr,
                          "dfp-bench: suite '%s': %zu runs on %d "

@@ -155,10 +155,7 @@ main(int argc, char **argv)
         else if (arg == "--no-warnings") warnings = false;
         else if (arg == "--json") jsonOut = true;
         else if (arg == "--list-codes") {
-            for (const verify::CodeInfo &info : verify::diagCatalog())
-                std::printf("%s  %-7s  %s\n", info.code,
-                            verify::severityName(info.sev),
-                            info.summary);
+            verify::renderCatalog(std::cout);
             return 0;
         }
         else if (arg == "--version") {

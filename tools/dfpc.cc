@@ -18,6 +18,7 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/report.h"
 #include "base/json.h"
 #include "base/threadpool.h"
 #include "base/version.h"
@@ -128,6 +129,11 @@ printHelp(std::FILE *out)
         "  --encode           print the encoded 32-bit words\n"
         "  --run              run on the functional executor\n"
         "  --sim              run on the cycle-level machine\n"
+        "  --analyze          print the static performance analysis\n"
+        "                     (critical paths, predicate structure,\n"
+        "                     resource pressure and the DFPA placement\n"
+        "                     diagnostics; see docs/ANALYSIS.md and\n"
+        "                     tools/dfp-analyze for the full reports)\n"
         "\n"
         "resilience (see docs/RESILIENCE.md):\n"
         "  --fault-model <m>  inject faults: net-drop|net-corrupt|\n"
@@ -258,7 +264,7 @@ main(int argc, char **argv)
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
     bool runFunctional = false, runSim = false, stats = false;
-    bool verifyFlag = false, allWorkloads = false;
+    bool verifyFlag = false, allWorkloads = false, analyze = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -292,6 +298,7 @@ main(int argc, char **argv)
         else if (arg == "--multicast") multicast = true;
         else if (arg == "--no-schedule") schedule = false;
         else if (arg == "--verify") verifyFlag = true;
+        else if (arg == "--analyze") analyze = true;
         else if (arg == "--dump-ir") dumpIr = true;
         else if (arg == "--dump-blocks") dumpBlocks = true;
         else if (arg == "--encode") encode = true;
@@ -379,7 +386,7 @@ main(int argc, char **argv)
             jobs = dfp::ThreadPool::defaultThreads();
     }
     if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats &&
-        !verifyFlag)
+        !verifyFlag && !analyze)
         runSim = true;
     if (!traceFile.empty() || !statsJsonFile.empty())
         runSim = true; // tracing / stats export require a sim run
@@ -388,7 +395,8 @@ main(int argc, char **argv)
         runSim = true; // fault knobs only make sense on the machine
     if (allWorkloads) {
         if (!file.empty() || !workload.empty() || dumpIr || dumpBlocks ||
-            encode || runFunctional || verifyFlag || !traceFile.empty()) {
+            encode || runFunctional || verifyFlag || analyze ||
+            !traceFile.empty()) {
             std::fprintf(stderr,
                          "dfpc: --all-workloads batch-simulates every "
                          "built-in workload; it cannot be combined "
@@ -569,6 +577,12 @@ main(int argc, char **argv)
                          diags.count(verify::Severity::Note));
             if (diags.hasErrors())
                 return 1;
+        }
+        if (analyze) {
+            analysis::AnalyzeOptions aopts;
+            analysis::ProgramReport rep =
+                analysis::analyzeProgram(res, aopts);
+            analysis::renderText(rep, std::cout, /*perBlock=*/true);
         }
         if (dumpIr)
             ir::print(std::cout, res.hyperIr);
