@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared CLI numeric-flag parsing. Every tool that takes a count
+ * ("--watchdog-cycles", "--checkpoint-every", "--retries") or a
+ * duration ("--job-timeout") validates through these helpers, so a
+ * malformed value produces the same DFPC108 diagnostic (exit 2)
+ * everywhere instead of per-tool strtoull ad-hockery that silently
+ * read "10x" as 10 or "abc" as 0.
+ */
+
+#ifndef DFP_BASE_CLI_H
+#define DFP_BASE_CLI_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace dfp::cli
+{
+
+/**
+ * Parse a non-negative integer count. The whole string must be
+ * digits — trailing garbage, signs, empty strings, and overflow all
+ * fail with a human-readable reason in @p error.
+ */
+inline bool
+parseCount(const std::string &text, uint64_t &out, std::string &error)
+{
+    if (text.empty()) {
+        error = "empty value (expected a non-negative integer)";
+        return false;
+    }
+    for (char c : text) {
+        if (c < '0' || c > '9') {
+            error = "'" + text +
+                    "' is not a non-negative integer";
+            return false;
+        }
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size()) {
+        error = "'" + text + "' is out of range for a 64-bit count";
+        return false;
+    }
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+/**
+ * Parse a duration into seconds. Accepts a non-negative decimal number
+ * with an optional unit suffix: "30" / "30s" = 30 seconds, "5m" = 300,
+ * "2h" = 7200, "1.5s" = 1.5. Anything else fails with a reason.
+ */
+inline bool
+parseSeconds(const std::string &text, double &out, std::string &error)
+{
+    if (text.empty()) {
+        error = "empty value (expected a duration like '30', '30s', "
+                "'5m', or '1h')";
+        return false;
+    }
+    std::string number = text;
+    double scale = 1.0;
+    switch (text.back()) {
+      case 's':
+        number = text.substr(0, text.size() - 1);
+        break;
+      case 'm':
+        number = text.substr(0, text.size() - 1);
+        scale = 60.0;
+        break;
+      case 'h':
+        number = text.substr(0, text.size() - 1);
+        scale = 3600.0;
+        break;
+      default:
+        break;
+    }
+    if (number.empty()) {
+        error = "'" + text + "' has a unit but no number";
+        return false;
+    }
+    // Reject signs and whitespace up front; strtod accepts both.
+    for (char c : number) {
+        if ((c < '0' || c > '9') && c != '.') {
+            error = "'" + text +
+                    "' is not a duration (expected e.g. '30', '30s', "
+                    "'5m', '1h')";
+            return false;
+        }
+    }
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(number.c_str(), &end);
+    if (errno == ERANGE || end != number.c_str() + number.size() ||
+        v < 0.0) {
+        error = "'" + text + "' is not a valid duration";
+        return false;
+    }
+    out = v * scale;
+    return true;
+}
+
+} // namespace dfp::cli
+
+#endif // DFP_BASE_CLI_H

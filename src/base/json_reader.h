@@ -13,6 +13,8 @@
 #define DFP_BASE_JSON_READER_H
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -117,15 +119,27 @@ class Parser
     Value
     parseValue()
     {
-        switch (peek()) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"': return parseString();
-          case 't':
-          case 'f': return parseBool();
-          case 'n': return parseNull();
-          default: return parseNumber();
+        // Hostile input must fail cleanly, not blow the stack: a
+        // document of a million '[' characters would otherwise recurse
+        // once per bracket. The cap is far above anything the tools
+        // emit (their artifacts nest a handful of levels).
+        if (depth_ >= kMaxDepth) {
+            fail("nesting too deep");
+            return Value();
         }
+        ++depth_;
+        Value v;
+        switch (peek()) {
+          case '{': v = parseObject(); break;
+          case '[': v = parseArray(); break;
+          case '"': v = parseString(); break;
+          case 't':
+          case 'f': v = parseBool(); break;
+          case 'n': v = parseNull(); break;
+          default: v = parseNumber(); break;
+        }
+        --depth_;
+        return v;
     }
 
     Value
@@ -193,10 +207,17 @@ class Parser
               case 't': v.str += '\t'; break;
               case 'b': v.str += '\b'; break;
               case 'f': v.str += '\f'; break;
-              case 'u':
+              case 'u': {
                 if (pos_ + 4 > text_.size()) {
                     fail("truncated \\u escape");
                     return v;
+                }
+                for (size_t i = 0; i < 4; i++) {
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + i]))) {
+                        fail("bad \\u escape");
+                        return v;
+                    }
                 }
                 // Tests only need ASCII; decode the low byte.
                 v.str += static_cast<char>(std::strtoul(
@@ -204,6 +225,7 @@ class Parser
                     16));
                 pos_ += 4;
                 break;
+              }
               default: fail("bad escape"); return v;
             }
         }
@@ -228,9 +250,21 @@ class Parser
             fail("expected value");
             return v;
         }
-        v.number = std::strtod(
-            std::string(text_.substr(start, pos_ - start)).c_str(),
-            nullptr);
+        // strtod must consume the whole token: the character scan above
+        // admits shapes like "1.2.3", "--5", or a bare "e" that strtod
+        // silently truncates or reads as zero.
+        std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char *end = nullptr;
+        v.number = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+            fail("bad number");
+            return v;
+        }
+        if (errno == ERANGE && std::fabs(v.number) == HUGE_VAL) {
+            fail("number out of range");
+            return v;
+        }
         return v;
     }
 
@@ -262,8 +296,11 @@ class Parser
         return v;
     }
 
+    static constexpr int kMaxDepth = 256;
+
     std::string_view text_;
     size_t pos_ = 0;
+    int depth_ = 0;
     std::string error_;
 };
 

@@ -44,6 +44,13 @@ class Rng
                         nextBelow(static_cast<uint64_t>(hi - lo + 1)));
     }
 
+    /** Raw generator state, for checkpointing mid-stream. */
+    uint64_t state() const { return state_; }
+
+    /** Restore a previously captured state (0 maps to 1, as in the
+     *  constructor — xorshift cannot leave the all-zero state). */
+    void setState(uint64_t s) { state_ = s ? s : 1; }
+
   private:
     uint64_t state_;
 };

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Binary serialization helpers for the checkpoint/restore subsystem.
+ *
+ * A checkpoint must round-trip bit-exactly across processes, so the
+ * encoding is fixed little-endian regardless of host order, and the
+ * reader is fully bounds-checked: a truncated or corrupted payload
+ * flips a sticky error flag and every subsequent read returns a zero
+ * value instead of touching out-of-range bytes. Callers check
+ * `reader.ok()` once at the end instead of wrapping every field.
+ *
+ * The CRC32 here (polynomial 0xEDB88320, the zlib/IEEE one) guards
+ * checkpoint payloads against torn writes; it is not cryptographic.
+ */
+
+#ifndef DFP_BASE_SERIALIZE_H
+#define DFP_BASE_SERIALIZE_H
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfp::serialize
+{
+
+/** CRC32 (IEEE, reflected) over @p data; @p seed chains partial runs. */
+inline uint32_t
+crc32(const void *data, size_t len, uint32_t seed = 0)
+{
+    static const auto table = [] {
+        std::vector<uint32_t> t(256);
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; k++)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; i++)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+/** Append-only little-endian encoder backing a checkpoint payload. */
+class BinWriter
+{
+  public:
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+    size_t size() const { return buf_.size(); }
+
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; i++)
+            buf_.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            buf_.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void
+    i32(int32_t v)
+    {
+        u32(uint32_t(v));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(uint64_t(v));
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    f64(double v)
+    {
+        // Bit-pattern copy: checkpoints only ever reload on the same
+        // IEEE-754 representation this toolchain targets.
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    raw(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian decoder. Any read past the end of the
+ * buffer sets the sticky error flag and yields zeros; no read ever
+ * touches memory outside the buffer, so garbage input degrades to a
+ * clean `!ok()` instead of UB.
+ */
+class BinReader
+{
+  public:
+    BinReader(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+    explicit BinReader(const std::vector<uint8_t> &buf)
+        : BinReader(buf.data(), buf.size())
+    {}
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == len_; }
+    size_t remaining() const { return len_ - pos_; }
+
+    /** Poison the reader — callers reject payloads whose decoded
+     *  values are structurally impossible (e.g. geometry mismatch). */
+    void fail() { ok_ = false; }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= uint32_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= uint64_t(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    int32_t i32() { return int32_t(u32()); }
+    int64_t i64() { return int64_t(u64()); }
+    bool b() { return u8() != 0; }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        // Reject lengths the remaining buffer cannot possibly hold
+        // before allocating — a corrupted length field must not turn
+        // into a multi-gigabyte allocation.
+        if (!ok_ || n > remaining()) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      size_t(n));
+        pos_ += size_t(n);
+        return s;
+    }
+
+    /** Copy @p n raw bytes out; false (error flag set) on truncation. */
+    bool
+    raw(void *dst, size_t n)
+    {
+        if (n == 0)
+            return ok_;
+        if (!need(n))
+            return false;
+        std::memcpy(dst, data_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    /**
+     * Read a container length field, validating it against the bytes
+     * actually left assuming each element costs at least
+     * @p minElemBytes. Returns 0 (with the error flag set) on a length
+     * the buffer cannot hold, so resize-by-length stays safe.
+     */
+    size_t
+    len(size_t minElemBytes = 1)
+    {
+        uint64_t n = u64();
+        if (!ok_ || (minElemBytes && n > remaining() / minElemBytes)) {
+            ok_ = false;
+            return 0;
+        }
+        return size_t(n);
+    }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (!ok_ || len_ - pos_ < n) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace dfp::serialize
+
+#endif // DFP_BASE_SERIALIZE_H

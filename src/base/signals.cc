@@ -1,0 +1,46 @@
+#include "base/signals.h"
+
+#include <csignal>
+
+namespace dfp::signals
+{
+
+namespace
+{
+
+std::atomic<int> g_stop{0};
+
+extern "C" void
+onStopSignal(int signo)
+{
+    // Only the atomic store: everything else is deferred to the polling
+    // loop, keeping the handler trivially async-signal-safe.
+    g_stop.store(signo, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+installStopHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: let blocking IO fail fast too
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+const std::atomic<int> &
+stopRequested()
+{
+    return g_stop;
+}
+
+int
+stopSignal()
+{
+    return g_stop.load(std::memory_order_relaxed);
+}
+
+} // namespace dfp::signals

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Async-signal-safe stop-request plumbing for the tools. A SIGINT or
+ * SIGTERM stores its signal number into a lock-free atomic that long
+ * loops (the simulator's checkpoint poll, the batch supervisor) watch;
+ * the tool then shuts down cleanly — cutting a checkpoint first when
+ * one is armed — and exits with the conventional 128+signo status.
+ *
+ * The handler does nothing but the one atomic store, so it is safe
+ * under any interleaving; everything interesting happens on the normal
+ * control path.
+ */
+
+#ifndef DFP_BASE_SIGNALS_H
+#define DFP_BASE_SIGNALS_H
+
+#include <atomic>
+
+namespace dfp::signals
+{
+
+/** Install SIGINT/SIGTERM handlers that record the signal number.
+ *  Idempotent; call once near the top of main(). */
+void installStopHandlers();
+
+/** The flag the handlers write: 0 = no stop requested, otherwise the
+ *  signal number. Poll with relaxed loads; pass to
+ *  CheckpointControl::stop or SuperviseOptions. */
+const std::atomic<int> &stopRequested();
+
+/** The recorded signal number (0 = none). */
+int stopSignal();
+
+} // namespace dfp::signals
+
+#endif // DFP_BASE_SIGNALS_H

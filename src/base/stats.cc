@@ -21,6 +21,59 @@ Histogram::merge(const Histogram &other)
 }
 
 void
+Histogram::save(serialize::BinWriter &w) const
+{
+    w.u64(count_);
+    w.u64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+    for (uint64_t b : buckets_)
+        w.u64(b);
+}
+
+void
+Histogram::load(serialize::BinReader &r)
+{
+    count_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.u64();
+    max_ = r.u64();
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] = r.u64();
+}
+
+void
+StatSet::save(serialize::BinWriter &w) const
+{
+    w.u64(counters_.size());
+    for (const auto &[name, value] : counters_) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u64(histograms_.size());
+    for (const auto &[name, hist] : histograms_) {
+        w.str(name);
+        hist.save(w);
+    }
+}
+
+void
+StatSet::load(serialize::BinReader &r)
+{
+    clear();
+    size_t nc = r.len(9);
+    for (size_t i = 0; i < nc && r.ok(); ++i) {
+        std::string name = r.str();
+        counters_[name] = r.u64();
+    }
+    size_t nh = r.len(8);
+    for (size_t i = 0; i < nh && r.ok(); ++i) {
+        std::string name = r.str();
+        histograms_[name].load(r);
+    }
+}
+
+void
 StatSet::dump(std::ostream &os, const std::string &prefix) const
 {
     for (const auto &[name, value] : counters_)

@@ -18,6 +18,8 @@
 #include <ostream>
 #include <string>
 
+#include "base/serialize.h"
+
 namespace dfp
 {
 
@@ -64,6 +66,25 @@ class Histogram
 
     /** Inclusive lower bound of bucket @p i (0, 1, 2, 4, 8, ...). */
     static uint64_t bucketLo(int i) { return i == 0 ? 0 : 1ull << (i - 1); }
+
+    /**
+     * Rebuild from previously exported aggregates (checkpoint payloads,
+     * journal entries). @p minSeen is the raw smallest sample; pass 0
+     * with @p count == 0 to reconstruct an empty histogram exactly.
+     */
+    void
+    restore(uint64_t count, uint64_t sum, uint64_t minSeen, uint64_t maxSeen,
+            const std::array<uint64_t, kBuckets> &buckets)
+    {
+        count_ = count;
+        sum_ = sum;
+        min_ = count ? minSeen : ~0ull;
+        max_ = maxSeen;
+        buckets_ = buckets;
+    }
+
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
   private:
     uint64_t count_ = 0;
@@ -159,6 +180,10 @@ class StatSet
      *    buckets:[...]}}}
      */
     void dumpJson(std::ostream &os) const;
+
+    /** Serialize/restore the full set (checkpoint payloads). */
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
     /** Access all counters (sorted by name). */
     const std::map<std::string, uint64_t> &all() const { return counters_; }

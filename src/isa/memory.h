@@ -9,11 +9,13 @@
 #ifndef DFP_ISA_MEMORY_H
 #define DFP_ISA_MEMORY_H
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "base/logging.h"
+#include "base/serialize.h"
 
 namespace dfp::isa
 {
@@ -67,6 +69,42 @@ class Memory
     operator==(const Memory &other) const
     {
         return checksum() == other.checksum();
+    }
+
+    /** Serialize resident pages, sorted by page number so the encoding
+     *  is independent of unordered_map iteration order. */
+    void
+    save(serialize::BinWriter &w) const
+    {
+        std::vector<uint64_t> keys;
+        keys.reserve(pages_.size());
+        for (const auto &[pageNum, words] : pages_)
+            keys.push_back(pageNum);
+        std::sort(keys.begin(), keys.end());
+        w.u64(keys.size());
+        for (uint64_t k : keys) {
+            w.u64(k);
+            const auto &words = pages_.at(k);
+            for (uint64_t i = 0; i < kPageWords; ++i)
+                w.u64(words[i]);
+        }
+    }
+
+    /** Replace contents from a serialized image. Bounds-checked: a
+     *  truncated payload leaves the reader `!ok()`, never reads past
+     *  the buffer. */
+    void
+    load(serialize::BinReader &r)
+    {
+        pages_.clear();
+        size_t n = r.len(8 * (kPageWords + 1));
+        for (size_t i = 0; i < n && r.ok(); ++i) {
+            uint64_t k = r.u64();
+            auto &words = pages_[k];
+            words.resize(kPageWords);
+            for (uint64_t j = 0; j < kPageWords; ++j)
+                words[j] = r.u64();
+        }
     }
 
   private:

@@ -106,6 +106,101 @@ BatchRunner::compiledFor(const BatchJob &job, uint64_t &compiles,
     return it->second;
 }
 
+void
+BatchRunner::runJob(const BatchJob &job, BatchResult &out,
+                    const std::atomic<int> *stop, uint64_t &compiles,
+                    uint64_t &cacheHits)
+{
+    out.label = job.label;
+    out.config = job.config;
+    out.workload = job.workload ? job.workload->name : "";
+    // Anything thrown after compilation succeeded is a runtime fault;
+    // the phase marker keeps the taxonomy honest without nested trys.
+    const char *throwKind = "exception";
+    try {
+        dfp_assert(job.workload != nullptr,
+                   "batch job '", job.label, "' has no workload");
+        throwKind = "compile";
+        std::shared_ptr<const Compiled> prog =
+            compiledFor(job, compiles, cacheHits);
+        throwKind = "exception";
+
+        isa::ArchState state;
+        state.mem = workloads::initialMemory(*job.workload);
+        SimConfig simCfg = job.sim;
+        if (stop != nullptr)
+            simCfg.checkpoint.stop = stop;
+        Clock::time_point runStart = Clock::now();
+        SimResult res = simulate(prog->res.program, state, simCfg);
+        out.hostSeconds = secondsSince(runStart);
+
+        out.cycles = res.cycles;
+        out.blocks = res.blocksCommitted;
+        out.insts = res.instsCommitted;
+        out.movs = res.movsCommitted;
+        out.mispredicts = res.mispredicts;
+        out.flushed = res.blocksFlushed;
+        out.faultsInjected = res.faultsInjected;
+        out.replays = res.replays;
+        out.staticInsts = prog->res.stats.get("codegen.insts");
+        out.staticBlocks = prog->res.stats.get("codegen.blocks");
+        if (opts_.keepRunStats)
+            out.stats = std::move(res.stats);
+        else
+            out.stats = StatSet();
+
+        if (opts_.predictCycles) {
+            isa::ArchState pstate;
+            pstate.mem = workloads::initialMemory(*job.workload);
+            analysis::Prediction p = analysis::predictCycles(
+                prog->res.program, pstate,
+                analysis::CostModel::fromSim(job.sim));
+            if (p.ok)
+                out.predictedCycles = p.predictedCycles;
+        }
+
+        if (res.interrupted) {
+            out.error = "interrupted by a stop request";
+            out.errorKind = "interrupted";
+        } else if (!res.halted) {
+            out.error = res.error.empty() ? "simulation did not halt"
+                                          : res.error;
+            out.errorKind = "sim";
+        } else if (opts_.checkGolden &&
+                   (state.regs[compiler::kRetArchReg] !=
+                        prog->golden.retValue ||
+                    state.mem.checksum() !=
+                        prog->golden.memChecksum)) {
+            out.error = "diverged from the golden model";
+            out.errorKind = "golden";
+        } else {
+            out.ok = true;
+        }
+    } catch (const std::exception &err) {
+        out.ok = false;
+        out.error = err.what();
+        out.errorKind = throwKind;
+    }
+}
+
+BatchResult
+BatchRunner::runOne(const BatchJob &job, const std::atomic<int> *stop)
+{
+    // The caller forgoes sweep-level accounting; cache lookups made on
+    // its behalf still warm the shared cache either way.
+    uint64_t compiles = 0, cacheHits = 0;
+    return runOne(job, stop, compiles, cacheHits);
+}
+
+BatchResult
+BatchRunner::runOne(const BatchJob &job, const std::atomic<int> *stop,
+                    uint64_t &compiles, uint64_t &cacheHits)
+{
+    BatchResult out;
+    runJob(job, out, stop, compiles, cacheHits);
+    return out;
+}
+
 BatchSummary
 BatchRunner::run(const std::vector<BatchJob> &jobs)
 {
@@ -117,64 +212,8 @@ BatchRunner::run(const std::vector<BatchJob> &jobs)
     Clock::time_point batchStart = Clock::now();
     ThreadPool pool(opts_.jobs);
     pool.parallelFor(jobs.size(), [&](size_t i) {
-        const BatchJob &job = jobs[i];
-        BatchResult &out = summary.results[i];
-        out.label = job.label;
-        out.config = job.config;
-        out.workload = job.workload ? job.workload->name : "";
-        try {
-            dfp_assert(job.workload != nullptr,
-                       "batch job ", i, " has no workload");
-            std::shared_ptr<const Compiled> prog =
-                compiledFor(job, compiles, cacheHits);
-
-            isa::ArchState state;
-            state.mem = workloads::initialMemory(*job.workload);
-            Clock::time_point runStart = Clock::now();
-            SimResult res = simulate(prog->res.program, state, job.sim);
-            out.hostSeconds = secondsSince(runStart);
-
-            out.cycles = res.cycles;
-            out.blocks = res.blocksCommitted;
-            out.insts = res.instsCommitted;
-            out.movs = res.movsCommitted;
-            out.mispredicts = res.mispredicts;
-            out.flushed = res.blocksFlushed;
-            out.faultsInjected = res.faultsInjected;
-            out.replays = res.replays;
-            out.staticInsts = prog->res.stats.get("codegen.insts");
-            out.staticBlocks = prog->res.stats.get("codegen.blocks");
-            if (opts_.keepRunStats)
-                out.stats = std::move(res.stats);
-            else
-                out.stats = StatSet();
-
-            if (opts_.predictCycles) {
-                isa::ArchState pstate;
-                pstate.mem = workloads::initialMemory(*job.workload);
-                analysis::Prediction p = analysis::predictCycles(
-                    prog->res.program, pstate,
-                    analysis::CostModel::fromSim(job.sim));
-                if (p.ok)
-                    out.predictedCycles = p.predictedCycles;
-            }
-
-            if (!res.halted) {
-                out.error = res.error.empty() ? "simulation did not halt"
-                                              : res.error;
-            } else if (opts_.checkGolden &&
-                       (state.regs[compiler::kRetArchReg] !=
-                            prog->golden.retValue ||
-                        state.mem.checksum() !=
-                            prog->golden.memChecksum)) {
-                out.error = "diverged from the golden model";
-            } else {
-                out.ok = true;
-            }
-        } catch (const std::exception &err) {
-            out.ok = false;
-            out.error = err.what();
-        }
+        runJob(jobs[i], summary.results[i], nullptr, compiles,
+               cacheHits);
     });
 
     summary.wallSeconds = secondsSince(batchStart);

@@ -26,6 +26,7 @@
 #ifndef DFP_SIM_BATCH_H
 #define DFP_SIM_BATCH_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -65,6 +66,18 @@ struct BatchResult
 
     bool ok = false;         //!< halted, golden-matched, nothing threw
     std::string error;       //!< failure reason when !ok
+
+    /**
+     * Machine-readable failure class when !ok, for the supervisor's
+     * partial-failure report: "compile" (the pipeline or golden
+     * reference threw), "sim" (the run ended without halting, or the
+     * simulator reported an error), "golden" (architectural divergence
+     * from the golden model), "interrupted" (an external stop request
+     * aborted the run), "timeout" (the supervisor's deadline fired;
+     * rewritten by the supervisor, never set here), or "exception"
+     * (anything else thrown). Empty when ok.
+     */
+    std::string errorKind;
 
     uint64_t cycles = 0;
     uint64_t blocks = 0;
@@ -155,6 +168,27 @@ class BatchRunner
     BatchSummary run(const std::vector<BatchJob> &jobs);
 
     /**
+     * Run a single job to completion on the calling thread: compile
+     * (through the shared program cache), simulate, verify against the
+     * golden model. This is exactly the per-job body of run(), exposed
+     * so the crash-resilient supervisor (sim/supervise.h) can own
+     * scheduling, deadlines, and retries while producing byte-identical
+     * BatchResults. Thread-safe: concurrent runOne() calls only share
+     * the immutable program cache.
+     *
+     * @p stop, when non-null, is polled by the machine mid-run; once it
+     * becomes nonzero the run aborts with errorKind "interrupted".
+     */
+    BatchResult runOne(const BatchJob &job,
+                       const std::atomic<int> *stop = nullptr);
+
+    /** As above, but also credits compile-cache accounting to the
+     *  caller's counters (incremented under the cache lock, so one
+     *  pair may be shared across concurrent callers). */
+    BatchResult runOne(const BatchJob &job, const std::atomic<int> *stop,
+                       uint64_t &compiles, uint64_t &cacheHits);
+
+    /**
      * The canonical cache key of one compilation: the workload name
      * plus a full serialization of every CompileOptions field that can
      * change generated code. Exposed for the cache-accounting tests.
@@ -168,6 +202,10 @@ class BatchRunner
     std::shared_ptr<const Compiled> compiledFor(const BatchJob &job,
                                                 uint64_t &compiles,
                                                 uint64_t &cacheHits);
+
+    void runJob(const BatchJob &job, BatchResult &out,
+                const std::atomic<int> *stop, uint64_t &compiles,
+                uint64_t &cacheHits);
 
     BatchOptions opts_;
     std::mutex cacheMu_;

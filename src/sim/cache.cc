@@ -70,6 +70,42 @@ Cache::exportStats(StatSet &stats, const std::string &prefix) const
 }
 
 void
+Cache::save(serialize::BinWriter &w) const
+{
+    w.b(lastFlip_);
+    w.u64(tick_);
+    w.u64(hits_);
+    w.u64(misses_);
+    w.u64(lines_.size());
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.b(line.valid);
+        w.u64(line.lastUse);
+    }
+}
+
+void
+Cache::load(serialize::BinReader &r)
+{
+    lastFlip_ = r.b();
+    tick_ = r.u64();
+    hits_ = r.u64();
+    misses_ = r.u64();
+    size_t n = r.len(17);
+    if (n != lines_.size()) {
+        // Geometry mismatch — poison the reader so the caller rejects
+        // the checkpoint instead of loading a torn tag array.
+        r.fail();
+        return;
+    }
+    for (Line &line : lines_) {
+        line.tag = r.u64();
+        line.valid = r.b();
+        line.lastUse = r.u64();
+    }
+}
+
+void
 Cache::reset()
 {
     for (Line &line : lines_)

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/serialize.h"
 #include "base/stats.h"
 #include "sim/fault.h"
 
@@ -60,6 +61,12 @@ class Cache
     /** Roll per-line-access counters into @p stats as
      *  "<prefix>.hits" / "<prefix>.misses" / "<prefix>.accesses". */
     void exportStats(StatSet &stats, const std::string &prefix) const;
+
+    /** Serialize/restore mutable state (tags, LRU clock, counters).
+     *  Geometry comes from the constructor; the attached fault engine
+     *  is re-attached by the owner after load(). */
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
   private:
     struct Line

@@ -1,0 +1,162 @@
+#include "sim/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/serialize.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'F', 'P', 'C', 'K', 'P', 'T', '1'};
+
+} // namespace
+
+std::string
+simConfigKey(const SimConfig &c)
+{
+    // Every knob that steers cycle-level behaviour, in a fixed order.
+    // The checkpoint hooks (everyCycles, stop, sink, resume) are
+    // deliberately absent: where a run pauses must not change what it
+    // computes, and the byte-identity tests rely on that.
+    std::ostringstream os;
+    os << "grid=" << c.grid.rows << "x" << c.grid.cols
+       << ";blocks=" << c.maxBlocksInFlight
+       << ";fetch=" << c.fetchLatency << "/" << c.fetchWidth
+       << ";pred=" << c.predictLatency
+       << ";l1d=" << c.l1dBytes << "/" << c.l1dAssoc << "/"
+       << c.l1dHitLatency
+       << ";l1i=" << c.l1iBytes << "/" << c.l1iAssoc << "/"
+       << c.l1iHitLatency
+       << ";miss=" << c.missLatency << ";line=" << c.lineBytes
+       << ";et=" << c.earlyTermination << ";pp=" << c.perfectPrediction
+       << ";cont=" << c.modelContention << ";aggr=" << c.aggressiveLoads
+       << ";maxcyc=" << c.maxCycles
+       << ";fault=" << faultModelName(c.faults.model) << "/"
+       << c.faults.rate << "/" << c.faults.seed << "/"
+       << c.faults.maxDelayCycles << "/" << c.faults.maxStallCycles
+       << "/" << c.faults.tileFailThreshold
+       << ";rec=" << c.recovery.retryBudget << "/"
+       << c.recovery.backoffBase << "/" << c.recovery.backoffCapShift
+       << ";wd=" << c.watchdogCycles << ";pbs=" << c.perBlockStats;
+    return os.str();
+}
+
+std::vector<uint8_t>
+encodeCheckpoint(const Checkpoint &ckpt)
+{
+    serialize::BinWriter body;
+    body.str(ckpt.toolVersion);
+    body.str(ckpt.compileKey);
+    body.str(ckpt.simKey);
+    body.str(ckpt.workload);
+    body.u64(ckpt.cycle);
+    body.u64(ckpt.payload.size());
+    body.raw(ckpt.payload.data(), ckpt.payload.size());
+
+    serialize::BinWriter out;
+    out.raw(kMagic, sizeof(kMagic));
+    out.u32(Checkpoint::kFormatVersion);
+    out.u32(serialize::crc32(body.bytes().data(), body.size()));
+    out.raw(body.bytes().data(), body.size());
+    return out.take();
+}
+
+CheckpointStatus
+decodeCheckpoint(const std::vector<uint8_t> &bytes, Checkpoint &out,
+                 std::string &error)
+{
+    if (bytes.size() < sizeof(kMagic) + 8) {
+        error = "file too short to be a checkpoint";
+        return CheckpointStatus::Corrupt;
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        error = "bad magic (not a dfp checkpoint)";
+        return CheckpointStatus::Corrupt;
+    }
+    serialize::BinReader hdr(bytes.data() + sizeof(kMagic),
+                             bytes.size() - sizeof(kMagic));
+    uint32_t version = hdr.u32();
+    if (version != Checkpoint::kFormatVersion) {
+        error = "unsupported checkpoint format version " +
+                std::to_string(version) + " (expected " +
+                std::to_string(Checkpoint::kFormatVersion) + ")";
+        return CheckpointStatus::Corrupt;
+    }
+    uint32_t storedCrc = hdr.u32();
+    const uint8_t *body = bytes.data() + sizeof(kMagic) + 8;
+    size_t bodyLen = bytes.size() - sizeof(kMagic) - 8;
+    if (serialize::crc32(body, bodyLen) != storedCrc) {
+        error = "checksum mismatch (truncated or corrupted file)";
+        return CheckpointStatus::Corrupt;
+    }
+
+    serialize::BinReader r(body, bodyLen);
+    out.toolVersion = r.str();
+    out.compileKey = r.str();
+    out.simKey = r.str();
+    out.workload = r.str();
+    out.cycle = r.u64();
+    size_t payloadLen = r.len(1);
+    out.payload.resize(payloadLen);
+    r.raw(out.payload.data(), payloadLen);
+    if (!r.ok() || !r.atEnd()) {
+        error = "malformed checkpoint body";
+        return CheckpointStatus::Corrupt;
+    }
+    return CheckpointStatus::Ok;
+}
+
+bool
+writeCheckpointFile(const std::string &path, const Checkpoint &ckpt,
+                    std::string &error)
+{
+    std::vector<uint8_t> bytes = encodeCheckpoint(ckpt);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) {
+            error = "write to '" + tmp + "' failed";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "rename '" + tmp + "' -> '" + path + "' failed";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+CheckpointStatus
+readCheckpointFile(const std::string &path, Checkpoint &out,
+                   std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return CheckpointStatus::Unreadable;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    if (is.bad()) {
+        error = "read error on '" + path + "'";
+        return CheckpointStatus::Unreadable;
+    }
+    return decodeCheckpoint(bytes, out, error);
+}
+
+} // namespace dfp::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Checkpoint file format: the framing around a Machine snapshot payload
+ * (see CheckpointControl in sim/machine.h) that makes it safe to park
+ * on disk and resume in another process.
+ *
+ * Layout (all little-endian):
+ *
+ *   byte 0..7    magic "DFPCKPT1"
+ *   byte 8..11   u32 format version (kFormatVersion)
+ *   byte 12..15  u32 CRC32 (IEEE) of everything after this field
+ *   then         str toolVersion   (git describe of the writer)
+ *                str compileKey    (workload + CompileOptions fingerprint)
+ *                str simKey        (SimConfig fingerprint, simConfigKey())
+ *                str workload      (display name)
+ *                u64 cycle         (simulated cycle the snapshot was cut)
+ *                u64 payloadSize + payload bytes (Machine::saveState)
+ *
+ * A resumed run is byte-identical to an uninterrupted one ONLY if the
+ * program and configuration are bit-for-bit the same, so the reader
+ * verifies the CRC (DFPC106 on any truncation/corruption) and the
+ * caller must verify the three keys against its own before handing the
+ * payload to simulate() (DFPC107 on mismatch). Version policy: the
+ * format version bumps on any payload layout change; there is no
+ * cross-version migration — a checkpoint is a resume token, not an
+ * archival format. See docs/CHECKPOINT.md.
+ */
+
+#ifndef DFP_SIM_CHECKPOINT_H
+#define DFP_SIM_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace dfp::sim
+{
+
+/** One framed snapshot (decoded form). */
+struct Checkpoint
+{
+    static constexpr uint32_t kFormatVersion = 1;
+
+    std::string toolVersion; //!< versionString() of the writer
+    std::string compileKey;  //!< workload + CompileOptions fingerprint
+    std::string simKey;      //!< simConfigKey() of the run
+    std::string workload;    //!< display name
+    uint64_t cycle = 0;      //!< simulated cycle of the cut
+    std::vector<uint8_t> payload; //!< Machine::saveState bytes
+};
+
+/** Outcome of decoding a checkpoint file. */
+enum class CheckpointStatus : uint8_t
+{
+    Ok,
+    Unreadable, //!< missing file / IO error (DFPC106)
+    Corrupt,    //!< bad magic, truncation, or CRC mismatch (DFPC106)
+};
+
+/**
+ * Fingerprint every SimConfig knob that affects cycle-level behaviour.
+ * Two runs with equal fingerprints (and equal programs) are
+ * cycle-identical, so a checkpoint may only resume under an equal
+ * fingerprint. Checkpoint hooks themselves are excluded — pausing at
+ * different points must not invalidate a snapshot.
+ */
+std::string simConfigKey(const SimConfig &config);
+
+/** Encode the framed form (magic + version + CRC + fields). */
+std::vector<uint8_t> encodeCheckpoint(const Checkpoint &ckpt);
+
+/**
+ * Decode and CRC-verify a framed checkpoint. On any structural problem
+ * returns Corrupt with a human-readable reason in @p error; the decoded
+ * fields are only valid on Ok.
+ */
+CheckpointStatus decodeCheckpoint(const std::vector<uint8_t> &bytes,
+                                  Checkpoint &out, std::string &error);
+
+/**
+ * Write atomically: encode to "<path>.tmp", then rename over @p path,
+ * so a crash mid-write never leaves a half-written file under the real
+ * name. Returns false (with @p error set) on IO failure.
+ */
+bool writeCheckpointFile(const std::string &path, const Checkpoint &ckpt,
+                         std::string &error);
+
+/** Read + decode + CRC-verify @p path. */
+CheckpointStatus readCheckpointFile(const std::string &path,
+                                    Checkpoint &out, std::string &error);
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_CHECKPOINT_H

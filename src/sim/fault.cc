@@ -135,6 +135,64 @@ FaultEngine::takeTileToMapOut()
 }
 
 void
+FaultEngine::save(serialize::BinWriter &w) const
+{
+    w.u64(rng_.state());
+    w.u64(opportunities_);
+    w.u64(recoveries_);
+    w.i32(liveTiles_);
+    w.u64(hardFails_.size());
+    for (int f : hardFails_)
+        w.i32(f);
+    w.u64(dead_.size());
+    for (bool d : dead_)
+        w.b(d);
+    w.u64(injected_);
+    w.u64(dropped_);
+    w.u64(corrupted_);
+    w.u64(delayed_);
+    w.u64(delayCycles_);
+    w.u64(stalls_);
+    w.u64(stallCycles_);
+    w.u64(hardFailCount_);
+    w.u64(flips_);
+    w.u64(lies_);
+}
+
+void
+FaultEngine::load(serialize::BinReader &r)
+{
+    rng_.setState(r.u64());
+    opportunities_ = r.u64();
+    recoveries_ = r.u64();
+    liveTiles_ = r.i32();
+    size_t nf = r.len(4);
+    if (nf != hardFails_.size()) {
+        r.fail();
+        return;
+    }
+    for (int &f : hardFails_)
+        f = r.i32();
+    size_t nd = r.len(1);
+    if (nd != dead_.size()) {
+        r.fail();
+        return;
+    }
+    for (size_t i = 0; i < dead_.size(); ++i)
+        dead_[i] = r.b();
+    injected_ = r.u64();
+    dropped_ = r.u64();
+    corrupted_ = r.u64();
+    delayed_ = r.u64();
+    delayCycles_ = r.u64();
+    stalls_ = r.u64();
+    stallCycles_ = r.u64();
+    hardFailCount_ = r.u64();
+    flips_ = r.u64();
+    lies_ = r.u64();
+}
+
+void
 FaultEngine::exportStats(StatSet &stats) const
 {
     stats.set("sim.fault.opportunities", opportunities_);

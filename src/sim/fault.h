@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "base/random.h"
+#include "base/serialize.h"
 #include "base/stats.h"
 
 namespace dfp::sim
@@ -193,6 +194,14 @@ class FaultEngine
 
     /** Roll the injection counters into @p stats under "sim.fault.*". */
     void exportStats(StatSet &stats) const;
+
+    /** Serialize/restore mutable state: PRNG position, opportunity and
+     *  injection tallies, per-tile hard-fail/map-out state. The config
+     *  (model, rate, seed, thresholds) is NOT serialized — the restored
+     *  engine must be constructed from the same FaultConfig, which the
+     *  checkpoint layer enforces via the config fingerprint. */
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
   private:
     static constexpr uint64_t kForcePeriod = 16;

@@ -1,14 +1,16 @@
 #include "sim/machine.h"
 
+#include <algorithm>
 #include <array>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <set>
 #include <vector>
+
+#include "base/serialize.h"
 
 #include "isa/alu.h"
 #include "sim/cache.h"
@@ -161,55 +163,113 @@ class Machine
             base += (block.sizeBytes() + config.lineBytes - 1) /
                     config.lineBytes * config.lineBytes;
         }
-        if (cfg_.perfectPrediction)
+        // The oracle trace replays the *initial* architectural state,
+        // so on resume it is restored from the snapshot instead.
+        if (cfg_.perfectPrediction && cfg_.checkpoint.resume == nullptr)
             buildOracleTrace();
+        ckptArmed_ = cfg_.checkpoint.everyCycles != 0 ||
+                     cfg_.checkpoint.stop != nullptr;
+        nextCkpt_ = cfg_.checkpoint.everyCycles;
+        if (cfg_.checkpoint.resume != nullptr) {
+            serialize::BinReader r(*cfg_.checkpoint.resume);
+            if (loadState(r) && r.ok() && r.atEnd()) {
+                resumed_ = true;
+                // Re-aim the periodic trigger past the restored clock.
+                if (cfg_.checkpoint.everyCycles != 0) {
+                    while (nextCkpt_ <= now_)
+                        nextCkpt_ += cfg_.checkpoint.everyCycles;
+                }
+            } else {
+                // The checkpoint layer CRC-validates payloads before
+                // they reach us, so this means an internal mismatch
+                // (e.g. a different program). Fail the run loudly.
+                res_.error = "checkpoint payload does not match this "
+                             "program/configuration";
+                done_ = true;
+            }
+        }
     }
 
     SimResult run();
 
   private:
     // ------------------------------------------------------------------
-    // Event machinery.
+    // Event machinery. Events are a closed set of tagged records (not
+    // closures) so the pending-event queue can be serialized into a
+    // checkpoint and restored bit-exactly; dispatch() is the single
+    // interpreter. Pop order is a strict total order on (cycle, seq),
+    // so restoring the heap array verbatim reproduces the schedule.
+    enum class EvKind : uint8_t
+    {
+        // Frame-bound (scheduled via frameAt; generation-checked and
+        // counted in Frame::pendingOps).
+        FetchDone,      //!< block fetch pipeline delivered the block
+        DeliverOperand, //!< token arrives at target (uses target, token)
+        Execute,        //!< issue slot fires instruction idx
+        RouteResult,    //!< result token fans out from inst idx
+        ResolveStore,   //!< store reaches its bank (idx = lsid)
+        FaultDetect,    //!< parity caught a flip (idx: 0=l1d, 1=net)
+        // Global (scheduled via schedule(); no pendingOps accounting).
+        CommitCheck, //!< oldest frame may commit (uses slot, gen)
+        FetchResume, //!< replay-backoff hold expired
+        WatchdogTick,
+    };
+
     struct Event
     {
-        uint64_t cycle;
-        uint64_t seq;
-        std::function<void()> fn;
+        uint64_t cycle = 0;
+        uint64_t seq = 0;
+        uint64_t gen = 0;
+        uint64_t addr = 0;
+        Token token{};
+        Target target{};
+        int32_t slot = -1;
+        int32_t idx = 0;
+        EvKind kind = EvKind::FetchResume;
+
         bool operator>(const Event &o) const
         {
             return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
         }
     };
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+    /** Min-heap on (cycle, seq) over a plain vector so the container
+     *  serializes; pop order is total, so heap layout cannot leak into
+     *  behaviour. */
+    std::vector<Event> events_;
     uint64_t seq_ = 0;
     uint64_t now_ = 0;
 
     void
-    at(uint64_t cycle, std::function<void()> fn)
+    schedule(Event ev)
     {
-        dfp_assert(cycle >= now_, "event scheduled in the past");
-        events_.push({cycle, seq_++, std::move(fn)});
+        dfp_assert(ev.cycle >= now_, "event scheduled in the past");
+        ev.seq = seq_++;
+        events_.push_back(ev);
+        std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+    }
+
+    Event
+    popEvent()
+    {
+        std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+        Event ev = events_.back();
+        events_.pop_back();
+        return ev;
     }
 
     /** Schedule an event tied to a frame; dropped if the frame is gone. */
     void
-    frameAt(int slot, uint64_t cycle, std::function<void(Frame &)> fn)
+    frameAt(int slot, uint64_t cycle, Event ev)
     {
-        uint64_t gen = frames_[slot]->gen;
+        ev.cycle = cycle;
+        ev.slot = slot;
+        ev.gen = frames_[slot]->gen;
         frames_[slot]->pendingOps++;
-        at(cycle, [this, slot, gen, fn = std::move(fn)] {
-            Frame *f = frames_[slot].get();
-            if (!f || f->gen != gen)
-                return; // flushed
-            f->pendingOps--;
-            fn(*f);
-            // fn may have flushed this very frame (same-frame dependence
-            // violations, fault recovery); re-check before completion.
-            f = frames_[slot].get();
-            if (f && f->gen == gen)
-                checkCompletion(*f, slot);
-        });
+        schedule(ev);
     }
+
+    void dispatch(const Event &ev);
 
     // ------------------------------------------------------------------
     int tileOf(const Frame &f, int idx) const
@@ -265,6 +325,14 @@ class Machine
     void watchdogTick();
     DeadlockReport buildForensics(const char *reason) const;
 
+    // Checkpoint/restore (cold: reachable only behind ckptArmed_, which
+    // is false unless SimConfig::checkpoint arms a hook, so a plain run
+    // pays one predicted-not-taken branch per event).
+    __attribute__((noinline, cold)) bool pauseRequested();
+    __attribute__((noinline, cold)) void cutSnapshot();
+    void saveState(serialize::BinWriter &w) const;
+    bool loadState(serialize::BinReader &r);
+
     uint64_t readRegister(int slot, int reg, bool &ready, Token &out);
 
     // ------------------------------------------------------------------
@@ -316,6 +384,12 @@ class Machine
     SimResult res_;
     bool done_ = false;
     int redirect_ = 0; //!< next block to fetch when no frames exist
+
+    // Checkpoint machinery (see CheckpointControl).
+    bool resumed_ = false;   //!< state restored from a snapshot
+    bool ckptArmed_ = false; //!< any checkpoint hook active
+    uint64_t nextCkpt_ = 0;  //!< next periodic snapshot cycle (0 = off)
+    uint64_t stopFuse_ = 0;  //!< throttles the atomic stop poll
 
     // Hot-path metrics: plain members (kept after the cold state so
     // the hot layout above is undisturbed), folded into res_.stats
@@ -378,10 +452,10 @@ Machine::fetchMore()
         // hold expires (a later squash may extend it further).
         if (!holdScheduled_) {
             holdScheduled_ = true;
-            at(fetchHoldUntil_, [this] {
-                holdScheduled_ = false;
-                fetchMore();
-            });
+            Event ev;
+            ev.cycle = fetchHoldUntil_;
+            ev.kind = EvKind::FetchResume;
+            schedule(ev);
         }
         return;
     }
@@ -461,8 +535,9 @@ Machine::startFetch(int blockIdx)
                           cfg_.fetchLatency + extra, -1, blockIdx,
                           frames_[slot]->block->label.c_str(),
                           uint64_t(missed), 0}));
-    frameAt(slot, start + cfg_.fetchLatency + extra,
-            [this, slot](Frame &f) { onFetchDone(f, slot); });
+    Event ev;
+    ev.kind = EvKind::FetchDone;
+    frameAt(slot, start + cfg_.fetchLatency + extra, ev);
     res_.stats.inc("sim.fetches");
 }
 
@@ -516,9 +591,11 @@ Machine::tryResolveRead(int slot, int readIdx)
             read.reg, toTile, now_ + timing::kReadInjectCycles);
         if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
             continue;
-        frameAt(slot, arrive, [this, slot, t, token](Frame &g) {
-            deliverOperand(g, slot, t, token, now_);
-        });
+        Event ev;
+        ev.kind = EvKind::DeliverOperand;
+        ev.target = t;
+        ev.token = token;
+        frameAt(slot, arrive, ev);
     }
 }
 
@@ -676,10 +753,12 @@ Machine::maybeIssue(Frame &f, int slot, int idx)
         }
     }
     tileFree_[tile] = issue + timing::kIssueRepeatCycles;
-    frameAt(slot, issue,
-            [this, slot, idx, issue](Frame &g) {
-                execute(g, slot, idx, issue);
-            });
+    // The issue cycle IS the event cycle, so Execute re-derives it from
+    // now_ at dispatch.
+    Event ev;
+    ev.kind = EvKind::Execute;
+    ev.idx = idx;
+    frameAt(slot, issue, ev);
 }
 
 void
@@ -721,10 +800,12 @@ Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
             net_.deliverToBank(tileOf(f, idx), bank, doneCycle);
         if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
             return; // the LSID never resolves; the watchdog recovers
-        frameAt(slot, arrive,
-                [this, slot, lsid = inst.lsid, addr, value](Frame &g) {
-                    resolveStore(g, slot, lsid, addr, value, now_, false);
-                });
+        Event ev;
+        ev.kind = EvKind::ResolveStore;
+        ev.idx = inst.lsid;
+        ev.addr = addr;
+        ev.token = value;
+        frameAt(slot, arrive, ev);
         return;
       }
       case Op::Ld:
@@ -755,9 +836,11 @@ Machine::execute(Frame &f, int slot, int idx, uint64_t issueCycle)
             doneCycle);
         if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
             return;
-        frameAt(slot, arrive, [this, slot, t, out](Frame &g) {
-            deliverOperand(g, slot, t, out, now_);
-        });
+        Event ev;
+        ev.kind = EvKind::DeliverOperand;
+        ev.target = t;
+        ev.token = out;
+        frameAt(slot, arrive, ev);
         return;
       }
       default: {
@@ -791,9 +874,11 @@ Machine::routeResult(Frame &f, int slot, int idx, const Token &result,
         }
         if (DFP_FAULT_ACTIVE(faults_) && !faultMessage(slot, arrive))
             continue;
-        frameAt(slot, arrive, [this, slot, t, result](Frame &g) {
-            deliverOperand(g, slot, t, result, now_);
-        });
+        Event ev;
+        ev.kind = EvKind::DeliverOperand;
+        ev.target = t;
+        ev.token = result;
+        frameAt(slot, arrive, ev);
     }
     if (f.block->insts[idx].targets.empty())
         f.lastOutputCycle = std::max(f.lastOutputCycle, cycle);
@@ -864,18 +949,21 @@ Machine::doLoad(Frame &f, int slot, int idx, uint64_t issueCycle)
                       (TraceEvent{TraceEventKind::FaultInject, now_, 0,
                                   tileOf(f, idx), f.blockIdx,
                                   "cache-flip", addr, inst.lsid}));
-            frameAt(slot, back, [this, slot](Frame &) {
-                onFaultDetected(slot, "l1d-parity");
-            });
+            Event ev;
+            ev.kind = EvKind::FaultDetect;
+            ev.idx = 0; // "l1d-parity"
+            frameAt(slot, back, ev);
             return;
         }
         if (!faultMessage(slot, back))
             return; // reply lost; the watchdog recovers
     }
     f.doneLoads.push_back({inst.lsid, addr});
-    frameAt(slot, back, [this, slot, idx, out](Frame &g) {
-        routeResult(g, slot, idx, out, now_);
-    });
+    Event ev;
+    ev.kind = EvKind::RouteResult;
+    ev.idx = idx;
+    ev.token = out;
+    frameAt(slot, back, ev);
 }
 
 void
@@ -976,16 +1064,12 @@ Machine::tryCommit()
         return;
     uint64_t when =
         std::max(now_, oldest.completeCycle) + timing::kCommitCycles;
-    int slot = order_.front();
-    uint64_t gen = oldest.gen;
-    at(when, [this, slot, gen] {
-        if (done_ || order_.empty() || order_.front() != slot)
-            return;
-        Frame *f = frames_[slot].get();
-        if (!f || f->gen != gen || !f->complete)
-            return;
-        commitOldest();
-    });
+    Event ev;
+    ev.cycle = when;
+    ev.kind = EvKind::CommitCheck;
+    ev.slot = order_.front();
+    ev.gen = oldest.gen;
+    schedule(ev);
 }
 
 void
@@ -1142,9 +1226,10 @@ Machine::faultMessage(int slot, uint64_t arrive)
         // Per-token parity catches the flip at ejection: model the
         // detection as an event at the would-be arrival cycle. (A drop
         // has no such signal — only the progress watchdog sees it.)
-        frameAt(slot, arrive, [this, slot](Frame &) {
-            onFaultDetected(slot, "net-parity");
-        });
+        Event ev;
+        ev.kind = EvKind::FaultDetect;
+        ev.idx = 1; // "net-parity"
+        frameAt(slot, arrive, ev);
     }
     return false;
 }
@@ -1234,7 +1319,10 @@ Machine::mapOutTile(int tile)
 void
 Machine::armWatchdog()
 {
-    at(now_ + watchdogCycles_, [this] { watchdogTick(); });
+    Event ev;
+    ev.cycle = now_ + watchdogCycles_;
+    ev.kind = EvKind::WatchdogTick;
+    schedule(ev);
 }
 
 void
@@ -1340,24 +1428,545 @@ Machine::buildForensics(const char *reason) const
     return report;
 }
 
+void
+Machine::dispatch(const Event &ev)
+{
+    // Global events first: no frame binding, no pendingOps accounting.
+    switch (ev.kind) {
+      case EvKind::FetchResume:
+        holdScheduled_ = false;
+        fetchMore();
+        return;
+      case EvKind::WatchdogTick:
+        watchdogTick();
+        return;
+      case EvKind::CommitCheck: {
+        if (done_ || order_.empty() || order_.front() != ev.slot)
+            return;
+        Frame *f = frames_[ev.slot].get();
+        if (!f || f->gen != ev.gen || !f->complete)
+            return;
+        commitOldest();
+        return;
+      }
+      default:
+        break;
+    }
+
+    // Frame-bound events: generation-checked, then completion-checked
+    // (the handler may flush its own frame — same-frame dependence
+    // violations, fault recovery — so re-fetch before the check).
+    Frame *f = frames_[ev.slot].get();
+    if (!f || f->gen != ev.gen)
+        return; // flushed
+    f->pendingOps--;
+    switch (ev.kind) {
+      case EvKind::FetchDone:
+        onFetchDone(*f, ev.slot);
+        break;
+      case EvKind::DeliverOperand:
+        deliverOperand(*f, ev.slot, ev.target, ev.token, now_);
+        break;
+      case EvKind::Execute:
+        // The issue cycle is the cycle the event was scheduled for.
+        execute(*f, ev.slot, ev.idx, now_);
+        break;
+      case EvKind::RouteResult:
+        routeResult(*f, ev.slot, ev.idx, ev.token, now_);
+        break;
+      case EvKind::ResolveStore:
+        resolveStore(*f, ev.slot, static_cast<uint8_t>(ev.idx), ev.addr,
+                     ev.token, now_, false);
+        break;
+      case EvKind::FaultDetect:
+        onFaultDetected(ev.slot,
+                        ev.idx == 0 ? "l1d-parity" : "net-parity");
+        break;
+      default:
+        break;
+    }
+    f = frames_[ev.slot].get();
+    if (f && f->gen == ev.gen)
+        checkCompletion(*f, ev.slot);
+}
+
+bool
+Machine::pauseRequested()
+{
+    // External stop (signal handler / supervisor deadline): polled on a
+    // throttle so the relaxed atomic load stays off the per-event path.
+    const std::atomic<int> *stop = cfg_.checkpoint.stop;
+    if (stop != nullptr && (++stopFuse_ & 0xFF) == 0 &&
+        stop->load(std::memory_order_relaxed) != 0) {
+        cutSnapshot();
+        res_.interrupted = true;
+        return true;
+    }
+    // Periodic snapshot: cut before popping the first event at or past
+    // the target, so now_ still names the last retired cycle.
+    if (nextCkpt_ != 0 && events_.front().cycle >= nextCkpt_) {
+        cutSnapshot();
+        while (nextCkpt_ <= events_.front().cycle)
+            nextCkpt_ += cfg_.checkpoint.everyCycles;
+    }
+    return false;
+}
+
+void
+Machine::cutSnapshot()
+{
+    if (!cfg_.checkpoint.sink)
+        return;
+    serialize::BinWriter w;
+    saveState(w);
+    cfg_.checkpoint.sink(now_, w.bytes());
+}
+
+namespace
+{
+
+void
+saveToken(serialize::BinWriter &w, const Token &t)
+{
+    w.u64(t.value);
+    w.b(t.null);
+    w.b(t.excep);
+}
+
+Token
+loadToken(serialize::BinReader &r)
+{
+    Token t;
+    t.value = r.u64();
+    t.null = r.b();
+    t.excep = r.b();
+    return t;
+}
+
+void
+saveOptToken(serialize::BinWriter &w, const std::optional<Token> &t)
+{
+    w.b(t.has_value());
+    if (t.has_value())
+        saveToken(w, *t);
+}
+
+std::optional<Token>
+loadOptToken(serialize::BinReader &r)
+{
+    if (!r.b())
+        return std::nullopt;
+    return loadToken(r);
+}
+
+} // namespace
+
+void
+Machine::saveState(serialize::BinWriter &w) const
+{
+    w.u64(now_);
+    w.u64(seq_);
+
+    // Event queue: the heap array verbatim. Pop order is a strict
+    // total order on (cycle, seq), so restoring the array bit-exactly
+    // reproduces the schedule regardless of heap layout history.
+    w.u64(events_.size());
+    for (const Event &ev : events_) {
+        w.u64(ev.cycle);
+        w.u64(ev.seq);
+        w.u64(ev.gen);
+        w.u64(ev.addr);
+        saveToken(w, ev.token);
+        w.u8(static_cast<uint8_t>(ev.target.slot));
+        w.u8(ev.target.index);
+        w.i32(ev.slot);
+        w.i32(ev.idx);
+        w.u8(static_cast<uint8_t>(ev.kind));
+    }
+
+    // In-flight frames (null slots included: events index by slot).
+    w.u64(frames_.size());
+    for (const auto &fp : frames_) {
+        w.b(fp != nullptr);
+        if (!fp)
+            continue;
+        const Frame &f = *fp;
+        w.u64(f.gen);
+        w.i32(f.blockIdx);
+        w.b(f.fetched);
+        w.b(f.conservative);
+        w.u64(f.ists.size());
+        for (const Frame::IState &st : f.ists) {
+            saveOptToken(w, st.left);
+            saveOptToken(w, st.right);
+            w.b(st.predMatched);
+            w.b(st.fired);
+        }
+        w.u64(f.writeTok.size());
+        for (const auto &t : f.writeTok)
+            saveOptToken(w, t);
+        w.b(f.branchTarget.has_value());
+        if (f.branchTarget.has_value())
+            w.i32(*f.branchTarget);
+        w.u64(f.storeBuf.size());
+        for (const auto &[lsid, st] : f.storeBuf) {
+            w.u8(lsid);
+            w.u64(st.first);
+            saveToken(w, st.second);
+        }
+        w.u32(f.resolvedLsids);
+        w.u64(f.doneLoads.size());
+        for (const auto &[lsid, addr] : f.doneLoads) {
+            w.u8(lsid);
+            w.u64(addr);
+        }
+        w.u64(f.waitingLoads.size());
+        for (int idx : f.waitingLoads)
+            w.i32(idx);
+        w.i32(f.pendingOps);
+        w.b(f.complete);
+        w.u64(f.completeCycle);
+        w.u64(f.lastOutputCycle);
+        w.u64(f.fetchStart);
+        w.u64(f.fired);
+        w.u64(f.movs);
+        w.i32(f.predictedNext);
+    }
+
+    w.u64(order_.size());
+    for (int s : order_)
+        w.i32(s);
+    w.u64(nextGen_);
+    w.u64(tileFree_.size());
+    for (uint64_t t : tileFree_)
+        w.u64(t);
+    w.u64(lastFetchStart_);
+
+    // Multimap iteration is key-sorted with equal keys in insertion
+    // order; re-inserting in this order reproduces it exactly.
+    w.u64(regWaiters_.size());
+    for (const auto &[reg, waiter] : regWaiters_) {
+        w.i32(reg);
+        w.i32(waiter.slot);
+        w.u64(waiter.gen);
+        w.i32(waiter.readIdx);
+    }
+
+    w.u64(conservativeBlocks_.size());
+    for (int b : conservativeBlocks_)
+        w.i32(b);
+
+    if (cfg_.perfectPrediction) {
+        w.u64(oracle_.size());
+        for (int b : oracle_)
+            w.i32(b);
+        w.u64(oraclePos_);
+    }
+
+    w.u64(fetchHoldUntil_);
+    w.b(holdScheduled_);
+    w.u64(watchdogFires_);
+    w.u64(tilesMappedOut_);
+    w.u64(progress_);
+    w.u64(watchdogLastProgress_);
+    w.u64(lastProgressCycle_);
+    w.i32(redirect_);
+
+    w.u64(tileIssued_.size());
+    for (uint64_t t : tileIssued_)
+        w.u64(t);
+    for (size_t c = 0; c < size_t(OpClass::NumClasses); ++c)
+        w.u64(opClassFired_[c]);
+    w.u64(nulledTokens_);
+    w.u64(predTokensDelivered_);
+    w.u64(predTokensMatched_);
+    w.u64(earlyTermBlocks_);
+    w.u64(earlyTermOps_);
+    w.u64(maxFramesInFlight_);
+
+    // Result scalars and stats accumulated so far.
+    w.u64(res_.cycles);
+    w.u64(res_.blocksCommitted);
+    w.u64(res_.blocksFlushed);
+    w.u64(res_.instsCommitted);
+    w.u64(res_.movsCommitted);
+    w.u64(res_.mispredicts);
+    w.u64(res_.loadViolations);
+    res_.stats.save(w);
+
+    // Architectural state (committed registers + memory).
+    w.u64(state_.regs.size());
+    for (uint64_t reg : state_.regs)
+        w.u64(reg);
+    state_.mem.save(w);
+
+    // Components. The fault engine's presence must match the config
+    // fingerprint, which the checkpoint layer enforces.
+    net_.save(w);
+    l1d_.save(w);
+    l1i_.save(w);
+    predictor_.save(w);
+    recovery_.save(w);
+    w.b(faults_ != nullptr);
+    if (faults_ != nullptr) {
+        faults_->save(w);
+        w.u64(tileRemap_.size());
+        for (int t : tileRemap_)
+            w.i32(t);
+    }
+}
+
+bool
+Machine::loadState(serialize::BinReader &r)
+{
+    now_ = r.u64();
+    seq_ = r.u64();
+
+    size_t nEvents = r.len(31);
+    events_.clear();
+    events_.reserve(nEvents);
+    for (size_t i = 0; i < nEvents && r.ok(); ++i) {
+        Event ev;
+        ev.cycle = r.u64();
+        ev.seq = r.u64();
+        ev.gen = r.u64();
+        ev.addr = r.u64();
+        ev.token = loadToken(r);
+        uint8_t slotKind = r.u8();
+        if (slotKind > static_cast<uint8_t>(Slot::WriteQ)) {
+            r.fail();
+            return false;
+        }
+        ev.target.slot = static_cast<Slot>(slotKind);
+        ev.target.index = r.u8();
+        ev.slot = r.i32();
+        ev.idx = r.i32();
+        uint8_t kind = r.u8();
+        if (kind > static_cast<uint8_t>(EvKind::WatchdogTick)) {
+            r.fail();
+            return false;
+        }
+        ev.kind = static_cast<EvKind>(kind);
+        events_.push_back(ev);
+    }
+
+    size_t nFrames = r.len(1);
+    frames_.clear();
+    for (size_t s = 0; s < nFrames && r.ok(); ++s) {
+        if (!r.b()) {
+            frames_.emplace_back();
+            continue;
+        }
+        auto f = std::make_unique<Frame>();
+        f->gen = r.u64();
+        f->blockIdx = r.i32();
+        if (f->blockIdx < 0 ||
+            f->blockIdx >= static_cast<int>(program_.blocks.size())) {
+            r.fail();
+            return false;
+        }
+        f->block = &program_.blocks[f->blockIdx];
+        f->fetched = r.b();
+        f->conservative = r.b();
+        size_t nIsts = r.len(4);
+        if (nIsts != f->block->insts.size()) {
+            r.fail();
+            return false;
+        }
+        f->ists.resize(nIsts);
+        for (Frame::IState &st : f->ists) {
+            st.left = loadOptToken(r);
+            st.right = loadOptToken(r);
+            st.predMatched = r.b();
+            st.fired = r.b();
+        }
+        size_t nWrites = r.len(1);
+        if (nWrites != f->block->writes.size()) {
+            r.fail();
+            return false;
+        }
+        f->writeTok.resize(nWrites);
+        for (auto &t : f->writeTok)
+            t = loadOptToken(r);
+        if (r.b())
+            f->branchTarget = r.i32();
+        size_t nStores = r.len(19);
+        for (size_t i = 0; i < nStores && r.ok(); ++i) {
+            uint8_t lsid = r.u8();
+            uint64_t addr = r.u64();
+            f->storeBuf[lsid] = {addr, loadToken(r)};
+        }
+        f->resolvedLsids = r.u32();
+        size_t nLoads = r.len(9);
+        for (size_t i = 0; i < nLoads && r.ok(); ++i) {
+            uint8_t lsid = r.u8();
+            uint64_t addr = r.u64();
+            f->doneLoads.push_back({lsid, addr});
+        }
+        size_t nWaiting = r.len(4);
+        for (size_t i = 0; i < nWaiting && r.ok(); ++i)
+            f->waitingLoads.push_back(r.i32());
+        f->pendingOps = r.i32();
+        f->complete = r.b();
+        f->completeCycle = r.u64();
+        f->lastOutputCycle = r.u64();
+        f->fetchStart = r.u64();
+        f->fired = r.u64();
+        f->movs = r.u64();
+        f->predictedNext = r.i32();
+        frames_.push_back(std::move(f));
+    }
+
+    size_t nOrder = r.len(4);
+    order_.clear();
+    for (size_t i = 0; i < nOrder && r.ok(); ++i) {
+        int s = r.i32();
+        if (s < 0 || s >= static_cast<int>(frames_.size()) ||
+            !frames_[s]) {
+            r.fail();
+            return false;
+        }
+        order_.push_back(s);
+    }
+    // Frame-bound events must name a valid slot (the frame itself may
+    // be gone — that is what generation checks are for).
+    for (const Event &ev : events_) {
+        bool frameBound = ev.kind == EvKind::FetchDone ||
+                          ev.kind == EvKind::DeliverOperand ||
+                          ev.kind == EvKind::Execute ||
+                          ev.kind == EvKind::RouteResult ||
+                          ev.kind == EvKind::ResolveStore ||
+                          ev.kind == EvKind::FaultDetect ||
+                          ev.kind == EvKind::CommitCheck;
+        if (frameBound &&
+            (ev.slot < 0 || ev.slot >= static_cast<int>(frames_.size()))) {
+            r.fail();
+            return false;
+        }
+    }
+    nextGen_ = r.u64();
+
+    size_t nTiles = r.len(8);
+    if (nTiles != tileFree_.size()) {
+        r.fail();
+        return false;
+    }
+    for (uint64_t &t : tileFree_)
+        t = r.u64();
+    lastFetchStart_ = r.u64();
+
+    regWaiters_.clear();
+    size_t nWaiters = r.len(16);
+    for (size_t i = 0; i < nWaiters && r.ok(); ++i) {
+        int reg = r.i32();
+        Waiter wtr;
+        wtr.slot = r.i32();
+        wtr.gen = r.u64();
+        wtr.readIdx = r.i32();
+        regWaiters_.insert({reg, wtr});
+    }
+
+    conservativeBlocks_.clear();
+    size_t nCons = r.len(4);
+    for (size_t i = 0; i < nCons && r.ok(); ++i)
+        conservativeBlocks_.insert(r.i32());
+
+    if (cfg_.perfectPrediction) {
+        oracle_.clear();
+        size_t nOracle = r.len(4);
+        for (size_t i = 0; i < nOracle && r.ok(); ++i)
+            oracle_.push_back(r.i32());
+        oraclePos_ = r.u64();
+    }
+
+    fetchHoldUntil_ = r.u64();
+    holdScheduled_ = r.b();
+    watchdogFires_ = r.u64();
+    tilesMappedOut_ = r.u64();
+    progress_ = r.u64();
+    watchdogLastProgress_ = r.u64();
+    lastProgressCycle_ = r.u64();
+    redirect_ = r.i32();
+
+    size_t nIssued = r.len(8);
+    if (nIssued != tileIssued_.size()) {
+        r.fail();
+        return false;
+    }
+    for (uint64_t &t : tileIssued_)
+        t = r.u64();
+    for (size_t c = 0; c < size_t(OpClass::NumClasses); ++c)
+        opClassFired_[c] = r.u64();
+    nulledTokens_ = r.u64();
+    predTokensDelivered_ = r.u64();
+    predTokensMatched_ = r.u64();
+    earlyTermBlocks_ = r.u64();
+    earlyTermOps_ = r.u64();
+    maxFramesInFlight_ = r.u64();
+
+    res_.cycles = r.u64();
+    res_.blocksCommitted = r.u64();
+    res_.blocksFlushed = r.u64();
+    res_.instsCommitted = r.u64();
+    res_.movsCommitted = r.u64();
+    res_.mispredicts = r.u64();
+    res_.loadViolations = r.u64();
+    res_.stats.load(r);
+
+    size_t nRegs = r.len(8);
+    if (nRegs != state_.regs.size()) {
+        r.fail();
+        return false;
+    }
+    for (uint64_t &reg : state_.regs)
+        reg = r.u64();
+    state_.mem.load(r);
+
+    net_.load(r);
+    l1d_.load(r);
+    l1i_.load(r);
+    predictor_.load(r);
+    recovery_.load(r);
+    bool hadFaults = r.b();
+    if (hadFaults != (faults_ != nullptr)) {
+        r.fail();
+        return false;
+    }
+    if (faults_ != nullptr) {
+        faults_->load(r);
+        size_t nRemap = r.len(4);
+        if (nRemap != tileRemap_.size()) {
+            r.fail();
+            return false;
+        }
+        for (int &t : tileRemap_)
+            t = r.i32();
+    }
+    return r.ok();
+}
+
 SimResult
 Machine::run()
 {
-    fetchMore();
-    if (watchdogCycles_ != 0)
-        armWatchdog();
+    if (!done_ && !resumed_) {
+        fetchMore();
+        if (watchdogCycles_ != 0)
+            armWatchdog();
+    }
     while (!events_.empty() && !done_) {
-        Event ev = events_.top();
-        events_.pop();
+        if (__builtin_expect(ckptArmed_, 0) && pauseRequested())
+            break;
+        Event ev = popEvent();
         now_ = ev.cycle;
         if (now_ > cfg_.maxCycles) {
             res_.error = "cycle limit exceeded";
             break;
         }
-        ev.fn();
+        dispatch(ev);
     }
     res_.cycles = std::max(res_.cycles, now_);
-    if (!done_ && res_.error.empty() && !res_.halted) {
+    if (!done_ && !res_.interrupted && res_.error.empty() &&
+        !res_.halted) {
         // Event queue drained with frames outstanding: a block deadlock.
         // The structured forensic dump carries the full per-frame state
         // (missing operand slots, unresolved LSIDs, LSQ residue); the

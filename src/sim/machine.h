@@ -24,7 +24,11 @@
 #ifndef DFP_SIM_MACHINE_H
 #define DFP_SIM_MACHINE_H
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "base/stats.h"
 #include "isa/exec.h"
@@ -36,6 +40,48 @@
 
 namespace dfp::sim
 {
+
+/**
+ * Checkpoint/restore hooks (SimConfig::checkpoint). All disabled by
+ * default; a run with everything at defaults schedules no polling and
+ * stays cycle- and stats-identical to a build without the subsystem.
+ * See docs/CHECKPOINT.md.
+ */
+struct CheckpointControl
+{
+    /**
+     * Cut a snapshot each time the simulated clock crosses another N
+     * cycles (0 = never). Snapshots are taken at event boundaries —
+     * before the first event at or past the target cycle — so the
+     * machine state is always quiescent mid-cut.
+     */
+    uint64_t everyCycles = 0;
+
+    /**
+     * External stop request (not owned; may be set from a signal
+     * handler or a supervisor thread). When non-null and nonzero, the
+     * run cuts a final snapshot, sets SimResult::interrupted, and
+     * returns early. Polled every few hundred events.
+     */
+    const std::atomic<int> *stop = nullptr;
+
+    /**
+     * Receives each snapshot: the simulated cycle it was cut at and
+     * the serialized machine payload (see sim/checkpoint.h for the
+     * framed on-disk format layered on top).
+     */
+    std::function<void(uint64_t cycle, const std::vector<uint8_t> &payload)>
+        sink;
+
+    /**
+     * Resume payload (not owned; must outlive simulate()). When
+     * non-null the machine restores this snapshot instead of starting
+     * from cycle 0; the program, ArchState seed, and SimConfig must
+     * match the checkpointed run (enforced by the checkpoint layer's
+     * fingerprints, see sim/checkpoint.h).
+     */
+    const std::vector<uint8_t> *resume = nullptr;
+};
 
 /** Machine configuration; defaults mirror the paper's tsim-proc (§6). */
 struct SimConfig
@@ -93,6 +139,9 @@ struct SimConfig
      * no watchdog events and stay cycle-identical to the seed).
      */
     uint64_t watchdogCycles = 0;
+
+    /** Checkpoint/restore hooks; see CheckpointControl. */
+    CheckpointControl checkpoint;
 };
 
 /** Result of one simulation. */
@@ -100,6 +149,14 @@ struct SimResult
 {
     bool halted = false;
     bool raisedException = false;
+
+    /**
+     * The run stopped early on an external stop request (checkpoint
+     * hooks) after cutting a final snapshot; `halted` is false and no
+     * deadlock forensics are produced. Resuming the snapshot finishes
+     * the run with results byte-identical to an uninterrupted one.
+     */
+    bool interrupted = false;
     std::string error;
 
     uint64_t cycles = 0;

@@ -123,6 +123,35 @@ OperandNetwork::deliverFromBank(int bankRow, int tile, uint64_t cycle)
 }
 
 void
+OperandNetwork::save(serialize::BinWriter &w) const
+{
+    w.u64(hops_);
+    w.u64(stalls_);
+    hopLatency_.save(w);
+    w.u64(linkFree_.size());
+    for (const auto &[link, free] : linkFree_) {
+        w.i32(link.first);
+        w.i32(link.second);
+        w.u64(free);
+    }
+}
+
+void
+OperandNetwork::load(serialize::BinReader &r)
+{
+    reset();
+    hops_ = r.u64();
+    stalls_ = r.u64();
+    hopLatency_.load(r);
+    size_t n = r.len(16);
+    for (size_t i = 0; i < n && r.ok(); ++i) {
+        int a = r.i32();
+        int b = r.i32();
+        linkFree_[{a, b}] = r.u64();
+    }
+}
+
+void
 OperandNetwork::reset()
 {
     linkFree_.clear();

@@ -14,6 +14,7 @@
 #include <map>
 #include <vector>
 
+#include "base/serialize.h"
 #include "base/stats.h"
 #include "sim/fault.h"
 #include "sim/trace.h"
@@ -87,6 +88,13 @@ class OperandNetwork
     void exportStats(StatSet &stats) const;
 
     void reset();
+
+    /** Serialize/restore mutable state (counters, latency histogram,
+     *  per-link occupancy). Geometry and attached trace/fault hooks are
+     *  reconstructed by the owner. linkFree_ is an ordered map, so the
+     *  encoding is deterministic. */
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
   private:
     /** Route over a hop sequence with per-link occupancy. */

@@ -52,6 +52,45 @@ BlockPredictor::train(int block, int next)
 }
 
 void
+BlockPredictor::save(serialize::BinWriter &w) const
+{
+    w.u64(history_);
+    w.u64(lookups_);
+    w.u64(correct_);
+    w.u64(pattern_.size());
+    for (const Entry &e : pattern_) {
+        w.i32(e.target);
+        w.u8(e.confidence);
+    }
+    w.u64(lastSeen_.size());
+    for (const Entry &e : lastSeen_) {
+        w.i32(e.target);
+        w.u8(e.confidence);
+    }
+}
+
+void
+BlockPredictor::load(serialize::BinReader &r)
+{
+    history_ = r.u64();
+    lookups_ = r.u64();
+    correct_ = r.u64();
+    auto loadTable = [&r](std::vector<Entry> &table) {
+        size_t n = r.len(5);
+        if (n != table.size()) {
+            r.fail();
+            return;
+        }
+        for (Entry &e : table) {
+            e.target = r.i32();
+            e.confidence = r.u8();
+        }
+    };
+    loadTable(pattern_);
+    loadTable(lastSeen_);
+}
+
+void
 BlockPredictor::exportStats(StatSet &stats) const
 {
     stats.set("sim.pred.lookups", lookups_);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/serialize.h"
 #include "base/stats.h"
 #include "sim/fault.h"
 
@@ -55,6 +56,12 @@ class BlockPredictor
         ++lookups_;
         correct_ += wasCorrect;
     }
+
+    /** Serialize/restore mutable state (history, tables, counters).
+     *  Table geometry comes from the constructor; the attached fault
+     *  engine is re-attached by the owner. */
+    void save(serialize::BinWriter &w) const;
+    void load(serialize::BinReader &r);
 
   private:
     struct Entry

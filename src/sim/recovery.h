@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "base/serialize.h"
 #include "base/stats.h"
 
 namespace dfp::sim
@@ -71,6 +72,35 @@ class RecoveryManager
 
     /** Roll recovery counters into @p stats under "sim.recovery.*". */
     void exportStats(StatSet &stats) const;
+
+    /** Serialize/restore mutable state (per-block retry counts and
+     *  tallies). The config comes from the constructor. */
+    void
+    save(serialize::BinWriter &w) const
+    {
+        w.u64(retries_.size());
+        for (const auto &[block, count] : retries_) {
+            w.i32(block);
+            w.i32(count);
+        }
+        w.u64(replays_);
+        w.u64(backoffCycles_);
+        w.i32(maxRetriesSeen_);
+    }
+
+    void
+    load(serialize::BinReader &r)
+    {
+        retries_.clear();
+        size_t n = r.len(8);
+        for (size_t i = 0; i < n && r.ok(); ++i) {
+            int block = r.i32();
+            retries_[block] = r.i32();
+        }
+        replays_ = r.u64();
+        backoffCycles_ = r.u64();
+        maxRetriesSeen_ = r.i32();
+    }
 
   private:
     RecoveryConfig cfg_;

@@ -1,0 +1,520 @@
+#include "sim/supervise.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "base/json.h"
+#include "base/json_reader.h"
+#include "base/serialize.h"
+#include "base/threadpool.h"
+#include "sim/checkpoint.h"
+
+namespace dfp::sim
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int64_t
+nowNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+toHex(const std::vector<uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xF];
+    }
+    return out;
+}
+
+bool
+fromHex(const std::string &hex, std::vector<uint8_t> &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        return -1;
+    };
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(uint8_t(hi << 4 | lo));
+    }
+    return true;
+}
+
+/** Full BatchResult round-trip: every field the identity gate cares
+ *  about travels bit-exact inside the journal line's binary blob
+ *  (JSON numbers are doubles and would round large counters). */
+void
+encodeResult(const BatchResult &r, serialize::BinWriter &w)
+{
+    w.str(r.label);
+    w.str(r.config);
+    w.str(r.workload);
+    w.b(r.ok);
+    w.str(r.error);
+    w.str(r.errorKind);
+    w.u64(r.cycles);
+    w.u64(r.blocks);
+    w.u64(r.insts);
+    w.u64(r.movs);
+    w.u64(r.mispredicts);
+    w.u64(r.flushed);
+    w.u64(r.faultsInjected);
+    w.u64(r.replays);
+    w.u64(r.staticInsts);
+    w.u64(r.staticBlocks);
+    w.u64(r.predictedCycles);
+    w.f64(r.hostSeconds);
+    r.stats.save(w);
+}
+
+bool
+decodeResult(serialize::BinReader &r, BatchResult &out)
+{
+    out.label = r.str();
+    out.config = r.str();
+    out.workload = r.str();
+    out.ok = r.b();
+    out.error = r.str();
+    out.errorKind = r.str();
+    out.cycles = r.u64();
+    out.blocks = r.u64();
+    out.insts = r.u64();
+    out.movs = r.u64();
+    out.mispredicts = r.u64();
+    out.flushed = r.u64();
+    out.faultsInjected = r.u64();
+    out.replays = r.u64();
+    out.staticInsts = r.u64();
+    out.staticBlocks = r.u64();
+    out.predictedCycles = r.u64();
+    out.hostSeconds = r.f64();
+    out.stats.load(r);
+    return r.ok() && r.atEnd();
+}
+
+/**
+ * The append-only sweep journal. Every line is
+ * `{"crc":<crc32>,"p":{...}}` where the CRC covers the exact text of
+ * the payload object, so a torn tail line, a truncated file, or a
+ * flipped bit is detected line-locally: the damaged line is
+ * quarantined and the rest of the journal stays usable.
+ */
+class Journal
+{
+  public:
+    bool
+    open(const std::string &dir, const SuperviseOptions &opts,
+         size_t jobCount, std::string &error)
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec) {
+            error = "cannot create journal directory '" + dir +
+                    "': " + ec.message();
+            return false;
+        }
+        manifestPath = dir + "/manifest.jsonl";
+        quarantinePath = dir + "/quarantine.jsonl";
+        replay(error);
+        if (!error.empty())
+            return false;
+        os_.open(manifestPath, std::ios::app);
+        if (!os_) {
+            error = "cannot open '" + manifestPath + "' for append";
+            return false;
+        }
+        std::ostringstream payload;
+        json::Writer w(payload);
+        w.beginObject();
+        w.key("kind").value("header");
+        w.key("version").value(uint64_t{1});
+        w.key("tool").value(opts.toolVersion);
+        w.key("jobs").value(uint64_t{jobCount});
+        w.endObject();
+        append(payload.str());
+        return true;
+    }
+
+    void
+    start(const std::string &id, uint64_t attempt)
+    {
+        std::ostringstream payload;
+        json::Writer w(payload);
+        w.beginObject();
+        w.key("kind").value("start");
+        w.key("id").value(id);
+        w.key("attempt").value(attempt);
+        w.endObject();
+        append(payload.str());
+    }
+
+    void
+    done(const std::string &id, uint64_t attempt, const BatchResult &r)
+    {
+        serialize::BinWriter blob;
+        encodeResult(r, blob);
+        std::ostringstream payload;
+        json::Writer w(payload);
+        w.beginObject();
+        w.key("kind").value("done");
+        w.key("id").value(id);
+        w.key("attempt").value(attempt);
+        // Human-readable mirror of the blob for journal spelunking.
+        w.key("ok").value(r.ok);
+        w.key("error_kind").value(r.errorKind);
+        w.key("cycles").value(r.cycles);
+        w.key("result_hex").value(toHex(blob.bytes()));
+        w.endObject();
+        append(payload.str());
+    }
+
+    /** Journalled results of finished jobs, by identity (last wins). */
+    std::map<std::string, BatchResult> finished;
+    uint64_t quarantined = 0;
+    std::string manifestPath;
+    std::string quarantinePath;
+
+  private:
+    void
+    append(const std::string &payload)
+    {
+        uint32_t crc =
+            serialize::crc32(payload.data(), payload.size());
+        std::lock_guard<std::mutex> lock(mu_);
+        os_ << "{\"crc\":" << crc << ",\"p\":" << payload << "}\n";
+        os_.flush();
+    }
+
+    void
+    quarantine(const std::string &line)
+    {
+        if (!quarantineOs_.is_open())
+            quarantineOs_.open(quarantinePath, std::ios::app);
+        if (quarantineOs_) {
+            quarantineOs_ << line << "\n";
+            quarantineOs_.flush();
+        }
+        ++quarantined;
+    }
+
+    /** Replay an existing manifest: restore every valid `done` line,
+     *  quarantine everything damaged. A missing manifest is simply a
+     *  fresh sweep. */
+    void
+    replay(std::string &error)
+    {
+        std::ifstream is(manifestPath);
+        if (!is)
+            return;
+        std::string line;
+        while (std::getline(is, line)) {
+            if (line.empty())
+                continue;
+            if (!replayLine(line))
+                quarantine(line);
+        }
+        if (is.bad())
+            error = "read error on '" + manifestPath + "'";
+    }
+
+    bool
+    replayLine(const std::string &line)
+    {
+        // The CRC is computed over the exact payload text, so find the
+        // payload's bytes in the raw line first (the writer's framing
+        // is fixed: {"crc":N,"p":<payload>}).
+        size_t at = line.find(",\"p\":");
+        if (at == std::string::npos || line.back() != '}')
+            return false;
+        std::string payload =
+            line.substr(at + 5, line.size() - (at + 5) - 1);
+
+        bool ok = false;
+        minijson::Value doc = minijson::parse(line, &ok);
+        if (!ok || !doc.isObject() || !doc["crc"].isNumber())
+            return false;
+        uint32_t crc =
+            serialize::crc32(payload.data(), payload.size());
+        if (double(crc) != doc["crc"].number)
+            return false;
+
+        const minijson::Value &p = doc["p"];
+        if (!p.isObject() || !p["kind"].isString())
+            return false;
+        const std::string &kind = p["kind"].str;
+        if (kind == "header" || kind == "start")
+            return true; // informational; nothing to restore
+        if (kind != "done")
+            return false;
+        if (!p["id"].isString() || !p["result_hex"].isString())
+            return false;
+        std::vector<uint8_t> blob;
+        if (!fromHex(p["result_hex"].str, blob))
+            return false;
+        serialize::BinReader r(blob);
+        BatchResult result;
+        if (!decodeResult(r, result))
+            return false;
+        finished[p["id"].str] = std::move(result);
+        return true;
+    }
+
+    std::mutex mu_;
+    std::ofstream os_;
+    std::ofstream quarantineOs_;
+};
+
+/** Per-job stop plumbing shared with the monitor thread. */
+struct Slot
+{
+    std::atomic<int> stop{0};
+    std::atomic<bool> active{false};
+    std::atomic<bool> timedOut{false};
+    std::atomic<int64_t> deadlineNs{0};
+};
+
+bool
+retryable(const BatchResult &r)
+{
+    return !r.ok &&
+           (r.errorKind == "timeout" || r.errorKind == "exception");
+}
+
+} // namespace
+
+std::string
+superviseJobId(const BatchJob &job)
+{
+    std::string key =
+        BatchRunner::compileKey(job.workload ? job.workload->name : "?",
+                                job.opts) +
+        "||" + simConfigKey(job.sim);
+    char fp[16];
+    std::snprintf(fp, sizeof(fp), "%08x",
+                  serialize::crc32(key.data(), key.size()));
+    return job.label + "@" + fp;
+}
+
+SuperviseSummary
+superviseBatch(BatchRunner &runner, const std::vector<BatchJob> &jobs,
+               const SuperviseOptions &opts)
+{
+    SuperviseSummary summary;
+    summary.batch.results.resize(jobs.size());
+
+    Journal journal;
+    const bool journalled = !opts.journalDir.empty();
+    if (journalled) {
+        if (!journal.open(opts.journalDir, opts, jobs.size(),
+                          summary.error))
+            return summary;
+        summary.journalPath = journal.manifestPath;
+        summary.quarantined = journal.quarantined;
+        if (journal.quarantined > 0)
+            summary.quarantinePath = journal.quarantinePath;
+    }
+
+    const bool hasTimeout = opts.jobTimeoutSeconds > 0;
+    const bool needMonitor =
+        hasTimeout || opts.stop != nullptr || opts.strict;
+
+    std::vector<std::unique_ptr<Slot>> slots(jobs.size());
+    for (auto &s : slots)
+        s = std::make_unique<Slot>();
+
+    std::atomic<bool> abort{false};
+    auto stopNow = [&] {
+        return abort.load(std::memory_order_relaxed) ||
+               (opts.stop != nullptr &&
+                opts.stop->load(std::memory_order_relaxed) != 0);
+    };
+
+    // The monitor enforces deadlines and fans external stop / strict
+    // aborts out to every in-flight run's stop flag. 20ms resolution
+    // is plenty against multi-second timeouts.
+    std::atomic<bool> monitorQuit{false};
+    std::thread monitor;
+    if (needMonitor) {
+        monitor = std::thread([&] {
+            while (!monitorQuit.load(std::memory_order_relaxed)) {
+                int ext = opts.stop != nullptr
+                              ? opts.stop->load(
+                                    std::memory_order_relaxed)
+                              : 0;
+                bool halt =
+                    ext != 0 || abort.load(std::memory_order_relaxed);
+                int64_t now = nowNanos();
+                for (auto &s : slots) {
+                    if (!s->active.load(std::memory_order_acquire))
+                        continue;
+                    if (halt) {
+                        s->stop.store(ext != 0 ? ext : 1,
+                                      std::memory_order_relaxed);
+                    } else if (hasTimeout &&
+                               now >= s->deadlineNs.load(
+                                          std::memory_order_relaxed)) {
+                        s->timedOut.store(
+                            true, std::memory_order_relaxed);
+                        s->stop.store(1, std::memory_order_relaxed);
+                    }
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        });
+    }
+
+    std::atomic<uint64_t> executed{0}, restored{0}, retried{0};
+    uint64_t compiles = 0, cacheHits = 0; // guarded by the cache lock
+
+    Clock::time_point sweepStart = Clock::now();
+    ThreadPool pool(opts.batch.jobs);
+    pool.parallelFor(jobs.size(), [&](size_t i) {
+        const BatchJob &job = jobs[i];
+        BatchResult &out = summary.batch.results[i];
+        const std::string id = superviseJobId(job);
+
+        if (journalled) {
+            auto it = journal.finished.find(id);
+            if (it != journal.finished.end()) {
+                out = it->second;
+                restored.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+
+        Slot &slot = *slots[i];
+        uint64_t attempt = 0;
+        for (;;) {
+            ++attempt;
+            if (stopNow()) {
+                // Deliberately unjournalled: the next resume re-runs
+                // this job from scratch.
+                out.label = job.label;
+                out.config = job.config;
+                out.workload =
+                    job.workload ? job.workload->name : "";
+                out.ok = false;
+                out.error = "interrupted before the run started";
+                out.errorKind = "interrupted";
+                return;
+            }
+            if (journalled)
+                journal.start(id, attempt);
+            if (attempt == 1)
+                executed.fetch_add(1, std::memory_order_relaxed);
+
+            slot.stop.store(0, std::memory_order_relaxed);
+            slot.timedOut.store(false, std::memory_order_relaxed);
+            if (hasTimeout)
+                slot.deadlineNs.store(
+                    nowNanos() +
+                        int64_t(opts.jobTimeoutSeconds * 1e9),
+                    std::memory_order_relaxed);
+            slot.active.store(true, std::memory_order_release);
+            BatchResult r = runner.runOne(
+                job, needMonitor ? &slot.stop : nullptr, compiles,
+                cacheHits);
+            slot.active.store(false, std::memory_order_release);
+
+            if (r.errorKind == "interrupted") {
+                if (slot.timedOut.load(std::memory_order_relaxed)) {
+                    r.error = "exceeded the job timeout";
+                    r.errorKind = "timeout";
+                } else {
+                    // External stop or strict abort: leave the job
+                    // unfinished in the journal and drain.
+                    out = std::move(r);
+                    return;
+                }
+            }
+
+            if (r.ok || !retryable(r) || attempt > opts.retries) {
+                if (journalled)
+                    journal.done(id, attempt, r);
+                bool failed = !r.ok;
+                out = std::move(r);
+                if (failed && opts.strict)
+                    abort.store(true, std::memory_order_relaxed);
+                return;
+            }
+
+            retried.fetch_add(1, std::memory_order_relaxed);
+            double delay =
+                std::min(opts.backoffSeconds *
+                             double(uint64_t{1} << (attempt - 1)),
+                         30.0);
+            Clock::time_point wakeAt =
+                Clock::now() + std::chrono::duration_cast<
+                                   Clock::duration>(
+                                   std::chrono::duration<double>(delay));
+            while (Clock::now() < wakeAt && !stopNow())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+        }
+    });
+
+    if (needMonitor) {
+        monitorQuit.store(true, std::memory_order_relaxed);
+        monitor.join();
+    }
+
+    summary.batch.wallSeconds = secondsSince(sweepStart);
+    summary.batch.compiles = compiles;
+    summary.batch.cacheHits = cacheHits;
+    summary.executed = executed.load();
+    summary.restored = restored.load();
+    summary.retried = retried.load();
+    for (const BatchResult &r : summary.batch.results) {
+        summary.batch.merged.merge(r.stats);
+        summary.batch.totalSimCycles += r.cycles;
+        summary.batch.allOk = summary.batch.allOk && r.ok;
+        if (!r.ok) {
+            ++summary.failuresByKind[r.errorKind.empty()
+                                         ? "unknown"
+                                         : r.errorKind];
+            if (r.errorKind == "interrupted")
+                summary.interrupted = true;
+        }
+    }
+    if (abort.load() ||
+        (opts.stop != nullptr && opts.stop->load() != 0))
+        summary.interrupted = true;
+    return summary;
+}
+
+} // namespace dfp::sim

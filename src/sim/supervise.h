@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Crash-resilient batch supervision on top of sim/batch.h. Where
+ * BatchRunner::run() is a fire-and-forget fan-out, superviseBatch()
+ * wraps every job with the machinery a long unattended sweep needs:
+ *
+ *  - a per-job wall-clock deadline enforced by a monitor thread (the
+ *    machine's stop poll aborts the run; the result is marked
+ *    errorKind "timeout"),
+ *  - retry-with-exponential-backoff for transient failure kinds
+ *    ("timeout", "exception") — deterministic failures ("compile",
+ *    "golden", "sim") fail identically every time and are never
+ *    retried,
+ *  - an append-only journal (`manifest.jsonl` in journalDir): one
+ *    CRC32-framed JSON line per event. A sweep killed mid-flight and
+ *    re-invoked on the same directory restores every finished job's
+ *    full BatchResult (scalars and StatSet, bit-exact) from its
+ *    `done` line and re-runs only unfinished work, so the resumed
+ *    summary's per-run results and merged stats are identical to an
+ *    uninterrupted sweep's,
+ *  - quarantine for journal lines that fail to parse or whose CRC
+ *    does not match (torn writes, bit rot): the raw line is appended
+ *    to `quarantine.jsonl`, counted, and never trusted — the job
+ *    simply re-runs,
+ *  - partial-failure reporting: the sweep runs to completion by
+ *    default and the summary buckets failures by errorKind; strict
+ *    mode restores fail-fast (the first failure stops new work and
+ *    interrupts in-flight runs),
+ *  - cooperative shutdown: an external stop flag (base/signals.h)
+ *    interrupts in-flight runs and leaves them *unjournalled*, so
+ *    the next resume re-runs them from scratch.
+ *
+ * Determinism: results are produced by BatchRunner::runOne(), which
+ * is byte-identical to BatchRunner::run()'s per-job body. Timeouts
+ * and stops are the only nondeterministic inputs, and both only ever
+ * abort a run (never alter a completed one). Journalled wall-clock
+ * fields (hostSeconds) and cache accounting naturally differ between
+ * an interrupted-and-resumed sweep and a straight-through one; every
+ * architectural statistic is identical, and tests/sim/
+ * test_supervise.cc enforces that.
+ *
+ * The deadline covers simulation only: compilation does not poll the
+ * stop flag, so a pathological compile runs to completion before the
+ * timeout is observed.
+ */
+
+#ifndef DFP_SIM_SUPERVISE_H
+#define DFP_SIM_SUPERVISE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/batch.h"
+
+namespace dfp::sim
+{
+
+struct SuperviseOptions
+{
+    /** Worker count and per-run knobs, as BatchRunner::run() takes. */
+    BatchOptions batch;
+
+    /** Wall-clock budget per job attempt, in seconds; 0 = unlimited. */
+    double jobTimeoutSeconds = 0;
+
+    /** Extra attempts after a transient failure (timeout/exception). */
+    uint64_t retries = 0;
+
+    /** Delay before the first retry; doubles per attempt, capped at
+     *  30s. The backoff sleep polls the stop flag. */
+    double backoffSeconds = 0.5;
+
+    /** Fail fast: the first failed job stops new work and interrupts
+     *  in-flight runs, like BatchRunner users aborting on !allOk. */
+    bool strict = false;
+
+    /** Directory for manifest.jsonl / quarantine.jsonl. Empty runs
+     *  the sweep without a journal (no resume, no quarantine). The
+     *  directory is created if missing; an existing manifest is
+     *  replayed for resume before any job runs. */
+    std::string journalDir;
+
+    /** External stop flag (e.g. base/signals.h stopRequested()); a
+     *  nonzero value drains the sweep cooperatively. */
+    const std::atomic<int> *stop = nullptr;
+
+    /** Recorded in the journal header (informational). */
+    std::string toolVersion;
+};
+
+struct SuperviseSummary
+{
+    /** Same shape run() produces: one result per job in submission
+     *  order, merged stats, rollups. Restored jobs keep their
+     *  journalled hostSeconds; compiles/cacheHits count only this
+     *  invocation's cache traffic. */
+    BatchSummary batch;
+
+    uint64_t executed = 0;    //!< jobs actually run this invocation
+    uint64_t restored = 0;    //!< finished jobs replayed from journal
+    uint64_t retried = 0;     //!< extra attempts beyond each first
+    uint64_t quarantined = 0; //!< corrupt journal lines set aside
+
+    /** True when an external stop or a strict-mode abort cut the
+     *  sweep short; unfinished jobs carry errorKind "interrupted". */
+    bool interrupted = false;
+
+    /** !ok results bucketed by BatchResult::errorKind. */
+    std::map<std::string, uint64_t> failuresByKind;
+
+    std::string journalPath;    //!< manifest in use ("" = no journal)
+    std::string quarantinePath; //!< set iff quarantined > 0
+
+    /** Fatal supervisor-level failure (journal dir unusable); the
+     *  sweep did not run. */
+    std::string error;
+};
+
+/** Run @p jobs under supervision. Blocks until every job finished,
+ *  was restored from the journal, or the sweep was interrupted. */
+SuperviseSummary superviseBatch(BatchRunner &runner,
+                                const std::vector<BatchJob> &jobs,
+                                const SuperviseOptions &opts);
+
+/** The journal identity of one job: its label plus a fingerprint of
+ *  everything that determines its result (compile options and
+ *  timing-relevant SimConfig). A journalled result is only restored
+ *  onto a job with the same identity, so editing a sweep between
+ *  resume runs re-runs exactly the changed cells. */
+std::string superviseJobId(const BatchJob &job);
+
+} // namespace dfp::sim
+
+#endif // DFP_SIM_SUPERVISE_H

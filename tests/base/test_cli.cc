@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared CLI numeric-flag parsing (base/cli.h): every malformed count
+ * or duration must be rejected with a reason, never silently truncated
+ * the way per-tool strtoull ad-hockery used to ("10x" -> 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "base/cli.h"
+
+namespace dfp
+{
+namespace
+{
+
+TEST(CliParseCount, AcceptsPlainDigits)
+{
+    uint64_t v = 0;
+    std::string err;
+    EXPECT_TRUE(cli::parseCount("0", v, err));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(cli::parseCount("42", v, err));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(cli::parseCount("18446744073709551615", v, err));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(CliParseCount, RejectsEverythingElse)
+{
+    uint64_t v = 0;
+    std::string err;
+    const char *bad[] = {
+        "",     "abc",  "10x",  "-1",  "+1",  " 1",  "1 ",
+        "0x10", "1e3",  "1.5",  "٣",   "1_000",
+        "18446744073709551616", // UINT64_MAX + 1
+    };
+    for (const char *text : bad) {
+        err.clear();
+        EXPECT_FALSE(cli::parseCount(text, v, err))
+            << "'" << text << "' was accepted";
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(CliParseSeconds, AcceptsUnits)
+{
+    double v = -1;
+    std::string err;
+    EXPECT_TRUE(cli::parseSeconds("30", v, err));
+    EXPECT_DOUBLE_EQ(v, 30.0);
+    EXPECT_TRUE(cli::parseSeconds("30s", v, err));
+    EXPECT_DOUBLE_EQ(v, 30.0);
+    EXPECT_TRUE(cli::parseSeconds("5m", v, err));
+    EXPECT_DOUBLE_EQ(v, 300.0);
+    EXPECT_TRUE(cli::parseSeconds("2h", v, err));
+    EXPECT_DOUBLE_EQ(v, 7200.0);
+    EXPECT_TRUE(cli::parseSeconds("1.5s", v, err));
+    EXPECT_DOUBLE_EQ(v, 1.5);
+    EXPECT_TRUE(cli::parseSeconds("0", v, err));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CliParseSeconds, RejectsMalformedDurations)
+{
+    double v = 0;
+    std::string err;
+    const char *bad[] = {
+        "",   "s",    "m",   "h",   "abc", "-5",  "+5", " 5",
+        "5 ", "5d",   "1..5", "5ss", "1e3", "nan", "inf",
+    };
+    for (const char *text : bad) {
+        err.clear();
+        EXPECT_FALSE(cli::parseSeconds(text, v, err))
+            << "'" << text << "' was accepted";
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+} // namespace
+} // namespace dfp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Hostile-input hardening for the minijson parser (base/json_reader.h).
+ * It reads journals and baseline records that may be truncated mid-write
+ * or bit-rotted, so every malformed document must produce a clean
+ * `!ok()` with a reason — never a crash, an infinite loop, a blown
+ * stack, or a silently wrong value. A deterministic mutation sweep
+ * (every truncation and every single-byte corruption of a nontrivial
+ * document) backstops the hand-picked cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/json_reader.h"
+
+namespace dfp
+{
+namespace
+{
+
+minijson::Value
+parsed(const std::string &text, bool &ok, std::string &error)
+{
+    minijson::Parser p(text);
+    minijson::Value v = p.parse();
+    ok = p.ok();
+    error = p.error();
+    return v;
+}
+
+void
+expectRejected(const std::string &text, const char *what)
+{
+    bool ok = true;
+    std::string error;
+    parsed(text, ok, error);
+    EXPECT_FALSE(ok) << what << ": '" << text << "' was accepted";
+    EXPECT_FALSE(error.empty()) << what;
+}
+
+TEST(JsonReader, DeepNestingFailsCleanly)
+{
+    // 100k opening brackets must not blow the stack: the parser caps
+    // recursion depth and reports the offset.
+    std::string deep(100000, '[');
+    expectRejected(deep, "deep array nesting");
+
+    std::string deepObj;
+    for (int i = 0; i < 100000; ++i)
+        deepObj += "{\"k\":";
+    expectRejected(deepObj, "deep object nesting");
+
+    // Depth just under the cap still parses.
+    std::string okDoc;
+    for (int i = 0; i < 200; ++i)
+        okDoc += '[';
+    okDoc += '1';
+    for (int i = 0; i < 200; ++i)
+        okDoc += ']';
+    bool ok = false;
+    std::string error;
+    parsed(okDoc, ok, error);
+    EXPECT_TRUE(ok) << error;
+}
+
+TEST(JsonReader, MalformedNumbersRejected)
+{
+    expectRejected("01x", "trailing garbage");
+    expectRejected("-", "lone minus");
+    expectRejected("1.2.3", "double dot");
+    expectRejected("1e", "dangling exponent");
+    expectRejected("{\"a\":1e999999}", "overflowing exponent");
+    expectRejected("{\"a\":-1e999999}", "negative overflow");
+
+    bool ok = false;
+    std::string error;
+    minijson::Value v = parsed("{\"a\":1e-999999}", ok, error);
+    // Underflow to zero (or a denormal) is fine — it is representable.
+    EXPECT_TRUE(ok) << error;
+}
+
+TEST(JsonReader, TruncatedDocumentsRejected)
+{
+    expectRejected("", "empty");
+    expectRejected("{", "open brace");
+    expectRejected("{\"a\"", "key only");
+    expectRejected("{\"a\":", "missing value");
+    expectRejected("{\"a\":1", "missing close");
+    expectRejected("[1,2", "open array");
+    expectRejected("\"abc", "unterminated string");
+    expectRejected("\"ab\\", "trailing backslash");
+    expectRejected("tru", "truncated literal");
+    expectRejected("nul", "truncated null");
+}
+
+TEST(JsonReader, BadEscapesRejected)
+{
+    expectRejected("\"\\q\"", "unknown escape");
+    expectRejected("\"\\u12\"", "short \\u escape");
+    expectRejected("\"\\u12gh\"", "non-hex \\u escape");
+    expectRejected("\"\\u\"", "empty \\u escape");
+
+    bool ok = false;
+    std::string error;
+    minijson::Value v = parsed("\"\\u0041\"", ok, error);
+    EXPECT_TRUE(ok) << error;
+}
+
+TEST(JsonReader, TrailingGarbageRejected)
+{
+    expectRejected("{}x", "trailing char");
+    expectRejected("1 2", "two values");
+    expectRejected("[] []", "two arrays");
+}
+
+TEST(JsonReader, MutationSweepNeverCrashes)
+{
+    // Every truncation and every single-byte corruption of a document
+    // that exercises all value types: parse must terminate and either
+    // succeed or set an error — this is the fuzz contract, made
+    // deterministic.
+    const std::string doc =
+        R"({"s":"he\u0041llo\n","n":-12.5e2,"b":true,"z":null,)"
+        R"("a":[1,2,{"k":false}],"o":{"x":{"y":[]}}})";
+
+    for (size_t len = 0; len <= doc.size(); ++len) {
+        std::string prefix = doc.substr(0, len); // Parser keeps a view
+        minijson::Parser p(prefix);
+        (void)p.parse();
+        if (len == doc.size())
+            EXPECT_TRUE(p.ok()) << p.error();
+        else
+            EXPECT_FALSE(p.ok()) << "prefix of " << len << " accepted";
+    }
+    const char replacements[] = {'\0', '"', '\\', '{', '}',
+                                 '[',  ']', ',',  ':', 'x'};
+    for (size_t i = 0; i < doc.size(); ++i) {
+        for (char r : replacements) {
+            std::string bad = doc;
+            bad[i] = r;
+            minijson::Parser p(bad);
+            (void)p.parse();
+            // Parsing must terminate without UB; acceptance is fine
+            // when the mutation happens to stay valid JSON.
+            (void)p.ok();
+        }
+    }
+}
+
+} // namespace
+} // namespace dfp

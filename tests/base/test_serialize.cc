@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounds and round-trip tests for the checkpoint serialization layer
+ * (base/serialize.h). BinReader's contract: garbage input degrades to
+ * a sticky `!ok()` with zero values — no out-of-range read, no
+ * corrupted-length allocation bomb — and a full round trip through
+ * BinWriter is bit-exact, including doubles and NaN payloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/serialize.h"
+
+namespace dfp::serialize
+{
+namespace
+{
+
+TEST(Serialize, RoundTripAllTypes)
+{
+    BinWriter w;
+    w.u8(0xab);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.i32(-42);
+    w.i64(-1234567890123456789ll);
+    w.b(true);
+    w.b(false);
+    w.f64(-1.5e300);
+    w.f64(std::numeric_limits<double>::quiet_NaN());
+    w.str(std::string_view("nul\0byte", 8)); // length-framed, NUL-safe
+    w.str("");
+    const uint8_t blob[] = {1, 2, 3, 4, 5};
+    w.u64(sizeof(blob));
+    w.raw(blob, sizeof(blob));
+
+    BinReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123456789ll);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.f64(), -1.5e300);
+    EXPECT_TRUE(std::isnan(r.f64()));
+    EXPECT_EQ(r.str(), std::string("nul\0byte", 8));
+    EXPECT_EQ(r.str(), "");
+    size_t n = r.len(1);
+    ASSERT_EQ(n, sizeof(blob));
+    uint8_t back[sizeof(blob)] = {};
+    ASSERT_TRUE(r.raw(back, n));
+    EXPECT_EQ(std::memcmp(back, blob, sizeof(blob)), 0);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serialize, EveryTruncationFailsSticky)
+{
+    BinWriter w;
+    w.u32(7);
+    w.str("abcdef");
+    w.u64(9);
+    w.f64(2.5);
+    std::vector<uint8_t> full = w.take();
+
+    for (size_t len = 0; len < full.size(); ++len) {
+        BinReader r(full.data(), len);
+        r.u32();
+        r.str();
+        r.u64();
+        r.f64();
+        EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes read ok";
+        // Sticky: once failed, further reads are zeros, never UB.
+        EXPECT_EQ(r.u64(), 0u);
+        EXPECT_EQ(r.str(), "");
+    }
+}
+
+TEST(Serialize, CorruptedStringLengthDoesNotAllocate)
+{
+    // A string length of ~2^64 must be rejected up front, not handed
+    // to std::string's allocator.
+    BinWriter w;
+    w.u64(UINT64_MAX);
+    w.raw("xy", 2);
+    BinReader r(w.bytes());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, CorruptedContainerLengthIsRejected)
+{
+    BinWriter w;
+    w.u64(1ull << 40); // claims 2^40 elements
+    w.u32(1);
+    BinReader r(w.bytes());
+    EXPECT_EQ(r.len(4), 0u);
+    EXPECT_FALSE(r.ok());
+
+    // A plausible length is returned unharmed.
+    BinWriter w2;
+    w2.u64(2);
+    w2.u32(10);
+    w2.u32(20);
+    BinReader r2(w2.bytes());
+    EXPECT_EQ(r2.len(4), 2u);
+    EXPECT_TRUE(r2.ok());
+}
+
+TEST(Serialize, ExplicitFailPoisons)
+{
+    BinWriter w;
+    w.u32(5);
+    BinReader r(w.bytes());
+    r.fail();
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, Crc32MatchesKnownVectors)
+{
+    // The zlib/IEEE polynomial: pinned so the on-disk checkpoint and
+    // journal framing can never silently change polarity.
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    // Chained partial runs equal one shot.
+    uint32_t part = crc32(s, 4);
+    EXPECT_EQ(crc32(s + 4, 5, part), 0xCBF43926u);
+}
+
+} // namespace
+} // namespace dfp::serialize

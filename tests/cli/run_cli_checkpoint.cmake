@@ -1,0 +1,88 @@
+# End-to-end checkpoint/restore through the dfpc CLI:
+#
+#   1. a run with --checkpoint-every cuts periodic snapshots and its
+#      stats JSON is the uninterrupted reference,
+#   2. resuming EVERY snapshot reproduces that stats JSON byte for
+#      byte,
+#   3. a truncated snapshot is rejected with DFPC106 (exit 2),
+#   4. a snapshot resumed under a different simulator configuration is
+#      rejected with DFPC107 (exit 2).
+#
+# Arguments (via -D): DFPC (binary), WORKDIR (scratch directory).
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_dfpc expect_exit outvar)
+    execute_process(
+        COMMAND "${DFPC}" ${ARGN}
+        RESULT_VARIABLE exit_code
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+    )
+    if(NOT exit_code STREQUAL "${expect_exit}")
+        message(FATAL_ERROR
+            "dfpc ${ARGN}: expected exit ${expect_exit}, got "
+            "${exit_code}\n--- output ---\n${out}${err}")
+    endif()
+    set(${outvar} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+# 1. Cut snapshots every 8000 cycles of a ~38k-cycle run (several cut
+# points). --stats-json both here and on resume: the per-block stats
+# toggle is part of the config fingerprint.
+run_dfpc(0 out
+    --workload tblook01 --sim
+    --checkpoint-every 8000 --checkpoint-dir "${WORKDIR}/ckpt"
+    --stats-json=${WORKDIR}/ref.json)
+
+file(GLOB ckpts "${WORKDIR}/ckpt/*.ckpt")
+list(LENGTH ckpts nckpts)
+if(nckpts LESS 2)
+    message(FATAL_ERROR
+        "expected at least 2 snapshots, found ${nckpts}\n${out}")
+endif()
+file(READ "${WORKDIR}/ref.json" ref)
+
+# 2. Every snapshot resumes to the byte-identical final stats JSON.
+foreach(ck ${ckpts})
+    run_dfpc(0 out
+        --workload tblook01 --sim --resume "${ck}"
+        --stats-json=${WORKDIR}/res.json)
+    file(READ "${WORKDIR}/res.json" res)
+    if(NOT ref STREQUAL res)
+        message(FATAL_ERROR
+            "resume from '${ck}' produced different final stats")
+    endif()
+endforeach()
+
+# 3a. A garbage file under the checkpoint name: DFPC106, exit 2.
+file(WRITE "${WORKDIR}/garbage.ckpt" "DFPCKPT1 this is not a snapshot")
+run_dfpc(2 out
+    --workload tblook01 --sim --resume "${WORKDIR}/garbage.ckpt")
+if(NOT out MATCHES "DFPC106")
+    message(FATAL_ERROR "garbage checkpoint not DFPC106:\n${out}")
+endif()
+
+# 3b. A real snapshot truncated mid-body: DFPC106, exit 2.
+list(GET ckpts 0 first)
+execute_process(
+    COMMAND head -c 100 "${first}"
+    OUTPUT_FILE "${WORKDIR}/truncated.ckpt"
+    RESULT_VARIABLE head_rc)
+if(NOT head_rc STREQUAL "0")
+    message(FATAL_ERROR "head -c failed (${head_rc})")
+endif()
+run_dfpc(2 out
+    --workload tblook01 --sim --resume "${WORKDIR}/truncated.ckpt")
+if(NOT out MATCHES "DFPC106")
+    message(FATAL_ERROR "truncated checkpoint not DFPC106:\n${out}")
+endif()
+
+# 4. Same snapshot, different simulator configuration: DFPC107, exit 2.
+run_dfpc(2 out
+    --workload tblook01 --sim --resume "${first}"
+    --fault-model net-drop --fault-rate 1e-4 --fault-seed 9)
+if(NOT out MATCHES "DFPC107")
+    message(FATAL_ERROR "config-mismatch resume not DFPC107:\n${out}")
+endif()

@@ -1,0 +1,73 @@
+# End-to-end batch-supervision journal through the dfpc CLI:
+#
+#   1. a full --all-workloads sweep journalled to --resume-dir writes
+#      its merged stats JSON (the reference),
+#   2. a second invocation on the same directory restores every job
+#      from the journal and reproduces the stats JSON byte for byte,
+#   3. corrupt journal lines (bad CRC digit, torn write, garbage) are
+#      quarantined — counted, set aside, never trusted — and the sweep
+#      still completes with identical stats.
+#
+# Arguments (via -D): DFPC (binary), WORKDIR (scratch directory).
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_sweep expect_match statsfile outvar)
+    execute_process(
+        COMMAND "${DFPC}" --all-workloads --jobs 4
+            --resume-dir "${WORKDIR}/sweep"
+            --stats-json=${statsfile}
+        RESULT_VARIABLE exit_code
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+    )
+    set(all "${out}${err}")
+    if(NOT exit_code STREQUAL "0")
+        message(FATAL_ERROR
+            "sweep: expected exit 0, got ${exit_code}\n${all}")
+    endif()
+    if(NOT all MATCHES "${expect_match}")
+        message(FATAL_ERROR
+            "sweep output does not match '${expect_match}'\n${all}")
+    endif()
+    set(${outvar} "${all}" PARENT_SCOPE)
+endfunction()
+
+run_sweep("supervisor: 33 run, 0 restored" "${WORKDIR}/s1.json" out)
+file(READ "${WORKDIR}/s1.json" ref)
+
+# 2. Resume: everything restored, stats byte-identical.
+run_sweep("supervisor: 0 run, 33 restored" "${WORKDIR}/s2.json" out)
+file(READ "${WORKDIR}/s2.json" got)
+if(NOT ref STREQUAL got)
+    message(FATAL_ERROR "restored sweep produced different stats JSON")
+endif()
+
+# 3. Damage the journal: flip a digit in the last done line, then
+# append a torn line and plain garbage. All three must be quarantined
+# and the damaged job simply re-runs.
+file(READ "${WORKDIR}/sweep/manifest.jsonl" manifest)
+string(FIND "${manifest}" "\"result_hex\":\"" pos REVERSE)
+if(pos EQUAL -1)
+    message(FATAL_ERROR "no done line with a result_hex field found")
+endif()
+math(EXPR pos "${pos} + 14") # first hex digit of the encoded result
+string(SUBSTRING "${manifest}" 0 ${pos} head)
+math(EXPR rest "${pos} + 1")
+string(SUBSTRING "${manifest}" ${rest} -1 tail)
+file(WRITE "${WORKDIR}/sweep/manifest.jsonl"
+    "${head}x${tail}{\"crc\":1,\"p\":{\"kind\":\"done\"\nnot json\n")
+
+run_sweep("supervisor: 1 run, 32 restored from the journal, 0 retried, 3 quarantined"
+    "${WORKDIR}/s3.json" out)
+if(NOT out MATCHES "quarantine")
+    message(FATAL_ERROR "no quarantine note in output\n${out}")
+endif()
+if(NOT EXISTS "${WORKDIR}/sweep/quarantine.jsonl")
+    message(FATAL_ERROR "quarantine.jsonl was not written")
+endif()
+file(READ "${WORKDIR}/s3.json" got3)
+if(NOT ref STREQUAL got3)
+    message(FATAL_ERROR "post-quarantine sweep stats JSON differs")
+endif()

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Checkpoint/restore determinism tests (docs/CHECKPOINT.md).
+ *
+ * The load-bearing guarantee: a run paused at ANY cycle and resumed
+ * from the snapshot finishes byte-identical to an uninterrupted run —
+ * same final cycle count, same architectural state, same StatSet dump
+ * — including under fault injection, where the cut can land between a
+ * squash and its replay. Also covers the framed file format: CRC
+ * verification must reject every truncation and bit-flip, never crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/pipeline.h"
+#include "compiler/regalloc.h"
+#include "sim/checkpoint.h"
+#include "sim/machine.h"
+#include "workloads/suite.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+std::string
+dumped(const StatSet &stats)
+{
+    std::ostringstream os;
+    stats.dump(os);
+    return os.str();
+}
+
+struct RunOutcome
+{
+    SimResult res;
+    uint64_t retValue = 0;
+    uint64_t memChecksum = 0;
+};
+
+RunOutcome
+runToEnd(const isa::TProgram &program, const workloads::Workload &w,
+         const SimConfig &cfg)
+{
+    RunOutcome out;
+    isa::ArchState state;
+    state.mem = workloads::initialMemory(w);
+    out.res = simulate(program, state, cfg);
+    out.retValue = state.regs[compiler::kRetArchReg];
+    out.memChecksum = state.mem.checksum();
+    return out;
+}
+
+void
+expectIdentical(const RunOutcome &ref, const RunOutcome &got,
+                const std::string &what)
+{
+    EXPECT_TRUE(got.res.halted) << what << ": " << got.res.error;
+    EXPECT_EQ(ref.res.cycles, got.res.cycles) << what;
+    EXPECT_EQ(ref.res.blocksCommitted, got.res.blocksCommitted) << what;
+    EXPECT_EQ(ref.res.blocksFlushed, got.res.blocksFlushed) << what;
+    EXPECT_EQ(ref.res.instsCommitted, got.res.instsCommitted) << what;
+    EXPECT_EQ(ref.res.mispredicts, got.res.mispredicts) << what;
+    EXPECT_EQ(ref.res.faultsInjected, got.res.faultsInjected) << what;
+    EXPECT_EQ(ref.res.replays, got.res.replays) << what;
+    EXPECT_EQ(ref.res.watchdogFires, got.res.watchdogFires) << what;
+    EXPECT_EQ(ref.retValue, got.retValue) << what;
+    EXPECT_EQ(ref.memChecksum, got.memChecksum) << what;
+    EXPECT_EQ(dumped(ref.res.stats), dumped(got.res.stats)) << what;
+}
+
+/**
+ * Run @p w under @p baseCfg three ways: uninterrupted (the reference),
+ * with periodic snapshots (must not perturb the run), and resumed from
+ * every captured snapshot (each must finish byte-identical).
+ */
+void
+checkResumeIdentity(const workloads::Workload &w, const SimConfig &baseCfg,
+                    int cutPoints)
+{
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = w.unrollFactor;
+    compiler::CompileResult res = compiler::compileSource(w.source, opts);
+
+    RunOutcome ref = runToEnd(res.program, w, baseCfg);
+    ASSERT_TRUE(ref.res.halted) << w.name << ": " << ref.res.error;
+    ASSERT_GT(ref.res.cycles, 0u);
+
+    // Capture run: same config plus a periodic sink. Cutting snapshots
+    // must leave the run itself byte-identical to the reference.
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>> snaps;
+    SimConfig capCfg = baseCfg;
+    capCfg.checkpoint.everyCycles =
+        std::max<uint64_t>(1, ref.res.cycles / (cutPoints + 1));
+    capCfg.checkpoint.sink = [&](uint64_t cycle,
+                                 const std::vector<uint8_t> &payload) {
+        snaps.emplace_back(cycle, payload);
+    };
+    RunOutcome captured = runToEnd(res.program, w, capCfg);
+    expectIdentical(ref, captured, w.name + " (capture run)");
+    ASSERT_FALSE(snaps.empty()) << w.name;
+
+    for (const auto &[cycle, payload] : snaps) {
+        SimConfig resCfg = baseCfg;
+        resCfg.checkpoint.resume = &payload;
+        RunOutcome resumed = runToEnd(res.program, w, resCfg);
+        expectIdentical(ref, resumed,
+                        w.name + " resumed from cycle " +
+                            std::to_string(cycle));
+    }
+}
+
+TEST(Checkpoint, ResumeByteIdenticalAcrossSuite)
+{
+    // All 16 suite workloads, several cut points each: a snapshot at
+    // any periodic boundary resumes to the exact uninterrupted result.
+    const std::vector<workloads::Workload> &suite =
+        workloads::eembcSuite();
+    ASSERT_GE(suite.size(), 16u);
+    for (size_t i = 0; i < 16; ++i) {
+        SimConfig cfg;
+        checkResumeIdentity(suite[i], cfg, 3);
+    }
+}
+
+TEST(Checkpoint, ResumeByteIdenticalUnderFaultInjection)
+{
+    // Fault-injected runs snapshot the fault RNG and in-flight
+    // replay bookkeeping too: a cut that lands between a squash and
+    // its replay must still resume byte-identically. A high net-drop
+    // rate with many cut points makes such cuts near-certain.
+    const std::vector<workloads::Workload> &suite =
+        workloads::eembcSuite();
+    ASSERT_GE(suite.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        SimConfig cfg;
+        cfg.faults.model = FaultModel::NetDrop;
+        cfg.faults.rate = 1e-3;
+        cfg.faults.seed = 7;
+
+        compiler::CompileOptions opts = compiler::configNamed("both");
+        opts.unroll.factor = suite[i].unrollFactor;
+        compiler::CompileResult res =
+            compiler::compileSource(suite[i].source, opts);
+        RunOutcome ref = runToEnd(res.program, suite[i], cfg);
+        ASSERT_TRUE(ref.res.halted) << suite[i].name;
+        // The sweep must actually exercise the replay machinery.
+        ASSERT_GT(ref.res.faultsInjected, 0u) << suite[i].name;
+
+        checkResumeIdentity(suite[i], cfg, 7);
+    }
+}
+
+TEST(Checkpoint, ExternalStopCutsResumableSnapshot)
+{
+    // A stop request mid-run produces interrupted=true plus a final
+    // snapshot; resuming it finishes the run byte-identically.
+    const workloads::Workload *w = workloads::findWorkload("tblook01");
+    ASSERT_NE(w, nullptr);
+    compiler::CompileOptions opts = compiler::configNamed("both");
+    opts.unroll.factor = w->unrollFactor;
+    compiler::CompileResult res = compiler::compileSource(w->source, opts);
+
+    SimConfig cfg;
+    RunOutcome ref = runToEnd(res.program, *w, cfg);
+    ASSERT_TRUE(ref.res.halted);
+
+    // Request the stop from the sink of the first periodic cut, so the
+    // run is interrupted at a deterministic point.
+    std::atomic<int> stop{0};
+    std::vector<uint8_t> last;
+    uint64_t stopCycle = 0;
+    SimConfig stopCfg;
+    stopCfg.checkpoint.everyCycles = std::max<uint64_t>(1, ref.res.cycles / 3);
+    stopCfg.checkpoint.stop = &stop;
+    stopCfg.checkpoint.sink = [&](uint64_t cycle,
+                                  const std::vector<uint8_t> &payload) {
+        last = payload;
+        stopCycle = cycle;
+        stop.store(1, std::memory_order_relaxed);
+    };
+    RunOutcome interrupted = runToEnd(res.program, *w, stopCfg);
+    EXPECT_FALSE(interrupted.res.halted);
+    EXPECT_TRUE(interrupted.res.interrupted);
+    ASSERT_FALSE(last.empty());
+    EXPECT_LT(stopCycle, ref.res.cycles);
+
+    SimConfig resCfg;
+    resCfg.checkpoint.resume = &last;
+    RunOutcome resumed = runToEnd(res.program, *w, resCfg);
+    expectIdentical(ref, resumed, "tblook01 resumed after stop");
+}
+
+// ---------------------------------------------------------------------
+// Framed file format.
+
+Checkpoint
+sampleCheckpoint()
+{
+    Checkpoint c;
+    c.toolVersion = "dfp 1.2.3-g0000000";
+    c.compileKey = "tblook01|cfg=both;unroll=1";
+    c.simKey = "grid=4x4;blocks=8";
+    c.workload = "tblook01";
+    c.cycle = 123456789;
+    c.payload = {0x00, 0x01, 0xfe, 0xff, 0x42, 0x00, 0x99};
+    return c;
+}
+
+TEST(CheckpointFormat, EncodeDecodeRoundTrip)
+{
+    Checkpoint in = sampleCheckpoint();
+    std::vector<uint8_t> bytes = encodeCheckpoint(in);
+
+    Checkpoint out;
+    std::string error;
+    ASSERT_EQ(decodeCheckpoint(bytes, out, error), CheckpointStatus::Ok)
+        << error;
+    EXPECT_EQ(out.toolVersion, in.toolVersion);
+    EXPECT_EQ(out.compileKey, in.compileKey);
+    EXPECT_EQ(out.simKey, in.simKey);
+    EXPECT_EQ(out.workload, in.workload);
+    EXPECT_EQ(out.cycle, in.cycle);
+    EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(CheckpointFormat, EmptyPayloadRoundTrips)
+{
+    Checkpoint in;
+    std::vector<uint8_t> bytes = encodeCheckpoint(in);
+    Checkpoint out;
+    std::string error;
+    ASSERT_EQ(decodeCheckpoint(bytes, out, error), CheckpointStatus::Ok);
+    EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(CheckpointFormat, EveryTruncationIsRejected)
+{
+    std::vector<uint8_t> bytes = encodeCheckpoint(sampleCheckpoint());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + len);
+        Checkpoint out;
+        std::string error;
+        EXPECT_EQ(decodeCheckpoint(cut, out, error),
+                  CheckpointStatus::Corrupt)
+            << "truncated to " << len << " bytes was accepted";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(CheckpointFormat, EveryBitFlipIsRejected)
+{
+    // Flip one bit in each byte past the version field; the CRC must
+    // catch every one. (Flips inside the stored-CRC field itself are
+    // equally caught: the recomputed body CRC no longer matches.)
+    std::vector<uint8_t> bytes = encodeCheckpoint(sampleCheckpoint());
+    for (size_t i = 12; i < bytes.size(); ++i) {
+        std::vector<uint8_t> bad = bytes;
+        bad[i] ^= 0x40;
+        Checkpoint out;
+        std::string error;
+        EXPECT_EQ(decodeCheckpoint(bad, out, error),
+                  CheckpointStatus::Corrupt)
+            << "bit flip at byte " << i << " was accepted";
+    }
+}
+
+TEST(CheckpointFormat, BadMagicAndVersionAreRejected)
+{
+    std::vector<uint8_t> bytes = encodeCheckpoint(sampleCheckpoint());
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[0] = 'X';
+        Checkpoint out;
+        std::string error;
+        EXPECT_EQ(decodeCheckpoint(bad, out, error),
+                  CheckpointStatus::Corrupt);
+        EXPECT_NE(error.find("magic"), std::string::npos);
+    }
+    {
+        std::vector<uint8_t> bad = bytes;
+        bad[8] = 0xee; // format version low byte
+        Checkpoint out;
+        std::string error;
+        EXPECT_EQ(decodeCheckpoint(bad, out, error),
+                  CheckpointStatus::Corrupt);
+        EXPECT_NE(error.find("version"), std::string::npos);
+    }
+}
+
+TEST(CheckpointFormat, SimConfigKeyCoversTimingKnobs)
+{
+    SimConfig base;
+    std::string baseKey = simConfigKey(base);
+
+    // Every timing-relevant knob must move the fingerprint.
+    {
+        SimConfig c = base;
+        c.missLatency += 1;
+        EXPECT_NE(simConfigKey(c), baseKey);
+    }
+    {
+        SimConfig c = base;
+        c.faults.model = FaultModel::NetDrop;
+        c.faults.rate = 1e-4;
+        EXPECT_NE(simConfigKey(c), baseKey);
+    }
+    {
+        SimConfig c = base;
+        c.faults.seed = 99;
+        EXPECT_NE(simConfigKey(c), baseKey);
+    }
+    {
+        SimConfig c = base;
+        c.watchdogCycles = 5000;
+        EXPECT_NE(simConfigKey(c), baseKey);
+    }
+    {
+        SimConfig c = base;
+        c.perBlockStats = true;
+        EXPECT_NE(simConfigKey(c), baseKey);
+    }
+
+    // The checkpoint hooks themselves must NOT move it: where a run
+    // pauses cannot invalidate its own snapshots.
+    {
+        SimConfig c = base;
+        c.checkpoint.everyCycles = 1000;
+        static std::atomic<int> stop{0};
+        c.checkpoint.stop = &stop;
+        c.checkpoint.sink = [](uint64_t, const std::vector<uint8_t> &) {};
+        EXPECT_EQ(simConfigKey(c), baseKey);
+    }
+}
+
+TEST(CheckpointFormat, FileRoundTripAndMissingFile)
+{
+    std::string dir = ::testing::TempDir();
+    std::string path = dir + "/roundtrip.ckpt";
+    Checkpoint in = sampleCheckpoint();
+    std::string error;
+    ASSERT_TRUE(writeCheckpointFile(path, in, error)) << error;
+
+    Checkpoint out;
+    ASSERT_EQ(readCheckpointFile(path, out, error), CheckpointStatus::Ok)
+        << error;
+    EXPECT_EQ(out.payload, in.payload);
+
+    Checkpoint missing;
+    EXPECT_EQ(readCheckpointFile(dir + "/no_such.ckpt", missing, error),
+              CheckpointStatus::Unreadable);
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace dfp::sim

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Crash-resilient batch supervision tests (sim/supervise.h).
+ *
+ * Covers: journal-based resume restoring finished results bit-exactly
+ * (per-run scalars and StatSet dumps identical to an uninterrupted
+ * sweep), quarantine of corrupt journal lines (bad CRC, truncated,
+ * garbage — set aside and re-run, never trusted), per-job wall-clock
+ * timeouts (errorKind "timeout"), retry accounting, strict fail-fast,
+ * and the errorKind taxonomy for deterministic failures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/supervise.h"
+#include "workloads/suite.h"
+
+namespace dfp::sim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+dumped(const StatSet &stats)
+{
+    std::ostringstream os;
+    stats.dump(os);
+    return os.str();
+}
+
+/** Fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &tag)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("supervise-" + tag);
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+std::vector<BatchJob>
+smallSweep(size_t n)
+{
+    const std::vector<workloads::Workload> &suite =
+        workloads::eembcSuite();
+    std::vector<BatchJob> jobs;
+    for (size_t i = 0; i < n && i < suite.size(); ++i)
+        jobs.push_back(makeJob(suite[i], "both"));
+    return jobs;
+}
+
+void
+expectIdentical(const BatchResult &a, const BatchResult &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.ok, b.ok) << a.label;
+    EXPECT_EQ(a.error, b.error) << a.label;
+    EXPECT_EQ(a.errorKind, b.errorKind) << a.label;
+    EXPECT_EQ(a.cycles, b.cycles) << a.label;
+    EXPECT_EQ(a.blocks, b.blocks) << a.label;
+    EXPECT_EQ(a.insts, b.insts) << a.label;
+    EXPECT_EQ(a.mispredicts, b.mispredicts) << a.label;
+    EXPECT_EQ(a.flushed, b.flushed) << a.label;
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected) << a.label;
+    EXPECT_EQ(a.replays, b.replays) << a.label;
+    EXPECT_EQ(dumped(a.stats), dumped(b.stats)) << a.label;
+}
+
+TEST(Supervise, UnjournalledSweepMatchesPlainRun)
+{
+    std::vector<BatchJob> jobs = smallSweep(6);
+
+    BatchOptions bopts;
+    bopts.jobs = 2;
+    BatchRunner plain(bopts);
+    BatchSummary ref = plain.run(jobs);
+    ASSERT_TRUE(ref.allOk);
+
+    BatchRunner runner(bopts);
+    SuperviseOptions sopts;
+    sopts.batch = bopts;
+    SuperviseSummary sup = superviseBatch(runner, jobs, sopts);
+    ASSERT_TRUE(sup.error.empty()) << sup.error;
+    EXPECT_EQ(sup.executed, jobs.size());
+    EXPECT_EQ(sup.restored, 0u);
+    EXPECT_FALSE(sup.interrupted);
+    ASSERT_EQ(sup.batch.results.size(), ref.results.size());
+    for (size_t i = 0; i < ref.results.size(); ++i)
+        expectIdentical(ref.results[i], sup.batch.results[i]);
+    EXPECT_EQ(dumped(ref.merged), dumped(sup.batch.merged));
+}
+
+TEST(Supervise, JournalRestoresFinishedJobsBitExactly)
+{
+    std::vector<BatchJob> jobs = smallSweep(6);
+    std::string dir = scratchDir("restore");
+
+    BatchOptions bopts;
+    bopts.jobs = 2;
+    SuperviseOptions sopts;
+    sopts.batch = bopts;
+    sopts.journalDir = dir;
+
+    BatchRunner first(bopts);
+    SuperviseSummary run1 = superviseBatch(first, jobs, sopts);
+    ASSERT_TRUE(run1.error.empty()) << run1.error;
+    ASSERT_TRUE(run1.batch.allOk);
+    EXPECT_EQ(run1.executed, jobs.size());
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "manifest.jsonl"));
+
+    // Second invocation on the same directory: everything restored,
+    // nothing executed, every result — scalars, error strings, the
+    // full StatSet dump, even hostSeconds — bit-identical.
+    BatchRunner second(bopts);
+    SuperviseSummary run2 = superviseBatch(second, jobs, sopts);
+    ASSERT_TRUE(run2.error.empty()) << run2.error;
+    EXPECT_EQ(run2.executed, 0u);
+    EXPECT_EQ(run2.restored, jobs.size());
+    EXPECT_EQ(run2.quarantined, 0u);
+    ASSERT_EQ(run2.batch.results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        expectIdentical(run1.batch.results[i], run2.batch.results[i]);
+        EXPECT_EQ(run1.batch.results[i].hostSeconds,
+                  run2.batch.results[i].hostSeconds)
+            << jobs[i].label;
+    }
+    EXPECT_EQ(dumped(run1.batch.merged), dumped(run2.batch.merged));
+}
+
+TEST(Supervise, PartialJournalRunsOnlyUnfinishedJobs)
+{
+    // Journal a 3-job prefix, then supervise the full 6-job sweep on
+    // the same directory: the 3 finished cells restore, the rest run,
+    // and the combined summary matches an uninterrupted sweep.
+    std::vector<BatchJob> all = smallSweep(6);
+    std::vector<BatchJob> prefix(all.begin(), all.begin() + 3);
+    std::string dir = scratchDir("partial");
+
+    BatchOptions bopts;
+    bopts.jobs = 2;
+    SuperviseOptions sopts;
+    sopts.batch = bopts;
+    sopts.journalDir = dir;
+
+    BatchRunner pre(bopts);
+    SuperviseSummary preRun = superviseBatch(pre, prefix, sopts);
+    ASSERT_TRUE(preRun.error.empty());
+    ASSERT_TRUE(preRun.batch.allOk);
+
+    BatchRunner full(bopts);
+    SuperviseSummary resumed = superviseBatch(full, all, sopts);
+    ASSERT_TRUE(resumed.error.empty());
+    EXPECT_EQ(resumed.restored, 3u);
+    EXPECT_EQ(resumed.executed, 3u);
+    ASSERT_TRUE(resumed.batch.allOk);
+
+    BatchRunner refRunner(bopts);
+    BatchSummary ref = refRunner.run(all);
+    ASSERT_EQ(resumed.batch.results.size(), ref.results.size());
+    for (size_t i = 0; i < ref.results.size(); ++i)
+        expectIdentical(ref.results[i], resumed.batch.results[i]);
+    EXPECT_EQ(dumped(ref.merged), dumped(resumed.batch.merged));
+}
+
+TEST(Supervise, CorruptJournalLinesAreQuarantinedAndRerun)
+{
+    std::vector<BatchJob> jobs = smallSweep(4);
+    std::string dir = scratchDir("quarantine");
+
+    BatchOptions bopts;
+    SuperviseOptions sopts;
+    sopts.batch = bopts;
+    sopts.journalDir = dir;
+
+    BatchRunner first(bopts);
+    SuperviseSummary run1 = superviseBatch(first, jobs, sopts);
+    ASSERT_TRUE(run1.error.empty());
+    ASSERT_TRUE(run1.batch.allOk);
+
+    // Damage the manifest three ways: flip a digit inside one done
+    // line's payload (CRC mismatch), append a truncated line (torn
+    // write), and append plain garbage.
+    fs::path manifest = fs::path(dir) / "manifest.jsonl";
+    std::vector<std::string> lines;
+    {
+        std::ifstream is(manifest);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 2u);
+    size_t doneIdx = lines.size() - 1; // last line is a done record
+    std::string &victim = lines[doneIdx];
+    size_t digit = victim.find_last_of("0123456789abcdef");
+    ASSERT_NE(digit, std::string::npos);
+    victim[digit] = victim[digit] == '0' ? '1' : '0';
+    {
+        std::ofstream os(manifest, std::ios::trunc);
+        for (const std::string &line : lines)
+            os << line << "\n";
+        os << R"({"crc":1,"p":{"kind":"done")" << "\n"; // torn write
+        os << "not json at all\n";
+    }
+
+    BatchRunner second(bopts);
+    SuperviseSummary run2 = superviseBatch(second, jobs, sopts);
+    ASSERT_TRUE(run2.error.empty()) << run2.error;
+    EXPECT_EQ(run2.quarantined, 3u);
+    EXPECT_FALSE(run2.quarantinePath.empty());
+    EXPECT_TRUE(fs::exists(run2.quarantinePath));
+    // The damaged job re-ran; the untouched ones restored. Either way
+    // the final summary is complete and correct.
+    EXPECT_GE(run2.executed, 1u);
+    EXPECT_EQ(run2.executed + run2.restored, jobs.size());
+    EXPECT_TRUE(run2.batch.allOk);
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(run1.batch.results[i], run2.batch.results[i]);
+}
+
+TEST(Supervise, TimeoutMarksJobAndRetriesCount)
+{
+    // A fault-heavy idctrn01 run takes well over 100ms of simulation;
+    // a ~1ms deadline (monitor tick 20ms) reliably aborts it. With one
+    // retry, the supervisor re-runs it once (timeouts are transient by
+    // taxonomy) and both attempts time out.
+    const workloads::Workload *w = workloads::findWorkload("idctrn01");
+    ASSERT_NE(w, nullptr);
+    SimConfig cfg;
+    cfg.faults.model = FaultModel::NetDrop;
+    cfg.faults.rate = 1e-2;
+    cfg.faults.seed = 3;
+    std::vector<BatchJob> jobs = {makeJob(*w, "both", cfg)};
+
+    BatchOptions bopts;
+    SuperviseOptions sopts;
+    sopts.batch = bopts;
+    sopts.jobTimeoutSeconds = 0.001;
+    sopts.retries = 1;
+    sopts.backoffSeconds = 0.01;
+
+    BatchRunner runner(bopts);
+    SuperviseSummary sup = superviseBatch(runner, jobs, sopts);
+    ASSERT_TRUE(sup.error.empty());
+    ASSERT_EQ(sup.batch.results.size(), 1u);
+    const BatchResult &r = sup.batch.results[0];
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.errorKind, "timeout");
+    EXPECT_EQ(sup.retried, 1u);
+    EXPECT_EQ(sup.failuresByKind.at("timeout"), 1u);
+    EXPECT_FALSE(sup.batch.allOk);
+}
+
+TEST(Supervise, DeterministicFailuresAreNeverRetried)
+{
+    // A compile error fails identically every attempt; retries must
+    // not burn time re-running it.
+    static workloads::Workload broken;
+    broken.name = "broken";
+    broken.source = "func broken {\n  this is not ir\n}\n";
+    broken.init = [](isa::Memory &) {};
+
+    BatchJob job;
+    job.workload = &broken;
+    job.label = "broken/both";
+    job.config = "both";
+    job.opts = compiler::configNamed("both");
+
+    SuperviseOptions sopts;
+    sopts.retries = 3;
+    sopts.backoffSeconds = 0.01;
+
+    BatchRunner runner{BatchOptions{}};
+    SuperviseSummary sup = superviseBatch(runner, {job}, sopts);
+    ASSERT_TRUE(sup.error.empty());
+    ASSERT_EQ(sup.batch.results.size(), 1u);
+    EXPECT_FALSE(sup.batch.results[0].ok);
+    EXPECT_EQ(sup.batch.results[0].errorKind, "compile");
+    EXPECT_EQ(sup.retried, 0u);
+    EXPECT_EQ(sup.failuresByKind.at("compile"), 1u);
+}
+
+TEST(Supervise, SimFailureKindAndStrictFailFast)
+{
+    // Net-drop at 2e-2 deadlocks idctrn01 deterministically (replay
+    // budget exhausted) — errorKind "sim". In strict mode the sweep
+    // aborts: later jobs come back interrupted, not run to completion.
+    const workloads::Workload *w = workloads::findWorkload("idctrn01");
+    ASSERT_NE(w, nullptr);
+    SimConfig bad;
+    bad.faults.model = FaultModel::NetDrop;
+    bad.faults.rate = 2e-2;
+    bad.faults.seed = 3;
+
+    std::vector<BatchJob> jobs;
+    BatchJob failing = makeJob(*w, "both", bad);
+    failing.label += "+deadlock";
+    jobs.push_back(failing);
+    // Plenty of follow-on work for strict mode to cancel.
+    for (const BatchJob &j : smallSweep(6))
+        jobs.push_back(j);
+
+    SuperviseOptions sopts;
+    sopts.batch.jobs = 1; // serial: the failure lands first
+    sopts.strict = true;
+
+    BatchRunner runner{BatchOptions{}};
+    SuperviseSummary sup = superviseBatch(runner, jobs, sopts);
+    ASSERT_TRUE(sup.error.empty());
+    EXPECT_FALSE(sup.batch.allOk);
+    EXPECT_TRUE(sup.interrupted);
+    EXPECT_EQ(sup.batch.results[0].errorKind, "sim");
+    EXPECT_EQ(sup.failuresByKind.at("sim"), 1u);
+    // Strict mode stopped the sweep before the tail ran.
+    uint64_t interrupted = 0;
+    for (const BatchResult &r : sup.batch.results)
+        if (r.errorKind == "interrupted")
+            ++interrupted;
+    EXPECT_GT(interrupted, 0u);
+}
+
+TEST(Supervise, JobIdCoversConfigAndLabel)
+{
+    const std::vector<workloads::Workload> &suite =
+        workloads::eembcSuite();
+    BatchJob a = makeJob(suite[0], "both");
+    BatchJob b = makeJob(suite[0], "hyper"); // different compile options
+    BatchJob c = makeJob(suite[0], "both");
+    c.sim.missLatency += 10; // different timing config
+    EXPECT_NE(superviseJobId(a), superviseJobId(b));
+    EXPECT_NE(superviseJobId(a), superviseJobId(c));
+    EXPECT_EQ(superviseJobId(a), superviseJobId(makeJob(suite[0], "both")));
+}
+
+} // namespace
+} // namespace dfp::sim

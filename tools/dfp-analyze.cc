@@ -17,6 +17,7 @@
  * 2 on usage errors.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "analysis/report.h"
+#include "base/cli.h"
 #include "base/json.h"
 #include "base/logging.h"
 #include "base/version.h"
@@ -272,7 +274,17 @@ main(int argc, char **argv)
         else if (arg == "--json") jsonOut = true;
         else if (eatValue("--out", value)) outFile = value;
         else if (arg == "--validate") validate = true;
-        else if (eatValue("--jobs", value)) jobs = std::atoi(value.c_str());
+        else if (eatValue("--jobs", value)) {
+            uint64_t v = 0;
+            std::string parseErr;
+            if (!cli::parseCount(value, v, parseErr)) {
+                verify::DiagList diags;
+                diags.error("DFPC108", {}, "--jobs: " + parseErr);
+                diags.renderText(std::cerr);
+                return 2;
+            }
+            jobs = static_cast<int>(std::min<uint64_t>(v, 1024));
+        }
         else if (arg == "--no-warnings") warnings = false;
         else if (arg == "--no-paths") paths = false;
         else if (arg == "--strict") strict = true;

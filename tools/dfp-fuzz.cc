@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli.h"
 #include "base/json.h"
 #include "base/version.h"
 #include "compiler/pipeline.h"
@@ -222,8 +223,12 @@ main(int argc, char **argv)
             return false;
         };
         std::string value;
+        // Counting flags parse through the shared base/cli.h helper:
+        // malformed values are DFPC108 (exit 2) in every tool.
+        std::string parseErr;
         if (eatValue("--runs", value)) {
-            opts.runs = std::strtoull(value.c_str(), nullptr, 0);
+            if (!cli::parseCount(value, opts.runs, parseErr))
+                return inputError("DFPC108", "--runs: " + parseErr);
         } else if (eatValue("--seed", value)) {
             opts.seed = std::strtoull(value.c_str(), nullptr, 0);
         } else if (eatValue("--configs", configsStr)) {
@@ -231,7 +236,9 @@ main(int argc, char **argv)
         } else if (eatValue("--out", value)) {
             opts.outDir = value;
         } else if (eatValue("--max-failures", value)) {
-            opts.maxFailures = std::strtoull(value.c_str(), nullptr, 0);
+            if (!cli::parseCount(value, opts.maxFailures, parseErr))
+                return inputError("DFPC108",
+                                  "--max-failures: " + parseErr);
         } else if (arg == "--no-reduce") {
             opts.reduce = false;
         } else if (arg == "--soak") {
@@ -241,8 +248,9 @@ main(int argc, char **argv)
         } else if (eatValue("--fault-seed", value)) {
             opts.faults.seed = std::strtoull(value.c_str(), nullptr, 0);
         } else if (eatValue("--watchdog-cycles", value)) {
-            opts.watchdogCycles =
-                std::strtoull(value.c_str(), nullptr, 0);
+            if (!cli::parseCount(value, opts.watchdogCycles, parseErr))
+                return inputError("DFPC108",
+                                  "--watchdog-cycles: " + parseErr);
         } else if (eatValue("--break-opt", value)) {
             opts.breakOpt = value;
         } else if (eatValue("--replay", replayFile)) {

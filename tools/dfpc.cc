@@ -13,13 +13,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
 #include "analysis/report.h"
+#include "base/cli.h"
 #include "base/json.h"
+#include "base/serialize.h"
+#include "base/signals.h"
 #include "base/threadpool.h"
 #include "base/version.h"
 #include "compiler/pipeline.h"
@@ -28,8 +32,10 @@
 #include "isa/encode.h"
 #include "isa/exec.h"
 #include "sim/batch.h"
+#include "sim/checkpoint.h"
 #include "sim/fault.h"
 #include "sim/machine.h"
+#include "sim/supervise.h"
 #include "sim/trace.h"
 #include "verify/diag.h"
 #include "verify/verify.h"
@@ -146,6 +152,27 @@ printHelp(std::FILE *out)
         "  --watchdog-cycles <n>  progress watchdog window (default:\n"
         "                     10000 when faults are on, else off)\n"
         "\n"
+        "checkpoint/restore (see docs/CHECKPOINT.md):\n"
+        "  --checkpoint-every <n>  snapshot the simulation into\n"
+        "                     --checkpoint-dir every n cycles\n"
+        "  --checkpoint-dir <d>  where snapshots go (created if\n"
+        "                     missing); also arms checkpoint-on-\n"
+        "                     SIGINT/SIGTERM\n"
+        "  --resume <file>    restore a snapshot and continue; the\n"
+        "                     resumed run's final stats are byte-\n"
+        "                     identical to an uninterrupted run\n"
+        "\n"
+        "batch supervision (--all-workloads; docs/CHECKPOINT.md):\n"
+        "  --resume-dir <d>   journal the sweep to <d>/manifest.jsonl\n"
+        "                     and resume after a crash or signal\n"
+        "                     (finished jobs are not re-run)\n"
+        "  --job-timeout <t>  per-job wall-clock budget (30s, 5m, 1h)\n"
+        "  --retries <n>      retry transient failures (timeouts and\n"
+        "                     crashes) up to n times with exponential\n"
+        "                     backoff\n"
+        "  --strict           stop the sweep at the first failed job\n"
+        "                     instead of reporting partial failures\n"
+        "\n"
         "observability (see docs/TRACING.md):\n"
         "  --stats            dump all compiler/simulator counters\n"
         "  --stats-json=<f>   write counters + histograms as JSON "
@@ -260,6 +287,9 @@ main(int argc, char **argv)
     std::string traceFile, traceFormat = "chrome", statsJsonFile;
     std::string faultModelStr, faultRateStr, faultSeedStr, watchdogStr;
     std::string jobsStr;
+    std::string checkpointEveryStr, checkpointDir, resumeFile;
+    std::string resumeDir, jobTimeoutStr, retriesStr;
+    bool strictFlag = false;
     int unroll = 1;
     bool scalarOpts = true, multicast = false, schedule = true;
     bool dumpIr = false, dumpBlocks = false, encode = false;
@@ -321,6 +351,13 @@ main(int argc, char **argv)
         else if (eatValue("--fault-seed", faultSeedStr)) {}
         else if (eatValue("--watchdog-cycles", watchdogStr)) {}
         else if (eatValue("--jobs", jobsStr)) {}
+        else if (eatValue("--checkpoint-every", checkpointEveryStr)) {}
+        else if (eatValue("--checkpoint-dir", checkpointDir)) {}
+        else if (eatValue("--resume", resumeFile)) {}
+        else if (eatValue("--resume-dir", resumeDir)) {}
+        else if (eatValue("--job-timeout", jobTimeoutStr)) {}
+        else if (eatValue("--retries", retriesStr)) {}
+        else if (arg == "--strict") strictFlag = true;
         else if (arg == "--all-workloads") allWorkloads = true;
         else if (eatValue("--workload", workload)) {}
         else if (arg == "--list-workloads") {
@@ -370,10 +407,26 @@ main(int argc, char **argv)
     }
     if (!faultSeedStr.empty())
         faultCfg.seed = std::strtoull(faultSeedStr.c_str(), nullptr, 0);
-    uint64_t watchdogCycles =
-        watchdogStr.empty()
-            ? 0
-            : std::strtoull(watchdogStr.c_str(), nullptr, 0);
+    // Every counting/duration flag funnels through the shared
+    // base/cli.h helpers so a malformed value is a uniform DFPC108
+    // (exit 2) instead of silently reading "10x" as 10.
+    std::string parseErr;
+    uint64_t watchdogCycles = 0;
+    if (!watchdogStr.empty() &&
+        !cli::parseCount(watchdogStr, watchdogCycles, parseErr))
+        return inputError("DFPC108", "--watchdog-cycles: " + parseErr);
+    uint64_t checkpointEvery = 0;
+    if (!checkpointEveryStr.empty() &&
+        !cli::parseCount(checkpointEveryStr, checkpointEvery, parseErr))
+        return inputError("DFPC108", "--checkpoint-every: " + parseErr);
+    uint64_t retries = 0;
+    if (!retriesStr.empty() &&
+        !cli::parseCount(retriesStr, retries, parseErr))
+        return inputError("DFPC108", "--retries: " + parseErr);
+    double jobTimeout = 0;
+    if (!jobTimeoutStr.empty() &&
+        !cli::parseSeconds(jobTimeoutStr, jobTimeout, parseErr))
+        return inputError("DFPC108", "--job-timeout: " + parseErr);
     if (faultCfg.model != sim::FaultModel::None && faultCfg.rate == 0.0) {
         std::fprintf(stderr,
                      "dfpc: note: --fault-model given with a zero "
@@ -381,9 +434,11 @@ main(int argc, char **argv)
     }
     int jobs = 1;
     if (!jobsStr.empty()) {
-        jobs = std::atoi(jobsStr.c_str());
-        if (jobs < 1)
-            jobs = dfp::ThreadPool::defaultThreads();
+        uint64_t jobsVal = 0;
+        if (!cli::parseCount(jobsStr, jobsVal, parseErr))
+            return inputError("DFPC108", "--jobs: " + parseErr);
+        jobs = jobsVal < 1 ? dfp::ThreadPool::defaultThreads()
+                           : int(std::min<uint64_t>(jobsVal, 1024));
     }
     if (!dumpIr && !dumpBlocks && !encode && !runFunctional && !stats &&
         !verifyFlag && !analyze)
@@ -393,6 +448,12 @@ main(int argc, char **argv)
     if (!faultModelStr.empty() || !faultRateStr.empty() ||
         !faultSeedStr.empty() || !watchdogStr.empty())
         runSim = true; // fault knobs only make sense on the machine
+    if (!checkpointDir.empty() || !resumeFile.empty())
+        runSim = true; // checkpoint/restore only exists on the machine
+    if (checkpointEvery != 0 && checkpointDir.empty())
+        return inputError("DFPC108",
+                          "--checkpoint-every requires "
+                          "--checkpoint-dir");
     if (allWorkloads) {
         if (!file.empty() || !workload.empty() || dumpIr || dumpBlocks ||
             encode || runFunctional || verifyFlag || analyze ||
@@ -404,6 +465,21 @@ main(int argc, char **argv)
                          "run/verify actions, or --trace\n\n");
             return usage();
         }
+        if (!checkpointDir.empty() || !resumeFile.empty() ||
+            checkpointEvery != 0) {
+            std::fprintf(stderr,
+                         "dfpc: --checkpoint-every/--checkpoint-dir/"
+                         "--resume checkpoint a single simulation; for "
+                         "a sweep use --resume-dir (the batch "
+                         "journal)\n\n");
+            return usage();
+        }
+    } else if (!resumeDir.empty() || !jobTimeoutStr.empty() ||
+               !retriesStr.empty() || strictFlag) {
+        std::fprintf(stderr,
+                     "dfpc: --resume-dir/--job-timeout/--retries/"
+                     "--strict supervise an --all-workloads sweep\n\n");
+        return usage();
     } else if (file.empty() && workload.empty()) {
         std::fprintf(stderr, "dfpc: no input (give a <kernel.ir> file "
                              "or --workload <name>)\n\n");
@@ -440,7 +516,25 @@ main(int argc, char **argv)
             sim::BatchOptions batchOpts;
             batchOpts.jobs = jobs;
             sim::BatchRunner runner(batchOpts);
-            sim::BatchSummary batch = runner.run(jobsList);
+
+            // Every sweep runs under the supervisor; without
+            // --resume-dir it degrades to plain fan-out (no journal,
+            // no deadlines), with per-job results identical to
+            // BatchRunner::run().
+            signals::installStopHandlers();
+            sim::SuperviseOptions supOpts;
+            supOpts.batch = batchOpts;
+            supOpts.jobTimeoutSeconds = jobTimeout;
+            supOpts.retries = retries;
+            supOpts.strict = strictFlag;
+            supOpts.journalDir = resumeDir;
+            supOpts.stop = &signals::stopRequested();
+            supOpts.toolVersion = versionString();
+            sim::SuperviseSummary sup =
+                sim::superviseBatch(runner, jobsList, supOpts);
+            if (!sup.error.empty())
+                return inputError("DFPC106", sup.error);
+            sim::BatchSummary &batch = sup.batch;
 
             FILE *sumOut = statsJsonFile == "-" ? stderr : stdout;
             for (const sim::BatchResult &r : batch.results) {
@@ -464,6 +558,28 @@ main(int argc, char **argv)
                          batch.wallSeconds,
                          batch.simCyclesPerSecond() / 1e6,
                          batch.allOk ? "" : " [FAILURES]");
+            if (!resumeDir.empty()) {
+                std::fprintf(
+                    sumOut,
+                    "supervisor: %llu run, %llu restored from the "
+                    "journal, %llu retried, %llu quarantined "
+                    "line(s)\n",
+                    (unsigned long long)sup.executed,
+                    (unsigned long long)sup.restored,
+                    (unsigned long long)sup.retried,
+                    (unsigned long long)sup.quarantined);
+                if (sup.quarantined > 0)
+                    std::fprintf(stderr,
+                                 "dfpc: %llu corrupt journal line(s) "
+                                 "set aside in %s\n",
+                                 (unsigned long long)sup.quarantined,
+                                 sup.quarantinePath.c_str());
+            }
+            for (const auto &[kind, n] : sup.failuresByKind)
+                std::fprintf(sumOut,
+                             "supervisor: %llu failure(s) of kind "
+                             "'%s'\n",
+                             (unsigned long long)n, kind.c_str());
             if (stats)
                 batch.merged.dump(std::cout, "  ");
             if (!statsJsonFile.empty()) {
@@ -508,6 +624,16 @@ main(int argc, char **argv)
                     std::fprintf(stderr,
                                  "dfpc: wrote stats JSON to %s\n",
                                  statsJsonFile.c_str());
+            }
+            if (int sig = signals::stopSignal(); sig != 0) {
+                std::fprintf(stderr,
+                             "dfpc: sweep interrupted by signal %d%s\n",
+                             sig,
+                             resumeDir.empty()
+                                 ? ""
+                                 : "; re-run with the same "
+                                   "--resume-dir to continue");
+                return 128 + sig;
             }
             return batch.allOk ? 0 : 1;
         }
@@ -629,6 +755,112 @@ main(int argc, char **argv)
             simCfg.perBlockStats = stats || !statsJsonFile.empty();
             simCfg.faults = faultCfg;
             simCfg.watchdogCycles = watchdogCycles;
+
+            // Checkpoint identity: which build, which program, which
+            // machine configuration. A snapshot only ever resumes into
+            // the exact same simulation (see docs/CHECKPOINT.md).
+            std::string inputName = workload.empty() ? file : workload;
+            std::string ckptBase = inputName;
+            if (size_t slash = ckptBase.find_last_of('/');
+                slash != std::string::npos)
+                ckptBase = ckptBase.substr(slash + 1);
+            if (size_t dot = ckptBase.rfind('.');
+                dot != std::string::npos && dot > 0)
+                ckptBase = ckptBase.substr(0, dot);
+            std::string programKey;
+            if (!workload.empty()) {
+                programKey =
+                    sim::BatchRunner::compileKey(workload, opts);
+            } else {
+                // Files have no stable name; fingerprint the source
+                // text so an edited kernel can't silently absorb a
+                // stale snapshot.
+                char fp[16];
+                std::snprintf(fp, sizeof(fp), "%08x",
+                              serialize::crc32(source.data(),
+                                               source.size()));
+                programKey = sim::BatchRunner::compileKey(
+                    detail::cat("file:", ckptBase, "@", fp), opts);
+            }
+            std::string simKey = sim::simConfigKey(simCfg);
+
+            sim::Checkpoint resumeCkpt;
+            if (!resumeFile.empty()) {
+                std::string err;
+                if (sim::readCheckpointFile(resumeFile, resumeCkpt,
+                                            err) !=
+                    sim::CheckpointStatus::Ok) {
+                    return inputError(
+                        "DFPC106",
+                        detail::cat("'", resumeFile, "': ", err));
+                }
+                std::string mismatch;
+                if (resumeCkpt.toolVersion != versionString())
+                    mismatch = detail::cat(
+                        "build (checkpoint: ", resumeCkpt.toolVersion,
+                        ", this dfpc: ", versionString(), ")");
+                else if (resumeCkpt.compileKey != programKey)
+                    mismatch = "program or compile options";
+                else if (resumeCkpt.simKey != simKey)
+                    mismatch = "simulator configuration";
+                if (!mismatch.empty()) {
+                    return inputError(
+                        "DFPC107",
+                        detail::cat(
+                            "'", resumeFile,
+                            "' was cut from a different ", mismatch,
+                            "; resume needs the same input, compile "
+                            "options, and simulator flags"));
+                }
+                simCfg.checkpoint.resume = &resumeCkpt.payload;
+            }
+
+            std::string lastCkptPath;
+            if (!checkpointDir.empty()) {
+                std::error_code ec;
+                std::filesystem::create_directories(checkpointDir, ec);
+                if (ec) {
+                    return inputError(
+                        "DFPC106",
+                        detail::cat("cannot create checkpoint "
+                                    "directory '",
+                                    checkpointDir,
+                                    "': ", ec.message()));
+                }
+                simCfg.checkpoint.everyCycles = checkpointEvery;
+                signals::installStopHandlers();
+                simCfg.checkpoint.stop = &signals::stopRequested();
+                simCfg.checkpoint.sink =
+                    [&](uint64_t cycle,
+                        const std::vector<uint8_t> &payload) {
+                        sim::Checkpoint c;
+                        c.toolVersion = versionString();
+                        c.compileKey = programKey;
+                        c.simKey = simKey;
+                        c.workload = inputName;
+                        c.cycle = cycle;
+                        c.payload = payload;
+                        std::string path =
+                            detail::cat(checkpointDir, "/", ckptBase,
+                                        "-", cycle, ".ckpt");
+                        std::string err;
+                        if (!sim::writeCheckpointFile(path, c, err)) {
+                            std::fprintf(stderr,
+                                         "dfpc: checkpoint write "
+                                         "failed: %s\n",
+                                         err.c_str());
+                        } else {
+                            lastCkptPath = path;
+                            std::fprintf(
+                                stderr,
+                                "dfpc: wrote checkpoint %s (cycle "
+                                "%llu)\n",
+                                path.c_str(),
+                                (unsigned long long)cycle);
+                        }
+                    };
+            }
+
             std::ofstream traceOut;
             std::unique_ptr<sim::TraceSink> sink;
             if (!traceFile.empty()) {
@@ -669,6 +901,23 @@ main(int argc, char **argv)
             }
             if (out.deadlock.valid)
                 std::fputs(out.deadlock.renderText().c_str(), stderr);
+            if (out.interrupted) {
+                if (sink)
+                    sink->flush();
+                if (!lastCkptPath.empty()) {
+                    std::fprintf(stderr,
+                                 "dfpc: interrupted at cycle %llu; "
+                                 "resume with --resume %s\n",
+                                 (unsigned long long)out.cycles,
+                                 lastCkptPath.c_str());
+                } else {
+                    std::fprintf(stderr,
+                                 "dfpc: interrupted at cycle %llu\n",
+                                 (unsigned long long)out.cycles);
+                }
+                int sig = signals::stopSignal();
+                return sig != 0 ? 128 + sig : 1;
+            }
             // A simulation that hung or died is a failed run: exit
             // nonzero so scripts and CI notice, even though the stats
             // and forensics above were still written.
