@@ -1,0 +1,106 @@
+#include "base/io.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dfp::io
+{
+
+void
+ignoreSigpipe()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_IGN;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGPIPE, &sa, nullptr);
+}
+
+bool
+readFull(int fd, void *buf, size_t n)
+{
+    auto *p = static_cast<uint8_t *>(buf);
+    while (n > 0) {
+        ssize_t got = ::read(fd, p, n);
+        if (got > 0) {
+            p += got;
+            n -= size_t(got);
+            continue;
+        }
+        if (got == 0) {
+            errno = 0; // EOF, not an error: let the caller tell them apart
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFull(int fd, const void *buf, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(buf);
+    while (n > 0) {
+        ssize_t put = ::write(fd, p, n);
+        if (put >= 0) {
+            p += put;
+            n -= size_t(put);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+int
+acceptRetry(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR || errno == ECONNABORTED)
+            continue;
+        return -1;
+    }
+}
+
+int
+pollIn(int fd, int timeoutMs)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline =
+        timeoutMs < 0 ? Clock::time_point::max()
+                      : Clock::now() + std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        int wait = -1;
+        if (timeoutMs >= 0) {
+            auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+            wait = left > 0 ? int(left) : 0;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        int rc = ::poll(&pfd, 1, wait);
+        if (rc > 0)
+            return 1;
+        if (rc == 0)
+            return 0;
+        if (errno == EINTR)
+            continue;
+        return -1;
+    }
+}
+
+} // namespace dfp::io

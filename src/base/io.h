@@ -1,0 +1,63 @@
+/**
+ * @file
+ * EINTR-safe POSIX IO wrappers shared by the serve daemon, its client,
+ * and any tool that talks to a file descriptor while signal handlers
+ * are installed. base/signals.h deliberately installs its handlers
+ * WITHOUT SA_RESTART so blocking IO fails fast on SIGINT/SIGTERM; the
+ * price is that every read/write/accept/poll can return EINTR at any
+ * time, and naive call sites turn that into spurious disconnects.
+ * These helpers retry EINTR and nothing else, preserve errno for the
+ * caller on real failures, and handle short reads/writes (a socket is
+ * free to transfer fewer bytes than asked).
+ *
+ * SIGPIPE policy: a peer that disconnects mid-write must surface as an
+ * EPIPE error, never as process death. installStopHandlers()
+ * (base/signals.h) ignores SIGPIPE process-wide; ignoreSigpipe() is
+ * exposed separately for code paths that touch sockets before any
+ * handler installation.
+ */
+
+#ifndef DFP_BASE_IO_H
+#define DFP_BASE_IO_H
+
+#include <cstddef>
+
+namespace dfp::io
+{
+
+/** Ignore SIGPIPE process-wide (idempotent). Writes to a closed peer
+ *  then fail with EPIPE instead of killing the process. */
+void ignoreSigpipe();
+
+/**
+ * Read exactly @p n bytes. Retries EINTR and short reads. Returns
+ * true on success; false on EOF-before-n (errno = 0) or a real error
+ * (errno set by the failing read). @p n == 0 trivially succeeds.
+ */
+bool readFull(int fd, void *buf, size_t n);
+
+/**
+ * Write exactly @p n bytes, retrying EINTR and short writes. Returns
+ * true on success, false on error with errno set (EPIPE when the peer
+ * vanished, given SIGPIPE is ignored).
+ */
+bool writeFull(int fd, const void *buf, size_t n);
+
+/** accept(2) retrying EINTR (and ECONNABORTED, which just means the
+ *  peer gave up while queued). Returns the connection fd, or -1 with
+ *  errno set on a real listener error. */
+int acceptRetry(int listenFd);
+
+/**
+ * Wait until @p fd is readable. Returns 1 when readable (or the peer
+ * hung up — the subsequent read observes the EOF), 0 on timeout, -1
+ * on error with errno set. EINTR is retried with the remaining
+ * timeout, so a stop signal does not shorten the wait; callers poll
+ * in bounded ticks and check their stop flags between ticks.
+ * @p timeoutMs < 0 blocks indefinitely.
+ */
+int pollIn(int fd, int timeoutMs);
+
+} // namespace dfp::io
+
+#endif // DFP_BASE_IO_H

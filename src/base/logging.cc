@@ -5,7 +5,7 @@
 namespace dfp
 {
 
-bool quietWarnings = false;
+std::atomic<bool> quietWarnings{false};
 
 namespace detail
 {
@@ -22,9 +22,18 @@ formatMessage(const char *level, const char *file, int line,
 void
 emitLog(const char *level, const std::string &msg)
 {
-    if (quietWarnings)
+    if (quietWarnings.load(std::memory_order_relaxed))
         return;
-    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    // One buffer, one write: stderr is unbuffered, so a single fwrite
+    // maps to a single write(2) and concurrent emitters cannot
+    // interleave characters within a line.
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += level;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace detail

@@ -13,6 +13,7 @@
 #ifndef DFP_BASE_LOGGING_H
 #define DFP_BASE_LOGGING_H
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -41,7 +42,10 @@ namespace detail
 std::string formatMessage(const char *level, const char *file, int line,
                           const std::string &msg);
 
-/** Emits a warning/info line to stderr (rate limiting not needed here). */
+/** Emits a warning/info line to stderr. Thread-safe: the whole line
+ *  (level, message, newline) is composed in a buffer and written with
+ *  a single call, so warnings from BatchRunner workers and server
+ *  threads never interleave mid-line. */
 void emitLog(const char *level, const std::string &msg);
 
 /** Variadic stream-style formatting: concatenates all args via ostream. */
@@ -56,8 +60,9 @@ cat(Args &&...args)
 
 } // namespace detail
 
-/** True while a unit test wants warnings suppressed. */
-extern bool quietWarnings;
+/** True while a unit test wants warnings suppressed. Atomic so tests
+ *  and harnesses may toggle it while worker threads are logging. */
+extern std::atomic<bool> quietWarnings;
 
 } // namespace dfp
 

@@ -2,6 +2,8 @@
 
 #include <csignal>
 
+#include "base/io.h"
+
 namespace dfp::signals
 {
 
@@ -9,13 +11,15 @@ namespace
 {
 
 std::atomic<int> g_stop{0};
+std::atomic<int> g_count{0};
 
 extern "C" void
 onStopSignal(int signo)
 {
-    // Only the atomic store: everything else is deferred to the polling
-    // loop, keeping the handler trivially async-signal-safe.
+    // Only the atomic stores: everything else is deferred to the
+    // polling loop, keeping the handler trivially async-signal-safe.
     g_stop.store(signo, std::memory_order_relaxed);
+    g_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -29,6 +33,9 @@ installStopHandlers()
     sa.sa_flags = 0; // no SA_RESTART: let blocking IO fail fast too
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
+    // A disconnected peer must be an EPIPE error, never process death
+    // — neither for the serve daemon nor for a tool piping to a pager.
+    io::ignoreSigpipe();
 }
 
 const std::atomic<int> &
@@ -41,6 +48,12 @@ int
 stopSignal()
 {
     return g_stop.load(std::memory_order_relaxed);
+}
+
+int
+stopCount()
+{
+    return g_count.load(std::memory_order_relaxed);
 }
 
 } // namespace dfp::signals

@@ -2,13 +2,29 @@
  * @file
  * Async-signal-safe stop-request plumbing for the tools. A SIGINT or
  * SIGTERM stores its signal number into a lock-free atomic that long
- * loops (the simulator's checkpoint poll, the batch supervisor) watch;
- * the tool then shuts down cleanly — cutting a checkpoint first when
- * one is armed — and exits with the conventional 128+signo status.
+ * loops (the simulator's checkpoint poll, the batch supervisor, the
+ * dfp-serve accept loop) watch; the tool then shuts down cleanly —
+ * cutting a checkpoint first when one is armed, draining in-flight
+ * requests when serving — and exits with the conventional 128+signo
+ * status.
  *
- * The handler does nothing but the one atomic store, so it is safe
- * under any interleaving; everything interesting happens on the normal
- * control path.
+ * Escalation contract: the FIRST stop signal requests a graceful
+ * shutdown (stop accepting new work, finish or checkpoint what is in
+ * flight, then exit 128+signo). A SECOND SIGINT/SIGTERM means the
+ * user is done waiting: long loops observe stopCount() >= 2 and exit
+ * immediately, abandoning in-flight work (crash-only design makes
+ * that safe — anything unjournalled simply re-runs on resume). The
+ * handlers record every delivery; honouring the escalation is the
+ * polling loop's job.
+ *
+ * installStopHandlers() also ignores SIGPIPE process-wide: a client
+ * that disconnects mid-response (or a pager that exits under a tool
+ * piping output) must surface as an EPIPE write error, never kill the
+ * process.
+ *
+ * The handler does nothing but atomic stores, so it is safe under any
+ * interleaving; everything interesting happens on the normal control
+ * path.
  */
 
 #ifndef DFP_BASE_SIGNALS_H
@@ -19,8 +35,9 @@
 namespace dfp::signals
 {
 
-/** Install SIGINT/SIGTERM handlers that record the signal number.
- *  Idempotent; call once near the top of main(). */
+/** Install SIGINT/SIGTERM handlers that record the signal number, and
+ *  ignore SIGPIPE process-wide. Idempotent; call once near the top of
+ *  main(). */
 void installStopHandlers();
 
 /** The flag the handlers write: 0 = no stop requested, otherwise the
@@ -30,6 +47,10 @@ const std::atomic<int> &stopRequested();
 
 /** The recorded signal number (0 = none). */
 int stopSignal();
+
+/** How many stop signals have been delivered. 0 = run on; 1 = drain
+ *  gracefully; >= 2 = the user escalated, exit immediately. */
+int stopCount();
 
 } // namespace dfp::signals
 

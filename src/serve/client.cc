@@ -1,0 +1,107 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "base/io.h"
+#include "base/random.h"
+
+namespace dfp::serve
+{
+
+namespace
+{
+
+constexpr uint64_t kMaxSleepMs = 10000;
+
+/** One connect + request + response round trip. */
+bool
+attempt(const std::string &socketPath, const Request &req,
+        Response &resp, std::string &error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + socketPath + "' is too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect " + socketPath + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    bool ok = false;
+    if (!writeFrame(fd, encodeRequest(req))) {
+        error = std::string("send: ") + std::strerror(errno);
+    } else {
+        std::vector<uint8_t> body;
+        const FrameStatus fs = readFrame(fd, body, error);
+        if (fs == FrameStatus::Eof)
+            error = "server closed the connection before responding";
+        else if (fs == FrameStatus::Ok)
+            ok = decodeResponse(body, resp, error);
+        // Malformed/IoError leave @p error set by readFrame.
+    }
+    ::close(fd);
+    return ok;
+}
+
+} // namespace
+
+CallResult
+call(const ClientOptions &opts, const Request &req)
+{
+    CallResult out;
+    // The jitter stream decorrelates concurrent clients' retry times;
+    // it never influences a result, only when the next attempt lands.
+    Rng rng(opts.jitterSeed != 0 ? opts.jitterSeed
+                                 : uint64_t(::getpid()) * 0x9e3779b9u + 1);
+
+    for (uint64_t attemptNo = 1;; attemptNo++) {
+        out.attempts = attemptNo;
+        Response resp;
+        std::string error;
+        const bool got = attempt(opts.socketPath, req, resp, error);
+
+        bool transient;
+        if (got) {
+            out.ok = true;
+            out.error.clear();
+            out.response = resp;
+            transient = statusTransient(resp.status);
+        } else {
+            out.ok = false;
+            out.error = error;
+            // Transport failures are transient: the daemon may be
+            // restarting (crash-only!) or still binding its socket.
+            transient = true;
+        }
+        if (!transient || attemptNo > opts.retries)
+            return out;
+
+        out.retried++;
+        uint64_t delay = opts.backoffMs << (attemptNo - 1);
+        if (delay > kMaxSleepMs || delay < opts.backoffMs)
+            delay = kMaxSleepMs;
+        // uniform(0.5, 1.5) in integer arithmetic: delay/2 + [0, delay).
+        const uint64_t jittered =
+            delay / 2 + (delay ? rng.nextBelow(delay) : 0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+    }
+}
+
+} // namespace dfp::serve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The built-in dfp-serve client: connect to the daemon's unix-domain
+ * socket, send one framed request, decode the framed response — and
+ * absorb the transient failures a loaded or restarting server hands
+ * out. SERVE_OVERLOADED, SERVE_DEADLINE, and connection failures
+ * (the socket not there yet, the server mid-restart) are retried up
+ * to `retries` extra attempts with jittered exponential backoff:
+ *
+ *     delay = backoffMs * 2^(attempt-1) * uniform(0.5, 1.5)
+ *
+ * capped at 10s per sleep. The jitter (base/random.h, seeded per
+ * client) keeps a storm of clients that were all shed together from
+ * re-arriving together — the thundering-herd retry is the classic way
+ * a recovering server gets knocked straight back over. Deterministic
+ * outcomes (SERVE_MALFORMED, SERVE_BREAKER_OPEN, SERVE_ERROR, ok)
+ * return immediately; retrying them would reproduce the same answer.
+ */
+
+#ifndef DFP_SERVE_CLIENT_H
+#define DFP_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace dfp::serve
+{
+
+struct ClientOptions
+{
+    std::string socketPath;
+    uint64_t retries = 0;     //!< extra attempts on transient failures
+    uint64_t backoffMs = 100; //!< first retry delay (then doubles)
+    uint64_t jitterSeed = 0;  //!< 0 = derive from the process id
+};
+
+/** Outcome of one call(), after retries. */
+struct CallResult
+{
+    bool ok = false;          //!< a response was received and decoded
+    std::string error;        //!< transport-level failure when !ok
+    Response response;        //!< valid when ok
+    uint64_t attempts = 0;    //!< total attempts made (>= 1)
+    uint64_t retried = 0;     //!< attempts beyond the first
+};
+
+/** Send @p req, retrying transient failures per @p opts. Each attempt
+ *  opens a fresh connection, so a server restart between attempts is
+ *  survived transparently. */
+CallResult call(const ClientOptions &opts, const Request &req);
+
+} // namespace dfp::serve
+
+#endif // DFP_SERVE_CLIENT_H

@@ -1,0 +1,189 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/io.h"
+#include "base/serialize.h"
+
+namespace dfp::serve
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'F', 'P', 'S', 'R', 'V', '0', '1'};
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 3 * sizeof(uint32_t);
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; i++)
+        v |= uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+const char *
+statusDiagCode(const std::string &status)
+{
+    if (status == kStatusMalformed)
+        return "DFPC110";
+    if (status == kStatusOverloaded)
+        return "DFPC111";
+    if (status == kStatusDeadline)
+        return "DFPC112";
+    if (status == kStatusBreakerOpen)
+        return "DFPC113";
+    if (status == kStatusDraining)
+        return "DFPC114";
+    return "";
+}
+
+bool
+statusTransient(const std::string &status)
+{
+    return status == kStatusOverloaded || status == kStatusDeadline;
+}
+
+std::vector<uint8_t>
+encodeRequest(const Request &req)
+{
+    serialize::BinWriter w;
+    w.str(req.kind);
+    w.str(req.workload);
+    w.str(req.config);
+    w.u64(req.deadlineMs);
+    w.u64(req.maxCycles);
+    w.str(req.faultModel);
+    w.f64(req.faultRate);
+    w.u64(req.faultSeed);
+    return w.take();
+}
+
+bool
+decodeRequest(const std::vector<uint8_t> &body, Request &out,
+              std::string &error)
+{
+    serialize::BinReader r(body);
+    out.kind = r.str();
+    out.workload = r.str();
+    out.config = r.str();
+    out.deadlineMs = r.u64();
+    out.maxCycles = r.u64();
+    out.faultModel = r.str();
+    out.faultRate = r.f64();
+    out.faultSeed = r.u64();
+    if (!r.ok() || !r.atEnd()) {
+        error = "request body does not decode";
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint8_t>
+encodeResponse(const Response &resp)
+{
+    serialize::BinWriter w;
+    w.str(resp.status);
+    w.str(resp.message);
+    w.u64(resp.queueDepth);
+    w.u64(resp.payload.size());
+    w.raw(resp.payload.data(), resp.payload.size());
+    return w.take();
+}
+
+bool
+decodeResponse(const std::vector<uint8_t> &body, Response &out,
+               std::string &error)
+{
+    serialize::BinReader r(body);
+    out.status = r.str();
+    out.message = r.str();
+    out.queueDepth = r.u64();
+    size_t n = r.len();
+    out.payload.resize(n);
+    if (!r.raw(out.payload.data(), n) || !r.atEnd()) {
+        error = "response body does not decode";
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint8_t>
+encodeFrame(const std::vector<uint8_t> &body)
+{
+    serialize::BinWriter w;
+    w.raw(kMagic, sizeof(kMagic));
+    w.u32(kProtocolVersion);
+    w.u32(uint32_t(body.size()));
+    w.u32(serialize::crc32(body.data(), body.size()));
+    w.raw(body.data(), body.size());
+    return w.take();
+}
+
+bool
+writeFrame(int fd, const std::vector<uint8_t> &body)
+{
+    const std::vector<uint8_t> frame = encodeFrame(body);
+    return io::writeFull(fd, frame.data(), frame.size());
+}
+
+FrameStatus
+readFrame(int fd, std::vector<uint8_t> &body, std::string &error)
+{
+    uint8_t header[kHeaderBytes];
+    // A clean EOF before the first header byte is a normal close; an
+    // EOF anywhere later is a truncated frame.
+    if (!io::readFull(fd, header, 1)) {
+        if (errno == 0)
+            return FrameStatus::Eof;
+        error = std::strerror(errno);
+        return FrameStatus::IoError;
+    }
+    if (!io::readFull(fd, header + 1, sizeof(header) - 1)) {
+        if (errno == 0) {
+            error = "connection closed mid-header";
+            return FrameStatus::Malformed;
+        }
+        error = std::strerror(errno);
+        return FrameStatus::IoError;
+    }
+
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+        error = "bad frame magic";
+        return FrameStatus::Malformed;
+    }
+    const uint32_t version = loadU32(header + sizeof(kMagic));
+    if (version != kProtocolVersion) {
+        error = "unsupported protocol version " + std::to_string(version);
+        return FrameStatus::Malformed;
+    }
+    const uint32_t bodyLen = loadU32(header + sizeof(kMagic) + 4);
+    if (bodyLen > kMaxFrameBody) {
+        error = "frame body length " + std::to_string(bodyLen) +
+                " exceeds limit";
+        return FrameStatus::Malformed;
+    }
+    const uint32_t want = loadU32(header + sizeof(kMagic) + 8);
+
+    body.resize(bodyLen);
+    if (bodyLen > 0 && !io::readFull(fd, body.data(), bodyLen)) {
+        if (errno == 0) {
+            error = "connection closed mid-body";
+            return FrameStatus::Malformed;
+        }
+        error = std::strerror(errno);
+        return FrameStatus::IoError;
+    }
+    const uint32_t got = serialize::crc32(body.data(), body.size());
+    if (got != want) {
+        error = "frame CRC mismatch";
+        return FrameStatus::Malformed;
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace dfp::serve

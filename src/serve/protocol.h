@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The dfp-serve wire protocol: CRC32-framed binary envelopes over a
+ * unix-domain stream socket, the same framing discipline as the
+ * checkpoint file format (sim/checkpoint.h) — magic, format version,
+ * CRC over the body, then BinWriter-encoded fields — adapted to a
+ * stream by a bounded body-length field so a reader always knows how
+ * many bytes to collect before validating.
+ *
+ * Frame layout (all little-endian):
+ *
+ *   byte 0..7    magic "DFPSRV01"
+ *   byte 8..11   u32 protocol version (kProtocolVersion)
+ *   byte 12..15  u32 body length (<= kMaxFrameBody)
+ *   byte 16..19  u32 CRC32 (IEEE) of the body bytes
+ *   then         body (encodeRequest / encodeResponse payload)
+ *
+ * A frame that fails any structural check — bad magic, unsupported
+ * version, oversized length, CRC mismatch, or a body that does not
+ * decode — is *malformed*: the server answers SERVE_MALFORMED
+ * (DFPC110) and closes the connection; it never crashes, hangs, or
+ * trusts partial data. See docs/SERVING.md for the full taxonomy.
+ *
+ * Error taxonomy (Response::status, driver diagnostic in parens):
+ *
+ *   "ok"                 the request executed; payload is valid
+ *   SERVE_MALFORMED      unreadable frame or bad request (DFPC110)
+ *   SERVE_OVERLOADED     admission queue full, request shed (DFPC111)
+ *   SERVE_DEADLINE       per-request wall-clock deadline hit (DFPC112)
+ *   SERVE_BREAKER_OPEN   circuit breaker fast-fail (DFPC113)
+ *   SERVE_DRAINING       server shutting down gracefully (DFPC114)
+ *   SERVE_ERROR          the job ran and failed deterministically
+ *                        (compile/sim/golden/exception — carried in
+ *                        the result payload's errorKind; no DFPC code,
+ *                        it is the job's failure, not the server's)
+ *
+ * SERVE_OVERLOADED and SERVE_DEADLINE are *transient*: the built-in
+ * client retries them with jittered exponential backoff. Everything
+ * else is deterministic and retrying is pointless.
+ */
+
+#ifndef DFP_SERVE_PROTOCOL_H
+#define DFP_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfp::serve
+{
+
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Upper bound on a frame body; larger length fields are malformed
+ *  (a corrupted length must not become a multi-gigabyte allocation). */
+constexpr uint32_t kMaxFrameBody = 64u << 20;
+
+inline constexpr const char *kStatusOk = "ok";
+inline constexpr const char *kStatusMalformed = "SERVE_MALFORMED";
+inline constexpr const char *kStatusOverloaded = "SERVE_OVERLOADED";
+inline constexpr const char *kStatusDeadline = "SERVE_DEADLINE";
+inline constexpr const char *kStatusBreakerOpen = "SERVE_BREAKER_OPEN";
+inline constexpr const char *kStatusDraining = "SERVE_DRAINING";
+inline constexpr const char *kStatusError = "SERVE_ERROR";
+
+/** The DFPC1xx driver-diagnostic code for a status ("" for "ok" and
+ *  SERVE_ERROR — the latter reports through the job's errorKind). */
+const char *statusDiagCode(const std::string &status);
+
+/** True for statuses the client may retry with backoff. */
+bool statusTransient(const std::string &status);
+
+/** One request. kind selects the action:
+ *  "simulate" — compile (cached) + cycle-level sim + golden check;
+ *  "compile"  — compile through the shared cache only;
+ *  "analyze"  — simulate plus the static cycle lower bound;
+ *  "health"   — server status JSON; every other field is ignored. */
+struct Request
+{
+    std::string kind = "simulate";
+    std::string workload;
+    std::string config = "both";
+    uint64_t deadlineMs = 0;  //!< 0 = server default
+    uint64_t maxCycles = 0;   //!< 0 = simulator default
+    std::string faultModel;   //!< "" = fault-free
+    double faultRate = 0;
+    uint64_t faultSeed = 0;
+};
+
+/** One response. payload is kind-specific: an encodeBatchResult blob
+ *  for job kinds (hostSeconds normalized to zero so responses are
+ *  byte-deterministic), the health JSON text for "health". */
+struct Response
+{
+    std::string status;
+    std::string message;      //!< human-readable detail when not ok
+    uint64_t queueDepth = 0;  //!< requests in flight when composed
+    std::vector<uint8_t> payload;
+};
+
+std::vector<uint8_t> encodeRequest(const Request &req);
+bool decodeRequest(const std::vector<uint8_t> &body, Request &out,
+                   std::string &error);
+
+std::vector<uint8_t> encodeResponse(const Response &resp);
+bool decodeResponse(const std::vector<uint8_t> &body, Response &out,
+                    std::string &error);
+
+/** Wrap @p body in the framed envelope (magic+version+len+crc). */
+std::vector<uint8_t> encodeFrame(const std::vector<uint8_t> &body);
+
+/** Outcome of pulling one frame off a stream. */
+enum class FrameStatus : uint8_t
+{
+    Ok,
+    Eof,       //!< clean close before any frame byte
+    Malformed, //!< structural damage; @p error says what
+    IoError,   //!< read failed mid-frame (errno preserved)
+};
+
+/** Write one framed body; false on IO error (errno set). */
+bool writeFrame(int fd, const std::vector<uint8_t> &body);
+
+/** Read and validate one frame; on Ok, @p body holds the verified
+ *  body bytes. */
+FrameStatus readFrame(int fd, std::vector<uint8_t> &body,
+                      std::string &error);
+
+} // namespace dfp::serve
+
+#endif // DFP_SERVE_PROTOCOL_H

@@ -1,0 +1,513 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "base/io.h"
+#include "base/json.h"
+#include "base/logging.h"
+#include "sim/fault.h"
+#include "workloads/suite.h"
+
+namespace dfp::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+Response
+refuse(const std::string &status, const std::string &message)
+{
+    Response resp;
+    resp.status = status;
+    resp.message = message;
+    return resp;
+}
+
+} // namespace
+
+Server::Server(const ServerOptions &opts)
+    : opts_(opts), runner_(sim::BatchOptions())
+{
+    if (opts_.workers < 1)
+        opts_.workers = 1;
+    if (opts_.queueCapacity < 0)
+        opts_.queueCapacity = 0;
+}
+
+Server::~Server()
+{
+    stopping_.store(true);
+    if (monitor_.joinable())
+        monitor_.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+Server::start(std::string &error)
+{
+    if (opts_.socketPath.empty()) {
+        error = "no socket path";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+        error = "socket path '" + opts_.socketPath + "' is too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    if (!opts_.journalDir.empty()) {
+        if (!journal_.open(opts_.journalDir, opts_.toolVersion, 0, error))
+            return false;
+        journalOpen_ = true;
+        bump("serve.restored_available", journal_.finished().size());
+    }
+
+    // Crash-only restart: a SIGKILLed predecessor leaves its socket
+    // file behind; reclaim the name unconditionally.
+    ::unlink(opts_.socketPath.c_str());
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = "bind " + opts_.socketPath + ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    // The kernel backlog holds *connections*, not admitted jobs; make
+    // it generous so a storm queues at connect rather than ECONNREFUSED
+    // — shedding is the admission gate's job, with a clear error.
+    if (::listen(listenFd_, 128) != 0) {
+        error = std::string("listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    const int capacity = opts_.workers + opts_.queueCapacity;
+    slots_.clear();
+    freeSlots_.clear();
+    for (int i = 0; i < capacity; i++) {
+        slots_.push_back(std::make_unique<Slot>());
+        freeSlots_.push_back(i);
+    }
+
+    started_ = Clock::now();
+    monitor_ = std::thread([this] { monitorLoop(); });
+    return true;
+}
+
+void
+Server::monitorLoop()
+{
+    // The supervisor's deadline mechanism (sim/supervise.cc): a 20ms
+    // scan is plenty for wall-clock budgets measured in tens of ms,
+    // and one thread covers every slot regardless of worker count.
+    while (!stopping_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const int64_t now = nowNs();
+        for (const auto &slot : slots_) {
+            if (!slot->active.load(std::memory_order_acquire))
+                continue;
+            const int64_t deadline = slot->deadlineNs.load();
+            if (deadline != 0 && now >= deadline &&
+                slot->stop.load() == 0) {
+                slot->timedOut.store(true);
+                slot->stop.store(1);
+            }
+        }
+    }
+}
+
+int
+Server::serve(const std::atomic<int> *stop)
+{
+    while (true) {
+        if (stop != nullptr && stop->load() != 0)
+            break;
+        const int ready = io::pollIn(listenFd_, 200);
+        if (ready < 0)
+            break;
+        if (ready == 0)
+            continue;
+        const int conn = io::acceptRetry(listenFd_);
+        if (conn < 0)
+            continue;
+        bump("serve.connections");
+        std::lock_guard<std::mutex> lock(threadsMu_);
+        connThreads_.emplace_back(
+            [this, conn] { handleConnection(conn); });
+    }
+
+    // Drain: stop accepting, let in-flight work finish, deliver every
+    // pending response, then come home. New frames on existing
+    // connections are refused with SERVE_DRAINING.
+    draining_.store(true);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opts_.socketPath.c_str());
+    {
+        std::lock_guard<std::mutex> lock(threadsMu_);
+        for (std::thread &t : connThreads_)
+            if (t.joinable())
+                t.join();
+        connThreads_.clear();
+    }
+    stopping_.store(true);
+    if (monitor_.joinable())
+        monitor_.join();
+    return stop != nullptr ? stop->load() : 0;
+}
+
+void
+Server::handleConnection(int fd)
+{
+    std::vector<uint8_t> body;
+    std::string error;
+    while (true) {
+        // Tick so a drain is noticed even while idle; an established
+        // connection does not outlive the drain by sitting silent.
+        const int ready = io::pollIn(fd, 200);
+        if (ready < 0)
+            break;
+        if (ready == 0) {
+            if (draining_.load())
+                break;
+            continue;
+        }
+        const FrameStatus fs = readFrame(fd, body, error);
+        if (fs == FrameStatus::Eof || fs == FrameStatus::IoError)
+            break;
+        if (fs == FrameStatus::Malformed) {
+            bump("serve.malformed");
+            writeFrame(fd, encodeResponse(
+                               refuse(kStatusMalformed, error)));
+            break; // the stream is unsynchronized; drop it
+        }
+        Request req;
+        Response resp;
+        if (!decodeRequest(body, req, error)) {
+            bump("serve.malformed");
+            resp = refuse(kStatusMalformed, error);
+        } else {
+            resp = execute(req);
+        }
+        resp.queueDepth = inFlight();
+        if (!writeFrame(fd, encodeResponse(resp)))
+            break;
+    }
+    ::close(fd);
+}
+
+Response
+Server::execute(const Request &req)
+{
+    if (req.kind == "health") {
+        bump("serve.health");
+        Response resp;
+        resp.status = kStatusOk;
+        const std::string text = healthJson();
+        resp.payload.assign(text.begin(), text.end());
+        return resp;
+    }
+    if (req.kind != "simulate" && req.kind != "compile" &&
+        req.kind != "analyze") {
+        bump("serve.malformed");
+        return refuse(kStatusMalformed,
+                      "unknown request kind '" + req.kind + "'");
+    }
+    if (draining_.load()) {
+        bump("serve.draining");
+        return refuse(kStatusDraining, "server is draining");
+    }
+    return runJobRequest(req);
+}
+
+Response
+Server::runJobRequest(const Request &req)
+{
+    const workloads::Workload *w = workloads::findWorkload(req.workload);
+    if (w == nullptr) {
+        bump("serve.malformed");
+        return refuse(kStatusMalformed,
+                      "unknown workload '" + req.workload + "'");
+    }
+    sim::SimConfig simCfg;
+    if (req.maxCycles != 0)
+        simCfg.maxCycles = req.maxCycles;
+    if (!req.faultModel.empty()) {
+        if (!sim::parseFaultModel(req.faultModel, simCfg.faults.model)) {
+            bump("serve.malformed");
+            return refuse(kStatusMalformed, "unknown fault model '" +
+                                                req.faultModel + "'");
+        }
+        simCfg.faults.rate = req.faultRate;
+        simCfg.faults.seed = req.faultSeed;
+    }
+    sim::BatchJob job;
+    try {
+        job = sim::makeJob(*w, req.config, simCfg);
+    } catch (const FatalError &err) {
+        bump("serve.malformed");
+        return refuse(kStatusMalformed, err.what());
+    }
+    // Kind is part of the journal identity: an analyze result carries
+    // a field a simulate result does not, and a compile result most of
+    // them — they must never restore onto each other.
+    if (req.kind != "simulate") {
+        job.label += "#" + req.kind;
+        job.predict = req.kind == "analyze";
+    }
+    const std::string id = sim::superviseJobId(job);
+
+    // Journal hit: the crash-recovery path. A finished job's response
+    // is served from the manifest without re-execution and is
+    // byte-identical to the live run that produced it.
+    if (journalOpen_) {
+        if (const sim::BatchResult *done = journal_.find(id)) {
+            bump("serve.restored");
+            Response resp;
+            resp.status = done->ok ? kStatusOk : kStatusError;
+            resp.message = done->error;
+            serialize::BinWriter wtr;
+            sim::encodeBatchResult(*done, wtr);
+            resp.payload = wtr.take();
+            return resp;
+        }
+    }
+
+    if (breakerOpen(id)) {
+        bump("serve.breaker_open");
+        return refuse(kStatusBreakerOpen,
+                      "circuit breaker open for " + id);
+    }
+
+    // Admission: an atomic headcount against the fixed capacity. Full
+    // means shed *now* — the caller gets SERVE_OVERLOADED in
+    // microseconds, not a slot in an unbounded line.
+    const int capacity = opts_.workers + opts_.queueCapacity;
+    int slotIndex = -1;
+    {
+        std::lock_guard<std::mutex> lock(admitMu_);
+        if (admitted_ >= capacity) {
+            bump("serve.shed");
+            return refuse(kStatusOverloaded,
+                          "admission queue full (" +
+                              std::to_string(capacity) + " in flight)");
+        }
+        ++admitted_;
+    }
+    bump("serve.accepted");
+    {
+        std::lock_guard<std::mutex> lock(slotMu_);
+        slotIndex = freeSlots_.back(); // admission bounds usage
+        freeSlots_.pop_back();
+    }
+    Slot &slot = *slots_[slotIndex];
+    slot.stop.store(0);
+    slot.timedOut.store(false);
+    const uint64_t deadlineMs =
+        req.deadlineMs != 0 ? req.deadlineMs : opts_.defaultDeadlineMs;
+    slot.deadlineNs.store(
+        deadlineMs != 0 ? nowNs() + int64_t(deadlineMs) * 1000000 : 0);
+    slot.active.store(true, std::memory_order_release);
+
+    // Wait for a worker. The deadline keeps ticking here — a request
+    // that spends its whole budget in line times out like one that
+    // spends it simulating.
+    bool admittedToRun = false;
+    {
+        std::unique_lock<std::mutex> lock(admitMu_);
+        while (running_ >= opts_.workers && slot.stop.load() == 0)
+            workerCv_.wait_for(lock, std::chrono::milliseconds(20));
+        if (slot.stop.load() == 0) {
+            ++running_;
+            admittedToRun = true;
+        }
+    }
+
+    // Test-only lever: occupy the worker slot for a fixed, stop-aware
+    // delay so deadline and overload behavior can be exercised
+    // deterministically regardless of how fast real jobs run.
+    if (admittedToRun && opts_.debugJobDelayMs != 0) {
+        const int64_t until =
+            nowNs() + int64_t(opts_.debugJobDelayMs) * 1000000;
+        while (nowNs() < until && slot.stop.load() == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (slot.stop.load() != 0) {
+            {
+                std::lock_guard<std::mutex> lock(admitMu_);
+                --running_;
+            }
+            workerCv_.notify_one();
+            admittedToRun = false;
+        }
+    }
+
+    sim::BatchResult result;
+    if (admittedToRun) {
+        if (journalOpen_)
+            journal_.start(id, 1);
+        uint64_t compiles = 0, cacheHits = 0;
+        if (req.kind == "compile")
+            result = runner_.compileOnly(job, compiles, cacheHits);
+        else
+            result = runner_.runOne(job, &slot.stop, compiles, cacheHits);
+        bump("serve.compiles", compiles);
+        bump("serve.cache_hits", cacheHits);
+        bump("serve.executed");
+        {
+            std::lock_guard<std::mutex> lock(admitMu_);
+            --running_;
+        }
+        workerCv_.notify_one();
+    } else {
+        // Timed out in line: synthesize the timeout result.
+        result.label = job.label;
+        result.config = job.config;
+        result.workload = w->name;
+        result.errorKind = "interrupted";
+    }
+
+    slot.active.store(false, std::memory_order_release);
+    const bool timedOut =
+        slot.timedOut.load() || result.errorKind == "interrupted";
+    {
+        std::lock_guard<std::mutex> lock(slotMu_);
+        freeSlots_.push_back(slotIndex);
+    }
+    {
+        std::lock_guard<std::mutex> lock(admitMu_);
+        --admitted_;
+    }
+    if (draining_.load())
+        bump("serve.drained");
+
+    if (timedOut) {
+        // Transient by definition — never journalled as done, never
+        // fed to the breaker; a restart or retry re-runs the job.
+        bump("serve.timeout");
+        return refuse(kStatusDeadline,
+                      "deadline of " + std::to_string(deadlineMs) +
+                          "ms exceeded");
+    }
+
+    // hostSeconds is the one wall-clock field in a result; zero it so
+    // the journalled blob and every response are byte-deterministic.
+    result.hostSeconds = 0;
+
+    const bool deterministicFail =
+        !result.ok &&
+        (result.errorKind == "compile" || result.errorKind == "sim" ||
+         result.errorKind == "golden");
+    breakerRecord(id, deterministicFail);
+
+    if (journalOpen_ &&
+        (result.ok || deterministicFail ||
+         result.errorKind == "exception"))
+        journal_.done(id, 1, result);
+
+    Response resp;
+    resp.status = result.ok ? kStatusOk : kStatusError;
+    resp.message = result.error;
+    serialize::BinWriter wtr;
+    sim::encodeBatchResult(result, wtr);
+    resp.payload = wtr.take();
+    if (!result.ok)
+        bump("serve.failed");
+    return resp;
+}
+
+bool
+Server::breakerOpen(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(breakerMu_);
+    auto it = breakerFails_.find(key);
+    return it != breakerFails_.end() &&
+           it->second >= opts_.breakerThreshold;
+}
+
+void
+Server::breakerRecord(const std::string &key, bool deterministicFail)
+{
+    std::lock_guard<std::mutex> lock(breakerMu_);
+    if (deterministicFail)
+        ++breakerFails_[key];
+    else
+        breakerFails_.erase(key);
+}
+
+void
+Server::bump(const std::string &name, uint64_t delta)
+{
+    if (delta == 0)
+        return;
+    std::lock_guard<std::mutex> lock(statsMu_);
+    stats_.inc(name, delta);
+}
+
+StatSet
+Server::statsSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return stats_;
+}
+
+uint64_t
+Server::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(admitMu_);
+    return uint64_t(admitted_);
+}
+
+std::string
+Server::healthJson() const
+{
+    const StatSet stats = statsSnapshot();
+    const double uptime =
+        std::chrono::duration<double>(Clock::now() - started_).count();
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.key("status").value(draining_.load() ? "draining" : "serving");
+    w.key("uptime_seconds").value(uptime);
+    w.key("queue_depth").value(inFlight());
+    w.key("capacity")
+        .value(uint64_t(opts_.workers + opts_.queueCapacity));
+    w.key("workers").value(uint64_t(opts_.workers));
+    w.key("journal")
+        .value(journalOpen_ ? journal_.manifestPath() : "");
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : stats.all())
+        w.key(name).value(value);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+} // namespace dfp::serve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The dfp-serve server: a crash-only, long-running simulation service
+ * on a unix-domain socket. Requests (serve/protocol.h) execute on the
+ * shared-compile-cache BatchRunner; around it sit the robustness
+ * mechanisms a service needs that a one-shot sweep does not:
+ *
+ *  - **bounded admission**: at most workers + queueCapacity requests
+ *    are in flight; request number capacity+1 is shed immediately
+ *    with SERVE_OVERLOADED (DFPC111). The queue never grows without
+ *    bound and an overloaded server never hangs a client.
+ *  - **per-request deadlines**: a monitor thread (the supervisor's
+ *    mechanism from sim/supervise.cc) scans in-flight slots every
+ *    ~20ms and trips the machine's stop poll past the deadline; the
+ *    client sees SERVE_DEADLINE (DFPC112). The clock starts at
+ *    admission, so time spent waiting for a worker counts.
+ *  - **circuit breaker**: a job identity (superviseJobId) that fails
+ *    *deterministically* (compile/sim/golden) breakerThreshold times
+ *    in a row is fast-failed with SERVE_BREAKER_OPEN (DFPC113)
+ *    without re-running; one success resets the count. Transient
+ *    outcomes (deadline, shed) never feed the breaker.
+ *  - **crash-only journaling**: with journalDir set, every accepted
+ *    job is journalled `start` before execution and `done` (full
+ *    bit-exact result blob) after, through sim::SweepJournal — the
+ *    same manifest.jsonl the batch supervisor writes. A server
+ *    SIGKILLed at any instant and restarted on the same directory
+ *    restores every finished job's result and re-runs only the rest;
+ *    responses are byte-identical either way (hostSeconds, the one
+ *    wall-clock field, is normalized to zero in every response).
+ *  - **graceful drain**: when the external stop flag trips (first
+ *    SIGTERM/SIGINT), the listener closes, queued/new frames get
+ *    SERVE_DRAINING (DFPC114), in-flight jobs run to completion and
+ *    their responses are delivered, then serve() returns. A second
+ *    signal is the daemon's cue to exit immediately (base/signals.h
+ *    stopCount()).
+ *
+ * Every counter lands in the stats registry (base/stats.h) under
+ * "serve.*" and is exported by the `health` request and the daemon's
+ * --stats-json. See docs/SERVING.md.
+ */
+
+#ifndef DFP_SERVE_SERVER_H
+#define DFP_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stats.h"
+#include "serve/protocol.h"
+#include "sim/batch.h"
+#include "sim/supervise.h"
+
+namespace dfp::serve
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path. A stale socket file (a previous
+     *  instance that was SIGKILLed) is unlinked before bind —
+     *  crash-only restart must not require manual cleanup. */
+    std::string socketPath;
+
+    /** Concurrently *executing* jobs. */
+    int workers = 2;
+
+    /** Admitted-but-waiting jobs beyond the workers; request
+     *  workers+queueCapacity+1 is shed. */
+    int queueCapacity = 8;
+
+    /** Deadline for requests that do not carry their own, in
+     *  milliseconds; 0 = unlimited. */
+    uint64_t defaultDeadlineMs = 0;
+
+    /** Consecutive deterministic failures that open a job identity's
+     *  circuit breaker. */
+    uint64_t breakerThreshold = 3;
+
+    /** Test-only: hold the worker slot for this long (stop-aware, so
+     *  deadlines still fire) before executing each job. Gives the
+     *  in-process tests a deterministically slow occupant regardless
+     *  of how fast real jobs run on the host; not exposed on the
+     *  dfp-serve command line. */
+    uint64_t debugJobDelayMs = 0;
+
+    /** Journal directory (sim::SweepJournal); "" = no journal, no
+     *  crash recovery. */
+    std::string journalDir;
+
+    /** Recorded in the journal header. */
+    std::string toolVersion;
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen on the socket, replay the journal, start the
+     *  deadline monitor. False with @p error set on failure. */
+    bool start(std::string &error);
+
+    /**
+     * Accept and serve connections on the calling thread until
+     * @p stop (e.g. base/signals.h stopRequested()) goes nonzero,
+     * then drain: close the listener, finish in-flight jobs, join
+     * every connection thread. Returns the stop flag's value (the
+     * signal number, or 0 if serving ended for another reason).
+     */
+    int serve(const std::atomic<int> *stop);
+
+    /** Point-in-time copy of the "serve.*" counters. */
+    StatSet statsSnapshot() const;
+
+    /** The health JSON (also returned by the `health` request). */
+    std::string healthJson() const;
+
+    /** Jobs admitted and not yet responded to. */
+    uint64_t inFlight() const;
+
+  private:
+    /** One in-flight job's deadline state, scanned by the monitor. */
+    struct Slot
+    {
+        std::atomic<int> stop{0};
+        std::atomic<bool> active{false};
+        std::atomic<bool> timedOut{false};
+        std::atomic<int64_t> deadlineNs{0}; //!< steady-clock ns; 0 = none
+    };
+
+    void handleConnection(int fd);
+    Response execute(const Request &req);
+    Response runJobRequest(const Request &req);
+    void monitorLoop();
+    bool breakerOpen(const std::string &key) const;
+    void breakerRecord(const std::string &key, bool deterministicFail);
+    void bump(const std::string &name, uint64_t delta = 1);
+
+    ServerOptions opts_;
+    sim::BatchRunner runner_;
+    sim::SweepJournal journal_;
+    bool journalOpen_ = false;
+
+    int listenFd_ = -1;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false}; //!< tears down the monitor
+
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::mutex slotMu_;
+    std::vector<int> freeSlots_;
+
+    mutable std::mutex admitMu_;
+    std::condition_variable workerCv_;
+    int admitted_ = 0; //!< in-flight jobs (executing + waiting)
+    int running_ = 0;  //!< executing jobs (<= opts_.workers)
+
+    mutable std::mutex breakerMu_;
+    std::map<std::string, uint64_t> breakerFails_;
+
+    mutable std::mutex statsMu_;
+    StatSet stats_;
+
+    std::mutex threadsMu_;
+    std::vector<std::thread> connThreads_;
+    std::thread monitor_;
+
+    std::chrono::steady_clock::time_point started_;
+};
+
+} // namespace dfp::serve
+
+#endif // DFP_SERVE_SERVER_H

@@ -149,7 +149,7 @@ BatchRunner::runJob(const BatchJob &job, BatchResult &out,
         else
             out.stats = StatSet();
 
-        if (opts_.predictCycles) {
+        if (opts_.predictCycles || job.predict) {
             isa::ArchState pstate;
             pstate.mem = workloads::initialMemory(*job.workload);
             analysis::Prediction p = analysis::predictCycles(
@@ -198,6 +198,30 @@ BatchRunner::runOne(const BatchJob &job, const std::atomic<int> *stop,
 {
     BatchResult out;
     runJob(job, out, stop, compiles, cacheHits);
+    return out;
+}
+
+BatchResult
+BatchRunner::compileOnly(const BatchJob &job, uint64_t &compiles,
+                         uint64_t &cacheHits)
+{
+    BatchResult out;
+    out.label = job.label;
+    out.config = job.config;
+    out.workload = job.workload ? job.workload->name : "";
+    try {
+        dfp_assert(job.workload != nullptr,
+                   "batch job '", job.label, "' has no workload");
+        std::shared_ptr<const Compiled> prog =
+            compiledFor(job, compiles, cacheHits);
+        out.staticInsts = prog->res.stats.get("codegen.insts");
+        out.staticBlocks = prog->res.stats.get("codegen.blocks");
+        out.ok = true;
+    } catch (const std::exception &err) {
+        out.ok = false;
+        out.error = err.what();
+        out.errorKind = "compile";
+    }
     return out;
 }
 

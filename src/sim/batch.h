@@ -50,6 +50,11 @@ struct BatchJob
     std::string config;      //!< configuration name (informational)
     compiler::CompileOptions opts; //!< fully resolved compile options
     SimConfig sim;           //!< per-run machine configuration
+
+    /** Fill predictedCycles for this job even when the runner's
+     *  BatchOptions::predictCycles is off (dfp-serve's `analyze`
+     *  requests opt in per job; plain sweeps stay free). */
+    bool predict = false;
 };
 
 /** Build a job from a workload and a named §6 configuration, applying
@@ -187,6 +192,17 @@ class BatchRunner
      *  pair may be shared across concurrent callers). */
     BatchResult runOne(const BatchJob &job, const std::atomic<int> *stop,
                        uint64_t &compiles, uint64_t &cacheHits);
+
+    /**
+     * Compile @p job through the shared program cache without
+     * simulating: the result carries the static code stats
+     * (staticInsts/staticBlocks) and ok reflects whether compilation
+     * succeeded (errorKind "compile" otherwise). Used by dfp-serve's
+     * `compile` requests to warm the cache and validate workloads
+     * cheaply; thread-safe like runOne().
+     */
+    BatchResult compileOnly(const BatchJob &job, uint64_t &compiles,
+                            uint64_t &cacheHits);
 
     /**
      * The canonical cache key of one compilation: the workload name

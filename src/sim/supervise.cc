@@ -74,11 +74,26 @@ fromHex(const std::string &hex, std::vector<uint8_t> &out)
     return true;
 }
 
-/** Full BatchResult round-trip: every field the identity gate cares
- *  about travels bit-exact inside the journal line's binary blob
- *  (JSON numbers are doubles and would round large counters). */
+/** Per-job stop plumbing shared with the monitor thread. */
+struct Slot
+{
+    std::atomic<int> stop{0};
+    std::atomic<bool> active{false};
+    std::atomic<bool> timedOut{false};
+    std::atomic<int64_t> deadlineNs{0};
+};
+
+bool
+retryable(const BatchResult &r)
+{
+    return !r.ok &&
+           (r.errorKind == "timeout" || r.errorKind == "exception");
+}
+
+} // namespace
+
 void
-encodeResult(const BatchResult &r, serialize::BinWriter &w)
+encodeBatchResult(const BatchResult &r, serialize::BinWriter &w)
 {
     w.str(r.label);
     w.str(r.config);
@@ -102,7 +117,7 @@ encodeResult(const BatchResult &r, serialize::BinWriter &w)
 }
 
 bool
-decodeResult(serialize::BinReader &r, BatchResult &out)
+decodeBatchResult(serialize::BinReader &r, BatchResult &out)
 {
     out.label = r.str();
     out.config = r.str();
@@ -126,195 +141,154 @@ decodeResult(serialize::BinReader &r, BatchResult &out)
     return r.ok() && r.atEnd();
 }
 
-/**
- * The append-only sweep journal. Every line is
- * `{"crc":<crc32>,"p":{...}}` where the CRC covers the exact text of
- * the payload object, so a torn tail line, a truncated file, or a
- * flipped bit is detected line-locally: the damaged line is
- * quarantined and the rest of the journal stays usable.
- */
-class Journal
-{
-  public:
-    bool
-    open(const std::string &dir, const SuperviseOptions &opts,
-         size_t jobCount, std::string &error)
-    {
-        std::error_code ec;
-        std::filesystem::create_directories(dir, ec);
-        if (ec) {
-            error = "cannot create journal directory '" + dir +
-                    "': " + ec.message();
-            return false;
-        }
-        manifestPath = dir + "/manifest.jsonl";
-        quarantinePath = dir + "/quarantine.jsonl";
-        replay(error);
-        if (!error.empty())
-            return false;
-        os_.open(manifestPath, std::ios::app);
-        if (!os_) {
-            error = "cannot open '" + manifestPath + "' for append";
-            return false;
-        }
-        std::ostringstream payload;
-        json::Writer w(payload);
-        w.beginObject();
-        w.key("kind").value("header");
-        w.key("version").value(uint64_t{1});
-        w.key("tool").value(opts.toolVersion);
-        w.key("jobs").value(uint64_t{jobCount});
-        w.endObject();
-        append(payload.str());
-        return true;
-    }
-
-    void
-    start(const std::string &id, uint64_t attempt)
-    {
-        std::ostringstream payload;
-        json::Writer w(payload);
-        w.beginObject();
-        w.key("kind").value("start");
-        w.key("id").value(id);
-        w.key("attempt").value(attempt);
-        w.endObject();
-        append(payload.str());
-    }
-
-    void
-    done(const std::string &id, uint64_t attempt, const BatchResult &r)
-    {
-        serialize::BinWriter blob;
-        encodeResult(r, blob);
-        std::ostringstream payload;
-        json::Writer w(payload);
-        w.beginObject();
-        w.key("kind").value("done");
-        w.key("id").value(id);
-        w.key("attempt").value(attempt);
-        // Human-readable mirror of the blob for journal spelunking.
-        w.key("ok").value(r.ok);
-        w.key("error_kind").value(r.errorKind);
-        w.key("cycles").value(r.cycles);
-        w.key("result_hex").value(toHex(blob.bytes()));
-        w.endObject();
-        append(payload.str());
-    }
-
-    /** Journalled results of finished jobs, by identity (last wins). */
-    std::map<std::string, BatchResult> finished;
-    uint64_t quarantined = 0;
-    std::string manifestPath;
-    std::string quarantinePath;
-
-  private:
-    void
-    append(const std::string &payload)
-    {
-        uint32_t crc =
-            serialize::crc32(payload.data(), payload.size());
-        std::lock_guard<std::mutex> lock(mu_);
-        os_ << "{\"crc\":" << crc << ",\"p\":" << payload << "}\n";
-        os_.flush();
-    }
-
-    void
-    quarantine(const std::string &line)
-    {
-        if (!quarantineOs_.is_open())
-            quarantineOs_.open(quarantinePath, std::ios::app);
-        if (quarantineOs_) {
-            quarantineOs_ << line << "\n";
-            quarantineOs_.flush();
-        }
-        ++quarantined;
-    }
-
-    /** Replay an existing manifest: restore every valid `done` line,
-     *  quarantine everything damaged. A missing manifest is simply a
-     *  fresh sweep. */
-    void
-    replay(std::string &error)
-    {
-        std::ifstream is(manifestPath);
-        if (!is)
-            return;
-        std::string line;
-        while (std::getline(is, line)) {
-            if (line.empty())
-                continue;
-            if (!replayLine(line))
-                quarantine(line);
-        }
-        if (is.bad())
-            error = "read error on '" + manifestPath + "'";
-    }
-
-    bool
-    replayLine(const std::string &line)
-    {
-        // The CRC is computed over the exact payload text, so find the
-        // payload's bytes in the raw line first (the writer's framing
-        // is fixed: {"crc":N,"p":<payload>}).
-        size_t at = line.find(",\"p\":");
-        if (at == std::string::npos || line.back() != '}')
-            return false;
-        std::string payload =
-            line.substr(at + 5, line.size() - (at + 5) - 1);
-
-        bool ok = false;
-        minijson::Value doc = minijson::parse(line, &ok);
-        if (!ok || !doc.isObject() || !doc["crc"].isNumber())
-            return false;
-        uint32_t crc =
-            serialize::crc32(payload.data(), payload.size());
-        if (double(crc) != doc["crc"].number)
-            return false;
-
-        const minijson::Value &p = doc["p"];
-        if (!p.isObject() || !p["kind"].isString())
-            return false;
-        const std::string &kind = p["kind"].str;
-        if (kind == "header" || kind == "start")
-            return true; // informational; nothing to restore
-        if (kind != "done")
-            return false;
-        if (!p["id"].isString() || !p["result_hex"].isString())
-            return false;
-        std::vector<uint8_t> blob;
-        if (!fromHex(p["result_hex"].str, blob))
-            return false;
-        serialize::BinReader r(blob);
-        BatchResult result;
-        if (!decodeResult(r, result))
-            return false;
-        finished[p["id"].str] = std::move(result);
-        return true;
-    }
-
-    std::mutex mu_;
-    std::ofstream os_;
-    std::ofstream quarantineOs_;
-};
-
-/** Per-job stop plumbing shared with the monitor thread. */
-struct Slot
-{
-    std::atomic<int> stop{0};
-    std::atomic<bool> active{false};
-    std::atomic<bool> timedOut{false};
-    std::atomic<int64_t> deadlineNs{0};
-};
-
 bool
-retryable(const BatchResult &r)
+SweepJournal::open(const std::string &dir, const std::string &toolVersion,
+                   uint64_t jobCount, std::string &error)
 {
-    return !r.ok &&
-           (r.errorKind == "timeout" || r.errorKind == "exception");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        error = "cannot create journal directory '" + dir +
+                "': " + ec.message();
+        return false;
+    }
+    manifestPath_ = dir + "/manifest.jsonl";
+    quarantinePath_ = dir + "/quarantine.jsonl";
+    replay(error);
+    if (!error.empty())
+        return false;
+    os_.open(manifestPath_, std::ios::app);
+    if (!os_) {
+        error = "cannot open '" + manifestPath_ + "' for append";
+        return false;
+    }
+    std::ostringstream payload;
+    json::Writer w(payload);
+    w.beginObject();
+    w.key("kind").value("header");
+    w.key("version").value(uint64_t{1});
+    w.key("tool").value(toolVersion);
+    w.key("jobs").value(jobCount);
+    w.endObject();
+    append(payload.str());
+    return true;
 }
 
-} // namespace
+void
+SweepJournal::start(const std::string &id, uint64_t attempt)
+{
+    std::ostringstream payload;
+    json::Writer w(payload);
+    w.beginObject();
+    w.key("kind").value("start");
+    w.key("id").value(id);
+    w.key("attempt").value(attempt);
+    w.endObject();
+    append(payload.str());
+}
+
+void
+SweepJournal::done(const std::string &id, uint64_t attempt,
+                   const BatchResult &r)
+{
+    serialize::BinWriter blob;
+    encodeBatchResult(r, blob);
+    std::ostringstream payload;
+    json::Writer w(payload);
+    w.beginObject();
+    w.key("kind").value("done");
+    w.key("id").value(id);
+    w.key("attempt").value(attempt);
+    // Human-readable mirror of the blob for journal spelunking.
+    w.key("ok").value(r.ok);
+    w.key("error_kind").value(r.errorKind);
+    w.key("cycles").value(r.cycles);
+    w.key("result_hex").value(toHex(blob.bytes()));
+    w.endObject();
+    append(payload.str());
+}
+
+void
+SweepJournal::append(const std::string &payload)
+{
+    uint32_t crc = serialize::crc32(payload.data(), payload.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    os_ << "{\"crc\":" << crc << ",\"p\":" << payload << "}\n";
+    os_.flush();
+}
+
+void
+SweepJournal::quarantine(const std::string &line)
+{
+    if (!quarantineOs_.is_open())
+        quarantineOs_.open(quarantinePath_, std::ios::app);
+    if (quarantineOs_) {
+        quarantineOs_ << line << "\n";
+        quarantineOs_.flush();
+    }
+    ++quarantined_;
+}
+
+/** Replay an existing manifest: restore every valid `done` line,
+ *  quarantine everything damaged. A missing manifest is simply a
+ *  fresh sweep. */
+void
+SweepJournal::replay(std::string &error)
+{
+    std::ifstream is(manifestPath_);
+    if (!is)
+        return;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (!replayLine(line))
+            quarantine(line);
+    }
+    if (is.bad())
+        error = "read error on '" + manifestPath_ + "'";
+}
+
+bool
+SweepJournal::replayLine(const std::string &line)
+{
+    // The CRC is computed over the exact payload text, so find the
+    // payload's bytes in the raw line first (the writer's framing
+    // is fixed: {"crc":N,"p":<payload>}).
+    size_t at = line.find(",\"p\":");
+    if (at == std::string::npos || line.back() != '}')
+        return false;
+    std::string payload =
+        line.substr(at + 5, line.size() - (at + 5) - 1);
+
+    bool ok = false;
+    minijson::Value doc = minijson::parse(line, &ok);
+    if (!ok || !doc.isObject() || !doc["crc"].isNumber())
+        return false;
+    uint32_t crc = serialize::crc32(payload.data(), payload.size());
+    if (double(crc) != doc["crc"].number)
+        return false;
+
+    const minijson::Value &p = doc["p"];
+    if (!p.isObject() || !p["kind"].isString())
+        return false;
+    const std::string &kind = p["kind"].str;
+    if (kind == "header" || kind == "start")
+        return true; // informational; nothing to restore
+    if (kind != "done")
+        return false;
+    if (!p["id"].isString() || !p["result_hex"].isString())
+        return false;
+    std::vector<uint8_t> blob;
+    if (!fromHex(p["result_hex"].str, blob))
+        return false;
+    serialize::BinReader r(blob);
+    BatchResult result;
+    if (!decodeBatchResult(r, result))
+        return false;
+    finished_[p["id"].str] = std::move(result);
+    return true;
+}
 
 std::string
 superviseJobId(const BatchJob &job)
@@ -336,16 +310,16 @@ superviseBatch(BatchRunner &runner, const std::vector<BatchJob> &jobs,
     SuperviseSummary summary;
     summary.batch.results.resize(jobs.size());
 
-    Journal journal;
+    SweepJournal journal;
     const bool journalled = !opts.journalDir.empty();
     if (journalled) {
-        if (!journal.open(opts.journalDir, opts, jobs.size(),
-                          summary.error))
+        if (!journal.open(opts.journalDir, opts.toolVersion,
+                          jobs.size(), summary.error))
             return summary;
-        summary.journalPath = journal.manifestPath;
-        summary.quarantined = journal.quarantined;
-        if (journal.quarantined > 0)
-            summary.quarantinePath = journal.quarantinePath;
+        summary.journalPath = journal.manifestPath();
+        summary.quarantined = journal.quarantined();
+        if (journal.quarantined() > 0)
+            summary.quarantinePath = journal.quarantinePath();
     }
 
     const bool hasTimeout = opts.jobTimeoutSeconds > 0;
@@ -409,9 +383,8 @@ superviseBatch(BatchRunner &runner, const std::vector<BatchJob> &jobs,
         const std::string id = superviseJobId(job);
 
         if (journalled) {
-            auto it = journal.finished.find(id);
-            if (it != journal.finished.end()) {
-                out = it->second;
+            if (const BatchResult *done = journal.find(id)) {
+                out = *done;
                 restored.fetch_add(1, std::memory_order_relaxed);
                 return;
             }

@@ -49,14 +49,95 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/serialize.h"
 #include "sim/batch.h"
 
 namespace dfp::sim
 {
+
+/**
+ * Bit-exact BatchResult serialization: every field the identity gates
+ * care about travels inside a binary blob (JSON numbers are doubles
+ * and would round large counters). Shared by the sweep journal's
+ * `done` lines and the dfp-serve response payload, so a journalled
+ * result restored after a crash is byte-for-byte the result a live
+ * run would have produced.
+ */
+void encodeBatchResult(const BatchResult &r, serialize::BinWriter &w);
+bool decodeBatchResult(serialize::BinReader &r, BatchResult &out);
+
+/**
+ * The append-only crash-safe sweep journal behind `--resume-dir`.
+ * Every line of `manifest.jsonl` is `{"crc":<crc32>,"p":{...}}` where
+ * the CRC covers the exact text of the payload object, so a torn tail
+ * line, a truncated file, or a flipped bit is detected line-locally:
+ * the damaged line is quarantined (appended to `quarantine.jsonl`,
+ * counted, never trusted) and the rest of the journal stays usable.
+ *
+ * open() replays an existing manifest: every valid `done` line's
+ * result is restored into finished() keyed by job identity
+ * (superviseJobId()), last wins. Writers — superviseBatch() and the
+ * dfp-serve daemon — journal `start` before running a job and `done`
+ * (with the full encodeBatchResult blob) after, so a process SIGKILLed
+ * at any instant loses at most the jobs that had not finished, and a
+ * restart re-runs exactly those. Thread-safe: appends take an internal
+ * lock; replay happens before any concurrent use.
+ */
+class SweepJournal
+{
+  public:
+    /** Create @p dir if missing, replay an existing manifest, then
+     *  open it for append. False (with @p error set) when the
+     *  directory or manifest is unusable. */
+    bool open(const std::string &dir, const std::string &toolVersion,
+              uint64_t jobCount, std::string &error);
+
+    /** Journal that attempt @p attempt of job @p id is starting. */
+    void start(const std::string &id, uint64_t attempt);
+
+    /** Journal a finished job with its full bit-exact result. */
+    void done(const std::string &id, uint64_t attempt,
+              const BatchResult &r);
+
+    /** Results restored from `done` lines during open(), by job id. */
+    const std::map<std::string, BatchResult> &
+    finished() const
+    {
+        return finished_;
+    }
+
+    /** The restored result for @p id, or nullptr. */
+    const BatchResult *
+    find(const std::string &id) const
+    {
+        auto it = finished_.find(id);
+        return it == finished_.end() ? nullptr : &it->second;
+    }
+
+    uint64_t quarantined() const { return quarantined_; }
+    const std::string &manifestPath() const { return manifestPath_; }
+    const std::string &quarantinePath() const { return quarantinePath_; }
+
+  private:
+    void append(const std::string &payload);
+    void quarantine(const std::string &line);
+    void replay(std::string &error);
+    bool replayLine(const std::string &line);
+
+    std::map<std::string, BatchResult> finished_;
+    uint64_t quarantined_ = 0;
+    std::string manifestPath_;
+    std::string quarantinePath_;
+    std::mutex mu_;
+    std::ofstream os_;
+    std::ofstream quarantineOs_;
+};
 
 struct SuperviseOptions
 {

@@ -1,5 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "base/logging.h"
 
 namespace dfp
@@ -39,6 +49,104 @@ TEST(Logging, CatConcatenatesMixedTypes)
 {
     EXPECT_EQ(detail::cat("a", 1, 'b', 2.5), "a1b2.5");
     EXPECT_EQ(detail::cat(), "");
+}
+
+/** Redirects fd 2 to a file for the duration of a test so emitLog's
+ *  stderr output can be inspected; restores on destruction. */
+class CaptureStderr
+{
+  public:
+    explicit CaptureStderr(const std::string &path)
+    {
+        std::fflush(stderr);
+        saved_ = ::dup(2);
+        const int fd =
+            ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+        EXPECT_GE(fd, 0);
+        ::dup2(fd, 2);
+        ::close(fd);
+    }
+    ~CaptureStderr()
+    {
+        std::fflush(stderr);
+        ::dup2(saved_, 2);
+        ::close(saved_);
+    }
+
+  private:
+    int saved_ = -1;
+};
+
+TEST(Logging, ConcurrentWarningsNeverInterleaveMidLine)
+{
+    // The BatchRunner pool and the dfp-serve connection threads warn
+    // concurrently; emitLog composes the whole line in a buffer and
+    // writes it with one call, so every captured line must be whole.
+    const std::string path = testing::TempDir() + "dfp_log_capture_" +
+                             std::to_string(::getpid());
+    constexpr int kThreads = 8, kLines = 250;
+    {
+        CaptureStderr capture(path);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; t++) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; i++)
+                    dfp_warn("t", t, " i", i, " tail");
+            });
+        }
+        for (std::thread &th : threads)
+            th.join();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    const std::regex whole("^warn: t[0-7] i[0-9]+ tail$");
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(std::regex_match(line, whole))
+            << "interleaved or torn line: '" << line << "'";
+        ++lines;
+    }
+    EXPECT_EQ(lines, size_t(kThreads) * kLines);
+    ::unlink(path.c_str());
+}
+
+TEST(Logging, QuietWarningsTogglesSafelyUnderLoad)
+{
+    // quietWarnings is an atomic: harness threads may flip it while
+    // workers log. Nothing to assert beyond "no torn reads" (the
+    // sanitizer lanes watch this test); line count just has to be
+    // bounded by what was emitted.
+    const std::string path = testing::TempDir() + "dfp_log_quiet_" +
+                             std::to_string(::getpid());
+    const bool before = quietWarnings.load();
+    {
+        CaptureStderr capture(path);
+        std::atomic<bool> done{false};
+        std::thread toggler([&] {
+            while (!done.load())
+                quietWarnings.store(!quietWarnings.load());
+        });
+        std::vector<std::thread> warners;
+        for (int t = 0; t < 4; t++) {
+            warners.emplace_back([] {
+                for (int i = 0; i < 500; i++)
+                    dfp_warn("quiet-toggle probe ", i);
+            });
+        }
+        for (std::thread &th : warners)
+            th.join();
+        done.store(true);
+        toggler.join();
+    }
+    quietWarnings.store(before);
+    std::ifstream in(path);
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_LE(lines, size_t(4) * 500);
+    ::unlink(path.c_str());
 }
 
 } // namespace

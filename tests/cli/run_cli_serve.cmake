@@ -1,0 +1,152 @@
+# End-to-end lifecycle of the dfp-serve daemon through its real
+# binary and unix-domain socket:
+#
+#   1. a daemon journalling to --resume-dir serves simulate/health
+#      requests through the built-in client (startup races absorbed by
+#      the client's transient-failure retry),
+#   2. a malformed request kind is refused with DFPC110, exit 1, and
+#      the daemon keeps serving,
+#   3. the daemon is SIGKILLed (exit 137) and restarted on the same
+#      --resume-dir plus the stale socket file: every completed job is
+#      answered byte-identically from the journal (blob_crc equality),
+#      including a fault-injected run,
+#   4. SIGTERM drains: exit 143, a drain note in the log, and the
+#      --stats-json snapshot written with the serve counters.
+#
+# Arguments (via -D): SERVE (dfp-serve binary), WORKDIR (scratch).
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(SOCK "${WORKDIR}/serve.sock")
+
+# A tiny wrapper records the daemon's pid and, once it exits, its exit
+# code — the only way a -P script can observe either for a background
+# process. $! / $? / $1 are shell, expanded at run time.
+file(WRITE "${WORKDIR}/run_daemon.sh"
+"#!/bin/sh
+# usage: run_daemon.sh <tag>
+\"${SERVE}\" --socket \"${SOCK}\" --workers 2 --queue 8 \\
+    --resume-dir \"${WORKDIR}/journal\" \\
+    --stats-json=\"${WORKDIR}/stats_$1.json\" \\
+    > \"${WORKDIR}/daemon_$1.log\" 2>&1 &
+pid=$!
+echo \"$pid\" > \"${WORKDIR}/pid_$1\"
+wait \"$pid\"
+echo \"$?\" > \"${WORKDIR}/exit_$1\"
+")
+
+function(start_daemon tag)
+    execute_process(COMMAND sh -c
+        "sh '${WORKDIR}/run_daemon.sh' '${tag}' > /dev/null 2>&1 &"
+        RESULT_VARIABLE rc)
+    if(NOT rc STREQUAL "0")
+        message(FATAL_ERROR "could not launch daemon '${tag}'")
+    endif()
+endfunction()
+
+# Wait for a file the wrapper writes (pid_<tag> or exit_<tag>).
+function(await_file path)
+    foreach(i RANGE 150)
+        if(EXISTS "${path}")
+            return()
+        endif()
+        execute_process(COMMAND sh -c "sleep 0.1")
+    endforeach()
+    message(FATAL_ERROR "timed out waiting for ${path}")
+endfunction()
+
+function(read_stripped path outvar)
+    file(READ "${path}" raw)
+    string(STRIP "${raw}" raw)
+    set(${outvar} "${raw}" PARENT_SCOPE)
+endfunction()
+
+# client(<outvar> <expect_exit> <args...>): run the built-in client
+# and capture combined output.
+function(client outvar expect_exit)
+    execute_process(
+        COMMAND "${SERVE}" --socket "${SOCK}" --client ${ARGN}
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc STREQUAL "${expect_exit}")
+        message(FATAL_ERROR
+            "client ${ARGN}: expected exit ${expect_exit}, got ${rc}\n${out}${err}")
+    endif()
+    set(${outvar} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_match text pattern what)
+    if(NOT text MATCHES "${pattern}")
+        message(FATAL_ERROR "${what}: no match for '${pattern}'\n${text}")
+    endif()
+endfunction()
+
+# --- 1. First daemon: serve plain and fault-injected simulations. ---
+start_daemon(a)
+await_file("${WORKDIR}/pid_a")
+
+# The retrying client doubles as the startup barrier: connect failures
+# are transient and backed off until the daemon is listening.
+client(health 0 --request health --retries 10 --backoff-ms 20)
+expect_match("${health}" "\"status\":\"serving\"" "health")
+expect_match("${health}" "\"queue_depth\":" "health")
+
+client(plain1 0 --workload tblook01 --config both --retries 5)
+expect_match("${plain1}" "ok tblook01/both .*blob_crc=" "plain run")
+client(fault1 0 --workload viterb00 --config both
+    --fault-model net-drop --fault-rate 1e-4 --fault-seed 7)
+expect_match("${fault1}" "ok viterb00/both .*faults=[1-9]" "fault run")
+
+# --- 2. A bad request kind is a refusal, not a daemon casualty. ---
+client(bad 1 --request frobnicate --workload tblook01)
+expect_match("${bad}" "DFPC110" "malformed kind")
+client(again 0 --workload tblook01 --config both)
+expect_match("${again}" "ok tblook01/both" "daemon survived bad request")
+
+# --- 3. SIGKILL, then crash-only restart on the same journal. ------
+read_stripped("${WORKDIR}/pid_a" pid_a)
+execute_process(COMMAND sh -c "kill -KILL ${pid_a}")
+await_file("${WORKDIR}/exit_a")
+read_stripped("${WORKDIR}/exit_a" exit_a)
+if(NOT exit_a STREQUAL "137")
+    message(FATAL_ERROR "SIGKILLed daemon: expected exit 137, got ${exit_a}")
+endif()
+
+start_daemon(b) # stale ${SOCK} from the kill must not block bind
+await_file("${WORKDIR}/pid_b")
+client(plain2 0 --workload tblook01 --config both --retries 10 --backoff-ms 20)
+client(fault2 0 --workload viterb00 --config both
+    --fault-model net-drop --fault-rate 1e-4 --fault-seed 7)
+if(NOT plain1 STREQUAL plain2)
+    message(FATAL_ERROR
+        "restored plain run differs:\n--- before\n${plain1}--- after\n${plain2}")
+endif()
+if(NOT fault1 STREQUAL fault2)
+    message(FATAL_ERROR
+        "restored fault run differs:\n--- before\n${fault1}--- after\n${fault2}")
+endif()
+client(health2 0 --request health)
+expect_match("${health2}" "\"serve.restored\":2" "post-restart health")
+
+# --- 4. SIGTERM drains: exit 143 and a stats snapshot. -------------
+read_stripped("${WORKDIR}/pid_b" pid_b)
+execute_process(COMMAND sh -c "kill -TERM ${pid_b}")
+await_file("${WORKDIR}/exit_b")
+read_stripped("${WORKDIR}/exit_b" exit_b)
+if(NOT exit_b STREQUAL "143")
+    message(FATAL_ERROR "SIGTERMed daemon: expected exit 143, got ${exit_b}")
+endif()
+file(READ "${WORKDIR}/daemon_b.log" drain_log)
+expect_match("${drain_log}" "drained after signal 15" "drain log")
+file(READ "${WORKDIR}/stats_b.json" stats)
+expect_match("${stats}" "\"version\":" "stats json")
+# Daemon b served only journal restorations and a health probe — no
+# admissions. Its counters must say exactly that.
+expect_match("${stats}" "\"serve.connections\":" "stats json counters")
+expect_match("${stats}" "\"serve.restored\":2" "stats json restored")
+# And daemon a was SIGKILLed: crash-only means no exit snapshot.
+if(EXISTS "${WORKDIR}/stats_a.json")
+    message(FATAL_ERROR "SIGKILLed daemon left a stats snapshot")
+endif()

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "base/serialize.h"
+#include "serve/protocol.h"
+
+namespace dfp::serve
+{
+namespace
+{
+
+/** A connected stream pair; frames written to one end read from the
+ *  other, exactly as over the real unix-domain socket. */
+struct Pair
+{
+    int a = -1, b = -1;
+    Pair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = fds[0];
+        b = fds[1];
+    }
+    ~Pair()
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+};
+
+Request
+sampleRequest()
+{
+    Request req;
+    req.kind = "simulate";
+    req.workload = "tblook01";
+    req.config = "both";
+    req.deadlineMs = 250;
+    req.maxCycles = 123456789;
+    req.faultModel = "net-drop";
+    req.faultRate = 1e-4;
+    req.faultSeed = 42;
+    return req;
+}
+
+TEST(ServeProtocol, RequestRoundTrips)
+{
+    const Request req = sampleRequest();
+    Request out;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), out, err)) << err;
+    EXPECT_EQ(out.kind, req.kind);
+    EXPECT_EQ(out.workload, req.workload);
+    EXPECT_EQ(out.config, req.config);
+    EXPECT_EQ(out.deadlineMs, req.deadlineMs);
+    EXPECT_EQ(out.maxCycles, req.maxCycles);
+    EXPECT_EQ(out.faultModel, req.faultModel);
+    EXPECT_EQ(out.faultRate, req.faultRate);
+    EXPECT_EQ(out.faultSeed, req.faultSeed);
+}
+
+TEST(ServeProtocol, ResponseRoundTrips)
+{
+    Response resp;
+    resp.status = kStatusError;
+    resp.message = "diverged from the golden model";
+    resp.queueDepth = 7;
+    resp.payload = {0x00, 0xff, 0x10, 0x20};
+    Response out;
+    std::string err;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), out, err)) << err;
+    EXPECT_EQ(out.status, resp.status);
+    EXPECT_EQ(out.message, resp.message);
+    EXPECT_EQ(out.queueDepth, resp.queueDepth);
+    EXPECT_EQ(out.payload, resp.payload);
+}
+
+TEST(ServeProtocol, TruncatedBodiesDoNotDecode)
+{
+    std::vector<uint8_t> body = encodeRequest(sampleRequest());
+    for (size_t cut : {size_t(0), size_t(1), body.size() / 2,
+                       body.size() - 1}) {
+        std::vector<uint8_t> trunc(body.begin(), body.begin() + cut);
+        Request out;
+        std::string err;
+        EXPECT_FALSE(decodeRequest(trunc, out, err))
+            << "decoded from " << cut << " bytes";
+    }
+    // Trailing garbage is rejected too: a frame body is exactly one
+    // message, not a prefix of one.
+    body.push_back(0);
+    Request out;
+    std::string err;
+    EXPECT_FALSE(decodeRequest(body, out, err));
+}
+
+TEST(ServeProtocol, FrameRoundTripsOverStream)
+{
+    Pair p;
+    const std::vector<uint8_t> body = encodeRequest(sampleRequest());
+    ASSERT_TRUE(writeFrame(p.a, body));
+    std::vector<uint8_t> got;
+    std::string err;
+    ASSERT_EQ(readFrame(p.b, got, err), FrameStatus::Ok) << err;
+    EXPECT_EQ(got, body);
+}
+
+TEST(ServeProtocol, BackToBackFramesStaySeparate)
+{
+    Pair p;
+    const std::vector<uint8_t> one = encodeRequest(sampleRequest());
+    std::vector<uint8_t> two{1, 2, 3};
+    ASSERT_TRUE(writeFrame(p.a, one));
+    ASSERT_TRUE(writeFrame(p.a, two));
+    std::vector<uint8_t> got;
+    std::string err;
+    ASSERT_EQ(readFrame(p.b, got, err), FrameStatus::Ok);
+    EXPECT_EQ(got, one);
+    ASSERT_EQ(readFrame(p.b, got, err), FrameStatus::Ok);
+    EXPECT_EQ(got, two);
+}
+
+TEST(ServeProtocol, CleanCloseIsEof)
+{
+    Pair p;
+    ::close(p.a);
+    p.a = -1;
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Eof);
+}
+
+TEST(ServeProtocol, BadMagicIsMalformed)
+{
+    Pair p;
+    const char junk[] = "NOTAFRAMEATALL------";
+    ASSERT_EQ(::write(p.a, junk, sizeof(junk)), ssize_t(sizeof(junk)));
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Malformed);
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+}
+
+TEST(ServeProtocol, FlippedBodyBitIsMalformed)
+{
+    Pair p;
+    std::vector<uint8_t> frame =
+        encodeFrame(encodeRequest(sampleRequest()));
+    frame.back() ^= 0x01; // damage the last body byte; CRC must catch
+    ASSERT_EQ(::write(p.a, frame.data(), frame.size()),
+              ssize_t(frame.size()));
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Malformed);
+    EXPECT_NE(err.find("CRC"), std::string::npos) << err;
+}
+
+TEST(ServeProtocol, TruncatedFrameIsMalformed)
+{
+    Pair p;
+    std::vector<uint8_t> frame =
+        encodeFrame(encodeRequest(sampleRequest()));
+    ASSERT_EQ(::write(p.a, frame.data(), frame.size() - 3),
+              ssize_t(frame.size() - 3));
+    ::close(p.a);
+    p.a = -1;
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Malformed);
+}
+
+TEST(ServeProtocol, OversizedLengthIsMalformedNotAllocated)
+{
+    // A corrupted length field must be rejected *before* the reader
+    // tries to collect (or allocate) gigabytes.
+    Pair p;
+    serialize::BinWriter w;
+    w.raw("DFPSRV01", 8);
+    w.u32(kProtocolVersion);
+    w.u32(kMaxFrameBody + 1);
+    w.u32(0);
+    const std::vector<uint8_t> &hdr = w.bytes();
+    ASSERT_EQ(::write(p.a, hdr.data(), hdr.size()), ssize_t(hdr.size()));
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Malformed);
+    EXPECT_NE(err.find("length"), std::string::npos) << err;
+}
+
+TEST(ServeProtocol, WrongVersionIsMalformed)
+{
+    Pair p;
+    serialize::BinWriter w;
+    w.raw("DFPSRV01", 8);
+    w.u32(kProtocolVersion + 1);
+    w.u32(0);
+    w.u32(0);
+    const std::vector<uint8_t> &hdr = w.bytes();
+    ASSERT_EQ(::write(p.a, hdr.data(), hdr.size()), ssize_t(hdr.size()));
+    std::vector<uint8_t> got;
+    std::string err;
+    EXPECT_EQ(readFrame(p.b, got, err), FrameStatus::Malformed);
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(ServeProtocol, StatusTaxonomy)
+{
+    EXPECT_STREQ(statusDiagCode(kStatusMalformed), "DFPC110");
+    EXPECT_STREQ(statusDiagCode(kStatusOverloaded), "DFPC111");
+    EXPECT_STREQ(statusDiagCode(kStatusDeadline), "DFPC112");
+    EXPECT_STREQ(statusDiagCode(kStatusBreakerOpen), "DFPC113");
+    EXPECT_STREQ(statusDiagCode(kStatusDraining), "DFPC114");
+    EXPECT_STREQ(statusDiagCode(kStatusOk), "");
+    EXPECT_STREQ(statusDiagCode(kStatusError), "");
+
+    // Only overload and deadline are worth a retry; everything else
+    // reproduces deterministically.
+    EXPECT_TRUE(statusTransient(kStatusOverloaded));
+    EXPECT_TRUE(statusTransient(kStatusDeadline));
+    EXPECT_FALSE(statusTransient(kStatusOk));
+    EXPECT_FALSE(statusTransient(kStatusError));
+    EXPECT_FALSE(statusTransient(kStatusMalformed));
+    EXPECT_FALSE(statusTransient(kStatusBreakerOpen));
+    EXPECT_FALSE(statusTransient(kStatusDraining));
+}
+
+} // namespace
+} // namespace dfp::serve

@@ -1,0 +1,490 @@
+/**
+ * In-process tests for the dfp-serve server: admission shedding,
+ * deadlines, the circuit breaker, graceful drain, journalled crash
+ * recovery, and the health/stats surface. Each test gets a private
+ * socket path and (when journalling) a private journal directory, so
+ * tests are independent and parallel-safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/serialize.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/supervise.h"
+
+namespace dfp::serve
+{
+namespace
+{
+
+std::string
+uniquePath(const std::string &tag)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + "dfp_serve_" + tag + "_" +
+           std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+/** A server on its own socket, serving on a background thread. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServerOptions opts = ServerOptions())
+    {
+        opts.socketPath = uniquePath("sock");
+        if (opts.toolVersion.empty())
+            opts.toolVersion = "test";
+        path_ = opts.socketPath;
+        server_ = std::make_unique<Server>(opts);
+        std::string err;
+        started_ = server_->start(err);
+        EXPECT_TRUE(started_) << err;
+        if (started_)
+            thread_ = std::thread(
+                [this] { server_->serve(&stop_); });
+    }
+
+    ~TestServer() { shutdown(); }
+
+    /** First signal: drain and join. Idempotent. */
+    void
+    shutdown()
+    {
+        if (thread_.joinable()) {
+            stop_.store(15);
+            thread_.join();
+        }
+    }
+
+    Server &server() { return *server_; }
+    const std::string &path() const { return path_; }
+
+    CallResult
+    call(const Request &req, uint64_t retries = 0)
+    {
+        ClientOptions copts;
+        copts.socketPath = path_;
+        copts.retries = retries;
+        copts.backoffMs = 10;
+        copts.jitterSeed = 1;
+        return serve::call(copts, req);
+    }
+
+  private:
+    std::unique_ptr<Server> server_;
+    std::thread thread_;
+    std::atomic<int> stop_{0};
+    std::string path_;
+    bool started_ = false;
+};
+
+Request
+simulateReq(const std::string &workload, const std::string &config)
+{
+    Request req;
+    req.kind = "simulate";
+    req.workload = workload;
+    req.config = config;
+    return req;
+}
+
+/** The deadline/overload tests need a request that reliably outlives
+ *  its deadline. No real workload is dependably slow across build
+ *  flavors (Release finishes the heaviest fault sweep in ~100ms), so
+ *  those tests set ServerOptions::debugJobDelayMs — a stop-aware,
+ *  server-side hold on the worker slot — and send an ordinary job. */
+Request
+slowReq()
+{
+    return simulateReq("tblook01", "both");
+}
+
+sim::BatchResult
+decodeResult(const Response &resp)
+{
+    sim::BatchResult result;
+    serialize::BinReader rdr(resp.payload);
+    EXPECT_TRUE(sim::decodeBatchResult(rdr, result));
+    return result;
+}
+
+TEST(ServeServer, SimulateIsOkAndByteDeterministic)
+{
+    TestServer ts;
+    const Request req = simulateReq("tblook01", "both");
+    const CallResult a = ts.call(req);
+    const CallResult b = ts.call(req);
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.response.status, kStatusOk);
+    // Byte-identical responses for identical requests — hostSeconds,
+    // the only wall-clock field, is normalized server-side.
+    EXPECT_EQ(a.response.payload, b.response.payload);
+    const sim::BatchResult result = decodeResult(a.response);
+    EXPECT_TRUE(result.ok);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_EQ(result.hostSeconds, 0.0);
+}
+
+TEST(ServeServer, CompileAndAnalyzeKinds)
+{
+    TestServer ts;
+    Request req = simulateReq("tblook01", "both");
+    req.kind = "compile";
+    const CallResult c = ts.call(req);
+    ASSERT_TRUE(c.ok) << c.error;
+    ASSERT_EQ(c.response.status, kStatusOk);
+    const sim::BatchResult compiled = decodeResult(c.response);
+    EXPECT_TRUE(compiled.ok);
+    EXPECT_GT(compiled.staticInsts, 0u);
+    EXPECT_EQ(compiled.cycles, 0u); // compile-only never simulates
+
+    req.kind = "analyze";
+    const CallResult a = ts.call(req);
+    ASSERT_TRUE(a.ok) << a.error;
+    const sim::BatchResult analyzed = decodeResult(a.response);
+    EXPECT_TRUE(analyzed.ok);
+    EXPECT_GT(analyzed.predictedCycles, 0u);
+    EXPECT_LE(analyzed.predictedCycles, analyzed.cycles);
+
+    // All three kinds share one compile cache.
+    const StatSet stats = ts.server().statsSnapshot();
+    EXPECT_EQ(stats.get("serve.compiles"), 1u);
+    EXPECT_GE(stats.get("serve.cache_hits"), 1u);
+}
+
+TEST(ServeServer, BadRequestsAreMalformedNotFatal)
+{
+    TestServer ts;
+    Request req = simulateReq("no-such-workload", "both");
+    CallResult r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusMalformed);
+
+    req = simulateReq("tblook01", "warp-config");
+    r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusMalformed);
+
+    req = simulateReq("tblook01", "both");
+    req.kind = "frobnicate";
+    r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusMalformed);
+
+    // The server survived all of it.
+    r = ts.call(simulateReq("tblook01", "both"));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusOk);
+}
+
+TEST(ServeServer, GarbageBytesGetAMalformedResponse)
+{
+    TestServer ts;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, ts.path().c_str(), ts.path().size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    // Longer than a frame header, so the server's header read
+    // completes and fails on the magic rather than waiting for more.
+    const char junk[] = "GET /health HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_EQ(::write(fd, junk, sizeof(junk)), ssize_t(sizeof(junk)));
+    std::vector<uint8_t> body;
+    std::string err;
+    ASSERT_EQ(readFrame(fd, body, err), FrameStatus::Ok) << err;
+    Response resp;
+    ASSERT_TRUE(decodeResponse(body, resp, err)) << err;
+    EXPECT_EQ(resp.status, kStatusMalformed);
+    ::close(fd);
+    EXPECT_EQ(ts.server().statsSnapshot().get("serve.malformed"), 1u);
+}
+
+TEST(ServeServer, StormIsFullyServedWithNoLoss)
+{
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 32;
+    TestServer ts(opts);
+    constexpr int kClients = 12;
+    std::vector<CallResult> results(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; i++)
+        clients.emplace_back([&, i] {
+            results[i] = ts.call(simulateReq("tblook01", "both"));
+        });
+    for (std::thread &t : clients)
+        t.join();
+    for (int i = 0; i < kClients; i++) {
+        ASSERT_TRUE(results[i].ok) << results[i].error;
+        EXPECT_EQ(results[i].response.status, kStatusOk);
+        EXPECT_EQ(results[i].response.payload, results[0].response.payload);
+    }
+    const StatSet stats = ts.server().statsSnapshot();
+    EXPECT_EQ(stats.get("serve.accepted"), uint64_t(kClients));
+    EXPECT_EQ(stats.get("serve.executed"), uint64_t(kClients));
+    EXPECT_EQ(stats.get("serve.shed"), 0u);
+    EXPECT_EQ(stats.get("serve.compiles"), 1u);
+    EXPECT_EQ(stats.get("serve.cache_hits"), uint64_t(kClients - 1));
+}
+
+TEST(ServeServer, OverloadShedsBoundedlyAndNothingHangs)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 1; // capacity 2: the rest must shed
+    opts.debugJobDelayMs = 2000;
+    TestServer ts(opts);
+    constexpr int kClients = 8;
+    Request req = slowReq();
+    req.deadlineMs = 400; // bound the occupants' stay
+    std::vector<CallResult> results(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; i++)
+        clients.emplace_back([&, i] { results[i] = ts.call(req); });
+    for (std::thread &t : clients)
+        t.join(); // nothing hangs: every client gets an answer
+
+    int shed = 0, timedOut = 0, other = 0;
+    std::string unexpected;
+    for (const CallResult &r : results) {
+        ASSERT_TRUE(r.ok) << r.error;
+        if (r.response.status == kStatusOverloaded)
+            ++shed;
+        else if (r.response.status == kStatusDeadline)
+            ++timedOut;
+        else {
+            ++other;
+            unexpected +=
+                r.response.status + " (" + r.response.message + "); ";
+        }
+    }
+    // 8 near-simultaneous arrivals into capacity 2: most shed the
+    // moment they arrive and the admitted ones burn their deadline.
+    // The exact split depends on scheduling (sanitizer lanes stagger
+    // thread starts), but shedding must happen and every request must
+    // resolve as one of the two transient outcomes.
+    EXPECT_GE(shed, 1);
+    EXPECT_GE(timedOut, 1);
+    EXPECT_EQ(other, 0) << "unexpected terminal status: " << unexpected;
+    const StatSet stats = ts.server().statsSnapshot();
+    EXPECT_EQ(stats.get("serve.shed"), uint64_t(shed));
+    EXPECT_EQ(stats.get("serve.timeout"), uint64_t(timedOut));
+    EXPECT_EQ(stats.get("serve.accepted") + stats.get("serve.shed"),
+              uint64_t(kClients));
+}
+
+TEST(ServeServer, DeadlineExpiryIsReportedAndTransient)
+{
+    ServerOptions opts;
+    opts.debugJobDelayMs = 2000;
+    TestServer ts(opts);
+    Request req = slowReq();
+    req.deadlineMs = 1;
+    const CallResult r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusDeadline);
+    EXPECT_TRUE(statusTransient(r.response.status));
+    EXPECT_EQ(ts.server().statsSnapshot().get("serve.timeout"), 1u);
+}
+
+TEST(ServeServer, BreakerTripsOnDeterministicFailuresOnly)
+{
+    ServerOptions opts;
+    opts.breakerThreshold = 2;
+    TestServer ts(opts);
+    // maxCycles far below the run length: the simulation ends without
+    // halting — errorKind "sim", deterministic every time.
+    Request req = simulateReq("tblook01", "both");
+    req.maxCycles = 10;
+
+    for (int i = 0; i < 2; i++) {
+        const CallResult r = ts.call(req);
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.response.status, kStatusError);
+        EXPECT_EQ(decodeResult(r.response).errorKind, "sim");
+    }
+    // Third strike never runs: the breaker answers instead.
+    const CallResult tripped = ts.call(req);
+    ASSERT_TRUE(tripped.ok) << tripped.error;
+    EXPECT_EQ(tripped.response.status, kStatusBreakerOpen);
+    EXPECT_FALSE(statusTransient(tripped.response.status));
+
+    // The breaker is per job identity: the same workload under a
+    // different configuration is untouched.
+    const CallResult healthy = ts.call(simulateReq("tblook01", "both"));
+    ASSERT_TRUE(healthy.ok) << healthy.error;
+    EXPECT_EQ(healthy.response.status, kStatusOk);
+
+    const StatSet stats = ts.server().statsSnapshot();
+    EXPECT_EQ(stats.get("serve.breaker_open"), 1u);
+    EXPECT_EQ(stats.get("serve.executed"), 3u); // 2 strikes + 1 healthy
+}
+
+TEST(ServeServer, DrainFinishesInFlightWorkAndStopsAccepting)
+{
+    auto ts = std::make_unique<TestServer>();
+    const std::string path = ts->path();
+    CallResult inflight;
+    std::thread client([&] {
+        inflight = ts->call(simulateReq("tblook01", "both"));
+    });
+    // Drain while the request is (likely) in flight; whichever side
+    // of the race we land on, the client must get a real answer.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ts->shutdown();
+    client.join();
+    ASSERT_TRUE(inflight.ok) << inflight.error;
+    EXPECT_EQ(inflight.response.status, kStatusOk);
+
+    // The socket is gone: a post-drain client cannot connect.
+    ClientOptions copts;
+    copts.socketPath = path;
+    const CallResult post = serve::call(copts, simulateReq("a", "b"));
+    EXPECT_FALSE(post.ok);
+}
+
+TEST(ServeServer, JournalRestoresByteIdenticalResultsAfterRestart)
+{
+    const std::string dir = uniquePath("journal");
+    ServerOptions opts;
+    opts.journalDir = dir;
+
+    const Request plain = simulateReq("tblook01", "both");
+    Request faulty = simulateReq("viterb00", "hyper");
+    faulty.faultModel = "net-drop"; // FaultEngine seed in the identity
+    faulty.faultRate = 1e-4;
+    faulty.faultSeed = 7;
+    Request broken = simulateReq("tblook01", "bb");
+    broken.maxCycles = 10; // deterministic failures are journalled too
+
+    std::vector<uint8_t> live[3];
+    {
+        TestServer ts(opts);
+        const CallResult a = ts.call(plain);
+        const CallResult b = ts.call(faulty);
+        const CallResult c = ts.call(broken);
+        ASSERT_TRUE(a.ok && b.ok && c.ok);
+        ASSERT_EQ(a.response.status, kStatusOk);
+        ASSERT_EQ(b.response.status, kStatusOk);
+        ASSERT_EQ(c.response.status, kStatusError);
+        live[0] = a.response.payload;
+        live[1] = b.response.payload;
+        live[2] = c.response.payload;
+        EXPECT_GT(decodeResult(b.response).faultsInjected, 0u);
+    } // ~TestServer: as abrupt as a test can make it
+
+    TestServer restarted(opts);
+    const CallResult a = restarted.call(plain);
+    const CallResult b = restarted.call(faulty);
+    const CallResult c = restarted.call(broken);
+    ASSERT_TRUE(a.ok && b.ok && c.ok);
+    EXPECT_EQ(a.response.payload, live[0]);
+    EXPECT_EQ(b.response.payload, live[1]);
+    EXPECT_EQ(c.response.payload, live[2]);
+
+    // Restored, not re-run — and restoration bypasses the breaker.
+    const StatSet stats = restarted.server().statsSnapshot();
+    EXPECT_EQ(stats.get("serve.restored"), 3u);
+    EXPECT_EQ(stats.get("serve.executed"), 0u);
+    EXPECT_EQ(stats.get("serve.restored_available"), 3u);
+}
+
+TEST(ServeServer, TimeoutsAreNeverJournalled)
+{
+    const std::string dir = uniquePath("journal");
+    ServerOptions opts;
+    opts.journalDir = dir;
+    opts.debugJobDelayMs = 2000;
+    Request req = slowReq();
+    req.deadlineMs = 1;
+    {
+        TestServer ts(opts);
+        const CallResult r = ts.call(req);
+        ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_EQ(r.response.status, kStatusDeadline);
+    }
+    // A timeout is transient: it must not be replayed as a "result"
+    // after a restart — the journal holds nothing for this job.
+    TestServer restarted(opts);
+    EXPECT_EQ(restarted.server().statsSnapshot().get(
+                  "serve.restored_available"),
+              0u);
+}
+
+TEST(ServeServer, HealthReportsCountersQueueAndUptime)
+{
+    TestServer ts;
+    ASSERT_TRUE(ts.call(simulateReq("tblook01", "both")).ok);
+    Request health;
+    health.kind = "health";
+    const CallResult r = ts.call(health);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.response.status, kStatusOk);
+    const std::string json(r.response.payload.begin(),
+                           r.response.payload.end());
+    EXPECT_NE(json.find("\"status\":\"serving\""), std::string::npos);
+    EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\":"), std::string::npos);
+    EXPECT_NE(json.find("\"serve.accepted\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"serve.executed\":1"), std::string::npos);
+}
+
+TEST(ServeServer, CountersLiveInTheStatsRegistry)
+{
+    // The counters are a StatSet, so they flow through the same JSON
+    // dump every other harness uses (the daemon's --stats-json).
+    TestServer ts;
+    ASSERT_TRUE(ts.call(simulateReq("tblook01", "both")).ok);
+    const StatSet stats = ts.server().statsSnapshot();
+    std::ostringstream os;
+    stats.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"counters\":"), std::string::npos);
+    EXPECT_NE(json.find("\"serve.accepted\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"serve.connections\":"), std::string::npos);
+}
+
+TEST(ServeServer, ClientRetriesTransientOverloadToSuccess)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 0;
+    opts.debugJobDelayMs = 100;
+    TestServer ts(opts);
+    // Saturate the single slot with slow-but-bounded requests, then
+    // send a patient client: its early attempts shed, a later one
+    // lands after backoff.
+    Request occupant = slowReq();
+    occupant.deadlineMs = 150;
+    std::vector<std::thread> occupants;
+    for (int i = 0; i < 2; i++)
+        occupants.emplace_back([&] { ts.call(occupant); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const CallResult patient =
+        ts.call(simulateReq("tblook01", "both"), /*retries=*/20);
+    for (std::thread &t : occupants)
+        t.join();
+    ASSERT_TRUE(patient.ok) << patient.error;
+    EXPECT_EQ(patient.response.status, kStatusOk);
+}
+
+} // namespace
+} // namespace dfp::serve

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * dfp-serve — the crash-only simulation service and its built-in
+ * client. Daemon mode binds a unix-domain socket and executes
+ * compile/simulate/analyze requests on the shared-compile-cache batch
+ * runner, with bounded admission, per-request deadlines, a circuit
+ * breaker, and journalled crash recovery (--resume-dir). Client mode
+ * (--client) sends one request and prints a canonical, deterministic
+ * result line, retrying transient rejections with jittered backoff.
+ *
+ * Run `dfp-serve --help` for the flag reference; docs/SERVING.md
+ * documents the protocol, the error taxonomy, drain semantics, and
+ * the crash-recovery walkthrough.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "base/cli.h"
+#include "base/json.h"
+#include "base/serialize.h"
+#include "base/signals.h"
+#include "base/version.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/supervise.h"
+#include "verify/diag.h"
+
+using namespace dfp;
+
+namespace
+{
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(out,
+        "usage: dfp-serve --socket <path> [daemon options]\n"
+        "       dfp-serve --client --socket <path> [request options]\n"
+        "\n"
+        "A long-running simulation service on a unix-domain socket.\n"
+        "See docs/SERVING.md for the protocol and error taxonomy.\n"
+        "\n"
+        "daemon:\n"
+        "  --socket <path>    unix-domain socket to listen on\n"
+        "  --workers <n>      concurrently executing jobs (default 2)\n"
+        "  --queue <n>        admitted-but-waiting slots beyond the\n"
+        "                     workers; the next request is shed with\n"
+        "                     SERVE_OVERLOADED (default 8)\n"
+        "  --default-deadline-ms <n>\n"
+        "                     deadline for requests without their own\n"
+        "                     (default 0 = unlimited)\n"
+        "  --breaker-threshold <n>\n"
+        "                     consecutive deterministic failures that\n"
+        "                     open a job's circuit breaker (default 3)\n"
+        "  --resume-dir <d>   journal accepted jobs to <d>/manifest.jsonl;\n"
+        "                     a restarted server replays finished jobs\n"
+        "                     byte-identically instead of re-running\n"
+        "  --stats-json <f>   on exit, write the serve.* counters as\n"
+        "                     JSON here ('-' = stdout)\n"
+        "\n"
+        "  First SIGTERM/SIGINT drains gracefully (stop accepting,\n"
+        "  finish in-flight, exit 128+signal); a second forces an\n"
+        "  immediate exit.\n"
+        "\n"
+        "client (--client):\n"
+        "  --request <kind>   simulate | compile | analyze | health\n"
+        "                     (default simulate)\n"
+        "  --workload <name>  workload to run (job kinds)\n"
+        "  --config <name>    bb|hyper|intra|inter|both|merge\n"
+        "                     (default both)\n"
+        "  --deadline-ms <n>  per-request wall-clock deadline\n"
+        "  --max-cycles <n>   simulator cycle cap override\n"
+        "  --fault-model <m>  net-drop|net-corrupt|... (dfpc's models)\n"
+        "  --fault-rate <r>   per-opportunity injection probability\n"
+        "  --fault-seed <n>   fault PRNG seed\n"
+        "  --retries <n>      extra attempts on SERVE_OVERLOADED,\n"
+        "                     SERVE_DEADLINE, or connect failure\n"
+        "                     (default 0)\n"
+        "  --backoff-ms <n>   first retry delay; doubles per attempt,\n"
+        "                     jittered (default 100)\n"
+        "\n"
+        "  --version          print the dfp version and exit\n"
+        "  -h, --help         this text\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+int
+inputError(const char *code, std::string message)
+{
+    verify::DiagList diags;
+    diags.error(code, {}, std::move(message));
+    diags.renderText(std::cerr);
+    return 2;
+}
+
+int
+runClient(const serve::ClientOptions &copts, const serve::Request &req)
+{
+    const serve::CallResult out = serve::call(copts, req);
+    if (out.retried != 0)
+        std::fprintf(stderr, "dfp-serve: retried %llu time(s)\n",
+                     (unsigned long long)out.retried);
+    if (!out.ok) {
+        std::fprintf(stderr, "dfp-serve: %s\n", out.error.c_str());
+        return 1;
+    }
+    const serve::Response &resp = out.response;
+    if (resp.status != serve::kStatusOk &&
+        resp.status != serve::kStatusError) {
+        // A server-side refusal; surface its DFPC code like a driver
+        // diagnostic so scripts can match on it.
+        verify::DiagList diags;
+        diags.error(serve::statusDiagCode(resp.status), {},
+                    resp.status + ": " + resp.message);
+        diags.renderText(std::cerr);
+        return 1;
+    }
+    if (req.kind == "health") {
+        fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+        std::printf("\n");
+        return 0;
+    }
+    sim::BatchResult result;
+    serialize::BinReader rdr(resp.payload);
+    if (!sim::decodeBatchResult(rdr, result)) {
+        std::fprintf(stderr,
+                     "dfp-serve: response payload does not decode\n");
+        return 1;
+    }
+    // One canonical line per result. Everything on it is
+    // deterministic (hostSeconds is normalized server-side), so two
+    // runs of the same request — live, restored from the journal, or
+    // across a server crash — print byte-identical lines. The CI
+    // crash-recovery gate diffs exactly this.
+    const uint32_t crc =
+        serialize::crc32(resp.payload.data(), resp.payload.size());
+    std::printf("%s %s cycles=%llu insts=%llu predicted=%llu "
+                "faults=%llu blob_crc=%08x\n",
+                result.ok ? "ok" : "FAILED", result.label.c_str(),
+                (unsigned long long)result.cycles,
+                (unsigned long long)result.insts,
+                (unsigned long long)result.predictedCycles,
+                (unsigned long long)result.faultsInjected, crc);
+    if (!result.ok) {
+        std::fprintf(stderr, "dfp-serve: %s: [%s] %s\n",
+                     result.label.c_str(), result.errorKind.c_str(),
+                     result.error.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool clientMode = false;
+    std::string socketPath, resumeDir, statsJsonFile;
+    serve::Request req;
+    uint64_t workers = 2, queueCap = 8, defaultDeadlineMs = 0;
+    uint64_t breakerThreshold = 3;
+    uint64_t retries = 0, backoffMs = 100;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "dfp-serve: option '%s' needs a value\n\n",
+                             arg.c_str());
+                std::exit(usage());
+            }
+            return argv[++i];
+        };
+        auto eatValue = [&](const char *flag,
+                            std::string &into) -> bool {
+            std::string prefix = std::string(flag) + "=";
+            if (arg == flag) {
+                into = next();
+                return true;
+            }
+            if (arg.rfind(prefix, 0) == 0) {
+                into = arg.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        auto eatCount = [&](const char *flag, uint64_t &into) -> bool {
+            std::string value;
+            if (!eatValue(flag, value))
+                return false;
+            std::string err;
+            if (!cli::parseCount(value, into, err))
+                std::exit(inputError("DFPC108",
+                                     std::string(flag) + ": " + err));
+            return true;
+        };
+        std::string value;
+        if (arg == "--client") clientMode = true;
+        else if (eatValue("--socket", socketPath)) {}
+        else if (eatCount("--workers", workers)) {}
+        else if (eatCount("--queue", queueCap)) {}
+        else if (eatCount("--default-deadline-ms", defaultDeadlineMs)) {}
+        else if (eatCount("--breaker-threshold", breakerThreshold)) {}
+        else if (eatValue("--resume-dir", resumeDir)) {}
+        else if (eatValue("--stats-json", statsJsonFile)) {}
+        else if (eatValue("--request", req.kind)) {}
+        else if (eatValue("--workload", req.workload)) {}
+        else if (eatValue("--config", req.config)) {}
+        else if (eatCount("--deadline-ms", req.deadlineMs)) {}
+        else if (eatCount("--max-cycles", req.maxCycles)) {}
+        else if (eatValue("--fault-model", req.faultModel)) {}
+        else if (eatValue("--fault-rate", value)) {
+            char *end = nullptr;
+            req.faultRate = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                req.faultRate < 0.0)
+                return inputError("DFPC108",
+                                  "--fault-rate: '" + value +
+                                      "' is not a non-negative number");
+        }
+        else if (eatCount("--fault-seed", req.faultSeed)) {}
+        else if (eatCount("--retries", retries)) {}
+        else if (eatCount("--backoff-ms", backoffMs)) {}
+        else if (arg == "--version") {
+            std::printf("dfp-serve %s\n", versionString());
+            return 0;
+        }
+        else if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        }
+        else {
+            std::fprintf(stderr, "dfp-serve: unknown option '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "dfp-serve: --socket is required\n\n");
+        return usage();
+    }
+
+    try {
+        if (clientMode) {
+            if (req.kind != "health" && req.workload.empty()) {
+                std::fprintf(stderr,
+                             "dfp-serve: --workload is required for "
+                             "'%s' requests\n\n",
+                             req.kind.c_str());
+                return usage();
+            }
+            serve::ClientOptions copts;
+            copts.socketPath = socketPath;
+            copts.retries = retries;
+            copts.backoffMs = backoffMs;
+            return runClient(copts, req);
+        }
+
+        serve::ServerOptions sopts;
+        sopts.socketPath = socketPath;
+        sopts.workers = int(std::min<uint64_t>(workers, 256));
+        sopts.queueCapacity = int(std::min<uint64_t>(queueCap, 4096));
+        sopts.defaultDeadlineMs = defaultDeadlineMs;
+        sopts.breakerThreshold = breakerThreshold;
+        sopts.journalDir = resumeDir;
+        sopts.toolVersion = versionString();
+
+        serve::Server server(sopts);
+        std::string err;
+        if (!server.start(err))
+            return inputError("DFPC106", err);
+
+        signals::installStopHandlers();
+        // The escalation watcher: the drain below is signal ONE's
+        // behaviour; a SECOND SIGINT/SIGTERM means the user is done
+        // waiting, and a crash-only server can always be killed —
+        // the journal makes an abrupt exit safe.
+        std::thread escalation([] {
+            while (signals::stopCount() < 2)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            const int sig = signals::stopSignal();
+            std::fprintf(stderr,
+                         "dfp-serve: second signal, exiting "
+                         "immediately\n");
+            std::_Exit(128 + sig);
+        });
+        escalation.detach();
+
+        std::fprintf(stderr,
+                     "dfp-serve: listening on %s (%d worker(s), "
+                     "queue %d)%s\n",
+                     socketPath.c_str(), sopts.workers,
+                     sopts.queueCapacity,
+                     resumeDir.empty()
+                         ? ""
+                         : (", journal " + resumeDir).c_str());
+        const int sig = server.serve(&signals::stopRequested());
+        if (sig != 0)
+            std::fprintf(stderr,
+                         "dfp-serve: drained after signal %d\n", sig);
+
+        if (!statsJsonFile.empty()) {
+            std::ofstream fileOut;
+            std::ostream *os = &std::cout;
+            if (statsJsonFile != "-") {
+                fileOut.open(statsJsonFile);
+                if (!fileOut)
+                    return inputError("DFPC106",
+                                      "cannot open '" + statsJsonFile +
+                                          "' for writing");
+                os = &fileOut;
+            }
+            // The dfpc --stats-json shape: metadata keys, then the
+            // full StatSet under "total".
+            json::Writer w(*os);
+            w.beginObject();
+            w.key("version").value(versionString());
+            w.key("harness").value("dfp-serve");
+            w.key("socket").value(socketPath);
+            w.key("workers").value(uint64_t(sopts.workers));
+            w.key("queue").value(uint64_t(sopts.queueCapacity));
+            w.key("total");
+            server.statsSnapshot().dumpJson(*os);
+            w.endObject();
+            *os << "\n";
+        }
+        return sig != 0 ? 128 + sig : 0;
+    } catch (...) {
+        std::string what = "unknown exception";
+        try {
+            throw;
+        } catch (const std::exception &err) {
+            what = err.what();
+        } catch (...) {
+        }
+        return inputError("DFPC105",
+                          detail::cat("unexpected error: ", what));
+    }
+}
