@@ -1,6 +1,9 @@
 #include "base/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace dfp
 {
@@ -9,6 +12,49 @@ std::atomic<bool> quietWarnings{false};
 
 namespace detail
 {
+
+std::atomic<int> logTimestampsOverride{-1};
+
+namespace
+{
+
+// DFP_LOG_TIMESTAMPS=1 prefixes every emitLog line with an ISO-8601
+// UTC timestamp and the emitting thread's id — for correlating daemon
+// logs with scraped metrics. Read once: flipping the environment
+// mid-process is not a supported way to toggle log formats.
+bool
+timestampsEnabled()
+{
+    const int forced = logTimestampsOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    static const bool enabled = [] {
+        const char *v = std::getenv("DFP_LOG_TIMESTAMPS");
+        return v != nullptr && v[0] == '1' && v[1] == '\0';
+    }();
+    return enabled;
+}
+
+// "2026-08-08T12:34:56.789Z [tid] " — composed into the caller's
+// buffer so the single-fwrite no-interleave guarantee holds.
+void
+appendTimestampPrefix(std::string &line)
+{
+    std::timespec ts{};
+    std::timespec_get(&ts, TIME_UTC);
+    std::tm tm{};
+    gmtime_r(&ts.tv_sec, &tm);
+    char buf[48];
+    std::size_t n = std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm);
+    line.append(buf, n);
+    std::snprintf(buf, sizeof buf, ".%03ldZ", ts.tv_nsec / 1000000);
+    line += buf;
+    std::ostringstream tid;
+    tid << " [" << std::this_thread::get_id() << "] ";
+    line += tid.str();
+}
+
+} // namespace
 
 std::string
 formatMessage(const char *level, const char *file, int line,
@@ -28,7 +74,9 @@ emitLog(const char *level, const std::string &msg)
     // maps to a single write(2) and concurrent emitters cannot
     // interleave characters within a line.
     std::string line;
-    line.reserve(msg.size() + 16);
+    line.reserve(msg.size() + 64);
+    if (timestampsEnabled())
+        appendTimestampPrefix(line);
     line += level;
     line += ": ";
     line += msg;

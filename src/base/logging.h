@@ -45,8 +45,15 @@ std::string formatMessage(const char *level, const char *file, int line,
 /** Emits a warning/info line to stderr. Thread-safe: the whole line
  *  (level, message, newline) is composed in a buffer and written with
  *  a single call, so warnings from BatchRunner workers and server
- *  threads never interleave mid-line. */
+ *  threads never interleave mid-line. With DFP_LOG_TIMESTAMPS=1 in
+ *  the environment every line gains an ISO-8601 UTC timestamp and
+ *  thread-id prefix (read once at first use). */
 void emitLog(const char *level, const std::string &msg);
+
+/** Test-only: -1 = follow DFP_LOG_TIMESTAMPS (the default), 0 = force
+ *  off, 1 = force on. The environment variable is latched on first
+ *  use, so tests toggle this instead of setenv(). */
+extern std::atomic<int> logTimestampsOverride;
 
 /** Variadic stream-style formatting: concatenates all args via ostream. */
 template <typename... Args>

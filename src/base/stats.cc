@@ -1,5 +1,7 @@
 #include "base/stats.h"
 
+#include <algorithm>
+
 #include "base/json.h"
 
 namespace dfp
@@ -42,6 +44,44 @@ Histogram::load(serialize::BinReader &r)
         buckets_[i] = r.u64();
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return double(min());
+    if (q >= 1.0)
+        return double(max_);
+    // Rank of the target sample (1-based), then walk the cumulative
+    // bucket counts until it is covered.
+    const double rank = q * double(count_);
+    uint64_t below = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t here = buckets_[i];
+        if (here == 0)
+            continue;
+        if (double(below + here) >= rank) {
+            // Interpolate within [lo, hi] by the fraction of the
+            // bucket's population below the target rank.
+            double lo = double(bucketLo(i));
+            double hi = double(bucketHi(i));
+            // The top bucket is open-ended; the observed max is the
+            // only honest upper bound for it.
+            if (i == kBuckets - 1)
+                hi = double(max_);
+            lo = std::max(lo, double(min()));
+            hi = std::min(hi, double(max_));
+            if (hi < lo)
+                hi = lo;
+            const double frac = (rank - double(below)) / double(here);
+            return lo + frac * (hi - lo);
+        }
+        below += here;
+    }
+    return double(max_);
+}
+
 void
 StatSet::save(serialize::BinWriter &w) const
 {
@@ -81,7 +121,10 @@ StatSet::dump(std::ostream &os, const std::string &prefix) const
     for (const auto &[name, hist] : histograms_) {
         os << prefix << name << " count=" << hist.count()
            << " sum=" << hist.sum() << " min=" << hist.min()
-           << " max=" << hist.max() << " mean=" << hist.mean() << "\n";
+           << " max=" << hist.max() << " mean=" << hist.mean()
+           << " p50=" << hist.quantile(0.50)
+           << " p90=" << hist.quantile(0.90)
+           << " p99=" << hist.quantile(0.99) << "\n";
     }
 }
 
@@ -102,6 +145,9 @@ StatSet::dumpJson(std::ostream &os) const
         w.key("min").value(hist.min());
         w.key("max").value(hist.max());
         w.key("mean").value(hist.mean());
+        w.key("p50").value(hist.quantile(0.50));
+        w.key("p90").value(hist.quantile(0.90));
+        w.key("p99").value(hist.quantile(0.99));
         w.key("buckets").beginArray();
         for (uint64_t b : hist.buckets())
             w.value(b);

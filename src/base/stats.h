@@ -67,6 +67,22 @@ class Histogram
     /** Inclusive lower bound of bucket @p i (0, 1, 2, 4, 8, ...). */
     static uint64_t bucketLo(int i) { return i == 0 ? 0 : 1ull << (i - 1); }
 
+    /** Inclusive upper bound of bucket @p i (0, 1, 3, 7, 15, ...). */
+    static uint64_t
+    bucketHi(int i)
+    {
+        return i == 0 ? 0 : (1ull << i) - 1;
+    }
+
+    /**
+     * Estimate the @p q quantile (q in [0,1]) by linear interpolation
+     * within the power-of-two bucket containing the target rank,
+     * clamped to the observed [min, max]. Exact for q=0/q=1; within a
+     * factor of two elsewhere, which is what bucketed capture can
+     * honestly promise. Returns 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
     /**
      * Rebuild from previously exported aggregates (checkpoint payloads,
      * journal entries). @p minSeen is the raw smallest sample; pass 0

@@ -1,0 +1,409 @@
+#include "base/telemetry.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "base/json.h"
+
+namespace dfp::telemetry
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+mintTraceId()
+{
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t wall = uint64_t(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    uint64_t id = splitmix64(wall ^ (uint64_t(getpid()) << 32) ^
+                             counter.fetch_add(1, std::memory_order_relaxed));
+    // 0 means "no trace id" on the wire; never mint it.
+    return id != 0 ? id : 1;
+}
+
+// ---------------------------------------------------------------------
+// SpanCollector.
+
+SpanCollector::SpanCollector(size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity != 0 ? capacity : 1)
+{}
+
+uint64_t
+SpanCollector::nowUs() const
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - epoch_)
+                        .count());
+}
+
+void
+SpanCollector::record(const std::string &name, uint64_t traceId,
+                      uint64_t startUs, uint64_t durUs, int track)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= capacity_) {
+        spans_.pop_front();
+        ++dropped_;
+    }
+    spans_.push_back(SpanRecord{name, traceId, startUs, durUs, track, seq_++});
+}
+
+std::vector<SpanRecord>
+SpanCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+uint64_t
+SpanCollector::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+size_t
+SpanCollector::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+// ---------------------------------------------------------------------
+// PhaseProfiler.
+
+void
+PhaseProfiler::record(const char *phase, uint64_t micros)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    phases_[phase].add(micros);
+}
+
+std::map<std::string, Histogram>
+PhaseProfiler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return phases_;
+}
+
+void
+PhaseProfiler::mergeInto(StatSet &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, hist] : phases_)
+        out.histogram(name).merge(hist);
+}
+
+namespace
+{
+std::atomic<PhaseProfiler *> gPhaseProfiler{nullptr};
+} // namespace
+
+PhaseProfiler *
+phaseProfiler()
+{
+    return gPhaseProfiler.load(std::memory_order_acquire);
+}
+
+void
+setPhaseProfiler(PhaseProfiler *profiler)
+{
+    gPhaseProfiler.store(profiler, std::memory_order_release);
+}
+
+namespace detail
+{
+
+ScopedPhase::ScopedPhase(const char *phase)
+    : profiler_(gPhaseProfiler.load(std::memory_order_acquire)), phase_(phase)
+{
+    if (__builtin_expect(profiler_ != nullptr, 0))
+        start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (__builtin_expect(profiler_ != nullptr, 0)) {
+        const auto end = std::chrono::steady_clock::now();
+        profiler_->record(
+            phase_,
+            uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                         end - start_)
+                         .count()));
+    }
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Gauges / sampler.
+
+void
+GaugeRegistry::add(const std::string &name, Fn fn)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_.emplace_back(name, std::move(fn));
+}
+
+std::vector<std::string>
+GaugeRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, fn] : gauges_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<double>
+GaugeRegistry::sample() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<double> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, fn] : gauges_)
+        out.push_back(fn ? fn() : 0.0);
+    return out;
+}
+
+size_t
+GaugeRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_.size();
+}
+
+double
+rssBytes()
+{
+    FILE *f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0.0;
+    unsigned long long vmPages = 0, rssPages = 0;
+    const int got = std::fscanf(f, "%llu %llu", &vmPages, &rssPages);
+    std::fclose(f);
+    if (got != 2)
+        return 0.0;
+    return double(rssPages) * double(sysconf(_SC_PAGESIZE));
+}
+
+MetricRing::MetricRing(size_t capacity) : capacity_(capacity != 0 ? capacity : 1)
+{}
+
+void
+MetricRing::push(MetricSample sample)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() >= capacity_)
+        samples_.pop_front();
+    samples_.push_back(std::move(sample));
+}
+
+std::vector<MetricSample>
+MetricRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<MetricSample>(samples_.begin(), samples_.end());
+}
+
+size_t
+MetricRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+}
+
+void
+Sampler::start(const GaugeRegistry *gauges, MetricRing *ring,
+               uint64_t periodMs, std::function<void()> onSample)
+{
+    if (periodMs == 0 || thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = false;
+    }
+    thread_ = std::thread(&Sampler::loop, this, gauges, ring, periodMs,
+                          std::move(onSample));
+}
+
+void
+Sampler::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Sampler::loop(const GaugeRegistry *gauges, MetricRing *ring,
+              uint64_t periodMs, std::function<void()> onSample)
+{
+    const auto epoch = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(periodMs),
+                         [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        MetricSample s;
+        s.steadyMs = uint64_t(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - epoch)
+                .count());
+        if (gauges != nullptr)
+            s.values = gauges->sample();
+        if (ring != nullptr)
+            ring->push(std::move(s));
+        ticks_.fetch_add(1, std::memory_order_relaxed);
+        if (onSample)
+            onSample();
+        lock.lock();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exposition.
+
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+writePrometheus(std::ostream &os, const StatSet &stats,
+                const std::vector<std::string> &gaugeNames,
+                const std::vector<double> &gaugeValues)
+{
+    for (const auto &[name, value] : stats.all()) {
+        const std::string m = promName(name);
+        os << "# HELP " << m << " Counter " << name << "\n";
+        os << "# TYPE " << m << " counter\n";
+        os << m << " " << value << "\n";
+    }
+    // Gauges arrive in registration order; sort for a stable payload.
+    std::vector<std::pair<std::string, double>> gauges;
+    const size_t n = std::min(gaugeNames.size(), gaugeValues.size());
+    gauges.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        gauges.emplace_back(gaugeNames[i], gaugeValues[i]);
+    std::sort(gauges.begin(), gauges.end());
+    for (const auto &[name, value] : gauges) {
+        const std::string m = promName(name);
+        os << "# HELP " << m << " Gauge " << name << "\n";
+        os << "# TYPE " << m << " gauge\n";
+        os << m << " " << value << "\n";
+    }
+    for (const auto &[name, hist] : stats.allHistograms()) {
+        const std::string m = promName(name);
+        os << "# HELP " << m << " Histogram " << name << "\n";
+        os << "# TYPE " << m << " histogram\n";
+        // Power-of-two capture buckets: everything in bucket i is
+        // <= 2^i - 1, so those are the natural `le` bounds. The last
+        // bucket is open-ended and folds into +Inf.
+        uint64_t cumulative = 0;
+        const auto &buckets = hist.buckets();
+        for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+            cumulative += buckets[i];
+            os << m << "_bucket{le=\"" << Histogram::bucketHi(i) << "\"} "
+               << cumulative << "\n";
+        }
+        os << m << "_bucket{le=\"+Inf\"} " << hist.count() << "\n";
+        os << m << "_sum " << hist.sum() << "\n";
+        os << m << "_count " << hist.count() << "\n";
+    }
+}
+
+void
+writeMetricsJson(std::ostream &os, const StatSet &stats,
+                 const std::vector<std::string> &gaugeNames,
+                 const std::vector<double> &gaugeValues,
+                 const MetricRing *ring)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : stats.all())
+        w.key(name).value(value);
+    w.endObject();
+    w.key("gauges").beginObject();
+    const size_t n = std::min(gaugeNames.size(), gaugeValues.size());
+    for (size_t i = 0; i < n; ++i)
+        w.key(gaugeNames[i]).value(gaugeValues[i]);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, hist] : stats.allHistograms()) {
+        w.key(name).beginObject();
+        w.key("count").value(hist.count());
+        w.key("sum").value(hist.sum());
+        w.key("min").value(hist.min());
+        w.key("max").value(hist.max());
+        w.key("mean").value(hist.mean());
+        w.key("p50").value(hist.quantile(0.50));
+        w.key("p90").value(hist.quantile(0.90));
+        w.key("p99").value(hist.quantile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    if (ring != nullptr) {
+        w.key("series").beginArray();
+        for (const MetricSample &s : ring->snapshot()) {
+            w.beginObject();
+            w.key("t_ms").value(s.steadyMs);
+            w.key("values").beginArray();
+            for (double v : s.values)
+                w.value(v);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+}
+
+void
+rollupSpans(const std::vector<SpanRecord> &spans, StatSet &out)
+{
+    for (const SpanRecord &span : spans) {
+        out.inc("span.count");
+        out.sample("span." + span.name + "_us", span.durUs);
+    }
+}
+
+} // namespace dfp::telemetry

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Service-level telemetry for the fleet-facing layers (dfp-serve, the
+ * batch runner, the compiler driver): request-scoped spans, registered
+ * gauges sampled into a bounded time-series ring, and Prometheus/JSON
+ * exposition. This is deliberately distinct from sim/trace.h — that
+ * layer records *simulated* events on the simulated clock; this one
+ * records *host* wall-clock behaviour of the service around the
+ * simulator (where does a request's time actually go). The two meet in
+ * sim::flushSpans(), which renders collected spans through the
+ * existing TraceSink backends so one Chrome-trace/Perfetto view shows
+ * both. docs/TELEMETRY.md is the user-facing reference.
+ *
+ * Cost model, in the DFP_TRACE style (docs/TRACING.md):
+ *
+ *  - every emission site is gated on a null check of the collector /
+ *    profiler pointer, so a process that never enables telemetry pays
+ *    one predicted-not-taken branch per site;
+ *  - `-DDFP_TELEMETRY=0` removes the DFP_PHASE sites entirely;
+ *  - the Sampler starts **zero threads when disabled** (periodMs == 0
+ *    or no gauges registered), so dfpc/dfp-bench sweeps are thread-
+ *    and cycle-identical to a build without the subsystem. The
+ *    perf-smoke CI gate enforces "compiled in but disabled" costs
+ *    nothing measurable.
+ */
+
+#ifndef DFP_BASE_TELEMETRY_H
+#define DFP_BASE_TELEMETRY_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace dfp::telemetry
+{
+
+// ---------------------------------------------------------------------
+// Request-scoped spans.
+
+/**
+ * Mint a process-unique trace id: nonzero, unpredictable enough that
+ * two clients racing on the same socket never collide (pid, a
+ * monotonic counter, and the wall clock, mixed through splitmix64).
+ * Zero is reserved for "no trace id" everywhere in the protocol.
+ */
+uint64_t mintTraceId();
+
+/** One finished span: a named wall-clock interval on a track. */
+struct SpanRecord
+{
+    std::string name;     //!< e.g. "serve.execute"
+    uint64_t traceId = 0; //!< request correlation id; 0 = unscoped
+    uint64_t startUs = 0; //!< microseconds since the collector epoch
+    uint64_t durUs = 0;   //!< wall-clock duration, microseconds
+    int track = 0;        //!< rendering lane (worker/connection index)
+    uint64_t seq = 0;     //!< collector-assigned emission order
+};
+
+/**
+ * Thread-safe sink for finished spans. Bounded: once `capacity` spans
+ * are held the oldest are dropped (and counted), so a long-running
+ * daemon with tracing left on cannot grow without bound. The epoch is
+ * the collector's construction instant on the monotonic clock;
+ * every SpanRecord::startUs is relative to it, so flushed traces start
+ * near t=0 regardless of process uptime.
+ */
+class SpanCollector
+{
+  public:
+    explicit SpanCollector(size_t capacity = 1 << 16);
+
+    /** Record one finished span (called by Span's destructor). */
+    void record(const std::string &name, uint64_t traceId,
+                uint64_t startUs, uint64_t durUs, int track);
+
+    /** Microseconds elapsed since the collector epoch (monotonic). */
+    uint64_t nowUs() const;
+
+    /** Point-in-time copy, in emission order. */
+    std::vector<SpanRecord> snapshot() const;
+
+    uint64_t dropped() const;
+    size_t size() const;
+
+  private:
+    const std::chrono::steady_clock::time_point epoch_;
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::deque<SpanRecord> spans_;
+    uint64_t seq_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * RAII span: captures the start time at construction and records into
+ * the collector at destruction (or at end(), whichever comes first).
+ * A null collector makes both ends of the span a no-op — emission
+ * sites do not need their own guards. Nesting is by construction
+ * order within a scope; spans carry no parent pointer, the (traceId,
+ * time interval) pair is what stitches a request path together.
+ */
+class Span
+{
+  public:
+    Span(SpanCollector *collector, const char *name, uint64_t traceId,
+         int track = 0)
+        : collector_(collector), name_(name), traceId_(traceId),
+          track_(track),
+          startUs_(collector != nullptr ? collector->nowUs() : 0)
+    {}
+
+    ~Span() { end(); }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Close the span early (idempotent). */
+    void
+    end()
+    {
+        if (collector_ == nullptr)
+            return;
+        const uint64_t now = collector_->nowUs();
+        collector_->record(name_, traceId_, startUs_,
+                           now - startUs_, track_);
+        collector_ = nullptr;
+    }
+
+  private:
+    SpanCollector *collector_;
+    const char *name_;
+    uint64_t traceId_;
+    int track_;
+    uint64_t startUs_;
+};
+
+// ---------------------------------------------------------------------
+// Phase profiling.
+
+/**
+ * Wall-time histograms keyed by phase name ("phase.compile.buildSsa",
+ * "phase.batch.sim", ...), sampled in microseconds. Thread-safe; the
+ * per-sample cost is one mutex acquisition and a Histogram::add, paid
+ * only while a profiler is installed.
+ */
+class PhaseProfiler
+{
+  public:
+    void record(const char *phase, uint64_t micros);
+
+    /** Copy the accumulated histograms ("phase.*" names). */
+    std::map<std::string, Histogram> snapshot() const;
+
+    /** Merge the accumulated histograms into @p out. */
+    void mergeInto(StatSet &out) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, Histogram> phases_;
+};
+
+/** The process-wide profiler the DFP_PHASE sites feed; null (the
+ *  default) keeps every site down to one predicted-not-taken branch.
+ *  Install before starting worker threads; the pointer is not owned. */
+PhaseProfiler *phaseProfiler();
+void setPhaseProfiler(PhaseProfiler *profiler);
+
+namespace detail
+{
+
+/** RAII body behind DFP_PHASE: snapshots the profiler pointer once so
+ *  an install/uninstall mid-phase cannot tear a sample. */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(const char *phase);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    PhaseProfiler *profiler_;
+    const char *phase_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// Time-series gauges.
+
+/**
+ * Named gauges evaluated on demand. Registration is expected at
+ * startup (server construction); sampling may come from the Sampler
+ * thread or an exposition request, so evaluation takes the registry
+ * lock and callbacks must be cheap and thread-safe themselves.
+ */
+class GaugeRegistry
+{
+  public:
+    using Fn = std::function<double()>;
+
+    void add(const std::string &name, Fn fn);
+
+    /** Gauge names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** Evaluate every gauge, aligned with names(). */
+    std::vector<double> sample() const;
+
+    size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, Fn>> gauges_;
+};
+
+/** Resident set size in bytes via /proc/self/statm; 0 where absent. */
+double rssBytes();
+
+/** One periodic snapshot of every registered gauge. */
+struct MetricSample
+{
+    uint64_t steadyMs = 0; //!< ms since the ring's epoch (monotonic)
+    std::vector<double> values; //!< aligned with GaugeRegistry::names()
+};
+
+/**
+ * Bounded ring of gauge snapshots — the daemon's short-term memory of
+ * its own vitals. Fixed capacity; the oldest sample is dropped when
+ * full, so the ring holds the trailing capacity×period window.
+ */
+class MetricRing
+{
+  public:
+    explicit MetricRing(size_t capacity = 600);
+
+    void push(MetricSample sample);
+    std::vector<MetricSample> snapshot() const;
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::deque<MetricSample> samples_;
+};
+
+/**
+ * The sampler thread: every `periodMs` it evaluates @p gauges into
+ * @p ring and invokes the optional per-tick hook (dfp-serve's
+ * --metrics-out atomic-rename dump rides on it). **Zero threads when
+ * disabled**: a periodMs of 0 starts nothing, and stop()/destruction
+ * joins promptly via a condition variable rather than sleeping out
+ * the period.
+ */
+class Sampler
+{
+  public:
+    Sampler() = default;
+    ~Sampler() { stop(); }
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Begin sampling; no-op when periodMs == 0 or already running. */
+    void start(const GaugeRegistry *gauges, MetricRing *ring,
+               uint64_t periodMs,
+               std::function<void()> onSample = nullptr);
+
+    /** Stop and join the thread (idempotent). */
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+    uint64_t ticks() const { return ticks_.load(); }
+
+  private:
+    void loop(const GaugeRegistry *gauges, MetricRing *ring,
+              uint64_t periodMs, std::function<void()> onSample);
+
+    std::thread thread_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::atomic<uint64_t> ticks_{0};
+};
+
+// ---------------------------------------------------------------------
+// Exposition.
+
+/** Sanitize a dotted stat name into a Prometheus metric name
+ *  ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other illegal bytes become
+ *  underscores, and a leading digit is prefixed with one. */
+std::string promName(const std::string &name);
+
+/**
+ * Render counters + histograms (@p stats) and instantaneous gauge
+ * values into the Prometheus text exposition format: `# HELP` and
+ * `# TYPE` per metric; counters as `counter`, gauges as `gauge`,
+ * histograms as cumulative `_bucket{le="..."}` series (bounds from
+ * the power-of-two Histogram buckets — integer samples in bucket i
+ * are <= 2^i - 1) plus `_sum` and `_count`. Deterministic: metrics
+ * are emitted in sorted-name order.
+ */
+void writePrometheus(std::ostream &os, const StatSet &stats,
+                     const std::vector<std::string> &gaugeNames,
+                     const std::vector<double> &gaugeValues);
+
+/**
+ * The same payload as JSON: {"counters":{...},"gauges":{...},
+ * "histograms":{...}} with per-histogram quantiles, plus the ring's
+ * trailing window under "series" when @p ring is non-null.
+ */
+void writeMetricsJson(std::ostream &os, const StatSet &stats,
+                      const std::vector<std::string> &gaugeNames,
+                      const std::vector<double> &gaugeValues,
+                      const MetricRing *ring = nullptr);
+
+/**
+ * Summarize collected spans into @p out: per-name duration histograms
+ * ("span.<name>_us") and a span count counter — the span-summary
+ * rollup the stats registry carries next to the raw trace.
+ */
+void rollupSpans(const std::vector<SpanRecord> &spans, StatSet &out);
+
+} // namespace dfp::telemetry
+
+// Compile-time kill switch: build with -DDFP_TELEMETRY=0 to remove the
+// phase-profiling sites (and their branch) entirely.
+#ifndef DFP_TELEMETRY
+#define DFP_TELEMETRY 1
+#endif
+
+#if DFP_TELEMETRY
+/** Time the enclosing scope into the installed PhaseProfiler (if any)
+ *  under @p name — "phase.compile.buildSsa" style. One branch when no
+ *  profiler is installed. */
+#define DFP_PHASE(name)                                                      \
+    ::dfp::telemetry::detail::ScopedPhase dfp_phase_##__LINE__(name)
+#else
+#define DFP_PHASE(name)                                                      \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // DFP_BASE_TELEMETRY_H

@@ -1,5 +1,6 @@
 #include "compiler/pipeline.h"
 
+#include "base/telemetry.h"
 #include "compiler/regalloc.h"
 #include "compiler/scalar_opts.h"
 #include "core/merging.h"
@@ -107,26 +108,41 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     };
     check(verify::IrStage::Cfg, "input");
 
+    // Every pass is bracketed by a DFP_PHASE wall-time span
+    // ("phase.compile.<pass>"); one dead branch each when no
+    // PhaseProfiler is installed (base/telemetry.h).
+
     // 1. Frontend cleanups that are safe pre-SSA.
-    foldConstants(fn);
+    {
+        DFP_PHASE("phase.compile.foldConstants");
+        foldConstants(fn);
+    }
     check(verify::IrStage::Cfg, "foldConstants");
 
     // 2. Loop unrolling (pre-SSA: temps copy verbatim).
     if (opts.unroll.factor > 1) {
+        DFP_PHASE("phase.compile.unrollLoops");
         int unrolled = unrollLoops(fn, opts.unroll);
         res.stats.set("pipe.unrolled_loops", unrolled);
         check(verify::IrStage::Cfg, "unrollLoops");
     }
 
     // 3. SSA and scalar optimizations.
-    core::buildSsa(fn);
+    {
+        DFP_PHASE("phase.compile.buildSsa");
+        core::buildSsa(fn);
+    }
     check(verify::IrStage::Ssa, "buildSsa");
     // Unconditional (not an -O flag): correlated branches must share
     // predicate temps before region selection, or the predicate passes
     // can't see the correlation (see normalizeBranchConds).
-    res.stats.set("pipe.br_normalized", normalizeBranchConds(fn));
+    {
+        DFP_PHASE("phase.compile.normalizeBranchConds");
+        res.stats.set("pipe.br_normalized", normalizeBranchConds(fn));
+    }
     check(verify::IrStage::Ssa, "normalizeBranchConds");
     if (opts.scalarOpts) {
+        DFP_PHASE("phase.compile.runScalarOpts");
         res.stats.set("pipe.scalar_changes", runScalarOpts(fn));
         check(verify::IrStage::Ssa, "runScalarOpts");
     }
@@ -139,40 +155,56 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     core::RegionConfig rc = region;
     if (!opts.hyperblocks)
         rc.maxBlocksPerRegion = 1;
-    core::RegionPlan plan = core::selectRegions(fn, rc);
+    core::RegionPlan plan;
+    {
+        DFP_PHASE("phase.compile.selectRegions");
+        plan = core::selectRegions(fn, rc);
+    }
     res.stats.set("pipe.regions", plan.regions.size());
 
     // 5. Boundary lowering: registers, null writes, store tokens.
-    core::BoundaryStats bs = core::lowerBoundaries(fn, plan);
-    res.stats.set("pipe.virt_regs", bs.virtRegs);
-    res.stats.set("pipe.null_writes", bs.nullWrites);
-    res.stats.set("pipe.split_blocks", bs.splitBlocks);
+    {
+        DFP_PHASE("phase.compile.lowerBoundaries");
+        core::BoundaryStats bs = core::lowerBoundaries(fn, plan);
+        res.stats.set("pipe.virt_regs", bs.virtRegs);
+        res.stats.set("pipe.null_writes", bs.nullWrites);
+        res.stats.set("pipe.split_blocks", bs.splitBlocks);
+    }
     check(verify::IrStage::Cfg, "lowerBoundaries");
 
     // 6. If-conversion into hyperblocks (naive predication baseline).
-    core::ifConvert(fn, plan);
+    {
+        DFP_PHASE("phase.compile.ifConvert");
+        core::ifConvert(fn, plan);
+    }
     for (const ir::BBlock &hb : fn.blocks)
         core::checkHyperblock(hb);
     check(verify::IrStage::Hyper, "ifConvert");
 
     // 7. Dataflow predicate optimizations (§5).
     if (opts.predFanoutReduction) {
+        DFP_PHASE("phase.compile.reducePredFanout");
         res.stats.set("pipe.fanout_removed",
                       core::reducePredFanout(fn));
         check(verify::IrStage::Hyper, "reducePredFanout");
     }
     if (opts.pathSensitive) {
+        DFP_PHASE("phase.compile.removePathSensitivePreds");
         res.stats.set("pipe.path_sensitive",
                       core::removePathSensitivePreds(fn));
         check(verify::IrStage::Hyper, "removePathSensitivePreds");
     }
     if (opts.merging) {
+        DFP_PHASE("phase.compile.mergeDisjointInstructions");
         res.stats.set("pipe.merged",
                       core::mergeDisjointInstructions(fn));
         check(verify::IrStage::Hyper, "mergeDisjointInstructions");
     }
     // Cleanup after the predicate passes.
-    eliminateDeadCode(fn);
+    {
+        DFP_PHASE("phase.compile.eliminateDeadCode");
+        eliminateDeadCode(fn);
+    }
     for (const ir::BBlock &hb : fn.blocks)
         core::checkHyperblock(hb);
     check(verify::IrStage::Hyper, "eliminateDeadCode");
@@ -183,26 +215,37 @@ compileOnce(const ir::Function &source, const CompileOptions &opts,
     }
 
     // 8. Register allocation.
-    RegAllocResult ra = allocateRegisters(fn);
-    res.stats.set("pipe.arch_regs", ra.regsUsed);
-    res.stats.set("pipe.max_live_regs", ra.maxLive);
-    res.regalloc = std::move(ra);
+    {
+        DFP_PHASE("phase.compile.allocateRegisters");
+        RegAllocResult ra = allocateRegisters(fn);
+        res.stats.set("pipe.arch_regs", ra.regsUsed);
+        res.stats.set("pipe.max_live_regs", ra.maxLive);
+        res.regalloc = std::move(ra);
+    }
     check(verify::IrStage::Hyper, "allocateRegisters");
 
     // 9. Code generation and linking.
-    CodegenOptions cg;
-    cg.multicast = opts.multicast;
-    res.program = generateProgram(fn, cg, &res.stats);
+    {
+        DFP_PHASE("phase.compile.generateProgram");
+        CodegenOptions cg;
+        cg.multicast = opts.multicast;
+        res.program = generateProgram(fn, cg, &res.stats);
+    }
 
     // 10. Spatial scheduling.
-    if (opts.schedule)
+    if (opts.schedule) {
+        DFP_PHASE("phase.compile.scheduleProgram");
         scheduleProgram(res.program, opts.grid);
+    }
 
     // Final validation.
-    isa::ValidationResult vr = isa::validateProgram(res.program);
-    if (!vr.ok()) {
-        dfp_panic("generated program failed validation: ",
-                  vr.joined());
+    {
+        DFP_PHASE("phase.compile.validateProgram");
+        isa::ValidationResult vr = isa::validateProgram(res.program);
+        if (!vr.ok()) {
+            dfp_panic("generated program failed validation: ",
+                      vr.joined());
+        }
     }
     res.hyperIr = std::move(fn);
     return res;

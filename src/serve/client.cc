@@ -11,6 +11,7 @@
 
 #include "base/io.h"
 #include "base/random.h"
+#include "base/telemetry.h"
 
 namespace dfp::serve
 {
@@ -71,11 +72,17 @@ call(const ClientOptions &opts, const Request &req)
     Rng rng(opts.jitterSeed != 0 ? opts.jitterSeed
                                  : uint64_t(::getpid()) * 0x9e3779b9u + 1);
 
+    // One trace id covers every attempt of this call: retries are the
+    // same logical request, and the server's spans should say so.
+    Request traced = req;
+    if (opts.mintTraceId && traced.traceId == 0)
+        traced.traceId = telemetry::mintTraceId();
+
     for (uint64_t attemptNo = 1;; attemptNo++) {
         out.attempts = attemptNo;
         Response resp;
         std::string error;
-        const bool got = attempt(opts.socketPath, req, resp, error);
+        const bool got = attempt(opts.socketPath, traced, resp, error);
 
         bool transient;
         if (got) {

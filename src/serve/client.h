@@ -34,6 +34,13 @@ struct ClientOptions
     uint64_t retries = 0;     //!< extra attempts on transient failures
     uint64_t backoffMs = 100; //!< first retry delay (then doubles)
     uint64_t jitterSeed = 0;  //!< 0 = derive from the process id
+
+    /** Mint a process-unique telemetry trace id for requests that do
+     *  not carry one (telemetry::mintTraceId), so every call is
+     *  correlatable across the server's spans. Off by default: the
+     *  wire bytes stay identical to a pre-telemetry client unless the
+     *  caller opts in or sets Request::traceId explicitly. */
+    bool mintTraceId = false;
 };
 
 /** Outcome of one call(), after retries. */

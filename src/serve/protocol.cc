@@ -24,6 +24,46 @@ loadU32(const uint8_t *p)
     return v;
 }
 
+// Append one (tag, length-prefixed payload) extension record carrying
+// the trace id. Omitted entirely when zero, so a telemetry-unaware
+// caller produces byte-identical frames to the previous protocol rev.
+void
+appendTraceIdExt(serialize::BinWriter &w, uint64_t traceId)
+{
+    if (traceId == 0)
+        return;
+    serialize::BinWriter payload;
+    payload.u64(traceId);
+    w.u32(kExtTraceId);
+    const std::vector<uint8_t> bytes = payload.take();
+    w.str(std::string_view(reinterpret_cast<const char *>(bytes.data()),
+                           bytes.size()));
+}
+
+// Consume every trailing extension record: known tags decode, unknown
+// tags skip (that is the forward-compat contract), structural damage
+// (truncated length, payload past the end) fails the body.
+bool
+readExtensions(serialize::BinReader &r, uint64_t &traceId)
+{
+    while (r.ok() && !r.atEnd()) {
+        const uint32_t tag = r.u32();
+        const std::string payload = r.str();
+        if (!r.ok())
+            return false;
+        if (tag == kExtTraceId) {
+            serialize::BinReader pr(
+                reinterpret_cast<const uint8_t *>(payload.data()),
+                payload.size());
+            const uint64_t id = pr.u64();
+            if (!pr.ok() || !pr.atEnd())
+                return false;
+            traceId = id;
+        }
+    }
+    return r.ok();
+}
+
 } // namespace
 
 const char *
@@ -60,6 +100,7 @@ encodeRequest(const Request &req)
     w.str(req.faultModel);
     w.f64(req.faultRate);
     w.u64(req.faultSeed);
+    appendTraceIdExt(w, req.traceId);
     return w.take();
 }
 
@@ -76,7 +117,8 @@ decodeRequest(const std::vector<uint8_t> &body, Request &out,
     out.faultModel = r.str();
     out.faultRate = r.f64();
     out.faultSeed = r.u64();
-    if (!r.ok() || !r.atEnd()) {
+    out.traceId = 0;
+    if (!r.ok() || !readExtensions(r, out.traceId)) {
         error = "request body does not decode";
         return false;
     }
@@ -92,6 +134,7 @@ encodeResponse(const Response &resp)
     w.u64(resp.queueDepth);
     w.u64(resp.payload.size());
     w.raw(resp.payload.data(), resp.payload.size());
+    appendTraceIdExt(w, resp.traceId);
     return w.take();
 }
 
@@ -105,7 +148,9 @@ decodeResponse(const std::vector<uint8_t> &body, Response &out,
     out.queueDepth = r.u64();
     size_t n = r.len();
     out.payload.resize(n);
-    if (!r.raw(out.payload.data(), n) || !r.atEnd()) {
+    out.traceId = 0;
+    if (!r.raw(out.payload.data(), n) ||
+        !readExtensions(r, out.traceId)) {
         error = "response body does not decode";
         return false;
     }

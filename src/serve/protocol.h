@@ -70,11 +70,26 @@ const char *statusDiagCode(const std::string &status);
 /** True for statuses the client may retry with backoff. */
 bool statusTransient(const std::string &status);
 
+/**
+ * Optional trailing extension records. After the base fields both
+ * request and response bodies may carry zero or more records of the
+ * form (u32 tag, length-prefixed payload bytes). Decoders skip
+ * records with unknown tags, so new fields ride along without a
+ * version bump: an old server ignores a new client's extensions, an
+ * old client never sees any (the server echoes the traceId extension
+ * only when the request carried one). A truncated or oversized
+ * record still fails the whole body — tolerance is for *unknown*
+ * data, not *damaged* data.
+ */
+constexpr uint32_t kExtTraceId = 1; //!< payload: u64 telemetry trace id
+
 /** One request. kind selects the action:
  *  "simulate" — compile (cached) + cycle-level sim + golden check;
  *  "compile"  — compile through the shared cache only;
  *  "analyze"  — simulate plus the static cycle lower bound;
- *  "health"   — server status JSON; every other field is ignored. */
+ *  "health"   — server status JSON; every other field is ignored;
+ *  "metrics"  — Prometheus text exposition of the server's counters,
+ *               gauges, and latency histograms (docs/TELEMETRY.md). */
 struct Request
 {
     std::string kind = "simulate";
@@ -85,17 +100,20 @@ struct Request
     std::string faultModel;   //!< "" = fault-free
     double faultRate = 0;
     uint64_t faultSeed = 0;
+    uint64_t traceId = 0;     //!< extension; 0 = absent (old client)
 };
 
 /** One response. payload is kind-specific: an encodeBatchResult blob
  *  for job kinds (hostSeconds normalized to zero so responses are
- *  byte-deterministic), the health JSON text for "health". */
+ *  byte-deterministic), the health JSON text for "health", the
+ *  Prometheus text for "metrics". */
 struct Response
 {
     std::string status;
     std::string message;      //!< human-readable detail when not ok
     uint64_t queueDepth = 0;  //!< requests in flight when composed
     std::vector<uint8_t> payload;
+    uint64_t traceId = 0;     //!< extension; echoed from the request
 };
 
 std::vector<uint8_t> encodeRequest(const Request &req);

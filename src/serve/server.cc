@@ -43,7 +43,8 @@ refuse(const std::string &status, const std::string &message)
 } // namespace
 
 Server::Server(const ServerOptions &opts)
-    : opts_(opts), runner_(sim::BatchOptions())
+    : opts_(opts), runner_(sim::BatchOptions()),
+      ring_(opts.metricsRingCapacity)
 {
     if (opts_.workers < 1)
         opts_.workers = 1;
@@ -53,6 +54,7 @@ Server::Server(const ServerOptions &opts)
 
 Server::~Server()
 {
+    sampler_.stop(); // before the state its gauges read goes away
     stopping_.store(true);
     if (monitor_.joinable())
         monitor_.join();
@@ -118,8 +120,62 @@ Server::start(std::string &error)
     }
 
     started_ = Clock::now();
+    registerGauges();
+    // Zero threads when disabled: a period of 0 starts nothing and
+    // the server stays thread-identical to the pre-telemetry build.
+    if (opts_.metricsPeriodMs != 0)
+        sampler_.start(&gauges_, &ring_, opts_.metricsPeriodMs,
+                       opts_.onMetricsTick);
     monitor_ = std::thread([this] { monitorLoop(); });
     return true;
+}
+
+void
+Server::registerGauges()
+{
+    gauges_.add("serve.workers",
+                [this] { return double(opts_.workers); });
+    gauges_.add("serve.queue_depth",
+                [this] { return double(inFlight()); });
+    gauges_.add("serve.running", [this] {
+        std::lock_guard<std::mutex> lock(admitMu_);
+        return double(running_);
+    });
+    gauges_.add("serve.breakers_open",
+                [this] { return double(breakersOpenCount()); });
+    gauges_.add("serve.compile_cache_size",
+                [this] { return double(runner_.cacheSize()); });
+    gauges_.add("serve.cache_hit_rate", [this] {
+        const StatSet s = statsSnapshot();
+        const uint64_t hits = s.get("serve.cache_hits");
+        const uint64_t total = hits + s.get("serve.compiles");
+        return total != 0 ? double(hits) / double(total) : 0.0;
+    });
+    gauges_.add("serve.worker_busy_fraction", [this] {
+        // Aggregate approximation: summed per-job execution time over
+        // workers × uptime. Exact per-worker attribution would need a
+        // worker identity the admission gate does not hand out.
+        const double up =
+            std::chrono::duration<double>(Clock::now() - started_)
+                .count();
+        if (up <= 0.0)
+            return 0.0;
+        const double busy = double(busyNs_.load()) * 1e-9;
+        return busy / (double(opts_.workers) * up);
+    });
+    gauges_.add("process.rss_bytes",
+                [] { return telemetry::rssBytes(); });
+}
+
+uint64_t
+Server::breakersOpenCount() const
+{
+    std::lock_guard<std::mutex> lock(breakerMu_);
+    uint64_t open = 0;
+    for (const auto &[key, fails] : breakerFails_)
+        if (fails >= opts_.breakerThreshold)
+            ++open;
+    return open;
 }
 
 void
@@ -211,14 +267,30 @@ Server::handleConnection(int fd)
         }
         Request req;
         Response resp;
+        const uint64_t decodeStart =
+            opts_.spans != nullptr ? opts_.spans->nowUs() : 0;
         if (!decodeRequest(body, req, error)) {
             bump("serve.malformed");
             resp = refuse(kStatusMalformed, error);
         } else {
+            // The span is recorded after the fact: the trace id it is
+            // scoped to is itself a product of the decode.
+            if (opts_.spans != nullptr)
+                opts_.spans->record("serve.decode", req.traceId,
+                                    decodeStart,
+                                    opts_.spans->nowUs() - decodeStart,
+                                    0);
             resp = execute(req);
         }
         resp.queueDepth = inFlight();
-        if (!writeFrame(fd, encodeResponse(resp)))
+        resp.traceId = req.traceId; // echoed; zero is never encoded
+        bool wrote;
+        {
+            telemetry::Span reply(opts_.spans, "serve.reply",
+                                  req.traceId, 0);
+            wrote = writeFrame(fd, encodeResponse(resp));
+        }
+        if (!wrote)
             break;
     }
     ::close(fd);
@@ -232,6 +304,14 @@ Server::execute(const Request &req)
         Response resp;
         resp.status = kStatusOk;
         const std::string text = healthJson();
+        resp.payload.assign(text.begin(), text.end());
+        return resp;
+    }
+    if (req.kind == "metrics") {
+        bump("serve.metrics");
+        Response resp;
+        resp.status = kStatusOk;
+        const std::string text = metricsText();
         resp.payload.assign(text.begin(), text.end());
         return resp;
     }
@@ -251,6 +331,7 @@ Server::execute(const Request &req)
 Response
 Server::runJobRequest(const Request &req)
 {
+    const int64_t arrivedNs = nowNs();
     const workloads::Workload *w = workloads::findWorkload(req.workload);
     if (w == nullptr) {
         bump("serve.malformed");
@@ -258,6 +339,11 @@ Server::runJobRequest(const Request &req)
                       "unknown workload '" + req.workload + "'");
     }
     sim::SimConfig simCfg;
+    // The correlation id rides the SimConfig into simulate() and out
+    // on SimResult; it is not part of any identity key (journal,
+    // breaker, checkpoint), so traced and untraced requests share
+    // cache slots and journal entries.
+    simCfg.traceId = req.traceId;
     if (req.maxCycles != 0)
         simCfg.maxCycles = req.maxCycles;
     if (!req.faultModel.empty()) {
@@ -291,6 +377,9 @@ Server::runJobRequest(const Request &req)
     if (journalOpen_) {
         if (const sim::BatchResult *done = journal_.find(id)) {
             bump("serve.restored");
+            bump("serve.requests_total");
+            sampleStat("serve.request_latency_us",
+                       uint64_t((nowNs() - arrivedNs) / 1000));
             Response resp;
             resp.status = done->ok ? kStatusOk : kStatusError;
             resp.message = done->error;
@@ -342,6 +431,8 @@ Server::runJobRequest(const Request &req)
     // spends it simulating.
     bool admittedToRun = false;
     {
+        telemetry::Span admission(opts_.spans, "serve.admission",
+                                  req.traceId, slotIndex);
         std::unique_lock<std::mutex> lock(admitMu_);
         while (running_ >= opts_.workers && slot.stop.load() == 0)
             workerCv_.wait_for(lock, std::chrono::milliseconds(20));
@@ -374,10 +465,18 @@ Server::runJobRequest(const Request &req)
         if (journalOpen_)
             journal_.start(id, 1);
         uint64_t compiles = 0, cacheHits = 0;
-        if (req.kind == "compile")
-            result = runner_.compileOnly(job, compiles, cacheHits);
-        else
-            result = runner_.runOne(job, &slot.stop, compiles, cacheHits);
+        const int64_t execStart = nowNs();
+        {
+            telemetry::Span exec(opts_.spans, "serve.execute",
+                                 req.traceId, slotIndex);
+            if (req.kind == "compile")
+                result = runner_.compileOnly(job, compiles, cacheHits);
+            else
+                result = runner_.runOne(job, &slot.stop, compiles,
+                                        cacheHits);
+        }
+        busyNs_.fetch_add(uint64_t(nowNs() - execStart),
+                          std::memory_order_relaxed);
         bump("serve.compiles", compiles);
         bump("serve.cache_hits", cacheHits);
         bump("serve.executed");
@@ -432,6 +531,13 @@ Server::runJobRequest(const Request &req)
          result.errorKind == "exception"))
         journal_.done(id, 1, result);
 
+    // Definitive answer (a result, not a transient refusal):
+    // serve.requests_total counts exactly these, so a retrying storm
+    // of N clients lands on N no matter how often it was shed.
+    bump("serve.requests_total");
+    sampleStat("serve.request_latency_us",
+               uint64_t((nowNs() - arrivedNs) / 1000));
+
     Response resp;
     resp.status = result.ok ? kStatusOk : kStatusError;
     resp.message = result.error;
@@ -471,6 +577,13 @@ Server::bump(const std::string &name, uint64_t delta)
     stats_.inc(name, delta);
 }
 
+void
+Server::sampleStat(const std::string &name, uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    stats_.sample(name, value);
+}
+
 StatSet
 Server::statsSnapshot() const
 {
@@ -486,6 +599,23 @@ Server::inFlight() const
 }
 
 std::string
+Server::metricsText() const
+{
+    StatSet stats = statsSnapshot();
+    // Fold the span rollup and any installed phase profiler in, so one
+    // scrape carries counters, request latencies, span summaries, and
+    // phase.* attribution together.
+    if (opts_.spans != nullptr)
+        telemetry::rollupSpans(opts_.spans->snapshot(), stats);
+    if (telemetry::PhaseProfiler *prof = telemetry::phaseProfiler())
+        prof->mergeInto(stats);
+    std::ostringstream os;
+    telemetry::writePrometheus(os, stats, gauges_.names(),
+                               gauges_.sample());
+    return os.str();
+}
+
+std::string
 Server::healthJson() const
 {
     const StatSet stats = statsSnapshot();
@@ -495,6 +625,9 @@ Server::healthJson() const
     json::Writer w(os);
     w.beginObject();
     w.key("status").value(draining_.load() ? "draining" : "serving");
+    w.key("version").value(opts_.toolVersion);
+    w.key("uptimeSeconds").value(uptime);
+    w.key("pid").value(uint64_t(getpid()));
     w.key("uptime_seconds").value(uptime);
     w.key("queue_depth").value(inFlight());
     w.key("capacity")

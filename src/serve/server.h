@@ -46,6 +46,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,7 @@
 #include <vector>
 
 #include "base/stats.h"
+#include "base/telemetry.h"
 #include "serve/protocol.h"
 #include "sim/batch.h"
 #include "sim/supervise.h"
@@ -94,8 +96,31 @@ struct ServerOptions
      *  crash recovery. */
     std::string journalDir;
 
-    /** Recorded in the journal header. */
+    /** Recorded in the journal header and the health JSON. */
     std::string toolVersion;
+
+    /**
+     * Request-scoped span sink (base/telemetry.h; not owned, must
+     * outlive the server). Null — the default — disables span
+     * collection entirely: every emission site is one null check.
+     */
+    telemetry::SpanCollector *spans = nullptr;
+
+    /**
+     * Gauge sampler period in milliseconds; 0 — the default — starts
+     * **no thread** and keeps the metric ring empty. The `metrics`
+     * request still works either way (gauges are evaluated on
+     * demand); the sampler only feeds the trailing time-series window
+     * and the per-tick hook.
+     */
+    uint64_t metricsPeriodMs = 0;
+
+    /** Ring capacity for sampled gauge snapshots. */
+    size_t metricsRingCapacity = 600;
+
+    /** Invoked after each sampler tick (dfp-serve's --metrics-out
+     *  atomic-rename dump). Runs on the sampler thread. */
+    std::function<void()> onMetricsTick;
 };
 
 class Server
@@ -126,6 +151,14 @@ class Server
     /** The health JSON (also returned by the `health` request). */
     std::string healthJson() const;
 
+    /**
+     * The Prometheus text exposition (also returned by the `metrics`
+     * request): every "serve.*" counter, the request-latency and
+     * span/phase histograms, and the gauges evaluated now. See
+     * docs/TELEMETRY.md for the metric table.
+     */
+    std::string metricsText() const;
+
     /** Jobs admitted and not yet responded to. */
     uint64_t inFlight() const;
 
@@ -146,6 +179,9 @@ class Server
     bool breakerOpen(const std::string &key) const;
     void breakerRecord(const std::string &key, bool deterministicFail);
     void bump(const std::string &name, uint64_t delta = 1);
+    void sampleStat(const std::string &name, uint64_t value);
+    void registerGauges();
+    uint64_t breakersOpenCount() const;
 
     ServerOptions opts_;
     sim::BatchRunner runner_;
@@ -176,6 +212,13 @@ class Server
     std::thread monitor_;
 
     std::chrono::steady_clock::time_point started_;
+
+    // Telemetry. The gauge registry closes over `this`; the sampler is
+    // stopped before any of the state it samples is torn down.
+    telemetry::GaugeRegistry gauges_;
+    telemetry::MetricRing ring_;
+    telemetry::Sampler sampler_;
+    std::atomic<uint64_t> busyNs_{0}; //!< summed worker execution time
 };
 
 } // namespace dfp::serve

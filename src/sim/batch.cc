@@ -5,6 +5,7 @@
 #include "analysis/cost_model.h"
 #include "analysis/predict.h"
 #include "base/logging.h"
+#include "base/telemetry.h"
 #include "base/threadpool.h"
 #include "compiler/regalloc.h"
 
@@ -121,8 +122,11 @@ BatchRunner::runJob(const BatchJob &job, BatchResult &out,
         dfp_assert(job.workload != nullptr,
                    "batch job '", job.label, "' has no workload");
         throwKind = "compile";
-        std::shared_ptr<const Compiled> prog =
-            compiledFor(job, compiles, cacheHits);
+        std::shared_ptr<const Compiled> prog;
+        {
+            DFP_PHASE("phase.batch.compile");
+            prog = compiledFor(job, compiles, cacheHits);
+        }
         throwKind = "exception";
 
         isa::ArchState state;
@@ -131,7 +135,11 @@ BatchRunner::runJob(const BatchJob &job, BatchResult &out,
         if (stop != nullptr)
             simCfg.checkpoint.stop = stop;
         Clock::time_point runStart = Clock::now();
-        SimResult res = simulate(prog->res.program, state, simCfg);
+        SimResult res;
+        {
+            DFP_PHASE("phase.batch.sim");
+            res = simulate(prog->res.program, state, simCfg);
+        }
         out.hostSeconds = secondsSince(runStart);
 
         out.cycles = res.cycles;
@@ -150,6 +158,7 @@ BatchRunner::runJob(const BatchJob &job, BatchResult &out,
             out.stats = StatSet();
 
         if (opts_.predictCycles || job.predict) {
+            DFP_PHASE("phase.batch.predict");
             isa::ArchState pstate;
             pstate.mem = workloads::initialMemory(*job.workload);
             analysis::Prediction p = analysis::predictCycles(
@@ -223,6 +232,13 @@ BatchRunner::compileOnly(const BatchJob &job, uint64_t &compiles,
         out.errorKind = "compile";
     }
     return out;
+}
+
+size_t
+BatchRunner::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    return cache_.size();
 }
 
 BatchSummary

@@ -212,6 +212,10 @@ class BatchRunner
     static std::string compileKey(const std::string &workload,
                                   const compiler::CompileOptions &opts);
 
+    /** Distinct compilations currently held by the shared program
+     *  cache (a telemetry gauge; takes the cache lock briefly). */
+    size_t cacheSize() const;
+
   private:
     struct Compiled; // CompileResult + golden reference, immutable
 
@@ -224,7 +228,7 @@ class BatchRunner
                 uint64_t &cacheHits);
 
     BatchOptions opts_;
-    std::mutex cacheMu_;
+    mutable std::mutex cacheMu_;
     std::map<std::string, std::shared_ptr<const Compiled>> cache_;
 };
 

@@ -2025,7 +2025,9 @@ simulate(const isa::TProgram &program, isa::ArchState &state,
          const SimConfig &config)
 {
     dfp_assert(!program.blocks.empty(), "empty program");
-    return Machine(program, state, config).run();
+    SimResult res = Machine(program, state, config).run();
+    res.traceId = config.traceId;
+    return res;
 }
 
 } // namespace dfp::sim

@@ -142,6 +142,14 @@ struct SimConfig
 
     /** Checkpoint/restore hooks; see CheckpointControl. */
     CheckpointControl checkpoint;
+
+    /**
+     * Service-telemetry correlation id (base/telemetry.h), stamped
+     * onto SimResult so a dfp-serve request can be traced through the
+     * simulation it triggered. Pure metadata: not part of the
+     * checkpoint identity key and never affects simulated behaviour.
+     */
+    uint64_t traceId = 0;
 };
 
 /** Result of one simulation. */
@@ -170,6 +178,7 @@ struct SimResult
     uint64_t replays = 0;         //!< blocks squashed and replayed
     uint64_t watchdogFires = 0;   //!< progress-watchdog detections
     uint64_t tilesMappedOut = 0;  //!< hard-failed tiles mapped out
+    uint64_t traceId = 0;         //!< copied from SimConfig::traceId
     StatSet stats;
 
     /**

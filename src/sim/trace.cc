@@ -34,6 +34,7 @@ kindInfo(TraceEventKind kind)
         {"recovery", "retry", "backoff"},
         {"tile_map_out", "to", "b"},
         {"watchdog", "last_progress", "b"},
+        {"span", "trace_id", "seq"},
     };
     return kTable[static_cast<int>(kind)];
 }
@@ -59,14 +60,19 @@ ChromeTraceSink::~ChromeTraceSink() { flush(); }
 void
 ChromeTraceSink::nameTrack(int tid)
 {
+    nameThread(tid, tid == 0 ? std::string("machine")
+                             : detail::cat("tile ", tid - 1));
+}
+
+void
+ChromeTraceSink::nameThread(int tid, const std::string &name)
+{
     if (tid < 0 || tid >= 64 || (namedTids_ & (1ull << tid)))
         return;
     namedTids_ |= 1ull << tid;
     if (!first_)
         os_ << ",";
     first_ = false;
-    std::string name =
-        tid == 0 ? std::string("machine") : detail::cat("tile ", tid - 1);
     os_ << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
         << tid << ",\"args\":{\"name\":\"" << json::escape(name)
         << "\"}}";
@@ -159,6 +165,29 @@ makeTraceSink(const std::string &format, std::ostream &os)
     if (format == "jsonl")
         return std::make_unique<JsonlTraceSink>(os);
     return nullptr;
+}
+
+void
+flushSpans(const std::vector<telemetry::SpanRecord> &spans,
+           TraceSink &sink)
+{
+    auto *chrome = dynamic_cast<ChromeTraceSink *>(&sink);
+    for (const telemetry::SpanRecord &span : spans) {
+        // tid = track + 1, matching the emit() mapping; name the
+        // track after the worker before its first event lands.
+        if (chrome != nullptr)
+            chrome->nameThread(span.track + 1,
+                               detail::cat("worker ", span.track));
+        TraceEvent event{};
+        event.kind = TraceEventKind::Span;
+        event.cycle = span.startUs;
+        event.duration = span.durUs;
+        event.tile = span.track;
+        event.label = span.name.c_str();
+        event.a = span.traceId;
+        event.b = span.seq;
+        sink.emit(event);
+    }
 }
 
 } // namespace dfp::sim

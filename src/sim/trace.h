@@ -20,6 +20,9 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
+
+#include "base/telemetry.h"
 
 namespace dfp::sim
 {
@@ -41,6 +44,8 @@ enum class TraceEventKind : uint8_t
     Recovery,     //!< block squash-and-replay; a = retry #, b = backoff
     TileMapOut,   //!< hard-failed tile mapped out; a = replacement tile
     Watchdog,     //!< progress watchdog fired; a = last-progress cycle
+    Span,         //!< service telemetry span (host µs, not cycles);
+                  //!< label = span name, a = trace id, b = seq
 };
 
 /** Stable lowercase name for a kind ("block_fetch", "net_hop", ...). */
@@ -85,6 +90,12 @@ class ChromeTraceSink final : public TraceSink
     void emit(const TraceEvent &event) override;
     void flush() override;
 
+    /** Pin an explicit display name on @p tid (e.g. "worker 3" for
+     *  service-telemetry span tracks), overriding the lazy
+     *  "machine"/"tile N" naming — first name wins, so call before
+     *  the tid's first event. */
+    void nameThread(int tid, const std::string &name);
+
   private:
     void nameTrack(int tid);
 
@@ -113,6 +124,18 @@ class JsonlTraceSink final : public TraceSink
  */
 std::unique_ptr<TraceSink> makeTraceSink(const std::string &format,
                                          std::ostream &os);
+
+/**
+ * Render collected service-telemetry spans (base/telemetry.h) through
+ * a simulator trace sink as TraceEventKind::Span events, so one
+ * Chrome-trace/Perfetto document can hold both simulated events and
+ * the host-side request path around them. Timestamps are the span's
+ * microseconds-since-epoch (the sink's time unit is dimensionless);
+ * each span's track becomes its own tid, named "worker <track>" when
+ * the sink is a ChromeTraceSink.
+ */
+void flushSpans(const std::vector<telemetry::SpanRecord> &spans,
+                TraceSink &sink);
 
 } // namespace dfp::sim
 

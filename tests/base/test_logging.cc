@@ -111,6 +111,64 @@ TEST(Logging, ConcurrentWarningsNeverInterleaveMidLine)
     ::unlink(path.c_str());
 }
 
+TEST(Logging, TimestampPrefixFormatsAndPreservesSingleWrite)
+{
+    // DFP_LOG_TIMESTAMPS is latched from the environment on first
+    // use, so the test drives the override hook instead of setenv.
+    const std::string path = testing::TempDir() + "dfp_log_ts_" +
+                             std::to_string(::getpid());
+    detail::logTimestampsOverride.store(1);
+    constexpr int kThreads = 4, kLines = 100;
+    {
+        CaptureStderr capture(path);
+        dfp_warn("stamped line");
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; t++) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; i++)
+                    dfp_warn("ts t", t, " i", i, " tail");
+            });
+        }
+        for (std::thread &th : threads)
+            th.join();
+    }
+    detail::logTimestampsOverride.store(-1);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    // ISO-8601 UTC with milliseconds, a bracketed thread id, then the
+    // usual "warn: ..." line — and the no-interleave guarantee must
+    // survive the longer prefix (still one buffer, one write).
+    const std::regex whole(
+        "^\\d{4}-\\d{2}-\\d{2}T\\d{2}:\\d{2}:\\d{2}\\.\\d{3}Z "
+        "\\[[0-9a-fx]+\\] warn: (stamped line|ts t[0-3] i[0-9]+ tail)$");
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(std::regex_match(line, whole))
+            << "bad or torn line: '" << line << "'";
+        ++lines;
+    }
+    EXPECT_EQ(lines, size_t(kThreads) * kLines + 1);
+    ::unlink(path.c_str());
+}
+
+TEST(Logging, TimestampsOffByDefault)
+{
+    const std::string path = testing::TempDir() + "dfp_log_nots_" +
+                             std::to_string(::getpid());
+    detail::logTimestampsOverride.store(0);
+    {
+        CaptureStderr capture(path);
+        dfp_warn("plain line");
+    }
+    detail::logTimestampsOverride.store(-1);
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "warn: plain line");
+    ::unlink(path.c_str());
+}
+
 TEST(Logging, QuietWarningsTogglesSafelyUnderLoad)
 {
     // quietWarnings is an atomic: harness threads may flip it while

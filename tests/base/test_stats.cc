@@ -105,6 +105,84 @@ TEST(Histogram, MergeCombines)
     EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(Histogram, QuantileEdgeCases)
+{
+    Histogram empty;
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+    Histogram one;
+    one.add(42);
+    // Every quantile of a single observation is that observation.
+    EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+
+    Histogram h;
+    h.add(1);
+    h.add(100);
+    // Out-of-range q clamps to the observed extremes.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.5), 100.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    const double p50 = h.quantile(0.50);
+    const double p90 = h.quantile(0.90);
+    const double p99 = h.quantile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p99, 1000.0);
+    // Power-of-two buckets are coarse, but the interpolated median of
+    // a uniform 1..1000 stream must land in the right half-decade.
+    EXPECT_GT(p50, 250.0);
+    EXPECT_LT(p50, 750.0);
+}
+
+TEST(Histogram, TopBucketQuantileUsesObservedMax)
+{
+    Histogram h;
+    h.add(1ull << 40); // clamps into the open-ended last bucket
+    // Without the observed-max clamp this would report 2^16-1-ish or
+    // an unbounded extrapolation; it must report the real sample.
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), double(1ull << 40));
+}
+
+TEST(Histogram, BucketHiBounds)
+{
+    EXPECT_EQ(Histogram::bucketHi(0), 0u);
+    EXPECT_EQ(Histogram::bucketHi(1), 1u);
+    EXPECT_EQ(Histogram::bucketHi(2), 3u);
+    EXPECT_EQ(Histogram::bucketHi(10), 1023u);
+}
+
+TEST(Stats, DumpAndJsonCarryQuantiles)
+{
+    StatSet s;
+    s.sample("lat", 8);
+    s.sample("lat", 16);
+    std::ostringstream text;
+    s.dump(text, "");
+    EXPECT_NE(text.str().find("p50="), std::string::npos) << text.str();
+    EXPECT_NE(text.str().find("p99="), std::string::npos);
+
+    std::ostringstream js;
+    s.dumpJson(js);
+    bool ok = false;
+    std::string err;
+    minijson::Value v = minijson::parse(js.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err;
+    const minijson::Value &h = v["histograms"]["lat"];
+    EXPECT_GT(h["p50"].number, 0.0);
+    EXPECT_GE(h["p90"].number, h["p50"].number);
+    EXPECT_GE(h["p99"].number, h["p90"].number);
+    EXPECT_LE(h["p99"].number, 16.0);
+}
+
 TEST(Stats, SampleRecordsIntoNamedHistogram)
 {
     StatSet s;

@@ -1,0 +1,298 @@
+/**
+ * Unit tests for the service-telemetry layer (base/telemetry.h):
+ * trace-id minting, the bounded span collector and RAII spans, the
+ * phase profiler behind DFP_PHASE, gauge registration and the sampler
+ * thread, and the Prometheus/JSON exposition writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/telemetry.h"
+#include "support/minijson.h"
+
+namespace dfp::telemetry
+{
+namespace
+{
+
+TEST(Telemetry, MintTraceIdIsNonZeroAndUnique)
+{
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t id = mintTraceId();
+        EXPECT_NE(id, 0u);
+        EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+}
+
+TEST(Telemetry, SpanCollectorRecordsInEmissionOrder)
+{
+    SpanCollector c;
+    c.record("a", 1, 10, 5, 0);
+    c.record("b", 1, 20, 5, 3);
+    const std::vector<SpanRecord> spans = c.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "a");
+    EXPECT_EQ(spans[0].seq, 0u);
+    EXPECT_EQ(spans[1].name, "b");
+    EXPECT_EQ(spans[1].seq, 1u);
+    EXPECT_EQ(spans[1].track, 3);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.dropped(), 0u);
+}
+
+TEST(Telemetry, SpanCollectorIsBoundedAndCountsDrops)
+{
+    SpanCollector c(4);
+    for (int i = 0; i < 10; ++i)
+        c.record("s", uint64_t(i), 0, 1, 0);
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.dropped(), 6u);
+    // The *newest* spans survive; seq keeps counting through drops.
+    const std::vector<SpanRecord> spans = c.snapshot();
+    EXPECT_EQ(spans.front().traceId, 6u);
+    EXPECT_EQ(spans.back().seq, 9u);
+}
+
+TEST(Telemetry, RaiiSpanRecordsOnceAndNullCollectorIsNoOp)
+{
+    SpanCollector c;
+    {
+        Span s(&c, "serve.execute", 42, 1);
+        s.end();
+        s.end(); // idempotent: destructor must not double-record
+    }
+    const std::vector<SpanRecord> spans = c.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "serve.execute");
+    EXPECT_EQ(spans[0].traceId, 42u);
+    EXPECT_EQ(spans[0].track, 1);
+
+    // Null collector: constructing and ending must be safe no-ops.
+    Span none(nullptr, "ignored", 7);
+    none.end();
+}
+
+TEST(Telemetry, PhaseProfilerAccumulatesHistograms)
+{
+    PhaseProfiler prof;
+    prof.record("phase.compile.buildSsa", 10);
+    prof.record("phase.compile.buildSsa", 30);
+    prof.record("phase.batch.sim", 100);
+    const auto snap = prof.snapshot();
+    ASSERT_EQ(snap.count("phase.compile.buildSsa"), 1u);
+    EXPECT_EQ(snap.at("phase.compile.buildSsa").count(), 2u);
+    EXPECT_EQ(snap.at("phase.compile.buildSsa").sum(), 40u);
+    EXPECT_EQ(snap.at("phase.batch.sim").count(), 1u);
+
+    StatSet out;
+    prof.mergeInto(out);
+    EXPECT_EQ(out.histogram("phase.batch.sim").sum(), 100u);
+}
+
+TEST(Telemetry, DfpPhaseMacroFeedsInstalledProfiler)
+{
+    ASSERT_EQ(phaseProfiler(), nullptr)
+        << "another test leaked an installed profiler";
+    PhaseProfiler prof;
+    setPhaseProfiler(&prof);
+    {
+        DFP_PHASE("phase.test.scope");
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    setPhaseProfiler(nullptr);
+    const auto snap = prof.snapshot();
+    ASSERT_EQ(snap.count("phase.test.scope"), 1u);
+    EXPECT_EQ(snap.at("phase.test.scope").count(), 1u);
+
+    // With no profiler installed the site must be inert.
+    {
+        DFP_PHASE("phase.test.uninstalled");
+    }
+    EXPECT_EQ(prof.snapshot().count("phase.test.uninstalled"), 0u);
+}
+
+TEST(Telemetry, GaugeRegistrySamplesAlignedWithNames)
+{
+    GaugeRegistry g;
+    g.add("one", [] { return 1.0; });
+    g.add("two", [] { return 2.0; });
+    EXPECT_EQ(g.size(), 2u);
+    const std::vector<std::string> names = g.names();
+    const std::vector<double> values = g.sample();
+    ASSERT_EQ(names.size(), 2u);
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_EQ(names[0], "one");
+    EXPECT_EQ(values[0], 1.0);
+    EXPECT_EQ(names[1], "two");
+    EXPECT_EQ(values[1], 2.0);
+}
+
+TEST(Telemetry, MetricRingKeepsTrailingWindow)
+{
+    MetricRing ring(3);
+    for (uint64_t i = 0; i < 5; ++i) {
+        MetricSample s;
+        s.steadyMs = i;
+        ring.push(std::move(s));
+    }
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.capacity(), 3u);
+    const auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap.front().steadyMs, 2u);
+    EXPECT_EQ(snap.back().steadyMs, 4u);
+}
+
+TEST(Telemetry, SamplerZeroPeriodStartsNoThread)
+{
+    GaugeRegistry g;
+    g.add("x", [] { return 1.0; });
+    MetricRing ring(8);
+    Sampler s;
+    s.start(&g, &ring, 0);
+    EXPECT_FALSE(s.running());
+    EXPECT_EQ(ring.size(), 0u);
+    s.stop(); // idempotent on a never-started sampler
+}
+
+TEST(Telemetry, SamplerTicksAndInvokesHook)
+{
+    GaugeRegistry g;
+    g.add("x", [] { return 7.0; });
+    MetricRing ring(8);
+    std::atomic<int> hooks{0};
+    Sampler s;
+    s.start(&g, &ring, 1, [&hooks] { hooks.fetch_add(1); });
+    EXPECT_TRUE(s.running());
+    // The first sample lands after one period; wait generously.
+    for (int i = 0; i < 500 && s.ticks() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    s.stop();
+    EXPECT_FALSE(s.running());
+    EXPECT_GE(s.ticks(), 1u);
+    EXPECT_GE(hooks.load(), 1);
+    ASSERT_GE(ring.size(), 1u);
+    EXPECT_EQ(ring.snapshot().front().values.at(0), 7.0);
+}
+
+TEST(Telemetry, RssBytesIsPositiveOnLinux)
+{
+#if defined(__linux__)
+    EXPECT_GT(rssBytes(), 0.0);
+#else
+    GTEST_SKIP() << "/proc/self/statm only on Linux";
+#endif
+}
+
+TEST(Telemetry, PromNameSanitizes)
+{
+    EXPECT_EQ(promName("serve.requests_total"), "serve_requests_total");
+    EXPECT_EQ(promName("span.serve.execute_us"),
+              "span_serve_execute_us");
+    EXPECT_EQ(promName("a-b c"), "a_b_c");
+    // A leading digit is not a legal metric-name start.
+    EXPECT_EQ(promName("9lives")[0], '_');
+}
+
+TEST(Telemetry, PrometheusExpositionIsWellFormed)
+{
+    StatSet stats;
+    stats.inc("serve.requests_total", 3);
+    stats.sample("serve.request_latency_us", 100);
+    stats.sample("serve.request_latency_us", 5000);
+    std::ostringstream os;
+    writePrometheus(os, stats, {"serve.queue_depth"}, {2.0});
+    const std::string text = os.str();
+
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("serve_requests_total 3\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE serve_request_latency_us histogram\n"),
+        std::string::npos);
+    // Cumulative buckets: the +Inf bucket equals _count equals 2.
+    EXPECT_NE(
+        text.find("serve_request_latency_us_bucket{le=\"+Inf\"} 2\n"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("serve_request_latency_us_sum 5100\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_request_latency_us_count 2\n"),
+              std::string::npos);
+    // Every sample line's metric must have been announced by # TYPE,
+    // and cumulative bucket counts must be monotone.
+    uint64_t lastCum = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t at = line.find("_bucket{le=\"");
+        if (at == std::string::npos)
+            continue;
+        const uint64_t cum =
+            std::stoull(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(cum, lastCum) << line;
+        lastCum = cum;
+    }
+}
+
+TEST(Telemetry, MetricsJsonParsesAndCarriesQuantiles)
+{
+    StatSet stats;
+    stats.inc("serve.connections", 4);
+    stats.sample("lat", 10);
+    stats.sample("lat", 1000);
+    MetricRing ring(4);
+    MetricSample s;
+    s.steadyMs = 5;
+    s.values = {1.5};
+    ring.push(std::move(s));
+
+    std::ostringstream os;
+    writeMetricsJson(os, stats, {"g"}, {1.5}, &ring);
+    bool ok = false;
+    std::string err;
+    minijson::Value v = minijson::parse(os.str(), &ok, &err);
+    ASSERT_TRUE(ok) << err << " in: " << os.str();
+    EXPECT_EQ(v["counters"]["serve.connections"].number, 4.0);
+    EXPECT_EQ(v["gauges"]["g"].number, 1.5);
+    const minijson::Value &h = v["histograms"]["lat"];
+    ASSERT_TRUE(h.isObject());
+    EXPECT_EQ(h["count"].number, 2.0);
+    EXPECT_GT(h["p99"].number, h["p50"].number);
+    ASSERT_TRUE(v["series"].isArray());
+    EXPECT_EQ(v["series"].arr.size(), 1u);
+}
+
+TEST(Telemetry, RollupSpansBuildsPerNameHistograms)
+{
+    std::vector<SpanRecord> spans;
+    SpanRecord a;
+    a.name = "serve.execute";
+    a.durUs = 100;
+    SpanRecord b = a;
+    b.durUs = 300;
+    SpanRecord c;
+    c.name = "serve.decode";
+    c.durUs = 5;
+    spans = {a, b, c};
+    StatSet out;
+    rollupSpans(spans, out);
+    EXPECT_EQ(out.get("span.count"), 3u);
+    EXPECT_EQ(out.histogram("span.serve.execute_us").count(), 2u);
+    EXPECT_EQ(out.histogram("span.serve.execute_us").sum(), 400u);
+    EXPECT_EQ(out.histogram("span.serve.decode_us").count(), 1u);
+}
+
+} // namespace
+} // namespace dfp::telemetry

@@ -13,7 +13,13 @@
 #   4. SIGTERM drains: exit 143, a drain note in the log, and the
 #      --stats-json snapshot written with the serve counters.
 #
-# Arguments (via -D): SERVE (dfp-serve binary), WORKDIR (scratch).
+# Plus the telemetry surface (docs/TELEMETRY.md): health identity
+# fields, the "metrics" request kind returning a Prometheus
+# exposition, the --metrics-out atomic dump, dfp-top against the live
+# daemon, and the --trace-out span dump written on drain.
+#
+# Arguments (via -D): SERVE (dfp-serve binary), TOP (dfp-top binary),
+# WORKDIR (scratch).
 
 file(REMOVE_RECURSE "${WORKDIR}")
 file(MAKE_DIRECTORY "${WORKDIR}")
@@ -29,6 +35,8 @@ file(WRITE "${WORKDIR}/run_daemon.sh"
 \"${SERVE}\" --socket \"${SOCK}\" --workers 2 --queue 8 \\
     --resume-dir \"${WORKDIR}/journal\" \\
     --stats-json=\"${WORKDIR}/stats_$1.json\" \\
+    --metrics-out \"${WORKDIR}/metrics_$1.prom\" --metrics-period-ms 50 \\
+    --trace-out \"${WORKDIR}/trace_$1.json\" \\
     > \"${WORKDIR}/daemon_$1.log\" 2>&1 &
 pid=$!
 echo \"$pid\" > \"${WORKDIR}/pid_$1\"
@@ -92,12 +100,54 @@ await_file("${WORKDIR}/pid_a")
 client(health 0 --request health --retries 10 --backoff-ms 20)
 expect_match("${health}" "\"status\":\"serving\"" "health")
 expect_match("${health}" "\"queue_depth\":" "health")
+# Identity fields for dashboards: which build, how long up, which
+# process — the pid must be the daemon the wrapper recorded.
+expect_match("${health}" "\"version\":\"" "health version")
+expect_match("${health}" "\"uptimeSeconds\":" "health uptime")
+read_stripped("${WORKDIR}/pid_a" daemon_pid)
+expect_match("${health}" "\"pid\":${daemon_pid}[,}]" "health pid")
 
 client(plain1 0 --workload tblook01 --config both --retries 5)
 expect_match("${plain1}" "ok tblook01/both .*blob_crc=" "plain run")
 client(fault1 0 --workload viterb00 --config both
     --fault-model net-drop --fault-rate 1e-4 --fault-seed 7)
 expect_match("${fault1}" "ok viterb00/both .*faults=[1-9]" "fault run")
+
+# --- 1b. Telemetry surface against the live daemon. ----------------
+# The "metrics" request kind returns a Prometheus exposition. Two
+# definitive answers so far (plain1, fault1) — health probes and the
+# scrape itself never count.
+client(metrics 0 --request metrics)
+expect_match("${metrics}" "# TYPE serve_requests_total counter" "metrics type line")
+expect_match("${metrics}" "serve_requests_total 2\n" "metrics request counter")
+expect_match("${metrics}" "# TYPE serve_workers gauge" "metrics gauge type")
+expect_match("${metrics}" "serve_workers 2\n" "metrics workers gauge")
+expect_match("${metrics}"
+    "serve_request_latency_us_bucket{le=\"[+]Inf\"} 2" "metrics +Inf bucket")
+expect_match("${metrics}" "serve_request_latency_us_count 2" "metrics count")
+
+# dfp-top renders the same exposition, machine- and human-readable.
+execute_process(COMMAND "${TOP}" --socket "${SOCK}" --once --json
+    RESULT_VARIABLE top_rc OUTPUT_VARIABLE top_json ERROR_VARIABLE top_err)
+if(NOT top_rc STREQUAL "0")
+    message(FATAL_ERROR
+        "dfp-top --once --json: exit ${top_rc}\n${top_json}${top_err}")
+endif()
+expect_match("${top_json}" "\"requestsTotal\":2" "dfp-top json requests")
+expect_match("${top_json}" "\"workers\":2" "dfp-top json workers")
+expect_match("${top_json}" "\"latency\":{\"count\":2" "dfp-top json latency")
+execute_process(COMMAND "${TOP}" --socket "${SOCK}" --once
+    RESULT_VARIABLE top_rc OUTPUT_VARIABLE top_text)
+if(NOT top_rc STREQUAL "0")
+    message(FATAL_ERROR "dfp-top --once: exit ${top_rc}\n${top_text}")
+endif()
+expect_match("${top_text}" "requests  total 2" "dfp-top text")
+
+# The sampler dumps the exposition atomically every 50ms; a scraper
+# must never see a partial file (the .tmp is renamed into place).
+await_file("${WORKDIR}/metrics_a.prom")
+file(READ "${WORKDIR}/metrics_a.prom" dump)
+expect_match("${dump}" "# TYPE serve_requests_total counter" "metrics dump")
 
 # --- 2. A bad request kind is a refusal, not a daemon casualty. ---
 client(bad 1 --request frobnicate --workload tblook01)
@@ -140,6 +190,13 @@ if(NOT exit_b STREQUAL "143")
 endif()
 file(READ "${WORKDIR}/daemon_b.log" drain_log)
 expect_match("${drain_log}" "drained after signal 15" "drain log")
+# The drained daemon flushes its request spans as a Chrome trace:
+# every request decoded on daemon b (journal restorations included)
+# left a span, and the worker tracks are named.
+file(READ "${WORKDIR}/trace_b.json" trace)
+expect_match("${trace}" "\"traceEvents\":" "trace dump")
+expect_match("${trace}" "span serve.decode" "trace decode span")
+expect_match("${trace}" "\"name\":\"worker 0\"" "trace worker track")
 file(READ "${WORKDIR}/stats_b.json" stats)
 expect_match("${stats}" "\"version\":" "stats json")
 # Daemon b served only journal restorations and a health probe — no

@@ -209,6 +209,168 @@ TEST(ServeProtocol, WrongVersionIsMalformed)
     EXPECT_NE(err.find("version"), std::string::npos) << err;
 }
 
+// ---------------------------------------------------------------------
+// Forward/backward compatibility of the extension envelope (the
+// trace-id record). "Old-style" below replicates the PR-8 wire format
+// byte for byte: base fields only, nothing after them.
+
+std::vector<uint8_t>
+encodeRequestOldStyle(const Request &req)
+{
+    serialize::BinWriter w;
+    w.str(req.kind);
+    w.str(req.workload);
+    w.str(req.config);
+    w.u64(req.deadlineMs);
+    w.u64(req.maxCycles);
+    w.str(req.faultModel);
+    w.f64(req.faultRate);
+    w.u64(req.faultSeed);
+    return w.take();
+}
+
+std::vector<uint8_t>
+encodeResponseOldStyle(const Response &resp)
+{
+    serialize::BinWriter w;
+    w.str(resp.status);
+    w.str(resp.message);
+    w.u64(resp.queueDepth);
+    w.u64(resp.payload.size());
+    w.raw(resp.payload.data(), resp.payload.size());
+    return w.take();
+}
+
+TEST(ServeProtocolCompat, TraceIdRoundTripsBothMessageKinds)
+{
+    Request req = sampleRequest();
+    req.traceId = 0xfeedbeefcafef00dull;
+    Request gotReq;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), gotReq, err)) << err;
+    EXPECT_EQ(gotReq.traceId, req.traceId);
+
+    Response resp;
+    resp.status = kStatusOk;
+    resp.payload = {1, 2, 3};
+    resp.traceId = 77;
+    Response gotResp;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), gotResp, err));
+    EXPECT_EQ(gotResp.traceId, 77u);
+}
+
+TEST(ServeProtocolCompat, ZeroTraceIdKeepsOldWireBytes)
+{
+    // A telemetry-unaware caller (traceId == 0) must produce frames
+    // byte-identical to the previous protocol revision, so old servers
+    // with strict trailing-byte rejection still accept them.
+    const Request req = sampleRequest();
+    EXPECT_EQ(encodeRequest(req), encodeRequestOldStyle(req));
+
+    Response resp;
+    resp.status = kStatusOk;
+    resp.message = "done";
+    resp.payload = {9, 8, 7};
+    EXPECT_EQ(encodeResponse(resp), encodeResponseOldStyle(resp));
+}
+
+TEST(ServeProtocolCompat, OldFramesDecodeWithTraceIdAbsent)
+{
+    // Old client → new server: the base fields decode and the missing
+    // extension reads as "no trace id", never an error.
+    Request out;
+    std::string err;
+    ASSERT_TRUE(
+        decodeRequest(encodeRequestOldStyle(sampleRequest()), out, err))
+        << err;
+    EXPECT_EQ(out.traceId, 0u);
+
+    Response resp;
+    resp.status = kStatusOk;
+    resp.payload = {4, 5};
+    Response rout;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponseOldStyle(resp), rout, err));
+    EXPECT_EQ(rout.traceId, 0u);
+    EXPECT_EQ(rout.payload, resp.payload);
+}
+
+TEST(ServeProtocolCompat, UnknownExtensionTagsSkipCleanly)
+{
+    // A frame from a *future* revision carrying an extension this
+    // decoder has never heard of: the record is length-prefixed, so
+    // today's decoder must skip it and still see the trace id that
+    // follows it.
+    serialize::BinWriter w;
+    std::vector<uint8_t> base = encodeRequestOldStyle(sampleRequest());
+    w.raw(base.data(), base.size());
+    w.u32(999); // unknown tag
+    w.str("opaque future payload");
+    w.u32(kExtTraceId);
+    serialize::BinWriter inner;
+    inner.u64(1234);
+    const std::vector<uint8_t> ib = inner.take();
+    w.str(std::string_view(reinterpret_cast<const char *>(ib.data()),
+                           ib.size()));
+    Request out;
+    std::string err;
+    ASSERT_TRUE(decodeRequest(w.take(), out, err)) << err;
+    EXPECT_EQ(out.traceId, 1234u);
+}
+
+TEST(ServeProtocolCompat, TruncatedExtensionNeverDecodesOrCrashes)
+{
+    // Fuzz the extension region: a new-style metrics request with a
+    // trace id, truncated at every byte boundary past the base
+    // fields. Each prefix must decode as the extension-free base (at
+    // the exact boundary) or fail cleanly — never crash, never yield
+    // a half-read trace id.
+    Request req;
+    req.kind = "metrics";
+    req.traceId = 0xabcdef0123456789ull;
+    const std::vector<uint8_t> full = encodeRequest(req);
+    const size_t baseLen = encodeRequestOldStyle(req).size();
+    ASSERT_GT(full.size(), baseLen);
+    for (size_t cut = baseLen; cut < full.size(); ++cut) {
+        std::vector<uint8_t> trunc(full.begin(), full.begin() + cut);
+        Request out;
+        std::string err;
+        const bool ok = decodeRequest(trunc, out, err);
+        if (cut == baseLen) {
+            EXPECT_TRUE(ok);
+            EXPECT_EQ(out.traceId, 0u);
+        } else {
+            EXPECT_FALSE(ok) << "decoded from " << cut << " bytes";
+        }
+    }
+}
+
+TEST(ServeProtocolCompat, DamagedExtensionLengthFailsTheBody)
+{
+    // An extension record whose declared payload length runs past the
+    // end of the body is structural damage, not something to skip.
+    serialize::BinWriter w;
+    std::vector<uint8_t> base = encodeRequestOldStyle(sampleRequest());
+    w.raw(base.data(), base.size());
+    w.u32(kExtTraceId);
+    w.u64(1000); // length prefix claiming 1000 bytes, then nothing
+    Request out;
+    std::string err;
+    EXPECT_FALSE(decodeRequest(w.take(), out, err));
+}
+
+TEST(ServeProtocolCompat, WrongSizeTraceIdPayloadFails)
+{
+    serialize::BinWriter w;
+    std::vector<uint8_t> base = encodeRequestOldStyle(sampleRequest());
+    w.raw(base.data(), base.size());
+    w.u32(kExtTraceId);
+    w.str("short"); // not 8 bytes of u64
+    Request out;
+    std::string err;
+    EXPECT_FALSE(decodeRequest(w.take(), out, err));
+}
+
 TEST(ServeProtocol, StatusTaxonomy)
 {
     EXPECT_STREQ(statusDiagCode(kStatusMalformed), "DFPC110");

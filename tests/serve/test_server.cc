@@ -15,15 +15,20 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/serialize.h"
+#include "base/telemetry.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "sim/supervise.h"
+#include "sim/trace.h"
+#include "support/minijson.h"
 
 namespace dfp::serve
 {
@@ -460,6 +465,148 @@ TEST(ServeServer, CountersLiveInTheStatsRegistry)
     EXPECT_NE(json.find("\"counters\":"), std::string::npos);
     EXPECT_NE(json.find("\"serve.accepted\":1"), std::string::npos);
     EXPECT_NE(json.find("\"serve.connections\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Telemetry: the metrics request kind, health identity fields, span
+// propagation, and the sampler.
+
+TEST(ServeServer, MetricsKindReturnsPrometheusExposition)
+{
+    TestServer ts;
+    ASSERT_TRUE(ts.call(simulateReq("tblook01", "both")).ok);
+    Request req;
+    req.kind = "metrics";
+    const CallResult r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.status, kStatusOk);
+    const std::string text(r.response.payload.begin(),
+                           r.response.payload.end());
+    EXPECT_NE(text.find("# TYPE serve_requests_total counter\n"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("serve_requests_total 1\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_queue_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("# TYPE serve_request_latency_us histogram\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("serve_request_latency_us_bucket{le=\"+Inf\"} 1\n"),
+        std::string::npos);
+    // Gauges are evaluated on demand even with the sampler disabled.
+    EXPECT_NE(text.find("serve_workers 2\n"), std::string::npos);
+}
+
+TEST(ServeServer, HealthCarriesVersionUptimePid)
+{
+    ServerOptions opts;
+    opts.toolVersion = "v-test-1";
+    TestServer ts(opts);
+    const std::string json = ts.server().healthJson();
+    EXPECT_NE(json.find("\"version\":\"v-test-1\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"uptimeSeconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":" + std::to_string(::getpid())),
+              std::string::npos);
+    // The pre-telemetry key survives for existing scrapers.
+    EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+}
+
+TEST(ServeServer, RequestsTotalCountsDefinitiveAnswersOnly)
+{
+    TestServer ts;
+    ASSERT_TRUE(ts.call(simulateReq("tblook01", "both")).ok);
+    // Probes and malformed jobs are not "requests answered".
+    Request health;
+    health.kind = "health";
+    ASSERT_TRUE(ts.call(health).ok);
+    Request metrics;
+    metrics.kind = "metrics";
+    ASSERT_TRUE(ts.call(metrics).ok);
+    ASSERT_TRUE(ts.call(simulateReq("no-such-workload", "both")).ok);
+    EXPECT_EQ(ts.server().statsSnapshot().get("serve.requests_total"),
+              1u);
+}
+
+TEST(ServeServer, SpansCarryTheClientTraceIdEndToEnd)
+{
+    // The acceptance gate: one trace id minted client-side appears on
+    // the decode, admission, execute, and reply spans of the same
+    // request — and survives the round trip into the response.
+    telemetry::SpanCollector spans;
+    ServerOptions opts;
+    opts.spans = &spans;
+    TestServer ts(opts);
+    Request req = simulateReq("tblook01", "both");
+    req.traceId = 0x1234;
+    const CallResult r = ts.call(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.response.traceId, 0x1234u);
+
+    // The reply span closes *after* the response bytes hit the wire,
+    // so the client can observe the response before the server thread
+    // has recorded it — wait for all four spans to land.
+    std::set<std::string> seen;
+    for (int i = 0; i < 500 && seen.size() < 4; ++i) {
+        seen.clear();
+        for (const telemetry::SpanRecord &span : spans.snapshot())
+            if (span.traceId == 0x1234)
+                seen.insert(span.name);
+        if (seen.size() < 4)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_EQ(seen.count("serve.decode"), 1u);
+    EXPECT_EQ(seen.count("serve.admission"), 1u);
+    EXPECT_EQ(seen.count("serve.execute"), 1u);
+    EXPECT_EQ(seen.count("serve.reply"), 1u);
+
+    // Flush through the Chrome-trace backend and parse the JSON the
+    // way chrome://tracing would: every span event for this request
+    // carries the same args.trace_id, and worker tracks are named.
+    std::ostringstream trace;
+    {
+        sim::ChromeTraceSink sink(trace);
+        sim::flushSpans(spans.snapshot(), sink);
+    }
+    bool ok = false;
+    std::string perr;
+    minijson::Value doc = minijson::parse(trace.str(), &ok, &perr);
+    ASSERT_TRUE(ok) << perr << " in: " << trace.str();
+    std::set<std::string> chromeSeen;
+    bool namedWorker = false;
+    for (const minijson::Value &ev : doc["traceEvents"].arr) {
+        if (ev["name"].str == "thread_name") {
+            if (ev["args"]["name"].str.rfind("worker ", 0) == 0)
+                namedWorker = true;
+            continue;
+        }
+        if (ev["args"]["trace_id"].number == double(0x1234))
+            chromeSeen.insert(ev["name"].str);
+    }
+    EXPECT_TRUE(namedWorker);
+    EXPECT_EQ(chromeSeen.count("span serve.decode"), 1u);
+    EXPECT_EQ(chromeSeen.count("span serve.admission"), 1u);
+    EXPECT_EQ(chromeSeen.count("span serve.execute"), 1u);
+    EXPECT_EQ(chromeSeen.count("span serve.reply"), 1u);
+
+    // And the rollup lands next to the counters in metricsText().
+    const std::string text = ts.server().metricsText();
+    EXPECT_NE(text.find("span_serve_execute_us"), std::string::npos)
+        << text;
+}
+
+TEST(ServeServer, SamplerFillsTheRingWhenEnabled)
+{
+    ServerOptions opts;
+    opts.metricsPeriodMs = 5;
+    std::atomic<int> hooks{0};
+    opts.onMetricsTick = [&hooks] { hooks.fetch_add(1); };
+    TestServer ts(opts);
+    for (int i = 0; i < 500 && hooks.load() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GE(hooks.load(), 1);
+    ts.shutdown(); // the sampler must stop cleanly with the server
 }
 
 TEST(ServeServer, ClientRetriesTransientOverloadToSuccess)

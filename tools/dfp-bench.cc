@@ -32,6 +32,7 @@
 #include "base/json.h"
 #include "base/json_reader.h"
 #include "base/signals.h"
+#include "base/telemetry.h"
 #include "base/threadpool.h"
 #include "base/version.h"
 #include "sim/batch.h"
@@ -96,6 +97,11 @@ printHelp(std::FILE *out)
         "                     running the sweep\n"
         "  --threshold <p>    allowed sim-throughput drop, percent\n"
         "                     (default 5; accepts '5', '5%%')\n"
+        "  --phases           profile compiler/simulator phases\n"
+        "                     (DFP_PHASE spans) and embed per-phase\n"
+        "                     wall-time histograms in the record —\n"
+        "                     informational only, --compare never\n"
+        "                     gates on them\n"
         "  --no-cycle-check   don't fail when a run's cycle count\n"
         "                     differs from the baseline (cycle counts\n"
         "                     are deterministic: a drift means the\n"
@@ -284,7 +290,8 @@ docFromSummary(const sim::BatchSummary &batch, const std::string &suite,
 
 void
 writeRecord(std::ostream &os, const sim::BatchSummary &batch,
-            const std::string &suite, uint64_t seed, int jobs)
+            const std::string &suite, uint64_t seed, int jobs,
+            const telemetry::PhaseProfiler *phases = nullptr)
 {
     json::Writer w(os);
     w.beginObject();
@@ -351,6 +358,24 @@ writeRecord(std::ostream &os, const sim::BatchSummary &batch,
     for (const auto &[name, acc] : ipc)
         w.key(name).value(acc.second ? acc.first / acc.second : 0.0);
     w.endObject();
+
+    // --phases: per-phase wall-time histograms (microseconds) from the
+    // DFP_PHASE profiler. Informational — loadDoc/compare ignore the
+    // key, so baselines recorded with and without it interoperate and
+    // --compare never gates on host timing.
+    if (phases != nullptr) {
+        w.key("phases").beginObject();
+        for (const auto &[name, hist] : phases->snapshot()) {
+            w.key(name).beginObject();
+            w.key("count").value(hist.count());
+            w.key("sum_us").value(hist.sum());
+            w.key("p50_us").value(hist.quantile(0.50));
+            w.key("p90_us").value(hist.quantile(0.90));
+            w.key("p99_us").value(hist.quantile(0.99));
+            w.endObject();
+        }
+        w.endObject();
+    }
 
     w.endObject();
     os << "\n";
@@ -542,6 +567,7 @@ main(int argc, char **argv)
     int jobs = 0; // 0 = all hardware threads
     std::string resumeDir, jobTimeoutStr, retriesStr;
     bool strictFlag = false;
+    bool phasesFlag = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -590,6 +616,7 @@ main(int argc, char **argv)
         else if (eatValue("--job-timeout", jobTimeoutStr)) {}
         else if (eatValue("--retries", retriesStr)) {}
         else if (arg == "--strict") strictFlag = true;
+        else if (arg == "--phases") phasesFlag = true;
         else if (eatValue("--threshold", value)) {
             char *end = nullptr;
             thresholdPct = std::strtod(value.c_str(), &end);
@@ -663,6 +690,11 @@ main(int argc, char **argv)
             opts.keepRunStats = false; // the record keeps summaries only
             opts.predictCycles = true; // v2 records carry the bound
             sim::BatchRunner runner(opts);
+            // Install before the workers start: DFP_PHASE sites
+            // snapshot the pointer per scope, never mid-flight.
+            telemetry::PhaseProfiler phaseProf;
+            if (phasesFlag)
+                telemetry::setPhaseProfiler(&phaseProf);
             std::fprintf(stderr,
                          "dfp-bench: suite '%s': %zu runs on %d "
                          "job(s)...\n",
@@ -678,6 +710,8 @@ main(int argc, char **argv)
             supOpts.toolVersion = versionString();
             sim::SuperviseSummary sup =
                 sim::superviseBatch(runner, jobsList, supOpts);
+            if (phasesFlag)
+                telemetry::setPhaseProfiler(nullptr);
             if (!sup.error.empty())
                 return inputError("DFPC106", sup.error);
             sim::BatchSummary &batch = sup.batch;
@@ -735,7 +769,8 @@ main(int argc, char **argv)
                                   "' for writing");
                     os = &fileOut;
                 }
-                writeRecord(*os, batch, suite, seed, jobs);
+                writeRecord(*os, batch, suite, seed, jobs,
+                            phasesFlag ? &phaseProf : nullptr);
                 if (path != "-")
                     std::fprintf(stderr,
                                  "dfp-bench: wrote record to %s\n",

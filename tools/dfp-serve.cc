@@ -29,11 +29,13 @@
 #include "base/json.h"
 #include "base/serialize.h"
 #include "base/signals.h"
+#include "base/telemetry.h"
 #include "base/version.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "sim/supervise.h"
+#include "sim/trace.h"
 #include "verify/diag.h"
 
 using namespace dfp;
@@ -68,14 +70,21 @@ printHelp(std::FILE *out)
         "                     byte-identically instead of re-running\n"
         "  --stats-json <f>   on exit, write the serve.* counters as\n"
         "                     JSON here ('-' = stdout)\n"
+        "  --metrics-out <f>  dump the Prometheus exposition here each\n"
+        "                     sampler tick (atomic rename, for scrapers)\n"
+        "  --metrics-period-ms <n>\n"
+        "                     gauge sampler period (default 1000;\n"
+        "                     0 disables the sampler thread)\n"
+        "  --trace-out <f>    on exit, write collected request spans as\n"
+        "                     a Chrome-trace JSON document here\n"
         "\n"
         "  First SIGTERM/SIGINT drains gracefully (stop accepting,\n"
         "  finish in-flight, exit 128+signal); a second forces an\n"
         "  immediate exit.\n"
         "\n"
         "client (--client):\n"
-        "  --request <kind>   simulate | compile | analyze | health\n"
-        "                     (default simulate)\n"
+        "  --request <kind>   simulate | compile | analyze | health |\n"
+        "                     metrics (default simulate)\n"
         "  --workload <name>  workload to run (job kinds)\n"
         "  --config <name>    bb|hyper|intra|inter|both|merge\n"
         "                     (default both)\n"
@@ -132,9 +141,10 @@ runClient(const serve::ClientOptions &copts, const serve::Request &req)
         diags.renderText(std::cerr);
         return 1;
     }
-    if (req.kind == "health") {
+    if (req.kind == "health" || req.kind == "metrics") {
         fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
-        std::printf("\n");
+        if (req.kind == "health")
+            std::printf("\n"); // the exposition ends with its own \n
         return 0;
     }
     sim::BatchResult result;
@@ -174,10 +184,12 @@ main(int argc, char **argv)
 {
     bool clientMode = false;
     std::string socketPath, resumeDir, statsJsonFile;
+    std::string metricsOutFile, traceOutFile;
     serve::Request req;
     uint64_t workers = 2, queueCap = 8, defaultDeadlineMs = 0;
     uint64_t breakerThreshold = 3;
     uint64_t retries = 0, backoffMs = 100;
+    uint64_t metricsPeriodMs = 1000;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -222,6 +234,9 @@ main(int argc, char **argv)
         else if (eatCount("--breaker-threshold", breakerThreshold)) {}
         else if (eatValue("--resume-dir", resumeDir)) {}
         else if (eatValue("--stats-json", statsJsonFile)) {}
+        else if (eatValue("--metrics-out", metricsOutFile)) {}
+        else if (eatCount("--metrics-period-ms", metricsPeriodMs)) {}
+        else if (eatValue("--trace-out", traceOutFile)) {}
         else if (eatValue("--request", req.kind)) {}
         else if (eatValue("--workload", req.workload)) {}
         else if (eatValue("--config", req.config)) {}
@@ -262,7 +277,8 @@ main(int argc, char **argv)
 
     try {
         if (clientMode) {
-            if (req.kind != "health" && req.workload.empty()) {
+            if (req.kind != "health" && req.kind != "metrics" &&
+                req.workload.empty()) {
                 std::fprintf(stderr,
                              "dfp-serve: --workload is required for "
                              "'%s' requests\n\n",
@@ -273,6 +289,10 @@ main(int argc, char **argv)
             copts.socketPath = socketPath;
             copts.retries = retries;
             copts.backoffMs = backoffMs;
+            // Every dfp-serve client call carries a freshly minted
+            // trace id, so server-side spans are correlatable per
+            // request out of the box (docs/TELEMETRY.md).
+            copts.mintTraceId = true;
             return runClient(copts, req);
         }
 
@@ -285,7 +305,35 @@ main(int argc, char **argv)
         sopts.journalDir = resumeDir;
         sopts.toolVersion = versionString();
 
+        // Daemon-mode telemetry. Both objects outlive the server (its
+        // sampler thread and workers reference them), so they are
+        // declared first and the global phase-profiler hook is left
+        // installed until after the server has been destroyed.
+        telemetry::SpanCollector spanCollector;
+        telemetry::PhaseProfiler phaseProfiler;
+        telemetry::setPhaseProfiler(&phaseProfiler);
+        sopts.spans = &spanCollector;
+        sopts.metricsPeriodMs = metricsPeriodMs;
+        serve::Server *serverPtr = nullptr;
+        if (!metricsOutFile.empty()) {
+            // Write-then-rename: a scraper reading --metrics-out never
+            // observes a half-written exposition.
+            sopts.onMetricsTick = [&serverPtr, metricsOutFile] {
+                if (serverPtr == nullptr)
+                    return;
+                const std::string tmp = metricsOutFile + ".tmp";
+                std::ofstream f(tmp, std::ios::trunc);
+                if (!f)
+                    return;
+                f << serverPtr->metricsText();
+                f.close();
+                if (f)
+                    std::rename(tmp.c_str(), metricsOutFile.c_str());
+            };
+        }
+
         serve::Server server(sopts);
+        serverPtr = &server;
         std::string err;
         if (!server.start(err))
             return inputError("DFPC106", err);
@@ -319,6 +367,20 @@ main(int argc, char **argv)
         if (sig != 0)
             std::fprintf(stderr,
                          "dfp-serve: drained after signal %d\n", sig);
+
+        if (!traceOutFile.empty()) {
+            std::ofstream f(traceOutFile, std::ios::trunc);
+            if (!f) {
+                std::fprintf(stderr,
+                             "dfp-serve: cannot open '%s' for "
+                             "writing\n",
+                             traceOutFile.c_str());
+            } else {
+                sim::ChromeTraceSink sink(f);
+                sim::flushSpans(spanCollector.snapshot(), sink);
+                sink.flush();
+            }
+        }
 
         if (!statsJsonFile.empty()) {
             std::ofstream fileOut;

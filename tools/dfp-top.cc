@@ -1,0 +1,425 @@
+/**
+ * @file
+ * dfp-top — a live terminal dashboard for a running dfp-serve daemon.
+ *
+ * Polls the daemon's `metrics` request (the Prometheus text
+ * exposition, docs/TELEMETRY.md) over the unix-domain socket and
+ * renders the numbers an operator reaches for first: worker
+ * occupancy, queue depth, request-latency quantiles, and the
+ * shed/timeout/breaker refusal counters. Latency quantiles are
+ * re-derived client-side from the cumulative `_bucket` lines by the
+ * same rank-interpolation the server uses, so `dfp-top` agrees with
+ * the server's own p50/p99 without a second request kind.
+ *
+ * Modes:
+ *   dfp-top --socket S                live: repaint every second
+ *   dfp-top --socket S --once         one plain-text snapshot
+ *   dfp-top --socket S --once --json  one machine-readable snapshot
+ *
+ * Exit status: 0 on success (including a clean ^C out of live mode),
+ * 1 when the daemon is unreachable or replies malformed, 2 on usage
+ * errors — the same taxonomy as every other driver.
+ */
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/cli.h"
+#include "base/json.h"
+#include "base/signals.h"
+#include "base/version.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "verify/diag.h"
+
+using namespace dfp;
+
+namespace
+{
+
+void
+printHelp(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "dfp-top — live dashboard for a dfp-serve daemon\n"
+        "\n"
+        "usage: dfp-top --socket <path> [options]\n"
+        "\n"
+        "  --socket <path>    the daemon's unix-domain socket\n"
+        "  --interval-ms <n>  refresh period in live mode\n"
+        "                     (default 1000)\n"
+        "  --count <n>        stop after <n> refreshes (default 0 =\n"
+        "                     until interrupted)\n"
+        "  --once             single snapshot, no screen control\n"
+        "                     (same as --count 1)\n"
+        "  --json             emit each snapshot as one JSON object\n"
+        "                     (implies no screen control)\n"
+        "  --retries <n>      client retries on connect failure\n"
+        "                     (default 0)\n"
+        "  --backoff-ms <n>   first retry delay (default 100)\n"
+        "\n"
+        "  --version          print the dfp version and exit\n"
+        "  -h, --help         this text\n");
+}
+
+int
+usage()
+{
+    printHelp(stderr);
+    return 2;
+}
+
+int
+inputError(const char *code, std::string message)
+{
+    verify::DiagList diags;
+    diags.error(code, {}, std::move(message));
+    diags.renderText(std::cerr);
+    return 2;
+}
+
+/** One parsed histogram: cumulative (le, count) pairs plus sum/count.
+ *  `le` is the inclusive upper bound; +Inf is HUGE_VAL. */
+struct HistData
+{
+    std::vector<std::pair<double, uint64_t>> cum;
+    double sum = 0.0;
+    uint64_t count = 0;
+};
+
+/** Everything dfp-top extracts from one exposition payload. */
+struct Snapshot
+{
+    std::map<std::string, double> plain; //!< counters and gauges
+    std::map<std::string, HistData> hists;
+};
+
+/** True when @p name ends with @p suffix; strips it into @p base. */
+bool
+stripSuffix(const std::string &name, const char *suffix,
+            std::string &base)
+{
+    const size_t n = std::strlen(suffix);
+    if (name.size() <= n ||
+        name.compare(name.size() - n, n, suffix) != 0)
+        return false;
+    base = name.substr(0, name.size() - n);
+    return true;
+}
+
+/**
+ * Parse the Prometheus text exposition into a Snapshot. Tolerant of
+ * metrics it does not know (forward compatibility: a newer daemon may
+ * export more); returns false only when a sample line is structurally
+ * malformed.
+ */
+bool
+parseExposition(const std::string &text, Snapshot &out,
+                std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t sp = line.find_last_of(' ');
+        if (sp == std::string::npos || sp + 1 >= line.size()) {
+            error = "malformed sample line: '" + line + "'";
+            return false;
+        }
+        const std::string key = line.substr(0, sp);
+        const std::string valueText = line.substr(sp + 1);
+        errno = 0;
+        char *end = nullptr;
+        const double value = std::strtod(valueText.c_str(), &end);
+        if (errno == ERANGE ||
+            end != valueText.c_str() + valueText.size()) {
+            error = "malformed sample value: '" + line + "'";
+            return false;
+        }
+        const size_t brace = key.find('{');
+        if (brace != std::string::npos) {
+            // name_bucket{le="N"} cumulative-count
+            std::string base;
+            if (!stripSuffix(key.substr(0, brace), "_bucket", base))
+                continue; // labelled non-bucket: not ours, skip
+            const size_t leAt = key.find("le=\"", brace);
+            const size_t leEnd =
+                leAt == std::string::npos
+                    ? std::string::npos
+                    : key.find('"', leAt + 4);
+            if (leEnd == std::string::npos) {
+                error = "malformed bucket line: '" + line + "'";
+                return false;
+            }
+            const std::string leText =
+                key.substr(leAt + 4, leEnd - (leAt + 4));
+            const double le = leText == "+Inf"
+                                  ? HUGE_VAL
+                                  : std::strtod(leText.c_str(), nullptr);
+            out.hists[base].cum.emplace_back(le, uint64_t(value));
+            continue;
+        }
+        std::string base;
+        if (stripSuffix(key, "_sum", base) &&
+            out.hists.count(base) != 0) {
+            out.hists[base].sum = value;
+        } else if (stripSuffix(key, "_count", base) &&
+                   out.hists.count(base) != 0) {
+            out.hists[base].count = uint64_t(value);
+        } else {
+            out.plain[key] = value;
+        }
+    }
+    return true;
+}
+
+/** Quantile from cumulative buckets, linear within the hit bucket —
+ *  the client-side mirror of Histogram::quantile. */
+double
+histQuantile(const HistData &h, double q)
+{
+    if (h.count == 0 || h.cum.empty())
+        return 0.0;
+    const double rank = q * double(h.count);
+    double lo = 0.0;
+    uint64_t below = 0;
+    for (const auto &[le, cum] : h.cum) {
+        if (double(cum) >= rank && cum > below) {
+            const double hi =
+                std::isinf(le) ? (lo > 0.0 ? lo * 2.0 : 1.0) : le;
+            const uint64_t inBucket = cum - below;
+            const double frac =
+                (rank - double(below)) / double(inBucket);
+            return lo + frac * (hi - lo);
+        }
+        if (!std::isinf(le))
+            lo = le;
+        below = cum;
+    }
+    return lo;
+}
+
+double
+plainOr(const Snapshot &s, const char *name, double fallback = 0.0)
+{
+    const auto it = s.plain.find(name);
+    return it != s.plain.end() ? it->second : fallback;
+}
+
+/** "412us", "1.2ms", "3.4s" — latency numbers arrive in microseconds. */
+std::string
+fmtUs(double us)
+{
+    char buf[32];
+    if (us < 1000.0)
+        std::snprintf(buf, sizeof buf, "%.0fus", us);
+    else if (us < 1e6)
+        std::snprintf(buf, sizeof buf, "%.1fms", us / 1000.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.2fs", us / 1e6);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    char buf[32];
+    if (bytes < 1024.0 * 1024.0)
+        std::snprintf(buf, sizeof buf, "%.0fKiB", bytes / 1024.0);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fMiB",
+                      bytes / (1024.0 * 1024.0));
+    return buf;
+}
+
+void
+renderText(const Snapshot &s, const std::string &socketPath,
+           bool clearScreen)
+{
+    const auto latIt = s.hists.find("serve_request_latency_us");
+    const bool haveLat =
+        latIt != s.hists.end() && latIt->second.count != 0;
+
+    if (clearScreen)
+        std::fputs("\x1b[H\x1b[2J", stdout);
+    std::printf("dfp-top — %s\n", socketPath.c_str());
+    std::printf("workers   running %.0f/%.0f   queue depth %.0f   "
+                "busy %.0f%%\n",
+                plainOr(s, "serve_running"),
+                plainOr(s, "serve_workers"),
+                plainOr(s, "serve_queue_depth"),
+                plainOr(s, "serve_worker_busy_fraction") * 100.0);
+    std::printf("requests  total %.0f   shed %.0f   timeout %.0f   "
+                "breaker %.0f   failed %.0f\n",
+                plainOr(s, "serve_requests_total"),
+                plainOr(s, "serve_shed"),
+                plainOr(s, "serve_timeout"),
+                plainOr(s, "serve_breaker_open"),
+                plainOr(s, "serve_failed"));
+    if (haveLat) {
+        const HistData &h = latIt->second;
+        std::printf("latency   p50 %s   p90 %s   p99 %s   (n=%" PRIu64
+                    ")\n",
+                    fmtUs(histQuantile(h, 0.50)).c_str(),
+                    fmtUs(histQuantile(h, 0.90)).c_str(),
+                    fmtUs(histQuantile(h, 0.99)).c_str(), h.count);
+    } else {
+        std::printf("latency   (no requests yet)\n");
+    }
+    std::printf("cache     size %.0f   hit-rate %.2f\n",
+                plainOr(s, "serve_compile_cache_size"),
+                plainOr(s, "serve_cache_hit_rate"));
+    std::printf("process   rss %s   breakers open %.0f\n",
+                fmtBytes(plainOr(s, "process_rss_bytes")).c_str(),
+                plainOr(s, "serve_breakers_open"));
+    std::fflush(stdout);
+}
+
+void
+renderJson(const Snapshot &s, const std::string &socketPath)
+{
+    json::Writer w(std::cout);
+    w.beginObject();
+    w.key("socket").value(socketPath);
+    w.key("workers").value(plainOr(s, "serve_workers"));
+    w.key("running").value(plainOr(s, "serve_running"));
+    w.key("queueDepth").value(plainOr(s, "serve_queue_depth"));
+    w.key("requestsTotal").value(plainOr(s, "serve_requests_total"));
+    w.key("shed").value(plainOr(s, "serve_shed"));
+    w.key("timeout").value(plainOr(s, "serve_timeout"));
+    w.key("breakerOpen").value(plainOr(s, "serve_breaker_open"));
+    w.key("failed").value(plainOr(s, "serve_failed"));
+    const auto latIt = s.hists.find("serve_request_latency_us");
+    w.key("latency").beginObject();
+    if (latIt != s.hists.end()) {
+        const HistData &h = latIt->second;
+        w.key("count").value(h.count);
+        w.key("p50Us").value(histQuantile(h, 0.50));
+        w.key("p90Us").value(histQuantile(h, 0.90));
+        w.key("p99Us").value(histQuantile(h, 0.99));
+    } else {
+        w.key("count").value(uint64_t(0));
+    }
+    w.endObject();
+    w.key("samples").beginObject(); // every counter and gauge, raw
+    for (const auto &[name, value] : s.plain)
+        w.key(name).value(value);
+    w.endObject();
+    w.endObject();
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    uint64_t intervalMs = 1000, count = 0, retries = 0, backoffMs = 100;
+    bool once = false, jsonOut = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto eatValue = [&](const char *flag, std::string &out) {
+            if (arg != flag)
+                return false;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "dfp-top: %s needs a value\n\n",
+                             flag);
+                std::exit(usage());
+            }
+            out = argv[++i];
+            return true;
+        };
+        auto eatCount = [&](const char *flag, uint64_t &out) {
+            std::string text;
+            if (!eatValue(flag, text))
+                return false;
+            std::string err;
+            if (!cli::parseCount(text, out, err)) {
+                std::exit(inputError(
+                    "DFPC108",
+                    std::string(flag) + ": " + err));
+            }
+            return true;
+        };
+        if (arg == "-h" || arg == "--help") {
+            printHelp(stdout);
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("dfp-top %s\n", versionString());
+            return 0;
+        } else if (eatValue("--socket", socketPath)) {
+        } else if (eatCount("--interval-ms", intervalMs)) {
+        } else if (eatCount("--count", count)) {
+        } else if (eatCount("--retries", retries)) {
+        } else if (eatCount("--backoff-ms", backoffMs)) {
+        } else if (arg == "--once") {
+            once = true;
+        } else if (arg == "--json") {
+            jsonOut = true;
+        } else {
+            std::fprintf(stderr, "dfp-top: unknown argument '%s'\n\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "dfp-top: --socket is required\n\n");
+        return usage();
+    }
+    if (once && count == 0)
+        count = 1;
+
+    serve::ClientOptions copts;
+    copts.socketPath = socketPath;
+    copts.retries = retries;
+    copts.backoffMs = backoffMs;
+    serve::Request req;
+    req.kind = "metrics";
+
+    signals::installStopHandlers();
+    const bool live = !once && !jsonOut;
+    for (uint64_t tick = 0; count == 0 || tick < count; ++tick) {
+        if (signals::stopRequested().load() != 0)
+            break; // a clean ^C out of live mode is success
+        const serve::CallResult out = serve::call(copts, req);
+        if (!out.ok) {
+            std::fprintf(stderr, "dfp-top: %s\n", out.error.c_str());
+            return 1;
+        }
+        if (out.response.status != serve::kStatusOk) {
+            std::fprintf(stderr, "dfp-top: %s: %s\n",
+                         out.response.status.c_str(),
+                         out.response.message.c_str());
+            return 1;
+        }
+        Snapshot snap;
+        std::string perr;
+        const std::string text(out.response.payload.begin(),
+                               out.response.payload.end());
+        if (!parseExposition(text, snap, perr)) {
+            std::fprintf(stderr, "dfp-top: %s\n", perr.c_str());
+            return 1;
+        }
+        if (jsonOut)
+            renderJson(snap, socketPath);
+        else
+            renderText(snap, socketPath, live);
+        if (count != 0 && tick + 1 >= count)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+    return 0;
+}
